@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared helpers for the table-regeneration harness: --csv flag parsing
+ * and a uniform header banner.
+ */
+
+#ifndef DHL_BENCH_BENCH_UTIL_HPP
+#define DHL_BENCH_BENCH_UTIL_HPP
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+
+namespace dhl {
+namespace bench {
+
+/** True if the user asked for CSV output. */
+inline bool
+wantCsv(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--csv") == 0)
+            return true;
+    }
+    return false;
+}
+
+/** Print a banner naming the regenerated paper artefact. */
+inline void
+banner(const std::string &artefact, const std::string &description)
+{
+    std::cout << "==========================================================="
+                 "=====================\n"
+              << artefact << " — " << description << "\n"
+              << "Paper: \"The Case For Data Centre Hyperloops\" (ISCA "
+                 "2024)\n"
+              << "==========================================================="
+                 "=====================\n";
+}
+
+/** Emit a table as text or CSV per the flag. */
+inline void
+emit(const TextTable &table, bool csv)
+{
+    if (csv)
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+}
+
+} // namespace bench
+} // namespace dhl
+
+#endif // DHL_BENCH_BENCH_UTIL_HPP

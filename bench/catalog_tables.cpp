@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Experiment E9 — regenerates the paper's background catalogues:
+ * Table I (large emerging datasets), Table II (storage devices),
+ * Table III (network component power), Table IV (large ML models).
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/units.hpp"
+#include "network/catalog.hpp"
+#include "storage/catalog.hpp"
+
+using namespace dhl;
+namespace u = dhl::units;
+
+int
+main(int argc, char **argv)
+{
+    const bool csv = bench::wantCsv(argc, argv);
+    if (!csv) {
+        bench::banner("Tables I-IV",
+                      "background catalogues driving every experiment");
+    }
+
+    //----------------------------------------------------------------
+    // Table I
+    //----------------------------------------------------------------
+    TextTable t1({"Name", "Size", "Creation rate", "Type"});
+    for (const auto &d : storage::datasetCatalog()) {
+        t1.addRow({d.name,
+                   d.size > 0 ? u::formatBytes(d.size) : "-",
+                   d.creation_rate > 0
+                       ? u::formatBandwidth(d.creation_rate)
+                       : "-",
+                   to_string(d.kind)});
+    }
+    if (!csv)
+        std::cout << "\nTable I: large emerging datasets\n";
+    bench::emit(t1, csv);
+
+    //----------------------------------------------------------------
+    // Table II
+    //----------------------------------------------------------------
+    TextTable t2({"Device", "Size", "Package", "Weight (g)",
+                  "Read (MB/s)", "Write (MB/s)", "TB/kg"});
+    for (const auto &d : storage::deviceCatalog()) {
+        t2.addRow({d.name, u::formatBytes(d.capacity),
+                   to_string(d.form_factor), cell(u::toGrams(d.mass), 4),
+                   cell(d.seq_read_bw / 1e6, 4),
+                   cell(d.seq_write_bw / 1e6, 4),
+                   cell(d.bytesPerKg() / 1e12, 4)});
+    }
+    if (!csv)
+        std::cout << "\nTable II: currently available storage\n";
+    bench::emit(t2, csv);
+
+    //----------------------------------------------------------------
+    // Table III
+    //----------------------------------------------------------------
+    TextTable t3({"Component", "Speed (Gbit/s)", "Ports",
+                  "Power low (W)", "Power high (W)", "Paper default"});
+    for (const auto &c : network::componentCatalog()) {
+        t3.addRow({c.name, cell(c.speed / 1e9, 4),
+                   c.ports ? std::to_string(c.ports) : "N/A",
+                   cell(c.power_low, 5), cell(c.power_high, 5),
+                   c.paper_default ? "yes" : "no"});
+    }
+    if (!csv)
+        std::cout << "\nTable III: networking power characterisation\n";
+    bench::emit(t3, csv);
+
+    //----------------------------------------------------------------
+    // Table IV
+    //----------------------------------------------------------------
+    TextTable t4({"Model", "Parameters", "Size", "From", "Year"});
+    for (const auto &m : storage::mlModelCatalog()) {
+        t4.addRow({m.name, cell(m.parameters / 1e9, 5) + "B",
+                   u::formatBytes(m.size), m.origin,
+                   std::to_string(m.year)});
+    }
+    if (!csv)
+        std::cout << "\nTable IV: ML models with significant storage\n";
+    bench::emit(t4, csv);
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Experiment E1/E10 — regenerates the right-hand table of the paper's
+ * Figure 2: the energy of moving 29 PB over the five canonical network
+ * routes at 400 Gbit/s, plus the §II-C wall-clock and parallelisation
+ * narrative anchors.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/units.hpp"
+#include "network/route.hpp"
+#include "network/transfer.hpp"
+#include "storage/catalog.hpp"
+
+using namespace dhl;
+namespace u = dhl::units;
+
+int
+main(int argc, char **argv)
+{
+    const bool csv = bench::wantCsv(argc, argv);
+    if (!csv) {
+        bench::banner("Figure 2 (right) + §II-C",
+                      "network energy to move 29 PB at 400 Gbit/s");
+    }
+
+    const double dataset = storage::referenceDlrmDataset().size;
+    // Paper-reported energies for the five routes, MJ.
+    const double paper_mj[] = {13.92, 22.97, 50.05, 174.75, 299.45};
+
+    TextTable table({"Option", "Route power (W)", "Time",
+                     "Energy (MJ)", "Paper (MJ)", "Delta"});
+    std::size_t i = 0;
+    for (const auto &route : network::canonicalRoutes()) {
+        const network::TransferModel model(route);
+        const auto r = model.transfer(dataset);
+        const double mj = u::toMegajoules(r.energy);
+        table.addRow({route.name(), cell(r.power, 6),
+                      u::formatDuration(r.time), cell(mj, 5),
+                      cell(paper_mj[i], 5),
+                      cell(100.0 * (mj - paper_mj[i]) / paper_mj[i], 2) +
+                          "%"});
+        ++i;
+    }
+    bench::emit(table, csv);
+
+    if (!csv) {
+        const network::TransferModel a0(network::findRoute("A0"));
+        const auto single = a0.transfer(dataset);
+        std::cout << "\n§II-C anchors:\n"
+                  << "  29 PB over one 400 Gbit/s link: "
+                  << u::formatDuration(single.time) << " ("
+                  << cell(single.time, 6) << " s; paper: 580k s / 6.71 "
+                  << "days)\n"
+                  << "  Speedup needed for a 1-hour transfer: "
+                  << cell(a0.speedupForTargetTime(dataset, u::hours(1)), 4)
+                  << "x (paper: 161x, > 64 Tbit/s)\n"
+                  << "  Disks to carry 29 PB by hand: "
+                  << cell(std::ceil(
+                             dataset /
+                             storage::findDevice("WD Gold").capacity), 4)
+                  << " x 24 TB HDD or "
+                  << cell(std::ceil(
+                             dataset /
+                             storage::findDevice("Nimbus ExaDrive")
+                                 .capacity), 4)
+                  << " x 100 TB SSD (paper: 1319 x 22 TB / 290 x 100 "
+                  << "TB)\n";
+    }
+    return 0;
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Experiment E6 — regenerates the paper's Figure 6: time per DLRM
+ * training iteration (log scale) versus the communication power
+ * budget, with quantised DHL series (one point per whole track) and
+ * continuous network series for A0/A1/A2/B/C.
+ *
+ * Output is a tidy series table (and CSV with --csv) plus an ASCII
+ * sketch of the log-log plot.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/units.hpp"
+#include "mlsim/sweep.hpp"
+
+using namespace dhl;
+using namespace dhl::mlsim;
+namespace u = dhl::units;
+
+namespace {
+
+/** A crude log-log ASCII sketch of the series. */
+void
+sketch(const std::vector<SweepSeries> &series)
+{
+    const int width = 68, height = 20;
+    double pmin = 1e300, pmax = 0, tmin = 1e300, tmax = 0;
+    for (const auto &s : series) {
+        for (const auto &pt : s.points) {
+            pmin = std::min(pmin, pt.power);
+            pmax = std::max(pmax, pt.power);
+            tmin = std::min(tmin, pt.iter_time);
+            tmax = std::max(tmax, pt.iter_time);
+        }
+    }
+    std::vector<std::string> grid(
+        height, std::string(static_cast<std::size_t>(width), ' '));
+    // Series order: three DHL configurations, then networks A0..C.
+    const char marks[] = {'D', 'd', 'h', '0', '1', '2', 'B', 'C', '*'};
+    for (std::size_t si = 0; si < series.size(); ++si) {
+        const char mark = marks[std::min<std::size_t>(si, 8)];
+        for (const auto &pt : series[si].points) {
+            const double fx = (std::log(pt.power) - std::log(pmin)) /
+                              (std::log(pmax) - std::log(pmin));
+            const double fy =
+                (std::log(pt.iter_time) - std::log(tmin)) /
+                (std::log(tmax) - std::log(tmin));
+            const int x = static_cast<int>(fx * (width - 1));
+            const int y =
+                height - 1 - static_cast<int>(fy * (height - 1));
+            grid[static_cast<std::size_t>(y)]
+                [static_cast<std::size_t>(x)] = mark;
+        }
+    }
+    std::cout << "\nASCII sketch (x: log power "
+              << u::formatPower(pmin) << ".." << u::formatPower(pmax)
+              << "; y: log time/iter " << cell(tmin, 3) << ".."
+              << cell(tmax, 3) << " s)\n";
+    std::cout << "Marks: D/d/h = DHL configurations, 0/1/2/B/C = "
+                 "networks A0..C\n";
+    for (const auto &row : grid)
+        std::cout << "  |" << row << "\n";
+    std::cout << "  +" << std::string(static_cast<std::size_t>(68), '-')
+              << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool csv = bench::wantCsv(argc, argv);
+    if (!csv) {
+        bench::banner("Figure 6",
+                      "time per DLRM iteration vs communication power "
+                      "budget");
+    }
+
+    const TrainingWorkload workload = dlrmWorkload();
+    std::vector<SweepSeries> series;
+
+    // DHL curves: the paper plots several DHL-X-Y-Z configurations.
+    const std::vector<core::DhlConfig> dhl_cfgs = {
+        core::makeConfig(200, 500, 32),  // the default
+        core::makeConfig(100, 500, 32),  // slower, more efficient
+        core::makeConfig(200, 500, 64),  // bigger carts
+    };
+    const double max_power = 40e3; // 40 kW x-range
+    for (const auto &cfg : dhl_cfgs) {
+        DhlComm comm(cfg);
+        TrainingSim sim(workload, comm);
+        series.push_back(sweepQuantised(sim, max_power));
+    }
+
+    // Network curves: continuous link counts.
+    for (const auto &route : network::canonicalRoutes()) {
+        OpticalComm comm(route);
+        TrainingSim sim(workload, comm);
+        series.push_back(
+            sweepContinuous(sim, 1.0e3, max_power, 16));
+    }
+
+    TextTable table({"Series", "Power (kW)", "Units", "Time/iter (s)"});
+    for (const auto &s : series) {
+        for (const auto &pt : s.points) {
+            table.addRow({s.name, cell(u::toKilowatts(pt.power), 4),
+                          cell(pt.units, 4), cell(pt.iter_time, 5)});
+        }
+        if (!csv)
+            table.addSeparator();
+    }
+    bench::emit(table, csv);
+
+    if (!csv) {
+        // Reorder so the DHL curves sketch first.
+        sketch(series);
+        std::cout << "\nPaper shape check: for any budget the DHL "
+                  << "curves sit below every network curve, and network "
+                  << "curves order A0 < A1 < A2 < B < C in time.\n";
+    }
+    return 0;
+}

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Experiment E13 — google-benchmark microbenchmarks of the simulation
+ * substrates: DES event throughput, flow-sim reallocation cost, and the
+ * closed-form model evaluation rate (how fast the design space can be
+ * swept).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <vector>
+
+#include "common/units.hpp"
+#include "dhl/analytical.hpp"
+#include "dhl/simulation.hpp"
+#include "network/flowsim.hpp"
+#include "sim/simulator.hpp"
+
+using namespace dhl;
+namespace u = dhl::units;
+
+//===========================================================================
+// DES kernel
+//===========================================================================
+
+static void
+BM_KernelScheduleRun(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        sim::Simulator sim;
+        std::uint64_t fired = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            sim.schedule(static_cast<double>(i % 97), [&fired] {
+                ++fired;
+            });
+        }
+        sim.run();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_KernelScheduleRun)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+static void
+BM_KernelCascade(benchmark::State &state)
+{
+    // Each event schedules the next: worst-case pointer-chasing.
+    const auto n = static_cast<std::uint64_t>(state.range(0));
+    for (auto _ : state) {
+        sim::Simulator sim;
+        std::uint64_t left = n;
+        std::function<void()> step = [&] {
+            if (--left > 0)
+                sim.schedule(0.001, step);
+        };
+        sim.schedule(0.001, step);
+        sim.run();
+        benchmark::DoNotOptimize(left);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_KernelCascade)->Arg(1 << 12)->Arg(1 << 16);
+
+//===========================================================================
+// Flow simulator
+//===========================================================================
+
+static void
+BM_FlowSimChurn(benchmark::State &state)
+{
+    const auto n_flows = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        sim::Simulator sim;
+        network::FlowSim fs(sim);
+        std::vector<int> links;
+        for (int i = 0; i < 8; ++i)
+            links.push_back(fs.addLink(u::gigabitsPerSecond(400)));
+        for (int i = 0; i < n_flows; ++i) {
+            fs.startFlow({links[i % 8], links[(i + 1) % 8]},
+                         u::gigabytes(1 + i % 7), 24.0, nullptr);
+        }
+        sim.run();
+        benchmark::DoNotOptimize(fs.bytesDelivered());
+    }
+    state.SetItemsProcessed(state.iterations() * n_flows);
+}
+BENCHMARK(BM_FlowSimChurn)->Arg(16)->Arg(64)->Arg(256);
+
+//===========================================================================
+// Closed-form model and DES end-to-end
+//===========================================================================
+
+static void
+BM_AnalyticalDesignSpace(benchmark::State &state)
+{
+    const double dataset = u::petabytes(29);
+    for (auto _ : state) {
+        double acc = 0.0;
+        for (const auto &row : core::tableViRows()) {
+            const core::AnalyticalModel m(row.config);
+            acc += m.bulk(dataset).total_time;
+        }
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(
+        state.iterations() *
+        static_cast<std::int64_t>(core::tableViRows().size()));
+}
+BENCHMARK(BM_AnalyticalDesignSpace);
+
+static void
+BM_DesBulkTransfer(benchmark::State &state)
+{
+    const auto carts = static_cast<double>(state.range(0));
+    const core::DhlConfig cfg = core::defaultConfig();
+    for (auto _ : state) {
+        core::DhlSimulation des(cfg);
+        const auto r =
+            des.runBulkTransfer(carts * cfg.cartCapacity());
+        benchmark::DoNotOptimize(r.total_time);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(carts));
+}
+BENCHMARK(BM_DesBulkTransfer)->Arg(4)->Arg(16)->Arg(64);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Experiments E2/E3 — regenerates the paper's Table VI: the DHL
+ * design-space exploration (single-launch metrics for every
+ * speed/length/capacity configuration) and the 29 PB bulk-move
+ * comparison (time speedup and per-route energy reductions).
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/units.hpp"
+#include "dhl/comparison.hpp"
+#include "storage/catalog.hpp"
+
+using namespace dhl;
+using namespace dhl::core;
+namespace u = dhl::units;
+
+int
+main(int argc, char **argv)
+{
+    const bool csv = bench::wantCsv(argc, argv);
+    if (!csv) {
+        bench::banner("Table VI",
+                      "DHL design-space exploration and 29 PB move vs "
+                      "400 Gbit/s routes");
+    }
+
+    const double dataset = storage::referenceDlrmDataset().size;
+
+    TextTable table({"Speed (m/s)", "Length (m)", "Cart (TB)",
+                     "Energy (kJ)", "Eff (GB/J)", "Time (s)", "BW (TB/s)",
+                     "Peak (kW)", "Speedup", "vs A0", "vs A1", "vs A2",
+                     "vs B", "vs C"});
+
+    for (std::size_t i = 0; i < tableViRows().size(); ++i) {
+        const auto &row = tableViRows()[i];
+        // Visual groups of three rows, as in the paper.
+        if (i > 0 && i % 3 == 0 && i < 12)
+            table.addSeparator();
+        const auto computed = computeDesignSpaceRow(row.config, dataset);
+        const auto &lm = computed.launch;
+
+        std::vector<std::string> cells{
+            cell(row.config.max_speed, 4),
+            cell(row.config.track_length, 5),
+            cell(lm.capacity / u::terabytes(1), 4),
+            cell(u::toKilojoules(lm.energy), 3),
+            cell(lm.efficiency, 3),
+            cell(lm.trip_time, 3),
+            cell(lm.bandwidth / u::terabytes(1), 3),
+            cell(u::toKilowatts(lm.peak_power), 3),
+            cellTimes(computed.time_speedup, 4),
+        };
+        for (const auto &rc : computed.routes)
+            cells.push_back(cellTimes(rc.energy_reduction, 4));
+        table.addRow(std::move(cells));
+    }
+    bench::emit(table, csv);
+
+    if (!csv) {
+        std::cout
+            << "\nPaper reference rows (energy kJ / GB-J / time s / TB-s "
+            << "/ kW / speedup / vsA0 / vsC):\n";
+        for (const auto &row : tableViRows()) {
+            std::cout << "  " << row.config.label() << ": "
+                      << cell(row.paper_energy_kj, 3) << " / "
+                      << cell(row.paper_efficiency_gbpj, 3) << " / "
+                      << cell(row.paper_time_s, 3) << " / "
+                      << cell(row.paper_bandwidth_tbps, 3) << " / "
+                      << cell(row.paper_peak_power_kw, 3) << " / "
+                      << cell(row.paper_speedup, 4) << "x / "
+                      << cell(row.paper_reduction_a0, 3) << "x / "
+                      << cell(row.paper_reduction_c, 4) << "x\n";
+        }
+        std::cout << "\nTrips for 29 PB (paper: 227/114/57 loaded, "
+                  << "doubled by returns):\n";
+        for (std::size_t n : {16u, 32u, 64u}) {
+            const AnalyticalModel m(makeConfig(200, 500, n));
+            const auto b = m.bulk(dataset);
+            std::cout << "  " << n << " SSDs/cart: " << b.loaded_trips
+                      << " loaded, " << b.total_trips << " total\n";
+        }
+    }
+    return 0;
+}

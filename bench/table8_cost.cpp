@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Experiment E7 — regenerates the paper's Table VIII: the commodity
+ * materials cost of a DHL (rail per distance, accelerator per top
+ * speed, overall matrix).
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "cost/cost_model.hpp"
+
+using namespace dhl;
+using namespace dhl::cost;
+
+int
+main(int argc, char **argv)
+{
+    const bool csv = bench::wantCsv(argc, argv);
+    if (!csv) {
+        bench::banner("Table VIII",
+                      "commodity cost of the DHL materials (May 2023 "
+                      "prices)");
+    }
+
+    CostModel model;
+    const double distances[] = {100.0, 500.0, 1000.0};
+    const double speeds[] = {100.0, 200.0, 300.0};
+
+    //----------------------------------------------------------------
+    // (a) rail cost per distance
+    //----------------------------------------------------------------
+    TextTable a({"Material", "USD/kg", "100 m", "500 m", "1000 m"});
+    const auto &prices = model.prices();
+    auto row = [&](const char *name, double price, auto pick) {
+        std::vector<std::string> cells{name, cell(price, 3)};
+        for (double d : distances)
+            cells.push_back("$" + cell(pick(model.railCost(d)), 4));
+        a.addRow(std::move(cells));
+    };
+    row("Aluminium", prices.aluminium_per_kg,
+        [](const RailCost &c) { return c.aluminium; });
+    row("PVC (rail)", prices.pvc_per_kg,
+        [](const RailCost &c) { return c.pvc_rail; });
+    row("PVC (vacuum tube)", prices.pvc_per_kg,
+        [](const RailCost &c) { return c.pvc_tube; });
+    row("Total", 0.0, [](const RailCost &c) { return c.total(); });
+    if (!csv)
+        std::cout << "\n(a) Total rail cost (paper totals: $733 / "
+                     "$3,665 / $7,330)\n";
+    bench::emit(a, csv);
+
+    //----------------------------------------------------------------
+    // (b) accelerator/decelerator cost per top speed
+    //----------------------------------------------------------------
+    TextTable b({"Component", "100 m/s", "200 m/s", "300 m/s"});
+    {
+        std::vector<std::string> copper{"Copper wire"};
+        std::vector<std::string> vfd{"VFD"};
+        std::vector<std::string> total{"Total"};
+        for (double v : speeds) {
+            const LimCost c = model.limCost(v);
+            copper.push_back("$" + cell(c.copper, 4));
+            vfd.push_back("$" + cell(c.vfd, 4));
+            total.push_back("$" + cell(c.total(), 5));
+        }
+        b.addRow(std::move(copper));
+        b.addRow(std::move(vfd));
+        b.addRow(std::move(total));
+    }
+    if (!csv)
+        std::cout << "\n(b) Accelerator/decelerator cost (paper totals: "
+                     "$8,792 / $10,904 / $14,512)\n";
+    bench::emit(b, csv);
+
+    //----------------------------------------------------------------
+    // (c) overall total
+    //----------------------------------------------------------------
+    TextTable c({"Distance (m)", "100 m/s", "200 m/s", "300 m/s"});
+    for (double d : distances) {
+        std::vector<std::string> cells{cell(d, 4)};
+        for (double v : speeds)
+            cells.push_back("$" + cell(model.totalCost(d, v), 5));
+        c.addRow(std::move(cells));
+    }
+    if (!csv) {
+        std::cout << "\n(c) Overall total cost (paper: $9,525..$21,842; "
+                     "~ one large 400 Gbit/s switch)\n";
+    }
+    bench::emit(c, csv);
+    return 0;
+}

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Example: the paper's headline use case — feeding a DLRM training
+ * cluster its 29 PB dataset.  Walks the Table VII analysis (iso-power
+ * and iso-time) and then replays one epoch of ingestion on the
+ * event-driven DHL with SSD reads and pipelined docking stations, the
+ * way a production deployment would run it.
+ *
+ * Run: ./build/examples/ml_training_ingest
+ */
+
+#include <iostream>
+
+#include "common/units.hpp"
+#include "dhl/simulation.hpp"
+#include "mlsim/campaign.hpp"
+#include "mlsim/sweep.hpp"
+#include "mlsim/training_sim.hpp"
+
+using namespace dhl;
+using namespace dhl::mlsim;
+namespace u = dhl::units;
+
+int
+main()
+{
+    const TrainingWorkload workload = dlrmWorkload();
+    std::cout << "Workload: " << workload.name << " — "
+              << u::formatBytes(workload.dataset_bytes)
+              << " ingested per iteration, "
+              << u::formatDuration(workload.compute_time)
+              << " compute\n\n";
+
+    // --- Iso-power: what does 1 DHL's power buy each scheme? ---
+    DhlComm dhl_comm(core::defaultConfig());
+    TrainingSim dhl_sim(workload, dhl_comm);
+    const double budget = dhl_comm.unitPower();
+    const double dhl_time = dhl_sim.isoPower(budget).iter_time;
+    std::cout << "Iso-power at " << u::formatPower(budget)
+              << " (one DHL):\n"
+              << "  DHL          " << u::formatDuration(dhl_time) << "\n";
+    for (const auto &route : network::canonicalRoutes()) {
+        OpticalComm net(route);
+        TrainingSim sim(workload, net);
+        const auto r = sim.isoPower(budget);
+        std::cout << "  network " << route.name() << "   "
+                  << u::formatDuration(r.iter_time) << "  ("
+                  << u::formatSig(r.iter_time / dhl_time, 3)
+                  << "x slower)\n";
+    }
+
+    // --- Iso-time: what power must each scheme burn to keep up? ---
+    std::cout << "\nIso-time at " << u::formatDuration(dhl_time) << ":\n"
+              << "  DHL          " << u::formatPower(budget) << "\n";
+    for (const auto &route : network::canonicalRoutes()) {
+        OpticalComm net(route);
+        TrainingSim sim(workload, net);
+        const double p = sim.powerForIterTime(dhl_time);
+        std::cout << "  network " << route.name() << "   "
+                  << u::formatPower(p) << "  ("
+                  << u::formatSig(p / budget, 3) << "x more)\n";
+    }
+
+    // --- Scaling out: more tracks, like Figure 6's DHL curve. ---
+    std::cout << "\nScaling out DHL tracks:\n";
+    const auto series = sweepQuantised(dhl_sim, 8.0 * budget);
+    for (const auto &pt : series.points) {
+        std::cout << "  " << pt.units << " track(s), "
+                  << u::formatPower(pt.power) << " -> "
+                  << u::formatDuration(pt.iter_time) << " per iteration\n";
+    }
+
+    // --- Production-style replay: event-driven ingestion of one
+    //     epoch-worth of carts with reads and pipelining.  A scaled
+    //     1 PB slice keeps the example quick; the paper's linearity
+    //     check lets us extrapolate. ---
+    core::DhlConfig cfg = core::defaultConfig();
+    cfg.track_mode = core::TrackMode::DualTrack;
+    cfg.docking_stations = 4;
+    core::DhlSimulation des(cfg);
+    core::BulkRunOptions opts;
+    opts.pipelined = true;
+    opts.include_read_time = true;
+    const double slice = u::petabytes(1);
+    const auto run = des.runBulkTransfer(slice, opts);
+    const double scale = workload.dataset_bytes / slice;
+    std::cout << "\nEvent-driven replay of a "
+              << u::formatBytes(slice) << " slice (dual track, 4 "
+              << "stations, SSD reads):\n"
+              << "  " << run.carts << " carts, " << run.launches
+              << " launches, " << u::formatDuration(run.total_time)
+              << ", " << u::formatEnergy(run.total_energy) << "\n"
+              << "  linear extrapolation to 29 PB: "
+              << u::formatDuration(run.total_time * scale)
+              << " per epoch of ingestion\n";
+
+    // --- The long game (§II-D3): the same dataset, appended monthly,
+    //     re-staged for every new model over two years. ---
+    CampaignConfig campaign;
+    campaign.initial_dataset = workload.dataset_bytes;
+    campaign.monthly_growth = u::petabytes(2);
+    campaign.trainings_per_month = 4.0;
+    campaign.months = 24;
+    const auto report =
+        CampaignModel(core::defaultConfig(),
+                      network::findRoute("C")).run(campaign);
+    std::cout << "\nTwo-year campaign (4 models/month, +2 PB/month):\n"
+              << "  data staged:   " << u::formatBytes(report.total_bytes)
+              << "\n"
+              << "  DHL energy:    " << u::formatEnergy(report.dhl_energy)
+              << " vs network C " << u::formatEnergy(report.net_energy)
+              << " ("
+              << u::formatSig(report.energyReduction(), 4)
+              << "x less)\n"
+              << "  energy saved:  "
+              << u::formatEnergy(report.energySaved()) << " over the "
+              << "campaign\n";
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Example: experimental physics (paper §II-D1).  An LHC-style detector
+ * produces a 150 TB/s burst for a few seconds per fill; the data is
+ * buffered into DHL carts at the experiment and shuttled to an
+ * off-site processing hall, instead of being aggressively filtered on
+ * radiation-hardened ASICs or squeezed through the WAN.
+ *
+ * Run: ./build/examples/physics_experiment
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "common/units.hpp"
+#include "dhl/analytical.hpp"
+#include "dhl/simulation.hpp"
+#include "network/transfer.hpp"
+#include "storage/catalog.hpp"
+
+using namespace dhl;
+namespace u = dhl::units;
+
+int
+main()
+{
+    // The burst: 4 seconds of unfiltered CMS-class detector output.
+    const auto &lhc = storage::findDataset("LHC CMS Detector");
+    const double burst_seconds = 4.0;
+    const double burst_bytes = lhc.creation_rate * burst_seconds;
+    std::cout << "Detector burst: "
+              << u::formatBandwidth(lhc.creation_rate) << " for "
+              << burst_seconds << " s = " << u::formatBytes(burst_bytes)
+              << " of unfiltered data\n\n";
+
+    // A long-haul DHL: 1 km from the experiment cavern to the
+    // processing hall, big 512 TB carts, dual track for continuous
+    // operation.
+    core::DhlConfig cfg = core::makeConfig(300.0, 1000.0, 64);
+    cfg.track_mode = core::TrackMode::DualTrack;
+    cfg.docking_stations = 4;
+    const core::AnalyticalModel model(cfg);
+
+    const double carts_per_burst =
+        std::ceil(burst_bytes / cfg.cartCapacity());
+    std::cout << "DHL " << cfg.label() << ": "
+              << u::formatBytes(cfg.cartCapacity())
+              << " per cart -> " << carts_per_burst
+              << " carts per burst\n";
+
+    // How quickly can a burst's carts be cleared, pipelined?
+    core::BulkOptions opts;
+    opts.pipelined = true;
+    const auto bulk = model.bulk(burst_bytes, opts);
+    std::cout << "  pipelined clear-out: "
+              << u::formatDuration(bulk.total_time) << " ("
+              << u::formatBandwidth(bulk.effective_bandwidth)
+              << " effective), "
+              << u::formatEnergy(bulk.total_energy) << "\n";
+
+    // Sustainable rate: can the DHL keep up with repeated fills?
+    const double fill_period = u::minutes(20);
+    const double sustained = burst_bytes / fill_period;
+    std::cout << "  one burst per "
+              << u::formatDuration(fill_period) << " needs "
+              << u::formatBandwidth(sustained)
+              << " sustained; the pipeline sustains "
+              << u::formatBandwidth(bulk.effective_bandwidth) << " -> "
+              << (bulk.effective_bandwidth > sustained ? "keeps up"
+                                                       : "falls behind")
+              << "\n\n";
+
+    // The WAN alternative: how many parallel 400 Gbit/s links to keep
+    // up with the same sustained rate, and at what power?
+    const network::TransferModel wan(network::findRoute("C"));
+    const double links = wan.linksForTime(burst_bytes, fill_period);
+    std::cout << "WAN alternative (route C): keeping up needs "
+              << u::formatSig(links, 4) << " parallel 400 Gbit/s links "
+              << "burning "
+              << u::formatPower(links * wan.linkPower())
+              << " continuously;\n  the DHL spends "
+              << u::formatEnergy(bulk.total_energy) << " per burst ("
+              << u::formatPower(bulk.total_energy / fill_period)
+              << " average)\n\n";
+
+    // Event-driven replay of one burst's worth of carts (scaled to a
+    // single cart-load per station to keep the example snappy).
+    core::DhlSimulation des(cfg);
+    core::BulkRunOptions run_opts;
+    run_opts.pipelined = true;
+    const auto run = des.runBulkTransfer(4.0 * cfg.cartCapacity(),
+                                         run_opts);
+    std::cout << "Event-driven replay (4 carts): "
+              << u::formatDuration(run.total_time) << ", "
+              << run.launches << " launches, "
+              << u::formatEnergy(run.total_energy) << "\n";
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Quickstart: configure a data centre hyperloop, look at one launch,
+ * move a dataset, and compare against optical networking — the whole
+ * public API in ~60 lines.
+ *
+ * Build and run:
+ *     cmake -B build -G Ninja && cmake --build build
+ *     ./build/examples/quickstart
+ */
+
+#include <iostream>
+
+#include "common/units.hpp"
+#include "dhl/analytical.hpp"
+#include "dhl/simulation.hpp"
+#include "network/route.hpp"
+
+using namespace dhl;
+namespace u = dhl::units;
+
+int
+main()
+{
+    // 1. Configure a DHL.  The defaults are the paper's bold Table V
+    //    row: 500 m track, 200 m/s, 32 x 8 TB M.2 SSDs per cart.
+    core::DhlConfig cfg = core::defaultConfig();
+    std::cout << "Configured " << cfg.label() << ": "
+              << u::formatBytes(cfg.cartCapacity()) << " per cart, "
+              << u::formatSig(u::toGrams(cfg.cartMass()), 3)
+              << " g cart, " << cfg.limLength() << " m LIM\n\n";
+
+    // 2. Closed-form: one launch between the endpoints.
+    const core::AnalyticalModel model(cfg);
+    const auto launch = model.launch();
+    std::cout << "One launch:\n"
+              << "  energy     " << u::formatEnergy(launch.energy) << "\n"
+              << "  trip time  " << u::formatDuration(launch.trip_time)
+              << "\n"
+              << "  bandwidth  " << u::formatBandwidth(launch.bandwidth)
+              << " (embodied)\n"
+              << "  peak power " << u::formatPower(launch.peak_power)
+              << "\n"
+              << "  efficiency "
+              << u::formatSig(launch.efficiency, 3) << " GB/J\n\n";
+
+    // 3. Move a 2 PB dataset and compare with the optical network.
+    const double dataset = u::petabytes(2);
+    const auto bulk = model.bulk(dataset);
+    std::cout << "Moving " << u::formatBytes(dataset) << ": "
+              << bulk.loaded_trips << " carts, "
+              << u::formatDuration(bulk.total_time) << ", "
+              << u::formatEnergy(bulk.total_energy) << "\n";
+    for (const char *route : {"A0", "C"}) {
+        const auto cmp =
+            model.compareBulk(dataset, network::findRoute(route));
+        std::cout << "  vs route " << route << ": "
+                  << u::formatSig(cmp.time_speedup, 4) << "x faster, "
+                  << u::formatSig(cmp.energy_reduction, 4)
+                  << "x less energy\n";
+    }
+
+    // 4. The same transfer, cart by cart, on the event-driven
+    //    simulator (it agrees with the closed form).
+    core::DhlSimulation des(cfg);
+    const auto run = des.runBulkTransfer(dataset);
+    std::cout << "\nEvent-driven replay: " << run.launches
+              << " launches, " << u::formatDuration(run.total_time)
+              << ", " << u::formatEnergy(run.total_energy) << "\n";
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Implementation of the logging / error primitives.
+ */
+
+#include "common/logging.hpp"
+
+#include <iostream>
+#include <utility>
+
+namespace dhl {
+
+Logger::Logger()
+    : level_(LogLevel::Warn),
+      sink_([](LogLevel lvl, const std::string &msg) {
+          const char *tag = "";
+          switch (lvl) {
+            case LogLevel::Warn:
+              tag = "warn: ";
+              break;
+            case LogLevel::Inform:
+              tag = "info: ";
+              break;
+            case LogLevel::Debug:
+              tag = "debug: ";
+              break;
+            default:
+              break;
+          }
+          std::cerr << tag << msg << "\n";
+      })
+{}
+
+Logger &
+Logger::global()
+{
+    static Logger instance;
+    return instance;
+}
+
+LogLevel
+Logger::setLevel(LogLevel lvl)
+{
+    LogLevel prev = level_;
+    level_ = lvl;
+    return prev;
+}
+
+Logger::Sink
+Logger::setSink(Sink sink)
+{
+    Sink prev = std::move(sink_);
+    sink_ = std::move(sink);
+    return prev;
+}
+
+void
+Logger::log(LogLevel lvl, const std::string &msg)
+{
+    if (static_cast<int>(lvl) <= static_cast<int>(level_) && sink_)
+        sink_(lvl, msg);
+}
+
+void
+fatal(const std::string &msg)
+{
+    throw FatalError(msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    throw PanicError(msg);
+}
+
+void
+warn(const std::string &msg)
+{
+    Logger::global().log(LogLevel::Warn, msg);
+}
+
+void
+inform(const std::string &msg)
+{
+    Logger::global().log(LogLevel::Inform, msg);
+}
+
+void
+debugLog(const std::string &msg)
+{
+    Logger::global().log(LogLevel::Debug, msg);
+}
+
+} // namespace dhl

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Error-handling and logging primitives in the gem5 idiom.
+ *
+ * Two error categories, matching the gem5 coding style's guidance:
+ *
+ *  - panic():  an internal invariant of the library is broken (a bug in
+ *              *this* code).  Throws PanicError, which is never meant to
+ *              be caught in production use.
+ *  - fatal():  the *user's* configuration is invalid (negative track
+ *              length, zero-capacity cart, ...).  Throws FatalError so
+ *              callers and tests can catch and report it.
+ *
+ * Plus non-terminating status channels: warn() / inform(), routed through
+ * a process-wide Logger whose sink and verbosity are configurable (tests
+ * capture them; benches silence inform()).
+ */
+
+#ifndef DHL_COMMON_LOGGING_HPP
+#define DHL_COMMON_LOGGING_HPP
+
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dhl {
+
+/** Thrown by fatal(): invalid user input/configuration. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Thrown by panic(): a broken internal invariant (a library bug). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error(msg)
+    {}
+};
+
+/** Severity levels for the non-terminating log channels. */
+enum class LogLevel
+{
+    Silent = 0, ///< Suppress everything.
+    Warn = 1,   ///< Only warnings.
+    Inform = 2, ///< Warnings and informational messages.
+    Debug = 3,  ///< Everything, including debug traces.
+};
+
+/**
+ * Process-wide logger.  Deliberately minimal: a level filter and a
+ * replaceable sink.  The default sink writes to stderr.
+ */
+class Logger
+{
+  public:
+    using Sink = std::function<void(LogLevel, const std::string &)>;
+
+    /** The global logger instance. */
+    static Logger &global();
+
+    /** Current verbosity. */
+    LogLevel level() const { return level_; }
+
+    /** Set verbosity; returns the previous level. */
+    LogLevel setLevel(LogLevel lvl);
+
+    /** Replace the sink; returns the previous sink. */
+    Sink setSink(Sink sink);
+
+    /** Emit a message if @p lvl passes the filter. */
+    void log(LogLevel lvl, const std::string &msg);
+
+  private:
+    Logger();
+
+    LogLevel level_;
+    Sink sink_;
+};
+
+/** Report an unrecoverable user/configuration error.  Throws FatalError. */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Report a broken internal invariant.  Throws PanicError. */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Emit a warning (something may be modelled imperfectly but continues). */
+void warn(const std::string &msg);
+
+/** Emit an informational status message. */
+void inform(const std::string &msg);
+
+/** Emit a debug trace message. */
+void debugLog(const std::string &msg);
+
+/**
+ * fatal() with lazy stream formatting:
+ *   fatal_if(len <= 0, [&]{ return "track length must be positive"; });
+ * kept as a simple overload taking a prebuilt string for clarity.
+ */
+inline void
+fatal_if(bool condition, const std::string &msg)
+{
+    if (condition)
+        fatal(msg);
+}
+
+/** panic() helper mirroring fatal_if(). */
+inline void
+panic_if(bool condition, const std::string &msg)
+{
+    if (condition)
+        panic(msg);
+}
+
+} // namespace dhl
+
+#endif // DHL_COMMON_LOGGING_HPP

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * A small KEY = VALUE properties format for configuration files.
+ *
+ * Syntax: one `key = value` per line; `#` starts a comment (full-line
+ * or trailing); blank lines ignored; keys may be dotted
+ * ("lim.efficiency"); whitespace around keys and values is trimmed.
+ * Values are stored as strings with typed accessors.
+ */
+
+#ifndef DHL_COMMON_PROPERTIES_HPP
+#define DHL_COMMON_PROPERTIES_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dhl {
+
+/** An ordered key/value store with typed accessors. */
+class Properties
+{
+  public:
+    Properties() = default;
+
+    /** Parse from text; fatal() on malformed lines. */
+    static Properties fromString(const std::string &text);
+
+    /** Load from a file; fatal() if unreadable or malformed. */
+    static Properties fromFile(const std::string &path);
+
+    /** True if the key is present. */
+    bool has(const std::string &key) const;
+
+    /** String value; @p fallback when absent. */
+    std::string get(const std::string &key,
+                    const std::string &fallback = "") const;
+
+    /** Typed accessors; fatal() on malformed values. */
+    double getDouble(const std::string &key, double fallback) const;
+    long getInt(const std::string &key, long fallback) const;
+    bool getBool(const std::string &key, bool fallback) const;
+
+    /** Set / overwrite a value. */
+    void set(const std::string &key, const std::string &value);
+    void setDouble(const std::string &key, double value);
+    void setInt(const std::string &key, long value);
+    void setBool(const std::string &key, bool value);
+
+    /** Keys in first-insertion order. */
+    std::vector<std::string> keys() const { return order_; }
+
+    std::size_t size() const { return values_.size(); }
+
+    /** Render back to the file format (insertion order). */
+    std::string toString() const;
+
+  private:
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> order_;
+};
+
+} // namespace dhl
+
+#endif // DHL_COMMON_PROPERTIES_HPP

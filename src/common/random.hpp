@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Deterministic random number generation for workload synthesis.
+ *
+ * A thin, explicit wrapper over xoshiro256** so that every simulation run
+ * is reproducible from its seed and independent of the C++ standard
+ * library's unspecified distribution implementations.  All distributions
+ * used by the workload generators (uniform, exponential inter-arrival
+ * times, log-normal transfer sizes, Zipf popularity) are implemented here
+ * so results are bit-stable across platforms.
+ */
+
+#ifndef DHL_COMMON_RANDOM_HPP
+#define DHL_COMMON_RANDOM_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace dhl {
+
+/** xoshiro256** PRNG with explicit, copyable state. */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 expansion of a single 64-bit seed. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi] (inclusive). */
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /** Exponentially distributed value with the given mean (> 0). */
+    double exponential(double mean);
+
+    /** Standard normal via Box-Muller (caches the spare variate). */
+    double normal(double mean = 0.0, double stddev = 1.0);
+
+    /** Log-normal with the given parameters of the underlying normal. */
+    double lognormal(double mu, double sigma);
+
+    /**
+     * Zipf-distributed rank in [0, n) with exponent @p s, via inverse-CDF
+     * table lookup.  Use ZipfTable for repeated draws over the same (n, s).
+     */
+    std::size_t zipf(std::size_t n, double s);
+
+  private:
+    std::uint64_t state_[4];
+    bool has_spare_;
+    double spare_;
+};
+
+/** Precomputed inverse-CDF table for repeated Zipf draws. */
+class ZipfTable
+{
+  public:
+    /**
+     * @param n  Number of ranks (> 0).
+     * @param s  Zipf exponent (>= 0; 0 degenerates to uniform).
+     */
+    ZipfTable(std::size_t n, double s);
+
+    /** Draw a rank in [0, n). */
+    std::size_t sample(Rng &rng) const;
+
+    std::size_t size() const { return cdf_.size(); }
+
+  private:
+    std::vector<double> cdf_;
+};
+
+} // namespace dhl
+
+#endif // DHL_COMMON_RANDOM_HPP

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Implementation of the statistics framework.
+ */
+
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+
+#include "common/logging.hpp"
+#include "common/units.hpp"
+
+namespace dhl {
+namespace stats {
+
+namespace {
+
+void
+dumpLine(std::ostream &os, const std::string &prefix,
+         const std::string &name, const std::string &value,
+         const std::string &desc)
+{
+    std::string full = prefix.empty() ? name : prefix + "." + name;
+    os << std::left << std::setw(44) << full << " " << std::setw(16) << value
+       << " # " << desc << "\n";
+}
+
+} // namespace
+
+//===========================================================================
+// Scalar / Counter
+//===========================================================================
+
+void
+Scalar::dump(std::ostream &os, const std::string &prefix) const
+{
+    dumpLine(os, prefix, name(), units::formatSig(value_, 8), desc());
+}
+
+void
+Counter::dump(std::ostream &os, const std::string &prefix) const
+{
+    dumpLine(os, prefix, name(), std::to_string(count_), desc());
+}
+
+//===========================================================================
+// Accumulator
+//===========================================================================
+
+void
+Accumulator::sample(double v)
+{
+    ++n_;
+    sum_ += v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+    // Welford's online update.
+    const double delta = v - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (v - mean_);
+}
+
+double
+Accumulator::stddev() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return std::sqrt(m2_ / static_cast<double>(n_ - 1));
+}
+
+void
+Accumulator::dump(std::ostream &os, const std::string &prefix) const
+{
+    dumpLine(os, prefix, name() + ".count", std::to_string(n_), desc());
+    dumpLine(os, prefix, name() + ".sum", units::formatSig(sum_, 8), desc());
+    if (n_ > 0) {
+        dumpLine(os, prefix, name() + ".mean", units::formatSig(mean(), 8),
+                 desc());
+        dumpLine(os, prefix, name() + ".min", units::formatSig(min_, 8),
+                 desc());
+        dumpLine(os, prefix, name() + ".max", units::formatSig(max_, 8),
+                 desc());
+        dumpLine(os, prefix, name() + ".stddev",
+                 units::formatSig(stddev(), 8), desc());
+    }
+}
+
+void
+Accumulator::reset()
+{
+    n_ = 0;
+    sum_ = 0.0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+    mean_ = 0.0;
+    m2_ = 0.0;
+}
+
+//===========================================================================
+// Histogram
+//===========================================================================
+
+Histogram::Histogram(std::string name, std::string desc,
+                     double lo, double hi, std::size_t n_bins)
+    : StatBase(std::move(name), std::move(desc)),
+      lo_(lo), hi_(hi),
+      width_((hi - lo) / static_cast<double>(n_bins)),
+      bins_(n_bins, 0),
+      underflow_(0), overflow_(0), total_(0)
+{
+    fatal_if(n_bins == 0, "Histogram needs at least one bin");
+    fatal_if(!(hi > lo), "Histogram range must satisfy hi > lo");
+}
+
+void
+Histogram::sample(double v)
+{
+    ++total_;
+    if (v < lo_) {
+        ++underflow_;
+    } else if (v >= hi_) {
+        ++overflow_;
+    } else {
+        auto idx = static_cast<std::size_t>((v - lo_) / width_);
+        if (idx >= bins_.size())
+            idx = bins_.size() - 1; // guard against FP edge rounding
+        ++bins_[idx];
+    }
+}
+
+double
+Histogram::binLow(std::size_t i) const
+{
+    panic_if(i >= bins_.size(), "Histogram bin index out of range");
+    return lo_ + width_ * static_cast<double>(i);
+}
+
+void
+Histogram::dump(std::ostream &os, const std::string &prefix) const
+{
+    dumpLine(os, prefix, name() + ".samples", std::to_string(total_), desc());
+    dumpLine(os, prefix, name() + ".underflow", std::to_string(underflow_),
+             desc());
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+        if (bins_[i] == 0)
+            continue;
+        std::string bucket = name() + "[" + units::formatSig(binLow(i), 6) +
+                             "," +
+                             units::formatSig(binLow(i) + width_, 6) + ")";
+        dumpLine(os, prefix, bucket, std::to_string(bins_[i]), desc());
+    }
+    dumpLine(os, prefix, name() + ".overflow", std::to_string(overflow_),
+             desc());
+}
+
+void
+Histogram::reset()
+{
+    std::fill(bins_.begin(), bins_.end(), 0);
+    underflow_ = overflow_ = total_ = 0;
+}
+
+//===========================================================================
+// Formula
+//===========================================================================
+
+void
+Formula::dump(std::ostream &os, const std::string &prefix) const
+{
+    dumpLine(os, prefix, name(), units::formatSig(value(), 8), desc());
+}
+
+//===========================================================================
+// StatGroup
+//===========================================================================
+
+Scalar &
+StatGroup::addScalar(const std::string &name, const std::string &desc)
+{
+    stats_.push_back(std::make_unique<Scalar>(name, desc));
+    return static_cast<Scalar &>(*stats_.back());
+}
+
+Counter &
+StatGroup::addCounter(const std::string &name, const std::string &desc)
+{
+    stats_.push_back(std::make_unique<Counter>(name, desc));
+    return static_cast<Counter &>(*stats_.back());
+}
+
+Accumulator &
+StatGroup::addAccumulator(const std::string &name, const std::string &desc)
+{
+    stats_.push_back(std::make_unique<Accumulator>(name, desc));
+    return static_cast<Accumulator &>(*stats_.back());
+}
+
+Histogram &
+StatGroup::addHistogram(const std::string &name, const std::string &desc,
+                        double lo, double hi, std::size_t n_bins)
+{
+    stats_.push_back(std::make_unique<Histogram>(name, desc, lo, hi, n_bins));
+    return static_cast<Histogram &>(*stats_.back());
+}
+
+Formula &
+StatGroup::addFormula(const std::string &name, const std::string &desc,
+                      Formula::Fn fn)
+{
+    stats_.push_back(std::make_unique<Formula>(name, desc, std::move(fn)));
+    return static_cast<Formula &>(*stats_.back());
+}
+
+StatGroup &
+StatGroup::addGroup(const std::string &name)
+{
+    children_.push_back(std::make_unique<StatGroup>(name));
+    return *children_.back();
+}
+
+const StatBase *
+StatGroup::find(const std::string &name) const
+{
+    for (const auto &s : stats_) {
+        if (s->name() == name)
+            return s.get();
+    }
+    return nullptr;
+}
+
+void
+StatGroup::dump(std::ostream &os, const std::string &prefix) const
+{
+    std::string full = prefix.empty() ? name_ : prefix + "." + name_;
+    for (const auto &s : stats_)
+        s->dump(os, full);
+    for (const auto &g : children_)
+        g->dump(os, full);
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &s : stats_)
+        s->reset();
+    for (auto &g : children_)
+        g->resetAll();
+}
+
+} // namespace stats
+} // namespace dhl

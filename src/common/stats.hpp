@@ -1,0 +1,236 @@
+/**
+ * @file
+ * A small, gem5-flavoured statistics framework.
+ *
+ * Simulation objects register named statistics in a StatGroup; groups nest
+ * to form a hierarchy that can be dumped to any ostream at the end of a
+ * run.  Statistic kinds:
+ *
+ *  - Scalar:       a single settable value (e.g. final energy).
+ *  - Counter:      a monotonically increasing event count.
+ *  - Accumulator:  running sum plus sample statistics (min/max/mean/
+ *                  stddev, Welford's algorithm).
+ *  - Histogram:    fixed-width binning over a configured range.
+ *  - Formula:      a lazily evaluated derived value (e.g. bandwidth =
+ *                  bytes / time), captured as a callable.
+ *
+ * The framework is intentionally single-threaded, like the DES kernel it
+ * instruments.
+ */
+
+#ifndef DHL_COMMON_STATS_HPP
+#define DHL_COMMON_STATS_HPP
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dhl {
+namespace stats {
+
+/** Base class for all statistics: a name, a description, a dump hook. */
+class StatBase
+{
+  public:
+    StatBase(std::string name, std::string desc)
+        : name_(std::move(name)), desc_(std::move(desc))
+    {}
+    virtual ~StatBase() = default;
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    /** Write "name value # desc" lines (gem5 stats.txt style). */
+    virtual void dump(std::ostream &os, const std::string &prefix) const = 0;
+
+    /** Reset to the initial state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string name_;
+    std::string desc_;
+};
+
+/** A single settable scalar value. */
+class Scalar : public StatBase
+{
+  public:
+    Scalar(std::string name, std::string desc, double initial = 0.0)
+        : StatBase(std::move(name), std::move(desc)), value_(initial)
+    {}
+
+    double value() const { return value_; }
+    void set(double v) { value_ = v; }
+    void add(double v) { value_ += v; }
+
+    Scalar &operator=(double v) { value_ = v; return *this; }
+    Scalar &operator+=(double v) { value_ += v; return *this; }
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void reset() override { value_ = 0.0; }
+
+  private:
+    double value_;
+};
+
+/** A monotonically increasing event counter. */
+class Counter : public StatBase
+{
+  public:
+    Counter(std::string name, std::string desc)
+        : StatBase(std::move(name), std::move(desc)), count_(0)
+    {}
+
+    std::uint64_t value() const { return count_; }
+    void increment(std::uint64_t by = 1) { count_ += by; }
+    Counter &operator++() { ++count_; return *this; }
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void reset() override { count_ = 0; }
+
+  private:
+    std::uint64_t count_;
+};
+
+/** Running sum with sample statistics (Welford's online algorithm). */
+class Accumulator : public StatBase
+{
+  public:
+    Accumulator(std::string name, std::string desc)
+        : StatBase(std::move(name), std::move(desc))
+    {
+        reset();
+    }
+
+    /** Record one sample. */
+    void sample(double v);
+
+    std::uint64_t count() const { return n_; }
+    double sum() const { return sum_; }
+    double min() const { return min_; }
+    double max() const { return max_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    /** Sample standard deviation (n-1 denominator); 0 for n < 2. */
+    double stddev() const;
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void reset() override;
+
+  private:
+    std::uint64_t n_;
+    double sum_;
+    double min_;
+    double max_;
+    double mean_;
+    double m2_;
+};
+
+/** Fixed-width histogram over [lo, hi) with under/overflow buckets. */
+class Histogram : public StatBase
+{
+  public:
+    /**
+     * @param name     Statistic name.
+     * @param desc     Description.
+     * @param lo       Inclusive lower bound of the binned range.
+     * @param hi       Exclusive upper bound of the binned range.
+     * @param n_bins   Number of equal-width bins (>= 1).
+     */
+    Histogram(std::string name, std::string desc,
+              double lo, double hi, std::size_t n_bins);
+
+    void sample(double v);
+
+    std::uint64_t totalSamples() const { return total_; }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    std::size_t numBins() const { return bins_.size(); }
+    std::uint64_t binCount(std::size_t i) const { return bins_.at(i); }
+    double binLow(std::size_t i) const;
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void reset() override;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::uint64_t> bins_;
+    std::uint64_t underflow_;
+    std::uint64_t overflow_;
+    std::uint64_t total_;
+};
+
+/** A derived value evaluated lazily at dump time. */
+class Formula : public StatBase
+{
+  public:
+    using Fn = std::function<double()>;
+
+    Formula(std::string name, std::string desc, Fn fn)
+        : StatBase(std::move(name), std::move(desc)), fn_(std::move(fn))
+    {}
+
+    double value() const { return fn_ ? fn_() : 0.0; }
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void reset() override {}
+
+  private:
+    Fn fn_;
+};
+
+/**
+ * A named group of statistics.  Groups own their stats and may own child
+ * groups; dump() walks the hierarchy depth-first producing dotted
+ * "parent.child.stat" names.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    /** Create and register a statistic; the group retains ownership. */
+    Scalar &addScalar(const std::string &name, const std::string &desc);
+    Counter &addCounter(const std::string &name, const std::string &desc);
+    Accumulator &addAccumulator(const std::string &name,
+                                const std::string &desc);
+    Histogram &addHistogram(const std::string &name, const std::string &desc,
+                            double lo, double hi, std::size_t n_bins);
+    Formula &addFormula(const std::string &name, const std::string &desc,
+                        Formula::Fn fn);
+
+    /** Create and register a child group. */
+    StatGroup &addGroup(const std::string &name);
+
+    /** Find a stat by name within this group (not recursive); null if
+     * absent. */
+    const StatBase *find(const std::string &name) const;
+
+    /** Dump all stats in this group and its children. */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    /** Reset all stats in this group and its children. */
+    void resetAll();
+
+    std::size_t numStats() const { return stats_.size(); }
+    std::size_t numGroups() const { return children_.size(); }
+
+  private:
+    std::string name_;
+    std::vector<std::unique_ptr<StatBase>> stats_;
+    std::vector<std::unique_ptr<StatGroup>> children_;
+};
+
+} // namespace stats
+} // namespace dhl
+
+#endif // DHL_COMMON_STATS_HPP

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Implementation of the ASCII table / CSV renderer.
+ */
+
+#include "common/table.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "common/units.hpp"
+
+namespace dhl {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)),
+      aligns_(headers_.size(), Align::Right)
+{
+    fatal_if(headers_.empty(), "TextTable needs at least one column");
+}
+
+void
+TextTable::setAlignments(std::vector<Align> aligns)
+{
+    fatal_if(aligns.size() != headers_.size(),
+             "alignment count must match column count");
+    aligns_ = std::move(aligns);
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    fatal_if(cells.size() != headers_.size(),
+             "row cell count must match column count");
+    rows_.push_back(Row{false, std::move(cells)});
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.push_back(Row{true, {}});
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        if (row.separator)
+            continue;
+        for (std::size_t c = 0; c < row.cells.size(); ++c)
+            widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+
+    auto print_rule = [&]() {
+        os << "+";
+        for (auto w : widths)
+            os << std::string(w + 2, '-') << "+";
+        os << "\n";
+    };
+    auto print_cells = [&](const std::vector<std::string> &cells) {
+        os << "|";
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            const auto &s = cells[c];
+            const std::size_t pad = widths[c] - s.size();
+            if (aligns_[c] == Align::Left)
+                os << " " << s << std::string(pad, ' ') << " |";
+            else
+                os << " " << std::string(pad, ' ') << s << " |";
+        }
+        os << "\n";
+    };
+
+    print_rule();
+    print_cells(headers_);
+    print_rule();
+    for (const auto &row : rows_) {
+        if (row.separator)
+            print_rule();
+        else
+            print_cells(row.cells);
+    }
+    print_rule();
+}
+
+void
+TextTable::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                os << ",";
+            const auto &s = cells[c];
+            if (s.find_first_of(",\"\n") != std::string::npos) {
+                os << '"';
+                for (char ch : s) {
+                    if (ch == '"')
+                        os << '"';
+                    os << ch;
+                }
+                os << '"';
+            } else {
+                os << s;
+            }
+        }
+        os << "\n";
+    };
+    emit(headers_);
+    for (const auto &row : rows_) {
+        if (!row.separator)
+            emit(row.cells);
+    }
+}
+
+std::string
+cell(double value, int significant_digits)
+{
+    return units::formatSig(value, significant_digits);
+}
+
+std::string
+cellTimes(double value, int significant_digits)
+{
+    return units::formatSig(value, significant_digits) + "x";
+}
+
+} // namespace dhl

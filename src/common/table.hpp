@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Plain-text table and CSV rendering used by the benchmark harness to
+ * regenerate the paper's tables.
+ *
+ * TextTable produces aligned, boxed ASCII tables; the same data can be
+ * emitted as CSV so plots (e.g. Figure 6) can be regenerated externally.
+ */
+
+#ifndef DHL_COMMON_TABLE_HPP
+#define DHL_COMMON_TABLE_HPP
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dhl {
+
+/** Column alignment for TextTable. */
+enum class Align
+{
+    Left,
+    Right,
+};
+
+/**
+ * An ASCII table builder.  Rows are vectors of preformatted strings;
+ * numeric helpers format via units::formatSig.
+ */
+class TextTable
+{
+  public:
+    /** Construct with column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Set per-column alignment (defaults to Right for all columns). */
+    void setAlignments(std::vector<Align> aligns);
+
+    /** Append a fully formatted row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator between row groups. */
+    void addSeparator();
+
+    std::size_t numRows() const { return rows_.size(); }
+    std::size_t numColumns() const { return headers_.size(); }
+
+    /** Render as an aligned, boxed ASCII table. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (separators are skipped). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    struct Row
+    {
+        bool separator;
+        std::vector<std::string> cells;
+    };
+
+    std::vector<std::string> headers_;
+    std::vector<Align> aligns_;
+    std::vector<Row> rows_;
+};
+
+/** Format helper: value with fixed significant digits (wraps formatSig). */
+std::string cell(double value, int significant_digits = 4);
+
+/** Format helper: "<value>x" multiplier cells, e.g. "295.1x". */
+std::string cellTimes(double value, int significant_digits = 4);
+
+} // namespace dhl
+
+#endif // DHL_COMMON_TABLE_HPP

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Implementation of the human-readable formatting helpers declared in
+ * units.hpp.
+ */
+
+#include "common/units.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace dhl {
+namespace units {
+
+namespace {
+
+/** One scaled-unit step used by the generic formatter. */
+struct UnitStep
+{
+    double threshold;
+    double divisor;
+    const char *suffix;
+};
+
+/**
+ * Pick the largest unit whose threshold the magnitude reaches and format
+ * value/divisor with the requested precision.
+ */
+std::string
+formatScaled(double value, int precision,
+             const UnitStep *steps, std::size_t n_steps,
+             const char *base_suffix)
+{
+    const double mag = std::fabs(value);
+    for (std::size_t i = 0; i < n_steps; ++i) {
+        if (mag >= steps[i].threshold) {
+            return formatSig(value / steps[i].divisor, precision) + " " +
+                   steps[i].suffix;
+        }
+    }
+    return formatSig(value, precision) + " " + base_suffix;
+}
+
+} // namespace
+
+std::string
+formatSig(double value, int significant_digits)
+{
+    if (significant_digits < 1)
+        significant_digits = 1;
+    if (value == 0.0)
+        return "0";
+    if (std::isnan(value))
+        return "nan";
+    if (std::isinf(value))
+        return value > 0 ? "inf" : "-inf";
+
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*g", significant_digits, value);
+    return buf;
+}
+
+std::string
+formatBytes(double bytes, int precision)
+{
+    static const std::array<UnitStep, 5> steps{{
+        {1e15, 1e15, "PB"},
+        {1e12, 1e12, "TB"},
+        {1e9, 1e9, "GB"},
+        {1e6, 1e6, "MB"},
+        {1e3, 1e3, "kB"},
+    }};
+    return formatScaled(bytes, precision, steps.data(), steps.size(), "B");
+}
+
+std::string
+formatDuration(double seconds, int precision)
+{
+    static const std::array<UnitStep, 3> big{{
+        {86400.0, 86400.0, "days"},
+        {3600.0, 3600.0, "h"},
+        {60.0, 60.0, "min"},
+    }};
+    const double mag = std::fabs(seconds);
+    if (mag >= 60.0) {
+        return formatScaled(seconds, precision, big.data(), big.size(), "s");
+    }
+    static const std::array<UnitStep, 3> small{{
+        {1.0, 1.0, "s"},
+        {1e-3, 1e-3, "ms"},
+        {1e-6, 1e-6, "us"},
+    }};
+    return formatScaled(seconds, precision, small.data(), small.size(), "s");
+}
+
+std::string
+formatEnergy(double joules, int precision)
+{
+    static const std::array<UnitStep, 4> steps{{
+        {1e9, 1e9, "GJ"},
+        {1e6, 1e6, "MJ"},
+        {1e3, 1e3, "kJ"},
+        {1.0, 1.0, "J"},
+    }};
+    return formatScaled(joules, precision, steps.data(), steps.size(), "J");
+}
+
+std::string
+formatPower(double watts, int precision)
+{
+    static const std::array<UnitStep, 4> steps{{
+        {1e9, 1e9, "GW"},
+        {1e6, 1e6, "MW"},
+        {1e3, 1e3, "kW"},
+        {1.0, 1.0, "W"},
+    }};
+    return formatScaled(watts, precision, steps.data(), steps.size(), "W");
+}
+
+std::string
+formatBandwidth(double bytes_per_s, int precision)
+{
+    static const std::array<UnitStep, 4> steps{{
+        {1e12, 1e12, "TB/s"},
+        {1e9, 1e9, "GB/s"},
+        {1e6, 1e6, "MB/s"},
+        {1e3, 1e3, "kB/s"},
+    }};
+    return formatScaled(bytes_per_s, precision, steps.data(), steps.size(),
+                        "B/s");
+}
+
+} // namespace units
+} // namespace dhl

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Unit conversion helpers and physical constants used across the DHL
+ * library.
+ *
+ * All quantities in the library are plain `double`s carried in SI base
+ * units: seconds, metres, kilograms, joules, watts, bytes.  This header
+ * provides named, constexpr conversion helpers so call sites read like the
+ * paper ("256 TB", "400 Gbit/s", "1 millibar") rather than as bare powers
+ * of ten, plus human-readable formatting used by the bench harness.
+ *
+ * Data sizes follow the paper's convention of *decimal* units (1 TB =
+ * 1e12 bytes; the paper's "29 PB over 400 gbps = 580,000 s" only holds in
+ * decimal units).  Binary (IEC) helpers are also provided for
+ * completeness.
+ */
+
+#ifndef DHL_COMMON_UNITS_HPP
+#define DHL_COMMON_UNITS_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace dhl {
+namespace units {
+
+//===========================================================================
+// Physical constants
+//===========================================================================
+
+/** Standard gravitational acceleration, m/s^2. */
+inline constexpr double kGravity = 9.80665;
+
+/** Density of sintered neodymium (NdFeB) magnets, kg/m^3 (paper: 7.5 g/cm^3). */
+inline constexpr double kNeodymiumDensity = 7500.0;
+
+/** Density of aluminium, kg/m^3. */
+inline constexpr double kAluminiumDensity = 2700.0;
+
+/** Standard atmospheric pressure, Pa. */
+inline constexpr double kAtmospherePa = 101325.0;
+
+//===========================================================================
+// SI prefixes
+//===========================================================================
+
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+inline constexpr double kTera = 1e12;
+inline constexpr double kPeta = 1e15;
+inline constexpr double kMilli = 1e-3;
+inline constexpr double kMicro = 1e-6;
+
+//===========================================================================
+// Data sizes (decimal, matching the paper) -> bytes
+//===========================================================================
+
+constexpr double kilobytes(double n) { return n * 1e3; }
+constexpr double megabytes(double n) { return n * 1e6; }
+constexpr double gigabytes(double n) { return n * 1e9; }
+constexpr double terabytes(double n) { return n * 1e12; }
+constexpr double petabytes(double n) { return n * 1e15; }
+
+//===========================================================================
+// Data sizes (binary / IEC) -> bytes
+//===========================================================================
+
+constexpr double kibibytes(double n) { return n * 1024.0; }
+constexpr double mebibytes(double n) { return n * 1024.0 * 1024.0; }
+constexpr double gibibytes(double n) { return n * 1024.0 * 1024.0 * 1024.0; }
+constexpr double tebibytes(double n) { return n * 1099511627776.0; }
+constexpr double pebibytes(double n) { return n * 1125899906842624.0; }
+
+//===========================================================================
+// Bits <-> bytes and link rates
+//===========================================================================
+
+/** Bits -> bytes. */
+constexpr double bitsToBytes(double bits) { return bits / 8.0; }
+
+/** Bytes -> bits. */
+constexpr double bytesToBits(double bytes) { return bytes * 8.0; }
+
+/** A link rate expressed in Gbit/s -> bytes per second. */
+constexpr double gigabitsPerSecond(double gbps) { return gbps * 1e9 / 8.0; }
+
+/** A link rate expressed in Tbit/s -> bytes per second. */
+constexpr double terabitsPerSecond(double tbps) { return tbps * 1e12 / 8.0; }
+
+/** Bytes per second -> Gbit/s (for reporting). */
+constexpr double toGigabitsPerSecond(double bytes_per_s)
+{
+    return bytes_per_s * 8.0 / 1e9;
+}
+
+//===========================================================================
+// Time -> seconds
+//===========================================================================
+
+constexpr double milliseconds(double n) { return n * 1e-3; }
+constexpr double minutes(double n) { return n * 60.0; }
+constexpr double hours(double n) { return n * 3600.0; }
+constexpr double days(double n) { return n * 86400.0; }
+
+constexpr double toMinutes(double s) { return s / 60.0; }
+constexpr double toHours(double s) { return s / 3600.0; }
+constexpr double toDays(double s) { return s / 86400.0; }
+
+//===========================================================================
+// Mass -> kilograms
+//===========================================================================
+
+constexpr double grams(double n) { return n * 1e-3; }
+constexpr double toGrams(double kg) { return kg * 1e3; }
+
+//===========================================================================
+// Energy / power
+//===========================================================================
+
+constexpr double kilojoules(double n) { return n * 1e3; }
+constexpr double megajoules(double n) { return n * 1e6; }
+constexpr double toKilojoules(double j) { return j / 1e3; }
+constexpr double toMegajoules(double j) { return j / 1e6; }
+
+constexpr double kilowatts(double n) { return n * 1e3; }
+constexpr double toKilowatts(double w) { return w / 1e3; }
+
+/**
+ * Data-movement efficiency in the paper's headline unit, GB per joule.
+ *
+ * @param bytes   Bytes moved.
+ * @param joules  Energy consumed.
+ * @return Efficiency in GB/J (decimal gigabytes).
+ */
+constexpr double gbPerJoule(double bytes, double joules)
+{
+    return (bytes / 1e9) / joules;
+}
+
+//===========================================================================
+// Pressure -> pascals
+//===========================================================================
+
+constexpr double millibar(double n) { return n * 100.0; }
+
+//===========================================================================
+// Formatting helpers (implemented in units.cpp)
+//===========================================================================
+
+/** Format a byte count with an auto-selected decimal prefix, e.g. "29 PB". */
+std::string formatBytes(double bytes, int precision = 3);
+
+/** Format a duration, e.g. "6.71 days", "8.6 s", "120 ms". */
+std::string formatDuration(double seconds, int precision = 3);
+
+/** Format an energy, e.g. "13.92 MJ", "15 kJ". */
+std::string formatEnergy(double joules, int precision = 4);
+
+/** Format a power, e.g. "1.75 kW". */
+std::string formatPower(double watts, int precision = 4);
+
+/** Format a bandwidth in bytes/s, e.g. "30 TB/s". */
+std::string formatBandwidth(double bytes_per_s, int precision = 3);
+
+/**
+ * Format a plain double with a fixed number of significant digits,
+ * trimming trailing zeros ("8.6", "295.1", "17").
+ */
+std::string formatSig(double value, int significant_digits = 4);
+
+} // namespace units
+} // namespace dhl
+
+#endif // DHL_COMMON_UNITS_HPP

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Implementation of the materials cost model.
+ */
+
+#include "cost/cost_model.hpp"
+
+#include "common/logging.hpp"
+
+namespace dhl {
+namespace cost {
+
+CostModel::CostModel(const MaterialPrices &prices,
+                     const RailMaterials &materials)
+    : prices_(prices),
+      materials_(materials),
+      // The paper's three LIM design points: copper masses recovered
+      // from Table VIII costs at the paper's May-2023 copper price
+      // (8.58 USD/kg).  Masses are physical constants of the LIM
+      // design, so they do not move with the configured price.
+      copper_speeds_{100.0, 200.0, 300.0},
+      copper_masses_{792.0 / 8.58, 2904.0 / 8.58, 6512.0 / 8.58}
+{
+    fatal_if(!(prices.aluminium_per_kg > 0.0) ||
+                 !(prices.pvc_per_kg > 0.0) ||
+                 !(prices.copper_per_kg > 0.0) || prices.vfd < 0.0,
+             "material prices must be positive");
+    fatal_if(!(materials.ring_mass > 0.0) ||
+                 !(materials.rings_per_metre > 0.0) ||
+                 !(materials.rail_mass_per_metre > 0.0) ||
+                 !(materials.tube_mass_per_metre > 0.0),
+             "material masses must be positive");
+}
+
+RailCost
+CostModel::railCost(double distance) const
+{
+    fatal_if(!(distance > 0.0), "distance must be positive");
+    RailCost c{};
+    c.aluminium = materials_.ring_mass * materials_.rings_per_metre *
+                  distance * prices_.aluminium_per_kg;
+    c.pvc_rail =
+        materials_.rail_mass_per_metre * distance * prices_.pvc_per_kg;
+    c.pvc_tube =
+        materials_.tube_mass_per_metre * distance * prices_.pvc_per_kg;
+    return c;
+}
+
+double
+CostModel::limCopperMass(double top_speed) const
+{
+    fatal_if(!(top_speed > 0.0), "top speed must be positive");
+    const auto &xs = copper_speeds_;
+    const auto &ys = copper_masses_;
+
+    // Piecewise-linear interpolation with linear extrapolation at the
+    // ends.
+    std::size_t hi = 1;
+    while (hi + 1 < xs.size() && top_speed > xs[hi])
+        ++hi;
+    const std::size_t lo = hi - 1;
+    const double t = (top_speed - xs[lo]) / (xs[hi] - xs[lo]);
+    const double mass = ys[lo] + t * (ys[hi] - ys[lo]);
+    return mass > 0.0 ? mass : 0.0;
+}
+
+LimCost
+CostModel::limCost(double top_speed) const
+{
+    LimCost c{};
+    c.copper = limCopperMass(top_speed) * prices_.copper_per_kg;
+    c.vfd = prices_.vfd;
+    return c;
+}
+
+double
+CostModel::totalCost(double distance, double top_speed) const
+{
+    // Table VIII (c) sums the rail materials with a single
+    // accelerator/decelerator package (the same LIM hardware both
+    // launches and brakes).
+    return railCost(distance).total() + limCost(top_speed).total();
+}
+
+} // namespace cost
+} // namespace dhl

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * DHL materials cost model (paper §V-D, Table VIII).
+ *
+ * Costs split into distance-proportional rail materials (aluminium
+ * levitation rings, PVC rail, PVC vacuum tube) and a per-installation
+ * accelerator/decelerator package (copper LIM coils sized by top speed,
+ * plus a variable-frequency drive).  Unit prices are the paper's May
+ * 2023 commodity prices; per-metre masses and per-speed copper masses
+ * are recovered from Table VIII (see DESIGN.md §3).
+ */
+
+#ifndef DHL_COST_COST_MODEL_HPP
+#define DHL_COST_COST_MODEL_HPP
+
+#include <vector>
+
+namespace dhl {
+namespace cost {
+
+/** Commodity prices (paper: May 2023). */
+struct MaterialPrices
+{
+    double aluminium_per_kg = 2.35; ///< USD/kg.
+    double pvc_per_kg = 1.20;       ///< USD/kg.
+    double copper_per_kg = 8.58;    ///< USD/kg.
+    double vfd = 8000.0;            ///< USD per variable-frequency drive.
+};
+
+/** Per-metre material masses of the rail assembly. */
+struct RailMaterials
+{
+    /** One aluminium levitation ring, kg (paper: 3.62 g). */
+    double ring_mass = 0.00362;
+
+    /** Rings per metre of rail (recovered from Table VIII: 137.5/m). */
+    double rings_per_metre = 137.5;
+
+    /** PVC rail mass per metre, kg/m (Table VIII: 0.9667). */
+    double rail_mass_per_metre = 116.0 / 1.20 / 100.0;
+
+    /** PVC vacuum tube mass per metre, kg/m (Table VIII: 4.1667). */
+    double tube_mass_per_metre = 500.0 / 1.20 / 100.0;
+};
+
+/** Cost of the distance-proportional rail materials, USD. */
+struct RailCost
+{
+    double aluminium;
+    double pvc_rail;
+    double pvc_tube;
+
+    double total() const { return aluminium + pvc_rail + pvc_tube; }
+};
+
+/** Cost of one accelerator/decelerator package, USD. */
+struct LimCost
+{
+    double copper;
+    double vfd;
+
+    double total() const { return copper + vfd; }
+};
+
+/** The full cost model. */
+class CostModel
+{
+  public:
+    explicit CostModel(const MaterialPrices &prices = {},
+                       const RailMaterials &materials = {});
+
+    /** Rail materials cost for @p distance metres. */
+    RailCost railCost(double distance) const;
+
+    /**
+     * Copper coil mass of a LIM rated for @p top_speed m/s, kg.
+     * Piecewise-linear through the paper's three design points
+     * (92.3 / 338.5 / 759 kg at 100 / 200 / 300 m/s), linearly
+     * extrapolated outside.
+     */
+    double limCopperMass(double top_speed) const;
+
+    /** Accelerator/decelerator package cost for @p top_speed. */
+    LimCost limCost(double top_speed) const;
+
+    /**
+     * Overall DHL cost (Table VIII c): rail materials plus one
+     * accelerator/decelerator package, matching the paper's totals.
+     */
+    double totalCost(double distance, double top_speed) const;
+
+    const MaterialPrices &prices() const { return prices_; }
+    const RailMaterials &materials() const { return materials_; }
+
+  private:
+    MaterialPrices prices_;
+    RailMaterials materials_;
+    std::vector<double> copper_speeds_;
+    std::vector<double> copper_masses_;
+};
+
+} // namespace cost
+} // namespace dhl
+
+#endif // DHL_COST_COST_MODEL_HPP

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Implementation of the TCO model.
+ */
+
+#include "cost/opex.hpp"
+
+#include <limits>
+
+#include "common/logging.hpp"
+#include "network/transfer.hpp"
+
+namespace dhl {
+namespace cost {
+
+TcoModel::TcoModel(const OpexPrices &prices, const CostModel &materials)
+    : prices_(prices), materials_(materials)
+{
+    fatal_if(!(prices.usd_per_kwh > 0.0),
+             "electricity price must be positive");
+    fatal_if(prices.network_switch_capex < 0.0,
+             "network capex must be non-negative");
+}
+
+double
+TcoModel::energyCost(double joules) const
+{
+    fatal_if(joules < 0.0, "energy must be non-negative");
+    return joules / 3.6e6 * prices_.usd_per_kwh; // J -> kWh -> USD
+}
+
+TcoComparison
+TcoModel::compare(const core::DhlConfig &cfg, const network::Route &route,
+                  const TransferDuty &duty, double links) const
+{
+    fatal_if(!(duty.bytes_per_transfer > 0.0),
+             "transfer size must be positive");
+    fatal_if(!(duty.transfers_per_day > 0.0),
+             "transfer rate must be positive");
+    fatal_if(!(duty.years > 0.0), "lifetime must be positive");
+    fatal_if(!(links > 0.0), "need a positive link count");
+
+    TcoComparison out{};
+
+    // DHL side: the Table VIII build plus launch energy per duty.
+    const core::AnalyticalModel model(cfg);
+    out.dhl.capex = materials_.totalCost(cfg.track_length, cfg.max_speed);
+    const auto bulk = model.bulk(duty.bytes_per_transfer);
+    out.dhl.energy_per_day = bulk.total_energy * duty.transfers_per_day;
+    out.dhl.opex_per_year = energyCost(out.dhl.energy_per_day) * 365.0;
+    out.dhl.total = out.dhl.capex + out.dhl.opex_per_year * duty.years;
+
+    // Network side: switch capex plus route energy per duty.
+    const network::TransferModel net(route);
+    out.network.capex = prices_.network_switch_capex;
+    const auto xfer = net.transfer(duty.bytes_per_transfer, links);
+    out.network.energy_per_day = xfer.energy * duty.transfers_per_day;
+    out.network.opex_per_year =
+        energyCost(out.network.energy_per_day) * 365.0;
+    out.network.total =
+        out.network.capex + out.network.opex_per_year * duty.years;
+
+    // Payback: days d where dhl.capex + d*dhl_daily <= net.capex +
+    // d*net_daily.
+    const double dhl_daily = energyCost(out.dhl.energy_per_day);
+    const double net_daily = energyCost(out.network.energy_per_day);
+    const double capex_gap = out.dhl.capex - out.network.capex;
+    if (capex_gap <= 0.0) {
+        out.payback_days = 0.0;
+    } else if (net_daily > dhl_daily) {
+        out.payback_days = capex_gap / (net_daily - dhl_daily);
+    } else {
+        out.payback_days = std::numeric_limits<double>::infinity();
+    }
+    return out;
+}
+
+} // namespace cost
+} // namespace dhl

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Operational cost / total-cost-of-ownership extension to the paper's
+ * Table VIII capex analysis.
+ *
+ * The paper argues a DHL costs about as much to build as one large
+ * 400 Gbit/s switch (~$20k) and then moves data for up to two orders
+ * of magnitude less energy.  This model turns that into dollars: given
+ * a recurring bulk-transfer duty (bytes per day over a route), it
+ * compares capex + energy opex for the DHL against the optical
+ * network over a deployment lifetime and finds the payback horizon.
+ */
+
+#ifndef DHL_COST_OPEX_HPP
+#define DHL_COST_OPEX_HPP
+
+#include "cost/cost_model.hpp"
+#include "dhl/analytical.hpp"
+#include "network/route.hpp"
+
+namespace dhl {
+namespace cost {
+
+/** Pricing of electricity and the network-side capex anchor. */
+struct OpexPrices
+{
+    /** Industrial electricity price, USD per kWh. */
+    double usd_per_kwh = 0.10;
+
+    /**
+     * Network-side capex anchor: the paper's "typical price for a
+     * large 400 Gbit/s switch", USD.
+     */
+    double network_switch_capex = 20000.0;
+
+    /** Per-cart SSD capex is shared by both sides (the data must live
+     *  somewhere), so it is excluded, matching the paper's framing. */
+};
+
+/** A recurring bulk-transfer duty. */
+struct TransferDuty
+{
+    double bytes_per_transfer; ///< Size of each transfer.
+    double transfers_per_day;  ///< How often it runs.
+    double years;              ///< Deployment lifetime.
+};
+
+/** One side's cost ledger. */
+struct CostLedger
+{
+    double capex;           ///< USD up front.
+    double energy_per_day;  ///< J/day.
+    double opex_per_year;   ///< USD/year on energy.
+    double total;           ///< USD over the lifetime.
+};
+
+/** The comparison result. */
+struct TcoComparison
+{
+    CostLedger dhl;
+    CostLedger network;
+
+    /**
+     * Days until the DHL's total cost drops below the network's;
+     * +infinity if it never does (the DHL also has lower capex in the
+     * default setup, making this 0).
+     */
+    double payback_days;
+};
+
+/** The TCO model. */
+class TcoModel
+{
+  public:
+    explicit TcoModel(const OpexPrices &prices = {},
+                      const CostModel &materials = CostModel{});
+
+    /**
+     * Compare a DHL against @p links parallel optical links of
+     * @p route for the given duty.
+     */
+    TcoComparison compare(const core::DhlConfig &cfg,
+                          const network::Route &route,
+                          const TransferDuty &duty,
+                          double links = 1.0) const;
+
+    /** Energy cost of @p joules at the configured price, USD. */
+    double energyCost(double joules) const;
+
+    const OpexPrices &prices() const { return prices_; }
+
+  private:
+    OpexPrices prices_;
+    CostModel materials_;
+};
+
+} // namespace cost
+} // namespace dhl
+
+#endif // DHL_COST_OPEX_HPP

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The closed-form DHL model that generates the paper's Table VI: single
+ * launch metrics (energy, time, bandwidth, peak power, efficiency) and
+ * bulk dataset movement (trips, total time/energy, comparisons against
+ * optical routes).
+ */
+
+#ifndef DHL_DHL_ANALYTICAL_HPP
+#define DHL_DHL_ANALYTICAL_HPP
+
+#include <cstdint>
+
+#include "dhl/config.hpp"
+#include "network/transfer.hpp"
+
+namespace dhl {
+namespace core {
+
+/** Metrics of one cart launch between the two endpoints (Table VI). */
+struct LaunchMetrics
+{
+    double cart_mass;    ///< kg.
+    double capacity;     ///< bytes carried.
+    double energy;       ///< J to launch + brake (the paper's "Energy").
+    double travel_time;  ///< s in the tube (excl. docking).
+    double trip_time;    ///< s including undock and dock.
+    double bandwidth;    ///< bytes/s embodied (capacity / trip_time).
+    double peak_power;   ///< W at the end of acceleration.
+    double avg_power;    ///< W averaged over the trip (energy/trip_time).
+    double efficiency;   ///< GB/J (capacity / energy).
+};
+
+/** Itemised energy of one launch, substantiating the "negligible" terms. */
+struct EnergyBreakdown
+{
+    double accelerate;     ///< J drawn by the launch LIM.
+    double brake;          ///< J drawn by the braking LIM (0 if passive).
+    double drag;           ///< J lost to magnetic drag over the track.
+    double stabilisation;  ///< J for active stabilisation during travel.
+    double aero;           ///< J against residual-gas drag.
+
+    double total() const
+    {
+        return accelerate + brake + drag + stabilisation + aero;
+    }
+};
+
+/** Options for a bulk dataset movement. */
+struct BulkOptions
+{
+    /**
+     * Count return journeys: the endpoint's limited docking capacity
+     * forces carts back to the library, doubling trips (the paper's
+     * Table VI accounting).
+     */
+    bool count_return_trips = true;
+
+    /**
+     * Overlap shuttling with endpoint processing: while one cart is
+     * being read, further carts are in flight (paper §V-B / §VI).  The
+     * steady-state launch period is then bounded by the headway and by
+     * read_time / docking_stations.
+     */
+    bool pipelined = false;
+
+    /**
+     * Endpoint read time charged per cart when pipelining (bytes are
+     * read at the cart's PCIe-capped array bandwidth); 0 means ignore
+     * read time (the paper's embodied-bandwidth accounting).
+     */
+    bool include_read_time = false;
+};
+
+/** Result of a bulk dataset movement. */
+struct BulkMetrics
+{
+    std::uint64_t loaded_trips;  ///< ceil(bytes / cart capacity).
+    std::uint64_t total_trips;   ///< including returns.
+    double total_time;           ///< s.
+    double total_energy;         ///< J.
+    double avg_power;            ///< W (energy / time).
+    double effective_bandwidth;  ///< bytes/s (bytes / time).
+};
+
+/** Head-to-head against one optical route. */
+struct RouteComparison
+{
+    std::string route_name;
+    double network_time;     ///< s over one link.
+    double network_energy;   ///< J.
+    double time_speedup;     ///< network_time / dhl_time.
+    double energy_reduction; ///< network_energy / dhl_energy.
+};
+
+/** The closed-form model of one configured DHL. */
+class AnalyticalModel
+{
+  public:
+    explicit AnalyticalModel(const DhlConfig &cfg);
+
+    const DhlConfig &config() const { return cfg_; }
+
+    /** Single-launch metrics (one Table VI row, left+middle). */
+    LaunchMetrics launch() const;
+
+    /** Itemised launch energy including the "negligible" terms. */
+    EnergyBreakdown energyBreakdown() const;
+
+    /** Move @p bytes from library to endpoint. */
+    BulkMetrics bulk(double bytes, const BulkOptions &opts = {}) const;
+
+    /**
+     * Compare a bulk move against an optical route at 400 Gbit/s over a
+     * single link (the paper's Table VI right-hand columns).
+     */
+    RouteComparison compareBulk(double bytes, const network::Route &route,
+                                const BulkOptions &opts = {}) const;
+
+    /** Time to read one full cart at the docked PCIe bandwidth, s. */
+    double cartReadTime() const;
+
+  private:
+    DhlConfig cfg_;
+    storage::CartArray array_;
+};
+
+} // namespace core
+} // namespace dhl
+
+#endif // DHL_DHL_ANALYTICAL_HPP

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Implementation of the DHL-versus-optical comparison helpers.
+ */
+
+#include "dhl/comparison.hpp"
+
+#include "common/logging.hpp"
+#include "physics/lim.hpp"
+
+namespace dhl {
+namespace core {
+
+DesignSpaceRow
+computeDesignSpaceRow(const DhlConfig &cfg, double dataset_bytes,
+                      const BulkOptions &opts)
+{
+    AnalyticalModel model(cfg);
+
+    DesignSpaceRow row{};
+    row.config = cfg;
+    row.launch = model.launch();
+    row.bulk = model.bulk(dataset_bytes, opts);
+
+    // Time speedup vs a single 400 Gbit/s link (route-independent).
+    const network::TransferModel net(network::findRoute("A0"));
+    row.time_speedup =
+        net.transfer(dataset_bytes).time / row.bulk.total_time;
+
+    for (const auto &route : network::canonicalRoutes())
+        row.routes.push_back(model.compareBulk(dataset_bytes, route, opts));
+    return row;
+}
+
+BreakEven
+breakEven(const DhlConfig &cfg, const network::Route &route,
+          const network::PowerConstants &pc)
+{
+    const AnalyticalModel model(cfg);
+    const LaunchMetrics lm = model.launch();
+    const double route_power = route.power(pc);
+
+    BreakEven be{};
+    be.route_name = route.name();
+    be.bytes_for_time = lm.trip_time * pc.link_rate;
+    be.bytes_for_energy = lm.energy * pc.link_rate / route_power;
+    return be;
+}
+
+std::vector<CrossoverPoint>
+crossoverSweep(const std::vector<double> &lengths,
+               const std::vector<double> &speeds,
+               std::size_t ssds_per_cart)
+{
+    std::vector<CrossoverPoint> points;
+    points.reserve(lengths.size() * speeds.size());
+    for (double len : lengths) {
+        for (double v : speeds) {
+            DhlConfig cfg = makeConfig(v, len, ssds_per_cart);
+            // Short tracks cannot fit the default 1000 m/s^2 LIM pair at
+            // high speed; clamp the speed down rather than the
+            // acceleration up so the energy model stays comparable.
+            const double v_fit =
+                physics::peakSpeed(len, v, cfg.lim.accel);
+            cfg.max_speed = v_fit;
+
+            const AnalyticalModel model(cfg);
+            const LaunchMetrics lm = model.launch();
+
+            CrossoverPoint p{};
+            p.track_length = len;
+            p.max_speed = v_fit;
+            p.trip_time = lm.trip_time;
+            p.launch_energy = lm.energy;
+            p.vs_a0 = breakEven(cfg, network::findRoute("A0"));
+            points.push_back(p);
+        }
+    }
+    return points;
+}
+
+} // namespace core
+} // namespace dhl

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * DHL-versus-optical comparison helpers: the Table VI right-hand columns
+ * (time speedup and per-route energy reduction moving a dataset) and the
+ * §V-E minimum-specification / break-even analysis (the smallest dataset
+ * and distance at which a DHL beats an optical link).
+ */
+
+#ifndef DHL_DHL_COMPARISON_HPP
+#define DHL_DHL_COMPARISON_HPP
+
+#include <string>
+#include <vector>
+
+#include "dhl/analytical.hpp"
+#include "dhl/config.hpp"
+#include "network/route.hpp"
+#include "network/transfer.hpp"
+
+namespace dhl {
+namespace core {
+
+/** One fully computed Table VI row. */
+struct DesignSpaceRow
+{
+    DhlConfig config;
+    LaunchMetrics launch;           ///< Single-launch metrics.
+    BulkMetrics bulk;               ///< Moving the dataset.
+    double time_speedup;            ///< vs a single 400 Gbit/s link.
+    std::vector<RouteComparison> routes; ///< vs each canonical route.
+};
+
+/**
+ * Compute one Table VI row: single-launch metrics plus the bulk move of
+ * @p dataset_bytes compared against every canonical route.
+ */
+DesignSpaceRow computeDesignSpaceRow(const DhlConfig &cfg,
+                                     double dataset_bytes,
+                                     const BulkOptions &opts = {});
+
+/** Break-even thresholds against one optical route (§V-E). */
+struct BreakEven
+{
+    std::string route_name;
+
+    /**
+     * Smallest dataset (bytes, <= one cart) for which the DHL delivers
+     * no later than the optical link: trip_time * link_rate.
+     */
+    double bytes_for_time;
+
+    /**
+     * Smallest dataset (bytes) for which the DHL consumes no more
+     * energy: launch_energy * link_rate / route_power.
+     */
+    double bytes_for_energy;
+
+    /** The binding threshold (max of the two). */
+    double bytes_to_win() const
+    {
+        return bytes_for_time > bytes_for_energy ? bytes_for_time
+                                                 : bytes_for_energy;
+    }
+};
+
+/** Compute the §V-E break-even against one route. */
+BreakEven breakEven(const DhlConfig &cfg, const network::Route &route,
+                    const network::PowerConstants &pc =
+                        network::defaultPowerConstants());
+
+/** One point of the §V-E sweep over distance and speed. */
+struct CrossoverPoint
+{
+    double track_length;  ///< m.
+    double max_speed;     ///< m/s.
+    double trip_time;     ///< s.
+    double launch_energy; ///< J.
+    BreakEven vs_a0;      ///< against the idealised A0 route.
+};
+
+/**
+ * Sweep track length and speed producing the §V-E frontier (the paper's
+ * example point is 10 m / 10 m/s / 360 GB carts).  Acceleration is
+ * clamped so short tracks remain feasible.
+ */
+std::vector<CrossoverPoint>
+crossoverSweep(const std::vector<double> &lengths,
+               const std::vector<double> &speeds,
+               std::size_t ssds_per_cart = 32);
+
+} // namespace core
+} // namespace dhl
+
+#endif // DHL_DHL_COMPARISON_HPP

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Full configuration of one data centre hyperloop, mirroring the paper's
+ * Table V parameter list, with presets for the paper's default setup and
+ * the thirteen Table VI design-space rows.
+ */
+
+#ifndef DHL_DHL_CONFIG_HPP
+#define DHL_DHL_CONFIG_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "physics/lim.hpp"
+#include "physics/maglev.hpp"
+#include "physics/profile.hpp"
+#include "physics/vacuum.hpp"
+#include "storage/cart_array.hpp"
+#include "storage/catalog.hpp"
+
+namespace dhl {
+namespace core {
+
+/** How the track is shared between carts (DES semantics). */
+enum class TrackMode
+{
+    /** At most one cart anywhere in the tube at a time — the paper's
+     *  conservative, non-pipelined accounting (validates against the
+     *  closed-form Table VI numbers). */
+    Exclusive,
+
+    /** Same-direction convoys separated by a headway; reversing
+     *  direction requires the tube to drain (single physical tube). */
+    Pipelined,
+
+    /** Two one-way tubes (Discussion's dual-track design): outbound and
+     *  inbound convoys flow simultaneously. */
+    DualTrack,
+};
+
+std::string to_string(TrackMode mode);
+
+/** The complete DHL configuration (paper Table V). */
+struct DhlConfig
+{
+    //------------------------------------------------------------------
+    // Geometry and kinematics
+    //------------------------------------------------------------------
+
+    /** End-to-end track length, m (paper: 100 / 500 / 1000, bold 500). */
+    double track_length = 500.0;
+
+    /** Maximum cart speed, m/s (paper: 100 / 200 / 300, bold 200). */
+    double max_speed = 200.0;
+
+    /** Kinematics mode for closed-form trip times (PaperApprox
+     *  reproduces Table VI exactly). */
+    physics::KinematicsMode kinematics =
+        physics::KinematicsMode::PaperApprox;
+
+    /** Time to dock *or* undock one cart, s (paper: pessimistic 3). */
+    double dock_time = 3.0;
+
+    //------------------------------------------------------------------
+    // Propulsion
+    //------------------------------------------------------------------
+
+    /** LIM parameters (efficiency 0.75, acceleration 1000 m/s^2). */
+    physics::LimConfig lim{};
+
+    //------------------------------------------------------------------
+    // Cart and payload
+    //------------------------------------------------------------------
+
+    /** Number of M.2 SSDs per cart (paper: 16 / 32 / 64, bold 32). */
+    std::size_t ssds_per_cart = 32;
+
+    /** SSD device model (paper: Sabrent Rocket 4 Plus 8 TB, 5.67 g). */
+    storage::DeviceSpec ssd = storage::referenceM2Ssd();
+
+    /** Cart structural mass composition (10 % magnets, 15 % fin, 30 g
+     *  frame). */
+    physics::CartMassConfig mass{};
+
+    /** PCIe attachment of a docked cart. */
+    storage::PcieConfig pcie{};
+
+    //------------------------------------------------------------------
+    // Track environment
+    //------------------------------------------------------------------
+
+    /** Levitation / drag model parameters. */
+    physics::LevitationConfig levitation{};
+
+    /** Vacuum tube parameters. */
+    physics::VacuumConfig vacuum{};
+
+    //------------------------------------------------------------------
+    // System-level (DES) parameters
+    //------------------------------------------------------------------
+
+    /** Track-sharing semantics. */
+    TrackMode track_mode = TrackMode::Exclusive;
+
+    /** Minimum launch separation for pipelined convoys, s. */
+    double headway = 1.0;
+
+    /** Docking stations at the rack endpoint (pipelining depth). */
+    std::size_t docking_stations = 1;
+
+    /** Cart slots in the library endpoint. */
+    std::size_t library_slots = 256;
+
+    //------------------------------------------------------------------
+    // Derived helpers
+    //------------------------------------------------------------------
+
+    /** Cart storage capacity, bytes. */
+    double cartCapacity() const;
+
+    /** Cart total mass, kg (payload + frame + magnets + fin). */
+    double cartMass() const;
+
+    /** LIM length needed for this max speed, m. */
+    double limLength() const;
+
+    /** One-way trip time including undock and dock, s. */
+    double tripTime() const;
+
+    /** Short label like "DHL-200-500-256" (speed-length-capacityTB). */
+    std::string label() const;
+};
+
+/** Validate a configuration; throws FatalError on nonsense. */
+void validate(const DhlConfig &cfg);
+
+/** The paper's bold default configuration (Table V). */
+DhlConfig defaultConfig();
+
+/** One Table VI design-space row: a config plus the paper's reported
+ *  metrics for regression bands. */
+struct TableVirow
+{
+    DhlConfig config;
+    // Paper-reported values for this row (left/middle of Table VI).
+    double paper_energy_kj;
+    double paper_efficiency_gbpj;
+    double paper_time_s;
+    double paper_bandwidth_tbps;
+    double paper_peak_power_kw;
+    double paper_speedup;           // time speedup moving 29 PB
+    double paper_reduction_a0;      // energy reduction vs A0
+    double paper_reduction_c;       // energy reduction vs C
+};
+
+/** The thirteen Table VI rows in paper order. */
+const std::vector<TableVirow> &tableViRows();
+
+/** Build a config by the three swept parameters, other fields default. */
+DhlConfig makeConfig(double max_speed, double track_length,
+                     std::size_t ssds_per_cart);
+
+} // namespace core
+} // namespace dhl
+
+#endif // DHL_DHL_CONFIG_HPP

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Serialisation of DhlConfig to and from the Properties format, so CLI
+ * users and experiment scripts can keep configurations in files.
+ *
+ * Keys mirror the configuration structure ("track_length",
+ * "lim.efficiency", "ssd.capacity_tb", ...); unknown keys are rejected
+ * so typos surface instead of silently falling back to defaults.  The
+ * round trip `loadConfig(saveConfig(cfg))` is exact (tested).
+ */
+
+#ifndef DHL_DHL_CONFIG_IO_HPP
+#define DHL_DHL_CONFIG_IO_HPP
+
+#include "common/properties.hpp"
+#include "dhl/config.hpp"
+
+namespace dhl {
+namespace core {
+
+/**
+ * Build a configuration from properties: start from defaultConfig()
+ * and override every present key.  fatal() on unknown keys or invalid
+ * values (the result is validated).
+ */
+DhlConfig loadConfig(const Properties &props);
+
+/** Serialise a configuration to properties (every key populated). */
+Properties saveConfig(const DhlConfig &cfg);
+
+} // namespace core
+} // namespace dhl
+
+#endif // DHL_DHL_CONFIG_IO_HPP

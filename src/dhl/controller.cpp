@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Implementation of the DHL controller / software API.
+ */
+
+#include "dhl/controller.hpp"
+
+#include <utility>
+
+#include "common/logging.hpp"
+#include "common/units.hpp"
+
+namespace dhl {
+namespace core {
+
+DhlController::DhlController(sim::Simulator &sim, const DhlConfig &cfg,
+                             std::string name, std::uint64_t seed)
+    : sim::SimObject(sim, std::move(name)),
+      cfg_(cfg),
+      scheduler_(makeFifoScheduler()),
+      next_seq_(0),
+      rng_(seed),
+      failure_per_trip_(0.0),
+      ssd_failures_(0)
+{
+    validate(cfg_);
+    library_ =
+        std::make_unique<Library>(sim, cfg_, this->name() + ".library");
+    track_ = std::make_unique<Track>(sim, cfg_, this->name() + ".track");
+    stations_.reserve(cfg_.docking_stations);
+    for (std::size_t i = 0; i < cfg_.docking_stations; ++i) {
+        stations_.push_back(std::make_unique<DockingStation>(
+            sim, cfg_, this->name() + ".station" + std::to_string(i)));
+    }
+
+    auto &sg = statsGroup();
+    stat_opens_ = &sg.addCounter("opens", "open commands completed");
+    stat_closes_ = &sg.addCounter("closes", "close commands completed");
+    stat_reads_ = &sg.addCounter("reads", "read commands completed");
+    stat_writes_ = &sg.addCounter("writes", "write commands completed");
+    stat_failures_ =
+        &sg.addCounter("ssd_failures", "in-flight SSD failures injected");
+    stat_open_latency_ =
+        &sg.addAccumulator("open_latency", "open request->docked, s");
+}
+
+DockingStation &
+DhlController::station(std::size_t i)
+{
+    fatal_if(i >= stations_.size(), "docking station index out of range");
+    return *stations_[i];
+}
+
+Cart &
+DhlController::addCart(double preload_bytes)
+{
+    return library_->addCart(preload_bytes, storage::ConnectorKind::UsbC,
+                             failure_per_trip_);
+}
+
+DockingStation *
+DhlController::findFreeStation()
+{
+    for (auto &st : stations_) {
+        if (st->free())
+            return st.get();
+    }
+    return nullptr;
+}
+
+void
+DhlController::traceEvent(const std::string &category,
+                          const std::string &message)
+{
+    if (trace_ != nullptr)
+        trace_->record(category, name(), message);
+}
+
+void
+DhlController::open(CartId id, OpenCb cb)
+{
+    open(id, RequestMeta{}, std::move(cb));
+}
+
+void
+DhlController::open(CartId id, const RequestMeta &meta, OpenCb cb)
+{
+    Cart &cart = library_->cart(id);
+    fatal_if(cart.place() != CartPlace::Library ||
+                 cart.state() != CartState::Stored,
+             "open: cart " + std::to_string(id) +
+                 " is not stored in the library");
+
+    traceEvent("api", "open cart " + std::to_string(id));
+    DockingStation *st = findFreeStation();
+    if (st == nullptr) {
+        traceEvent("api", "open cart " + std::to_string(id) + " queued");
+        scheduler_->push(
+            QueuedOpen{id, meta, now(), next_seq_++, std::move(cb)});
+        return;
+    }
+    startOpen(id, std::move(cb), *st);
+}
+
+void
+DhlController::setScheduler(std::unique_ptr<OpenScheduler> scheduler)
+{
+    fatal_if(scheduler == nullptr, "scheduler must not be null");
+    fatal_if(!scheduler_->empty(),
+             "cannot swap schedulers while requests are queued");
+    scheduler_ = std::move(scheduler);
+}
+
+void
+DhlController::startOpen(CartId id, OpenCb cb, DockingStation &st)
+{
+    Cart &cart = library_->cart(id);
+    st.reserve(cart);
+    const double requested = now();
+
+    library_->beginUndock(id, [this, id, &st, requested,
+                               cb = std::move(cb)]() mutable {
+        Cart &cart = library_->cart(id);
+        const LaunchGrant grant = track_->reserveLaunch(Direction::Outbound);
+        // Depart when the track admits us.
+        schedule(grant.depart_time - now(), [this, id] {
+            library_->cart(id).launch();
+            traceEvent("track",
+                       "cart " + std::to_string(id) + " outbound");
+        });
+        // Arrive, roll failure dice, and dock.
+        schedule(grant.arrive_time - now(), [this, id, &st, requested,
+                                             cb = std::move(cb)]() mutable {
+            Cart &cart = library_->cart(id);
+            handleArrivalFailures(cart);
+            st.beginDock([this, id, &st, requested,
+                          cb = std::move(cb)]() mutable {
+                Cart &cart = library_->cart(id);
+                cart_station_[id] = &st;
+                stat_opens_->increment();
+                stat_open_latency_->sample(now() - requested);
+                if (cb)
+                    cb(cart, st);
+            });
+        });
+        (void)cart;
+    });
+}
+
+void
+DhlController::close(CartId id, CloseCb cb)
+{
+    Cart &cart = library_->cart(id);
+    fatal_if(cart.place() != CartPlace::Rack ||
+                 cart.state() != CartState::Docked,
+             "close: cart " + std::to_string(id) +
+                 " is not docked at the rack");
+    auto it = cart_station_.find(id);
+    panic_if(it == cart_station_.end(),
+             "docked cart has no station mapping");
+    DockingStation *st = it->second;
+    cart_station_.erase(it);
+    traceEvent("api", "close cart " + std::to_string(id));
+
+    st->beginUndock([this, id, st, cb = std::move(cb)]() mutable {
+        const LaunchGrant grant = track_->reserveLaunch(Direction::Inbound);
+        schedule(grant.depart_time - now(), [this, id, st] {
+            library_->cart(id).launch();
+            traceEvent("track",
+                       "cart " + std::to_string(id) + " inbound");
+            // The station is free once its cart has departed; serve any
+            // queued open.
+            st->release();
+            dispatchOpens();
+        });
+        schedule(grant.arrive_time - now(), [this, id,
+                                             cb = std::move(cb)]() mutable {
+            Cart &cart = library_->cart(id);
+            handleArrivalFailures(cart);
+            library_->beginDock(id, [this, id, cb = std::move(cb)]() mutable {
+                stat_closes_->increment();
+                if (cb)
+                    cb(library_->cart(id));
+            });
+        });
+    });
+}
+
+void
+DhlController::dispatchOpens()
+{
+    while (!scheduler_->empty()) {
+        DockingStation *st = findFreeStation();
+        if (st == nullptr)
+            return;
+        QueuedOpen req = scheduler_->pop();
+        startOpen(req.id, std::move(req.cb), *st);
+    }
+}
+
+void
+DhlController::read(CartId id, double bytes, IoCb cb)
+{
+    auto it = cart_station_.find(id);
+    fatal_if(it == cart_station_.end(),
+             "read: cart " + std::to_string(id) + " is not docked");
+    it->second->read(bytes, [this, cb = std::move(cb)](double b) {
+        stat_reads_->increment();
+        if (cb)
+            cb(b);
+    });
+}
+
+void
+DhlController::write(CartId id, double bytes, IoCb cb)
+{
+    auto it = cart_station_.find(id);
+    fatal_if(it == cart_station_.end(),
+             "write: cart " + std::to_string(id) + " is not docked");
+    it->second->write(bytes, [this, cb = std::move(cb)](double b) {
+        stat_writes_->increment();
+        if (cb)
+            cb(b);
+    });
+}
+
+void
+DhlController::handleArrivalFailures(Cart &cart)
+{
+    const std::size_t failed = cart.rollTripFailures(rng_);
+    if (failed > 0) {
+        ssd_failures_ += failed;
+        stat_failures_->increment(failed);
+        traceEvent("failure", "cart " + std::to_string(cart.id()) +
+                                  " lost " + std::to_string(failed) +
+                                  " SSD(s) in flight");
+        // Paper §III-D: "if an SSD fails in-flight, the endpoint's DHL
+        // API will report the error, and RAID and backups can ameliorate
+        // the issue."  We report and repair (spare rotation) so the data
+        // remains addressable; the failure count is the observable.
+        warn(name() + ": " + std::to_string(failed) + " SSD(s) failed on "
+             "cart " + std::to_string(cart.id()) +
+             "; recovered via RAID/backup");
+        cart.repairAll();
+    }
+}
+
+} // namespace core
+} // namespace dhl

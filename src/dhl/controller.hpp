@@ -1,0 +1,154 @@
+/**
+ * @file
+ * The DHL management software layer (paper §III-D): implements the
+ * four-command API — Open, Close, Read, Write — over the event-driven
+ * library / track / docking-station substrate, with FIFO queueing when
+ * the rack's docking stations are all claimed, per-launch energy
+ * accounting, and in-flight SSD failure injection with the paper's
+ * RAID-ameliorates-it recovery story.
+ */
+
+#ifndef DHL_DHL_CONTROLLER_HPP
+#define DHL_DHL_CONTROLLER_HPP
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.hpp"
+#include "dhl/cart.hpp"
+#include "dhl/config.hpp"
+#include "dhl/docking_station.hpp"
+#include "dhl/library.hpp"
+#include "dhl/scheduler.hpp"
+#include "dhl/track.hpp"
+#include "sim/sim_object.hpp"
+#include "sim/trace.hpp"
+
+namespace dhl {
+namespace core {
+
+/** The DHL controller: owns the whole simulated system of one DHL. */
+class DhlController : public sim::SimObject
+{
+  public:
+    /** Fires once an opened cart is docked at a rack station. */
+    using OpenCb = std::function<void(Cart &, DockingStation &)>;
+
+    /** Fires once a closed cart is stored back in the library. */
+    using CloseCb = std::function<void(Cart &)>;
+
+    /** Fires when a read/write completes, with the byte count. */
+    using IoCb = std::function<void(double)>;
+
+    DhlController(sim::Simulator &sim, const DhlConfig &cfg,
+                  std::string name = "dhl", std::uint64_t seed = 1);
+
+    const DhlConfig &config() const { return cfg_; }
+    Library &library() { return *library_; }
+    Track &track() { return *track_; }
+    std::size_t numStations() const { return stations_.size(); }
+    DockingStation &station(std::size_t i);
+
+    //------------------------------------------------------------------
+    // The software API (paper §III-D)
+    //------------------------------------------------------------------
+
+    /**
+     * Open: request a cart from the library.  If all rack docking
+     * stations are claimed the request queues under the configured
+     * scheduling policy (FIFO by default); once a station frees, the
+     * cart is undocked, shuttled, docked, and @p cb fires.
+     */
+    void open(CartId id, OpenCb cb);
+
+    /** Open with scheduling metadata (priority / deadline). */
+    void open(CartId id, const RequestMeta &meta, OpenCb cb);
+
+    /**
+     * Close: disconnect a docked cart and shuttle it back to the
+     * library; @p cb fires once it is stored.  Frees the station when
+     * the cart departs, which may dispatch a queued open.
+     */
+    void close(CartId id, CloseCb cb);
+
+    /** Read @p bytes from a docked cart (local PCIe bandwidth). */
+    void read(CartId id, double bytes, IoCb cb);
+
+    /** Write @p bytes to a docked cart. */
+    void write(CartId id, double bytes, IoCb cb);
+
+    //------------------------------------------------------------------
+    // Accounting
+    //------------------------------------------------------------------
+
+    /** Total LIM energy drawn so far, J. */
+    double totalEnergy() const { return track_->totalEnergy(); }
+
+    /** Launches performed so far. */
+    std::uint64_t launches() const { return track_->launches(); }
+
+    /** SSD failures injected in flight so far. */
+    std::uint64_t ssdFailures() const { return ssd_failures_; }
+
+    /** Open requests currently waiting for a docking station. */
+    std::size_t queuedOpens() const { return scheduler_->size(); }
+
+    /**
+     * Replace the queueing policy (must be done while the queue is
+     * empty).  Default: FIFO.
+     */
+    void setScheduler(std::unique_ptr<OpenScheduler> scheduler);
+
+    /** The active policy's name. */
+    std::string schedulerName() const { return scheduler_->name(); }
+
+    /** Set the per-SSD per-trip failure probability for new carts. */
+    void setFailureProbability(double p) { failure_per_trip_ = p; }
+
+    /** Convenience: create a preloaded cart in the library. */
+    Cart &addCart(double preload_bytes = 0.0);
+
+    /**
+     * Attach a trace recorder; the controller emits "api" records for
+     * every command and "track" records for every launch/arrival.
+     * Pass nullptr to detach.  The recorder must outlive the
+     * controller (or be detached first).
+     */
+    void attachTrace(sim::TraceRecorder *trace) { trace_ = trace; }
+
+  private:
+    DockingStation *findFreeStation();
+    void dispatchOpens();
+    void startOpen(CartId id, OpenCb cb, DockingStation &st);
+    void handleArrivalFailures(Cart &cart);
+    void traceEvent(const std::string &category,
+                    const std::string &message);
+
+    DhlConfig cfg_;
+    std::unique_ptr<Library> library_;
+    std::unique_ptr<Track> track_;
+    std::vector<std::unique_ptr<DockingStation>> stations_;
+    std::unordered_map<CartId, DockingStation *> cart_station_;
+    std::unique_ptr<OpenScheduler> scheduler_;
+    std::uint64_t next_seq_;
+    sim::TraceRecorder *trace_ = nullptr;
+    Rng rng_;
+    double failure_per_trip_;
+    std::uint64_t ssd_failures_;
+
+    stats::Counter *stat_opens_;
+    stats::Counter *stat_closes_;
+    stats::Counter *stat_reads_;
+    stats::Counter *stat_writes_;
+    stats::Counter *stat_failures_;
+    stats::Accumulator *stat_open_latency_;
+};
+
+} // namespace core
+} // namespace dhl
+
+#endif // DHL_DHL_CONTROLLER_HPP

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The dataset-level management layer (paper §III-D): "software
+ * abstracts away the management of data, SSDs, and maglev carts".
+ * Users deal in named datasets; the manager maps each to the set of
+ * carts holding it, drives the controller's Open/Close/Read commands
+ * for all of them, and reports placement (library / rack / in
+ * transit).
+ *
+ * Intended use is the paper's ML-training pattern: register a dataset
+ * once, then repeatedly stage it to the rack, read it, and return it,
+ * for each new model trained on it.
+ */
+
+#ifndef DHL_DHL_DATASET_MANAGER_HPP
+#define DHL_DHL_DATASET_MANAGER_HPP
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dhl/controller.hpp"
+
+namespace dhl {
+namespace core {
+
+/** Where a dataset currently lives. */
+enum class DatasetPlacement
+{
+    Library,   ///< All carts stored in the library.
+    Staged,    ///< All carts docked at the rack.
+    InTransit, ///< At least one cart moving or queued.
+    Mixed,     ///< Split between library and rack, none moving.
+};
+
+std::string to_string(DatasetPlacement placement);
+
+/** Summary of one registered dataset. */
+struct DatasetInfo
+{
+    std::string name;
+    double bytes;
+    std::vector<CartId> carts;
+    DatasetPlacement placement;
+};
+
+/** The dataset manager. */
+class DatasetManager
+{
+  public:
+    using Done = std::function<void()>;
+    using ReadDone = std::function<void(double /*bytes*/)>;
+
+    /** @param controller The DHL this manager drives (must outlive
+     *                    it). */
+    explicit DatasetManager(DhlController &controller);
+
+    /**
+     * Register a dataset: allocates ceil(bytes / cart capacity) carts
+     * in the library and loads the data across them (last cart
+     * partial).  fatal() if the name is taken.
+     *
+     * @return The cart ids now holding the dataset.
+     */
+    const std::vector<CartId> &registerDataset(const std::string &name,
+                                               double bytes);
+
+    /** True if a dataset of this name is registered. */
+    bool has(const std::string &name) const;
+
+    /** Registered dataset names (registration order). */
+    std::vector<std::string> names() const;
+
+    /** Placement and composition of a dataset; fatal() if unknown. */
+    DatasetInfo info(const std::string &name) const;
+
+    /**
+     * Stage: open every cart of the dataset at the rack.  @p done
+     * fires once all carts are docked.  Opens are issued together, so
+     * pipelining falls out of the track mode and station count.
+     */
+    void stage(const std::string &name, Done done,
+               const RequestMeta &meta = {});
+
+    /**
+     * Unstage: close every docked cart of the dataset back into the
+     * library; @p done fires once all are stored.
+     */
+    void unstage(const std::string &name, Done done);
+
+    /**
+     * Read the full dataset from its docked carts (one read per cart,
+     * issued in parallel across stations).  @p done fires with the
+     * total bytes once every cart has been read.  fatal() unless the
+     * dataset is fully staged.
+     */
+    void readAll(const std::string &name, ReadDone done);
+
+    /** Total bytes registered across all datasets. */
+    double totalBytes() const;
+
+  private:
+    struct Entry
+    {
+        double bytes;
+        std::vector<CartId> carts;
+    };
+
+    const Entry &entry(const std::string &name) const;
+
+    DhlController &controller_;
+    std::unordered_map<std::string, Entry> datasets_;
+    std::vector<std::string> order_;
+};
+
+} // namespace core
+} // namespace dhl
+
+#endif // DHL_DHL_DATASET_MANAGER_HPP

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * A rack-side docking station: lifts one arriving cart off the track
+ * (dock_time), exposes its SSD array to the rack over PCIe, serves timed
+ * reads/writes at the array bandwidth, and ejects the cart back onto the
+ * track (dock_time).
+ */
+
+#ifndef DHL_DHL_DOCKING_STATION_HPP
+#define DHL_DHL_DOCKING_STATION_HPP
+
+#include <cstdint>
+#include <functional>
+
+#include "dhl/cart.hpp"
+#include "dhl/config.hpp"
+#include "sim/sim_object.hpp"
+#include "storage/cart_array.hpp"
+
+namespace dhl {
+namespace core {
+
+/** One docking station at the rack endpoint. */
+class DockingStation : public sim::SimObject
+{
+  public:
+    using Done = std::function<void()>;
+    using IoDone = std::function<void(double /*bytes*/)>;
+
+    DockingStation(sim::Simulator &sim, const DhlConfig &cfg,
+                   std::string name);
+
+    /** True if no cart is present or inbound. */
+    bool free() const { return !reserved_; }
+
+    /** The cart currently present (or inbound); null when free. */
+    Cart *cart() const { return cart_; }
+
+    /**
+     * Claim the station for an inbound cart (call at launch time so two
+     * carts are never sent to the same station).
+     */
+    void reserve(Cart &cart);
+
+    /**
+     * Begin docking the reserved cart (call at its arrival time).
+     * Completes after dock_time; @p done fires with the cart Docked.
+     */
+    void beginDock(Done done);
+
+    /**
+     * Begin undocking the present cart.  Completes after dock_time;
+     * @p done fires with the cart InFlight-ready (still reserved until
+     * release()).
+     */
+    void beginUndock(Done done);
+
+    /** Free the station after the undocked cart has departed. */
+    void release();
+
+    /**
+     * Read @p bytes from the docked cart at the array bandwidth.
+     * @p done fires with the byte count when the transfer completes.
+     */
+    void read(double bytes, IoDone done);
+
+    /** Write @p bytes to the docked cart (must fit). */
+    void write(double bytes, IoDone done);
+
+    /** Bytes read/written through this station so far. */
+    double bytesRead() const { return bytes_read_; }
+    double bytesWritten() const { return bytes_written_; }
+
+    /** Completed dock operations (a dock or an undock each count 1). */
+    std::uint64_t matingOperations() const { return matings_; }
+
+  private:
+    const DhlConfig &cfg_;
+    storage::CartArray array_;
+    Cart *cart_;
+    bool reserved_;
+    bool busy_io_;
+
+    double bytes_read_;
+    double bytes_written_;
+    std::uint64_t matings_;
+
+    stats::Counter *stat_docks_;
+    stats::Counter *stat_undocks_;
+    stats::Scalar *stat_bytes_read_;
+    stats::Scalar *stat_bytes_written_;
+    stats::Accumulator *stat_io_time_;
+};
+
+} // namespace core
+} // namespace dhl
+
+#endif // DHL_DHL_DOCKING_STATION_HPP

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Implementation of the DHL fleet.
+ */
+
+#include "dhl/fleet.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace dhl {
+namespace core {
+
+DhlFleet::DhlFleet(const DhlConfig &cfg, std::size_t tracks,
+                   std::uint64_t seed)
+    : cfg_(cfg)
+{
+    fatal_if(tracks == 0, "a fleet needs at least one track");
+    validate(cfg_);
+    controllers_.reserve(tracks);
+    for (std::size_t i = 0; i < tracks; ++i) {
+        controllers_.push_back(std::make_unique<DhlController>(
+            sim_, cfg_, "dhl" + std::to_string(i), seed + i));
+    }
+}
+
+DhlController &
+DhlFleet::track(std::size_t i)
+{
+    fatal_if(i >= controllers_.size(), "track index out of range");
+    return *controllers_[i];
+}
+
+double
+DhlFleet::totalEnergy() const
+{
+    double total = 0.0;
+    for (const auto &c : controllers_)
+        total += c->totalEnergy();
+    return total;
+}
+
+std::uint64_t
+DhlFleet::launches() const
+{
+    std::uint64_t total = 0;
+    for (const auto &c : controllers_)
+        total += c->launches();
+    return total;
+}
+
+BulkRunResult
+DhlFleet::runBulkTransfer(double bytes, const BulkRunOptions &opts)
+{
+    fatal_if(!(bytes > 0.0), "bulk transfer size must be positive");
+
+    const double capacity = cfg_.cartCapacity();
+    const auto n_carts =
+        static_cast<std::uint64_t>(std::ceil(bytes / capacity));
+    const std::size_t k = controllers_.size();
+
+    // Round-robin cart assignment; each track gets its own serial
+    // chain of cart ids (local to that track's library).
+    std::vector<std::vector<CartId>> per_track(k);
+    double remaining = bytes;
+    for (std::uint64_t i = 0; i < n_carts; ++i) {
+        const double load = std::min(capacity, remaining);
+        remaining -= load;
+        auto &ctl = *controllers_[i % k];
+        ctl.setFailureProbability(opts.failure_per_trip);
+        per_track[i % k].push_back(ctl.addCart(load).id());
+    }
+
+    const double start = sim_.now();
+    const double energy_before = totalEnergy();
+    const std::uint64_t launches_before = launches();
+    auto completed = std::make_shared<std::uint64_t>(0);
+    auto bytes_read = std::make_shared<double>(0.0);
+
+    // Serial chain per track: cart j fully returns before cart j+1
+    // departs (the Table VI accounting, per track).  The chain
+    // closures live in `chains` (not inside themselves) so no
+    // shared_ptr cycle outlives the run.
+    std::vector<std::shared_ptr<std::function<void(std::size_t)>>> chains;
+    for (std::size_t t = 0; t < k; ++t) {
+        if (per_track[t].empty())
+            continue;
+        auto &ctl = *controllers_[t];
+        auto chain = std::make_shared<std::function<void(std::size_t)>>();
+        chains.push_back(chain);
+        auto *chain_ptr = chain.get();
+        const auto carts = per_track[t];
+        *chain = [this, &ctl, carts, chain = chain_ptr, opts, completed,
+                  bytes_read](std::size_t idx) {
+            if (idx == carts.size())
+                return;
+            const CartId id = carts[idx];
+            ctl.open(id, [this, &ctl, id, idx, chain, opts, completed,
+                          bytes_read](Cart &cart, DockingStation &) {
+                auto finish = [completed, chain, idx](Cart &) {
+                    ++*completed;
+                    (*chain)(idx + 1);
+                };
+                if (opts.include_read_time && cart.storedBytes() > 0.0) {
+                    const double to_read = cart.storedBytes();
+                    ctl.read(id, to_read,
+                             [&ctl, id, bytes_read, finish](double b) {
+                                 *bytes_read += b;
+                                 ctl.close(id, finish);
+                             });
+                } else {
+                    ctl.close(id, finish);
+                }
+            });
+        };
+        (*chain)(0);
+    }
+    sim_.run();
+    panic_if(*completed != n_carts,
+             "fleet transfer finished with carts unaccounted for");
+
+    BulkRunResult r{};
+    r.total_time = sim_.now() - start;
+    r.total_energy = totalEnergy() - energy_before;
+    r.launches = launches() - launches_before;
+    r.carts = n_carts;
+    std::uint64_t failures = 0;
+    for (const auto &c : controllers_)
+        failures += c->ssdFailures();
+    r.ssd_failures = failures;
+    r.avg_power = r.total_energy / r.total_time;
+    r.effective_bandwidth = bytes / r.total_time;
+    r.bytes_read = *bytes_read;
+    return r;
+}
+
+} // namespace core
+} // namespace dhl

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * A fleet of parallel DHL tracks (paper §IV-E / Figure 6: "the time
+ * taken to transfer data over a DHL can be reduced by operating
+ * multiple DHL tracks in parallel").
+ *
+ * The fleet owns K identical, independent DHL systems (each with its
+ * own library, tube and docking stations) sharing one simulation
+ * clock; bulk transfers split their carts round-robin across the
+ * tracks and the fleet finishes when the slowest track does.  The
+ * event-driven result must agree with the quantised closed form used
+ * by mlsim's DhlComm (ceil(trips/K) round trips per track) — tested.
+ */
+
+#ifndef DHL_DHL_FLEET_HPP
+#define DHL_DHL_FLEET_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dhl/config.hpp"
+#include "dhl/controller.hpp"
+#include "dhl/simulation.hpp"
+#include "sim/simulator.hpp"
+
+namespace dhl {
+namespace core {
+
+/** The fleet. */
+class DhlFleet
+{
+  public:
+    /**
+     * @param cfg     Per-track configuration.
+     * @param tracks  Parallel tracks (>= 1).
+     * @param seed    RNG seed base (track i uses seed + i).
+     */
+    DhlFleet(const DhlConfig &cfg, std::size_t tracks,
+             std::uint64_t seed = 1);
+
+    std::size_t numTracks() const { return controllers_.size(); }
+    sim::Simulator &simulator() { return sim_; }
+    DhlController &track(std::size_t i);
+
+    /**
+     * Move @p bytes using every track: carts are split round-robin and
+     * each track runs its share as serial round trips (open, optional
+     * read, close).  Returns the fleet-level metrics; `total_time` is
+     * the slowest track's completion.
+     */
+    BulkRunResult runBulkTransfer(double bytes,
+                                  const BulkRunOptions &opts = {});
+
+    /** Sum of LIM energy across tracks, J. */
+    double totalEnergy() const;
+
+    /** Sum of launches across tracks. */
+    std::uint64_t launches() const;
+
+    /** Average electrical power of the fleet over a window, W. */
+    double
+    avgPower(double window) const
+    {
+        return totalEnergy() / window;
+    }
+
+  private:
+    DhlConfig cfg_;
+    sim::Simulator sim_;
+    std::vector<std::unique_ptr<DhlController>> controllers_;
+};
+
+} // namespace core
+} // namespace dhl
+
+#endif // DHL_DHL_FLEET_HPP

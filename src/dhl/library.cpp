@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Implementation of the library endpoint.
+ */
+
+#include "dhl/library.hpp"
+
+#include <utility>
+
+#include "common/logging.hpp"
+
+namespace dhl {
+namespace core {
+
+Library::Library(sim::Simulator &sim, const DhlConfig &cfg, std::string name)
+    : sim::SimObject(sim, std::move(name)), cfg_(cfg), inbound_(0)
+{
+    auto &sg = statsGroup();
+    stat_docks_ = &sg.addCounter("docks", "carts docked into slots");
+    stat_undocks_ = &sg.addCounter("undocks", "carts sent onto the track");
+}
+
+Cart &
+Library::addCart(double preload_bytes, storage::ConnectorKind connector,
+                 double failure_per_trip)
+{
+    fatal_if(freeSlots() == 0, "library is full: no free slot for a cart");
+    const auto id = static_cast<CartId>(carts_.size());
+    carts_.push_back(
+        std::make_unique<Cart>(id, cfg_, connector, failure_per_trip));
+    Cart &c = *carts_.back();
+    if (preload_bytes > 0.0)
+        c.loadBytes(preload_bytes);
+    return c;
+}
+
+std::size_t
+Library::storedCarts() const
+{
+    std::size_t n = 0;
+    for (const auto &c : carts_) {
+        if (c->place() == CartPlace::Library &&
+            c->state() == CartState::Stored) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+std::size_t
+Library::freeSlots() const
+{
+    // Stored and Undocking carts hold their slot; carts mid-dock are
+    // covered by `inbound_` (claimed at beginDock, released at finish).
+    std::size_t occupied = inbound_;
+    for (const auto &c : carts_) {
+        if (c->place() == CartPlace::Library &&
+            (c->state() == CartState::Stored ||
+             c->state() == CartState::Undocking)) {
+            ++occupied;
+        }
+    }
+    return cfg_.library_slots - std::min(cfg_.library_slots, occupied);
+}
+
+Cart &
+Library::cart(CartId id)
+{
+    fatal_if(id >= carts_.size(), "unknown cart id");
+    return *carts_[id];
+}
+
+const Cart &
+Library::cart(CartId id) const
+{
+    fatal_if(id >= carts_.size(), "unknown cart id");
+    return *carts_[id];
+}
+
+void
+Library::beginUndock(CartId id, Done done)
+{
+    Cart &c = cart(id);
+    panic_if(c.place() != CartPlace::Library ||
+                 c.state() != CartState::Stored,
+             "library undocking a cart that is not stored here");
+    c.beginUndock();
+    schedule(cfg_.dock_time, [this, done = std::move(done)] {
+        stat_undocks_->increment();
+        if (done)
+            done();
+    });
+}
+
+void
+Library::beginDock(CartId id, Done done)
+{
+    Cart &c = cart(id);
+    fatal_if(freeSlots() == 0, "library has no free slot for arriving cart");
+    c.beginDock(CartPlace::Library);
+    ++inbound_;
+    schedule(cfg_.dock_time, [this, &c, done = std::move(done)] {
+        c.finishDock();
+        --inbound_;
+        stat_docks_->increment();
+        if (done)
+            done();
+    });
+}
+
+} // namespace core
+} // namespace dhl

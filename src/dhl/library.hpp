@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The library endpoint: cold storage for carts.  Owns all cart objects
+ * of the DHL system, stores idle carts in slots above the track, and
+ * performs its own dock/undock operations (same dock_time as the rack
+ * stations, per the paper's 3 s assumption covering the whole
+ * procedure).
+ */
+
+#ifndef DHL_DHL_LIBRARY_HPP
+#define DHL_DHL_LIBRARY_HPP
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "dhl/cart.hpp"
+#include "dhl/config.hpp"
+#include "sim/sim_object.hpp"
+
+namespace dhl {
+namespace core {
+
+/** The library endpoint. */
+class Library : public sim::SimObject
+{
+  public:
+    using Done = std::function<void()>;
+
+    Library(sim::Simulator &sim, const DhlConfig &cfg,
+            std::string name = "library");
+
+    /**
+     * Create a new cart stored in the library, preloaded with
+     * @p preload_bytes.  fatal() if no slot is free.
+     */
+    Cart &addCart(double preload_bytes = 0.0,
+                  storage::ConnectorKind connector =
+                      storage::ConnectorKind::UsbC,
+                  double failure_per_trip = 0.0);
+
+    /** Carts currently stored (not in flight / at the rack). */
+    std::size_t storedCarts() const;
+
+    /** All carts ever created, stored or not. */
+    std::size_t totalCarts() const { return carts_.size(); }
+
+    /** Free library slots. */
+    std::size_t freeSlots() const;
+
+    /** Cart lookup by id; fatal() if absent. */
+    Cart &cart(CartId id);
+    const Cart &cart(CartId id) const;
+
+    /**
+     * Begin undocking a stored cart onto the track; @p done fires after
+     * dock_time with the cart ready to launch.
+     */
+    void beginUndock(CartId id, Done done);
+
+    /**
+     * Begin docking an arriving cart into a slot; @p done fires after
+     * dock_time with the cart Stored.  fatal() if no slot is free.
+     */
+    void beginDock(CartId id, Done done);
+
+  private:
+    const DhlConfig &cfg_;
+    std::vector<std::unique_ptr<Cart>> carts_;
+    std::size_t inbound_; ///< carts docking (slot already claimed)
+
+    stats::Counter *stat_docks_;
+    stats::Counter *stat_undocks_;
+};
+
+} // namespace core
+} // namespace dhl
+
+#endif // DHL_DHL_LIBRARY_HPP

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Implementation of the multi-stop DHL model and track resource.
+ */
+
+#include "dhl/multistop.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "physics/lim.hpp"
+#include "physics/profile.hpp"
+
+namespace dhl {
+namespace core {
+
+void
+validate(const MultiStopConfig &cfg)
+{
+    fatal_if(cfg.stop_positions.size() < 2,
+             "a multi-stop DHL needs at least two stops");
+    fatal_if(cfg.stop_positions.front() != 0.0,
+             "the first stop (the library) must sit at position 0");
+    for (std::size_t i = 1; i < cfg.stop_positions.size(); ++i) {
+        fatal_if(cfg.stop_positions[i] <= cfg.stop_positions[i - 1],
+                 "stop positions must be strictly increasing");
+    }
+    // Validate the base parameters against the full tube length.
+    DhlConfig base = cfg.base;
+    base.track_length = cfg.stop_positions.back();
+    // Hops may individually be shorter than the LIM pair needs; the hop
+    // model clamps the reached speed, so only overall sanity applies.
+    fatal_if(!(base.max_speed > 0.0), "max speed must be positive");
+    physics::validate(base.lim);
+    fatal_if(base.ssds_per_cart == 0, "a cart needs at least one SSD");
+    fatal_if(!(base.dock_time >= 0.0), "dock time must be non-negative");
+}
+
+//===========================================================================
+// MultiStopModel
+//===========================================================================
+
+MultiStopModel::MultiStopModel(const MultiStopConfig &cfg)
+    : cfg_(cfg)
+{
+    validate(cfg_);
+}
+
+double
+MultiStopModel::hopDistance(StopId from, StopId to) const
+{
+    fatal_if(from >= numStops() || to >= numStops(),
+             "stop id out of range");
+    fatal_if(from == to, "a hop needs two distinct stops");
+    return std::abs(cfg_.stop_positions[to] - cfg_.stop_positions[from]);
+}
+
+HopMetrics
+MultiStopModel::hop(StopId from, StopId to) const
+{
+    const double d = hopDistance(from, to);
+    const DhlConfig &b = cfg_.base;
+
+    HopMetrics m{};
+    m.distance = d;
+    m.peak_speed = physics::peakSpeed(d, b.max_speed, b.lim.accel);
+    m.travel_time =
+        physics::travelTime(d, b.max_speed, b.lim.accel, b.kinematics);
+    m.trip_time = m.travel_time + 2.0 * b.dock_time;
+    m.energy = physics::shotEnergy(b.cartMass(), m.peak_speed, b.lim);
+    return m;
+}
+
+HopMetrics
+MultiStopModel::tour(const std::vector<StopId> &stops) const
+{
+    fatal_if(stops.size() < 2, "a tour needs at least two stops");
+    HopMetrics total{};
+    for (std::size_t i = 1; i < stops.size(); ++i) {
+        const HopMetrics h = hop(stops[i - 1], stops[i]);
+        total.distance += h.distance;
+        total.travel_time += h.travel_time;
+        total.trip_time += h.trip_time;
+        total.energy += h.energy;
+        total.peak_speed = std::max(total.peak_speed, h.peak_speed);
+    }
+    return total;
+}
+
+//===========================================================================
+// MultiStopTrack
+//===========================================================================
+
+MultiStopTrack::MultiStopTrack(sim::Simulator &sim,
+                               const MultiStopConfig &cfg,
+                               std::string name)
+    : sim::SimObject(sim, std::move(name)),
+      model_(cfg),
+      segment_busy_(model_.numStops() - 1),
+      stop_blocked_(model_.numStops()),
+      total_energy_(0.0),
+      transits_(0)
+{
+    auto &sg = statsGroup();
+    stat_transits_ = &sg.addCounter("transits", "transits granted");
+    stat_wait_ =
+        &sg.addAccumulator("transit_wait", "admission wait per transit, s");
+}
+
+double
+MultiStopTrack::earliestFree(const std::vector<Interval> &busy, double t,
+                             double len)
+{
+    // Intervals are few and unordered; scan until stable.
+    bool moved = true;
+    while (moved) {
+        moved = false;
+        for (const auto &iv : busy) {
+            if (t < iv.end && t + len > iv.start) {
+                t = iv.end;
+                moved = true;
+            }
+        }
+    }
+    return t;
+}
+
+void
+MultiStopTrack::compact()
+{
+    const double t = now();
+    auto drop = [t](std::vector<Interval> &v) {
+        v.erase(std::remove_if(v.begin(), v.end(),
+                               [t](const Interval &iv) {
+                                   return iv.end <= t;
+                               }),
+                v.end());
+    };
+    for (auto &v : segment_busy_)
+        drop(v);
+    for (auto &v : stop_blocked_)
+        drop(v);
+}
+
+TransitGrant
+MultiStopTrack::reserveTransit(StopId from, StopId to)
+{
+    const HopMetrics hop = model_.hop(from, to);
+    compact();
+
+    const StopId lo = std::min(from, to);
+    const StopId hi = std::max(from, to);
+    const double len = hop.travel_time;
+
+    // Earliest start satisfying every segment and intermediate-stop
+    // block; iterate to a fixed point.
+    double depart = now();
+    bool moved = true;
+    while (moved) {
+        moved = false;
+        for (StopId s = lo; s < hi; ++s) {
+            const double t2 =
+                earliestFree(segment_busy_[s], depart, len);
+            if (t2 > depart) {
+                depart = t2;
+                moved = true;
+            }
+        }
+        // Intermediate stops only (passage past an endpoint is not a
+        // thing).
+        for (StopId s = lo + 1; s < hi; ++s) {
+            const double t2 =
+                earliestFree(stop_blocked_[s], depart, len);
+            if (t2 > depart) {
+                depart = t2;
+                moved = true;
+            }
+        }
+    }
+
+    for (StopId s = lo; s < hi; ++s)
+        segment_busy_[s].push_back(Interval{depart, depart + len});
+
+    TransitGrant g{};
+    g.depart_time = depart;
+    g.arrive_time = depart + len;
+    g.energy = hop.energy;
+
+    total_energy_ += hop.energy;
+    ++transits_;
+    stat_transits_->increment();
+    stat_wait_->sample(depart - now());
+    return g;
+}
+
+void
+MultiStopTrack::blockStop(StopId stop, double duration)
+{
+    fatal_if(stop >= model_.numStops(), "stop id out of range");
+    fatal_if(!(duration >= 0.0), "block duration must be non-negative");
+    if (stop == 0 || stop + 1 == model_.numStops())
+        return; // endpoint docking never blocks through-traffic
+    stop_blocked_[stop].push_back(Interval{now(), now() + duration});
+}
+
+} // namespace core
+} // namespace dhl

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Multi-stop DHL (Discussion §VI): a single tube serving several
+ * endpoints along its length, e.g. library - rack A - rack B - rack C.
+ *
+ * Two pieces:
+ *
+ *  - MultiStopModel: closed-form per-hop metrics.  A hop between stops
+ *    i and j covers the distance between their positions; short hops
+ *    may not reach the configured v_max (triangular profile), which
+ *    reduces both time-to-cruise and launch energy.
+ *
+ *  - MultiStopTrack: the DES resource.  A transit occupies every track
+ *    segment between its two stops for its whole window, and a docking
+ *    operation at an intermediate stop blocks carts from passing that
+ *    stop (the paper: "during the cart docking process, it is not
+ *    possible to shuttle another cart past the cart being docked").
+ *    Admission finds the earliest window where all needed segments are
+ *    free.
+ */
+
+#ifndef DHL_DHL_MULTISTOP_HPP
+#define DHL_DHL_MULTISTOP_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dhl/config.hpp"
+#include "sim/sim_object.hpp"
+
+namespace dhl {
+namespace core {
+
+/** Index of a stop along the tube (0 is the library end). */
+using StopId = std::size_t;
+
+/** Configuration of a multi-stop DHL. */
+struct MultiStopConfig
+{
+    /** Base DHL parameters (speed, accel, dock time, cart...).  The
+     *  base track_length is ignored in favour of the stop layout. */
+    DhlConfig base;
+
+    /**
+     * Stop positions along the tube, metres, strictly increasing,
+     * starting at 0 (the library).  Default: library plus three racks.
+     */
+    std::vector<double> stop_positions = {0.0, 200.0, 350.0, 500.0};
+};
+
+/** Validate a multi-stop configuration. */
+void validate(const MultiStopConfig &cfg);
+
+/** Closed-form metrics of one hop. */
+struct HopMetrics
+{
+    double distance;   ///< m.
+    double peak_speed; ///< m/s actually reached.
+    double travel_time;///< s in the tube.
+    double trip_time;  ///< s including undock + dock.
+    double energy;     ///< J for the LIM shot at the reached speed.
+};
+
+/** The closed-form multi-stop model. */
+class MultiStopModel
+{
+  public:
+    explicit MultiStopModel(const MultiStopConfig &cfg);
+
+    const MultiStopConfig &config() const { return cfg_; }
+    std::size_t numStops() const { return cfg_.stop_positions.size(); }
+
+    /** Distance between two stops, m. */
+    double hopDistance(StopId from, StopId to) const;
+
+    /** Metrics of a hop between two distinct stops. */
+    HopMetrics hop(StopId from, StopId to) const;
+
+    /**
+     * A tour visiting the given stop sequence (e.g. a delivery round
+     * {0, 1, 2, 0}): summed time and energy, hop by hop.
+     */
+    HopMetrics tour(const std::vector<StopId> &stops) const;
+
+  private:
+    MultiStopConfig cfg_;
+};
+
+/** One granted multi-stop transit. */
+struct TransitGrant
+{
+    double depart_time; ///< s.
+    double arrive_time; ///< s (at the destination stop, pre-docking).
+    double energy;      ///< J.
+};
+
+/**
+ * The DES track resource for a multi-stop tube.  Bookkeeping is
+ * interval-based per segment: segment k spans stops k..k+1.
+ */
+class MultiStopTrack : public sim::SimObject
+{
+  public:
+    MultiStopTrack(sim::Simulator &sim, const MultiStopConfig &cfg,
+                   std::string name = "mtrack");
+
+    std::size_t numStops() const { return model_.numStops(); }
+    const MultiStopModel &model() const { return model_; }
+
+    /**
+     * Reserve the earliest transit from @p from to @p to starting no
+     * earlier than now: every segment between the stops must be free
+     * for the whole transit window, and no blocked interval at an
+     * intermediate stop may overlap it.
+     */
+    TransitGrant reserveTransit(StopId from, StopId to);
+
+    /**
+     * Block passage past @p stop during [now + 0, now + duration] — a
+     * docking/undocking operation at an intermediate stop.  Endpoint
+     * stops (first/last) never block passage.
+     */
+    void blockStop(StopId stop, double duration);
+
+    /** Total LIM energy drawn, J. */
+    double totalEnergy() const { return total_energy_; }
+
+    /** Transits granted. */
+    std::uint64_t transits() const { return transits_; }
+
+  private:
+    struct Interval
+    {
+        double start;
+        double end;
+    };
+
+    /** Earliest time >= t at which [t, t+len) avoids all intervals. */
+    static double earliestFree(const std::vector<Interval> &busy,
+                               double t, double len);
+
+    /** Drop intervals that ended before now (bounded memory). */
+    void compact();
+
+    MultiStopModel model_;
+    std::vector<std::vector<Interval>> segment_busy_; ///< per segment
+    std::vector<std::vector<Interval>> stop_blocked_; ///< per stop
+    double total_energy_;
+    std::uint64_t transits_;
+
+    stats::Counter *stat_transits_;
+    stats::Accumulator *stat_wait_;
+};
+
+} // namespace core
+} // namespace dhl
+
+#endif // DHL_DHL_MULTISTOP_HPP

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Dataset placement / cart caching at the library.
+ *
+ * The library holds a bounded number of carts; popular datasets keep
+ * their carts resident ("the same datasets must be used again and
+ * again", §II-D3), while cold datasets live in a backing disk pool and
+ * must be written onto carts before they can be staged.  This layer
+ * models that cache with LRU eviction at whole-dataset granularity and
+ * closed-form access latencies:
+ *
+ *  - hit:  the carts are resident; staging costs the DHL bulk time.
+ *  - miss: evict LRU datasets until the carts fit, load the dataset
+ *          from the backing pool (bounded by the pool's read rate and
+ *          the carts' write rate), then stage.
+ */
+
+#ifndef DHL_DHL_PLACEMENT_HPP
+#define DHL_DHL_PLACEMENT_HPP
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "dhl/analytical.hpp"
+#include "dhl/config.hpp"
+
+namespace dhl {
+namespace core {
+
+/** Cache parameters. */
+struct PlacementConfig
+{
+    /** Carts the library keeps for cacheable datasets. */
+    std::size_t cache_carts = 64;
+
+    /** Backing disk-pool read bandwidth, bytes/s. */
+    double backing_read_bw = 50e9;
+};
+
+/** Validate; throws FatalError on nonsense. */
+void validate(const PlacementConfig &cfg);
+
+/** Outcome of one dataset access. */
+struct PlacementAccess
+{
+    bool hit;            ///< Carts were resident.
+    double load_time;    ///< s loading from the backing pool (miss).
+    double stage_time;   ///< s of DHL shuttling.
+    double total_time;   ///< load + stage.
+    double dhl_energy;   ///< J of LIM shots.
+    std::size_t carts;   ///< carts the dataset occupies.
+    std::size_t evicted; ///< datasets evicted to make room.
+};
+
+/** The LRU cart cache. */
+class CartCache
+{
+  public:
+    CartCache(const DhlConfig &dhl, const PlacementConfig &cfg = {});
+
+    const PlacementConfig &config() const { return cfg_; }
+
+    /**
+     * Access @p dataset of @p bytes: account a hit or a miss (with
+     * evictions and backing load) and refresh recency.  fatal() if the
+     * dataset alone exceeds the cache.
+     */
+    PlacementAccess access(const std::string &dataset, double bytes);
+
+    /** True if the dataset's carts are resident. */
+    bool resident(const std::string &dataset) const;
+
+    /** Carts currently occupied. */
+    std::size_t occupiedCarts() const { return occupied_; }
+
+    /** Accesses so far. */
+    std::uint64_t accesses() const { return accesses_; }
+
+    /** Hits so far. */
+    std::uint64_t hits() const { return hits_; }
+
+    /** Hit rate in [0, 1]; 0 before any access. */
+    double hitRate() const;
+
+    /** Total time spent loading from the backing pool, s. */
+    double totalLoadTime() const { return total_load_time_; }
+
+  private:
+    struct Entry
+    {
+        double bytes;
+        std::size_t carts;
+        std::list<std::string>::iterator lru_pos;
+    };
+
+    /** Evict LRU datasets until @p carts fit; returns evictions. */
+    std::size_t makeRoom(std::size_t carts);
+
+    DhlConfig dhl_;
+    PlacementConfig cfg_;
+    AnalyticalModel model_;
+
+    std::unordered_map<std::string, Entry> entries_;
+    std::list<std::string> lru_; ///< front = most recent
+    std::size_t occupied_ = 0;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t hits_ = 0;
+    double total_load_time_ = 0.0;
+};
+
+} // namespace core
+} // namespace dhl
+
+#endif // DHL_DHL_PLACEMENT_HPP

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Implementation of the rack fan-out model.
+ */
+
+#include "dhl/rack.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace dhl {
+namespace core {
+
+void
+validate(const RackConfig &cfg)
+{
+    fatal_if(cfg.nodes == 0, "a rack needs at least one node");
+    fatal_if(!(cfg.node_attach_bw > 0.0),
+             "node attachment bandwidth must be positive");
+}
+
+RackModel::RackModel(const DhlConfig &dhl, const RackConfig &rack)
+    : dhl_(dhl), rack_(rack),
+      array_(dhl.ssd, dhl.ssds_per_cart, dhl.pcie)
+{
+    validate(dhl_);
+    validate(rack_);
+}
+
+double
+RackModel::aggregateBandwidth(std::size_t docked) const
+{
+    fatal_if(docked == 0, "need at least one docked cart");
+    fatal_if(docked > dhl_.docking_stations,
+             "more docked carts than docking stations");
+    return array_.readBandwidth() * static_cast<double>(docked);
+}
+
+double
+RackModel::perNodeBandwidth(std::size_t docked, std::size_t active) const
+{
+    fatal_if(active == 0, "need at least one active node");
+    fatal_if(active > rack_.nodes, "more active nodes than the rack has");
+    const double fair =
+        aggregateBandwidth(docked) / static_cast<double>(active);
+    return std::min(fair, rack_.node_attach_bw);
+}
+
+double
+RackModel::collectiveReadTime(std::size_t docked, double bytes) const
+{
+    fatal_if(!(bytes > 0.0), "read size must be positive");
+    const double per_node_bytes =
+        bytes / static_cast<double>(rack_.nodes);
+    const double bw = perNodeBandwidth(docked, rack_.nodes);
+    return per_node_bytes / bw;
+}
+
+std::vector<NodeShare>
+RackModel::shardEvenly(std::size_t docked, double bytes) const
+{
+    fatal_if(!(bytes > 0.0), "read size must be positive");
+    const double per_node_bytes =
+        bytes / static_cast<double>(rack_.nodes);
+    const double bw = perNodeBandwidth(docked, rack_.nodes);
+    std::vector<NodeShare> shares(
+        rack_.nodes, NodeShare{per_node_bytes, bw, per_node_bytes / bw});
+    return shares;
+}
+
+std::size_t
+RackModel::saturatingNodeCount(std::size_t docked) const
+{
+    return static_cast<std::size_t>(std::ceil(
+        aggregateBandwidth(docked) / rack_.node_attach_bw));
+}
+
+double
+RackModel::heatLoad(std::size_t docked) const
+{
+    fatal_if(docked == 0, "need at least one docked cart");
+    return array_.activePower() * static_cast<double>(docked);
+}
+
+} // namespace core
+} // namespace dhl

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Rack-side fan-out model (paper §III-B5, §III-C): "Each docking
+ * station can be connected to all nodes in the same rack using
+ * existing PCIe technology so each node can access many SSDs in
+ * parallel."
+ *
+ * Given D docked carts and N compute nodes, the model distributes the
+ * carts' aggregate read bandwidth across the nodes (each node also has
+ * its own attachment-bandwidth ceiling), computes collective and
+ * per-node read times for sharded datasets, and sizes the SSD heat
+ * load the Discussion's heat sinks must dissipate.
+ */
+
+#ifndef DHL_DHL_RACK_HPP
+#define DHL_DHL_RACK_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "dhl/config.hpp"
+#include "storage/cart_array.hpp"
+
+namespace dhl {
+namespace core {
+
+/** Compute-node side of the rack. */
+struct RackConfig
+{
+    /** Compute nodes in the rack (a DGX-class pod). */
+    std::size_t nodes = 8;
+
+    /** Per-node attachment bandwidth to the docking backplane,
+     *  bytes/s (e.g. a PCIe 6.0 x16 NIC-less fabric: ~121 GB/s). */
+    double node_attach_bw = 121e9;
+};
+
+/** Validate; throws FatalError on nonsense. */
+void validate(const RackConfig &cfg);
+
+/** One node's share of a collective read. */
+struct NodeShare
+{
+    double bytes;     ///< bytes assigned to the node.
+    double bandwidth; ///< bytes/s the node achieves.
+    double time;      ///< s for the node's shard.
+};
+
+/** The rack fan-out model. */
+class RackModel
+{
+  public:
+    RackModel(const DhlConfig &dhl, const RackConfig &rack = {});
+
+    const RackConfig &rackConfig() const { return rack_; }
+
+    /** Aggregate read bandwidth of @p docked carts, bytes/s. */
+    double aggregateBandwidth(std::size_t docked) const;
+
+    /**
+     * Per-node bandwidth when @p active nodes read concurrently from
+     * @p docked carts: the carts' aggregate split evenly, capped by
+     * each node's attachment.
+     */
+    double perNodeBandwidth(std::size_t docked,
+                            std::size_t active) const;
+
+    /**
+     * Shard @p bytes evenly over all nodes reading from @p docked
+     * carts; the collective finishes when the last node does.
+     */
+    double collectiveReadTime(std::size_t docked, double bytes) const;
+
+    /** Individual shares of an even shard. */
+    std::vector<NodeShare> shardEvenly(std::size_t docked,
+                                       double bytes) const;
+
+    /**
+     * Nodes beyond which adding more stops helping (the carts'
+     * aggregate bandwidth is exhausted): ceil(aggregate / per-node
+     * attach).
+     */
+    std::size_t saturatingNodeCount(std::size_t docked) const;
+
+    /** Heat load of @p docked carts' SSDs under full read, W
+     *  (Discussion §VI heat-sink sizing). */
+    double heatLoad(std::size_t docked) const;
+
+  private:
+    DhlConfig dhl_;
+    RackConfig rack_;
+    storage::CartArray array_;
+};
+
+} // namespace core
+} // namespace dhl
+
+#endif // DHL_DHL_RACK_HPP

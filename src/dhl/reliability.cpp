@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Implementation of the availability model.
+ */
+
+#include "dhl/reliability.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/units.hpp"
+
+namespace dhl {
+namespace core {
+
+void
+validate(const ReliabilityConfig &cfg)
+{
+    fatal_if(!(cfg.lim_mtbf > 0.0) || !(cfg.track_mtbf > 0.0) ||
+                 !(cfg.station_mtbf > 0.0),
+             "MTBFs must be positive");
+    fatal_if(cfg.lim_mttr < 0.0 || cfg.track_mttr < 0.0 ||
+                 cfg.station_mttr < 0.0,
+             "MTTRs must be non-negative");
+    fatal_if(cfg.cart_repair_per_trip < 0.0 ||
+                 cfg.cart_repair_per_trip > 1.0,
+             "cart repair probability must be in [0, 1]");
+    fatal_if(cfg.cart_repair_hours < 0.0,
+             "cart repair turnaround must be non-negative");
+}
+
+AvailabilityModel::AvailabilityModel(const DhlConfig &dhl,
+                                     const ReliabilityConfig &rel)
+    : dhl_(dhl), rel_(rel)
+{
+    core::validate(dhl_);
+    validate(rel_);
+}
+
+double
+AvailabilityModel::steadyAvailability(double mtbf, double mttr)
+{
+    return mtbf / (mtbf + mttr);
+}
+
+AvailabilityReport
+AvailabilityModel::report(double trips_per_hour) const
+{
+    fatal_if(trips_per_hour < 0.0, "trip rate must be non-negative");
+
+    AvailabilityReport r{};
+    const double lim_one =
+        steadyAvailability(rel_.lim_mtbf, rel_.lim_mttr);
+    r.lim_availability = lim_one * lim_one; // both ends in series
+    r.track_availability =
+        steadyAvailability(rel_.track_mtbf, rel_.track_mttr);
+    // Service needs at least one docking station: 1 - P[all down].
+    const double station_one =
+        steadyAvailability(rel_.station_mtbf, rel_.station_mttr);
+    r.stations_availability =
+        1.0 - std::pow(1.0 - station_one,
+                       static_cast<double>(dhl_.docking_stations));
+    r.system_availability = r.lim_availability * r.track_availability *
+                            r.stations_availability;
+    r.downtime_hours_per_year =
+        (1.0 - r.system_availability) * 24.0 * 365.0;
+
+    // Cart rotation: each trip sends a cart to repair with probability
+    // q; at `rate` trips/hour the repair shop holds rate * q *
+    // turnaround carts on average (Little's law); as a fraction of the
+    // library fleet.
+    const double in_repair = trips_per_hour * rel_.cart_repair_per_trip *
+                             rel_.cart_repair_hours;
+    r.carts_in_repair_fraction =
+        std::min(1.0, in_repair /
+                          static_cast<double>(dhl_.library_slots));
+    return r;
+}
+
+double
+AvailabilityModel::deratedBandwidth(double trips_per_hour) const
+{
+    const AnalyticalModel model(dhl_);
+    const AvailabilityReport r = report(trips_per_hour);
+    return model.launch().bandwidth * r.system_availability;
+}
+
+} // namespace core
+} // namespace dhl

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * DHL service availability model (Discussion §VI "Repairs": the
+ * false-floor placement "makes it possible to do repairs with
+ * reasonable access"; the library "offers an easy solution to remove
+ * the carts for repair").
+ *
+ * A steady-state series-availability model over the repairable
+ * components — the two LIMs, the track/vacuum assembly, and the
+ * docking stations — plus the cart fleet's repair rotation, yielding
+ * the fraction of time the DHL can serve transfers and the throughput
+ * derating that implies.
+ */
+
+#ifndef DHL_DHL_RELIABILITY_HPP
+#define DHL_DHL_RELIABILITY_HPP
+
+#include <cstddef>
+
+#include "dhl/analytical.hpp"
+#include "dhl/config.hpp"
+
+namespace dhl {
+namespace core {
+
+/** MTBF/MTTR of the repairable subsystems, hours. */
+struct ReliabilityConfig
+{
+    /** Each LIM (there are two). */
+    double lim_mtbf = 50000.0;
+    double lim_mttr = 8.0;
+
+    /** Track + vacuum assembly (one). */
+    double track_mtbf = 100000.0;
+    double track_mttr = 24.0;
+
+    /** Each rack docking station. */
+    double station_mtbf = 30000.0;
+    double station_mttr = 4.0;
+
+    /** Probability a cart needs repair after a trip (mechanical). */
+    double cart_repair_per_trip = 1e-5;
+
+    /** Cart repair turnaround at the library, hours. */
+    double cart_repair_hours = 2.0;
+};
+
+/** Validate; throws FatalError on nonsense. */
+void validate(const ReliabilityConfig &cfg);
+
+/** Computed availability figures. */
+struct AvailabilityReport
+{
+    double lim_availability;      ///< Both LIMs up.
+    double track_availability;    ///< Track/vacuum up.
+    double stations_availability; ///< At least the required stations up.
+    double system_availability;   ///< Product: the DHL can serve.
+    double downtime_hours_per_year;
+    double carts_in_repair_fraction; ///< Fleet fraction at the shop.
+};
+
+/** The availability model for one configured DHL. */
+class AvailabilityModel
+{
+  public:
+    AvailabilityModel(const DhlConfig &dhl,
+                      const ReliabilityConfig &rel = {});
+
+    const ReliabilityConfig &reliability() const { return rel_; }
+
+    /** Steady-state availability report.
+     *
+     * @param trips_per_hour Average trip rate (for the cart-repair
+     *                       rotation; 0 means idle fleet).
+     */
+    AvailabilityReport report(double trips_per_hour = 0.0) const;
+
+    /**
+     * Effective bulk bandwidth after derating the analytical model's
+     * embodied bandwidth by the system availability.
+     */
+    double deratedBandwidth(double trips_per_hour = 0.0) const;
+
+  private:
+    static double steadyAvailability(double mtbf, double mttr);
+
+    DhlConfig dhl_;
+    ReliabilityConfig rel_;
+};
+
+} // namespace core
+} // namespace dhl
+
+#endif // DHL_DHL_RELIABILITY_HPP

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Implementation of the Open-request scheduling policies.
+ */
+
+#include "dhl/scheduler.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace dhl {
+namespace core {
+
+//===========================================================================
+// FifoScheduler
+//===========================================================================
+
+void
+FifoScheduler::push(QueuedOpen req)
+{
+    queue_.push_back(std::move(req));
+}
+
+QueuedOpen
+FifoScheduler::pop()
+{
+    panic_if(queue_.empty(), "pop from an empty scheduler");
+    QueuedOpen req = std::move(queue_.front());
+    queue_.pop_front();
+    return req;
+}
+
+//===========================================================================
+// PriorityScheduler
+//===========================================================================
+
+void
+PriorityScheduler::push(QueuedOpen req)
+{
+    items_.push_back(std::move(req));
+}
+
+QueuedOpen
+PriorityScheduler::pop()
+{
+    panic_if(items_.empty(), "pop from an empty scheduler");
+    auto best = items_.begin();
+    for (auto it = items_.begin() + 1; it != items_.end(); ++it) {
+        if (it->meta.priority > best->meta.priority ||
+            (it->meta.priority == best->meta.priority &&
+             it->seq < best->seq)) {
+            best = it;
+        }
+    }
+    QueuedOpen req = std::move(*best);
+    items_.erase(best);
+    return req;
+}
+
+//===========================================================================
+// DeadlineScheduler
+//===========================================================================
+
+void
+DeadlineScheduler::push(QueuedOpen req)
+{
+    items_.push_back(std::move(req));
+}
+
+QueuedOpen
+DeadlineScheduler::pop()
+{
+    panic_if(items_.empty(), "pop from an empty scheduler");
+    auto best = items_.begin();
+    for (auto it = items_.begin() + 1; it != items_.end(); ++it) {
+        if (it->meta.deadline < best->meta.deadline ||
+            (it->meta.deadline == best->meta.deadline &&
+             it->seq < best->seq)) {
+            best = it;
+        }
+    }
+    QueuedOpen req = std::move(*best);
+    items_.erase(best);
+    return req;
+}
+
+//===========================================================================
+// Factories
+//===========================================================================
+
+std::unique_ptr<OpenScheduler>
+makeFifoScheduler()
+{
+    return std::make_unique<FifoScheduler>();
+}
+
+std::unique_ptr<OpenScheduler>
+makePriorityScheduler()
+{
+    return std::make_unique<PriorityScheduler>();
+}
+
+std::unique_ptr<OpenScheduler>
+makeDeadlineScheduler()
+{
+    return std::make_unique<DeadlineScheduler>();
+}
+
+} // namespace core
+} // namespace dhl

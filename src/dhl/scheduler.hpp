@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Pluggable scheduling policies for queued Open requests.
+ *
+ * The paper's software layer "schedules the shuttling of the carts
+ * between the library and the endpoints" and must account for carts
+ * being in one place at a time.  When every rack docking station is
+ * claimed, Open requests queue; the policy decides which queued request
+ * gets the next free station:
+ *
+ *  - FifoScheduler:      arrival order (the paper's implicit default).
+ *  - PriorityScheduler:  highest priority first, FIFO within a level
+ *                        (lets ML ingestion pre-empt background
+ *                        backups).
+ *  - DeadlineScheduler:  earliest deadline first (EDF), for bulk jobs
+ *                        with completion targets.
+ */
+
+#ifndef DHL_DHL_SCHEDULER_HPP
+#define DHL_DHL_SCHEDULER_HPP
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dhl/cart.hpp"
+
+namespace dhl {
+namespace core {
+
+class DockingStation;
+
+/** Request metadata consulted by the scheduling policies. */
+struct RequestMeta
+{
+    /** Larger is more urgent (PriorityScheduler). */
+    int priority = 0;
+
+    /** Absolute completion target, s (DeadlineScheduler). */
+    double deadline = std::numeric_limits<double>::infinity();
+};
+
+/** One queued Open request. */
+struct QueuedOpen
+{
+    CartId id;
+    RequestMeta meta;
+    double enqueue_time;
+    std::uint64_t seq; ///< arrival order, for stable tie-breaking
+    std::function<void(Cart &, DockingStation &)> cb;
+};
+
+/** Policy interface. */
+class OpenScheduler
+{
+  public:
+    virtual ~OpenScheduler() = default;
+
+    /** Policy name for stats/traces. */
+    virtual std::string name() const = 0;
+
+    /** Enqueue a request. */
+    virtual void push(QueuedOpen req) = 0;
+
+    /** True if no request is queued. */
+    virtual bool empty() const = 0;
+
+    /** Queued request count. */
+    virtual std::size_t size() const = 0;
+
+    /** Remove and return the next request per the policy. */
+    virtual QueuedOpen pop() = 0;
+};
+
+/** Arrival order. */
+class FifoScheduler : public OpenScheduler
+{
+  public:
+    std::string name() const override { return "fifo"; }
+    void push(QueuedOpen req) override;
+    bool empty() const override { return queue_.empty(); }
+    std::size_t size() const override { return queue_.size(); }
+    QueuedOpen pop() override;
+
+  private:
+    std::deque<QueuedOpen> queue_;
+};
+
+/** Highest priority first; FIFO within a priority level. */
+class PriorityScheduler : public OpenScheduler
+{
+  public:
+    std::string name() const override { return "priority"; }
+    void push(QueuedOpen req) override;
+    bool empty() const override { return items_.empty(); }
+    std::size_t size() const override { return items_.size(); }
+    QueuedOpen pop() override;
+
+  private:
+    std::vector<QueuedOpen> items_;
+};
+
+/** Earliest deadline first; FIFO among equal deadlines. */
+class DeadlineScheduler : public OpenScheduler
+{
+  public:
+    std::string name() const override { return "edf"; }
+    void push(QueuedOpen req) override;
+    bool empty() const override { return items_.empty(); }
+    std::size_t size() const override { return items_.size(); }
+    QueuedOpen pop() override;
+
+  private:
+    std::vector<QueuedOpen> items_;
+};
+
+/** Factory helpers. */
+std::unique_ptr<OpenScheduler> makeFifoScheduler();
+std::unique_ptr<OpenScheduler> makePriorityScheduler();
+std::unique_ptr<OpenScheduler> makeDeadlineScheduler();
+
+} // namespace core
+} // namespace dhl
+
+#endif // DHL_DHL_SCHEDULER_HPP

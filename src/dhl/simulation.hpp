@@ -1,0 +1,84 @@
+/**
+ * @file
+ * High-level facade wiring a complete event-driven DHL system and
+ * running bulk dataset transfers on it — the executable counterpart of
+ * the closed-form AnalyticalModel (they must agree; experiment E11).
+ */
+
+#ifndef DHL_DHL_SIMULATION_HPP
+#define DHL_DHL_SIMULATION_HPP
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+
+#include "dhl/analytical.hpp"
+#include "dhl/config.hpp"
+#include "dhl/controller.hpp"
+#include "sim/simulator.hpp"
+
+namespace dhl {
+namespace core {
+
+/** Options for an event-driven bulk transfer run. */
+struct BulkRunOptions
+{
+    /** Issue all opens up front so trips overlap (requires a Pipelined
+     *  or DualTrack track mode and/or multiple docking stations to
+     *  actually gain anything). */
+    bool pipelined = false;
+
+    /** Read each cart's contents at the rack before closing it. */
+    bool include_read_time = false;
+
+    /** Per-SSD per-trip failure probability (failure injection). */
+    double failure_per_trip = 0.0;
+};
+
+/** Result of an event-driven bulk transfer run. */
+struct BulkRunResult
+{
+    double total_time;          ///< s (simulated).
+    double total_energy;        ///< J (LIM shots).
+    std::uint64_t launches;     ///< one-way launches.
+    std::uint64_t carts;        ///< carts used.
+    std::uint64_t ssd_failures; ///< failures injected en route.
+    double avg_power;           ///< W.
+    double effective_bandwidth; ///< bytes/s.
+    double bytes_read;          ///< bytes actually read at the rack.
+};
+
+/** A complete simulated DHL system. */
+class DhlSimulation
+{
+  public:
+    explicit DhlSimulation(const DhlConfig &cfg, std::uint64_t seed = 1);
+
+    sim::Simulator &simulator() { return sim_; }
+    DhlController &controller() { return *controller_; }
+    const DhlConfig &config() const { return cfg_; }
+
+    /**
+     * Move @p bytes from the library to the rack endpoint: carts are
+     * created preloaded, opened, optionally read, and closed.  Runs the
+     * simulation to completion and reports the measured metrics.
+     *
+     * Serial mode (pipelined = false) reproduces the closed-form
+     * BulkMetrics of AnalyticalModel::bulk() exactly.
+     */
+    BulkRunResult runBulkTransfer(double bytes,
+                                  const BulkRunOptions &opts = {});
+
+    /** Dump all statistics of every simulated object. */
+    void dumpStats(std::ostream &os);
+
+  private:
+    DhlConfig cfg_;
+    sim::Simulator sim_;
+    std::unique_ptr<DhlController> controller_;
+};
+
+} // namespace core
+} // namespace dhl
+
+#endif // DHL_DHL_SIMULATION_HPP

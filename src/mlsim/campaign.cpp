@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Implementation of the training-campaign model.
+ */
+
+#include "mlsim/campaign.hpp"
+
+#include "common/logging.hpp"
+
+namespace dhl {
+namespace mlsim {
+
+void
+validate(const CampaignConfig &cfg)
+{
+    fatal_if(!(cfg.initial_dataset > 0.0),
+             "initial dataset must be positive");
+    fatal_if(cfg.monthly_growth < 0.0,
+             "monthly growth must be non-negative");
+    fatal_if(!(cfg.trainings_per_month > 0.0),
+             "need a positive training rate");
+    fatal_if(cfg.months == 0, "need at least one month");
+}
+
+CampaignModel::CampaignModel(const core::DhlConfig &dhl,
+                             const network::Route &route)
+    : dhl_(dhl), net_(route)
+{}
+
+CampaignReport
+CampaignModel::run(const CampaignConfig &cfg) const
+{
+    validate(cfg);
+
+    CampaignReport report{};
+    report.months.reserve(cfg.months);
+    for (std::uint64_t m = 0; m < cfg.months; ++m) {
+        CampaignMonth month{};
+        month.month = m;
+        month.dataset_bytes =
+            cfg.initial_dataset +
+            cfg.monthly_growth * static_cast<double>(m);
+        month.bytes_moved =
+            month.dataset_bytes * cfg.trainings_per_month;
+
+        // Each training stages the whole dataset once.
+        const auto dhl_bulk = dhl_.bulk(month.dataset_bytes);
+        month.dhl_time = dhl_bulk.total_time * cfg.trainings_per_month;
+        month.dhl_energy =
+            dhl_bulk.total_energy * cfg.trainings_per_month;
+
+        const auto xfer = net_.transfer(month.dataset_bytes);
+        month.net_time = xfer.time * cfg.trainings_per_month;
+        month.net_energy = xfer.energy * cfg.trainings_per_month;
+
+        report.total_bytes += month.bytes_moved;
+        report.dhl_time += month.dhl_time;
+        report.dhl_energy += month.dhl_energy;
+        report.net_time += month.net_time;
+        report.net_energy += month.net_energy;
+        report.months.push_back(month);
+    }
+    return report;
+}
+
+} // namespace mlsim
+} // namespace dhl

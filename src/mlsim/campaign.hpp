@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Long-horizon training-campaign model, quantifying the paper's
+ * §II-D3 observation: "new models with their own independent
+ * architectures are regularly being trained on the same, large
+ * datasets... We see potential for ongoing savings repeatedly and over
+ * the long term."
+ *
+ * A campaign is months of operation during which the dataset grows by
+ * appends (the paper: "regularly reused (and mainly appended)") and a
+ * steady stream of new models each re-stage the whole dataset.  The
+ * model accumulates bytes moved, time and energy for the DHL and for
+ * an optical route, month by month.
+ */
+
+#ifndef DHL_MLSIM_CAMPAIGN_HPP
+#define DHL_MLSIM_CAMPAIGN_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "dhl/analytical.hpp"
+#include "network/transfer.hpp"
+
+namespace dhl {
+namespace mlsim {
+
+/** Shape of a training campaign. */
+struct CampaignConfig
+{
+    /** Dataset size at month zero, bytes (paper: 29 PB). */
+    double initial_dataset = 29e15;
+
+    /** Appended data per month, bytes (Meta's 4 PB/day would be
+     *  ~120 PB/month; default is a conservative 2 PB/month). */
+    double monthly_growth = 2e15;
+
+    /** New models trained (each re-staging the dataset) per month. */
+    double trainings_per_month = 4.0;
+
+    /** Campaign length, months. */
+    std::uint64_t months = 24;
+};
+
+/** Validate; throws FatalError on nonsense. */
+void validate(const CampaignConfig &cfg);
+
+/** One month of the campaign. */
+struct CampaignMonth
+{
+    std::uint64_t month;     ///< 0-based index.
+    double dataset_bytes;    ///< dataset size this month.
+    double bytes_moved;      ///< trainings x dataset.
+    double dhl_time;         ///< s of DHL shuttling.
+    double dhl_energy;       ///< J.
+    double net_time;         ///< s on one optical link.
+    double net_energy;       ///< J.
+};
+
+/** Whole-campaign totals. */
+struct CampaignReport
+{
+    std::vector<CampaignMonth> months;
+    double total_bytes;
+    double dhl_time;
+    double dhl_energy;
+    double net_time;
+    double net_energy;
+
+    double energySaved() const { return net_energy - dhl_energy; }
+    double energyReduction() const { return net_energy / dhl_energy; }
+    double timeReduction() const { return net_time / dhl_time; }
+};
+
+/** The campaign model. */
+class CampaignModel
+{
+  public:
+    CampaignModel(const core::DhlConfig &dhl, const network::Route &route);
+
+    /** Run the campaign month by month. */
+    CampaignReport run(const CampaignConfig &cfg) const;
+
+  private:
+    core::AnalyticalModel dhl_;
+    network::TransferModel net_;
+};
+
+} // namespace mlsim
+} // namespace dhl
+
+#endif // DHL_MLSIM_CAMPAIGN_HPP

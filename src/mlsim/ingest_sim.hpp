@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Event-driven training-ingestion simulator: the data-stall view of
+ * the paper's ML use case.
+ *
+ * The closed-form TrainingSim treats an iteration as ingestion +
+ * compute laid end to end.  This simulator models the *interaction*:
+ * a trainer consumes fixed-size batches from a bounded staging buffer
+ * while a producer — either a network stream or quantised DHL cart
+ * arrivals — fills it, with backpressure when the buffer is full.  The
+ * outputs are the epoch time, the compute utilisation, and the stall
+ * time, i.e. exactly the "data ingestion can cost more than the
+ * computation" phenomenon (Zhao et al.) that motivates the paper's ML
+ * case.
+ */
+
+#ifndef DHL_MLSIM_INGEST_SIM_HPP
+#define DHL_MLSIM_INGEST_SIM_HPP
+
+#include <cstdint>
+
+#include "dhl/config.hpp"
+#include "network/route.hpp"
+
+namespace dhl {
+namespace mlsim {
+
+/** Trainer and buffer parameters. */
+struct IngestConfig
+{
+    /** Bytes consumed per training step. */
+    double batch_bytes = 1e12;
+
+    /** Compute time per training step, s. */
+    double step_compute_time = 0.01;
+
+    /** Staging buffer capacity, bytes (backpressures the producer). */
+    double buffer_capacity = 512e12;
+};
+
+/** Validate; throws FatalError on nonsense. */
+void validate(const IngestConfig &cfg);
+
+/** Outcome of one simulated epoch. */
+struct IngestResult
+{
+    double epoch_time;     ///< s from start to last step retired.
+    double compute_busy;   ///< s the trainer spent computing.
+    double stall_time;     ///< s the trainer waited on data.
+    std::uint64_t steps;   ///< training steps retired.
+    double utilisation;    ///< compute_busy / epoch_time.
+    double producer_idle;  ///< s the producer was backpressured.
+};
+
+/** The simulator (stateless facade; each run builds a fresh DES). */
+class IngestSim
+{
+  public:
+    explicit IngestSim(const IngestConfig &cfg);
+
+    const IngestConfig &config() const { return cfg_; }
+
+    /**
+     * Epoch fed by a network stream: @p links parallel links of
+     * @p route deliver dataset bytes continuously.
+     */
+    IngestResult runWithNetwork(double dataset_bytes,
+                                const network::Route &route,
+                                double links = 1.0) const;
+
+    /**
+     * Epoch fed by DHL cart arrivals: carts of @p dhl's capacity
+     * arrive one launch-period apart (serial round trips by default;
+     * pipelined halves the period per the §V-B argument) and drain
+     * into the buffer at the docked PCIe read bandwidth.
+     */
+    IngestResult runWithDhl(double dataset_bytes,
+                            const core::DhlConfig &dhl,
+                            bool pipelined = false) const;
+
+  private:
+    /**
+     * Core loop shared by both producers: @p chunk_bytes arrive every
+     * @p chunk_period seconds at up to @p drain_rate into the buffer.
+     * A partial final chunk takes a pro-rated slot when
+     * @p prorate_partial (network stream) or a full one (DHL cart).
+     */
+    IngestResult run(double dataset_bytes, double chunk_bytes,
+                     double first_chunk_at, double chunk_period,
+                     double drain_rate, bool prorate_partial) const;
+
+    IngestConfig cfg_;
+};
+
+} // namespace mlsim
+} // namespace dhl
+
+#endif // DHL_MLSIM_INGEST_SIM_HPP

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Implementation of the Figure 6 power sweeps.
+ */
+
+#include "mlsim/sweep.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace dhl {
+namespace mlsim {
+
+SweepSeries
+sweepQuantised(const TrainingSim &sim, double max_power)
+{
+    fatal_if(!sim.comm().quantised(),
+             "sweepQuantised needs a quantised comm layer");
+    fatal_if(!(max_power > 0.0), "max power must be positive");
+
+    SweepSeries s{};
+    s.name = sim.comm().name();
+    s.quantised = true;
+
+    const double unit_power = sim.comm().unitPower();
+    const auto max_units =
+        std::max(1.0, std::floor(max_power / unit_power + 1e-9));
+    for (double k = 1.0; k <= max_units; k += 1.0) {
+        const IterationResult r = sim.iterate(k);
+        s.points.push_back(SweepPoint{k * unit_power, r.iter_time, k});
+    }
+    return s;
+}
+
+SweepSeries
+sweepContinuous(const TrainingSim &sim, double min_power, double max_power,
+                int n_points)
+{
+    fatal_if(sim.comm().quantised(),
+             "sweepContinuous needs a continuous comm layer");
+    fatal_if(!(min_power > 0.0) || !(max_power > min_power),
+             "need 0 < min_power < max_power");
+    fatal_if(n_points < 2, "need at least two sweep points");
+
+    SweepSeries s{};
+    s.name = sim.comm().name();
+    s.quantised = false;
+
+    const double log_lo = std::log(min_power);
+    const double log_hi = std::log(max_power);
+    for (int i = 0; i < n_points; ++i) {
+        const double f =
+            static_cast<double>(i) / static_cast<double>(n_points - 1);
+        const double budget = std::exp(log_lo + f * (log_hi - log_lo));
+        const IterationResult r = sim.isoPower(budget);
+        s.points.push_back(SweepPoint{budget, r.iter_time, r.units});
+    }
+    return s;
+}
+
+} // namespace mlsim
+} // namespace dhl

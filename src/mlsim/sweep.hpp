@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The Figure 6 power-budget sweep: time-per-iteration as a function of
+ * the communication power budget, one series per communication scheme.
+ * DHL series are quantised (one point per whole track count); network
+ * series are continuous (the paper's simplification).
+ */
+
+#ifndef DHL_MLSIM_SWEEP_HPP
+#define DHL_MLSIM_SWEEP_HPP
+
+#include <string>
+#include <vector>
+
+#include "mlsim/training_sim.hpp"
+
+namespace dhl {
+namespace mlsim {
+
+/** One (power, time) point of a Figure 6 series. */
+struct SweepPoint
+{
+    double power;     ///< Communication power budget, W.
+    double iter_time; ///< Time per iteration, s.
+    double units;     ///< Units in use at this point.
+};
+
+/** One Figure 6 series. */
+struct SweepSeries
+{
+    std::string name;
+    bool quantised;
+    std::vector<SweepPoint> points;
+};
+
+/**
+ * Sweep a quantised layer (DHL): one point per track count from 1 up to
+ * the count whose power reaches @p max_power (at least one point).
+ */
+SweepSeries sweepQuantised(const TrainingSim &sim, double max_power);
+
+/**
+ * Sweep a continuous layer (optical): @p n_points log-spaced budgets
+ * from @p min_power to @p max_power.
+ */
+SweepSeries sweepContinuous(const TrainingSim &sim, double min_power,
+                            double max_power, int n_points);
+
+} // namespace mlsim
+} // namespace dhl
+
+#endif // DHL_MLSIM_SWEEP_HPP

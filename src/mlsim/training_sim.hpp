@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The training-iteration simulator: time and power of one gradient-
+ * descent iteration (full dataset ingestion + fixed compute) over a
+ * pluggable communication layer, with the paper's two analyses:
+ *
+ *  - iso-power  (Table VII a): fix a communication power budget, use as
+ *    many parallel units as it affords, measure time/iteration.
+ *  - iso-time   (Table VII b): fix a target time/iteration, solve for
+ *    the communication power required.
+ *
+ * Also implements the paper's numerical-stability protocol (downscale
+ * the dataset, simulate, upscale, verify linearity).
+ */
+
+#ifndef DHL_MLSIM_TRAINING_SIM_HPP
+#define DHL_MLSIM_TRAINING_SIM_HPP
+
+#include "mlsim/comm_layer.hpp"
+#include "mlsim/workload.hpp"
+
+namespace dhl {
+namespace mlsim {
+
+/** Metrics of one training iteration. */
+struct IterationResult
+{
+    double units;          ///< Parallel communication units used.
+    double comm_time;      ///< Ingestion time, s.
+    double iter_time;      ///< comm_time + compute, s.
+    double comm_energy;    ///< Ingestion energy, J.
+    double avg_comm_power; ///< comm_energy / comm_time, W.
+};
+
+/** The iteration simulator for one (workload, comm layer) pair. */
+class TrainingSim
+{
+  public:
+    TrainingSim(const TrainingWorkload &workload, const CommLayer &comm);
+
+    const TrainingWorkload &workload() const { return workload_; }
+    const CommLayer &comm() const { return comm_; }
+
+    /** One iteration with an explicit unit count. */
+    IterationResult iterate(double units) const;
+
+    /**
+     * Iso-power: the largest unit count affordable within
+     * @p power_budget watts — continuous for optical links, whole
+     * tracks (at least one) for DHLs — then iterate.
+     */
+    IterationResult isoPower(double power_budget) const;
+
+    /**
+     * Iso-time: communication power needed to finish an iteration in
+     * @p target_iter_time seconds.  fatal() if the target is below the
+     * compute floor.
+     */
+    double powerForIterTime(double target_iter_time) const;
+
+    /**
+     * The paper's scaling protocol: run the iteration on a dataset
+     * scaled down by @p factor and upscale the resulting times.  For
+     * continuous layers this is exact; for quantised DHLs it holds to
+     * within the cart quantisation (verified by tests).
+     */
+    IterationResult iterateScaled(double units, double factor) const;
+
+  private:
+    TrainingWorkload workload_;
+    const CommLayer &comm_;
+};
+
+} // namespace mlsim
+} // namespace dhl
+
+#endif // DHL_MLSIM_TRAINING_SIM_HPP

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Workload presets.
+ */
+
+#include "mlsim/workload.hpp"
+
+#include "common/logging.hpp"
+#include "common/units.hpp"
+
+namespace dhl {
+namespace mlsim {
+
+TrainingWorkload
+dlrmWorkload()
+{
+    TrainingWorkload w{};
+    w.name = "DLRM-2022 (Meta)";
+    w.dataset_bytes = units::petabytes(29);
+    w.model_bytes = units::terabytes(44);
+    // Calibrated from the affine structure of the paper's Table VII:
+    // time/iter = comm_time + c with c ~ 265 s across all five network
+    // rows (see DESIGN.md §3).
+    w.compute_time = 265.0;
+    return w;
+}
+
+TrainingWorkload
+scaled(const TrainingWorkload &w, double factor)
+{
+    fatal_if(!(factor > 0.0), "scale factor must be positive");
+    TrainingWorkload s = w;
+    s.dataset_bytes *= factor;
+    s.compute_time *= factor;
+    s.name = w.name + " (x" + units::formatSig(factor, 4) + ")";
+    return s;
+}
+
+void
+validate(const TrainingWorkload &w)
+{
+    fatal_if(!(w.dataset_bytes > 0.0), "dataset size must be positive");
+    fatal_if(w.compute_time < 0.0, "compute time must be non-negative");
+    fatal_if(w.model_bytes < 0.0, "model size must be non-negative");
+}
+
+} // namespace mlsim
+} // namespace dhl

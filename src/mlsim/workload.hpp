@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Distributed-training workload descriptors for the ML ingestion study
+ * (the paper's ASTRA-sim experiment, §IV-E / §V-C).
+ *
+ * One gradient-descent iteration ingests the full training dataset and
+ * performs a fixed amount of computation; the experiment measures
+ * time-per-iteration as a function of the communication layer and its
+ * power budget.  The compute-time constant is calibrated from the row
+ * structure of the paper's Table VII (see DESIGN.md §3).
+ */
+
+#ifndef DHL_MLSIM_WORKLOAD_HPP
+#define DHL_MLSIM_WORKLOAD_HPP
+
+#include <string>
+
+namespace dhl {
+namespace mlsim {
+
+/** One training workload. */
+struct TrainingWorkload
+{
+    std::string name;     ///< Workload name.
+    double dataset_bytes; ///< Training data ingested per iteration.
+    double model_bytes;   ///< Model size (context only).
+    double compute_time;  ///< Compute per iteration, s (fixed).
+};
+
+/**
+ * The paper's representative DLRM workload: Meta's 29 PB dataset, the
+ * 44 TB DLRM-2022 model, and the calibrated 265 s compute constant.
+ */
+TrainingWorkload dlrmWorkload();
+
+/** A workload scaled linearly in dataset size (the paper's numerical-
+ *  stability trick: scale down by 1e7, simulate, scale back up). */
+TrainingWorkload scaled(const TrainingWorkload &w, double factor);
+
+/** Validate a workload; throws FatalError on nonsense. */
+void validate(const TrainingWorkload &w);
+
+} // namespace mlsim
+} // namespace dhl
+
+#endif // DHL_MLSIM_WORKLOAD_HPP

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Static network component catalogue (paper Table III).
+ */
+
+#include "network/catalog.hpp"
+
+#include "common/logging.hpp"
+
+namespace dhl {
+namespace network {
+
+std::string
+to_string(ComponentKind kind)
+{
+    switch (kind) {
+      case ComponentKind::Transceiver:
+        return "Transceiver";
+      case ComponentKind::Nic:
+        return "NIC";
+      case ComponentKind::Switch:
+        return "Switch";
+    }
+    panic("unreachable component kind");
+}
+
+const std::vector<ComponentSpec> &
+componentCatalog()
+{
+    static const std::vector<ComponentSpec> components = {
+        {"Transceiver (QSFP-DD)", ComponentKind::Transceiver, 400e9, 0,
+         12.0, 12.0, true},
+        {"NIC 100GbE (E810/N1100G)", ComponentKind::Nic, 100e9, 0,
+         15.8, 22.5, false},
+        {"NIC 2x200 (P2200G/ConnectX-6)", ComponentKind::Nic, 2 * 200e9, 0,
+         17.0, 23.3, true},
+        {"Switch QM9700", ComponentKind::Switch, 400e9, 32,
+         747.0, 1720.0, true},
+        {"Switch 9364D-GX2A", ComponentKind::Switch, 400e9, 64,
+         1324.0, 3000.0, false},
+    };
+    return components;
+}
+
+const PowerConstants &
+defaultPowerConstants()
+{
+    static const PowerConstants constants{};
+    return constants;
+}
+
+} // namespace network
+} // namespace dhl

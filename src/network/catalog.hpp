@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Network component power catalogue (paper Table III) and the calibrated
+ * per-component powers used by the route energy model.
+ *
+ * The paper's five route energies (Fig. 2) are reproduced exactly by:
+ *
+ *  - Transceiver:        12 W        (400 Gbit/s QSFP-DD, Table III)
+ *  - NIC (effective):    19.8 W      (inside the bold 2x200 GbE NIC's
+ *                                     17-23.3 W datasheet range; single
+ *                                     calibrated constant)
+ *  - Switch port passive: 747/32  = 23.34 W  (QM9700 low bound / ports)
+ *  - Switch port active:  1720/32 = 53.75 W  (QM9700 high bound / ports)
+ *
+ * See DESIGN.md §3 for the derivation.
+ */
+
+#ifndef DHL_NETWORK_CATALOG_HPP
+#define DHL_NETWORK_CATALOG_HPP
+
+#include <string>
+#include <vector>
+
+namespace dhl {
+namespace network {
+
+/** Component category in Table III. */
+enum class ComponentKind
+{
+    Transceiver,
+    Nic,
+    Switch,
+};
+
+std::string to_string(ComponentKind kind);
+
+/** One catalogue row (paper Table III). */
+struct ComponentSpec
+{
+    std::string name;    ///< Product name.
+    ComponentKind kind;  ///< Category.
+    double speed;        ///< Link speed, bits/s (per port for switches).
+    int ports;           ///< Port count (0 where N/A).
+    double power_low;    ///< Low-bound power, W (passive cabling).
+    double power_high;   ///< High-bound power, W (active cabling).
+    bool paper_default;  ///< Bolded in the paper (used in its model).
+};
+
+/** Table III rows. */
+const std::vector<ComponentSpec> &componentCatalog();
+
+/** Calibrated powers driving the route model (see file comment). */
+struct PowerConstants
+{
+    double transceiver = 12.0;            ///< W per transceiver.
+    double nic = 19.8;                    ///< W per NIC (effective).
+    double switch_port_passive = 747.0 / 32.0;  ///< W per passive port.
+    double switch_port_active = 1720.0 / 32.0;  ///< W per active port.
+    double link_rate = 400e9 / 8.0;       ///< bytes/s per 400 Gbit/s link.
+};
+
+/** The default calibrated constants. */
+const PowerConstants &defaultPowerConstants();
+
+} // namespace network
+} // namespace dhl
+
+#endif // DHL_NETWORK_CATALOG_HPP

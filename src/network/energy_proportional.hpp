@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Energy-proportional networking baseline (paper §VII-D related work:
+ * ElasticTree-style link on/off, Energy-Efficient Ethernet rate
+ * adaptation).
+ *
+ * The paper's network energy model keeps every route element powered
+ * for the whole transfer.  The strongest counter-proposal from the
+ * literature is to sleep idle links and wake them on demand; this
+ * model quantifies how far that narrows the gap to a DHL:
+ *
+ *  - while transferring, the route draws its full power (optics cannot
+ *    transmit below line power);
+ *  - while idle, it draws a residual fraction (EEE low-power idle);
+ *  - each wake costs a latency during which the route burns full
+ *    power but moves no data.
+ *
+ * The punchline the tests verify: sleeping helps duty-cycled traffic a
+ * lot, but the *per-byte* energy of an active transfer is unchanged,
+ * so the DHL's 4-88x per-byte advantage (Table VI) survives intact.
+ */
+
+#ifndef DHL_NETWORK_ENERGY_PROPORTIONAL_HPP
+#define DHL_NETWORK_ENERGY_PROPORTIONAL_HPP
+
+#include <cstdint>
+
+#include "network/route.hpp"
+#include "network/transfer.hpp"
+
+namespace dhl {
+namespace network {
+
+/** Sleep-state parameters. */
+struct SleepConfig
+{
+    /** Residual power while asleep, fraction of active (EEE LPI is
+     *  ~10 %). */
+    double idle_power_fraction = 0.10;
+
+    /** Time to wake the path end to end, s (PHY + switch ports). */
+    double wake_latency = 0.005;
+
+    /** Don't sleep for gaps shorter than this (hysteresis), s. */
+    double min_sleep_gap = 0.010;
+};
+
+/** Validate; throws FatalError on nonsense. */
+void validate(const SleepConfig &cfg);
+
+/** Energy/time of a duty-cycled transfer schedule. */
+struct DutyCycleResult
+{
+    double active_time;   ///< s transferring (incl. wake overheads).
+    double sleep_time;    ///< s asleep.
+    double idle_time;     ///< s awake but idle (gaps under hysteresis).
+    double energy;        ///< J total.
+    std::uint64_t wakes;  ///< sleep->active transitions.
+
+    double
+    totalTime() const
+    {
+        return active_time + sleep_time + idle_time;
+    }
+};
+
+/** The energy-proportional route model. */
+class EnergyProportionalModel
+{
+  public:
+    EnergyProportionalModel(const Route &route, const SleepConfig &sleep,
+                            const PowerConstants &pc =
+                                defaultPowerConstants());
+
+    const Route &route() const { return model_.route(); }
+    const SleepConfig &sleep() const { return sleep_; }
+
+    /** Per-byte energy while actively transferring, J/B (identical to
+     *  the always-on model — sleeping cannot lower it). */
+    double activeJoulesPerByte() const;
+
+    /**
+     * A periodic duty: @p bytes every @p period seconds for
+     * @p n_periods periods over one link.  The route sleeps between
+     * transfers when the gap clears the hysteresis.
+     */
+    DutyCycleResult periodicDuty(double bytes, double period,
+                                 std::uint64_t n_periods) const;
+
+    /**
+     * The same duty on an always-on route (the paper's accounting),
+     * for comparison.
+     */
+    DutyCycleResult alwaysOnDuty(double bytes, double period,
+                                 std::uint64_t n_periods) const;
+
+    /** Energy saving factor of sleeping vs always-on for the duty. */
+    double savingFactor(double bytes, double period,
+                        std::uint64_t n_periods) const;
+
+  private:
+    TransferModel model_;
+    SleepConfig sleep_;
+};
+
+} // namespace network
+} // namespace dhl
+
+#endif // DHL_NETWORK_ENERGY_PROPORTIONAL_HPP

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Implementation of the topology-level fabric simulator.
+ */
+
+#include "network/fabric_sim.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace dhl {
+namespace network {
+
+FabricSim::FabricSim(sim::Simulator &sim, const FatTreeConfig &cfg,
+                     double link_capacity, const PowerConstants &pc)
+    : topo_(cfg), pc_(pc), flows_(sim, "fabric")
+{
+    fatal_if(!(link_capacity > 0.0), "link capacity must be positive");
+    for (const auto &edge : topo_.edges())
+        edge_links_.emplace(edge, flows_.addLink(link_capacity));
+
+    // Remember each ToR's first uplink for the diagnostics helper.
+    for (int aisle = 0; aisle < cfg.aisles; ++aisle) {
+        for (int rack = 0; rack < cfg.racks_per_aisle; ++rack) {
+            const int tor = topo_.torNodeId(aisle, rack);
+            const int agg = topo_.aggNodeId(aisle, 0);
+            tor_uplinks_.emplace(std::make_pair(aisle, rack),
+                                 edgeLink(tor, agg));
+        }
+    }
+}
+
+int
+FabricSim::edgeLink(int a, int b) const
+{
+    const auto key = std::make_pair(std::min(a, b), std::max(a, b));
+    auto it = edge_links_.find(key);
+    panic_if(it == edge_links_.end(),
+             "path uses an edge the fabric never materialised");
+    return it->second;
+}
+
+FlowId
+FabricSim::startTransfer(const HostAddress &src, const HostAddress &dst,
+                         double bytes, FlowSim::Callback cb)
+{
+    const HostPath path = topo_.path(src, dst);
+
+    // Node sequence: src host, switches..., dst host.
+    std::vector<int> nodes;
+    nodes.push_back(topo_.hostIndex(src));
+    nodes.insert(nodes.end(), path.switch_nodes.begin(),
+                 path.switch_nodes.end());
+    nodes.push_back(topo_.hostIndex(dst));
+
+    std::vector<int> links;
+    links.reserve(nodes.size() - 1);
+    for (std::size_t i = 1; i < nodes.size(); ++i)
+        links.push_back(edgeLink(nodes[i - 1], nodes[i]));
+
+    return flows_.startFlow(std::move(links), bytes,
+                            path.route.power(pc_), std::move(cb));
+}
+
+double
+FabricSim::torUplinkUtilisation(int aisle, int rack) const
+{
+    auto it = tor_uplinks_.find(std::make_pair(aisle, rack));
+    fatal_if(it == tor_uplinks_.end(), "unknown ToR");
+    return flows_.linkUtilisation(it->second);
+}
+
+} // namespace network
+} // namespace dhl

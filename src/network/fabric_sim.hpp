@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Topology-level flow simulation: glues the fat-tree builder to the
+ * max-min fair flow simulator so transfers are launched host-to-host
+ * and automatically contend on every physical link along their path —
+ * the full §II picture (bulk transfers squeezing a real fabric) in one
+ * object.
+ */
+
+#ifndef DHL_NETWORK_FABRIC_SIM_HPP
+#define DHL_NETWORK_FABRIC_SIM_HPP
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "network/flowsim.hpp"
+#include "network/topology.hpp"
+
+namespace dhl {
+namespace network {
+
+/** The fabric simulator. */
+class FabricSim
+{
+  public:
+    /**
+     * @param sim            The DES kernel.
+     * @param cfg            Fat-tree shape.
+     * @param link_capacity  Capacity of every physical link, bytes/s
+     *                       (default one 400 Gbit/s lane per link).
+     * @param pc             Power constants for per-flow energy.
+     */
+    FabricSim(sim::Simulator &sim, const FatTreeConfig &cfg = {},
+              double link_capacity = 400e9 / 8.0,
+              const PowerConstants &pc = defaultPowerConstants());
+
+    const FatTree &topology() const { return topo_; }
+    FlowSim &flows() { return flows_; }
+
+    /**
+     * Start a transfer from @p src to @p dst; the flow takes the BFS
+     * path, shares every link max-min fairly, and is charged the
+     * path's route power.
+     */
+    FlowId startTransfer(const HostAddress &src, const HostAddress &dst,
+                         double bytes, FlowSim::Callback cb = nullptr);
+
+    /** Number of physical links the fabric was built with. */
+    std::size_t numLinks() const { return edge_links_.size(); }
+
+    /** Utilisation of the first uplink of a ToR (diagnostics). */
+    double torUplinkUtilisation(int aisle, int rack) const;
+
+  private:
+    /** Link id of the edge {a, b}; built lazily is not allowed — all
+     *  edges are materialised up front. */
+    int edgeLink(int a, int b) const;
+
+    FatTree topo_;
+    PowerConstants pc_;
+    FlowSim flows_;
+    std::map<std::pair<int, int>, int> edge_links_;
+    std::map<std::pair<int, int>, int> tor_uplinks_; ///< (aisle, rack)
+};
+
+} // namespace network
+} // namespace dhl
+
+#endif // DHL_NETWORK_FABRIC_SIM_HPP

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Implementation of the optical circuit switching baseline.
+ */
+
+#include "network/ocs.hpp"
+
+#include "common/logging.hpp"
+
+namespace dhl {
+namespace network {
+
+void
+validate(const OcsConfig &cfg)
+{
+    fatal_if(cfg.reconfiguration_latency < 0.0,
+             "reconfiguration latency must be non-negative");
+    fatal_if(cfg.port_power < 0.0, "port power must be non-negative");
+    fatal_if(cfg.ports_per_circuit < 0,
+             "ports per circuit must be non-negative");
+}
+
+OcsModel::OcsModel(const OcsConfig &cfg, const PowerConstants &pc)
+    : cfg_(cfg), pc_(pc)
+{
+    validate(cfg_);
+    fatal_if(!(pc.link_rate > 0.0), "link rate must be positive");
+}
+
+double
+OcsModel::circuitPower() const
+{
+    return 2.0 * pc_.transceiver +
+           cfg_.port_power * cfg_.ports_per_circuit;
+}
+
+TransferResult
+OcsModel::transfer(double bytes, double circuits) const
+{
+    fatal_if(bytes < 0.0, "transfer size must be non-negative");
+    fatal_if(!(circuits > 0.0), "need a positive circuit count");
+
+    TransferResult r{};
+    r.bytes = bytes;
+    r.links = circuits;
+    r.bandwidth = pc_.link_rate * circuits;
+    r.time = cfg_.reconfiguration_latency + bytes / r.bandwidth;
+    r.power = circuitPower() * circuits;
+    r.energy = r.power * r.time;
+    return r;
+}
+
+double
+OcsModel::savingVsRoute(const Route &route, double bytes) const
+{
+    const TransferModel packet(route, pc_);
+    return packet.transfer(bytes).energy / transfer(bytes).energy;
+}
+
+} // namespace network
+} // namespace dhl

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Optical circuit switching (OCS) baseline — the networking community's
+ * own answer to electrical switching energy (paper §II-B and §VII-D:
+ * Sirius, Baldur, hybrid switches).
+ *
+ * A circuit-switched path replaces every electrical switch transit
+ * with a passive optical crossbar: once the circuit is configured
+ * (paying a reconfiguration latency), only the two endpoint
+ * transceivers and a small per-port crossbar overhead draw power.
+ * This is the best case for optical networking — it reduces any route
+ * to nearly A0 — and the comparison the DHL must still beat.
+ */
+
+#ifndef DHL_NETWORK_OCS_HPP
+#define DHL_NETWORK_OCS_HPP
+
+#include "network/catalog.hpp"
+#include "network/transfer.hpp"
+
+namespace dhl {
+namespace network {
+
+/** Parameters of the optical circuit switch. */
+struct OcsConfig
+{
+    /** Circuit (re)configuration latency, s (MEMS mirrors: ~10 ms;
+     *  Sirius-class: nanoseconds — configurable). */
+    double reconfiguration_latency = 0.010;
+
+    /** Crossbar power per port in circuit, W (insertion loss drivers
+     *  and control; near zero for passive designs). */
+    double port_power = 0.5;
+
+    /** Crossbar ports a circuit transits (in + out). */
+    int ports_per_circuit = 2;
+};
+
+/** Validate; throws FatalError on nonsense. */
+void validate(const OcsConfig &cfg);
+
+/** The circuit-switched transfer model. */
+class OcsModel
+{
+  public:
+    explicit OcsModel(const OcsConfig &cfg = {},
+                      const PowerConstants &pc =
+                          defaultPowerConstants());
+
+    const OcsConfig &config() const { return cfg_; }
+
+    /** Power of one established circuit, W: two transceivers plus the
+     *  crossbar ports. */
+    double circuitPower() const;
+
+    /** Transfer @p bytes over @p circuits parallel circuits,
+     *  including one reconfiguration up front. */
+    TransferResult transfer(double bytes, double circuits = 1.0) const;
+
+    /**
+     * Energy saving of the circuit against a packet-switched route for
+     * the same bytes (the gap OCS closes).
+     */
+    double savingVsRoute(const Route &route, double bytes) const;
+
+  private:
+    OcsConfig cfg_;
+    PowerConstants pc_;
+};
+
+} // namespace network
+} // namespace dhl
+
+#endif // DHL_NETWORK_OCS_HPP

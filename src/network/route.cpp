@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Implementation of the route power model and the canonical Fig. 2
+ * routes.
+ */
+
+#include "network/route.hpp"
+
+#include "common/logging.hpp"
+
+namespace dhl {
+namespace network {
+
+std::string
+to_string(ElementKind kind)
+{
+    switch (kind) {
+      case ElementKind::Transceiver:
+        return "transceiver";
+      case ElementKind::Nic:
+        return "NIC";
+      case ElementKind::SwitchPortPassive:
+        return "switch-port(passive)";
+      case ElementKind::SwitchPortActive:
+        return "switch-port(active)";
+    }
+    panic("unreachable element kind");
+}
+
+Route::Route(std::string name, std::vector<RouteElement> elements)
+    : name_(std::move(name)), elements_(std::move(elements))
+{
+    fatal_if(name_.empty(), "a route needs a name");
+    for (const auto &e : elements_)
+        fatal_if(e.count < 0, "route element counts must be non-negative");
+}
+
+double
+Route::power(const PowerConstants &pc) const
+{
+    double total = 0.0;
+    for (const auto &e : elements_) {
+        double unit = 0.0;
+        switch (e.kind) {
+          case ElementKind::Transceiver:
+            unit = pc.transceiver;
+            break;
+          case ElementKind::Nic:
+            unit = pc.nic;
+            break;
+          case ElementKind::SwitchPortPassive:
+            unit = pc.switch_port_passive;
+            break;
+          case ElementKind::SwitchPortActive:
+            unit = pc.switch_port_active;
+            break;
+        }
+        total += unit * e.count;
+    }
+    return total;
+}
+
+int
+Route::countOf(ElementKind kind) const
+{
+    int n = 0;
+    for (const auto &e : elements_) {
+        if (e.kind == kind)
+            n += e.count;
+    }
+    return n;
+}
+
+int
+Route::switchTransits() const
+{
+    return (countOf(ElementKind::SwitchPortPassive) +
+            countOf(ElementKind::SwitchPortActive)) / 2;
+}
+
+const std::vector<Route> &
+canonicalRoutes()
+{
+    // Fig. 2: node-to-ToR hops use passive cabling, everything above is
+    // active.  A route transiting a switch keeps two of its ports busy.
+    static const std::vector<Route> routes = {
+        Route("A0", {{ElementKind::Transceiver, 2}}),
+        Route("A1", {{ElementKind::Nic, 2}}),
+        Route("A2", {{ElementKind::Nic, 2},
+                     {ElementKind::SwitchPortPassive, 2}}),
+        // B: ToR-A (passive node port + active uplink), one mid switch
+        // (2 active), ToR-B (active + passive).
+        Route("B", {{ElementKind::Nic, 2},
+                    {ElementKind::SwitchPortPassive, 2},
+                    {ElementKind::SwitchPortActive, 4}}),
+        // C: as B but crossing the core: three mid switches (6 active).
+        Route("C", {{ElementKind::Nic, 2},
+                    {ElementKind::SwitchPortPassive, 2},
+                    {ElementKind::SwitchPortActive, 8}}),
+    };
+    return routes;
+}
+
+const Route &
+findRoute(const std::string &name)
+{
+    for (const auto &r : canonicalRoutes()) {
+        if (r.name() == name)
+            return r;
+    }
+    fatal("unknown canonical route: " + name);
+}
+
+} // namespace network
+} // namespace dhl

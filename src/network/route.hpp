@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Route power model: a route is a sequence of powered elements the data
+ * stream keeps busy for the whole transfer; the transfer energy is the
+ * route's total power times the transfer time.
+ *
+ * The five canonical routes of the paper's Fig. 2:
+ *
+ *  - A0: two directly connected transceivers only (the idealised bound).
+ *  - A1: a direct, passive connection between two regular NICs.
+ *  - A2: a passive connection through one switch (two passive ports).
+ *  - B:  different racks, same aisle: NIC - ToR - mid switch - ToR - NIC
+ *        (ToR node-side ports passive, all inter-switch ports active).
+ *  - C:  different aisles: NIC - ToR - 3 mid switches - ToR - NIC.
+ *
+ * With the calibrated constants these reproduce the paper's 13.92 /
+ * 22.97 / 50.05 / 174.75 / 299.45 MJ for the 29 PB transfer.
+ */
+
+#ifndef DHL_NETWORK_ROUTE_HPP
+#define DHL_NETWORK_ROUTE_HPP
+
+#include <string>
+#include <vector>
+
+#include "network/catalog.hpp"
+
+namespace dhl {
+namespace network {
+
+/** Kind of one powered element along a route. */
+enum class ElementKind
+{
+    Transceiver,       ///< One optical transceiver.
+    Nic,               ///< One network interface card.
+    SwitchPortPassive, ///< One switch port with passive cabling.
+    SwitchPortActive,  ///< One switch port with active cabling.
+};
+
+std::string to_string(ElementKind kind);
+
+/** One powered element along a route. */
+struct RouteElement
+{
+    ElementKind kind;
+    int count; ///< Number of identical elements.
+};
+
+/** A named route: an ordered bag of powered elements. */
+class Route
+{
+  public:
+    Route(std::string name, std::vector<RouteElement> elements);
+
+    const std::string &name() const { return name_; }
+    const std::vector<RouteElement> &elements() const { return elements_; }
+
+    /** Total electrical power while the route is busy, W. */
+    double power(const PowerConstants &pc = defaultPowerConstants()) const;
+
+    /** Count of elements of a given kind. */
+    int countOf(ElementKind kind) const;
+
+    /** Number of switch transits (passive+active port pairs / 2). */
+    int switchTransits() const;
+
+  private:
+    std::string name_;
+    std::vector<RouteElement> elements_;
+};
+
+/** The five canonical routes of Fig. 2, in paper order A0..C. */
+const std::vector<Route> &canonicalRoutes();
+
+/** Look up a canonical route by name ("A0".."C"); fatal() if absent. */
+const Route &findRoute(const std::string &name);
+
+} // namespace network
+} // namespace dhl
+
+#endif // DHL_NETWORK_ROUTE_HPP

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Implementation of the fat-tree topology builder.
+ */
+
+#include "network/topology.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.hpp"
+
+namespace dhl {
+namespace network {
+
+FatTree::FatTree(const FatTreeConfig &cfg)
+    : cfg_(cfg)
+{
+    fatal_if(cfg.aisles < 1, "need at least one aisle");
+    fatal_if(cfg.racks_per_aisle < 1, "need at least one rack per aisle");
+    fatal_if(cfg.hosts_per_rack < 1, "need at least one host per rack");
+    fatal_if(cfg.aggs_per_aisle < 1, "need at least one agg per aisle");
+    fatal_if(cfg.cores < 1, "need at least one core switch");
+
+    const int tors = cfg.aisles * cfg.racks_per_aisle;
+    const int aggs = cfg.aisles * cfg.aggs_per_aisle;
+    num_switches_ = tors + aggs + cfg.cores;
+
+    const int total = numHosts() + num_switches_;
+    adj_.assign(static_cast<std::size_t>(total), {});
+
+    auto connect = [this](int a, int b) {
+        adj_[static_cast<std::size_t>(a)].push_back(b);
+        adj_[static_cast<std::size_t>(b)].push_back(a);
+    };
+
+    for (int aisle = 0; aisle < cfg.aisles; ++aisle) {
+        for (int rack = 0; rack < cfg.racks_per_aisle; ++rack) {
+            const int tor = torNode(aisle, rack);
+            // Hosts to their ToR.
+            for (int h = 0; h < cfg.hosts_per_rack; ++h)
+                connect(hostIndex({aisle, rack, h}), tor);
+            // ToR to every aggregation switch in its aisle.
+            for (int a = 0; a < cfg.aggs_per_aisle; ++a)
+                connect(tor, aggNode(aisle, a));
+        }
+        // Aggregation switches to every core.
+        for (int a = 0; a < cfg.aggs_per_aisle; ++a) {
+            for (int c = 0; c < cfg.cores; ++c)
+                connect(aggNode(aisle, a), coreNode(c));
+        }
+    }
+}
+
+int
+FatTree::numHosts() const
+{
+    return cfg_.aisles * cfg_.racks_per_aisle * cfg_.hosts_per_rack;
+}
+
+int
+FatTree::hostIndex(const HostAddress &addr) const
+{
+    fatal_if(addr.aisle < 0 || addr.aisle >= cfg_.aisles,
+             "aisle out of range");
+    fatal_if(addr.rack < 0 || addr.rack >= cfg_.racks_per_aisle,
+             "rack out of range");
+    fatal_if(addr.host < 0 || addr.host >= cfg_.hosts_per_rack,
+             "host out of range");
+    return (addr.aisle * cfg_.racks_per_aisle + addr.rack) *
+               cfg_.hosts_per_rack +
+           addr.host;
+}
+
+HostAddress
+FatTree::hostAddress(int index) const
+{
+    fatal_if(index < 0 || index >= numHosts(), "host index out of range");
+    HostAddress a{};
+    a.host = index % cfg_.hosts_per_rack;
+    const int rack_flat = index / cfg_.hosts_per_rack;
+    a.rack = rack_flat % cfg_.racks_per_aisle;
+    a.aisle = rack_flat / cfg_.racks_per_aisle;
+    return a;
+}
+
+int
+FatTree::torNode(int aisle, int rack) const
+{
+    return numHosts() + aisle * cfg_.racks_per_aisle + rack;
+}
+
+int
+FatTree::aggNode(int aisle, int agg) const
+{
+    return numHosts() + cfg_.aisles * cfg_.racks_per_aisle +
+           aisle * cfg_.aggs_per_aisle + agg;
+}
+
+int
+FatTree::coreNode(int core) const
+{
+    return numHosts() + cfg_.aisles * cfg_.racks_per_aisle +
+           cfg_.aisles * cfg_.aggs_per_aisle + core;
+}
+
+HostPath
+FatTree::path(const HostAddress &src, const HostAddress &dst) const
+{
+    const int s = hostIndex(src);
+    const int t = hostIndex(dst);
+    fatal_if(s == t, "path endpoints must be distinct hosts");
+
+    // BFS shortest path.
+    std::vector<int> prev(adj_.size(), -1);
+    std::queue<int> q;
+    q.push(s);
+    prev[static_cast<std::size_t>(s)] = s;
+    while (!q.empty()) {
+        const int u = q.front();
+        q.pop();
+        if (u == t)
+            break;
+        for (int v : adj_[static_cast<std::size_t>(u)]) {
+            if (prev[static_cast<std::size_t>(v)] == -1) {
+                prev[static_cast<std::size_t>(v)] = u;
+                q.push(v);
+            }
+        }
+    }
+    panic_if(prev[static_cast<std::size_t>(t)] == -1,
+             "fat tree is disconnected");
+
+    std::vector<int> nodes;
+    for (int u = t; u != s; u = prev[static_cast<std::size_t>(u)])
+        nodes.push_back(u);
+    nodes.push_back(s);
+    std::reverse(nodes.begin(), nodes.end());
+
+    // Interior nodes are switches.
+    std::vector<int> switches(nodes.begin() + 1, nodes.end() - 1);
+    panic_if(switches.empty(), "two distinct hosts share no switch");
+
+    // Convert to the powered-element route: the first and last switch
+    // have one passive (host-facing) port each; every other port along
+    // the path is active.
+    const int n_sw = static_cast<int>(switches.size());
+    const int total_ports = 2 * n_sw;
+    int passive_ports = 2;
+    int active_ports = total_ports - passive_ports;
+    if (n_sw == 1) {
+        // Single-switch transit: both ports face hosts (route A2).
+        passive_ports = 2;
+        active_ports = 0;
+    }
+
+    std::vector<RouteElement> elems;
+    elems.push_back({ElementKind::Nic, 2});
+    elems.push_back({ElementKind::SwitchPortPassive, passive_ports});
+    if (active_ports > 0)
+        elems.push_back({ElementKind::SwitchPortActive, active_ports});
+
+    std::string name = "fabric(" + std::to_string(n_sw) + "sw)";
+    return HostPath{src, dst, std::move(switches),
+                    Route(name, std::move(elems))};
+}
+
+int
+FatTree::hopSwitches(const HostAddress &src, const HostAddress &dst) const
+{
+    return static_cast<int>(path(src, dst).switch_nodes.size());
+}
+
+std::vector<std::pair<int, int>>
+FatTree::edges() const
+{
+    std::vector<std::pair<int, int>> out;
+    for (int a = 0; a < static_cast<int>(adj_.size()); ++a) {
+        for (int b : adj_[static_cast<std::size_t>(a)]) {
+            if (a < b)
+                out.emplace_back(a, b);
+        }
+    }
+    return out;
+}
+
+int
+FatTree::torNodeId(int aisle, int rack) const
+{
+    fatal_if(aisle < 0 || aisle >= cfg_.aisles, "aisle out of range");
+    fatal_if(rack < 0 || rack >= cfg_.racks_per_aisle,
+             "rack out of range");
+    return torNode(aisle, rack);
+}
+
+int
+FatTree::aggNodeId(int aisle, int agg) const
+{
+    fatal_if(aisle < 0 || aisle >= cfg_.aisles, "aisle out of range");
+    fatal_if(agg < 0 || agg >= cfg_.aggs_per_aisle, "agg out of range");
+    return aggNode(aisle, agg);
+}
+
+int
+FatTree::coreNodeId(int core) const
+{
+    fatal_if(core < 0 || core >= cfg_.cores, "core out of range");
+    return coreNode(core);
+}
+
+} // namespace network
+} // namespace dhl

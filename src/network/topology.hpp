@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Fat-tree data-centre topology builder (the Fig. 2 network).
+ *
+ * Three layers: per-rack top-of-rack (ToR) switches, per-aisle
+ * aggregation switches, and core switches spanning aisles.  Hosts attach
+ * to their rack's ToR with passive cabling; every inter-switch hop is
+ * active (matching the paper's assumption).  Routes between any two
+ * hosts are extracted by BFS and converted into the powered-element
+ * Route model, so the canonical A2/B/C routes emerge naturally from host
+ * placement:
+ *
+ *  - same rack                -> 1 switch  (A2's power)
+ *  - same aisle, other rack   -> 3 switches (B)
+ *  - other aisle              -> 5 switches (C)
+ */
+
+#ifndef DHL_NETWORK_TOPOLOGY_HPP
+#define DHL_NETWORK_TOPOLOGY_HPP
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "network/route.hpp"
+
+namespace dhl {
+namespace network {
+
+/** Shape of the fat tree. */
+struct FatTreeConfig
+{
+    int aisles = 2;          ///< Aisles in the data centre.
+    int racks_per_aisle = 4; ///< Racks per aisle.
+    int hosts_per_rack = 3;  ///< Hosts per rack.
+    int aggs_per_aisle = 1;  ///< Aggregation switches per aisle.
+    int cores = 1;           ///< Core switches.
+};
+
+/** Identifies one host by its physical position. */
+struct HostAddress
+{
+    int aisle;
+    int rack;
+    int host;
+};
+
+/** A resolved path between two hosts. */
+struct HostPath
+{
+    HostAddress src;
+    HostAddress dst;
+    std::vector<int> switch_nodes; ///< Switch node ids in hop order.
+    Route route;                   ///< Powered-element equivalent.
+};
+
+/** The built topology. */
+class FatTree
+{
+  public:
+    explicit FatTree(const FatTreeConfig &cfg = {});
+
+    const FatTreeConfig &config() const { return cfg_; }
+
+    int numHosts() const;
+    int numSwitches() const { return num_switches_; }
+
+    /** Flat host index of an address; fatal() on out-of-range. */
+    int hostIndex(const HostAddress &addr) const;
+
+    /** Address of a flat host index. */
+    HostAddress hostAddress(int index) const;
+
+    /**
+     * Shortest path between two hosts.  fatal() if they are the same
+     * host.  The returned Route has 2 NICs, passive ports on the two
+     * host-facing hops, active ports on every switch-to-switch hop.
+     */
+    HostPath path(const HostAddress &src, const HostAddress &dst) const;
+
+    /** Number of switches a path between the two hosts transits. */
+    int hopSwitches(const HostAddress &src, const HostAddress &dst) const;
+
+    /** All undirected edges (a < b) of the topology. */
+    std::vector<std::pair<int, int>> edges() const;
+
+    /** Node ids of specific switches (hosts use hostIndex()). */
+    int torNodeId(int aisle, int rack) const;
+    int aggNodeId(int aisle, int agg) const;
+    int coreNodeId(int core) const;
+
+  private:
+    /** Node ids: hosts first, then switches. */
+    int torNode(int aisle, int rack) const;
+    int aggNode(int aisle, int agg) const;
+    int coreNode(int core) const;
+
+    FatTreeConfig cfg_;
+    int num_switches_;
+    std::vector<std::vector<int>> adj_; ///< adjacency over all nodes
+};
+
+} // namespace network
+} // namespace dhl
+
+#endif // DHL_NETWORK_TOPOLOGY_HPP

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Implementation of the analytical bulk-transfer model.
+ */
+
+#include "network/transfer.hpp"
+
+#include "common/logging.hpp"
+
+namespace dhl {
+namespace network {
+
+TransferModel::TransferModel(const Route &route, const PowerConstants &pc)
+    : route_(route), pc_(pc), link_power_(route.power(pc))
+{
+    fatal_if(!(pc.link_rate > 0.0), "link rate must be positive");
+    fatal_if(!(link_power_ > 0.0), "route power must be positive");
+}
+
+TransferResult
+TransferModel::transfer(double bytes, double links) const
+{
+    fatal_if(bytes < 0.0, "transfer size must be non-negative");
+    fatal_if(!(links > 0.0), "need a positive number of links");
+
+    TransferResult r{};
+    r.bytes = bytes;
+    r.links = links;
+    r.bandwidth = pc_.link_rate * links;
+    r.time = bytes / r.bandwidth;
+    r.power = link_power_ * links;
+    r.energy = r.power * r.time;
+    return r;
+}
+
+double
+TransferModel::linksWithinPower(double power_budget) const
+{
+    fatal_if(!(power_budget > 0.0), "power budget must be positive");
+    return power_budget / link_power_;
+}
+
+double
+TransferModel::linksForTime(double bytes, double time) const
+{
+    fatal_if(bytes < 0.0, "transfer size must be non-negative");
+    fatal_if(!(time > 0.0), "target time must be positive");
+    return bytes / (pc_.link_rate * time);
+}
+
+double
+TransferModel::speedupForTargetTime(double bytes, double target_time) const
+{
+    const double single_link_time = bytes / pc_.link_rate;
+    fatal_if(!(target_time > 0.0), "target time must be positive");
+    return single_link_time / target_time;
+}
+
+} // namespace network
+} // namespace dhl

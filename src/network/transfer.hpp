@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Analytical bulk-transfer model over optical routes: transfer time,
+ * energy, parallelisation, and power-budgeted link counts — the network
+ * side of every DHL comparison in the paper (§II-C, Table VI, Table VII).
+ */
+
+#ifndef DHL_NETWORK_TRANSFER_HPP
+#define DHL_NETWORK_TRANSFER_HPP
+
+#include "network/catalog.hpp"
+#include "network/route.hpp"
+
+namespace dhl {
+namespace network {
+
+/** Result of an analytical bulk transfer. */
+struct TransferResult
+{
+    double bytes;     ///< Bytes moved.
+    double links;     ///< Parallel links used (may be fractional).
+    double time;      ///< Wall-clock transfer time, s.
+    double power;     ///< Total electrical power while transferring, W.
+    double energy;    ///< Total energy, J.
+    double bandwidth; ///< Achieved aggregate bandwidth, bytes/s.
+};
+
+/** Analytical transfer calculator for one route class. */
+class TransferModel
+{
+  public:
+    explicit TransferModel(
+        const Route &route,
+        const PowerConstants &pc = defaultPowerConstants());
+
+    const Route &route() const { return route_; }
+
+    /** Per-link electrical power of this route, W. */
+    double linkPower() const { return link_power_; }
+
+    /** Per-link data rate, bytes/s. */
+    double linkRate() const { return pc_.link_rate; }
+
+    /**
+     * Move @p bytes over @p links parallel instances of the route.
+     * Links may be fractional (the paper's continuous approximation).
+     */
+    TransferResult transfer(double bytes, double links = 1.0) const;
+
+    /**
+     * Number of parallel links affordable within @p power_budget watts
+     * (continuous).  fatal() if even one link's power exceeds... no —
+     * fractional links are allowed, so this is just budget / linkPower.
+     */
+    double linksWithinPower(double power_budget) const;
+
+    /** Links needed to finish @p bytes within @p time seconds. */
+    double linksForTime(double bytes, double time) const;
+
+    /**
+     * The §II-C argument: the bandwidth multiple (and hence link count)
+     * needed to hit a target transfer time, e.g. 161x for 29 PB in one
+     * hour.
+     */
+    double speedupForTargetTime(double bytes, double target_time) const;
+
+  private:
+    Route route_;
+    PowerConstants pc_;
+    double link_power_;
+};
+
+} // namespace network
+} // namespace dhl
+
+#endif // DHL_NETWORK_TRANSFER_HPP

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Implementation of the LIM energy/power model.
+ */
+
+#include "physics/lim.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace dhl {
+namespace physics {
+
+void
+validate(const LimConfig &cfg)
+{
+    fatal_if(!(cfg.efficiency > 0.0) || cfg.efficiency > 1.0,
+             "LIM efficiency must be in (0, 1]");
+    fatal_if(!(cfg.accel > 0.0), "LIM acceleration must be positive");
+    fatal_if(cfg.regen_fraction < 0.0 || cfg.regen_fraction > 1.0,
+             "regenerative fraction must be in [0, 1]");
+    fatal_if(cfg.braking == BrakingMode::Regenerative &&
+                 cfg.regen_fraction == 0.0,
+             "Regenerative braking selected but regen_fraction is 0; "
+             "either set a fraction (0.16-0.70) or use ActiveLim");
+}
+
+namespace {
+
+double
+kineticEnergy(double cart_mass, double v)
+{
+    fatal_if(cart_mass < 0.0, "cart mass must be non-negative");
+    fatal_if(v < 0.0, "speed must be non-negative");
+    return 0.5 * cart_mass * v * v;
+}
+
+} // namespace
+
+double
+launchEnergy(double cart_mass, double v, const LimConfig &cfg)
+{
+    validate(cfg);
+    return kineticEnergy(cart_mass, v) / cfg.efficiency;
+}
+
+double
+brakeEnergy(double cart_mass, double v, const LimConfig &cfg)
+{
+    validate(cfg);
+    const double active = kineticEnergy(cart_mass, v) / cfg.efficiency;
+    switch (cfg.braking) {
+      case BrakingMode::ActiveLim:
+        return active;
+      case BrakingMode::Regenerative: {
+        // The LIM still spends the active braking energy but recovers a
+        // fraction of the cart's kinetic energy back to the supply.
+        const double recovered =
+            cfg.regen_fraction * kineticEnergy(cart_mass, v);
+        return std::max(0.0, active - recovered);
+      }
+      case BrakingMode::EddyCurrent:
+        return 0.0;
+    }
+    panic("unreachable braking mode");
+}
+
+double
+shotEnergy(double cart_mass, double v, const LimConfig &cfg)
+{
+    return launchEnergy(cart_mass, v, cfg) + brakeEnergy(cart_mass, v, cfg);
+}
+
+double
+peakPower(double cart_mass, double v_max, const LimConfig &cfg)
+{
+    validate(cfg);
+    fatal_if(cart_mass < 0.0, "cart mass must be non-negative");
+    fatal_if(v_max < 0.0, "speed must be non-negative");
+    return cart_mass * cfg.accel * v_max / cfg.efficiency;
+}
+
+double
+averageAccelPower(double cart_mass, double v_max, const LimConfig &cfg)
+{
+    return 0.5 * peakPower(cart_mass, v_max, cfg);
+}
+
+} // namespace physics
+} // namespace dhl

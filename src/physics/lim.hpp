@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Linear induction motor (LIM) model: launch/brake energy, peak power,
+ * LIM length, and the Discussion section's regenerative-braking and
+ * eddy-current-brake variants.
+ *
+ * Energy accounting matches the paper's (§IV-A1, §IV-A3):
+ *   - accelerate: E = (1/2 M v^2) / eta         (eta = LIM efficiency)
+ *   - brake:      pessimistically the same as accelerating,
+ *                 optionally reduced by regenerative recovery (16-70 %)
+ *                 or eliminated entirely by a passive eddy-current brake.
+ *   - peak power: P = M a v_max / eta  (force times peak speed over eta),
+ *                 which reproduces Table VI's 22-210 kW column.
+ */
+
+#ifndef DHL_PHYSICS_LIM_HPP
+#define DHL_PHYSICS_LIM_HPP
+
+namespace dhl {
+namespace physics {
+
+/** How the cart is decelerated at the destination endpoint. */
+enum class BrakingMode
+{
+    /** Active LIM braking costing as much energy as acceleration
+     *  (the paper's pessimistic default). */
+    ActiveLim,
+
+    /** Active LIM braking with a fraction of the kinetic energy
+     *  recovered (Discussion: 16-70 % for electric vehicles). */
+    Regenerative,
+
+    /** Passive eddy-current brake: no braking energy drawn at all
+     *  (Discussion's dual-track design). */
+    EddyCurrent,
+};
+
+/** Configuration of one LIM-driven launch system. */
+struct LimConfig
+{
+    /** Electrical-to-kinetic conversion efficiency (paper: 0.75). */
+    double efficiency = 0.75;
+
+    /** Acceleration imparted to the cart, m/s^2 (paper: 1000). */
+    double accel = 1000.0;
+
+    /** Braking strategy at the far end. */
+    BrakingMode braking = BrakingMode::ActiveLim;
+
+    /** Fraction of kinetic energy recovered when braking ==
+     *  Regenerative (paper Discussion: 0.16-0.70). */
+    double regen_fraction = 0.0;
+};
+
+/** Validate a LimConfig; throws FatalError on nonsense. */
+void validate(const LimConfig &cfg);
+
+/**
+ * Electrical energy to accelerate @p cart_mass from rest to @p v, J.
+ */
+double launchEnergy(double cart_mass, double v, const LimConfig &cfg);
+
+/**
+ * Electrical energy consumed braking from @p v to rest, J.
+ * ActiveLim: same as launch.  Regenerative: launch cost minus the
+ * recovered kinetic fraction (never below zero).  EddyCurrent: zero.
+ */
+double brakeEnergy(double cart_mass, double v, const LimConfig &cfg);
+
+/**
+ * Total electrical energy of one end-to-end shot (accelerate at one end,
+ * brake at the other), J.
+ */
+double shotEnergy(double cart_mass, double v, const LimConfig &cfg);
+
+/**
+ * Peak electrical power while accelerating: M * a * v_max / eta, W.
+ * Reached at the end of the acceleration phase.
+ */
+double peakPower(double cart_mass, double v_max, const LimConfig &cfg);
+
+/**
+ * Average electrical power over the acceleration phase, W (half the peak
+ * for a constant-force LIM).
+ */
+double averageAccelPower(double cart_mass, double v_max,
+                         const LimConfig &cfg);
+
+} // namespace physics
+} // namespace dhl
+
+#endif // DHL_PHYSICS_LIM_HPP

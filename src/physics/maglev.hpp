@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Maglev cart mass composition and inductrack levitation losses.
+ *
+ * Mass model (paper §IV-A): the cart carries M.2 SSDs plus a fixed-mass
+ * plastic frame; Halbach-array magnets are 10 % of total cart mass and
+ * the aluminium LIM fin 15 %, so
+ *
+ *      M_total = (m_SSDs + m_frame) / (1 - f_magnet - f_fin).
+ *
+ * This reproduces the paper's 161 / 282 / 524 g carts for 16 / 32 / 64
+ * Sabrent 8 TB M.2 SSDs (5.67 g each) with a 30 g frame.
+ *
+ * Drag model (paper §IV-A2, after Murai & Hasegawa's inductrack
+ * analysis): energy lost to magnetic drag while coasting distance x is
+ *
+ *      L_d = (g + 2 c2) * M * x / c1
+ *
+ * with c1 the lift-to-drag ratio (pessimistically 10; >50 at speed for
+ * copper coils) and c2 the downward specific force from the upper
+ * stabilising Halbach array (driven to ~0 by riding low).  The paper
+ * argues (and our numbers confirm) this is negligible next to the launch
+ * energy; we model it anyway so the claim is checkable.
+ */
+
+#ifndef DHL_PHYSICS_MAGLEV_HPP
+#define DHL_PHYSICS_MAGLEV_HPP
+
+namespace dhl {
+namespace physics {
+
+/** Parameters of the cart's mass composition. */
+struct CartMassConfig
+{
+    /** Fraction of total cart mass that is levitation magnets. */
+    double magnet_fraction = 0.10;
+
+    /** Fraction of total cart mass that is the aluminium LIM fin. */
+    double fin_fraction = 0.15;
+
+    /** Structural frame mass, kg (paper: <= 30 g of polyacetal). */
+    double frame_mass = 0.030;
+};
+
+/** Computed mass breakdown of one cart. */
+struct CartMassBreakdown
+{
+    double payload_mass; ///< SSDs, kg.
+    double frame_mass;   ///< Frame, kg.
+    double magnet_mass;  ///< Halbach arrays, kg.
+    double fin_mass;     ///< LIM fin, kg.
+    double total_mass;   ///< Sum, kg.
+};
+
+/**
+ * Solve the cart mass from the payload it must carry.
+ *
+ * @param payload_mass Mass of the SSDs (and any other payload), kg.
+ * @param cfg          Mass-composition parameters.
+ * @return Full breakdown; total = (payload + frame)/(1 - f_mag - f_fin).
+ */
+CartMassBreakdown cartMass(double payload_mass,
+                           const CartMassConfig &cfg = {});
+
+/** Parameters of the inductrack levitation/drag model. */
+struct LevitationConfig
+{
+    /** Lift-to-drag ratio c1 (paper: pessimistic 10, >50 at speed). */
+    double lift_to_drag = 10.0;
+
+    /**
+     * Downward specific force from the upper stabilising array, m/s^2
+     * (paper's c2; ~0 when the cart rides low on the rail).
+     */
+    double stabiliser_accel = 0.0;
+
+    /** Nominal levitation air gap, m (paper: 10 mm standard). */
+    double air_gap = 0.010;
+
+    /** Active-stabilisation electronics power per cart, W (small). */
+    double stabilisation_power = 5.0;
+};
+
+/**
+ * Energy lost to magnetic drag while moving @p distance metres:
+ * L_d = (g + 2 c2) M x / c1.
+ *
+ * @param cart_mass Cart mass, kg.
+ * @param distance  Distance coasted, m.
+ * @param cfg       Levitation parameters.
+ * @return Energy, J.
+ */
+double dragLoss(double cart_mass, double distance,
+                const LevitationConfig &cfg = {});
+
+/**
+ * Velocity-dependent lift-to-drag ratio: rises from ~0 at rest and
+ * saturates towards @p asymptote (the inductrack characteristic; the
+ * paper notes it is "near constant at high speed").
+ *
+ * @param speed        Cart speed, m/s.
+ * @param asymptote    High-speed lift-to-drag ratio.
+ * @param half_speed   Speed at which half the asymptote is reached, m/s.
+ */
+double liftToDragAtSpeed(double speed, double asymptote = 50.0,
+                         double half_speed = 10.0);
+
+/**
+ * Minimum magnet mass fraction needed to levitate: with specific lift
+ * (lift per kg of magnet) @p specific_lift, a fraction f supports total
+ * mass when f * specific_lift >= g.  Used to validate the 10 % figure.
+ *
+ * @param specific_lift Lift force per magnet mass, N/kg.
+ * @return Required mass fraction in (0, 1]; fatal if > 1 (cannot fly).
+ */
+double requiredMagnetFraction(double specific_lift);
+
+} // namespace physics
+} // namespace dhl
+
+#endif // DHL_PHYSICS_MAGLEV_HPP

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Implementation of the rough-vacuum tube model.
+ */
+
+#include "physics/vacuum.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/units.hpp"
+
+namespace dhl {
+namespace physics {
+
+namespace {
+
+void
+validate(const VacuumConfig &cfg)
+{
+    fatal_if(!(cfg.tube_diameter > 0.0), "tube diameter must be positive");
+    fatal_if(!(cfg.pressure > 0.0), "operating pressure must be positive");
+    fatal_if(cfg.pressure >= units::kAtmospherePa,
+             "operating pressure must be below atmospheric");
+    fatal_if(!(cfg.pump_efficiency > 0.0) || cfg.pump_efficiency > 1.0,
+             "pump efficiency must be in (0, 1]");
+    fatal_if(cfg.leak_volumes_per_day < 0.0,
+             "leak rate must be non-negative");
+}
+
+/** Sea-level air density, kg/m^3. */
+constexpr double kSeaLevelAirDensity = 1.225;
+
+} // namespace
+
+double
+tubeVolume(double length, const VacuumConfig &cfg)
+{
+    validate(cfg);
+    fatal_if(length < 0.0, "tube length must be non-negative");
+    const double r = cfg.tube_diameter / 2.0;
+    return M_PI * r * r * length;
+}
+
+double
+pumpDownEnergy(double length, const VacuumConfig &cfg)
+{
+    validate(cfg);
+    const double v = tubeVolume(length, cfg);
+    const double work = units::kAtmospherePa * v *
+                        std::log(units::kAtmospherePa / cfg.pressure);
+    return work / cfg.pump_efficiency;
+}
+
+double
+maintenancePower(double length, const VacuumConfig &cfg)
+{
+    validate(cfg);
+    // Re-pumping leak_volumes_per_day tube volumes of air (referenced to
+    // atmospheric pressure) per day costs that fraction of the pump-down
+    // energy per day.
+    const double energy_per_day =
+        cfg.leak_volumes_per_day * pumpDownEnergy(length, cfg);
+    return energy_per_day / units::days(1.0);
+}
+
+double
+aeroDragPower(double speed, double frontal_area, double drag_coeff,
+              const VacuumConfig &cfg)
+{
+    validate(cfg);
+    fatal_if(speed < 0.0, "speed must be non-negative");
+    fatal_if(!(frontal_area > 0.0), "frontal area must be positive");
+    fatal_if(!(drag_coeff > 0.0), "drag coefficient must be positive");
+
+    const double rho =
+        kSeaLevelAirDensity * cfg.pressure / units::kAtmospherePa;
+    return 0.5 * rho * drag_coeff * frontal_area * speed * speed * speed;
+}
+
+} // namespace physics
+} // namespace dhl

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Rough-vacuum tube model.
+ *
+ * The paper (§IV-B) assumes the DHL tube is evacuated to a rough vacuum
+ * (~1 millibar) and asserts the pumping power is negligible because the
+ * tube cross-section is small.  This model makes that assertion
+ * checkable: isothermal pump-down work from atmosphere, steady-state
+ * maintenance power against a leak rate, and the residual aerodynamic
+ * drag power on a moving cart at the reduced air density (so tests can
+ * confirm it is orders of magnitude below the LIM launch power).
+ */
+
+#ifndef DHL_PHYSICS_VACUUM_HPP
+#define DHL_PHYSICS_VACUUM_HPP
+
+namespace dhl {
+namespace physics {
+
+/** Geometry and operating point of the evacuated tube. */
+struct VacuumConfig
+{
+    /** Tube internal diameter, m (small cross-section per the paper). */
+    double tube_diameter = 0.30;
+
+    /** Operating pressure, Pa (paper example: 1 millibar = 100 Pa). */
+    double pressure = 100.0;
+
+    /** Pump efficiency (isothermal work / electrical energy). */
+    double pump_efficiency = 0.30;
+
+    /**
+     * Leak rate as tube-volumes of atmospheric-equivalent air per day
+     * that must be re-pumped to hold the operating pressure.
+     */
+    double leak_volumes_per_day = 0.05;
+};
+
+/** Internal volume of a tube of the configured diameter, m^3. */
+double tubeVolume(double length, const VacuumConfig &cfg = {});
+
+/**
+ * Electrical energy for the initial pump-down of @p length metres of
+ * tube from atmosphere to the operating pressure, J (isothermal ideal
+ * gas: W = P0 V ln(P0/P), divided by pump efficiency).
+ */
+double pumpDownEnergy(double length, const VacuumConfig &cfg = {});
+
+/**
+ * Steady-state electrical power to hold the vacuum against leaks, W.
+ */
+double maintenancePower(double length, const VacuumConfig &cfg = {});
+
+/**
+ * Aerodynamic drag power on a cart moving at @p speed through the
+ * residual gas, W: P = 1/2 rho Cd A v^3 with rho scaled from sea level
+ * by pressure ratio.
+ *
+ * @param speed          Cart speed, m/s.
+ * @param frontal_area   Cart frontal area, m^2.
+ * @param drag_coeff     Drag coefficient (blunt body ~1).
+ * @param cfg            Vacuum operating point.
+ */
+double aeroDragPower(double speed, double frontal_area,
+                     double drag_coeff = 1.0, const VacuumConfig &cfg = {});
+
+} // namespace physics
+} // namespace dhl
+
+#endif // DHL_PHYSICS_VACUUM_HPP

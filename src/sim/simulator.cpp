@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Implementation of the discrete-event simulation kernel.
+ */
+
+#include "sim/simulator.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "common/logging.hpp"
+
+namespace dhl {
+namespace sim {
+
+Simulator::Simulator()
+    : now_(0.0),
+      next_seq_(0),
+      next_id_(1),
+      executed_(0),
+      size_(0),
+      stopped_(false),
+      stats_("kernel")
+{
+    stat_scheduled_ =
+        &stats_.addCounter("events_scheduled", "events ever scheduled");
+    stat_executed_ =
+        &stats_.addCounter("events_executed", "events executed");
+    stat_cancelled_ =
+        &stats_.addCounter("events_cancelled", "events cancelled");
+}
+
+EventHandle
+Simulator::schedule(Time delay, Action action)
+{
+    fatal_if(!(delay >= 0.0) || std::isnan(delay),
+             "event delay must be non-negative and finite");
+    return scheduleAt(now_ + delay, std::move(action));
+}
+
+EventHandle
+Simulator::scheduleAt(Time when, Action action)
+{
+    fatal_if(std::isnan(when) || std::isinf(when),
+             "event time must be finite");
+    fatal_if(when < now_, "cannot schedule an event in the past");
+    panic_if(!action, "scheduled event has no action");
+
+    const std::uint64_t id = next_id_++;
+    queue_.push(Event{when, next_seq_++, id, std::move(action)});
+    pending_ids_.insert(id);
+    ++size_;
+    stat_scheduled_->increment();
+    return EventHandle(id);
+}
+
+bool
+Simulator::cancel(EventHandle handle)
+{
+    // The heap cannot be edited in place; mark the id and drop the event
+    // lazily when it surfaces.  pending_ids_ distinguishes live events
+    // from ones that already fired or were already cancelled.
+    if (!handle.valid())
+        return false;
+    if (pending_ids_.erase(handle.id_) == 0)
+        return false;
+    cancelled_.insert(handle.id_);
+    --size_;
+    stat_cancelled_->increment();
+    return true;
+}
+
+bool
+Simulator::popNext(Event &out)
+{
+    while (!queue_.empty()) {
+        // priority_queue::top returns const&; we need to move the action
+        // out, which is safe because we pop immediately afterwards.
+        Event &top = const_cast<Event &>(queue_.top());
+        if (cancelled_.erase(top.id)) {
+            queue_.pop();
+            continue;
+        }
+        pending_ids_.erase(top.id);
+        out = std::move(top);
+        queue_.pop();
+        --size_;
+        return true;
+    }
+    return false;
+}
+
+Time
+Simulator::run()
+{
+    stopped_ = false;
+    Event ev;
+    while (!stopped_ && popNext(ev)) {
+        panic_if(ev.when < now_, "event queue went backwards in time");
+        now_ = ev.when;
+        ++executed_;
+        stat_executed_->increment();
+        ev.action();
+    }
+    return now_;
+}
+
+Time
+Simulator::runUntil(Time until)
+{
+    fatal_if(until < now_, "runUntil target is in the past");
+    stopped_ = false;
+    while (!stopped_ && !queue_.empty()) {
+        // Peek (skipping cancelled) to check the time bound.
+        Event ev;
+        if (!popNext(ev))
+            break;
+        if (ev.when > until) {
+            // Put it back: re-schedule preserving its original order key.
+            pending_ids_.insert(ev.id);
+            queue_.push(std::move(ev));
+            ++size_;
+            now_ = until;
+            return now_;
+        }
+        panic_if(ev.when < now_, "event queue went backwards in time");
+        now_ = ev.when;
+        ++executed_;
+        stat_executed_->increment();
+        ev.action();
+    }
+    if (now_ < until)
+        now_ = until;
+    return now_;
+}
+
+std::uint64_t
+Simulator::step(std::uint64_t max_events)
+{
+    std::uint64_t fired = 0;
+    Event ev;
+    while (fired < max_events && popNext(ev)) {
+        panic_if(ev.when < now_, "event queue went backwards in time");
+        now_ = ev.when;
+        ++executed_;
+        stat_executed_->increment();
+        ev.action();
+        ++fired;
+    }
+    return fired;
+}
+
+} // namespace sim
+} // namespace dhl

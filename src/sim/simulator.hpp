@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The discrete-event simulation (DES) kernel.
+ *
+ * A single-threaded, deterministic event-driven simulator in the style of
+ * gem5's EventQueue, specialised for continuous time (seconds, double).
+ * Every higher-level simulation in this repository — the DHL cart/track
+ * system, the network flow simulator, and the ML-training ingestion model
+ * — runs on this kernel.
+ *
+ * Determinism: events scheduled for the same timestamp fire in schedule
+ * order (a monotonically increasing sequence number breaks ties), so runs
+ * are exactly reproducible.
+ */
+
+#ifndef DHL_SIM_SIMULATOR_HPP
+#define DHL_SIM_SIMULATOR_HPP
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace dhl {
+namespace sim {
+
+/** Simulation time in seconds. */
+using Time = double;
+
+/** Handle to a scheduled event, usable for cancellation. */
+class EventHandle
+{
+  public:
+    EventHandle() : id_(0) {}
+
+    /** True if this handle ever referred to an event. */
+    bool valid() const { return id_ != 0; }
+
+  private:
+    friend class Simulator;
+    explicit EventHandle(std::uint64_t id) : id_(id) {}
+    std::uint64_t id_;
+};
+
+/**
+ * The event-driven simulator.
+ *
+ * Usage:
+ * @code
+ *   sim::Simulator sim;
+ *   sim.schedule(1.5, []{ ... });
+ *   sim.run();
+ * @endcode
+ */
+class Simulator
+{
+  public:
+    using Action = std::function<void()>;
+
+    Simulator();
+
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /** Current simulation time, seconds. */
+    Time now() const { return now_; }
+
+    /**
+     * Schedule @p action to run @p delay seconds from now.
+     *
+     * @param delay  Non-negative delay in seconds.
+     * @param action Callable invoked when the event fires.
+     * @return Handle usable with cancel().
+     */
+    EventHandle schedule(Time delay, Action action);
+
+    /** Schedule @p action at the absolute time @p when (>= now). */
+    EventHandle scheduleAt(Time when, Action action);
+
+    /**
+     * Cancel a previously scheduled event.
+     *
+     * @return true if the event was pending and is now cancelled; false
+     *         if it already fired, was already cancelled, or the handle
+     *         is invalid.
+     */
+    bool cancel(EventHandle handle);
+
+    /** Number of events currently pending. */
+    std::size_t pendingEvents() const { return size_; }
+
+    /**
+     * Run until the event queue drains (or stop() is called).
+     *
+     * @return The final simulation time.
+     */
+    Time run();
+
+    /**
+     * Run until simulation time reaches @p until (events at exactly
+     * @p until still fire) or the queue drains.
+     *
+     * @return The final simulation time (min(until, drain time)).
+     */
+    Time runUntil(Time until);
+
+    /** Execute at most @p max_events events; returns how many fired. */
+    std::uint64_t step(std::uint64_t max_events = 1);
+
+    /** Request that run()/runUntil() return after the current event. */
+    void stop() { stopped_ = true; }
+
+    /** True if stop() was called during the last run. */
+    bool stopRequested() const { return stopped_; }
+
+    /** Total number of events executed since construction. */
+    std::uint64_t eventsExecuted() const { return executed_; }
+
+    /** Kernel statistics group (events scheduled/executed/cancelled). */
+    stats::StatGroup &statsGroup() { return stats_; }
+
+  private:
+    struct Event
+    {
+        Time when;
+        std::uint64_t seq; // tie-break: FIFO within a timestamp
+        std::uint64_t id;
+        Action action;
+    };
+
+    struct EventCompare
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when; // min-heap on time
+            return a.seq > b.seq;       // FIFO within equal times
+        }
+    };
+
+    /** Pop the next non-cancelled event; false if the queue is empty. */
+    bool popNext(Event &out);
+
+    Time now_;
+    std::uint64_t next_seq_;
+    std::uint64_t next_id_;
+    std::uint64_t executed_;
+    std::size_t size_; // live (non-cancelled) events
+    bool stopped_;
+
+    std::priority_queue<Event, std::vector<Event>, EventCompare> queue_;
+    std::unordered_set<std::uint64_t> pending_ids_; // live events in queue_
+    std::unordered_set<std::uint64_t> cancelled_;   // lazily dropped ids
+
+    stats::StatGroup stats_;
+    stats::Counter *stat_scheduled_;
+    stats::Counter *stat_executed_;
+    stats::Counter *stat_cancelled_;
+};
+
+} // namespace sim
+} // namespace dhl
+
+#endif // DHL_SIM_SIMULATOR_HPP

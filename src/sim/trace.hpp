@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Lightweight event tracing for the simulation substrates.
+ *
+ * A TraceRecorder collects timestamped, categorised records (bounded by
+ * a configurable capacity, oldest dropped first) that simulations can
+ * emit at interesting points — launches, dockings, API commands,
+ * failures.  Tests assert on traces; tools dump them as text or CSV.
+ * Recording is off until enabled, so the hot path costs one branch.
+ */
+
+#ifndef DHL_SIM_TRACE_HPP
+#define DHL_SIM_TRACE_HPP
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace dhl {
+namespace sim {
+
+/** One trace record. */
+struct TraceRecord
+{
+    Time when;            ///< Simulation time, s.
+    std::string category; ///< e.g. "track", "dock", "api".
+    std::string object;   ///< Emitting object name.
+    std::string message;  ///< Free-form payload.
+};
+
+/** A bounded in-memory trace. */
+class TraceRecorder
+{
+  public:
+    /**
+     * @param sim      Simulator supplying timestamps.
+     * @param capacity Maximum retained records (oldest evicted).
+     */
+    explicit TraceRecorder(Simulator &sim, std::size_t capacity = 65536);
+
+    /** Enable/disable recording (disabled by default). */
+    void enable(bool on = true) { enabled_ = on; }
+    bool enabled() const { return enabled_; }
+
+    /** Emit a record (no-op while disabled). */
+    void record(const std::string &category, const std::string &object,
+                const std::string &message);
+
+    /** Records currently retained. */
+    std::size_t size() const { return records_.size(); }
+
+    /** Total records ever emitted (including evicted ones). */
+    std::uint64_t totalEmitted() const { return emitted_; }
+
+    /** Records dropped due to the capacity bound. */
+    std::uint64_t dropped() const { return dropped_; }
+
+    /** Access the retained records, oldest first. */
+    const std::deque<TraceRecord> &records() const { return records_; }
+
+    /** Retained records matching a category, oldest first. */
+    std::vector<TraceRecord> filter(const std::string &category) const;
+
+    /** Drop all retained records (counters keep running). */
+    void clear() { records_.clear(); }
+
+    /** Dump as "time [category] object: message" lines. */
+    void dump(std::ostream &os) const;
+
+    /** Dump as CSV with a header row. */
+    void dumpCsv(std::ostream &os) const;
+
+  private:
+    Simulator &sim_;
+    std::size_t capacity_;
+    bool enabled_;
+    std::deque<TraceRecord> records_;
+    std::uint64_t emitted_;
+    std::uint64_t dropped_;
+};
+
+} // namespace sim
+} // namespace dhl
+
+#endif // DHL_SIM_TRACE_HPP

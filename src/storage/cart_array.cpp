@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Implementation of the cart SSD array model.
+ */
+
+#include "storage/cart_array.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace dhl {
+namespace storage {
+
+CartArray::CartArray(const DeviceSpec &ssd, std::size_t count,
+                     const PcieConfig &pcie)
+    : ssd_(ssd), count_(count), pcie_(pcie)
+{
+    fatal_if(count == 0, "a cart array needs at least one SSD");
+    fatal_if(!(ssd.capacity > 0.0), "SSD capacity must be positive");
+    fatal_if(!(ssd.seq_read_bw > 0.0) || !(ssd.seq_write_bw > 0.0),
+             "SSD bandwidths must be positive");
+    fatal_if(pcie.lanes_per_ssd == 0, "each SSD needs at least one lane");
+    fatal_if(!(pcie.lane_bandwidth > 0.0),
+             "PCIe lane bandwidth must be positive");
+}
+
+double
+CartArray::capacity() const
+{
+    return ssd_.capacity * static_cast<double>(count_);
+}
+
+double
+CartArray::payloadMass() const
+{
+    return ssd_.mass * static_cast<double>(count_);
+}
+
+double
+CartArray::pcieBandwidth() const
+{
+    return pcie_.lane_bandwidth *
+           static_cast<double>(pcie_.lanes_per_ssd * count_);
+}
+
+double
+CartArray::readBandwidth() const
+{
+    const double device = ssd_.seq_read_bw * static_cast<double>(count_);
+    return std::min(device, pcieBandwidth());
+}
+
+double
+CartArray::writeBandwidth() const
+{
+    const double device = ssd_.seq_write_bw * static_cast<double>(count_);
+    return std::min(device, pcieBandwidth());
+}
+
+double
+CartArray::fullReadTime() const
+{
+    return capacity() / readBandwidth();
+}
+
+double
+CartArray::fullWriteTime() const
+{
+    return capacity() / writeBandwidth();
+}
+
+double
+CartArray::activePower() const
+{
+    return ssd_.active_power * static_cast<double>(count_);
+}
+
+} // namespace storage
+} // namespace dhl

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The cart's SSD array: capacity, payload mass, and aggregate bandwidth
+ * through the docking station's PCIe attachment.
+ *
+ * Paper §III-B5: each docked cart exposes its SSDs over PCIe; "version 6
+ * provides 3.8 Tbit/s for 64 lanes, corresponding with 1 lane per SSD in
+ * our evaluation's maximum cart configuration".  Aggregate read/write
+ * bandwidth is therefore min(N * per-SSD bandwidth, lane bandwidth).
+ */
+
+#ifndef DHL_STORAGE_CART_ARRAY_HPP
+#define DHL_STORAGE_CART_ARRAY_HPP
+
+#include <cstddef>
+
+#include "storage/catalog.hpp"
+
+namespace dhl {
+namespace storage {
+
+/** PCIe attachment between a docked cart and the rack. */
+struct PcieConfig
+{
+    /** PCIe lanes dedicated to each SSD (paper: 1). */
+    std::size_t lanes_per_ssd = 1;
+
+    /**
+     * Usable bandwidth per lane, bytes/s.  The paper quotes PCIe 6.0 at
+     * 3.8 Tbit/s over 64 lanes => 59.375 Gbit/s per lane.
+     */
+    double lane_bandwidth = 3.8e12 / 8.0 / 64.0;
+};
+
+/** A homogeneous array of SSDs riding on one cart. */
+class CartArray
+{
+  public:
+    /**
+     * @param ssd    Device specification of each SSD.
+     * @param count  Number of SSDs (paper: 16 / 32 / 64).
+     * @param pcie   PCIe attachment parameters.
+     */
+    CartArray(const DeviceSpec &ssd, std::size_t count,
+              const PcieConfig &pcie = {});
+
+    std::size_t ssdCount() const { return count_; }
+    const DeviceSpec &ssdSpec() const { return ssd_; }
+    const PcieConfig &pcie() const { return pcie_; }
+
+    /** Total storage capacity, bytes (paper: 128 / 256 / 512 TB). */
+    double capacity() const;
+
+    /** Payload mass of all SSDs, kg (paper: 91 / 180 / 363 g). */
+    double payloadMass() const;
+
+    /** PCIe bandwidth ceiling for the whole cart, bytes/s. */
+    double pcieBandwidth() const;
+
+    /** Aggregate sequential read bandwidth while docked, bytes/s
+     *  (device-parallel, capped by PCIe). */
+    double readBandwidth() const;
+
+    /** Aggregate sequential write bandwidth while docked, bytes/s. */
+    double writeBandwidth() const;
+
+    /** Time to read the full cart contents once docked, s. */
+    double fullReadTime() const;
+
+    /** Time to fill the cart from empty, s. */
+    double fullWriteTime() const;
+
+    /** Aggregate SSD power under full load, W (heat-sink sizing). */
+    double activePower() const;
+
+  private:
+    DeviceSpec ssd_;
+    std::size_t count_;
+    PcieConfig pcie_;
+};
+
+} // namespace storage
+} // namespace dhl
+
+#endif // DHL_STORAGE_CART_ARRAY_HPP

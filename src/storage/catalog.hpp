@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Data catalogues encoding the paper's background tables:
+ *
+ *  - Table I:  large emerging datasets and data-creation rates.
+ *  - Table II: currently available storage devices.
+ *  - Table IV: ML models with a significant storage footprint.
+ *
+ * These are the inputs every experiment draws from (the 29 PB Meta DLRM
+ * dataset, the 8 TB / 5.67 g Sabrent M.2 SSD, ...).
+ */
+
+#ifndef DHL_STORAGE_CATALOG_HPP
+#define DHL_STORAGE_CATALOG_HPP
+
+#include <string>
+#include <vector>
+
+namespace dhl {
+namespace storage {
+
+/** Physical packaging of a storage device. */
+enum class FormFactor
+{
+    Hdd35,  ///< 3.5" hard disk drive.
+    Ssd35,  ///< 3.5" solid state drive.
+    M2,     ///< M.2 SSD stick.
+    U2,     ///< U.2 SSD.
+};
+
+/** Human-readable name of a form factor. */
+std::string to_string(FormFactor ff);
+
+/** One storage device specification (paper Table II). */
+struct DeviceSpec
+{
+    std::string name;        ///< Product name.
+    double capacity;         ///< Bytes (decimal).
+    FormFactor form_factor;  ///< Packaging.
+    double mass;             ///< kg.
+    double seq_read_bw;      ///< Sequential read, bytes/s.
+    double seq_write_bw;     ///< Sequential write, bytes/s.
+    double active_power;     ///< Power under load, W.
+
+    /** Storage density by mass, bytes per kg. */
+    double bytesPerKg() const { return capacity / mass; }
+};
+
+/** Category of a large dataset (paper Table I). */
+enum class DatasetKind
+{
+    Images,
+    Videos,
+    Nlp,
+    WebCrawl,
+    MlTraining,
+    Genomics,
+    Physics,
+    BigData,
+};
+
+std::string to_string(DatasetKind kind);
+
+/** One large dataset (paper Table I).  Streaming sources (LHC, daily
+ *  platform ingest) carry a creation rate instead of / on top of a fixed
+ *  size. */
+struct DatasetSpec
+{
+    std::string name;     ///< Dataset name.
+    double size;          ///< Bytes; 0 for pure-rate sources.
+    double creation_rate; ///< Bytes/s of new data; 0 for static sets.
+    DatasetKind kind;     ///< Category.
+};
+
+/** One large ML model (paper Table IV). */
+struct MlModelSpec
+{
+    std::string name;     ///< Model name.
+    double parameters;    ///< Number of parameters.
+    double size;          ///< Bytes at 32-bit parameters.
+    std::string origin;   ///< Publishing organisation.
+    int year;             ///< Publication year.
+};
+
+//===========================================================================
+// Catalogue accessors (static data, returned by reference)
+//===========================================================================
+
+/** Table II: the three reference devices. */
+const std::vector<DeviceSpec> &deviceCatalog();
+
+/** Table I: large emerging datasets / creation rates. */
+const std::vector<DatasetSpec> &datasetCatalog();
+
+/** Table IV: ML models with significant storage footprint. */
+const std::vector<MlModelSpec> &mlModelCatalog();
+
+/** Look up a device by exact name; fatal() if absent. */
+const DeviceSpec &findDevice(const std::string &name);
+
+/** Look up a dataset by exact name; fatal() if absent. */
+const DatasetSpec &findDataset(const std::string &name);
+
+/** The paper's reference M.2 SSD (Sabrent Rocket 4 Plus, 8 TB, 5.67 g). */
+const DeviceSpec &referenceM2Ssd();
+
+/** The paper's reference bulk dataset (Meta DLRM, 29 PB). */
+const DatasetSpec &referenceDlrmDataset();
+
+} // namespace storage
+} // namespace dhl
+
+#endif // DHL_STORAGE_CATALOG_HPP

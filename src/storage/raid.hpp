@@ -1,0 +1,101 @@
+/**
+ * @file
+ * RAID protection across a cart's SSDs (paper §III-D: "if an SSD fails
+ * in-flight, the endpoint's DHL API will report the error, and RAID
+ * and backups can ameliorate the issue").
+ *
+ * The model quantifies that sentence: given a RAID level and parity
+ * group size over the cart's SSD array, it reports the usable capacity
+ * after parity, the rebuild time for one failed device, and the
+ * probability that a shuttle trip loses data (more failures in one
+ * group than its parity can absorb), from which the expected number of
+ * trips between data-loss events follows.
+ */
+
+#ifndef DHL_STORAGE_RAID_HPP
+#define DHL_STORAGE_RAID_HPP
+
+#include <cstddef>
+
+#include "storage/catalog.hpp"
+
+namespace dhl {
+namespace storage {
+
+/** Protection level. */
+enum class RaidLevel
+{
+    None,  ///< No parity: any failure loses data.
+    Raid5, ///< One parity device per group.
+    Raid6, ///< Two parity devices per group.
+};
+
+/** Parity devices consumed per group at a level. */
+std::size_t parityCount(RaidLevel level);
+
+/** RAID layout over one cart. */
+struct RaidConfig
+{
+    RaidLevel level = RaidLevel::Raid6;
+
+    /** SSDs per parity group (must divide the cart's SSD count and
+     *  exceed the parity count). */
+    std::size_t group_size = 8;
+};
+
+/** The RAID model for one cart's array. */
+class RaidModel
+{
+  public:
+    /**
+     * @param ssd        Device spec of each SSD.
+     * @param total_ssds SSDs on the cart (must be a multiple of the
+     *                   group size).
+     * @param cfg        RAID layout.
+     */
+    RaidModel(const DeviceSpec &ssd, std::size_t total_ssds,
+              const RaidConfig &cfg = {});
+
+    const RaidConfig &config() const { return cfg_; }
+    std::size_t numGroups() const { return groups_; }
+
+    /** Raw capacity of all SSDs, bytes. */
+    double rawCapacity() const;
+
+    /** Capacity available to data after parity, bytes. */
+    double usableCapacity() const;
+
+    /** Fraction of raw capacity spent on parity, in [0, 1). */
+    double capacityOverhead() const;
+
+    /**
+     * Time to rebuild one failed device onto a spare: read the rest of
+     * its group in parallel and write the spare at the device write
+     * bandwidth (the write is the bottleneck for these SSDs).
+     */
+    double rebuildTime() const;
+
+    /**
+     * Probability one parity group loses data during a trip in which
+     * each SSD independently fails with probability @p p: the binomial
+     * tail P[failures > parity].
+     */
+    double groupLossProbability(double p) const;
+
+    /** Probability any group on the cart loses data during one trip. */
+    double tripLossProbability(double p) const;
+
+    /** Expected trips until a data-loss event (1 / trip loss prob). */
+    double meanTripsToDataLoss(double p) const;
+
+  private:
+    DeviceSpec ssd_;
+    std::size_t total_;
+    RaidConfig cfg_;
+    std::size_t groups_;
+};
+
+} // namespace storage
+} // namespace dhl
+
+#endif // DHL_STORAGE_RAID_HPP

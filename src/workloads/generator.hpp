@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Synthetic bulk-transfer workload generators for the paper's three
+ * application domains (§II-D):
+ *
+ *  - PoissonBulkGenerator:   ad-hoc large transfers with exponential
+ *                            inter-arrivals and log-normal sizes
+ *                            (generic "move this dataset" traffic).
+ *  - PeriodicBackupGenerator: fixed-size backups on a fixed period
+ *                            with optional jitter (§II-D2).
+ *  - BurstSourceGenerator:   a detector-style source producing
+ *                            rate x burst_duration bytes every period
+ *                            (§II-D1, LHC fills).
+ *  - ZipfDatasetGenerator:   repeated accesses over a fixed dataset
+ *                            population with Zipf popularity (§II-D3:
+ *                            the same training sets reused for many
+ *                            models).
+ *
+ * Generators are pure: they turn (config, duration, rng) into a
+ * time-sorted request list that replay helpers or the DES can consume.
+ */
+
+#ifndef DHL_WORKLOADS_GENERATOR_HPP
+#define DHL_WORKLOADS_GENERATOR_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/random.hpp"
+
+namespace dhl {
+namespace workloads {
+
+/** One bulk-transfer request. */
+struct TransferRequest
+{
+    double at;        ///< Arrival time, s.
+    double bytes;     ///< Transfer size.
+    std::string tag;  ///< Origin label ("backup", "burst", dataset...).
+};
+
+/** Sort requests by arrival time (stable). */
+void sortByArrival(std::vector<TransferRequest> &requests);
+
+/** Sum of request bytes. */
+double totalBytes(const std::vector<TransferRequest> &requests);
+
+/** Poisson arrivals, log-normal sizes. */
+class PoissonBulkGenerator
+{
+  public:
+    /**
+     * @param mean_interarrival Mean gap between requests, s (> 0).
+     * @param median_bytes      Median transfer size, bytes (> 0).
+     * @param sigma             Log-normal shape (0 = constant size).
+     */
+    PoissonBulkGenerator(double mean_interarrival, double median_bytes,
+                         double sigma = 1.0);
+
+    /** Generate all requests with arrival < duration. */
+    std::vector<TransferRequest> generate(double duration, Rng &rng) const;
+
+  private:
+    double mean_interarrival_;
+    double median_bytes_;
+    double sigma_;
+};
+
+/** Fixed-size backups on a fixed period. */
+class PeriodicBackupGenerator
+{
+  public:
+    /**
+     * @param period        Gap between backups, s (> 0).
+     * @param bytes         Backup size (> 0).
+     * @param jitter_frac   Uniform jitter as a fraction of the period
+     *                      ([0, 1)).
+     */
+    PeriodicBackupGenerator(double period, double bytes,
+                            double jitter_frac = 0.0);
+
+    std::vector<TransferRequest> generate(double duration, Rng &rng) const;
+
+  private:
+    double period_;
+    double bytes_;
+    double jitter_frac_;
+};
+
+/** Detector bursts: rate x burst_duration bytes, every period. */
+class BurstSourceGenerator
+{
+  public:
+    /**
+     * @param rate           Burst production rate, bytes/s (> 0).
+     * @param burst_duration Length of each burst, s (> 0).
+     * @param period         Gap between burst starts, s (>= burst).
+     */
+    BurstSourceGenerator(double rate, double burst_duration,
+                         double period);
+
+    std::vector<TransferRequest> generate(double duration, Rng &rng) const;
+
+    /** Bytes per burst. */
+    double burstBytes() const { return rate_ * burst_duration_; }
+
+  private:
+    double rate_;
+    double burst_duration_;
+    double period_;
+};
+
+/** Zipf-popular accesses over a fixed dataset population. */
+class ZipfDatasetGenerator
+{
+  public:
+    /** A member of the dataset population. */
+    struct Dataset
+    {
+        std::string name;
+        double bytes;
+    };
+
+    /**
+     * @param datasets          Population, most-popular-rank order.
+     * @param mean_interarrival Mean gap between accesses, s (> 0).
+     * @param zipf_exponent     Popularity skew (>= 0).
+     */
+    ZipfDatasetGenerator(std::vector<Dataset> datasets,
+                         double mean_interarrival,
+                         double zipf_exponent = 1.0);
+
+    std::vector<TransferRequest> generate(double duration, Rng &rng) const;
+
+    const std::vector<Dataset> &datasets() const { return datasets_; }
+
+  private:
+    std::vector<Dataset> datasets_;
+    double mean_interarrival_;
+    ZipfTable zipf_;
+};
+
+} // namespace workloads
+} // namespace dhl
+
+#endif // DHL_WORKLOADS_GENERATOR_HPP

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Replay helpers: push a generated request stream through (a) the
+ * closed-form DHL model, (b) the closed-form optical model, and (c)
+ * the event-driven DHL, producing comparable aggregate summaries.
+ *
+ * The analytical replays process requests back-to-back (a dedicated
+ * resource); the DES replay honours queueing, docking-station limits
+ * and track admission, so the difference between (a) and (c) is the
+ * contention the closed form cannot see.
+ */
+
+#ifndef DHL_WORKLOADS_REPLAY_HPP
+#define DHL_WORKLOADS_REPLAY_HPP
+
+#include <cstdint>
+
+#include "dhl/analytical.hpp"
+#include "dhl/simulation.hpp"
+#include "network/transfer.hpp"
+#include "workloads/generator.hpp"
+
+namespace dhl {
+namespace workloads {
+
+/** Aggregate outcome of a replay. */
+struct ReplaySummary
+{
+    std::uint64_t requests;   ///< Requests served.
+    double bytes;             ///< Total bytes moved.
+    double busy_time;         ///< Time the resource spent serving, s.
+    double makespan;          ///< Last completion minus first arrival, s.
+    double energy;            ///< Total transfer energy, J.
+    double mean_latency;      ///< Mean request completion latency, s.
+    double max_latency;       ///< Worst request latency, s.
+};
+
+/**
+ * Closed-form DHL replay: each request becomes a bulk transfer on a
+ * dedicated DHL, served in arrival order, one at a time.
+ */
+ReplaySummary replayDhlAnalytical(
+    const std::vector<TransferRequest> &requests,
+    const core::DhlConfig &cfg, const core::BulkOptions &opts = {});
+
+/**
+ * Closed-form optical replay: each request is a single-link transfer
+ * on the given route, served in arrival order, one at a time.
+ */
+ReplaySummary replayNetworkAnalytical(
+    const std::vector<TransferRequest> &requests,
+    const network::Route &route, double links = 1.0);
+
+/**
+ * Event-driven DHL replay: requests arrive at their timestamps; each
+ * stages its carts (created on registration), reads them, and returns
+ * them, all through the controller's queueing.
+ */
+ReplaySummary replayDhlSimulated(
+    const std::vector<TransferRequest> &requests,
+    const core::DhlConfig &cfg, bool include_reads = false,
+    std::uint64_t seed = 1);
+
+} // namespace workloads
+} // namespace dhl
+
+#endif // DHL_WORKLOADS_REPLAY_HPP

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Integration: pipelined bulk transfers through the full DES stack —
+ * multiple docking stations, convoy launches, direction reversals,
+ * failure injection under load.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "common/units.hpp"
+#include "dhl/simulation.hpp"
+
+using namespace dhl::core;
+namespace u = dhl::units;
+
+namespace {
+
+DhlConfig
+pipelineConfig(TrackMode mode, std::size_t stations)
+{
+    DhlConfig cfg = defaultConfig();
+    cfg.track_mode = mode;
+    cfg.docking_stations = stations;
+    return cfg;
+}
+
+} // namespace
+
+TEST(PipelinedBulk, DualTrackApproachesTripTimePerCartOverD)
+{
+    // With D stations, a dual track and no reads, steady state is one
+    // cart per station-occupancy/D.
+    const auto cfg = pipelineConfig(TrackMode::DualTrack, 4);
+    DhlSimulation sim(cfg);
+    BulkRunOptions opts;
+    opts.pipelined = true;
+    const double dataset = 16.0 * cfg.cartCapacity();
+    const auto r = sim.runBulkTransfer(dataset, opts);
+    EXPECT_EQ(r.carts, 16u);
+    EXPECT_EQ(r.launches, 32u);
+    // Far faster than serial (16 * 17.2 s = 275 s).
+    EXPECT_LT(r.total_time, 0.5 * 275.0);
+    // But not faster than the physics allows: at least one full trip.
+    EXPECT_GT(r.total_time, 8.6);
+}
+
+TEST(PipelinedBulk, SingleTubeSlowerThanDualTrack)
+{
+    const double dataset = 12.0 * defaultConfig().cartCapacity();
+    BulkRunOptions opts;
+    opts.pipelined = true;
+
+    DhlSimulation single(pipelineConfig(TrackMode::Pipelined, 4));
+    DhlSimulation dual(pipelineConfig(TrackMode::DualTrack, 4));
+    const auto rs = single.runBulkTransfer(dataset, opts);
+    const auto rd = dual.runBulkTransfer(dataset, opts);
+    EXPECT_GT(rs.total_time, rd.total_time);
+    EXPECT_EQ(rs.launches, rd.launches);
+}
+
+TEST(PipelinedBulk, MoreStationsHelpWithReads)
+{
+    BulkRunOptions opts;
+    opts.pipelined = true;
+    opts.include_read_time = true;
+    const double dataset = 8.0 * defaultConfig().cartCapacity();
+
+    DhlSimulation one(pipelineConfig(TrackMode::DualTrack, 1));
+    DhlSimulation four(pipelineConfig(TrackMode::DualTrack, 4));
+    const auto r1 = one.runBulkTransfer(dataset, opts);
+    const auto r4 = four.runBulkTransfer(dataset, opts);
+    EXPECT_LT(r4.total_time, r1.total_time);
+    EXPECT_DOUBLE_EQ(r1.bytes_read, dataset);
+    EXPECT_DOUBLE_EQ(r4.bytes_read, dataset);
+}
+
+TEST(PipelinedBulk, ExclusiveTrackBoundsPipelineGains)
+{
+    // With an exclusive tube and one station, issuing everything up
+    // front still overlaps only the dock/undock handling with tube
+    // transit: faster than strictly serial, but well short of the
+    // dual-track pipeline.
+    const auto cfg = pipelineConfig(TrackMode::Exclusive, 1);
+    DhlSimulation pipe(cfg);
+    DhlSimulation serial(cfg);
+    DhlSimulation dual(pipelineConfig(TrackMode::DualTrack, 4));
+    BulkRunOptions opts;
+    opts.pipelined = true;
+    const double dataset = 4.0 * cfg.cartCapacity();
+    const auto rp = pipe.runBulkTransfer(dataset, opts);
+    const auto rs = serial.runBulkTransfer(dataset);
+    const auto rd = dual.runBulkTransfer(dataset, opts);
+    EXPECT_LE(rp.total_time, rs.total_time);
+    EXPECT_GT(rp.total_time, rd.total_time);
+    EXPECT_EQ(rp.launches, rs.launches);
+}
+
+TEST(PipelinedBulk, FailureInjectionUnderLoad)
+{
+    auto prev = dhl::Logger::global().setLevel(dhl::LogLevel::Silent);
+    const auto cfg = pipelineConfig(TrackMode::DualTrack, 4);
+    DhlSimulation sim(cfg, 99);
+    BulkRunOptions opts;
+    opts.pipelined = true;
+    opts.failure_per_trip = 0.02;
+    const double dataset = 10.0 * cfg.cartCapacity();
+    const auto r = sim.runBulkTransfer(dataset, opts);
+    dhl::Logger::global().setLevel(prev);
+    // 10 carts x 2 trips x 32 SSDs x 2 % ~ 12.8 expected.
+    EXPECT_GT(r.ssd_failures, 0u);
+    EXPECT_LT(r.ssd_failures, 64u);
+    // Failures never lose data (RAID recovery) or stall the pipeline.
+    EXPECT_EQ(r.carts, 10u);
+    EXPECT_EQ(r.launches, 20u);
+}
+
+TEST(PipelinedBulk, EnergyIndependentOfPipelining)
+{
+    const double dataset = 10.0 * defaultConfig().cartCapacity();
+    DhlSimulation serial(pipelineConfig(TrackMode::Exclusive, 1));
+    DhlSimulation pipe(pipelineConfig(TrackMode::DualTrack, 8));
+    BulkRunOptions opts;
+    opts.pipelined = true;
+    const auto rs = serial.runBulkTransfer(dataset);
+    const auto rp = pipe.runBulkTransfer(dataset, opts);
+    EXPECT_NEAR(rs.total_energy, rp.total_energy, 1e-3);
+}

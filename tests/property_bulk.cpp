@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Property tests over the bulk-transfer model: trip accounting,
+ * monotonicity in the dataset size, and DES/closed-form agreement on
+ * randomised configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hpp"
+#include "common/units.hpp"
+#include "dhl/analytical.hpp"
+#include "dhl/simulation.hpp"
+
+using namespace dhl::core;
+using dhl::Rng;
+namespace u = dhl::units;
+
+class BulkProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+  protected:
+    /** A random valid configuration drawn from the seed. */
+    DhlConfig
+    randomConfig(Rng &rng) const
+    {
+        DhlConfig cfg = makeConfig(
+            rng.uniform(50.0, 300.0), rng.uniform(200.0, 2000.0),
+            static_cast<std::size_t>(rng.uniformInt(8, 64)));
+        cfg.dock_time = rng.uniform(1.0, 5.0);
+        return cfg;
+    }
+};
+
+TEST_P(BulkProperty, TripCountIsCeilOfDatasetOverCapacity)
+{
+    Rng rng(GetParam());
+    for (int i = 0; i < 20; ++i) {
+        const DhlConfig cfg = randomConfig(rng);
+        const AnalyticalModel m(cfg);
+        const double bytes = rng.uniform(0.1, 40.0) * cfg.cartCapacity();
+        const auto bulk = m.bulk(bytes);
+        EXPECT_EQ(bulk.loaded_trips,
+                  static_cast<std::uint64_t>(
+                      std::ceil(bytes / cfg.cartCapacity())));
+        EXPECT_EQ(bulk.total_trips, 2 * bulk.loaded_trips);
+    }
+}
+
+TEST_P(BulkProperty, TimeAndEnergyMonotoneInDataset)
+{
+    Rng rng(GetParam() + 100);
+    const DhlConfig cfg = randomConfig(rng);
+    const AnalyticalModel m(cfg);
+    double prev_time = 0.0, prev_energy = 0.0;
+    for (double mult = 0.5; mult < 20.0; mult *= 1.7) {
+        const auto bulk = m.bulk(mult * cfg.cartCapacity());
+        EXPECT_GE(bulk.total_time, prev_time);
+        EXPECT_GE(bulk.total_energy, prev_energy);
+        prev_time = bulk.total_time;
+        prev_energy = bulk.total_energy;
+    }
+}
+
+TEST_P(BulkProperty, EffectiveBandwidthBoundedByEmbodiedBandwidth)
+{
+    Rng rng(GetParam() + 200);
+    for (int i = 0; i < 10; ++i) {
+        const DhlConfig cfg = randomConfig(rng);
+        const AnalyticalModel m(cfg);
+        const double bytes = rng.uniform(1.0, 10.0) * cfg.cartCapacity();
+        const auto bulk = m.bulk(bytes);
+        // Serial with returns: effective bandwidth is at most half the
+        // single-launch embodied bandwidth.
+        EXPECT_LE(bulk.effective_bandwidth,
+                  0.5 * m.launch().bandwidth * (1.0 + 1e-9));
+    }
+}
+
+TEST_P(BulkProperty, DesAgreesOnRandomConfigs)
+{
+    Rng rng(GetParam() + 300);
+    const DhlConfig cfg = randomConfig(rng);
+    const double bytes =
+        rng.uniform(1.5, 6.0) * cfg.cartCapacity();
+
+    DhlSimulation des(cfg);
+    const auto sim_result = des.runBulkTransfer(bytes);
+    const AnalyticalModel model(cfg);
+    const auto closed = model.bulk(bytes);
+    EXPECT_EQ(sim_result.launches, closed.total_trips);
+    EXPECT_NEAR(sim_result.total_time, closed.total_time,
+                closed.total_time * 1e-9);
+    EXPECT_NEAR(sim_result.total_energy, closed.total_energy,
+                closed.total_energy * 1e-9);
+}
+
+TEST_P(BulkProperty, SpeedupVsNetworkGrowsWithRoutePower)
+{
+    Rng rng(GetParam() + 400);
+    const DhlConfig cfg = randomConfig(rng);
+    const AnalyticalModel m(cfg);
+    const double bytes = u::petabytes(2);
+    double prev_reduction = 0.0;
+    for (const auto &route : dhl::network::canonicalRoutes()) {
+        const auto cmp = m.compareBulk(bytes, route);
+        EXPECT_GT(cmp.energy_reduction, prev_reduction) << route.name();
+        prev_reduction = cmp.energy_reduction;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BulkProperty,
+                         ::testing::Values(7u, 11u, 17u, 23u, 31u));

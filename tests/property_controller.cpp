@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Property tests over the controller: randomised command sequences
+ * must preserve system invariants — carts are never lost, stations
+ * never double-book, energy matches launch counts, and every request
+ * eventually completes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.hpp"
+#include "common/units.hpp"
+#include "dhl/controller.hpp"
+
+using namespace dhl::core;
+using dhl::Rng;
+using dhl::sim::Simulator;
+namespace u = dhl::units;
+
+namespace {
+
+/** Random cart shuffler: repeatedly opens, maybe reads, and closes. */
+struct Churn
+{
+    Churn(DhlController &ctl, Rng &rng, int cycles_per_cart)
+        : ctl(ctl), rng(rng), cycles_per_cart(cycles_per_cart)
+    {}
+
+    void
+    run(CartId id)
+    {
+        ++in_flight;
+        cycle(id, 0);
+    }
+
+    void
+    cycle(CartId id, int done)
+    {
+        if (done == cycles_per_cart) {
+            --in_flight;
+            return;
+        }
+        ctl.open(id, [this, id, done](Cart &cart, DockingStation &) {
+            if (rng.uniform() < 0.5 && cart.storedBytes() > 0.0) {
+                const double bytes =
+                    rng.uniform(0.1, 1.0) * cart.storedBytes();
+                ctl.read(id, bytes, [this, id, done](double) {
+                    ctl.close(id, [this, id, done](Cart &) {
+                        cycle(id, done + 1);
+                    });
+                });
+            } else {
+                ctl.close(id, [this, id, done](Cart &) {
+                    cycle(id, done + 1);
+                });
+            }
+        });
+    }
+
+    DhlController &ctl;
+    Rng &rng;
+    int cycles_per_cart;
+    int in_flight = 0;
+};
+
+struct Params
+{
+    std::uint64_t seed;
+    TrackMode mode;
+    std::size_t stations;
+    std::size_t carts;
+};
+
+} // namespace
+
+class ControllerProperty : public ::testing::TestWithParam<Params>
+{};
+
+TEST_P(ControllerProperty, ChurnPreservesInvariants)
+{
+    const Params p = GetParam();
+    Rng rng(p.seed);
+
+    Simulator sim;
+    DhlConfig cfg = defaultConfig();
+    cfg.track_mode = p.mode;
+    cfg.docking_stations = p.stations;
+    DhlController ctl(sim, cfg);
+
+    std::vector<CartId> ids;
+    for (std::size_t i = 0; i < p.carts; ++i)
+        ids.push_back(ctl.addCart(u::terabytes(rng.uniform(10, 200))).id());
+
+    const int cycles = 3;
+    Churn churn(ctl, rng, cycles);
+    for (CartId id : ids)
+        churn.run(id);
+    sim.run();
+
+    // 1. Everything completed.
+    EXPECT_EQ(churn.in_flight, 0);
+    EXPECT_EQ(ctl.queuedOpens(), 0u);
+
+    // 2. Every cart is back in the library, stored, with its data.
+    for (CartId id : ids) {
+        const Cart &c = ctl.library().cart(id);
+        EXPECT_EQ(c.state(), CartState::Stored);
+        EXPECT_EQ(c.place(), CartPlace::Library);
+        EXPECT_GT(c.storedBytes(), 0.0);
+        // 2 trips per cycle.
+        EXPECT_EQ(c.trips(),
+                  static_cast<std::uint64_t>(2 * cycles));
+    }
+
+    // 3. Launch count and energy agree exactly.
+    const auto expected_launches =
+        static_cast<std::uint64_t>(2 * cycles * p.carts);
+    EXPECT_EQ(ctl.launches(), expected_launches);
+    const double shot =
+        dhl::physics::shotEnergy(cfg.cartMass(), cfg.max_speed, cfg.lim);
+    EXPECT_NEAR(ctl.totalEnergy(),
+                static_cast<double>(expected_launches) * shot,
+                shot * 1e-6);
+
+    // 4. All stations are free again.
+    for (std::size_t i = 0; i < ctl.numStations(); ++i)
+        EXPECT_TRUE(ctl.station(i).free());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ControllerProperty,
+    ::testing::Values(
+        Params{1, TrackMode::Exclusive, 1, 3},
+        Params{2, TrackMode::Exclusive, 2, 5},
+        Params{3, TrackMode::Pipelined, 2, 6},
+        Params{4, TrackMode::Pipelined, 4, 8},
+        Params{5, TrackMode::DualTrack, 2, 6},
+        Params{6, TrackMode::DualTrack, 4, 10},
+        Params{7, TrackMode::DualTrack, 8, 16}),
+    [](const ::testing::TestParamInfo<Params> &info) {
+        const char *mode = info.param.mode == TrackMode::Exclusive
+                               ? "excl"
+                               : info.param.mode == TrackMode::Pipelined
+                                     ? "pipe"
+                                     : "dual";
+        return "seed" + std::to_string(info.param.seed) + "_" + mode +
+               "_st" + std::to_string(info.param.stations) + "_c" +
+               std::to_string(info.param.carts);
+    });

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Property tests over the energy models: monotonicity and scaling laws
+ * that must hold across the whole configuration space.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/units.hpp"
+#include "dhl/analytical.hpp"
+#include "physics/lim.hpp"
+
+using namespace dhl::core;
+using namespace dhl::physics;
+namespace u = dhl::units;
+
+/** (speed, length, ssds) sweep across valid configurations. */
+using CfgParams = std::tuple<double, double, std::size_t>;
+
+class EnergyProperty : public ::testing::TestWithParam<CfgParams>
+{
+  protected:
+    DhlConfig
+    config() const
+    {
+        return makeConfig(std::get<0>(GetParam()), std::get<1>(GetParam()),
+                          std::get<2>(GetParam()));
+    }
+};
+
+TEST_P(EnergyProperty, EnergyIsQuadraticInSpeed)
+{
+    DhlConfig cfg = config();
+    const AnalyticalModel m1(cfg);
+    cfg.max_speed *= 0.5;
+    const AnalyticalModel m2(cfg);
+    EXPECT_NEAR(m1.launch().energy, 4.0 * m2.launch().energy,
+                m1.launch().energy * 1e-9);
+}
+
+TEST_P(EnergyProperty, PeakPowerIsCubicInSpeedTimesMassRatio)
+{
+    // P = M a v / eta: linear in v and in mass.
+    DhlConfig cfg = config();
+    const AnalyticalModel m1(cfg);
+    cfg.max_speed *= 0.5;
+    const AnalyticalModel m2(cfg);
+    EXPECT_NEAR(m1.launch().peak_power, 2.0 * m2.launch().peak_power,
+                m1.launch().peak_power * 1e-9);
+}
+
+TEST_P(EnergyProperty, EfficiencyImprovesWithBiggerCarts)
+{
+    // The paper's observation: doubling capacity costs less than double
+    // the energy (the frame is amortised), so GB/J rises with SSDs.
+    DhlConfig cfg = config();
+    if (cfg.ssds_per_cart > 32)
+        return; // doubled variant exceeds the sweep
+    const AnalyticalModel small(cfg);
+    cfg.ssds_per_cart *= 2;
+    const AnalyticalModel big(cfg);
+    EXPECT_GT(big.launch().efficiency, small.launch().efficiency);
+    EXPECT_LT(big.launch().energy, 2.0 * small.launch().energy);
+}
+
+TEST_P(EnergyProperty, TrackLengthDoesNotAffectLaunchEnergy)
+{
+    // Drag is excluded from the headline energy (the paper's model);
+    // only speed and mass matter.
+    DhlConfig cfg = config();
+    const AnalyticalModel m1(cfg);
+    cfg.track_length *= 2.0;
+    const AnalyticalModel m2(cfg);
+    EXPECT_DOUBLE_EQ(m1.launch().energy, m2.launch().energy);
+}
+
+TEST_P(EnergyProperty, RegenBrakingSavesUpToEfficiencyBound)
+{
+    DhlConfig cfg = config();
+    const AnalyticalModel base(cfg);
+    cfg.lim.braking = BrakingMode::Regenerative;
+    cfg.lim.regen_fraction = 0.7; // the paper's optimistic bound
+    const AnalyticalModel regen(cfg);
+    cfg.lim.braking = BrakingMode::EddyCurrent;
+    const AnalyticalModel eddy(cfg);
+
+    EXPECT_LT(regen.launch().energy, base.launch().energy);
+    // Eddy-current braking halves the shot (Discussion §VI).
+    EXPECT_NEAR(eddy.launch().energy, 0.5 * base.launch().energy, 1e-9);
+    EXPECT_LE(eddy.launch().energy, regen.launch().energy);
+}
+
+TEST_P(EnergyProperty, BulkEnergyScalesWithTrips)
+{
+    const AnalyticalModel m(config());
+    const double cap = config().cartCapacity();
+    const auto one = m.bulk(cap * 0.9);
+    const auto five = m.bulk(cap * 4.5);
+    EXPECT_EQ(one.loaded_trips, 1u);
+    EXPECT_EQ(five.loaded_trips, 5u);
+    EXPECT_NEAR(five.total_energy, 5.0 * one.total_energy, 1e-6);
+}
+
+TEST_P(EnergyProperty, AveragePowerBelowPeakPower)
+{
+    const AnalyticalModel m(config());
+    const auto lm = m.launch();
+    EXPECT_LT(lm.avg_power, lm.peak_power);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EnergyProperty,
+    ::testing::Combine(::testing::Values(100.0, 200.0, 300.0),
+                       ::testing::Values(500.0, 1000.0, 2000.0),
+                       ::testing::Values(std::size_t{16}, std::size_t{32},
+                                         std::size_t{64})));

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Property tests over the ingestion simulator: conservation and bound
+ * invariants across randomised workload/producer combinations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.hpp"
+#include "common/units.hpp"
+#include "mlsim/ingest_sim.hpp"
+
+using namespace dhl::mlsim;
+using dhl::Rng;
+using dhl::core::makeConfig;
+using dhl::network::canonicalRoutes;
+namespace u = dhl::units;
+
+class IngestProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+  protected:
+    IngestConfig
+    randomConfig(Rng &rng) const
+    {
+        IngestConfig cfg;
+        cfg.batch_bytes = u::terabytes(rng.uniform(0.5, 4.0));
+        cfg.step_compute_time = rng.uniform(0.1, 10.0);
+        cfg.buffer_capacity =
+            cfg.batch_bytes * rng.uniform(1.0, 64.0);
+        return cfg;
+    }
+};
+
+TEST_P(IngestProperty, TimeDecompositionHolds)
+{
+    // epoch = compute + stalls: the consumer is always either
+    // computing or stalled.
+    Rng rng(GetParam());
+    const IngestConfig cfg = randomConfig(rng);
+    IngestSim sim(cfg);
+    const double dataset = cfg.batch_bytes * rng.uniform(5.0, 40.0);
+    const auto &route =
+        canonicalRoutes()[static_cast<std::size_t>(rng.uniformInt(0, 4))];
+    const auto r =
+        sim.runWithNetwork(dataset, route, rng.uniform(0.5, 50.0));
+    EXPECT_NEAR(r.epoch_time, r.compute_busy + r.stall_time,
+                r.epoch_time * 1e-9);
+    EXPECT_LE(r.utilisation, 1.0 + 1e-9);
+    EXPECT_GE(r.utilisation, 0.0);
+}
+
+TEST_P(IngestProperty, AllStepsRetired)
+{
+    Rng rng(GetParam() + 10);
+    const IngestConfig cfg = randomConfig(rng);
+    IngestSim sim(cfg);
+    const double mult = rng.uniform(3.0, 30.0);
+    const double dataset = cfg.batch_bytes * mult;
+    const auto r = sim.runWithNetwork(dataset, canonicalRoutes()[0],
+                                      rng.uniform(1.0, 20.0));
+    EXPECT_EQ(r.steps, static_cast<std::uint64_t>(std::ceil(mult)));
+    EXPECT_NEAR(r.compute_busy,
+                static_cast<double>(r.steps) * cfg.step_compute_time,
+                1e-6);
+}
+
+TEST_P(IngestProperty, EpochBoundedBelowByBothResources)
+{
+    Rng rng(GetParam() + 20);
+    const IngestConfig cfg = randomConfig(rng);
+    IngestSim sim(cfg);
+    const double dataset = cfg.batch_bytes * rng.uniform(5.0, 20.0);
+    const double links = rng.uniform(0.5, 10.0);
+    const auto r =
+        sim.runWithNetwork(dataset, canonicalRoutes()[1], links);
+    const double wire = dataset / (50e9 * links);
+    EXPECT_GE(r.epoch_time, r.compute_busy - 1e-9);
+    EXPECT_GE(r.epoch_time, wire - 1e-9);
+    // And bounded above by their sum plus a few steps of ping-pong
+    // slack (tight buffers fragment the overlap at step granularity).
+    EXPECT_LE(r.epoch_time,
+              r.compute_busy + wire + 3.0 * cfg.step_compute_time + 1e-6);
+}
+
+TEST_P(IngestProperty, MoreLinksNeverHurt)
+{
+    Rng rng(GetParam() + 30);
+    const IngestConfig cfg = randomConfig(rng);
+    IngestSim sim(cfg);
+    const double dataset = cfg.batch_bytes * 20.0;
+    double prev = 1e300;
+    for (double links : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+        const auto r =
+            sim.runWithNetwork(dataset, canonicalRoutes()[2], links);
+        EXPECT_LE(r.epoch_time, prev + 1e-6);
+        prev = r.epoch_time;
+    }
+}
+
+TEST_P(IngestProperty, DhlEpochBoundedByDrainAndCompute)
+{
+    Rng rng(GetParam() + 40);
+    IngestConfig cfg = randomConfig(rng);
+    // Keep DES event counts sane: dataset of a few carts.
+    IngestSim sim(cfg);
+    const auto dhl = makeConfig(200, 500, 32);
+    const double dataset = u::terabytes(256) * rng.uniform(1.0, 4.0);
+    const auto r = sim.runWithDhl(dataset, dhl, rng.uniform() < 0.5);
+    const double drain = dataset / (32 * 7.1e9);
+    EXPECT_GE(r.epoch_time, r.compute_busy - 1e-9);
+    EXPECT_GE(r.epoch_time, drain - 1e-9);
+    EXPECT_NEAR(r.epoch_time, r.compute_busy + r.stall_time,
+                r.epoch_time * 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IngestProperty,
+                         ::testing::Values(101u, 202u, 303u, 404u));

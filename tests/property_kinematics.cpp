@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Property tests over the kinematics: invariants that must hold across
+ * a dense parameter sweep (TEST_P), not just at the paper's three
+ * design points.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "physics/profile.hpp"
+
+using namespace dhl::physics;
+
+/** (length, v_max, accel) sweep. */
+using KinParams = std::tuple<double, double, double>;
+
+class KinematicsProperty : public ::testing::TestWithParam<KinParams>
+{
+  protected:
+    double length() const { return std::get<0>(GetParam()); }
+    double vmax() const { return std::get<1>(GetParam()); }
+    double accel() const { return std::get<2>(GetParam()); }
+};
+
+TEST_P(KinematicsProperty, PaperApproxNeverExceedsTrapezoid)
+{
+    const double paper =
+        travelTime(length(), vmax(), accel(), KinematicsMode::PaperApprox);
+    const double exact =
+        travelTime(length(), vmax(), accel(), KinematicsMode::Trapezoid);
+    EXPECT_LE(paper, exact + 1e-12);
+}
+
+TEST_P(KinematicsProperty, TravelTimeLowerBoundedByCruise)
+{
+    // No profile can beat teleporting at v_max.
+    const double t =
+        travelTime(length(), vmax(), accel(), KinematicsMode::Trapezoid);
+    EXPECT_GE(t, length() / vmax() - 1e-12);
+}
+
+TEST_P(KinematicsProperty, ProfileCoversExactlyTheTrack)
+{
+    VelocityProfile p(length(), vmax(), accel());
+    EXPECT_NEAR(p.positionAt(p.totalTime()), length(),
+                length() * 1e-9 + 1e-9);
+    EXPECT_LE(p.peakSpeed(), vmax() + 1e-12);
+}
+
+TEST_P(KinematicsProperty, VelocityIntegratesToPosition)
+{
+    // Trapezoidal rule over the velocity curve must reproduce
+    // positionAt to first order.
+    VelocityProfile p(length(), vmax(), accel());
+    const int steps = 2000;
+    const double dt = p.totalTime() / steps;
+    double x = 0.0;
+    for (int i = 0; i < steps; ++i) {
+        const double t0 = i * dt;
+        const double t1 = (i + 1) * dt;
+        x += 0.5 * (p.velocityAt(t0) + p.velocityAt(t1)) * dt;
+    }
+    EXPECT_NEAR(x, length(), length() * 1e-3);
+}
+
+TEST_P(KinematicsProperty, VelocityNeverExceedsPeak)
+{
+    VelocityProfile p(length(), vmax(), accel());
+    for (int i = 0; i <= 100; ++i) {
+        const double t = p.totalTime() * i / 100.0;
+        EXPECT_LE(p.velocityAt(t), p.peakSpeed() + 1e-9);
+        EXPECT_GE(p.velocityAt(t), 0.0);
+    }
+}
+
+TEST_P(KinematicsProperty, FasterCartsNeverTravelLonger)
+{
+    const double t_slow = travelTime(length(), vmax(), accel(),
+                                     KinematicsMode::Trapezoid);
+    const double t_fast = travelTime(length(), vmax() * 1.5, accel(),
+                                     KinematicsMode::Trapezoid);
+    EXPECT_LE(t_fast, t_slow + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KinematicsProperty,
+    ::testing::Combine(
+        ::testing::Values(10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0),
+        ::testing::Values(10.0, 50.0, 100.0, 200.0, 300.0),
+        ::testing::Values(100.0, 500.0, 1000.0, 2000.0)));

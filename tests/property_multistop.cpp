@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Property tests over the multi-stop DHL: hop metrics and track
+ * admission invariants across randomised stop layouts and transit
+ * sequences.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.hpp"
+#include "dhl/multistop.hpp"
+#include "sim/simulator.hpp"
+
+using namespace dhl::core;
+using dhl::Rng;
+using dhl::sim::Simulator;
+
+namespace {
+
+MultiStopConfig
+randomLayout(Rng &rng)
+{
+    MultiStopConfig cfg;
+    cfg.stop_positions = {0.0};
+    const int stops = static_cast<int>(rng.uniformInt(2, 6));
+    double pos = 0.0;
+    for (int i = 1; i < stops; ++i) {
+        pos += rng.uniform(20.0, 400.0);
+        cfg.stop_positions.push_back(pos);
+    }
+    return cfg;
+}
+
+} // namespace
+
+class MultiStopProperty : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(MultiStopProperty, HopMetricsAreSymmetricAndPositive)
+{
+    Rng rng(GetParam());
+    const MultiStopConfig cfg = randomLayout(rng);
+    MultiStopModel m(cfg);
+    for (StopId a = 0; a < m.numStops(); ++a) {
+        for (StopId b = 0; b < m.numStops(); ++b) {
+            if (a == b)
+                continue;
+            const HopMetrics fwd = m.hop(a, b);
+            const HopMetrics rev = m.hop(b, a);
+            EXPECT_DOUBLE_EQ(fwd.distance, rev.distance);
+            EXPECT_DOUBLE_EQ(fwd.trip_time, rev.trip_time);
+            EXPECT_DOUBLE_EQ(fwd.energy, rev.energy);
+            EXPECT_GT(fwd.travel_time, 0.0);
+            EXPECT_GT(fwd.energy, 0.0);
+            EXPECT_LE(fwd.peak_speed, cfg.base.max_speed + 1e-12);
+        }
+    }
+}
+
+TEST_P(MultiStopProperty, TriangleInequalityOnTravelTime)
+{
+    // Going direct is never slower (in tube time) than stopping over:
+    // the stopover adds docking and re-acceleration.
+    Rng rng(GetParam() + 50);
+    const MultiStopConfig cfg = randomLayout(rng);
+    MultiStopModel m(cfg);
+    if (m.numStops() < 3)
+        return;
+    for (StopId mid = 1; mid + 1 < m.numStops(); ++mid) {
+        const double direct = m.hop(0, m.numStops() - 1).trip_time;
+        const double via = m.hop(0, mid).trip_time +
+                           m.hop(mid, m.numStops() - 1).trip_time;
+        EXPECT_LE(direct, via + 1e-9);
+    }
+}
+
+TEST_P(MultiStopProperty, AdmissionNeverOverlapsSegments)
+{
+    // Issue a random transit sequence; verify granted windows never
+    // overlap on any shared segment.
+    Rng rng(GetParam() + 100);
+    const MultiStopConfig cfg = randomLayout(rng);
+    Simulator sim;
+    MultiStopTrack track(sim, cfg);
+    MultiStopModel model(cfg);
+
+    struct Window
+    {
+        StopId lo, hi;
+        double start, end;
+    };
+    std::vector<Window> windows;
+    for (int i = 0; i < 40; ++i) {
+        const auto a = static_cast<StopId>(
+            rng.uniformInt(0, static_cast<int>(model.numStops()) - 1));
+        StopId b;
+        do {
+            b = static_cast<StopId>(rng.uniformInt(
+                0, static_cast<int>(model.numStops()) - 1));
+        } while (b == a);
+        const auto g = track.reserveTransit(a, b);
+        windows.push_back(Window{std::min(a, b), std::max(a, b),
+                                 g.depart_time, g.arrive_time});
+    }
+
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+        for (std::size_t j = i + 1; j < windows.size(); ++j) {
+            const auto &x = windows[i];
+            const auto &y = windows[j];
+            // Shared segment?
+            const StopId lo = std::max(x.lo, y.lo);
+            const StopId hi = std::min(x.hi, y.hi);
+            if (lo >= hi)
+                continue; // disjoint spans
+            const bool overlap =
+                x.start < y.end - 1e-12 && y.start < x.end - 1e-12;
+            EXPECT_FALSE(overlap)
+                << "transits " << i << " and " << j
+                << " overlap on a shared segment";
+        }
+    }
+    EXPECT_EQ(track.transits(), 40u);
+}
+
+TEST_P(MultiStopProperty, GrantsNeverStartInThePast)
+{
+    Rng rng(GetParam() + 200);
+    const MultiStopConfig cfg = randomLayout(rng);
+    Simulator sim;
+    MultiStopTrack track(sim, cfg);
+    for (int i = 0; i < 10; ++i) {
+        sim.schedule(rng.uniform(0.0, 10.0), [&track, &rng, &sim] {
+            const auto g = track.reserveTransit(0, 1);
+            EXPECT_GE(g.depart_time, sim.now() - 1e-12);
+        });
+    }
+    sim.run();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiStopProperty,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Property tests for the cart cache: capacity and accounting
+ * invariants under randomised dataset traffic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_set>
+
+#include "common/random.hpp"
+#include "common/units.hpp"
+#include "dhl/placement.hpp"
+
+using namespace dhl::core;
+using dhl::Rng;
+namespace u = dhl::units;
+
+class PlacementProperty : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(PlacementProperty, CapacityNeverExceeded)
+{
+    Rng rng(GetParam());
+    PlacementConfig cfg;
+    cfg.cache_carts = static_cast<std::size_t>(rng.uniformInt(4, 32));
+    CartCache cache(defaultConfig(), cfg);
+
+    for (int i = 0; i < 500; ++i) {
+        const auto name =
+            "ds" + std::to_string(rng.uniformInt(0, 20));
+        // Sizes up to the whole cache (but never beyond).
+        const double max_bytes =
+            static_cast<double>(cfg.cache_carts) *
+            defaultConfig().cartCapacity();
+        const double bytes = rng.uniform(1e12, max_bytes * 0.999);
+        const auto access = cache.access(name, bytes);
+        EXPECT_LE(cache.occupiedCarts(), cfg.cache_carts);
+        EXPECT_GE(access.total_time, access.stage_time);
+        EXPECT_GE(access.dhl_energy, 0.0);
+    }
+    EXPECT_EQ(cache.accesses(), 500u);
+    EXPECT_LE(cache.hits(), cache.accesses());
+}
+
+TEST_P(PlacementProperty, HitsAreFreeOfLoadTime)
+{
+    Rng rng(GetParam() + 9);
+    PlacementConfig cfg;
+    cfg.cache_carts = 16;
+    CartCache cache(defaultConfig(), cfg);
+    for (int i = 0; i < 300; ++i) {
+        const auto name = "ds" + std::to_string(rng.uniformInt(0, 8));
+        const auto access =
+            cache.access(name, u::terabytes(rng.uniform(100, 400)));
+        if (access.hit)
+            EXPECT_DOUBLE_EQ(access.load_time, 0.0);
+        else
+            EXPECT_GT(access.load_time, 0.0);
+    }
+}
+
+TEST_P(PlacementProperty, ResidencyAgreesWithHits)
+{
+    Rng rng(GetParam() + 77);
+    PlacementConfig cfg;
+    cfg.cache_carts = 8;
+    CartCache cache(defaultConfig(), cfg);
+    for (int i = 0; i < 300; ++i) {
+        const auto name = "ds" + std::to_string(rng.uniformInt(0, 12));
+        const bool was_resident = cache.resident(name);
+        const auto access =
+            cache.access(name, u::terabytes(rng.uniform(100, 500)));
+        EXPECT_EQ(access.hit, was_resident);
+        EXPECT_TRUE(cache.resident(name)); // always resident after
+    }
+}
+
+TEST_P(PlacementProperty, SmallerCachesHitLessUnderZipf)
+{
+    Rng rng_a(GetParam() + 100);
+    Rng rng_b(GetParam() + 100); // identical traffic
+    PlacementConfig small;
+    small.cache_carts = 4;
+    PlacementConfig big;
+    big.cache_carts = 24;
+    CartCache cache_small(defaultConfig(), small);
+    CartCache cache_big(defaultConfig(), big);
+
+    dhl::ZipfTable zipf(16, 1.0);
+    for (int i = 0; i < 800; ++i) {
+        const auto ra = zipf.sample(rng_a);
+        const auto rb = zipf.sample(rng_b);
+        cache_small.access("ds" + std::to_string(ra),
+                           u::terabytes(400));
+        cache_big.access("ds" + std::to_string(rb), u::terabytes(400));
+    }
+    EXPECT_LE(cache_small.hitRate(), cache_big.hitRate() + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlacementProperty,
+                         ::testing::Values(13u, 31u, 113u));

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Monte-Carlo validation of the closed-form RAID loss probabilities
+ * and property checks on the availability model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hpp"
+#include "dhl/reliability.hpp"
+#include "storage/raid.hpp"
+
+using namespace dhl;
+using namespace dhl::storage;
+
+class RaidMonteCarlo : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(RaidMonteCarlo, GroupLossMatchesSimulation)
+{
+    // Simulate per-SSD failures and compare the empirical group-loss
+    // frequency with the binomial closed form.
+    Rng rng(GetParam());
+    const double p = 0.05;
+    RaidConfig cfg;
+    cfg.level = RaidLevel::Raid6;
+    cfg.group_size = 8;
+    RaidModel model(referenceM2Ssd(), 32, cfg);
+
+    const int trials = 200000;
+    int losses = 0;
+    for (int t = 0; t < trials; ++t) {
+        int failed = 0;
+        for (std::size_t d = 0; d < cfg.group_size; ++d) {
+            if (rng.uniform() < p)
+                ++failed;
+        }
+        if (failed > 2) // beyond RAID6's parity
+            ++losses;
+    }
+    const double empirical = static_cast<double>(losses) / trials;
+    const double closed = model.groupLossProbability(p);
+    // ~4.7e-3 expected; 200k trials give ~3 % relative noise.
+    EXPECT_NEAR(empirical, closed, closed * 0.15);
+}
+
+TEST_P(RaidMonteCarlo, Raid5MatchesToo)
+{
+    Rng rng(GetParam() + 7);
+    const double p = 0.03;
+    RaidConfig cfg;
+    cfg.level = RaidLevel::Raid5;
+    cfg.group_size = 4;
+    RaidModel model(referenceM2Ssd(), 32, cfg);
+
+    const int trials = 100000;
+    int losses = 0;
+    for (int t = 0; t < trials; ++t) {
+        int failed = 0;
+        for (std::size_t d = 0; d < cfg.group_size; ++d) {
+            if (rng.uniform() < p)
+                ++failed;
+        }
+        if (failed > 1)
+            ++losses;
+    }
+    const double empirical = static_cast<double>(losses) / trials;
+    const double closed = model.groupLossProbability(p);
+    EXPECT_NEAR(empirical, closed, closed * 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RaidMonteCarlo,
+                         ::testing::Values(5u, 55u, 555u));
+
+TEST(RaidProperty, LossMonotoneInFailureProbability)
+{
+    RaidConfig cfg;
+    cfg.level = RaidLevel::Raid6;
+    cfg.group_size = 8;
+    RaidModel model(referenceM2Ssd(), 32, cfg);
+    double prev = -1.0;
+    for (double p = 0.0; p <= 1.0; p += 0.05) {
+        const double loss = model.tripLossProbability(p);
+        EXPECT_GE(loss, prev);
+        EXPECT_GE(loss, 0.0);
+        EXPECT_LE(loss, 1.0);
+        prev = loss;
+    }
+    EXPECT_NEAR(model.tripLossProbability(1.0), 1.0, 1e-12);
+}
+
+TEST(AvailabilityProperty, MonotoneInMttr)
+{
+    using namespace dhl::core;
+    double prev = 2.0;
+    for (double mttr : {1.0, 8.0, 24.0, 100.0}) {
+        ReliabilityConfig rel;
+        rel.lim_mttr = mttr;
+        AvailabilityModel m(defaultConfig(), rel);
+        const double a = m.report().system_availability;
+        EXPECT_LT(a, prev);
+        EXPECT_GT(a, 0.0);
+        EXPECT_LE(a, 1.0);
+        prev = a;
+    }
+}

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * The Table VI regression: every row of the paper's design-space
+ * exploration must be reproduced by the analytical model within tight
+ * bands (the paper rounds its printed values).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "common/units.hpp"
+#include "dhl/analytical.hpp"
+#include "network/route.hpp"
+
+using namespace dhl::core;
+namespace u = dhl::units;
+
+namespace {
+
+/** Relative tolerance for values the paper prints rounded. */
+constexpr double kRel = 0.03;
+
+} // namespace
+
+class TableViRegression : public ::testing::TestWithParam<TableVirow>
+{};
+
+TEST_P(TableViRegression, SingleLaunchMetrics)
+{
+    const TableVirow &row = GetParam();
+    const AnalyticalModel model(row.config);
+    const LaunchMetrics m = model.launch();
+
+    EXPECT_NEAR(u::toKilojoules(m.energy), row.paper_energy_kj,
+                row.paper_energy_kj * kRel);
+    EXPECT_NEAR(m.efficiency, row.paper_efficiency_gbpj,
+                row.paper_efficiency_gbpj * kRel);
+    EXPECT_NEAR(m.trip_time, row.paper_time_s, row.paper_time_s * kRel);
+    EXPECT_NEAR(m.bandwidth / u::terabytes(1), row.paper_bandwidth_tbps,
+                row.paper_bandwidth_tbps * 0.04);
+    EXPECT_NEAR(u::toKilowatts(m.peak_power), row.paper_peak_power_kw,
+                row.paper_peak_power_kw * kRel);
+}
+
+TEST_P(TableViRegression, Moving29PbComparisons)
+{
+    const TableVirow &row = GetParam();
+    const AnalyticalModel model(row.config);
+    const double dataset = u::petabytes(29);
+
+    // Time speedup vs a single 400 Gbit/s link.
+    const BulkMetrics bulk = model.bulk(dataset);
+    const double speedup = 580000.0 / bulk.total_time;
+    EXPECT_NEAR(speedup, row.paper_speedup, row.paper_speedup * kRel);
+
+    // Energy reductions vs routes A0 and C.
+    const auto vs_a0 =
+        model.compareBulk(dataset, dhl::network::findRoute("A0"));
+    const auto vs_c =
+        model.compareBulk(dataset, dhl::network::findRoute("C"));
+    EXPECT_NEAR(vs_a0.energy_reduction, row.paper_reduction_a0,
+                row.paper_reduction_a0 * kRel);
+    EXPECT_NEAR(vs_c.energy_reduction, row.paper_reduction_c,
+                row.paper_reduction_c * kRel);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRows, TableViRegression, ::testing::ValuesIn(tableViRows()),
+    [](const ::testing::TestParamInfo<TableVirow> &info) {
+        const auto &c = info.param.config;
+        return "v" + std::to_string(static_cast<int>(c.max_speed)) + "_L" +
+               std::to_string(static_cast<int>(c.track_length)) + "_n" +
+               std::to_string(c.ssds_per_cart) + "_row" +
+               std::to_string(info.index);
+    });
+
+TEST(AnalyticalLaunch, DefaultConfigHeadlineNumbers)
+{
+    const AnalyticalModel model(defaultConfig());
+    const LaunchMetrics m = model.launch();
+    EXPECT_NEAR(u::toKilojoules(m.energy), 15.04, 0.01);
+    EXPECT_NEAR(m.trip_time, 8.6, 1e-9);
+    EXPECT_NEAR(m.bandwidth, u::terabytes(256) / 8.6, 1.0);
+    EXPECT_NEAR(u::toKilowatts(m.peak_power), 75.2, 0.1);
+    EXPECT_NEAR(m.avg_power, 15040.0 / 8.6, 0.5); // the 1.75 kW anchor
+    EXPECT_NEAR(m.efficiency, 17.0, 0.1);
+}
+
+TEST(AnalyticalLaunch, EmbodiedBandwidthBeatsFibreBy300To1200x)
+{
+    // Paper §V-A: 15-60 TB/s is 300x-1200x faster than one 400 Gbit/s
+    // fibre (50 GB/s).
+    for (const auto &row : tableViRows()) {
+        const AnalyticalModel model(row.config);
+        const double ratio = model.launch().bandwidth / 50e9;
+        EXPECT_GT(ratio, 200.0);
+        EXPECT_LT(ratio, 1400.0);
+    }
+}
+
+TEST(AnalyticalBulk, TripAccounting29Pb)
+{
+    // Paper §V-B: 29 PB needs 227 / 114 / 57 loaded trips for
+    // 128 / 256 / 512 TB carts, doubled by the return journeys.
+    const double dataset = u::petabytes(29);
+    struct Row { std::size_t ssds; std::uint64_t trips; };
+    for (const auto &[ssds, trips] :
+         {Row{16, 227}, Row{32, 114}, Row{64, 57}}) {
+        const AnalyticalModel model(makeConfig(200, 500, ssds));
+        const BulkMetrics m = model.bulk(dataset);
+        EXPECT_EQ(m.loaded_trips, trips);
+        EXPECT_EQ(m.total_trips, 2 * trips);
+    }
+}
+
+TEST(AnalyticalBulk, ReturnTripsCanBeDisabled)
+{
+    const AnalyticalModel model(defaultConfig());
+    BulkOptions opts;
+    opts.count_return_trips = false;
+    const BulkMetrics m = model.bulk(u::petabytes(29), opts);
+    EXPECT_EQ(m.total_trips, m.loaded_trips);
+    const BulkMetrics def = model.bulk(u::petabytes(29));
+    EXPECT_NEAR(def.total_time, 2.0 * m.total_time, 1e-6);
+    EXPECT_NEAR(def.total_energy, 2.0 * m.total_energy, 1e-6);
+}
+
+TEST(AnalyticalBulk, PipelinedBeatsSerial)
+{
+    DhlConfig cfg = defaultConfig();
+    cfg.track_mode = TrackMode::DualTrack;
+    cfg.docking_stations = 4;
+    const AnalyticalModel model(cfg);
+    BulkOptions serial;
+    BulkOptions pipe;
+    pipe.pipelined = true;
+    const double dataset = u::petabytes(29);
+    EXPECT_LT(model.bulk(dataset, pipe).total_time,
+              model.bulk(dataset, serial).total_time);
+    // Energy is unchanged by pipelining.
+    EXPECT_NEAR(model.bulk(dataset, pipe).total_energy,
+                model.bulk(dataset, serial).total_energy, 1e-3);
+}
+
+TEST(AnalyticalBulk, ReadTimeExtendsSerialRuns)
+{
+    const AnalyticalModel model(defaultConfig());
+    BulkOptions with_read;
+    with_read.include_read_time = true;
+    const double dataset = u::petabytes(1);
+    const double plain = model.bulk(dataset).total_time;
+    const double read = model.bulk(dataset, with_read).total_time;
+    EXPECT_GT(read, plain);
+    // Each loaded cart adds one full-cart read (~256 TB at ~227 GB/s).
+    const double per_cart = model.cartReadTime();
+    const auto carts = model.bulk(dataset).loaded_trips;
+    EXPECT_NEAR(read - plain, static_cast<double>(carts) * per_cart, 1.0);
+}
+
+TEST(AnalyticalEnergyBreakdown, SecondaryLossesAreNegligible)
+{
+    const AnalyticalModel model(defaultConfig());
+    const EnergyBreakdown b = model.energyBreakdown();
+    EXPECT_GT(b.accelerate, 0.0);
+    EXPECT_DOUBLE_EQ(b.accelerate, b.brake); // pessimistic symmetry
+    // The paper's claim: drag, stabilisation and residual-air losses
+    // are negligible next to the LIM shots.
+    const double secondary = b.drag + b.stabilisation + b.aero;
+    EXPECT_LT(secondary, 0.02 * (b.accelerate + b.brake));
+}
+
+TEST(AnalyticalBulk, RejectsBadInput)
+{
+    const AnalyticalModel model(defaultConfig());
+    EXPECT_THROW(model.bulk(0.0), dhl::FatalError);
+    EXPECT_THROW(model.bulk(-1.0), dhl::FatalError);
+}

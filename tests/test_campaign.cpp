@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit tests for the training-campaign model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "common/units.hpp"
+#include "mlsim/campaign.hpp"
+
+using namespace dhl;
+using namespace dhl::mlsim;
+namespace u = dhl::units;
+
+namespace {
+
+CampaignModel
+defaultCampaign(const char *route = "C")
+{
+    return CampaignModel(core::defaultConfig(),
+                         network::findRoute(route));
+}
+
+} // namespace
+
+TEST(CampaignConfigTest, Validation)
+{
+    CampaignConfig ok;
+    EXPECT_NO_THROW(validate(ok));
+    CampaignConfig bad;
+    bad.initial_dataset = 0.0;
+    EXPECT_THROW(validate(bad), dhl::FatalError);
+    bad = CampaignConfig{};
+    bad.monthly_growth = -1.0;
+    EXPECT_THROW(validate(bad), dhl::FatalError);
+    bad = CampaignConfig{};
+    bad.months = 0;
+    EXPECT_THROW(validate(bad), dhl::FatalError);
+}
+
+TEST(CampaignTest, MonthlyStructure)
+{
+    CampaignConfig cfg;
+    cfg.initial_dataset = u::petabytes(29);
+    cfg.monthly_growth = u::petabytes(2);
+    cfg.trainings_per_month = 4.0;
+    cfg.months = 12;
+
+    const auto report = defaultCampaign().run(cfg);
+    ASSERT_EQ(report.months.size(), 12u);
+    EXPECT_DOUBLE_EQ(report.months[0].dataset_bytes, u::petabytes(29));
+    EXPECT_DOUBLE_EQ(report.months[11].dataset_bytes, u::petabytes(51));
+    EXPECT_DOUBLE_EQ(report.months[0].bytes_moved, u::petabytes(116));
+    // Totals equal the sum of months.
+    double bytes = 0.0, dhl_e = 0.0, net_e = 0.0;
+    for (const auto &m : report.months) {
+        bytes += m.bytes_moved;
+        dhl_e += m.dhl_energy;
+        net_e += m.net_energy;
+    }
+    EXPECT_NEAR(report.total_bytes, bytes, bytes * 1e-12);
+    EXPECT_NEAR(report.dhl_energy, dhl_e, dhl_e * 1e-12);
+    EXPECT_NEAR(report.net_energy, net_e, net_e * 1e-12);
+}
+
+TEST(CampaignTest, ReductionsMatchSingleTransferRatios)
+{
+    // Because each month scales both sides by the same dataset and
+    // training rate, the campaign-level energy reduction equals the
+    // per-transfer Table VI reduction (~87x for route C) up to cart
+    // quantisation.
+    CampaignConfig cfg;
+    cfg.months = 6;
+    const auto report = defaultCampaign("C").run(cfg);
+    EXPECT_NEAR(report.energyReduction(), 87.3, 1.5);
+    EXPECT_NEAR(report.timeReduction(), 295.0, 6.0);
+}
+
+TEST(CampaignTest, GrowthCompoundsSavings)
+{
+    // More growth, more absolute energy saved over the campaign.
+    CampaignConfig flat;
+    flat.monthly_growth = 0.0;
+    CampaignConfig growing;
+    growing.monthly_growth = u::petabytes(4);
+    const auto m = defaultCampaign();
+    EXPECT_GT(m.run(growing).energySaved(), m.run(flat).energySaved());
+    // And savings are already colossal flat: hundreds of MJ over two
+    // years of route-C traffic.
+    EXPECT_GT(m.run(flat).energySaved(), 100e6);
+}
+
+TEST(CampaignTest, MonthlyEnergyMonotoneUnderGrowth)
+{
+    CampaignConfig cfg;
+    cfg.monthly_growth = u::petabytes(2);
+    const auto report = defaultCampaign().run(cfg);
+    for (std::size_t i = 1; i < report.months.size(); ++i) {
+        EXPECT_GE(report.months[i].dhl_energy,
+                  report.months[i - 1].dhl_energy);
+        EXPECT_GT(report.months[i].net_energy,
+                  report.months[i - 1].net_energy);
+    }
+}

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Unit tests for the cart entity's state machine and payload handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "common/units.hpp"
+#include "dhl/cart.hpp"
+
+using namespace dhl::core;
+namespace u = dhl::units;
+
+namespace {
+
+DhlConfig cfg = defaultConfig();
+
+Cart
+freshCart(double failure = 0.0)
+{
+    return Cart(0, cfg, dhl::storage::ConnectorKind::UsbC, failure);
+}
+
+} // namespace
+
+TEST(CartTest, StartsStoredInLibrary)
+{
+    Cart c = freshCart();
+    EXPECT_EQ(c.state(), CartState::Stored);
+    EXPECT_EQ(c.place(), CartPlace::Library);
+    EXPECT_DOUBLE_EQ(c.capacity(), u::terabytes(256));
+    EXPECT_DOUBLE_EQ(c.storedBytes(), 0.0);
+    EXPECT_EQ(c.trips(), 0u);
+    EXPECT_EQ(c.ssds().size(), 32u);
+}
+
+TEST(CartTest, LoadUnloadStripesEvenly)
+{
+    Cart c = freshCart();
+    c.loadBytes(u::terabytes(32));
+    EXPECT_DOUBLE_EQ(c.storedBytes(), u::terabytes(32));
+    for (const auto &s : c.ssds())
+        EXPECT_DOUBLE_EQ(s.storedBytes(), u::terabytes(1));
+    c.unloadBytes(u::terabytes(16));
+    EXPECT_DOUBLE_EQ(c.storedBytes(), u::terabytes(16));
+    c.eraseAll();
+    EXPECT_DOUBLE_EQ(c.storedBytes(), 0.0);
+}
+
+TEST(CartTest, LoadOverflowRejected)
+{
+    Cart c = freshCart();
+    EXPECT_THROW(c.loadBytes(u::terabytes(257)), dhl::FatalError);
+    c.loadBytes(u::terabytes(256));
+    EXPECT_THROW(c.loadBytes(1.0), dhl::FatalError);
+    EXPECT_THROW(c.unloadBytes(u::terabytes(300)), dhl::FatalError);
+}
+
+TEST(CartTest, FullTripLifecycle)
+{
+    Cart c = freshCart();
+    c.beginUndock();
+    EXPECT_EQ(c.state(), CartState::Undocking);
+    c.launch();
+    EXPECT_EQ(c.state(), CartState::InFlight);
+    EXPECT_EQ(c.place(), CartPlace::Track);
+    c.beginDock(CartPlace::Rack);
+    EXPECT_EQ(c.state(), CartState::Docking);
+    EXPECT_EQ(c.trips(), 1u);
+    c.finishDock();
+    EXPECT_EQ(c.state(), CartState::Docked);
+    EXPECT_EQ(c.place(), CartPlace::Rack);
+
+    c.beginIo();
+    EXPECT_EQ(c.state(), CartState::Busy);
+    c.finishIo();
+    EXPECT_EQ(c.state(), CartState::Docked);
+
+    // Return journey ends Stored at the library.
+    c.beginUndock();
+    c.launch();
+    c.beginDock(CartPlace::Library);
+    c.finishDock();
+    EXPECT_EQ(c.state(), CartState::Stored);
+    EXPECT_EQ(c.place(), CartPlace::Library);
+    EXPECT_EQ(c.trips(), 2u);
+}
+
+TEST(CartTest, IllegalTransitionsPanic)
+{
+    Cart c = freshCart();
+    EXPECT_THROW(c.launch(), dhl::PanicError);        // not undocking
+    EXPECT_THROW(c.beginDock(CartPlace::Rack), dhl::PanicError);
+    EXPECT_THROW(c.finishDock(), dhl::PanicError);
+    EXPECT_THROW(c.beginIo(), dhl::PanicError);       // not docked
+    EXPECT_THROW(c.finishIo(), dhl::PanicError);
+
+    c.beginUndock();
+    EXPECT_THROW(c.beginUndock(), dhl::PanicError);   // already undocking
+    c.launch();
+    EXPECT_THROW(c.beginDock(CartPlace::Track), dhl::PanicError);
+}
+
+TEST(CartTest, MatingCyclesHitEverySsd)
+{
+    Cart c = freshCart();
+    c.beginUndock(); // records one mating cycle
+    for (const auto &s : c.ssds())
+        EXPECT_EQ(s.matingCycles(), 1u);
+}
+
+TEST(CartTest, FailureInjectionAndRepair)
+{
+    dhl::Rng rng(123);
+    Cart c = freshCart(1.0); // every SSD fails every trip
+    c.loadBytes(u::terabytes(10));
+    EXPECT_EQ(c.rollTripFailures(rng), 32u);
+    EXPECT_EQ(c.unhealthySsds(), 32u);
+    c.repairAll();
+    EXPECT_EQ(c.unhealthySsds(), 0u);
+    EXPECT_DOUBLE_EQ(c.storedBytes(), u::terabytes(10));
+}
+
+TEST(CartEnums, Names)
+{
+    EXPECT_EQ(to_string(CartState::Stored), "stored");
+    EXPECT_EQ(to_string(CartState::InFlight), "in-flight");
+    EXPECT_EQ(to_string(CartPlace::Rack), "rack");
+    EXPECT_EQ(to_string(CartPlace::Track), "track");
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Unit tests for the cart SSD array (capacity, mass, PCIe-capped
+ * bandwidth).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "common/units.hpp"
+#include "storage/cart_array.hpp"
+
+using namespace dhl::storage;
+namespace u = dhl::units;
+
+TEST(CartArrayTest, PaperCapacities)
+{
+    const auto &m2 = referenceM2Ssd();
+    EXPECT_DOUBLE_EQ(CartArray(m2, 16).capacity(), u::terabytes(128));
+    EXPECT_DOUBLE_EQ(CartArray(m2, 32).capacity(), u::terabytes(256));
+    EXPECT_DOUBLE_EQ(CartArray(m2, 64).capacity(), u::terabytes(512));
+}
+
+TEST(CartArrayTest, PaperPayloadMasses)
+{
+    const auto &m2 = referenceM2Ssd();
+    // Paper §IV-A: 91 / 180(181) / 363 g for 16 / 32 / 64 SSDs.
+    EXPECT_NEAR(u::toGrams(CartArray(m2, 16).payloadMass()), 91.0, 0.8);
+    EXPECT_NEAR(u::toGrams(CartArray(m2, 32).payloadMass()), 181.4, 0.8);
+    EXPECT_NEAR(u::toGrams(CartArray(m2, 64).payloadMass()), 363.0, 0.8);
+}
+
+TEST(CartArrayTest, PcieCeilingMatchesPaper)
+{
+    // Paper: PCIe 6 provides 3.8 Tbit/s for 64 lanes, 1 lane per SSD.
+    const auto &m2 = referenceM2Ssd();
+    CartArray big(m2, 64);
+    EXPECT_NEAR(big.pcieBandwidth(), u::terabitsPerSecond(3.8), 1.0);
+}
+
+TEST(CartArrayTest, ReadBandwidthDeviceLimited)
+{
+    // 32 SSDs * 7.1 GB/s = 227 GB/s device-side, below the PCIe cap of
+    // 32 lanes * 59.375 Gbit/s = 237.5 GB/s -> device limited.
+    const auto &m2 = referenceM2Ssd();
+    CartArray cart(m2, 32);
+    EXPECT_NEAR(cart.readBandwidth(), 32 * u::megabytes(7100), 1.0);
+    EXPECT_LT(cart.readBandwidth(), cart.pcieBandwidth());
+}
+
+TEST(CartArrayTest, ReadBandwidthPcieLimitedWithFewLanes)
+{
+    const auto &m2 = referenceM2Ssd();
+    PcieConfig skinny;
+    skinny.lanes_per_ssd = 1;
+    skinny.lane_bandwidth = u::gigabytes(1); // deliberately tight
+    CartArray cart(m2, 32, skinny);
+    EXPECT_DOUBLE_EQ(cart.readBandwidth(), 32 * u::gigabytes(1));
+    EXPECT_DOUBLE_EQ(cart.writeBandwidth(), 32 * u::gigabytes(1));
+}
+
+TEST(CartArrayTest, FullReadAndWriteTimes)
+{
+    const auto &m2 = referenceM2Ssd();
+    CartArray cart(m2, 32);
+    // 256 TB at 227.2 GB/s ~ 1127 s; write at 192 GB/s ~ 1333 s.
+    EXPECT_NEAR(cart.fullReadTime(), u::terabytes(256) / (32 * 7.1e9),
+                1e-6);
+    EXPECT_GT(cart.fullWriteTime(), cart.fullReadTime());
+}
+
+TEST(CartArrayTest, ActivePowerForHeatSinks)
+{
+    // Discussion §VI: M.2 SSDs draw up to 10 W under load.
+    const auto &m2 = referenceM2Ssd();
+    EXPECT_DOUBLE_EQ(CartArray(m2, 32).activePower(), 320.0);
+}
+
+TEST(CartArrayTest, RejectsBadConfigs)
+{
+    const auto &m2 = referenceM2Ssd();
+    EXPECT_THROW(CartArray(m2, 0), dhl::FatalError);
+    PcieConfig bad;
+    bad.lanes_per_ssd = 0;
+    EXPECT_THROW(CartArray(m2, 32, bad), dhl::FatalError);
+    bad = PcieConfig{};
+    bad.lane_bandwidth = 0.0;
+    EXPECT_THROW(CartArray(m2, 32, bad), dhl::FatalError);
+    DeviceSpec broken = m2;
+    broken.capacity = 0.0;
+    EXPECT_THROW(CartArray(broken, 32), dhl::FatalError);
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unit tests for the network component catalogue and the canonical
+ * route power model — the Fig. 2 energies are the paper's anchor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "common/units.hpp"
+#include "network/catalog.hpp"
+#include "network/route.hpp"
+
+using namespace dhl::network;
+namespace u = dhl::units;
+
+TEST(ComponentCatalog, TableIiiRows)
+{
+    const auto &rows = componentCatalog();
+    ASSERT_EQ(rows.size(), 5u);
+    int bold = 0;
+    for (const auto &r : rows) {
+        if (r.paper_default)
+            ++bold;
+    }
+    EXPECT_EQ(bold, 3); // transceiver, 2x200 NIC, QM9700 switch
+}
+
+TEST(PowerConstantsTest, CalibratedValues)
+{
+    const auto &pc = defaultPowerConstants();
+    EXPECT_DOUBLE_EQ(pc.transceiver, 12.0);
+    EXPECT_DOUBLE_EQ(pc.nic, 19.8);
+    EXPECT_NEAR(pc.switch_port_passive, 23.34375, 1e-9);
+    EXPECT_DOUBLE_EQ(pc.switch_port_active, 53.75);
+    EXPECT_DOUBLE_EQ(pc.link_rate, u::gigabitsPerSecond(400));
+    // The NIC calibration stays inside the bold NIC's datasheet range.
+    EXPECT_GE(pc.nic, 17.0);
+    EXPECT_LE(pc.nic, 23.3);
+}
+
+TEST(RoutePower, CanonicalRouteWattages)
+{
+    EXPECT_NEAR(findRoute("A0").power(), 24.0, 1e-9);
+    EXPECT_NEAR(findRoute("A1").power(), 39.6, 1e-9);
+    EXPECT_NEAR(findRoute("A2").power(), 86.2875, 1e-9);
+    EXPECT_NEAR(findRoute("B").power(), 301.2875, 1e-9);
+    EXPECT_NEAR(findRoute("C").power(), 516.2875, 1e-9);
+}
+
+TEST(RoutePower, Fig2EnergiesFor29Pb)
+{
+    // The Fig. 2 table: energy = route power x 580,000 s.
+    const double t = u::petabytes(29) / u::gigabitsPerSecond(400);
+    struct Row { const char *name; double mj; };
+    const Row rows[] = {
+        {"A0", 13.92}, {"A1", 22.97}, {"A2", 50.05},
+        {"B", 174.75}, {"C", 299.45},
+    };
+    for (const auto &r : rows) {
+        const double e = findRoute(r.name).power() * t;
+        EXPECT_NEAR(u::toMegajoules(e), r.mj, 0.005) << r.name;
+    }
+}
+
+TEST(RoutePower, OrderingMatchesTopologyDepth)
+{
+    const auto &routes = canonicalRoutes();
+    ASSERT_EQ(routes.size(), 5u);
+    for (std::size_t i = 1; i < routes.size(); ++i)
+        EXPECT_GT(routes[i].power(), routes[i - 1].power());
+}
+
+TEST(RouteStructure, ElementCounts)
+{
+    const Route &b = findRoute("B");
+    EXPECT_EQ(b.countOf(ElementKind::Nic), 2);
+    EXPECT_EQ(b.countOf(ElementKind::SwitchPortPassive), 2);
+    EXPECT_EQ(b.countOf(ElementKind::SwitchPortActive), 4);
+    EXPECT_EQ(b.switchTransits(), 3);
+
+    const Route &c = findRoute("C");
+    EXPECT_EQ(c.switchTransits(), 5);
+    EXPECT_EQ(findRoute("A2").switchTransits(), 1);
+    EXPECT_EQ(findRoute("A0").switchTransits(), 0);
+}
+
+TEST(RouteStructure, CustomConstantsPropagate)
+{
+    PowerConstants pc;
+    pc.transceiver = 10.0;
+    EXPECT_DOUBLE_EQ(findRoute("A0").power(pc), 20.0);
+}
+
+TEST(RouteStructure, Validation)
+{
+    EXPECT_THROW(findRoute("Z"), dhl::FatalError);
+    EXPECT_THROW(Route("", {}), dhl::FatalError);
+    EXPECT_THROW(Route("neg", {{ElementKind::Nic, -1}}), dhl::FatalError);
+}
+
+TEST(EnumNames, ComponentAndElementKinds)
+{
+    EXPECT_EQ(to_string(ComponentKind::Transceiver), "Transceiver");
+    EXPECT_EQ(to_string(ComponentKind::Switch), "Switch");
+    EXPECT_EQ(to_string(ElementKind::SwitchPortActive),
+              "switch-port(active)");
+}

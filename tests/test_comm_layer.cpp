@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for the mlsim communication layers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "common/units.hpp"
+#include "mlsim/comm_layer.hpp"
+
+using namespace dhl::mlsim;
+using dhl::core::defaultConfig;
+using dhl::network::findRoute;
+namespace u = dhl::units;
+
+TEST(OpticalCommTest, SingleLink29Pb)
+{
+    OpticalComm a0(findRoute("A0"));
+    EXPECT_EQ(a0.name(), "A0");
+    EXPECT_FALSE(a0.quantised());
+    EXPECT_NEAR(a0.unitPower(), 24.0, 1e-9);
+    EXPECT_DOUBLE_EQ(a0.ingestionTime(u::petabytes(29), 1.0), 580000.0);
+    EXPECT_NEAR(u::toMegajoules(a0.ingestionEnergy(u::petabytes(29))),
+                13.92, 0.005);
+}
+
+TEST(OpticalCommTest, LinksScaleTimeNotEnergy)
+{
+    OpticalComm c(findRoute("C"));
+    const double bytes = u::petabytes(29);
+    EXPECT_NEAR(c.ingestionTime(bytes, 10.0),
+                c.ingestionTime(bytes, 1.0) / 10.0, 1e-6);
+    // avgPower with n links is n times the per-link power.
+    EXPECT_NEAR(c.avgPower(bytes, 10.0), 10.0 * c.unitPower(), 1e-6);
+}
+
+TEST(DhlCommTest, SerialUnitPowerIsThePaperBudget)
+{
+    DhlComm dhl_comm(defaultConfig());
+    EXPECT_TRUE(dhl_comm.quantised());
+    EXPECT_EQ(dhl_comm.name(), "DHL-200-500-256");
+    // E_shot / t_trip = 15.04 kJ / 8.6 s = 1.749 kW: the paper's
+    // Table VII power budget.
+    EXPECT_NEAR(dhl_comm.unitPower(), 1749.0, 1.0);
+}
+
+TEST(DhlCommTest, SerialIngestionMatchesTableViAccounting)
+{
+    DhlComm dhl_comm(defaultConfig());
+    const double bytes = u::petabytes(29);
+    // 114 loaded trips, doubled, at 8.6 s.
+    EXPECT_NEAR(dhl_comm.ingestionTime(bytes, 1.0), 2 * 114 * 8.6, 1e-6);
+    EXPECT_NEAR(dhl_comm.ingestionEnergy(bytes), 2 * 114 * 15040.0, 1500.0);
+    // avgPower equals unitPower for one track.
+    EXPECT_NEAR(dhl_comm.avgPower(bytes, 1.0), dhl_comm.unitPower(), 1.0);
+}
+
+TEST(DhlCommTest, PipelinedHalvesTimeDoublesPower)
+{
+    DhlComm serial(defaultConfig(), false);
+    DhlComm pipe(defaultConfig(), true);
+    const double bytes = u::petabytes(29);
+    EXPECT_NEAR(pipe.ingestionTime(bytes, 1.0),
+                serial.ingestionTime(bytes, 1.0) / 2.0, 1e-6);
+    EXPECT_NEAR(pipe.ingestionEnergy(bytes), serial.ingestionEnergy(bytes),
+                1e-3);
+    EXPECT_NEAR(pipe.unitPower(), 2.0 * serial.unitPower(), 1e-6);
+}
+
+TEST(DhlCommTest, MultipleTracksSplitTrips)
+{
+    DhlComm dhl_comm(defaultConfig());
+    const double bytes = u::petabytes(29); // 114 loaded trips
+    const double t1 = dhl_comm.ingestionTime(bytes, 1.0);
+    const double t2 = dhl_comm.ingestionTime(bytes, 2.0);
+    const double t3 = dhl_comm.ingestionTime(bytes, 3.0);
+    EXPECT_NEAR(t2, 2 * 57 * 8.6, 1e-6); // ceil(114/2) = 57
+    EXPECT_NEAR(t3, 2 * 38 * 8.6, 1e-6); // ceil(114/3) = 38
+    EXPECT_LT(t3, t2);
+    EXPECT_LT(t2, t1);
+}
+
+TEST(DhlCommTest, FractionalTracksRejected)
+{
+    DhlComm dhl_comm(defaultConfig());
+    EXPECT_THROW(dhl_comm.ingestionTime(1e15, 1.5), dhl::FatalError);
+    EXPECT_THROW(dhl_comm.ingestionTime(1e15, 0.0), dhl::FatalError);
+}
+
+TEST(OpticalCommTest, ZeroLinksRejected)
+{
+    OpticalComm a0(findRoute("A0"));
+    EXPECT_THROW(a0.ingestionTime(1e15, 0.0), dhl::FatalError);
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for the controller's trace emission.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "common/units.hpp"
+#include "dhl/controller.hpp"
+#include "sim/trace.hpp"
+
+using namespace dhl::core;
+using dhl::sim::Simulator;
+using dhl::sim::TraceRecorder;
+namespace u = dhl::units;
+
+TEST(ControllerTraceTest, OpenCloseCycleEmitsApiAndTrackRecords)
+{
+    Simulator sim;
+    DhlController ctl(sim, defaultConfig());
+    TraceRecorder trace(sim);
+    trace.enable();
+    ctl.attachTrace(&trace);
+
+    Cart &cart = ctl.addCart(u::terabytes(10));
+    ctl.open(cart.id(), [&](Cart &c, DockingStation &) {
+        ctl.close(c.id(), nullptr);
+    });
+    sim.run();
+
+    const auto api = trace.filter("api");
+    ASSERT_EQ(api.size(), 2u);
+    EXPECT_EQ(api[0].message, "open cart 0");
+    EXPECT_EQ(api[1].message, "close cart 0");
+
+    const auto track = trace.filter("track");
+    ASSERT_EQ(track.size(), 2u);
+    EXPECT_EQ(track[0].message, "cart 0 outbound");
+    EXPECT_EQ(track[1].message, "cart 0 inbound");
+    // Launch timestamps: outbound departs at 3 s (after undock), the
+    // return at 11.6 + 3 = 14.6... the inbound departure is at 11.6 s
+    // (undock done) since the tube is free.
+    EXPECT_DOUBLE_EQ(track[0].when, 3.0);
+    EXPECT_DOUBLE_EQ(track[1].when, 11.6);
+}
+
+TEST(ControllerTraceTest, QueuedOpensAreMarked)
+{
+    Simulator sim;
+    DhlConfig cfg = defaultConfig();
+    cfg.docking_stations = 1;
+    DhlController ctl(sim, cfg);
+    TraceRecorder trace(sim);
+    trace.enable();
+    ctl.attachTrace(&trace);
+
+    Cart &a = ctl.addCart();
+    Cart &b = ctl.addCart();
+    ctl.open(a.id(), [&](Cart &c, DockingStation &) {
+        ctl.close(c.id(), nullptr);
+    });
+    ctl.open(b.id(), nullptr);
+    sim.run();
+
+    bool saw_queued = false;
+    for (const auto &r : trace.filter("api"))
+        saw_queued |= r.message == "open cart 1 queued";
+    EXPECT_TRUE(saw_queued);
+}
+
+TEST(ControllerTraceTest, FailureRecords)
+{
+    auto prev = dhl::Logger::global().setLevel(dhl::LogLevel::Silent);
+    Simulator sim;
+    DhlController ctl(sim, defaultConfig());
+    ctl.setFailureProbability(1.0);
+    TraceRecorder trace(sim);
+    trace.enable();
+    ctl.attachTrace(&trace);
+
+    Cart &cart = ctl.addCart(u::terabytes(1));
+    ctl.open(cart.id(), nullptr);
+    sim.run();
+    dhl::Logger::global().setLevel(prev);
+
+    const auto failures = trace.filter("failure");
+    ASSERT_EQ(failures.size(), 1u);
+    EXPECT_NE(failures[0].message.find("lost 32 SSD(s)"),
+              std::string::npos);
+}
+
+TEST(ControllerTraceTest, DetachedControllerEmitsNothing)
+{
+    Simulator sim;
+    DhlController ctl(sim, defaultConfig());
+    TraceRecorder trace(sim);
+    trace.enable();
+    ctl.attachTrace(&trace);
+    ctl.attachTrace(nullptr); // detach again
+
+    Cart &cart = ctl.addCart();
+    ctl.open(cart.id(), nullptr);
+    sim.run();
+    EXPECT_EQ(trace.size(), 0u);
+}

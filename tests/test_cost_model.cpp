@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Unit tests for the materials cost model — the full Table VIII
+ * regression.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "cost/cost_model.hpp"
+
+using namespace dhl::cost;
+
+TEST(RailCostTest, TableViiiA)
+{
+    CostModel m;
+    // Distance: 100 / 500 / 1000 m.
+    struct Row { double d, alu, rail, tube, total; };
+    const Row rows[] = {
+        {100, 117, 116, 500, 733},
+        {500, 585, 580, 2500, 3665},
+        {1000, 1170, 1160, 5000, 7330},
+    };
+    for (const auto &r : rows) {
+        const RailCost c = m.railCost(r.d);
+        EXPECT_NEAR(c.aluminium, r.alu, r.alu * 0.01) << r.d;
+        EXPECT_NEAR(c.pvc_rail, r.rail, r.rail * 0.01) << r.d;
+        EXPECT_NEAR(c.pvc_tube, r.tube, r.tube * 0.01) << r.d;
+        EXPECT_NEAR(c.total(), r.total, r.total * 0.01) << r.d;
+    }
+}
+
+TEST(LimCostTest, TableViiiB)
+{
+    CostModel m;
+    struct Row { double v, copper, total; };
+    const Row rows[] = {
+        {100, 792, 8792},
+        {200, 2904, 10904},
+        {300, 6512, 14512},
+    };
+    for (const auto &r : rows) {
+        const LimCost c = m.limCost(r.v);
+        EXPECT_NEAR(c.copper, r.copper, 0.5) << r.v;
+        EXPECT_DOUBLE_EQ(c.vfd, 8000.0);
+        EXPECT_NEAR(c.total(), r.total, 0.5) << r.v;
+    }
+}
+
+TEST(TotalCostTest, TableViiiC)
+{
+    CostModel m;
+    struct Row { double d, v, usd; };
+    const Row rows[] = {
+        {100, 100, 9525},  {100, 200, 11637},  {100, 300, 15245},
+        {500, 100, 12457}, {500, 200, 14569},  {500, 300, 18177},
+        {1000, 100, 16122}, {1000, 200, 18234}, {1000, 300, 21842},
+    };
+    for (const auto &r : rows) {
+        EXPECT_NEAR(m.totalCost(r.d, r.v), r.usd, r.usd * 0.01)
+            << r.d << " m @ " << r.v << " m/s";
+    }
+}
+
+TEST(TotalCostTest, ComparableToA400GSwitch)
+{
+    // The paper's take-away: a DHL costs ~$20k, the price of a large
+    // 400 Gbit/s switch.
+    CostModel m;
+    EXPECT_LT(m.totalCost(1000, 300), 25000.0);
+    EXPECT_GT(m.totalCost(100, 100), 5000.0);
+}
+
+TEST(CopperMassTest, InterpolationBetweenDesignPoints)
+{
+    CostModel m;
+    const double at150 = m.limCopperMass(150.0);
+    const double lo = m.limCopperMass(100.0);
+    const double hi = m.limCopperMass(200.0);
+    EXPECT_NEAR(at150, 0.5 * (lo + hi), 1e-9);
+    // Monotone increasing in speed.
+    EXPECT_LT(lo, hi);
+    EXPECT_LT(hi, m.limCopperMass(300.0));
+    // Extrapolation beyond 300 m/s keeps growing.
+    EXPECT_GT(m.limCopperMass(350.0), m.limCopperMass(300.0));
+}
+
+TEST(CostModelTest, CustomPricesPropagate)
+{
+    MaterialPrices pricey;
+    pricey.copper_per_kg = 17.16; // doubled
+    CostModel base;
+    CostModel expensive(pricey);
+    // Copper *mass* is derived from the paper's costs at the paper's
+    // price, so doubling the price doubles the copper line item.
+    EXPECT_NEAR(expensive.limCost(200.0).copper,
+                2.0 * base.limCost(200.0).copper, 1.0);
+}
+
+TEST(CostModelTest, Validation)
+{
+    CostModel m;
+    EXPECT_THROW(m.railCost(0.0), dhl::FatalError);
+    EXPECT_THROW(m.railCost(-5.0), dhl::FatalError);
+    EXPECT_THROW(m.limCopperMass(0.0), dhl::FatalError);
+    MaterialPrices bad;
+    bad.pvc_per_kg = 0.0;
+    EXPECT_THROW(CostModel{bad}, dhl::FatalError);
+    RailMaterials badm;
+    badm.ring_mass = 0.0;
+    EXPECT_THROW(CostModel(MaterialPrices{}, badm), dhl::FatalError);
+}

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Unit tests for the dataset manager.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "common/logging.hpp"
+#include "common/units.hpp"
+#include "dhl/dataset_manager.hpp"
+
+using namespace dhl::core;
+using dhl::sim::Simulator;
+namespace u = dhl::units;
+
+namespace {
+
+struct Rig
+{
+    explicit Rig(DhlConfig c = pipelineConfig()) : cfg(c), ctl(sim, cfg),
+                                                   dm(ctl)
+    {}
+
+    static DhlConfig
+    pipelineConfig()
+    {
+        DhlConfig cfg = defaultConfig();
+        cfg.track_mode = TrackMode::DualTrack;
+        cfg.docking_stations = 4;
+        return cfg;
+    }
+
+    DhlConfig cfg;
+    Simulator sim;
+    DhlController ctl;
+    DatasetManager dm;
+};
+
+} // namespace
+
+TEST(DatasetManagerTest, RegisterAllocatesCarts)
+{
+    Rig r;
+    const auto &carts =
+        r.dm.registerDataset("laion", u::terabytes(600)); // 3 carts
+    EXPECT_EQ(carts.size(), 3u);
+    EXPECT_TRUE(r.dm.has("laion"));
+    EXPECT_FALSE(r.dm.has("nope"));
+    EXPECT_DOUBLE_EQ(r.dm.totalBytes(), u::terabytes(600));
+
+    const auto info = r.dm.info("laion");
+    EXPECT_EQ(info.placement, DatasetPlacement::Library);
+    EXPECT_DOUBLE_EQ(info.bytes, u::terabytes(600));
+
+    // The carts actually hold the bytes (last one partial).
+    double held = 0.0;
+    for (CartId id : carts)
+        held += r.ctl.library().cart(id).storedBytes();
+    EXPECT_NEAR(held, u::terabytes(600), 1.0);
+}
+
+TEST(DatasetManagerTest, DuplicateAndBadRegistrations)
+{
+    Rig r;
+    r.dm.registerDataset("x", u::terabytes(1));
+    EXPECT_THROW(r.dm.registerDataset("x", u::terabytes(1)),
+                 dhl::FatalError);
+    EXPECT_THROW(r.dm.registerDataset("", u::terabytes(1)),
+                 dhl::FatalError);
+    EXPECT_THROW(r.dm.registerDataset("y", 0.0), dhl::FatalError);
+    EXPECT_THROW(r.dm.info("unknown"), dhl::FatalError);
+}
+
+TEST(DatasetManagerTest, NamesInRegistrationOrder)
+{
+    Rig r;
+    r.dm.registerDataset("b", 1e12);
+    r.dm.registerDataset("a", 1e12);
+    const auto names = r.dm.names();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "b");
+    EXPECT_EQ(names[1], "a");
+}
+
+TEST(DatasetManagerTest, StageBringsAllCartsToRack)
+{
+    Rig r;
+    r.dm.registerDataset("ds", u::terabytes(600));
+    bool staged = false;
+    r.dm.stage("ds", [&] { staged = true; });
+    EXPECT_EQ(r.dm.info("ds").placement, DatasetPlacement::InTransit);
+    r.sim.run();
+    EXPECT_TRUE(staged);
+    EXPECT_EQ(r.dm.info("ds").placement, DatasetPlacement::Staged);
+}
+
+TEST(DatasetManagerTest, ReadAllReturnsEveryByte)
+{
+    Rig r;
+    r.dm.registerDataset("ds", u::terabytes(600));
+    double read = 0.0;
+    r.dm.stage("ds", [&] {
+        r.dm.readAll("ds", [&](double bytes) { read = bytes; });
+    });
+    r.sim.run();
+    EXPECT_NEAR(read, u::terabytes(600), 1.0);
+}
+
+TEST(DatasetManagerTest, ReadBeforeStagingRejected)
+{
+    Rig r;
+    r.dm.registerDataset("ds", u::terabytes(100));
+    EXPECT_THROW(r.dm.readAll("ds", nullptr), dhl::FatalError);
+}
+
+TEST(DatasetManagerTest, UnstageReturnsToLibrary)
+{
+    Rig r;
+    r.dm.registerDataset("ds", u::terabytes(600));
+    bool home = false;
+    r.dm.stage("ds", [&] {
+        r.dm.unstage("ds", [&] { home = true; });
+    });
+    r.sim.run();
+    EXPECT_TRUE(home);
+    EXPECT_EQ(r.dm.info("ds").placement, DatasetPlacement::Library);
+}
+
+TEST(DatasetManagerTest, RepeatedTrainingCycles)
+{
+    // The paper's pattern: the same dataset staged and returned for
+    // several different models.
+    Rig r;
+    r.dm.registerDataset("train", u::terabytes(500)); // 2 carts
+    int cycles_done = 0;
+    std::function<void()> cycle = [&] {
+        if (cycles_done == 3)
+            return;
+        r.dm.stage("train", [&] {
+            r.dm.readAll("train", [&](double) {
+                r.dm.unstage("train", [&] {
+                    ++cycles_done;
+                    cycle();
+                });
+            });
+        });
+    };
+    cycle();
+    r.sim.run();
+    EXPECT_EQ(cycles_done, 3);
+    // 2 carts x 2 trips x 3 cycles.
+    EXPECT_EQ(r.ctl.launches(), 12u);
+}
+
+TEST(DatasetManagerTest, TwoDatasetsShareTheSystem)
+{
+    Rig r;
+    r.dm.registerDataset("hot", u::terabytes(256));  // 1 cart
+    r.dm.registerDataset("cold", u::terabytes(256)); // 1 cart
+    int staged = 0;
+    r.dm.stage("hot", [&] { ++staged; });
+    r.dm.stage("cold", [&] { ++staged; });
+    r.sim.run();
+    EXPECT_EQ(staged, 2);
+    EXPECT_EQ(r.dm.info("hot").placement, DatasetPlacement::Staged);
+    EXPECT_EQ(r.dm.info("cold").placement, DatasetPlacement::Staged);
+}
+
+TEST(PlacementNames, ToString)
+{
+    EXPECT_EQ(to_string(DatasetPlacement::Library), "library");
+    EXPECT_EQ(to_string(DatasetPlacement::Staged), "staged");
+    EXPECT_EQ(to_string(DatasetPlacement::InTransit), "in-transit");
+    EXPECT_EQ(to_string(DatasetPlacement::Mixed), "mixed");
+}

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for the docking station (dock/undock timing, PCIe-speed
+ * IO, occupancy rules).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "common/units.hpp"
+#include "dhl/docking_station.hpp"
+
+using namespace dhl::core;
+using dhl::sim::Simulator;
+namespace u = dhl::units;
+
+namespace {
+
+struct Rig
+{
+    DhlConfig cfg = defaultConfig();
+    Simulator sim;
+    DockingStation st{sim, cfg, "st0"};
+    Cart cart{0, cfg};
+
+    /** Drive the cart to the arrival point (InFlight at the rack). */
+    void
+    flyIn()
+    {
+        cart.beginUndock();
+        cart.launch();
+        st.reserve(cart);
+    }
+};
+
+} // namespace
+
+TEST(DockingStationTest, StartsFree)
+{
+    Rig r;
+    EXPECT_TRUE(r.st.free());
+    EXPECT_EQ(r.st.cart(), nullptr);
+}
+
+TEST(DockingStationTest, DockTakesDockTime)
+{
+    Rig r;
+    r.flyIn();
+    EXPECT_FALSE(r.st.free());
+    bool docked = false;
+    r.st.beginDock([&] { docked = true; });
+    r.sim.run();
+    EXPECT_TRUE(docked);
+    EXPECT_DOUBLE_EQ(r.sim.now(), 3.0);
+    EXPECT_EQ(r.cart.state(), CartState::Docked);
+}
+
+TEST(DockingStationTest, ReadAtArrayBandwidth)
+{
+    Rig r;
+    r.cart.loadBytes(u::terabytes(10));
+    r.flyIn();
+    r.st.beginDock(nullptr);
+    r.sim.run();
+
+    double got = 0.0;
+    const double t0 = r.sim.now();
+    r.st.read(u::terabytes(10), [&](double b) { got = b; });
+    r.sim.run();
+    EXPECT_DOUBLE_EQ(got, u::terabytes(10));
+    // 10 TB at 32 * 7.1 GB/s.
+    EXPECT_NEAR(r.sim.now() - t0, 10e12 / (32 * 7.1e9), 1e-6);
+    EXPECT_DOUBLE_EQ(r.st.bytesRead(), u::terabytes(10));
+}
+
+TEST(DockingStationTest, WriteCommitsBytesToCart)
+{
+    Rig r;
+    r.flyIn();
+    r.st.beginDock(nullptr);
+    r.sim.run();
+
+    r.st.write(u::terabytes(4), nullptr);
+    r.sim.run();
+    EXPECT_DOUBLE_EQ(r.cart.storedBytes(), u::terabytes(4));
+    EXPECT_DOUBLE_EQ(r.st.bytesWritten(), u::terabytes(4));
+}
+
+TEST(DockingStationTest, OverlappingIoPanics)
+{
+    Rig r;
+    r.cart.loadBytes(u::terabytes(4));
+    r.flyIn();
+    r.st.beginDock(nullptr);
+    r.sim.run();
+    r.st.read(u::terabytes(1), nullptr);
+    EXPECT_THROW(r.st.read(u::terabytes(1), nullptr), dhl::PanicError);
+    r.sim.run();
+    // After completion IO is allowed again.
+    EXPECT_NO_THROW(r.st.read(u::terabytes(1), nullptr));
+    r.sim.run();
+}
+
+TEST(DockingStationTest, ReadBeyondContentsRejected)
+{
+    Rig r;
+    r.cart.loadBytes(u::terabytes(1));
+    r.flyIn();
+    r.st.beginDock(nullptr);
+    r.sim.run();
+    EXPECT_THROW(r.st.read(u::terabytes(2), nullptr), dhl::FatalError);
+    EXPECT_THROW(r.st.write(u::terabytes(256), nullptr), dhl::FatalError);
+}
+
+TEST(DockingStationTest, UndockFreesAfterRelease)
+{
+    Rig r;
+    r.flyIn();
+    r.st.beginDock(nullptr);
+    r.sim.run();
+
+    bool undocked = false;
+    r.st.beginUndock([&] { undocked = true; });
+    r.sim.run();
+    EXPECT_TRUE(undocked);
+    EXPECT_FALSE(r.st.free()); // still reserved until release
+    r.st.release();
+    EXPECT_TRUE(r.st.free());
+    EXPECT_EQ(r.st.matingOperations(), 2u);
+}
+
+TEST(DockingStationTest, DoubleReservePanics)
+{
+    Rig r;
+    r.flyIn();
+    Cart other(1, r.cfg);
+    EXPECT_THROW(r.st.reserve(other), dhl::PanicError);
+}
+
+TEST(DockingStationTest, UndockDuringIoPanics)
+{
+    Rig r;
+    r.cart.loadBytes(u::terabytes(4));
+    r.flyIn();
+    r.st.beginDock(nullptr);
+    r.sim.run();
+    r.st.read(u::terabytes(4), nullptr);
+    EXPECT_THROW(r.st.beginUndock(nullptr), dhl::PanicError);
+}
+
+TEST(DockingStationTest, ActionsOnEmptyStationPanic)
+{
+    Rig r;
+    EXPECT_THROW(r.st.beginDock(nullptr), dhl::PanicError);
+    EXPECT_THROW(r.st.beginUndock(nullptr), dhl::PanicError);
+    EXPECT_THROW(r.st.read(1.0, nullptr), dhl::PanicError);
+    EXPECT_THROW(r.st.release(), dhl::PanicError);
+}

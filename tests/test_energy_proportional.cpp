@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit tests for the energy-proportional networking baseline — and the
+ * claim the paper implicitly relies on: sleeping idle links cannot
+ * close the per-byte gap to a DHL.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "common/units.hpp"
+#include "dhl/analytical.hpp"
+#include "network/energy_proportional.hpp"
+
+using namespace dhl;
+using namespace dhl::network;
+namespace u = dhl::units;
+
+namespace {
+
+EnergyProportionalModel
+modelFor(const char *route)
+{
+    return EnergyProportionalModel(findRoute(route), SleepConfig{});
+}
+
+} // namespace
+
+TEST(SleepConfigTest, Validation)
+{
+    SleepConfig ok;
+    EXPECT_NO_THROW(validate(ok));
+    SleepConfig bad;
+    bad.idle_power_fraction = 1.5;
+    EXPECT_THROW(validate(bad), dhl::FatalError);
+    bad = SleepConfig{};
+    bad.wake_latency = -1.0;
+    EXPECT_THROW(validate(bad), dhl::FatalError);
+    bad = SleepConfig{};
+    bad.min_sleep_gap = -1.0;
+    EXPECT_THROW(validate(bad), dhl::FatalError);
+}
+
+TEST(EnergyProportionalTest, ActivePerByteEnergyUnchanged)
+{
+    // Sleeping can't lower the cost of moving a byte: J/B equals the
+    // always-on route power over the line rate.
+    const auto m = modelFor("B");
+    EXPECT_NEAR(m.activeJoulesPerByte(),
+                findRoute("B").power() / u::gigabitsPerSecond(400),
+                1e-15);
+}
+
+TEST(EnergyProportionalTest, SleepingSavesOnDutyCycledTraffic)
+{
+    // A 1 TB backup every hour: the link is busy 20 s of 3600.
+    const auto m = modelFor("B");
+    const double bytes = u::terabytes(1);
+    const auto slept = m.periodicDuty(bytes, u::hours(1), 24);
+    const auto always = m.alwaysOnDuty(bytes, u::hours(1), 24);
+    EXPECT_LT(slept.energy, always.energy);
+    // With 10 % idle power and ~0.6 % duty, saving approaches ~9x.
+    const double saving = m.savingFactor(bytes, u::hours(1), 24);
+    EXPECT_GT(saving, 5.0);
+    EXPECT_LT(saving, 10.0);
+    EXPECT_EQ(slept.wakes, 24u);
+    EXPECT_NEAR(slept.totalTime(), always.totalTime(), 1e-6);
+}
+
+TEST(EnergyProportionalTest, HysteresisKeepsShortGapsAwake)
+{
+    SleepConfig cfg;
+    cfg.min_sleep_gap = 10.0; // only sleep for gaps >= 10 s
+    EnergyProportionalModel m(findRoute("A0"), cfg);
+    // 100 GB every 3 s: gap ~1 s < hysteresis -> stays awake.
+    const auto r = m.periodicDuty(u::gigabytes(100), 3.0, 10);
+    EXPECT_EQ(r.wakes, 0u);
+    EXPECT_DOUBLE_EQ(r.sleep_time, 0.0);
+    EXPECT_GT(r.idle_time, 0.0);
+    // Energy equals always-on except the wake overhead accounting.
+    const auto always = m.alwaysOnDuty(u::gigabytes(100), 3.0, 10);
+    EXPECT_NEAR(r.energy, always.energy,
+                always.energy * 0.01);
+}
+
+TEST(EnergyProportionalTest, ContinuousTrafficGainsNothing)
+{
+    // Back-to-back transfers leave no gap to sleep in.
+    SleepConfig cfg;
+    cfg.wake_latency = 0.0;
+    EnergyProportionalModel m(findRoute("C"), cfg);
+    const double bytes = u::terabytes(1);
+    const double period = bytes / u::gigabitsPerSecond(400) + 1e-6;
+    const double saving = m.savingFactor(bytes, period, 5);
+    EXPECT_NEAR(saving, 1.0, 1e-3);
+}
+
+TEST(EnergyProportionalTest, DhlPerByteAdvantageSurvivesSleeping)
+{
+    // Even crediting the network with perfect sleep (zero idle power),
+    // the active-transfer energy for 29 PB equals the paper's Fig. 2
+    // figure, so the DHL's Table VI energy reductions stand.
+    SleepConfig perfect;
+    perfect.idle_power_fraction = 0.0;
+    for (const char *name : {"A0", "C"}) {
+        EnergyProportionalModel m(findRoute(name), perfect);
+        const double per_byte = m.activeJoulesPerByte();
+        const double net_energy = per_byte * u::petabytes(29);
+
+        const core::AnalyticalModel dhl_model(core::defaultConfig());
+        const auto bulk = dhl_model.bulk(u::petabytes(29));
+        const double reduction = net_energy / bulk.total_energy;
+        if (std::string(name) == "A0")
+            EXPECT_NEAR(reduction, 4.06, 0.05);
+        else
+            EXPECT_NEAR(reduction, 87.3, 0.9);
+    }
+}
+
+TEST(EnergyProportionalTest, RejectsOverfullDuty)
+{
+    const auto m = modelFor("A0");
+    // 1 TB takes 20 s; a 10 s period cannot fit it.
+    EXPECT_THROW(m.periodicDuty(u::terabytes(1), 10.0, 2),
+                 dhl::FatalError);
+    EXPECT_THROW(m.alwaysOnDuty(u::terabytes(1), 10.0, 2),
+                 dhl::FatalError);
+    EXPECT_THROW(m.periodicDuty(0.0, 10.0, 2), dhl::FatalError);
+    EXPECT_THROW(m.periodicDuty(1e9, 10.0, 0), dhl::FatalError);
+}

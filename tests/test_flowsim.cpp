@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Unit tests for the max-min fair fluid flow simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/logging.hpp"
+#include "network/flowsim.hpp"
+
+using namespace dhl::network;
+using dhl::sim::Simulator;
+
+TEST(FlowSimTest, SingleFlowFinishesOnSchedule)
+{
+    Simulator sim;
+    FlowSim fs(sim);
+    const int l = fs.addLink(100.0); // 100 B/s
+    double finished_at = -1.0;
+    double carried = 0.0;
+    fs.startFlow({l}, 1000.0, 0.0, [&](const FlowRecord &r) {
+        finished_at = r.finish_time;
+        carried = r.bytes;
+    });
+    sim.run();
+    EXPECT_NEAR(finished_at, 10.0, 1e-9);
+    EXPECT_DOUBLE_EQ(carried, 1000.0);
+    EXPECT_DOUBLE_EQ(fs.bytesDelivered(), 1000.0);
+    EXPECT_EQ(fs.activeFlows(), 0u);
+}
+
+TEST(FlowSimTest, TwoFlowsShareFairly)
+{
+    Simulator sim;
+    FlowSim fs(sim);
+    const int l = fs.addLink(100.0);
+    std::vector<double> finish;
+    auto cb = [&](const FlowRecord &r) { finish.push_back(r.finish_time); };
+    fs.startFlow({l}, 500.0, 0.0, cb);
+    fs.startFlow({l}, 500.0, 0.0, cb);
+    EXPECT_DOUBLE_EQ(fs.flowRate(1), 50.0);
+    EXPECT_DOUBLE_EQ(fs.flowRate(2), 50.0);
+    sim.run();
+    ASSERT_EQ(finish.size(), 2u);
+    EXPECT_NEAR(finish[0], 10.0, 1e-9);
+    EXPECT_NEAR(finish[1], 10.0, 1e-9);
+}
+
+TEST(FlowSimTest, ShortFlowReleasesBandwidth)
+{
+    Simulator sim;
+    FlowSim fs(sim);
+    const int l = fs.addLink(100.0);
+    double long_finish = -1.0;
+    // 200 B short flow and 900 B long flow: share 50/50 until t=4
+    // (short done: 200/50), then the long one gets the full link.
+    fs.startFlow({l}, 900.0, 0.0,
+                 [&](const FlowRecord &r) { long_finish = r.finish_time; });
+    fs.startFlow({l}, 200.0, 0.0, nullptr);
+    sim.run();
+    // Long flow: 4 s at 50 B/s (200 B) + 7 s at 100 B/s (700 B) = 11 s.
+    EXPECT_NEAR(long_finish, 11.0, 1e-9);
+}
+
+TEST(FlowSimTest, MultiLinkBottleneck)
+{
+    Simulator sim;
+    FlowSim fs(sim);
+    const int fat = fs.addLink(1000.0);
+    const int thin = fs.addLink(10.0);
+    fs.startFlow({fat, thin}, 100.0, 0.0, nullptr);
+    EXPECT_DOUBLE_EQ(fs.flowRate(1), 10.0); // thin link binds
+    EXPECT_NEAR(fs.linkUtilisation(thin), 1.0, 1e-9);
+    EXPECT_NEAR(fs.linkUtilisation(fat), 0.01, 1e-9);
+    sim.run();
+}
+
+TEST(FlowSimTest, MaxMinNonBottleneckedFlowTakesRemainder)
+{
+    Simulator sim;
+    FlowSim fs(sim);
+    const int shared = fs.addLink(100.0);
+    const int thin = fs.addLink(10.0);
+    // Flow A crosses shared+thin (bottlenecked to 10); flow B only
+    // shared and should get the remaining 90, not the 50/50 split.
+    fs.startFlow({shared, thin}, 1e6, 0.0, nullptr);
+    fs.startFlow({shared}, 1e6, 0.0, nullptr);
+    EXPECT_DOUBLE_EQ(fs.flowRate(1), 10.0);
+    EXPECT_DOUBLE_EQ(fs.flowRate(2), 90.0);
+    fs.cancelFlow(1);
+    fs.cancelFlow(2);
+}
+
+TEST(FlowSimTest, EnergyIntegratesRoutePower)
+{
+    Simulator sim;
+    FlowSim fs(sim);
+    const int l = fs.addLink(100.0);
+    double energy = -1.0;
+    fs.startFlow({l}, 1000.0, 24.0,
+                 [&](const FlowRecord &r) { energy = r.energy; });
+    sim.run();
+    EXPECT_NEAR(energy, 24.0 * 10.0, 1e-9);
+    EXPECT_NEAR(fs.totalEnergy(), 240.0, 1e-9);
+}
+
+TEST(FlowSimTest, EnergyWithContention)
+{
+    Simulator sim;
+    FlowSim fs(sim);
+    const int l = fs.addLink(100.0);
+    double e1 = 0.0, e2 = 0.0;
+    fs.startFlow({l}, 500.0, 10.0,
+                 [&](const FlowRecord &r) { e1 = r.energy; });
+    fs.startFlow({l}, 500.0, 10.0,
+                 [&](const FlowRecord &r) { e2 = r.energy; });
+    sim.run();
+    // Both run 10 s at 10 W: contention doubles each flow's duration
+    // and hence its route-element energy.
+    EXPECT_NEAR(e1, 100.0, 1e-9);
+    EXPECT_NEAR(e2, 100.0, 1e-9);
+}
+
+TEST(FlowSimTest, CancelFlowStopsDelivery)
+{
+    Simulator sim;
+    FlowSim fs(sim);
+    const int l = fs.addLink(100.0);
+    bool fired = false;
+    const FlowId id =
+        fs.startFlow({l}, 1000.0, 0.0,
+                     [&](const FlowRecord &) { fired = true; });
+    EXPECT_TRUE(fs.cancelFlow(id));
+    EXPECT_FALSE(fs.cancelFlow(id));
+    sim.run();
+    EXPECT_FALSE(fired);
+    EXPECT_DOUBLE_EQ(fs.bytesDelivered(), 0.0);
+}
+
+TEST(FlowSimTest, CallbackMayStartNextFlow)
+{
+    Simulator sim;
+    FlowSim fs(sim);
+    const int l = fs.addLink(100.0);
+    double second_finish = -1.0;
+    fs.startFlow({l}, 500.0, 0.0, [&](const FlowRecord &) {
+        fs.startFlow({l}, 500.0, 0.0, [&](const FlowRecord &r) {
+            second_finish = r.finish_time;
+        });
+    });
+    sim.run();
+    EXPECT_NEAR(second_finish, 10.0, 1e-9);
+}
+
+TEST(FlowSimTest, StaggeredArrival)
+{
+    Simulator sim;
+    FlowSim fs(sim);
+    const int l = fs.addLink(100.0);
+    double first_finish = -1.0;
+    fs.startFlow({l}, 1000.0, 0.0,
+                 [&](const FlowRecord &r) { first_finish = r.finish_time; });
+    sim.schedule(5.0, [&] { fs.startFlow({l}, 250.0, 0.0, nullptr); });
+    sim.run();
+    // First flow: 5 s alone (500 B) + 5 s shared (250 B) + 2.5 s alone
+    // (250 B) = 12.5 s.
+    EXPECT_NEAR(first_finish, 12.5, 1e-9);
+}
+
+TEST(FlowSimTest, RejectsBadArguments)
+{
+    Simulator sim;
+    FlowSim fs(sim);
+    const int l = fs.addLink(100.0);
+    EXPECT_THROW(fs.addLink(0.0), dhl::FatalError);
+    EXPECT_THROW(fs.startFlow({}, 100.0), dhl::FatalError);
+    EXPECT_THROW(fs.startFlow({l + 7}, 100.0), dhl::FatalError);
+    EXPECT_THROW(fs.startFlow({l}, 0.0), dhl::FatalError);
+    EXPECT_THROW(fs.startFlow({l}, 100.0, -1.0), dhl::FatalError);
+    EXPECT_THROW(fs.flowRate(999), dhl::FatalError);
+    EXPECT_THROW(fs.linkCapacity(-1), dhl::FatalError);
+}

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Unit tests for the event-driven ingestion simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "common/units.hpp"
+#include "mlsim/ingest_sim.hpp"
+
+using namespace dhl::mlsim;
+using dhl::core::defaultConfig;
+using dhl::network::findRoute;
+namespace u = dhl::units;
+
+namespace {
+
+IngestConfig
+smallConfig()
+{
+    IngestConfig cfg;
+    cfg.batch_bytes = u::terabytes(1);
+    cfg.step_compute_time = 1.0;
+    cfg.buffer_capacity = u::terabytes(8);
+    return cfg;
+}
+
+} // namespace
+
+TEST(IngestConfigTest, Validation)
+{
+    EXPECT_NO_THROW(validate(smallConfig()));
+    IngestConfig bad = smallConfig();
+    bad.batch_bytes = 0.0;
+    EXPECT_THROW(validate(bad), dhl::FatalError);
+    bad = smallConfig();
+    bad.buffer_capacity = bad.batch_bytes / 2.0;
+    EXPECT_THROW(validate(bad), dhl::FatalError);
+    bad = smallConfig();
+    bad.step_compute_time = -1.0;
+    EXPECT_THROW(validate(bad), dhl::FatalError);
+}
+
+TEST(IngestNetworkTest, ComputeBoundWhenLinksAreFast)
+{
+    // 100 links deliver a 1 TB batch in 0.2 s << 1 s compute: the
+    // trainer should be ~fully utilised after the first batch lands.
+    IngestSim sim(smallConfig());
+    const double dataset = u::terabytes(32);
+    const auto r = sim.runWithNetwork(dataset, findRoute("A0"), 100.0);
+    EXPECT_EQ(r.steps, 32u);
+    EXPECT_DOUBLE_EQ(r.compute_busy, 32.0);
+    // Only the initial fill stalls.
+    EXPECT_LT(r.stall_time, 1.0);
+    EXPECT_GT(r.utilisation, 0.9);
+}
+
+TEST(IngestNetworkTest, IngestBoundWhenLinkIsSlow)
+{
+    // One 50 GB/s link needs 20 s per 1 TB batch vs 1 s compute: the
+    // epoch is ingestion-bound and utilisation collapses to ~5 %.
+    IngestSim sim(smallConfig());
+    const double dataset = u::terabytes(10);
+    const auto r = sim.runWithNetwork(dataset, findRoute("A0"), 1.0);
+    EXPECT_EQ(r.steps, 10u);
+    EXPECT_NEAR(r.epoch_time, dataset / 50e9 + 1.0, 2.0);
+    EXPECT_LT(r.utilisation, 0.07);
+    EXPECT_GT(r.stall_time, 0.8 * r.epoch_time);
+}
+
+TEST(IngestNetworkTest, EpochNeverBeatsTheWire)
+{
+    IngestSim sim(smallConfig());
+    const double dataset = u::terabytes(20);
+    for (double links : {1.0, 4.0, 16.0}) {
+        const auto r =
+            sim.runWithNetwork(dataset, findRoute("A0"), links);
+        EXPECT_GE(r.epoch_time, dataset / (50e9 * links) - 1e-6);
+        EXPECT_GE(r.epoch_time, 20.0); // compute floor
+    }
+}
+
+TEST(IngestDhlTest, ComputeBoundWhenTrainerIsSlowerThanPcie)
+{
+    // The cart drains at ~227 GB/s (32 x 7.1 GB/s); a trainer consuming
+    // 1 TB per 5 s (200 GB/s) stays behind the drain, so after the
+    // first batch lands it never starves.
+    IngestConfig cfg = smallConfig();
+    cfg.step_compute_time = 5.0;
+    cfg.buffer_capacity = u::terabytes(512);
+    IngestSim sim(cfg);
+    const double dataset = u::terabytes(512); // 2 carts
+    const auto r = sim.runWithDhl(dataset, defaultConfig(), false);
+    EXPECT_EQ(r.steps, 512u);
+    EXPECT_DOUBLE_EQ(r.compute_busy, 512.0 * 5.0);
+    // Stalls: the 8.6 s first-arrival latency plus the first batch's
+    // drain (~4.4 s).
+    EXPECT_LT(r.stall_time, 30.0);
+    EXPECT_GT(r.utilisation, 0.95);
+}
+
+TEST(IngestDhlTest, DrainBoundWhenTrainerOutrunsPcie)
+{
+    // A trainer consuming 1 TB/s outruns the 227 GB/s cart read: the
+    // epoch is bound by draining carts back to back, and stall time
+    // dominates (the data-stall phenomenon).
+    IngestConfig cfg = smallConfig(); // 1 s per 1 TB batch
+    cfg.buffer_capacity = u::terabytes(512);
+    IngestSim sim(cfg);
+    const double dataset = u::terabytes(512);
+    const auto r = sim.runWithDhl(dataset, defaultConfig(), false);
+    const double drain_rate = 32 * 7.1e9;
+    EXPECT_NEAR(r.epoch_time, dataset / drain_rate + 8.6,
+                0.05 * r.epoch_time);
+    EXPECT_GT(r.stall_time, 0.7 * r.epoch_time);
+    EXPECT_LT(r.utilisation, 0.3);
+}
+
+TEST(IngestDhlTest, PipeliningHelpsWhenCadenceBinds)
+{
+    // Make the drain fast (beefed-up SSDs and PCIe) so the launch
+    // cadence is the binding resource: pipelining the returns halves
+    // the cart period and nearly halves the epoch.
+    IngestConfig cfg = smallConfig();
+    cfg.step_compute_time = 0.001;
+    cfg.buffer_capacity = u::terabytes(512);
+    IngestSim sim(cfg);
+
+    dhl::core::DhlConfig fast = defaultConfig();
+    fast.ssd.seq_read_bw *= 1000.0;
+    fast.pcie.lane_bandwidth *= 1000.0;
+    const double dataset = u::terabytes(2048); // 8 carts
+    const auto serial = sim.runWithDhl(dataset, fast, false);
+    const auto piped = sim.runWithDhl(dataset, fast, true);
+    EXPECT_LT(piped.epoch_time, 0.7 * serial.epoch_time);
+    EXPECT_EQ(serial.steps, piped.steps);
+}
+
+TEST(IngestDhlTest, SmallBufferBackpressuresTheCart)
+{
+    // A slow trainer (100 s per batch) behind a small buffer forces
+    // the drain to pause: producer idle time appears.
+    IngestConfig cfg = smallConfig();
+    cfg.step_compute_time = 100.0;
+    cfg.buffer_capacity = u::terabytes(4);
+    IngestSim sim(cfg);
+    const double dataset = u::terabytes(16); // a slice of one cart
+    const auto r = sim.runWithDhl(dataset, defaultConfig(), false);
+    EXPECT_EQ(r.steps, 16u);
+    EXPECT_GT(r.producer_idle, 0.0);
+}
+
+TEST(IngestTest, PartialFinalBatch)
+{
+    IngestSim sim(smallConfig());
+    const double dataset = u::terabytes(2.5);
+    const auto r = sim.runWithNetwork(dataset, findRoute("A0"), 100.0);
+    EXPECT_EQ(r.steps, 3u); // 1 + 1 + 0.5 TB
+    EXPECT_DOUBLE_EQ(r.compute_busy, 3.0);
+}
+
+TEST(IngestTest, RejectsBadInput)
+{
+    IngestSim sim(smallConfig());
+    EXPECT_THROW(sim.runWithNetwork(0.0, findRoute("A0")),
+                 dhl::FatalError);
+    EXPECT_THROW(sim.runWithNetwork(1e12, findRoute("A0"), 0.0),
+                 dhl::FatalError);
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for the library endpoint (slots, cart creation,
+ * dock/undock timing).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "common/units.hpp"
+#include "dhl/library.hpp"
+
+using namespace dhl::core;
+using dhl::sim::Simulator;
+namespace u = dhl::units;
+
+TEST(LibraryTest, AddCartPreloads)
+{
+    Simulator sim;
+    DhlConfig cfg = defaultConfig();
+    Library lib(sim, cfg);
+    Cart &c = lib.addCart(u::terabytes(100));
+    EXPECT_EQ(c.id(), 0u);
+    EXPECT_DOUBLE_EQ(c.storedBytes(), u::terabytes(100));
+    EXPECT_EQ(lib.totalCarts(), 1u);
+    EXPECT_EQ(lib.storedCarts(), 1u);
+    EXPECT_EQ(&lib.cart(0), &c);
+}
+
+TEST(LibraryTest, SlotsAreFinite)
+{
+    Simulator sim;
+    DhlConfig cfg = defaultConfig();
+    cfg.library_slots = 2;
+    Library lib(sim, cfg);
+    lib.addCart();
+    lib.addCart();
+    EXPECT_EQ(lib.freeSlots(), 0u);
+    EXPECT_THROW(lib.addCart(), dhl::FatalError);
+}
+
+TEST(LibraryTest, UndockTakesDockTime)
+{
+    Simulator sim;
+    DhlConfig cfg = defaultConfig();
+    Library lib(sim, cfg);
+    Cart &c = lib.addCart();
+    bool done = false;
+    lib.beginUndock(c.id(), [&] { done = true; });
+    EXPECT_EQ(c.state(), CartState::Undocking);
+    sim.run();
+    EXPECT_TRUE(done);
+    EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+    // Slot frees once the cart departs the library.
+    c.launch();
+    EXPECT_EQ(lib.storedCarts(), 0u);
+    EXPECT_EQ(lib.freeSlots(), cfg.library_slots);
+}
+
+TEST(LibraryTest, DockStoresArrivingCart)
+{
+    Simulator sim;
+    DhlConfig cfg = defaultConfig();
+    Library lib(sim, cfg);
+    Cart &c = lib.addCart();
+    // Send it out and bring it back.
+    lib.beginUndock(c.id(), nullptr);
+    sim.run();
+    c.launch();
+
+    bool stored = false;
+    lib.beginDock(c.id(), [&] { stored = true; });
+    EXPECT_EQ(c.state(), CartState::Docking);
+    sim.run();
+    EXPECT_TRUE(stored);
+    EXPECT_EQ(c.state(), CartState::Stored);
+    EXPECT_EQ(lib.storedCarts(), 1u);
+}
+
+TEST(LibraryTest, DockWithoutSlotRejected)
+{
+    Simulator sim;
+    DhlConfig cfg = defaultConfig();
+    cfg.library_slots = 1;
+    Library lib(sim, cfg);
+    Cart &out = lib.addCart();
+    lib.beginUndock(out.id(), nullptr);
+    sim.run();
+    out.launch();
+
+    // While the first cart is away, a second cart fills the only slot.
+    Cart &squatter = lib.addCart();
+    (void)squatter;
+    EXPECT_EQ(lib.freeSlots(), 0u);
+    EXPECT_THROW(lib.beginDock(out.id(), nullptr), dhl::FatalError);
+}
+
+TEST(LibraryTest, UndockForeignCartPanics)
+{
+    Simulator sim;
+    DhlConfig cfg = defaultConfig();
+    Library lib(sim, cfg);
+    Cart &c = lib.addCart();
+    lib.beginUndock(c.id(), nullptr);
+    // Already undocking: a second undock of the same cart is a bug.
+    EXPECT_THROW(lib.beginUndock(c.id(), nullptr), dhl::PanicError);
+    EXPECT_THROW(lib.cart(42), dhl::FatalError);
+}
+
+TEST(LibraryTest, InboundReservationHoldsSlot)
+{
+    Simulator sim;
+    DhlConfig cfg = defaultConfig();
+    cfg.library_slots = 1;
+    Library lib(sim, cfg);
+    Cart &c = lib.addCart();
+    lib.beginUndock(c.id(), nullptr);
+    sim.run();
+    c.launch();
+    lib.beginDock(c.id(), nullptr);
+    // Mid-dock the slot is claimed by the inbound cart.
+    EXPECT_EQ(lib.freeSlots(), 0u);
+    sim.run();
+    EXPECT_EQ(lib.freeSlots(), 0u); // now occupied by the stored cart
+    EXPECT_EQ(lib.storedCarts(), 1u);
+}

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit tests for the LIM energy/power model, pinned to the paper's
+ * Table VI energy and peak-power columns.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "common/units.hpp"
+#include "physics/lim.hpp"
+
+using namespace dhl::physics;
+namespace u = dhl::units;
+
+namespace {
+
+LimConfig
+paperLim()
+{
+    return LimConfig{}; // 75 % efficiency, 1000 m/s^2, active braking
+}
+
+} // namespace
+
+TEST(LaunchEnergy, DefaultCartAt200)
+{
+    // 0.5 * 0.282 * 200^2 / 0.75 = 7520 J per end.
+    EXPECT_NEAR(launchEnergy(0.282, 200, paperLim()), 7520.0, 1e-9);
+}
+
+TEST(ShotEnergy, TableViEnergyColumn)
+{
+    const LimConfig lim = paperLim();
+    // (mass g, speed, expected kJ) from Table VI.
+    struct Row { double mass; double v; double kj; };
+    const Row rows[] = {
+        {282, 100, 3.7}, {282, 200, 15}, {282, 300, 34},
+        {161, 200, 8.6}, {524, 200, 28},
+        {161, 100, 2.1}, {524, 100, 7.0},
+        {161, 300, 19},  {524, 300, 63},
+    };
+    for (const auto &r : rows) {
+        const double e = shotEnergy(u::grams(r.mass), r.v, lim);
+        EXPECT_NEAR(u::toKilojoules(e), r.kj, r.kj * 0.03)
+            << "mass " << r.mass << " g, v " << r.v;
+    }
+}
+
+TEST(PeakPower, TableViPeakPowerColumn)
+{
+    const LimConfig lim = paperLim();
+    struct Row { double mass; double v; double kw; };
+    const Row rows[] = {
+        {282, 100, 38}, {282, 200, 75}, {282, 300, 113},
+        {161, 200, 43}, {524, 200, 140},
+        {161, 100, 22}, {524, 100, 70},
+        {161, 300, 64}, {524, 300, 210},
+    };
+    for (const auto &r : rows) {
+        const double p = peakPower(u::grams(r.mass), r.v, lim);
+        EXPECT_NEAR(u::toKilowatts(p), r.kw, r.kw * 0.03)
+            << "mass " << r.mass << " g, v " << r.v;
+    }
+}
+
+TEST(AveragePower, HalfOfPeak)
+{
+    const LimConfig lim = paperLim();
+    EXPECT_DOUBLE_EQ(averageAccelPower(0.282, 200, lim),
+                     0.5 * peakPower(0.282, 200, lim));
+}
+
+TEST(BrakeEnergy, ActiveEqualsLaunch)
+{
+    const LimConfig lim = paperLim();
+    EXPECT_DOUBLE_EQ(brakeEnergy(0.282, 200, lim),
+                     launchEnergy(0.282, 200, lim));
+}
+
+TEST(BrakeEnergy, RegenerativeRecoversKinetic)
+{
+    LimConfig lim = paperLim();
+    lim.braking = BrakingMode::Regenerative;
+    lim.regen_fraction = 0.5;
+    const double kinetic = 0.5 * 0.282 * 200 * 200;
+    const double active = kinetic / lim.efficiency;
+    EXPECT_NEAR(brakeEnergy(0.282, 200, lim), active - 0.5 * kinetic,
+                1e-9);
+    // Full recovery cannot push the cost below zero.
+    lim.regen_fraction = 1.0;
+    EXPECT_GE(brakeEnergy(0.282, 200, lim), 0.0);
+}
+
+TEST(BrakeEnergy, EddyCurrentIsFree)
+{
+    LimConfig lim = paperLim();
+    lim.braking = BrakingMode::EddyCurrent;
+    EXPECT_DOUBLE_EQ(brakeEnergy(0.282, 200, lim), 0.0);
+    // Eddy braking halves the shot energy (Discussion §VI).
+    EXPECT_DOUBLE_EQ(shotEnergy(0.282, 200, lim),
+                     launchEnergy(0.282, 200, lim));
+}
+
+TEST(LimConfigValidation, RejectsNonsense)
+{
+    LimConfig bad = paperLim();
+    bad.efficiency = 0.0;
+    EXPECT_THROW(validate(bad), dhl::FatalError);
+    bad = paperLim();
+    bad.efficiency = 1.5;
+    EXPECT_THROW(validate(bad), dhl::FatalError);
+    bad = paperLim();
+    bad.accel = -10.0;
+    EXPECT_THROW(validate(bad), dhl::FatalError);
+    bad = paperLim();
+    bad.regen_fraction = 1.5;
+    EXPECT_THROW(validate(bad), dhl::FatalError);
+    bad = paperLim();
+    bad.braking = BrakingMode::Regenerative;
+    bad.regen_fraction = 0.0;
+    EXPECT_THROW(validate(bad), dhl::FatalError);
+}
+
+TEST(LimEnergy, RejectsNegativeInputs)
+{
+    EXPECT_THROW(launchEnergy(-1.0, 200, paperLim()), dhl::FatalError);
+    EXPECT_THROW(launchEnergy(0.282, -200, paperLim()), dhl::FatalError);
+    EXPECT_THROW(peakPower(-1.0, 200, paperLim()), dhl::FatalError);
+}

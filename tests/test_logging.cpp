@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit tests for the logging / error primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/logging.hpp"
+
+using namespace dhl;
+
+namespace {
+
+/** RAII capture of the global logger's sink and level. */
+class SinkCapture
+{
+  public:
+    SinkCapture(LogLevel level)
+    {
+        prev_level_ = Logger::global().setLevel(level);
+        prev_sink_ = Logger::global().setSink(
+            [this](LogLevel lvl, const std::string &msg) {
+                entries_.push_back({lvl, msg});
+            });
+    }
+
+    ~SinkCapture()
+    {
+        Logger::global().setSink(prev_sink_);
+        Logger::global().setLevel(prev_level_);
+    }
+
+    const std::vector<std::pair<LogLevel, std::string>> &
+    entries() const
+    {
+        return entries_;
+    }
+
+  private:
+    std::vector<std::pair<LogLevel, std::string>> entries_;
+    Logger::Sink prev_sink_;
+    LogLevel prev_level_;
+};
+
+} // namespace
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("bad config"), FatalError);
+    try {
+        fatal("bad config");
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "bad config");
+    }
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("invariant broken"), PanicError);
+}
+
+TEST(Logging, FatalIfOnlyFiresWhenTrue)
+{
+    EXPECT_NO_THROW(fatal_if(false, "nope"));
+    EXPECT_THROW(fatal_if(true, "yep"), FatalError);
+    EXPECT_NO_THROW(panic_if(false, "nope"));
+    EXPECT_THROW(panic_if(true, "yep"), PanicError);
+}
+
+TEST(Logging, WarnPassesLevelFilter)
+{
+    SinkCapture cap(LogLevel::Warn);
+    warn("w1");
+    inform("i1"); // filtered out at Warn level
+    ASSERT_EQ(cap.entries().size(), 1u);
+    EXPECT_EQ(cap.entries()[0].second, "w1");
+    EXPECT_EQ(cap.entries()[0].first, LogLevel::Warn);
+}
+
+TEST(Logging, InformVisibleAtInformLevel)
+{
+    SinkCapture cap(LogLevel::Inform);
+    warn("w");
+    inform("i");
+    debugLog("d"); // filtered
+    ASSERT_EQ(cap.entries().size(), 2u);
+    EXPECT_EQ(cap.entries()[1].second, "i");
+}
+
+TEST(Logging, SilentSuppressesEverything)
+{
+    SinkCapture cap(LogLevel::Silent);
+    warn("w");
+    inform("i");
+    debugLog("d");
+    EXPECT_TRUE(cap.entries().empty());
+}
+
+TEST(Logging, DebugVisibleAtDebugLevel)
+{
+    SinkCapture cap(LogLevel::Debug);
+    debugLog("d");
+    ASSERT_EQ(cap.entries().size(), 1u);
+    EXPECT_EQ(cap.entries()[0].first, LogLevel::Debug);
+}
+
+TEST(Logging, SetSinkReturnsPrevious)
+{
+    auto prev = Logger::global().setSink(nullptr);
+    // Logging with a null sink must not crash.
+    Logger::global().setLevel(LogLevel::Warn);
+    EXPECT_NO_THROW(warn("into the void"));
+    Logger::global().setSink(prev);
+}

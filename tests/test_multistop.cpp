@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Unit tests for the multi-stop DHL (Discussion §VI).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "common/units.hpp"
+#include "dhl/multistop.hpp"
+#include "physics/lim.hpp"
+
+using namespace dhl::core;
+using dhl::sim::Simulator;
+namespace u = dhl::units;
+
+namespace {
+
+MultiStopConfig
+fourStops()
+{
+    MultiStopConfig cfg;
+    cfg.stop_positions = {0.0, 200.0, 350.0, 500.0};
+    return cfg;
+}
+
+} // namespace
+
+TEST(MultiStopConfigTest, Validation)
+{
+    EXPECT_NO_THROW(validate(fourStops()));
+
+    MultiStopConfig bad = fourStops();
+    bad.stop_positions = {0.0};
+    EXPECT_THROW(validate(bad), dhl::FatalError);
+
+    bad = fourStops();
+    bad.stop_positions = {10.0, 200.0};
+    EXPECT_THROW(validate(bad), dhl::FatalError);
+
+    bad = fourStops();
+    bad.stop_positions = {0.0, 300.0, 200.0};
+    EXPECT_THROW(validate(bad), dhl::FatalError);
+}
+
+TEST(MultiStopModelTest, HopDistances)
+{
+    MultiStopModel m(fourStops());
+    EXPECT_EQ(m.numStops(), 4u);
+    EXPECT_DOUBLE_EQ(m.hopDistance(0, 1), 200.0);
+    EXPECT_DOUBLE_EQ(m.hopDistance(1, 3), 300.0);
+    EXPECT_DOUBLE_EQ(m.hopDistance(3, 0), 500.0); // symmetric
+    EXPECT_THROW(m.hopDistance(0, 0), dhl::FatalError);
+    EXPECT_THROW(m.hopDistance(0, 9), dhl::FatalError);
+}
+
+TEST(MultiStopModelTest, LongHopMatchesSingleTrackModel)
+{
+    // The end-to-end hop of a 0..500 m layout must equal the plain
+    // 500 m DHL's trip.
+    MultiStopModel m(fourStops());
+    const HopMetrics h = m.hop(0, 3);
+    EXPECT_DOUBLE_EQ(h.peak_speed, 200.0);
+    EXPECT_NEAR(h.trip_time, 8.6, 1e-12);
+    EXPECT_NEAR(h.energy, 15040.0, 10.0);
+}
+
+TEST(MultiStopModelTest, ShortHopsClampSpeedAndEnergy)
+{
+    MultiStopConfig cfg = fourStops();
+    cfg.stop_positions = {0.0, 10.0, 500.0};
+    MultiStopModel m(cfg);
+    const HopMetrics shorty = m.hop(0, 1);
+    // 10 m at 1000 m/s^2 peaks at 100 m/s, not 200.
+    EXPECT_NEAR(shorty.peak_speed, 100.0, 1e-9);
+    const HopMetrics longy = m.hop(1, 2);
+    EXPECT_DOUBLE_EQ(longy.peak_speed, 200.0);
+    // Lower peak speed -> quadratically lower launch energy.
+    EXPECT_LT(shorty.energy, 0.3 * longy.energy);
+}
+
+TEST(MultiStopModelTest, TourSumsHops)
+{
+    MultiStopModel m(fourStops());
+    const HopMetrics tour = m.tour({0, 1, 2, 0});
+    const HopMetrics h01 = m.hop(0, 1);
+    const HopMetrics h12 = m.hop(1, 2);
+    const HopMetrics h20 = m.hop(2, 0);
+    EXPECT_NEAR(tour.distance,
+                h01.distance + h12.distance + h20.distance, 1e-9);
+    EXPECT_NEAR(tour.trip_time,
+                h01.trip_time + h12.trip_time + h20.trip_time, 1e-9);
+    EXPECT_NEAR(tour.energy, h01.energy + h12.energy + h20.energy, 1e-6);
+    EXPECT_THROW(m.tour({0}), dhl::FatalError);
+}
+
+TEST(MultiStopTrackTest, NonOverlappingSegmentsRunConcurrently)
+{
+    Simulator sim;
+    MultiStopTrack track(sim, fourStops());
+    // 0->1 uses segment 0; 2->3 uses segment 2: both depart now.
+    const auto g1 = track.reserveTransit(0, 1);
+    const auto g2 = track.reserveTransit(2, 3);
+    EXPECT_DOUBLE_EQ(g1.depart_time, 0.0);
+    EXPECT_DOUBLE_EQ(g2.depart_time, 0.0);
+    EXPECT_EQ(track.transits(), 2u);
+}
+
+TEST(MultiStopTrackTest, OverlappingSegmentsSerialise)
+{
+    Simulator sim;
+    MultiStopTrack track(sim, fourStops());
+    const auto g1 = track.reserveTransit(0, 2); // segments 0,1
+    const auto g2 = track.reserveTransit(1, 3); // segments 1,2
+    EXPECT_DOUBLE_EQ(g1.depart_time, 0.0);
+    EXPECT_NEAR(g2.depart_time, g1.arrive_time, 1e-12);
+}
+
+TEST(MultiStopTrackTest, DockingBlocksPassageAtIntermediateStops)
+{
+    Simulator sim;
+    MultiStopTrack track(sim, fourStops());
+    // A docking at stop 1 blocks through-transits crossing stop 1.
+    track.blockStop(1, 3.0);
+    const auto through = track.reserveTransit(0, 2);
+    EXPECT_GE(through.depart_time, 3.0);
+    // But a transit not crossing stop 1 is unaffected.
+    const auto local = track.reserveTransit(2, 3);
+    EXPECT_DOUBLE_EQ(local.depart_time, 0.0);
+}
+
+TEST(MultiStopTrackTest, EndpointDockingNeverBlocks)
+{
+    Simulator sim;
+    MultiStopTrack track(sim, fourStops());
+    track.blockStop(0, 100.0); // endpoint: no-op
+    track.blockStop(3, 100.0); // endpoint: no-op
+    const auto g = track.reserveTransit(0, 3);
+    EXPECT_DOUBLE_EQ(g.depart_time, 0.0);
+    EXPECT_THROW(track.blockStop(9, 1.0), dhl::FatalError);
+    EXPECT_THROW(track.blockStop(1, -1.0), dhl::FatalError);
+}
+
+TEST(MultiStopTrackTest, EnergyAccumulates)
+{
+    Simulator sim;
+    MultiStopTrack track(sim, fourStops());
+    const auto g1 = track.reserveTransit(0, 3);
+    const auto g2 = track.reserveTransit(3, 0);
+    EXPECT_NEAR(track.totalEnergy(), g1.energy + g2.energy, 1e-9);
+    EXPECT_NEAR(g1.energy, 15040.0, 10.0);
+}
+
+TEST(MultiStopTrackTest, ReverseDirectionUsesTheSameSegments)
+{
+    Simulator sim;
+    MultiStopTrack track(sim, fourStops());
+    const auto out = track.reserveTransit(0, 3);
+    const auto back = track.reserveTransit(3, 0);
+    // Single tube: the return cannot overlap the outbound window.
+    EXPECT_GE(back.depart_time, out.arrive_time - 1e-12);
+}

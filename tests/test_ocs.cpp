@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Unit tests for the optical circuit switching baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "common/units.hpp"
+#include "dhl/analytical.hpp"
+#include "network/ocs.hpp"
+
+using namespace dhl;
+using namespace dhl::network;
+namespace u = dhl::units;
+
+TEST(OcsConfigTest, Validation)
+{
+    OcsConfig ok;
+    EXPECT_NO_THROW(validate(ok));
+    OcsConfig bad;
+    bad.reconfiguration_latency = -1.0;
+    EXPECT_THROW(validate(bad), dhl::FatalError);
+    bad = OcsConfig{};
+    bad.port_power = -0.1;
+    EXPECT_THROW(validate(bad), dhl::FatalError);
+}
+
+TEST(OcsTest, CircuitPowerNearA0)
+{
+    OcsModel ocs;
+    // 2 x 12 W transceivers + 2 x 0.5 W crossbar ports.
+    EXPECT_NEAR(ocs.circuitPower(), 25.0, 1e-12);
+    // A passive crossbar degenerates to exactly A0.
+    OcsConfig passive;
+    passive.port_power = 0.0;
+    EXPECT_NEAR(OcsModel(passive).circuitPower(),
+                findRoute("A0").power(), 1e-12);
+}
+
+TEST(OcsTest, TransferIncludesReconfiguration)
+{
+    OcsModel ocs;
+    const auto r = ocs.transfer(u::terabytes(1));
+    EXPECT_NEAR(r.time, 0.010 + 1e12 / 50e9, 1e-9);
+    EXPECT_NEAR(r.energy, r.power * r.time, 1e-9);
+}
+
+TEST(OcsTest, BigSavingsOverDeepRoutes)
+{
+    // OCS collapses route C's five electrical switch transits; saving
+    // approaches C/A0-ish power ratios (~20x).
+    OcsModel ocs;
+    const double saving =
+        ocs.savingVsRoute(findRoute("C"), u::petabytes(1));
+    EXPECT_GT(saving, 15.0);
+    EXPECT_LT(saving, 25.0);
+    // Against A0 itself there is (almost) nothing to save.
+    EXPECT_NEAR(ocs.savingVsRoute(findRoute("A0"), u::petabytes(1)),
+                24.0 / 25.0, 0.01);
+}
+
+TEST(OcsTest, DhlStillWinsAgainstOcs)
+{
+    // The strongest optical baseline: a passive circuit (A0 power).
+    // The default DHL still moves 29 PB with ~4x less energy and
+    // ~300x less time (Table VI's A0 column is precisely this bound).
+    OcsConfig passive;
+    passive.port_power = 0.0;
+    passive.reconfiguration_latency = 0.0;
+    OcsModel ocs(passive);
+    const double bytes = u::petabytes(29);
+    const auto circuit = ocs.transfer(bytes);
+
+    const core::AnalyticalModel dhl_model(core::defaultConfig());
+    const auto bulk = dhl_model.bulk(bytes);
+    EXPECT_GT(circuit.energy / bulk.total_energy, 4.0);
+    EXPECT_GT(circuit.time / bulk.total_time, 290.0);
+}
+
+TEST(OcsTest, ParallelCircuits)
+{
+    OcsModel ocs;
+    const auto one = ocs.transfer(u::petabytes(1), 1.0);
+    const auto ten = ocs.transfer(u::petabytes(1), 10.0);
+    EXPECT_LT(ten.time, one.time);
+    EXPECT_NEAR(ten.power, 10.0 * one.power, 1e-9);
+    EXPECT_THROW(ocs.transfer(1e12, 0.0), dhl::FatalError);
+    EXPECT_THROW(ocs.transfer(-1.0), dhl::FatalError);
+}

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Unit tests for the TCO / operational cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/units.hpp"
+#include "cost/opex.hpp"
+
+using namespace dhl;
+using namespace dhl::cost;
+namespace u = dhl::units;
+
+namespace {
+
+TransferDuty
+dailyDuty()
+{
+    TransferDuty duty{};
+    duty.bytes_per_transfer = u::petabytes(2);
+    duty.transfers_per_day = 4.0;
+    duty.years = 5.0;
+    return duty;
+}
+
+} // namespace
+
+TEST(EnergyCostTest, KwhConversion)
+{
+    TcoModel m;
+    // 1 kWh = 3.6 MJ at $0.10.
+    EXPECT_NEAR(m.energyCost(3.6e6), 0.10, 1e-12);
+    EXPECT_DOUBLE_EQ(m.energyCost(0.0), 0.0);
+    EXPECT_THROW(m.energyCost(-1.0), dhl::FatalError);
+}
+
+TEST(TcoTest, DefaultDutyFavoursDhl)
+{
+    TcoModel m;
+    const auto cmp = m.compare(core::defaultConfig(),
+                               network::findRoute("C"), dailyDuty());
+    // DHL capex ($14.6k) is already below the switch ($20k), and its
+    // energy bill is ~87x smaller -> payback is immediate.
+    EXPECT_LT(cmp.dhl.capex, cmp.network.capex);
+    EXPECT_LT(cmp.dhl.opex_per_year, cmp.network.opex_per_year);
+    EXPECT_LT(cmp.dhl.total, cmp.network.total);
+    EXPECT_DOUBLE_EQ(cmp.payback_days, 0.0);
+}
+
+TEST(TcoTest, EnergyRatioMatchesAnalyticalModel)
+{
+    TcoModel m;
+    const auto cmp = m.compare(core::defaultConfig(),
+                               network::findRoute("C"), dailyDuty());
+    const core::AnalyticalModel model(core::defaultConfig());
+    const auto rc = model.compareBulk(dailyDuty().bytes_per_transfer,
+                                      network::findRoute("C"));
+    EXPECT_NEAR(cmp.network.energy_per_day / cmp.dhl.energy_per_day,
+                rc.energy_reduction, rc.energy_reduction * 1e-9);
+}
+
+TEST(TcoTest, ExpensiveDhlBuildPaysBackViaOpex)
+{
+    // Inflate the DHL capex above the switch price; the energy gap
+    // must then determine a finite positive payback horizon.
+    OpexPrices prices;
+    prices.network_switch_capex = 10000.0; // cheaper switch
+    TcoModel m(prices);
+    const auto cmp = m.compare(core::defaultConfig(),
+                               network::findRoute("C"), dailyDuty());
+    EXPECT_GT(cmp.dhl.capex, cmp.network.capex);
+    EXPECT_GT(cmp.payback_days, 0.0);
+    EXPECT_TRUE(std::isfinite(cmp.payback_days));
+    // Sanity: capex gap / daily saving.
+    const double daily_saving =
+        m.energyCost(cmp.network.energy_per_day) -
+        m.energyCost(cmp.dhl.energy_per_day);
+    EXPECT_NEAR(cmp.payback_days,
+                (cmp.dhl.capex - cmp.network.capex) / daily_saving,
+                1e-9);
+}
+
+TEST(TcoTest, NoPaybackWhenDhlBurnsMore)
+{
+    // An absurd duty: one tiny transfer a day; make the network free
+    // to run so the expensive DHL build never pays back.
+    OpexPrices prices;
+    prices.network_switch_capex = 100.0;
+    TcoModel m(prices);
+    TransferDuty duty{};
+    duty.bytes_per_transfer = u::gigabytes(1);
+    duty.transfers_per_day = 1.0;
+    duty.years = 1.0;
+    const auto cmp = m.compare(core::makeConfig(300, 1000, 64),
+                               network::findRoute("A0"), duty);
+    EXPECT_GT(cmp.dhl.capex, cmp.network.capex);
+    // DHL still wins on energy per transfer here (full cart shot vs
+    // 0.16 s of A0)... so verify it reports either finite or infinite
+    // consistently with the daily energy ordering.
+    if (cmp.network.energy_per_day > cmp.dhl.energy_per_day)
+        EXPECT_TRUE(std::isfinite(cmp.payback_days));
+    else
+        EXPECT_TRUE(std::isinf(cmp.payback_days));
+}
+
+TEST(TcoTest, ScalesLinearlyWithDuty)
+{
+    TcoModel m;
+    TransferDuty duty = dailyDuty();
+    const auto base = m.compare(core::defaultConfig(),
+                                network::findRoute("B"), duty);
+    duty.transfers_per_day *= 2.0;
+    const auto doubled = m.compare(core::defaultConfig(),
+                                   network::findRoute("B"), duty);
+    EXPECT_NEAR(doubled.dhl.energy_per_day,
+                2.0 * base.dhl.energy_per_day, 1e-6);
+    EXPECT_NEAR(doubled.network.opex_per_year,
+                2.0 * base.network.opex_per_year, 1e-6);
+}
+
+TEST(TcoTest, Validation)
+{
+    TcoModel m;
+    TransferDuty bad = dailyDuty();
+    bad.bytes_per_transfer = 0.0;
+    EXPECT_THROW(m.compare(core::defaultConfig(),
+                           network::findRoute("A0"), bad),
+                 dhl::FatalError);
+    bad = dailyDuty();
+    bad.years = 0.0;
+    EXPECT_THROW(m.compare(core::defaultConfig(),
+                           network::findRoute("A0"), bad),
+                 dhl::FatalError);
+    OpexPrices free_power;
+    free_power.usd_per_kwh = 0.0;
+    EXPECT_THROW(TcoModel{free_power}, dhl::FatalError);
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for the LRU cart cache / dataset placement layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "common/random.hpp"
+#include "common/units.hpp"
+#include "dhl/placement.hpp"
+#include "workloads/generator.hpp"
+
+using namespace dhl::core;
+namespace u = dhl::units;
+
+namespace {
+
+CartCache
+smallCache(std::size_t carts = 4)
+{
+    PlacementConfig cfg;
+    cfg.cache_carts = carts;
+    cfg.backing_read_bw = 50e9;
+    return CartCache(defaultConfig(), cfg);
+}
+
+} // namespace
+
+TEST(CartCacheTest, FirstAccessMissesThenHits)
+{
+    auto cache = smallCache();
+    const auto miss = cache.access("ds", u::terabytes(512)); // 2 carts
+    EXPECT_FALSE(miss.hit);
+    EXPECT_EQ(miss.carts, 2u);
+    EXPECT_GT(miss.load_time, 0.0);
+    EXPECT_GT(miss.stage_time, 0.0);
+    EXPECT_DOUBLE_EQ(miss.total_time, miss.load_time + miss.stage_time);
+
+    const auto hit = cache.access("ds", u::terabytes(512));
+    EXPECT_TRUE(hit.hit);
+    EXPECT_DOUBLE_EQ(hit.load_time, 0.0);
+    EXPECT_NEAR(hit.stage_time, miss.stage_time, 1e-9);
+    EXPECT_DOUBLE_EQ(cache.hitRate(), 0.5);
+    EXPECT_EQ(cache.occupiedCarts(), 2u);
+}
+
+TEST(CartCacheTest, LoadTimeBoundByBackingPool)
+{
+    auto cache = smallCache();
+    // 512 TB from a 50 GB/s pool (the cart write side is faster at
+    // 2 x 192 GB/s): 10,240 s.
+    const auto miss = cache.access("ds", u::terabytes(512));
+    EXPECT_NEAR(miss.load_time, 512e12 / 50e9, 1e-6);
+}
+
+TEST(CartCacheTest, LoadTimeBoundByCartWrites)
+{
+    PlacementConfig cfg;
+    cfg.cache_carts = 4;
+    cfg.backing_read_bw = 1e15; // effectively infinite pool
+    CartCache cache(defaultConfig(), cfg);
+    const auto miss = cache.access("ds", u::terabytes(256)); // 1 cart
+    // Bound by the cart's aggregate write bandwidth (32 x 6 GB/s).
+    EXPECT_NEAR(miss.load_time, 256e12 / (32 * 6e9), 1e-6);
+}
+
+TEST(CartCacheTest, LruEviction)
+{
+    auto cache = smallCache(4);
+    cache.access("a", u::terabytes(512)); // 2 carts
+    cache.access("b", u::terabytes(512)); // 2 carts -> full
+    EXPECT_TRUE(cache.resident("a"));
+    EXPECT_TRUE(cache.resident("b"));
+
+    // "c" needs 2 carts: evicts the LRU ("a").
+    const auto c = cache.access("c", u::terabytes(512));
+    EXPECT_EQ(c.evicted, 1u);
+    EXPECT_FALSE(cache.resident("a"));
+    EXPECT_TRUE(cache.resident("b"));
+    EXPECT_TRUE(cache.resident("c"));
+
+    // Touch "b" to refresh it, then insert "d": "c" is now LRU.
+    cache.access("b", u::terabytes(512));
+    cache.access("d", u::terabytes(512));
+    EXPECT_TRUE(cache.resident("b"));
+    EXPECT_FALSE(cache.resident("c"));
+}
+
+TEST(CartCacheTest, OversizeDatasetRejected)
+{
+    auto cache = smallCache(2);
+    EXPECT_THROW(cache.access("huge", u::petabytes(1)), dhl::FatalError);
+    EXPECT_THROW(cache.access("", 1e12), dhl::FatalError);
+    EXPECT_THROW(cache.access("zero", 0.0), dhl::FatalError);
+}
+
+TEST(CartCacheTest, ZipfTrafficGetsHighHitRate)
+{
+    // The paper's reuse argument: under Zipf-popular dataset staging a
+    // modest cart cache serves most accesses without touching the
+    // backing pool.
+    PlacementConfig cfg;
+    cfg.cache_carts = 8; // holds the top ~4 datasets of 2 carts each
+    CartCache cache(defaultConfig(), cfg);
+
+    dhl::Rng rng(42);
+    dhl::ZipfTable zipf(16, 1.2); // 16 datasets, heavy skew
+    for (int i = 0; i < 2000; ++i) {
+        const auto rank = zipf.sample(rng);
+        cache.access("ds" + std::to_string(rank), u::terabytes(500));
+    }
+    EXPECT_GT(cache.hitRate(), 0.5);
+    EXPECT_LE(cache.occupiedCarts(), 8u);
+    EXPECT_GT(cache.totalLoadTime(), 0.0);
+}
+
+TEST(CartCacheTest, ResizeOnHitRefits)
+{
+    auto cache = smallCache(4);
+    cache.access("ds", u::terabytes(256)); // 1 cart
+    EXPECT_EQ(cache.occupiedCarts(), 1u);
+    const auto grown = cache.access("ds", u::terabytes(700)); // 3 carts
+    EXPECT_TRUE(grown.hit);
+    EXPECT_EQ(cache.occupiedCarts(), 3u);
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit tests for the rack fan-out model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "common/units.hpp"
+#include "dhl/rack.hpp"
+
+using namespace dhl::core;
+namespace u = dhl::units;
+
+namespace {
+
+DhlConfig
+fourStationConfig()
+{
+    DhlConfig cfg = defaultConfig();
+    cfg.docking_stations = 4;
+    return cfg;
+}
+
+} // namespace
+
+TEST(RackModelTest, AggregateBandwidthScalesWithCarts)
+{
+    RackModel rack(fourStationConfig());
+    const double one = rack.aggregateBandwidth(1);
+    EXPECT_NEAR(one, 32 * 7.1e9, 1.0); // the cart's array bandwidth
+    EXPECT_NEAR(rack.aggregateBandwidth(4), 4.0 * one, 1.0);
+    EXPECT_THROW(rack.aggregateBandwidth(0), dhl::FatalError);
+    EXPECT_THROW(rack.aggregateBandwidth(5), dhl::FatalError);
+}
+
+TEST(RackModelTest, PerNodeRespectsBothCeilings)
+{
+    RackConfig rc;
+    rc.nodes = 8;
+    rc.node_attach_bw = 121e9;
+    RackModel rack(fourStationConfig(), rc);
+    // 1 cart (227 GB/s) over 8 nodes: fair share ~28 GB/s < attach.
+    EXPECT_NEAR(rack.perNodeBandwidth(1, 8), 32 * 7.1e9 / 8.0, 1.0);
+    // 4 carts over 2 nodes: fair share 454 GB/s > 121 GB/s attach.
+    EXPECT_DOUBLE_EQ(rack.perNodeBandwidth(4, 2), 121e9);
+    EXPECT_THROW(rack.perNodeBandwidth(1, 0), dhl::FatalError);
+    EXPECT_THROW(rack.perNodeBandwidth(1, 9), dhl::FatalError);
+}
+
+TEST(RackModelTest, CollectiveReadTime)
+{
+    RackConfig rc;
+    rc.nodes = 8;
+    rc.node_attach_bw = 121e9;
+    RackModel rack(fourStationConfig(), rc);
+    // 4 carts staged, 1 PB sharded over 8 nodes: each node reads
+    // 125 TB at min(908.8/8, 121) = 113.6 GB/s.
+    const double t = rack.collectiveReadTime(4, u::petabytes(1));
+    EXPECT_NEAR(t, 125e12 / (4 * 32 * 7.1e9 / 8.0), 1.0);
+}
+
+TEST(RackModelTest, ShardsAreEvenAndConsistent)
+{
+    RackModel rack(fourStationConfig());
+    const auto shares = rack.shardEvenly(2, u::terabytes(512));
+    ASSERT_EQ(shares.size(), 8u);
+    double total = 0.0;
+    for (const auto &s : shares) {
+        EXPECT_DOUBLE_EQ(s.bytes, u::terabytes(64));
+        EXPECT_NEAR(s.time, rack.collectiveReadTime(2, u::terabytes(512)),
+                    1e-9);
+        total += s.bytes;
+    }
+    EXPECT_DOUBLE_EQ(total, u::terabytes(512));
+}
+
+TEST(RackModelTest, SaturatingNodeCount)
+{
+    RackConfig rc;
+    rc.nodes = 64;
+    rc.node_attach_bw = 121e9;
+    RackModel rack(fourStationConfig(), rc);
+    // 1 cart: 227.2 / 121 -> 2 nodes saturate it.
+    EXPECT_EQ(rack.saturatingNodeCount(1), 2u);
+    // 4 carts: 908.8 / 121 -> 8 nodes.
+    EXPECT_EQ(rack.saturatingNodeCount(4), 8u);
+}
+
+TEST(RackModelTest, HeatLoadMatchesDiscussion)
+{
+    // 32 SSDs x 10 W per cart; four docked carts need ~1.3 kW of heat
+    // sinking.
+    RackModel rack(fourStationConfig());
+    EXPECT_DOUBLE_EQ(rack.heatLoad(1), 320.0);
+    EXPECT_DOUBLE_EQ(rack.heatLoad(4), 1280.0);
+}
+
+TEST(RackConfigTest, Validation)
+{
+    RackConfig bad;
+    bad.nodes = 0;
+    EXPECT_THROW(validate(bad), dhl::FatalError);
+    bad = RackConfig{};
+    bad.node_attach_bw = 0.0;
+    EXPECT_THROW(validate(bad), dhl::FatalError);
+}

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG and distributions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/random.hpp"
+
+using dhl::Rng;
+using dhl::ZipfTable;
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(42), b(42), c(43);
+    bool all_equal = true;
+    bool any_diff_seed = false;
+    for (int i = 0; i < 100; ++i) {
+        const auto va = a.next();
+        if (va != b.next())
+            all_equal = false;
+        if (va != c.next())
+            any_diff_seed = true;
+    }
+    EXPECT_TRUE(all_equal);
+    EXPECT_TRUE(any_diff_seed);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(1);
+    double mean = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        mean += u;
+    }
+    mean /= 10000.0;
+    EXPECT_NEAR(mean, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng r(2);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = r.uniform(5.0, 9.0);
+        ASSERT_GE(v, 5.0);
+        ASSERT_LT(v, 9.0);
+    }
+    EXPECT_THROW(r.uniform(9.0, 5.0), dhl::FatalError);
+}
+
+TEST(Rng, UniformIntInclusive)
+{
+    Rng r(3);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const auto v = r.uniformInt(1, 6);
+        ASSERT_GE(v, 1);
+        ASSERT_LE(v, 6);
+        saw_lo |= (v == 1);
+        saw_hi |= (v == 6);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+    EXPECT_THROW(r.uniformInt(6, 1), dhl::FatalError);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng r(4);
+    const double mean = 3.0;
+    double acc = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double v = r.exponential(mean);
+        ASSERT_GT(v, 0.0);
+        acc += v;
+    }
+    EXPECT_NEAR(acc / n, mean, 0.1);
+    EXPECT_THROW(r.exponential(0.0), dhl::FatalError);
+    EXPECT_THROW(r.exponential(-1.0), dhl::FatalError);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng r(5);
+    const int n = 20000;
+    double acc = 0.0, acc2 = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double v = r.normal(10.0, 2.0);
+        acc += v;
+        acc2 += v * v;
+    }
+    const double mean = acc / n;
+    const double var = acc2 / n - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.1);
+    EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(Rng, LognormalPositive)
+{
+    Rng r(6);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_GT(r.lognormal(0.0, 1.0), 0.0);
+}
+
+TEST(Zipf, RankZeroMostPopular)
+{
+    Rng r(7);
+    ZipfTable table(100, 1.0);
+    EXPECT_EQ(table.size(), 100u);
+    std::vector<int> counts(100, 0);
+    for (int i = 0; i < 20000; ++i)
+        ++counts[table.sample(r)];
+    // Rank 0 should dominate rank 10 by roughly 11x under s=1.
+    EXPECT_GT(counts[0], counts[10] * 5);
+    EXPECT_GT(counts[0], counts[50] * 10);
+}
+
+TEST(Zipf, ZeroExponentIsUniform)
+{
+    Rng r(8);
+    ZipfTable table(10, 0.0);
+    std::vector<int> counts(10, 0);
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        ++counts[table.sample(r)];
+    for (int c : counts)
+        EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.02);
+}
+
+TEST(Zipf, RejectsBadParameters)
+{
+    EXPECT_THROW(ZipfTable(0, 1.0), dhl::FatalError);
+    EXPECT_THROW(ZipfTable(10, -0.5), dhl::FatalError);
+}

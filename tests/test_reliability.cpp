@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Unit tests for the DHL availability model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "dhl/reliability.hpp"
+
+using namespace dhl::core;
+
+TEST(ReliabilityConfigTest, Validation)
+{
+    ReliabilityConfig ok;
+    EXPECT_NO_THROW(validate(ok));
+    ReliabilityConfig bad;
+    bad.lim_mtbf = 0.0;
+    EXPECT_THROW(validate(bad), dhl::FatalError);
+    bad = ReliabilityConfig{};
+    bad.track_mttr = -1.0;
+    EXPECT_THROW(validate(bad), dhl::FatalError);
+    bad = ReliabilityConfig{};
+    bad.cart_repair_per_trip = 1.5;
+    EXPECT_THROW(validate(bad), dhl::FatalError);
+}
+
+TEST(AvailabilityTest, SteadyStateProducts)
+{
+    AvailabilityModel m(defaultConfig());
+    const auto r = m.report();
+    const double lim_one = 50000.0 / 50008.0;
+    EXPECT_NEAR(r.lim_availability, lim_one * lim_one, 1e-12);
+    EXPECT_NEAR(r.track_availability, 100000.0 / 100024.0, 1e-12);
+    // One station: its own availability.
+    EXPECT_NEAR(r.stations_availability, 30000.0 / 30004.0, 1e-12);
+    EXPECT_NEAR(r.system_availability,
+                r.lim_availability * r.track_availability *
+                    r.stations_availability,
+                1e-12);
+    // Five nines territory for these MTBFs: under 9 h downtime/year.
+    EXPECT_LT(r.downtime_hours_per_year, 9.0);
+    EXPECT_GT(r.system_availability, 0.999);
+}
+
+TEST(AvailabilityTest, MoreStationsRaiseServiceAvailability)
+{
+    DhlConfig one = defaultConfig();
+    DhlConfig four = defaultConfig();
+    four.docking_stations = 4;
+    const auto r1 = AvailabilityModel(one).report();
+    const auto r4 = AvailabilityModel(four).report();
+    EXPECT_GT(r4.stations_availability, r1.stations_availability);
+    EXPECT_GT(r4.system_availability, r1.system_availability);
+}
+
+TEST(AvailabilityTest, CartRepairRotationViaLittlesLaw)
+{
+    ReliabilityConfig rel;
+    rel.cart_repair_per_trip = 0.01;
+    rel.cart_repair_hours = 2.0;
+    DhlConfig cfg = defaultConfig();
+    cfg.library_slots = 100;
+    AvailabilityModel m(cfg, rel);
+    // 50 trips/hour * 1 % * 2 h = 1 cart in repair on average = 1 %.
+    const auto r = m.report(50.0);
+    EXPECT_NEAR(r.carts_in_repair_fraction, 0.01, 1e-12);
+    // Idle fleet: nobody in the shop.
+    EXPECT_DOUBLE_EQ(m.report(0.0).carts_in_repair_fraction, 0.0);
+}
+
+TEST(AvailabilityTest, DeratedBandwidth)
+{
+    AvailabilityModel m(defaultConfig());
+    const AnalyticalModel ideal(defaultConfig());
+    const double derated = m.deratedBandwidth();
+    EXPECT_LT(derated, ideal.launch().bandwidth);
+    EXPECT_GT(derated, 0.999 * ideal.launch().bandwidth);
+}
+
+TEST(AvailabilityTest, PerfectComponentsGiveFullAvailability)
+{
+    ReliabilityConfig perfect;
+    perfect.lim_mttr = 0.0;
+    perfect.track_mttr = 0.0;
+    perfect.station_mttr = 0.0;
+    AvailabilityModel m(defaultConfig(), perfect);
+    const auto r = m.report();
+    EXPECT_DOUBLE_EQ(r.system_availability, 1.0);
+    EXPECT_DOUBLE_EQ(r.downtime_hours_per_year, 0.0);
+}
+
+TEST(AvailabilityTest, RejectsNegativeTripRate)
+{
+    AvailabilityModel m(defaultConfig());
+    EXPECT_THROW(m.report(-1.0), dhl::FatalError);
+}

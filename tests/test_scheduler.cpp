@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Unit tests for the Open-request scheduling policies, standalone and
+ * wired into the controller.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "common/units.hpp"
+#include "dhl/controller.hpp"
+#include "dhl/scheduler.hpp"
+
+using namespace dhl::core;
+using dhl::sim::Simulator;
+namespace u = dhl::units;
+
+namespace {
+
+QueuedOpen
+req(CartId id, std::uint64_t seq, int priority = 0,
+    double deadline = std::numeric_limits<double>::infinity())
+{
+    QueuedOpen q{};
+    q.id = id;
+    q.seq = seq;
+    q.meta.priority = priority;
+    q.meta.deadline = deadline;
+    return q;
+}
+
+} // namespace
+
+TEST(FifoSchedulerTest, ArrivalOrder)
+{
+    FifoScheduler s;
+    EXPECT_EQ(s.name(), "fifo");
+    EXPECT_TRUE(s.empty());
+    s.push(req(10, 0));
+    s.push(req(20, 1));
+    s.push(req(30, 2));
+    EXPECT_EQ(s.size(), 3u);
+    EXPECT_EQ(s.pop().id, 10u);
+    EXPECT_EQ(s.pop().id, 20u);
+    EXPECT_EQ(s.pop().id, 30u);
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(PrioritySchedulerTest, HighestFirstFifoWithin)
+{
+    PriorityScheduler s;
+    s.push(req(1, 0, 0));
+    s.push(req(2, 1, 5));
+    s.push(req(3, 2, 5));
+    s.push(req(4, 3, 1));
+    EXPECT_EQ(s.pop().id, 2u); // priority 5, earliest seq
+    EXPECT_EQ(s.pop().id, 3u); // priority 5
+    EXPECT_EQ(s.pop().id, 4u); // priority 1
+    EXPECT_EQ(s.pop().id, 1u); // priority 0
+}
+
+TEST(DeadlineSchedulerTest, EarliestDeadlineFirst)
+{
+    DeadlineScheduler s;
+    EXPECT_EQ(s.name(), "edf");
+    s.push(req(1, 0, 0, 100.0));
+    s.push(req(2, 1, 0, 10.0));
+    s.push(req(3, 2, 0, 10.0));
+    s.push(req(4, 3)); // no deadline -> last
+    EXPECT_EQ(s.pop().id, 2u);
+    EXPECT_EQ(s.pop().id, 3u);
+    EXPECT_EQ(s.pop().id, 1u);
+    EXPECT_EQ(s.pop().id, 4u);
+}
+
+TEST(SchedulerTest, PopFromEmptyPanics)
+{
+    FifoScheduler f;
+    PriorityScheduler p;
+    DeadlineScheduler d;
+    EXPECT_THROW(f.pop(), dhl::PanicError);
+    EXPECT_THROW(p.pop(), dhl::PanicError);
+    EXPECT_THROW(d.pop(), dhl::PanicError);
+}
+
+TEST(ControllerScheduling, PriorityJumpsTheQueue)
+{
+    // One station; three carts; the high-priority open issued last must
+    // dock second (right after the station first frees).
+    Simulator sim;
+    DhlConfig cfg = defaultConfig();
+    cfg.docking_stations = 1;
+    DhlController ctl(sim, cfg);
+    ctl.setScheduler(makePriorityScheduler());
+    EXPECT_EQ(ctl.schedulerName(), "priority");
+
+    Cart &a = ctl.addCart();
+    Cart &b = ctl.addCart();
+    Cart &c = ctl.addCart();
+
+    std::vector<CartId> dock_order;
+    auto record = [&](Cart &cart, DockingStation &) {
+        dock_order.push_back(cart.id());
+        ctl.close(cart.id(), nullptr);
+    };
+    ctl.open(a.id(), record);                       // grabs the station
+    ctl.open(b.id(), RequestMeta{0, 1e18}, record); // queued, low prio
+    ctl.open(c.id(), RequestMeta{9, 1e18}, record); // queued, high prio
+    sim.run();
+
+    ASSERT_EQ(dock_order.size(), 3u);
+    EXPECT_EQ(dock_order[0], a.id());
+    EXPECT_EQ(dock_order[1], c.id()); // jumped ahead of b
+    EXPECT_EQ(dock_order[2], b.id());
+}
+
+TEST(ControllerScheduling, EdfOrdersByDeadline)
+{
+    Simulator sim;
+    DhlConfig cfg = defaultConfig();
+    cfg.docking_stations = 1;
+    DhlController ctl(sim, cfg);
+    ctl.setScheduler(makeDeadlineScheduler());
+
+    Cart &a = ctl.addCart();
+    Cart &b = ctl.addCart();
+    Cart &c = ctl.addCart();
+
+    std::vector<CartId> dock_order;
+    auto record = [&](Cart &cart, DockingStation &) {
+        dock_order.push_back(cart.id());
+        ctl.close(cart.id(), nullptr);
+    };
+    ctl.open(a.id(), record);
+    ctl.open(b.id(), RequestMeta{0, 500.0}, record);
+    ctl.open(c.id(), RequestMeta{0, 50.0}, record);
+    sim.run();
+
+    ASSERT_EQ(dock_order.size(), 3u);
+    EXPECT_EQ(dock_order[1], c.id()); // tighter deadline first
+    EXPECT_EQ(dock_order[2], b.id());
+}
+
+TEST(ControllerScheduling, SwapWhileQueuedRejected)
+{
+    Simulator sim;
+    DhlConfig cfg = defaultConfig();
+    cfg.docking_stations = 1;
+    DhlController ctl(sim, cfg);
+    Cart &a = ctl.addCart();
+    Cart &b = ctl.addCart();
+    ctl.open(a.id(), nullptr);
+    ctl.open(b.id(), nullptr); // queued
+    EXPECT_THROW(ctl.setScheduler(makePriorityScheduler()),
+                 dhl::FatalError);
+    EXPECT_THROW(ctl.setScheduler(nullptr), dhl::FatalError);
+    sim.run();
+}
+
+TEST(ControllerScheduling, DefaultIsFifo)
+{
+    Simulator sim;
+    DhlController ctl(sim, defaultConfig());
+    EXPECT_EQ(ctl.schedulerName(), "fifo");
+}

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Unit tests for the discrete-event simulation kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "sim/simulator.hpp"
+
+using dhl::sim::EventHandle;
+using dhl::sim::Simulator;
+
+TEST(Simulator, StartsAtTimeZero)
+{
+    Simulator sim;
+    EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+    EXPECT_EQ(sim.pendingEvents(), 0u);
+    EXPECT_DOUBLE_EQ(sim.run(), 0.0);
+}
+
+TEST(Simulator, EventsFireInTimeOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule(3.0, [&] { order.push_back(3); });
+    sim.schedule(1.0, [&] { order.push_back(1); });
+    sim.schedule(2.0, [&] { order.push_back(2); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, FifoWithinSameTimestamp)
+{
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        sim.schedule(1.0, [&order, i] { order.push_back(i); });
+    sim.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, NestedScheduling)
+{
+    Simulator sim;
+    double fired_at = -1.0;
+    sim.schedule(1.0, [&] {
+        sim.schedule(2.0, [&] { fired_at = sim.now(); });
+    });
+    sim.run();
+    EXPECT_DOUBLE_EQ(fired_at, 3.0);
+}
+
+TEST(Simulator, ZeroDelayFiresAtSameTime)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.schedule(1.0, [&] {
+        sim.schedule(0.0, [&] {
+            ++fired;
+            EXPECT_DOUBLE_EQ(sim.now(), 1.0);
+        });
+    });
+    sim.run();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, RejectsBadDelays)
+{
+    Simulator sim;
+    EXPECT_THROW(sim.schedule(-1.0, [] {}), dhl::FatalError);
+    EXPECT_THROW(sim.scheduleAt(-0.5, [] {}), dhl::FatalError);
+    EXPECT_THROW(
+        sim.schedule(std::numeric_limits<double>::quiet_NaN(), [] {}),
+        dhl::FatalError);
+    EXPECT_THROW(
+        sim.schedule(std::numeric_limits<double>::infinity(), [] {}),
+        dhl::FatalError);
+}
+
+TEST(Simulator, CancelPreventsExecution)
+{
+    Simulator sim;
+    int fired = 0;
+    EventHandle h = sim.schedule(1.0, [&] { ++fired; });
+    EXPECT_TRUE(sim.cancel(h));
+    EXPECT_FALSE(sim.cancel(h)); // double cancel
+    sim.run();
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(sim.eventsExecuted(), 0u);
+}
+
+TEST(Simulator, CancelAfterFireReturnsFalse)
+{
+    Simulator sim;
+    EventHandle h = sim.schedule(1.0, [] {});
+    sim.run();
+    EXPECT_FALSE(sim.cancel(h));
+}
+
+TEST(Simulator, CancelInvalidHandle)
+{
+    Simulator sim;
+    EXPECT_FALSE(sim.cancel(EventHandle()));
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary)
+{
+    Simulator sim;
+    std::vector<double> fired;
+    sim.schedule(1.0, [&] { fired.push_back(1.0); });
+    sim.schedule(2.0, [&] { fired.push_back(2.0); });
+    sim.schedule(5.0, [&] { fired.push_back(5.0); });
+
+    EXPECT_DOUBLE_EQ(sim.runUntil(2.0), 2.0);
+    EXPECT_EQ(fired.size(), 2u); // events at exactly `until` fire
+    EXPECT_EQ(sim.pendingEvents(), 1u);
+
+    sim.run();
+    EXPECT_EQ(fired.size(), 3u);
+    EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenIdle)
+{
+    Simulator sim;
+    EXPECT_DOUBLE_EQ(sim.runUntil(10.0), 10.0);
+    EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+    EXPECT_THROW(sim.runUntil(5.0), dhl::FatalError);
+}
+
+TEST(Simulator, StepExecutesBoundedEvents)
+{
+    Simulator sim;
+    int fired = 0;
+    for (int i = 0; i < 5; ++i)
+        sim.schedule(static_cast<double>(i + 1), [&] { ++fired; });
+    EXPECT_EQ(sim.step(2), 2u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(sim.step(100), 3u);
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(sim.step(), 0u);
+}
+
+TEST(Simulator, StopEndsRunEarly)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.schedule(1.0, [&] {
+        ++fired;
+        sim.stop();
+    });
+    sim.schedule(2.0, [&] { ++fired; });
+    sim.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(sim.stopRequested());
+    EXPECT_EQ(sim.pendingEvents(), 1u);
+    sim.run(); // resumes
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, KernelStatsTrackCounts)
+{
+    Simulator sim;
+    auto h = sim.schedule(1.0, [] {});
+    sim.schedule(2.0, [] {});
+    sim.cancel(h);
+    sim.run();
+    const auto *scheduled = dynamic_cast<const dhl::stats::Counter *>(
+        sim.statsGroup().find("events_scheduled"));
+    const auto *executed = dynamic_cast<const dhl::stats::Counter *>(
+        sim.statsGroup().find("events_executed"));
+    const auto *cancelled = dynamic_cast<const dhl::stats::Counter *>(
+        sim.statsGroup().find("events_cancelled"));
+    ASSERT_NE(scheduled, nullptr);
+    ASSERT_NE(executed, nullptr);
+    ASSERT_NE(cancelled, nullptr);
+    EXPECT_EQ(scheduled->value(), 2u);
+    EXPECT_EQ(executed->value(), 1u);
+    EXPECT_EQ(cancelled->value(), 1u);
+}
+
+TEST(Simulator, ManyEventsStressOrdering)
+{
+    Simulator sim;
+    double last = -1.0;
+    bool monotonic = true;
+    for (int i = 0; i < 10000; ++i) {
+        const double t = static_cast<double>((i * 7919) % 1000);
+        sim.schedule(t, [&, t] {
+            if (t < last)
+                monotonic = false;
+            last = t;
+        });
+    }
+    sim.run();
+    EXPECT_TRUE(monotonic);
+    EXPECT_EQ(sim.eventsExecuted(), 10000u);
+}

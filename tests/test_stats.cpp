@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for the statistics framework.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "common/stats.hpp"
+
+using namespace dhl::stats;
+
+TEST(Scalar, SetAddAndOperators)
+{
+    Scalar s("s", "a scalar");
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+    s.set(3.5);
+    EXPECT_DOUBLE_EQ(s.value(), 3.5);
+    s.add(1.5);
+    EXPECT_DOUBLE_EQ(s.value(), 5.0);
+    s = 2.0;
+    s += 0.5;
+    EXPECT_DOUBLE_EQ(s.value(), 2.5);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(Counter, IncrementAndReset)
+{
+    Counter c("c", "a counter");
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c.increment();
+    c.increment(5);
+    EXPECT_EQ(c.value(), 7u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Accumulator, WelfordMatchesClosedForm)
+{
+    Accumulator a("a", "samples");
+    const double xs[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    for (double x : xs)
+        a.sample(x);
+    EXPECT_EQ(a.count(), 8u);
+    EXPECT_DOUBLE_EQ(a.sum(), 40.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+    // Population variance of this classic set is 4; sample variance
+    // = 32/7.
+    EXPECT_NEAR(a.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Accumulator, EmptyAndSingle)
+{
+    Accumulator a("a", "samples");
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.stddev(), 0.0);
+    a.sample(42.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 42.0);
+    EXPECT_DOUBLE_EQ(a.stddev(), 0.0);
+}
+
+TEST(HistogramTest, BinningAndFlows)
+{
+    Histogram h("h", "samples", 0.0, 10.0, 5);
+    h.sample(-1.0); // underflow
+    h.sample(0.0);  // bin 0
+    h.sample(1.99); // bin 0
+    h.sample(2.0);  // bin 1
+    h.sample(9.99); // bin 4
+    h.sample(10.0); // overflow
+    h.sample(25.0); // overflow
+    EXPECT_EQ(h.totalSamples(), 7u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(1), 1u);
+    EXPECT_EQ(h.binCount(2), 0u);
+    EXPECT_EQ(h.binCount(4), 1u);
+    EXPECT_DOUBLE_EQ(h.binLow(1), 2.0);
+}
+
+TEST(HistogramTest, RejectsBadRanges)
+{
+    EXPECT_THROW(Histogram("h", "d", 0.0, 10.0, 0), dhl::FatalError);
+    EXPECT_THROW(Histogram("h", "d", 5.0, 5.0, 3), dhl::FatalError);
+    EXPECT_THROW(Histogram("h", "d", 7.0, 5.0, 3), dhl::FatalError);
+}
+
+TEST(FormulaTest, LazyEvaluation)
+{
+    double num = 10.0;
+    double den = 4.0;
+    Formula f("ratio", "num/den", [&] { return num / den; });
+    EXPECT_DOUBLE_EQ(f.value(), 2.5);
+    num = 20.0;
+    EXPECT_DOUBLE_EQ(f.value(), 5.0);
+}
+
+TEST(StatGroupTest, HierarchyAndDump)
+{
+    StatGroup root("system");
+    auto &s = root.addScalar("energy", "total energy");
+    auto &c = root.addCounter("events", "event count");
+    auto &child = root.addGroup("track");
+    auto &cs = child.addScalar("launches", "launches");
+    s.set(15.0);
+    c.increment(3);
+    cs.set(2.0);
+
+    EXPECT_EQ(root.numStats(), 2u);
+    EXPECT_EQ(root.numGroups(), 1u);
+    EXPECT_NE(root.find("energy"), nullptr);
+    EXPECT_EQ(root.find("missing"), nullptr);
+
+    std::ostringstream os;
+    root.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("system.energy"), std::string::npos);
+    EXPECT_NE(out.find("system.events"), std::string::npos);
+    EXPECT_NE(out.find("system.track.launches"), std::string::npos);
+    EXPECT_NE(out.find("# total energy"), std::string::npos);
+}
+
+TEST(StatGroupTest, ResetAllRecurses)
+{
+    StatGroup root("r");
+    auto &s = root.addScalar("s", "d");
+    auto &g = root.addGroup("g");
+    auto &c = g.addCounter("c", "d");
+    s.set(1.0);
+    c.increment();
+    root.resetAll();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(StatGroupTest, AccumulatorAndHistogramRegistration)
+{
+    StatGroup root("r");
+    auto &a = root.addAccumulator("acc", "d");
+    auto &h = root.addHistogram("hist", "d", 0.0, 1.0, 4);
+    auto &f = root.addFormula("f", "d", [] { return 7.0; });
+    a.sample(1.0);
+    h.sample(0.5);
+    EXPECT_DOUBLE_EQ(f.value(), 7.0);
+    std::ostringstream os;
+    root.dump(os);
+    EXPECT_NE(os.str().find("acc.mean"), std::string::npos);
+    EXPECT_NE(os.str().find("hist.samples"), std::string::npos);
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Unit tests for the Figure 6 power sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "mlsim/sweep.hpp"
+
+using namespace dhl::mlsim;
+using dhl::core::defaultConfig;
+using dhl::network::findRoute;
+
+TEST(SweepQuantisedTest, OnePointPerTrackCount)
+{
+    DhlComm dhl_comm(defaultConfig());
+    TrainingSim sim(dlrmWorkload(), dhl_comm);
+    const auto s = sweepQuantised(sim, 5.0 * dhl_comm.unitPower());
+    EXPECT_TRUE(s.quantised);
+    ASSERT_EQ(s.points.size(), 5u);
+    for (std::size_t i = 0; i < s.points.size(); ++i) {
+        EXPECT_DOUBLE_EQ(s.points[i].units, static_cast<double>(i + 1));
+        EXPECT_NEAR(s.points[i].power,
+                    (i + 1) * dhl_comm.unitPower(), 1e-6);
+    }
+    // Time decreases (weakly) with more tracks.
+    for (std::size_t i = 1; i < s.points.size(); ++i)
+        EXPECT_LE(s.points[i].iter_time, s.points[i - 1].iter_time);
+}
+
+TEST(SweepQuantisedTest, AlwaysAtLeastOnePoint)
+{
+    DhlComm dhl_comm(defaultConfig());
+    TrainingSim sim(dlrmWorkload(), dhl_comm);
+    const auto s = sweepQuantised(sim, 10.0); // below one track's power
+    ASSERT_EQ(s.points.size(), 1u);
+    EXPECT_DOUBLE_EQ(s.points[0].units, 1.0);
+}
+
+TEST(SweepContinuousTest, LogSpacedBudgets)
+{
+    OpticalComm a0(findRoute("A0"));
+    TrainingSim sim(dlrmWorkload(), a0);
+    const auto s = sweepContinuous(sim, 100.0, 10000.0, 5);
+    EXPECT_FALSE(s.quantised);
+    ASSERT_EQ(s.points.size(), 5u);
+    EXPECT_NEAR(s.points.front().power, 100.0, 1e-9);
+    EXPECT_NEAR(s.points.back().power, 10000.0, 1e-6);
+    // Log spacing: constant ratio between consecutive budgets.
+    const double ratio = s.points[1].power / s.points[0].power;
+    for (std::size_t i = 2; i < s.points.size(); ++i)
+        EXPECT_NEAR(s.points[i].power / s.points[i - 1].power, ratio,
+                    1e-9);
+    // Monotone time decrease.
+    for (std::size_t i = 1; i < s.points.size(); ++i)
+        EXPECT_LT(s.points[i].iter_time, s.points[i - 1].iter_time);
+}
+
+TEST(SweepContinuousTest, DhlDominatesNetworksAtEqualPower)
+{
+    // The Figure 6 claim: at any shared budget, the DHL's iteration
+    // time sits below every network's.
+    DhlComm dhl_comm(defaultConfig());
+    TrainingSim dhl_sim(dlrmWorkload(), dhl_comm);
+    const double budget = 4.0 * dhl_comm.unitPower();
+    const double dhl_time = dhl_sim.isoPower(budget).iter_time;
+    for (const char *name : {"A0", "A1", "A2", "B", "C"}) {
+        OpticalComm net(findRoute(name));
+        TrainingSim net_sim(dlrmWorkload(), net);
+        EXPECT_GT(net_sim.isoPower(budget).iter_time, dhl_time) << name;
+    }
+}
+
+TEST(SweepTest, WrongLayerKindsRejected)
+{
+    DhlComm dhl_comm(defaultConfig());
+    OpticalComm a0(findRoute("A0"));
+    TrainingSim dhl_sim(dlrmWorkload(), dhl_comm);
+    TrainingSim net_sim(dlrmWorkload(), a0);
+    EXPECT_THROW(sweepContinuous(dhl_sim, 1.0, 10.0, 3), dhl::FatalError);
+    EXPECT_THROW(sweepQuantised(net_sim, 100.0), dhl::FatalError);
+    EXPECT_THROW(sweepContinuous(net_sim, 10.0, 5.0, 3), dhl::FatalError);
+    EXPECT_THROW(sweepContinuous(net_sim, 10.0, 100.0, 1),
+                 dhl::FatalError);
+    EXPECT_THROW(sweepQuantised(dhl_sim, 0.0), dhl::FatalError);
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Unit tests for the ASCII table / CSV renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "common/table.hpp"
+
+using dhl::Align;
+using dhl::TextTable;
+
+TEST(TextTableTest, BasicRender)
+{
+    TextTable t({"Name", "Value"});
+    t.addRow({"energy", "15"});
+    t.addRow({"time", "8.6"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("Name"), std::string::npos);
+    EXPECT_NE(out.find("energy"), std::string::npos);
+    EXPECT_NE(out.find("8.6"), std::string::npos);
+    EXPECT_NE(out.find("+"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 2u);
+    EXPECT_EQ(t.numColumns(), 2u);
+}
+
+TEST(TextTableTest, RejectsMismatchedRow)
+{
+    TextTable t({"A", "B"});
+    EXPECT_THROW(t.addRow({"only-one"}), dhl::FatalError);
+    EXPECT_THROW(TextTable({}), dhl::FatalError);
+}
+
+TEST(TextTableTest, AlignmentPadding)
+{
+    TextTable t({"L", "R"});
+    t.setAlignments({Align::Left, Align::Right});
+    t.addRow({"x", "1"});
+    t.addRow({"longer", "22"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    // Left column pads on the right, right column pads on the left.
+    EXPECT_NE(out.find("| x      |"), std::string::npos);
+    EXPECT_NE(out.find("|  1 |"), std::string::npos);
+}
+
+TEST(TextTableTest, SeparatorRows)
+{
+    TextTable t({"A"});
+    t.addRow({"1"});
+    t.addSeparator();
+    t.addRow({"2"});
+    std::ostringstream os;
+    t.print(os);
+    // 3 boxed rules + 1 separator = 4 '+--+' lines.
+    int rules = 0;
+    std::istringstream is(os.str());
+    std::string line;
+    while (std::getline(is, line)) {
+        if (!line.empty() && line[0] == '+')
+            ++rules;
+    }
+    EXPECT_EQ(rules, 4);
+}
+
+TEST(TextTableTest, CsvEscaping)
+{
+    TextTable t({"name", "note"});
+    t.addRow({"a,b", "say \"hi\""});
+    t.addSeparator(); // skipped in CSV
+    t.addRow({"plain", "ok"});
+    std::ostringstream os;
+    t.printCsv(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("\"a,b\""), std::string::npos);
+    EXPECT_NE(out.find("\"say \"\"hi\"\"\""), std::string::npos);
+    EXPECT_NE(out.find("plain,ok"), std::string::npos);
+}
+
+TEST(CellHelpers, Formatting)
+{
+    EXPECT_EQ(dhl::cell(295.08, 4), "295.1");
+    EXPECT_EQ(dhl::cellTimes(4.06, 2), "4.1x");
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unit tests for the fat-tree topology builder: the canonical A2/B/C
+ * route powers must emerge from host placement.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "network/route.hpp"
+#include "network/topology.hpp"
+
+using namespace dhl::network;
+
+TEST(FatTreeTest, DefaultShapeCounts)
+{
+    FatTree ft;
+    EXPECT_EQ(ft.numHosts(), 2 * 4 * 3);
+    EXPECT_EQ(ft.numSwitches(), 8 + 2 + 1);
+}
+
+TEST(FatTreeTest, HostIndexRoundTrip)
+{
+    FatTree ft;
+    for (int i = 0; i < ft.numHosts(); ++i) {
+        const HostAddress a = ft.hostAddress(i);
+        EXPECT_EQ(ft.hostIndex(a), i);
+    }
+    EXPECT_THROW(ft.hostIndex({9, 0, 0}), dhl::FatalError);
+    EXPECT_THROW(ft.hostAddress(-1), dhl::FatalError);
+    EXPECT_THROW(ft.hostAddress(ft.numHosts()), dhl::FatalError);
+}
+
+TEST(FatTreeTest, SameRackIsOneSwitch)
+{
+    FatTree ft;
+    const auto p = ft.path({0, 0, 0}, {0, 0, 1});
+    EXPECT_EQ(p.switch_nodes.size(), 1u);
+    // Single-switch transit = route A2's power.
+    EXPECT_NEAR(p.route.power(), findRoute("A2").power(), 1e-9);
+}
+
+TEST(FatTreeTest, SameAisleIsThreeSwitches)
+{
+    FatTree ft;
+    const auto p = ft.path({0, 0, 0}, {0, 2, 1});
+    EXPECT_EQ(p.switch_nodes.size(), 3u);
+    EXPECT_NEAR(p.route.power(), findRoute("B").power(), 1e-9);
+}
+
+TEST(FatTreeTest, CrossAisleIsFiveSwitches)
+{
+    FatTree ft;
+    const auto p = ft.path({0, 0, 0}, {1, 3, 2});
+    EXPECT_EQ(p.switch_nodes.size(), 5u);
+    EXPECT_NEAR(p.route.power(), findRoute("C").power(), 1e-9);
+}
+
+TEST(FatTreeTest, HopSwitchesHelper)
+{
+    FatTree ft;
+    EXPECT_EQ(ft.hopSwitches({0, 0, 0}, {0, 0, 1}), 1);
+    EXPECT_EQ(ft.hopSwitches({0, 0, 0}, {0, 1, 0}), 3);
+    EXPECT_EQ(ft.hopSwitches({0, 0, 0}, {1, 0, 0}), 5);
+}
+
+TEST(FatTreeTest, PathIsSymmetricInPower)
+{
+    FatTree ft;
+    const auto ab = ft.path({0, 0, 0}, {1, 2, 1});
+    const auto ba = ft.path({1, 2, 1}, {0, 0, 0});
+    EXPECT_NEAR(ab.route.power(), ba.route.power(), 1e-9);
+    EXPECT_EQ(ab.switch_nodes.size(), ba.switch_nodes.size());
+}
+
+TEST(FatTreeTest, SameHostRejected)
+{
+    FatTree ft;
+    EXPECT_THROW(ft.path({0, 0, 0}, {0, 0, 0}), dhl::FatalError);
+}
+
+TEST(FatTreeTest, BiggerFabricStillRoutes)
+{
+    FatTreeConfig cfg;
+    cfg.aisles = 4;
+    cfg.racks_per_aisle = 8;
+    cfg.hosts_per_rack = 4;
+    cfg.aggs_per_aisle = 2;
+    cfg.cores = 2;
+    FatTree ft(cfg);
+    EXPECT_EQ(ft.numHosts(), 4 * 8 * 4);
+    // Cross-aisle stays 5 switches (ToR-agg-core-agg-ToR) regardless of
+    // redundancy.
+    EXPECT_EQ(ft.hopSwitches({0, 0, 0}, {3, 7, 3}), 5);
+    EXPECT_EQ(ft.hopSwitches({2, 1, 0}, {2, 1, 3}), 1);
+}
+
+TEST(FatTreeTest, RejectsDegenerateShapes)
+{
+    FatTreeConfig cfg;
+    cfg.aisles = 0;
+    EXPECT_THROW(FatTree{cfg}, dhl::FatalError);
+    cfg = FatTreeConfig{};
+    cfg.hosts_per_rack = 0;
+    EXPECT_THROW(FatTree{cfg}, dhl::FatalError);
+    cfg = FatTreeConfig{};
+    cfg.cores = 0;
+    EXPECT_THROW(FatTree{cfg}, dhl::FatalError);
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for the trace recorder.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "sim/trace.hpp"
+
+using namespace dhl::sim;
+
+TEST(TraceTest, DisabledByDefault)
+{
+    Simulator sim;
+    TraceRecorder trace(sim);
+    trace.record("cat", "obj", "msg");
+    EXPECT_EQ(trace.size(), 0u);
+    EXPECT_EQ(trace.totalEmitted(), 0u);
+}
+
+TEST(TraceTest, RecordsWithTimestamps)
+{
+    Simulator sim;
+    TraceRecorder trace(sim);
+    trace.enable();
+    trace.record("track", "t0", "launch");
+    sim.schedule(2.5, [&] { trace.record("dock", "st0", "docked"); });
+    sim.run();
+    ASSERT_EQ(trace.size(), 2u);
+    EXPECT_DOUBLE_EQ(trace.records()[0].when, 0.0);
+    EXPECT_DOUBLE_EQ(trace.records()[1].when, 2.5);
+    EXPECT_EQ(trace.records()[1].category, "dock");
+    EXPECT_EQ(trace.records()[1].object, "st0");
+    EXPECT_EQ(trace.records()[1].message, "docked");
+}
+
+TEST(TraceTest, CapacityEvictsOldest)
+{
+    Simulator sim;
+    TraceRecorder trace(sim, 3);
+    trace.enable();
+    for (int i = 0; i < 5; ++i)
+        trace.record("c", "o", "m" + std::to_string(i));
+    EXPECT_EQ(trace.size(), 3u);
+    EXPECT_EQ(trace.totalEmitted(), 5u);
+    EXPECT_EQ(trace.dropped(), 2u);
+    EXPECT_EQ(trace.records().front().message, "m2");
+    EXPECT_EQ(trace.records().back().message, "m4");
+}
+
+TEST(TraceTest, FilterByCategory)
+{
+    Simulator sim;
+    TraceRecorder trace(sim);
+    trace.enable();
+    trace.record("a", "o", "1");
+    trace.record("b", "o", "2");
+    trace.record("a", "o", "3");
+    const auto only_a = trace.filter("a");
+    ASSERT_EQ(only_a.size(), 2u);
+    EXPECT_EQ(only_a[1].message, "3");
+    EXPECT_TRUE(trace.filter("zzz").empty());
+}
+
+TEST(TraceTest, DisableStopsRecording)
+{
+    Simulator sim;
+    TraceRecorder trace(sim);
+    trace.enable();
+    trace.record("a", "o", "kept");
+    trace.enable(false);
+    trace.record("a", "o", "lost");
+    EXPECT_EQ(trace.size(), 1u);
+}
+
+TEST(TraceTest, ClearKeepsCounters)
+{
+    Simulator sim;
+    TraceRecorder trace(sim);
+    trace.enable();
+    trace.record("a", "o", "x");
+    trace.clear();
+    EXPECT_EQ(trace.size(), 0u);
+    EXPECT_EQ(trace.totalEmitted(), 1u);
+}
+
+TEST(TraceTest, DumpFormats)
+{
+    Simulator sim;
+    TraceRecorder trace(sim);
+    trace.enable();
+    trace.record("api", "dhl", "open cart 3");
+    std::ostringstream text;
+    trace.dump(text);
+    EXPECT_NE(text.str().find("[api] dhl: open cart 3"),
+              std::string::npos);
+
+    trace.record("api", "dhl", "with,comma");
+    std::ostringstream csv;
+    trace.dumpCsv(csv);
+    EXPECT_NE(csv.str().find("time,category,object,message"),
+              std::string::npos);
+    EXPECT_NE(csv.str().find("\"with,comma\""), std::string::npos);
+}
+
+TEST(TraceTest, RejectsZeroCapacity)
+{
+    Simulator sim;
+    EXPECT_THROW(TraceRecorder(sim, 0), dhl::FatalError);
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for the track admission logic under the three sharing
+ * modes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "dhl/track.hpp"
+
+using namespace dhl::core;
+using dhl::sim::Simulator;
+
+namespace {
+
+DhlConfig
+modeConfig(TrackMode mode)
+{
+    DhlConfig cfg = defaultConfig();
+    cfg.track_mode = mode;
+    return cfg;
+}
+
+} // namespace
+
+TEST(TrackTest, TravelTimeMatchesConfig)
+{
+    Simulator sim;
+    DhlConfig cfg = defaultConfig();
+    Track t(sim, cfg);
+    EXPECT_NEAR(t.travelTime(), 2.6, 1e-12);
+}
+
+TEST(TrackTest, ExclusiveSerialisesEverything)
+{
+    Simulator sim;
+    DhlConfig cfg = modeConfig(TrackMode::Exclusive);
+    Track t(sim, cfg);
+    const auto g1 = t.reserveLaunch(Direction::Outbound);
+    EXPECT_DOUBLE_EQ(g1.depart_time, 0.0);
+    EXPECT_NEAR(g1.arrive_time, 2.6, 1e-12);
+    // Second launch (either direction) waits for the tube to drain.
+    const auto g2 = t.reserveLaunch(Direction::Outbound);
+    EXPECT_NEAR(g2.depart_time, 2.6, 1e-12);
+    const auto g3 = t.reserveLaunch(Direction::Inbound);
+    EXPECT_NEAR(g3.depart_time, 5.2, 1e-12);
+    EXPECT_EQ(t.launches(), 3u);
+}
+
+TEST(TrackTest, PipelinedConvoysUseHeadway)
+{
+    Simulator sim;
+    DhlConfig cfg = modeConfig(TrackMode::Pipelined);
+    cfg.headway = 1.0;
+    Track t(sim, cfg);
+    const auto g1 = t.reserveLaunch(Direction::Outbound);
+    const auto g2 = t.reserveLaunch(Direction::Outbound);
+    const auto g3 = t.reserveLaunch(Direction::Outbound);
+    EXPECT_DOUBLE_EQ(g1.depart_time, 0.0);
+    EXPECT_DOUBLE_EQ(g2.depart_time, 1.0);
+    EXPECT_DOUBLE_EQ(g3.depart_time, 2.0);
+}
+
+TEST(TrackTest, PipelinedDirectionReversalDrainsTube)
+{
+    Simulator sim;
+    DhlConfig cfg = modeConfig(TrackMode::Pipelined);
+    cfg.headway = 1.0;
+    Track t(sim, cfg);
+    t.reserveLaunch(Direction::Outbound);
+    const auto g2 = t.reserveLaunch(Direction::Outbound); // departs 1.0
+    const auto rev = t.reserveLaunch(Direction::Inbound);
+    // Tube drains when the second cart arrives: 1.0 + 2.6.
+    EXPECT_NEAR(rev.depart_time, g2.arrive_time, 1e-12);
+}
+
+TEST(TrackTest, DualTrackDirectionsAreIndependent)
+{
+    Simulator sim;
+    DhlConfig cfg = modeConfig(TrackMode::DualTrack);
+    cfg.headway = 1.0;
+    Track t(sim, cfg);
+    const auto out1 = t.reserveLaunch(Direction::Outbound);
+    const auto in1 = t.reserveLaunch(Direction::Inbound);
+    EXPECT_DOUBLE_EQ(out1.depart_time, 0.0);
+    EXPECT_DOUBLE_EQ(in1.depart_time, 0.0); // no interaction
+    const auto out2 = t.reserveLaunch(Direction::Outbound);
+    EXPECT_DOUBLE_EQ(out2.depart_time, 1.0);
+    EXPECT_EQ(t.launches(Direction::Outbound), 2u);
+    EXPECT_EQ(t.launches(Direction::Inbound), 1u);
+}
+
+TEST(TrackTest, EnergyAccumulatesPerLaunch)
+{
+    Simulator sim;
+    DhlConfig cfg = defaultConfig();
+    Track t(sim, cfg);
+    const auto g = t.reserveLaunch(Direction::Outbound);
+    EXPECT_NEAR(g.energy, 15040.0, 10.0);
+    t.reserveLaunch(Direction::Inbound);
+    EXPECT_NEAR(t.totalEnergy(), 2.0 * 15040.0, 20.0);
+}
+
+TEST(TrackTest, GrantsNeverDepartBeforeNow)
+{
+    Simulator sim;
+    DhlConfig cfg = modeConfig(TrackMode::Pipelined);
+    Track t(sim, cfg);
+    t.reserveLaunch(Direction::Outbound);
+    sim.schedule(100.0, [] {});
+    sim.run();
+    const auto g = t.reserveLaunch(Direction::Outbound);
+    EXPECT_DOUBLE_EQ(g.depart_time, 100.0);
+}
+
+TEST(TrackTest, DrainTimeTracksLatestArrival)
+{
+    Simulator sim;
+    DhlConfig cfg = modeConfig(TrackMode::Pipelined);
+    cfg.headway = 0.5;
+    Track t(sim, cfg);
+    t.reserveLaunch(Direction::Outbound);
+    const auto g2 = t.reserveLaunch(Direction::Outbound);
+    EXPECT_NEAR(t.drainTime(), g2.arrive_time, 1e-12);
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests for the unit-conversion and formatting helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/units.hpp"
+
+namespace u = dhl::units;
+
+TEST(Units, DecimalDataSizes)
+{
+    EXPECT_DOUBLE_EQ(u::kilobytes(1), 1e3);
+    EXPECT_DOUBLE_EQ(u::megabytes(1), 1e6);
+    EXPECT_DOUBLE_EQ(u::gigabytes(1), 1e9);
+    EXPECT_DOUBLE_EQ(u::terabytes(1), 1e12);
+    EXPECT_DOUBLE_EQ(u::petabytes(29), 29e15);
+}
+
+TEST(Units, BinaryDataSizes)
+{
+    EXPECT_DOUBLE_EQ(u::kibibytes(1), 1024.0);
+    EXPECT_DOUBLE_EQ(u::mebibytes(1), 1048576.0);
+    EXPECT_DOUBLE_EQ(u::gibibytes(1), 1073741824.0);
+    EXPECT_DOUBLE_EQ(u::tebibytes(1), 1099511627776.0);
+    EXPECT_DOUBLE_EQ(u::pebibytes(1), 1125899906842624.0);
+}
+
+TEST(Units, BitsAndRates)
+{
+    EXPECT_DOUBLE_EQ(u::bitsToBytes(8), 1.0);
+    EXPECT_DOUBLE_EQ(u::bytesToBits(1), 8.0);
+    EXPECT_DOUBLE_EQ(u::gigabitsPerSecond(400), 50e9);
+    EXPECT_DOUBLE_EQ(u::terabitsPerSecond(3.8), 475e9);
+    EXPECT_DOUBLE_EQ(u::toGigabitsPerSecond(50e9), 400.0);
+}
+
+TEST(Units, PaperTransferTime29Pb)
+{
+    // The paper's §II-C anchor: 29 PB at 400 Gbit/s = 580,000 s = 6.71
+    // days.
+    const double t = u::petabytes(29) / u::gigabitsPerSecond(400);
+    EXPECT_DOUBLE_EQ(t, 580000.0);
+    EXPECT_NEAR(u::toDays(t), 6.71, 0.005);
+}
+
+TEST(Units, Time)
+{
+    EXPECT_DOUBLE_EQ(u::minutes(2), 120.0);
+    EXPECT_DOUBLE_EQ(u::hours(1), 3600.0);
+    EXPECT_DOUBLE_EQ(u::days(1), 86400.0);
+    EXPECT_DOUBLE_EQ(u::toHours(7200), 2.0);
+    EXPECT_DOUBLE_EQ(u::toMinutes(90), 1.5);
+    EXPECT_DOUBLE_EQ(u::milliseconds(250), 0.25);
+}
+
+TEST(Units, MassEnergyPower)
+{
+    EXPECT_DOUBLE_EQ(u::grams(282), 0.282);
+    EXPECT_DOUBLE_EQ(u::toGrams(0.282), 282.0);
+    EXPECT_DOUBLE_EQ(u::kilojoules(15), 15000.0);
+    EXPECT_DOUBLE_EQ(u::megajoules(13.92), 13.92e6);
+    EXPECT_DOUBLE_EQ(u::toKilojoules(3700), 3.7);
+    EXPECT_DOUBLE_EQ(u::toMegajoules(299.45e6), 299.45);
+    EXPECT_DOUBLE_EQ(u::kilowatts(1.75), 1750.0);
+    EXPECT_DOUBLE_EQ(u::toKilowatts(75000), 75.0);
+}
+
+TEST(Units, GbPerJoule)
+{
+    // The paper's headline: a 512 TB cart at 100 m/s moves 73.3 GB/J.
+    EXPECT_NEAR(u::gbPerJoule(512e12, 6986.7), 73.3, 0.05);
+}
+
+TEST(Units, Pressure)
+{
+    EXPECT_DOUBLE_EQ(u::millibar(1), 100.0);
+    EXPECT_GT(u::kAtmospherePa, u::millibar(1000));
+}
+
+TEST(UnitsFormat, FormatSig)
+{
+    EXPECT_EQ(u::formatSig(0.0), "0");
+    EXPECT_EQ(u::formatSig(8.6, 3), "8.6");
+    EXPECT_EQ(u::formatSig(295.1, 4), "295.1");
+    EXPECT_EQ(u::formatSig(-1.5, 3), "-1.5");
+    EXPECT_EQ(u::formatSig(17.0, 3), "17");
+}
+
+TEST(UnitsFormat, FormatBytes)
+{
+    EXPECT_EQ(u::formatBytes(29e15), "29 PB");
+    EXPECT_EQ(u::formatBytes(256e12), "256 TB");
+    EXPECT_EQ(u::formatBytes(1.5e9), "1.5 GB");
+    EXPECT_EQ(u::formatBytes(512.0), "512 B");
+}
+
+TEST(UnitsFormat, FormatDuration)
+{
+    EXPECT_EQ(u::formatDuration(580000.0), "6.71 days");
+    EXPECT_EQ(u::formatDuration(8.6), "8.6 s");
+    EXPECT_EQ(u::formatDuration(0.25), "250 ms");
+    EXPECT_EQ(u::formatDuration(90.0), "1.5 min");
+}
+
+TEST(UnitsFormat, FormatEnergyPowerBandwidth)
+{
+    EXPECT_EQ(u::formatEnergy(13.92e6), "13.92 MJ");
+    EXPECT_EQ(u::formatEnergy(15040.0), "15.04 kJ");
+    EXPECT_EQ(u::formatPower(1750.0), "1.75 kW");
+    EXPECT_EQ(u::formatBandwidth(30e12), "30 TB/s");
+}
+
+TEST(UnitsFormat, NonFinite)
+{
+    EXPECT_EQ(u::formatSig(std::numeric_limits<double>::quiet_NaN()), "nan");
+    EXPECT_EQ(u::formatSig(std::numeric_limits<double>::infinity()), "inf");
+    EXPECT_EQ(u::formatSig(-std::numeric_limits<double>::infinity()),
+              "-inf");
+}

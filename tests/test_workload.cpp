@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Unit tests for the training workload descriptors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "common/units.hpp"
+#include "mlsim/workload.hpp"
+
+using namespace dhl::mlsim;
+namespace u = dhl::units;
+
+TEST(WorkloadTest, DlrmPreset)
+{
+    const TrainingWorkload w = dlrmWorkload();
+    EXPECT_DOUBLE_EQ(w.dataset_bytes, u::petabytes(29));
+    EXPECT_DOUBLE_EQ(w.model_bytes, u::terabytes(44));
+    EXPECT_DOUBLE_EQ(w.compute_time, 265.0);
+    EXPECT_NO_THROW(validate(w));
+}
+
+TEST(WorkloadTest, ScalingShrinksDatasetAndCompute)
+{
+    const TrainingWorkload w = dlrmWorkload();
+    const TrainingWorkload s = scaled(w, 1e-7);
+    EXPECT_DOUBLE_EQ(s.dataset_bytes, w.dataset_bytes * 1e-7);
+    EXPECT_DOUBLE_EQ(s.compute_time, w.compute_time * 1e-7);
+    EXPECT_NE(s.name, w.name);
+    EXPECT_THROW(scaled(w, 0.0), dhl::FatalError);
+    EXPECT_THROW(scaled(w, -1.0), dhl::FatalError);
+}
+
+TEST(WorkloadTest, ValidationCatchesNonsense)
+{
+    TrainingWorkload w = dlrmWorkload();
+    w.dataset_bytes = 0.0;
+    EXPECT_THROW(validate(w), dhl::FatalError);
+    w = dlrmWorkload();
+    w.compute_time = -1.0;
+    EXPECT_THROW(validate(w), dhl::FatalError);
+    w = dlrmWorkload();
+    w.model_bytes = -1.0;
+    EXPECT_THROW(validate(w), dhl::FatalError);
+}

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit tests for the workload generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "common/units.hpp"
+#include "workloads/generator.hpp"
+
+using namespace dhl::workloads;
+using dhl::Rng;
+namespace u = dhl::units;
+
+TEST(PoissonBulkTest, RateAndSizesRoughlyCalibrated)
+{
+    Rng rng(1);
+    PoissonBulkGenerator gen(60.0, u::terabytes(1), 0.5);
+    const double duration = u::hours(100);
+    const auto reqs = gen.generate(duration, rng);
+    // Expect ~6000 requests at one per minute over 100 h.
+    EXPECT_NEAR(static_cast<double>(reqs.size()), duration / 60.0,
+                duration / 60.0 * 0.1);
+    for (const auto &r : reqs) {
+        ASSERT_GE(r.at, 0.0);
+        ASSERT_LT(r.at, duration);
+        ASSERT_GT(r.bytes, 0.0);
+        EXPECT_EQ(r.tag, "bulk");
+    }
+    // Median of the log-normal should be near the configured median.
+    std::vector<double> sizes;
+    for (const auto &r : reqs)
+        sizes.push_back(r.bytes);
+    std::sort(sizes.begin(), sizes.end());
+    EXPECT_NEAR(sizes[sizes.size() / 2], u::terabytes(1),
+                u::terabytes(1) * 0.1);
+}
+
+TEST(PoissonBulkTest, ZeroSigmaIsConstantSize)
+{
+    Rng rng(2);
+    PoissonBulkGenerator gen(10.0, u::gigabytes(500), 0.0);
+    const auto reqs = gen.generate(u::hours(1), rng);
+    ASSERT_FALSE(reqs.empty());
+    for (const auto &r : reqs)
+        EXPECT_DOUBLE_EQ(r.bytes, u::gigabytes(500));
+}
+
+TEST(PoissonBulkTest, ArrivalsSorted)
+{
+    Rng rng(3);
+    PoissonBulkGenerator gen(5.0, 1e9, 1.0);
+    auto reqs = gen.generate(1000.0, rng);
+    for (std::size_t i = 1; i < reqs.size(); ++i)
+        EXPECT_GE(reqs[i].at, reqs[i - 1].at);
+}
+
+TEST(PeriodicBackupTest, ExactCadenceWithoutJitter)
+{
+    Rng rng(4);
+    PeriodicBackupGenerator gen(u::hours(6), u::petabytes(2));
+    const auto reqs = gen.generate(u::days(1), rng);
+    ASSERT_EQ(reqs.size(), 4u);
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+        EXPECT_DOUBLE_EQ(reqs[i].at, i * u::hours(6));
+        EXPECT_DOUBLE_EQ(reqs[i].bytes, u::petabytes(2));
+        EXPECT_EQ(reqs[i].tag, "backup");
+    }
+    EXPECT_DOUBLE_EQ(totalBytes(reqs), u::petabytes(8));
+}
+
+TEST(PeriodicBackupTest, JitterStaysWithinBounds)
+{
+    Rng rng(5);
+    PeriodicBackupGenerator gen(100.0, 1e12, 0.25);
+    const auto reqs = gen.generate(10000.0, rng);
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+        const double base = static_cast<double>(i) * 100.0;
+        EXPECT_GE(reqs[i].at, base);
+        EXPECT_LT(reqs[i].at, base + 25.0);
+    }
+}
+
+TEST(BurstSourceTest, LhcStyleBursts)
+{
+    Rng rng(6);
+    BurstSourceGenerator gen(u::terabytes(150), 4.0, u::minutes(20));
+    EXPECT_DOUBLE_EQ(gen.burstBytes(), u::terabytes(600));
+    const auto reqs = gen.generate(u::hours(2), rng);
+    ASSERT_EQ(reqs.size(), 6u);
+    EXPECT_DOUBLE_EQ(reqs[0].at, 4.0); // ready when the fill completes
+    EXPECT_DOUBLE_EQ(reqs[1].at, u::minutes(20) + 4.0);
+    for (const auto &r : reqs)
+        EXPECT_DOUBLE_EQ(r.bytes, u::terabytes(600));
+}
+
+TEST(ZipfDatasetTest, PopularSetsAccessedMore)
+{
+    Rng rng(7);
+    ZipfDatasetGenerator gen(
+        {{"hot", u::petabytes(29)}, {"warm", u::petabytes(13)},
+         {"cool", u::petabytes(3)}},
+        60.0, 1.2);
+    const auto reqs = gen.generate(u::days(30), rng);
+    ASSERT_GT(reqs.size(), 1000u);
+    std::size_t hot = 0, cool = 0;
+    for (const auto &r : reqs) {
+        if (r.tag == "hot")
+            ++hot;
+        else if (r.tag == "cool")
+            ++cool;
+    }
+    EXPECT_GT(hot, 2 * cool);
+}
+
+TEST(GeneratorValidation, RejectsNonsense)
+{
+    Rng rng(8);
+    EXPECT_THROW(PoissonBulkGenerator(0.0, 1e9), dhl::FatalError);
+    EXPECT_THROW(PoissonBulkGenerator(1.0, 0.0), dhl::FatalError);
+    EXPECT_THROW(PeriodicBackupGenerator(0.0, 1e9), dhl::FatalError);
+    EXPECT_THROW(PeriodicBackupGenerator(10.0, 1e9, 1.0),
+                 dhl::FatalError);
+    EXPECT_THROW(BurstSourceGenerator(0.0, 1.0, 10.0), dhl::FatalError);
+    EXPECT_THROW(BurstSourceGenerator(1e9, 10.0, 5.0), dhl::FatalError);
+    EXPECT_THROW(ZipfDatasetGenerator({}, 1.0), dhl::FatalError);
+    PoissonBulkGenerator ok(1.0, 1e9);
+    EXPECT_THROW(ok.generate(0.0, rng), dhl::FatalError);
+}

@@ -1,0 +1,432 @@
+/**
+ * @file
+ * dhl_cli — the command-line front end to the library.
+ *
+ * Subcommands:
+ *
+ *   launch     single-launch metrics for a DHL configuration
+ *   bulk       move a dataset: trips, time, energy, route comparisons
+ *   simulate   the same move on the event-driven simulator
+ *   cost       materials cost (Table VIII) for a configuration
+ *   tco        capex + energy opex vs the optical network
+ *   crossover  break-even dataset sizes vs a single optical link
+ *   ingest     training-epoch ingestion: utilisation and stalls
+ *
+ * Every subcommand shares the configuration flags --speed, --length,
+ * --ssds (the paper's three swept parameters) plus --dock, --mode and
+ * --stations where they apply.  `dhl_cli <cmd> --help` lists them.
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+
+#include "common/args.hpp"
+#include "common/logging.hpp"
+#include "common/properties.hpp"
+#include "common/units.hpp"
+#include "cost/opex.hpp"
+#include "dhl/comparison.hpp"
+#include "dhl/config_io.hpp"
+#include "dhl/fleet.hpp"
+#include "dhl/simulation.hpp"
+#include "mlsim/ingest_sim.hpp"
+
+using namespace dhl;
+namespace u = dhl::units;
+
+namespace {
+
+/** Register the shared configuration flags. */
+void
+addConfigFlags(ArgParser &args)
+{
+    args.addOption("config",
+                   "properties file with the full configuration "
+                   "(flags override it)");
+    args.addOption("speed", "maximum cart speed, m/s", "200");
+    args.addOption("length", "track length, m", "500");
+    args.addOption("ssds", "M.2 SSDs per cart", "32");
+    args.addOption("dock", "dock/undock time, s", "3");
+    args.addOption("mode", "track mode: exclusive|pipelined|dual",
+                   "exclusive");
+    args.addOption("stations", "rack docking stations", "1");
+}
+
+/** Build a DhlConfig from --config (if given) plus the shared flags. */
+core::DhlConfig
+configFromFlags(const ArgParser &args)
+{
+    core::DhlConfig cfg = core::defaultConfig();
+    const bool from_file = args.provided("config");
+    if (from_file)
+        cfg = core::loadConfig(Properties::fromFile(args.get("config")));
+
+    // Flags override the file; without a file, flag defaults apply.
+    auto apply = [&](const char *flag, auto setter) {
+        if (!from_file || args.provided(flag))
+            setter();
+    };
+    apply("speed", [&] { cfg.max_speed = args.getDouble("speed"); });
+    apply("length",
+          [&] { cfg.track_length = args.getDouble("length"); });
+    apply("ssds", [&] {
+        cfg.ssds_per_cart =
+            static_cast<std::size_t>(args.getInt("ssds"));
+    });
+    apply("dock", [&] { cfg.dock_time = args.getDouble("dock"); });
+    apply("mode", [&] {
+        const std::string mode = args.get("mode");
+        if (mode == "exclusive") {
+            cfg.track_mode = core::TrackMode::Exclusive;
+        } else if (mode == "pipelined") {
+            cfg.track_mode = core::TrackMode::Pipelined;
+        } else if (mode == "dual") {
+            cfg.track_mode = core::TrackMode::DualTrack;
+        } else {
+            fatal("unknown --mode '" + mode +
+                  "' (expected exclusive|pipelined|dual)");
+        }
+    });
+    apply("stations", [&] {
+        cfg.docking_stations =
+            static_cast<std::size_t>(args.getInt("stations"));
+    });
+    // Bulk runs may need many carts.
+    cfg.library_slots = std::max<std::size_t>(cfg.library_slots, 4096);
+    return cfg;
+}
+
+int
+cmdLaunch(int argc, const char *const *argv)
+{
+    ArgParser args("dhl_cli launch", "single-launch metrics");
+    addConfigFlags(args);
+    if (!args.parse(argc, argv, std::cout))
+        return 0;
+    const core::DhlConfig cfg = configFromFlags(args);
+    const core::AnalyticalModel model(cfg);
+    const auto m = model.launch();
+    std::cout << cfg.label() << "\n"
+              << "  cart mass     "
+              << u::formatSig(u::toGrams(m.cart_mass), 4) << " g\n"
+              << "  capacity      " << u::formatBytes(m.capacity) << "\n"
+              << "  energy        " << u::formatEnergy(m.energy) << "\n"
+              << "  trip time     " << u::formatDuration(m.trip_time)
+              << "\n"
+              << "  bandwidth     " << u::formatBandwidth(m.bandwidth)
+              << "\n"
+              << "  peak power    " << u::formatPower(m.peak_power) << "\n"
+              << "  avg power     " << u::formatPower(m.avg_power) << "\n"
+              << "  efficiency    " << u::formatSig(m.efficiency, 4)
+              << " GB/J\n";
+    return 0;
+}
+
+int
+cmdBulk(int argc, const char *const *argv)
+{
+    ArgParser args("dhl_cli bulk",
+                   "closed-form bulk move with route comparisons");
+    addConfigFlags(args);
+    args.addOption("petabytes", "dataset size, PB", "29");
+    args.addSwitch("pipelined", "overlap shuttling (dual-track model)");
+    if (!args.parse(argc, argv, std::cout))
+        return 0;
+    const core::DhlConfig cfg = configFromFlags(args);
+    const double bytes = u::petabytes(args.getDouble("petabytes"));
+    core::BulkOptions opts;
+    opts.pipelined = args.getSwitch("pipelined");
+
+    const auto row = core::computeDesignSpaceRow(cfg, bytes, opts);
+    std::cout << cfg.label() << " moving " << u::formatBytes(bytes)
+              << ":\n"
+              << "  carts/trips   " << row.bulk.loaded_trips << " loaded, "
+              << row.bulk.total_trips << " total\n"
+              << "  time          "
+              << u::formatDuration(row.bulk.total_time) << "\n"
+              << "  energy        "
+              << u::formatEnergy(row.bulk.total_energy) << "\n"
+              << "  avg power     "
+              << u::formatPower(row.bulk.avg_power) << "\n"
+              << "  speedup       "
+              << u::formatSig(row.time_speedup, 4)
+              << "x vs one 400 Gbit/s link\n";
+    for (const auto &rc : row.routes) {
+        std::cout << "  vs " << rc.route_name << "        "
+                  << u::formatSig(rc.energy_reduction, 4)
+                  << "x less energy\n";
+    }
+    return 0;
+}
+
+int
+cmdSimulate(int argc, const char *const *argv)
+{
+    ArgParser args("dhl_cli simulate",
+                   "event-driven bulk move (carts, stations, queueing)");
+    addConfigFlags(args);
+    args.addOption("petabytes", "dataset size, PB", "1");
+    args.addSwitch("pipelined", "issue all carts up front");
+    args.addSwitch("reads", "read each cart at the rack");
+    args.addOption("failures", "per-SSD per-trip failure probability",
+                   "0");
+    if (!args.parse(argc, argv, std::cout))
+        return 0;
+    const core::DhlConfig cfg = configFromFlags(args);
+    core::DhlSimulation sim(cfg);
+    core::BulkRunOptions opts;
+    opts.pipelined = args.getSwitch("pipelined");
+    opts.include_read_time = args.getSwitch("reads");
+    opts.failure_per_trip = args.getDouble("failures");
+    const auto r = sim.runBulkTransfer(
+        u::petabytes(args.getDouble("petabytes")), opts);
+    std::cout << cfg.label() << " (DES):\n"
+              << "  carts         " << r.carts << "\n"
+              << "  launches      " << r.launches << "\n"
+              << "  time          " << u::formatDuration(r.total_time)
+              << "\n"
+              << "  energy        " << u::formatEnergy(r.total_energy)
+              << "\n"
+              << "  bandwidth     "
+              << u::formatBandwidth(r.effective_bandwidth) << "\n"
+              << "  ssd failures  " << r.ssd_failures << "\n";
+    return 0;
+}
+
+int
+cmdCost(int argc, const char *const *argv)
+{
+    ArgParser args("dhl_cli cost", "materials cost (Table VIII)");
+    args.addOption("speed", "top speed, m/s", "200");
+    args.addOption("length", "track length, m", "500");
+    if (!args.parse(argc, argv, std::cout))
+        return 0;
+    cost::CostModel model;
+    const double d = args.getDouble("length");
+    const double v = args.getDouble("speed");
+    const auto rail = model.railCost(d);
+    const auto lim = model.limCost(v);
+    std::cout << "DHL " << d << " m @ " << v << " m/s:\n"
+              << "  aluminium rings  $" << u::formatSig(rail.aluminium, 4)
+              << "\n  PVC rail         $" << u::formatSig(rail.pvc_rail, 4)
+              << "\n  PVC vacuum tube  $" << u::formatSig(rail.pvc_tube, 4)
+              << "\n  LIM copper       $" << u::formatSig(lim.copper, 4)
+              << "\n  VFD              $" << u::formatSig(lim.vfd, 4)
+              << "\n  total            $"
+              << u::formatSig(model.totalCost(d, v), 5) << "\n";
+    return 0;
+}
+
+int
+cmdTco(int argc, const char *const *argv)
+{
+    ArgParser args("dhl_cli tco", "capex + energy opex vs the network");
+    addConfigFlags(args);
+    args.addOption("petabytes", "bytes per transfer, PB", "2");
+    args.addOption("per-day", "transfers per day", "4");
+    args.addOption("years", "deployment lifetime, years", "5");
+    args.addOption("route", "network route: A0|A1|A2|B|C", "C");
+    if (!args.parse(argc, argv, std::cout))
+        return 0;
+    cost::TcoModel model;
+    cost::TransferDuty duty{};
+    duty.bytes_per_transfer = u::petabytes(args.getDouble("petabytes"));
+    duty.transfers_per_day = args.getDouble("per-day");
+    duty.years = args.getDouble("years");
+    const auto cmp = model.compare(configFromFlags(args),
+                                   network::findRoute(args.get("route")),
+                                   duty);
+    auto print = [](const char *side, const cost::CostLedger &l) {
+        std::cout << "  " << side << ": capex $"
+                  << u::formatSig(l.capex, 5) << ", energy "
+                  << u::formatEnergy(l.energy_per_day) << "/day, opex $"
+                  << u::formatSig(l.opex_per_year, 4) << "/yr, total $"
+                  << u::formatSig(l.total, 5) << "\n";
+    };
+    print("DHL    ", cmp.dhl);
+    print("network", cmp.network);
+    std::cout << "  payback: "
+              << (cmp.payback_days == 0.0
+                      ? "immediate"
+                      : u::formatSig(cmp.payback_days, 4) + " days")
+              << "\n";
+    return 0;
+}
+
+int
+cmdCrossover(int argc, const char *const *argv)
+{
+    ArgParser args("dhl_cli crossover",
+                   "break-even dataset sizes vs one optical link");
+    addConfigFlags(args);
+    args.addOption("route", "network route: A0|A1|A2|B|C", "A0");
+    if (!args.parse(argc, argv, std::cout))
+        return 0;
+    const core::DhlConfig cfg = configFromFlags(args);
+    const auto be =
+        core::breakEven(cfg, network::findRoute(args.get("route")));
+    std::cout << cfg.label() << " vs route " << be.route_name << ":\n"
+              << "  wins on time from    "
+              << u::formatBytes(be.bytes_for_time) << "\n"
+              << "  wins on energy from  "
+              << u::formatBytes(be.bytes_for_energy) << "\n"
+              << "  wins outright from   "
+              << u::formatBytes(be.bytes_to_win()) << "\n";
+    return 0;
+}
+
+int
+cmdIngest(int argc, const char *const *argv)
+{
+    ArgParser args("dhl_cli ingest",
+                   "training-epoch ingestion: utilisation and stalls");
+    addConfigFlags(args);
+    args.addOption("petabytes", "dataset size, PB", "1");
+    args.addOption("batch-tb", "batch size, TB", "1");
+    args.addOption("compute", "compute per batch, s", "5");
+    args.addOption("buffer-tb", "staging buffer, TB", "512");
+    args.addOption("links", "use N network links instead of the DHL",
+                   "0");
+    args.addOption("route", "network route when --links > 0", "A0");
+    args.addSwitch("pipelined", "pipeline DHL returns");
+    if (!args.parse(argc, argv, std::cout))
+        return 0;
+
+    mlsim::IngestConfig icfg;
+    icfg.batch_bytes = u::terabytes(args.getDouble("batch-tb"));
+    icfg.step_compute_time = args.getDouble("compute");
+    icfg.buffer_capacity = u::terabytes(args.getDouble("buffer-tb"));
+    mlsim::IngestSim sim(icfg);
+
+    const double dataset = u::petabytes(args.getDouble("petabytes"));
+    const double links = args.getDouble("links");
+    const mlsim::IngestResult r =
+        links > 0.0
+            ? sim.runWithNetwork(dataset,
+                                 network::findRoute(args.get("route")),
+                                 links)
+            : sim.runWithDhl(dataset, configFromFlags(args),
+                             args.getSwitch("pipelined"));
+    std::cout << "epoch over " << u::formatBytes(dataset)
+              << (links > 0.0 ? " via " + args.get("route") + " x" +
+                                    args.get("links")
+                              : " via DHL")
+              << ":\n"
+              << "  epoch time    " << u::formatDuration(r.epoch_time)
+              << "\n"
+              << "  steps         " << r.steps << "\n"
+              << "  compute busy  " << u::formatDuration(r.compute_busy)
+              << "\n"
+              << "  stalled       " << u::formatDuration(r.stall_time)
+              << "\n"
+              << "  utilisation   " << u::formatSig(r.utilisation * 100, 3)
+              << " %\n";
+    return 0;
+}
+
+int
+cmdFleet(int argc, const char *const *argv)
+{
+    ArgParser args("dhl_cli fleet",
+                   "event-driven bulk move over K parallel tracks");
+    addConfigFlags(args);
+    args.addOption("petabytes", "dataset size, PB", "2.9");
+    args.addOption("tracks", "parallel DHL tracks", "2");
+    args.addSwitch("reads", "read each cart at the rack");
+    if (!args.parse(argc, argv, std::cout))
+        return 0;
+    const core::DhlConfig cfg = configFromFlags(args);
+    const auto tracks =
+        static_cast<std::size_t>(args.getInt("tracks"));
+    core::DhlFleet fleet(cfg, tracks);
+    core::BulkRunOptions opts;
+    opts.include_read_time = args.getSwitch("reads");
+    const auto r = fleet.runBulkTransfer(
+        u::petabytes(args.getDouble("petabytes")), opts);
+    std::cout << tracks << " x " << cfg.label() << " (DES fleet):\n"
+              << "  carts         " << r.carts << "\n"
+              << "  launches      " << r.launches << "\n"
+              << "  time          " << u::formatDuration(r.total_time)
+              << "\n"
+              << "  energy        " << u::formatEnergy(r.total_energy)
+              << "\n"
+              << "  fleet power   " << u::formatPower(r.avg_power)
+              << "\n"
+              << "  bandwidth     "
+              << u::formatBandwidth(r.effective_bandwidth) << "\n";
+    return 0;
+}
+
+int
+cmdConfig(int argc, const char *const *argv)
+{
+    ArgParser args("dhl_cli config",
+                   "emit the resolved configuration as a properties "
+                   "file (redirect to save it)");
+    addConfigFlags(args);
+    if (!args.parse(argc, argv, std::cout))
+        return 0;
+    std::cout << core::saveConfig(configFromFlags(args)).toString();
+    return 0;
+}
+
+void
+usage(std::ostream &os)
+{
+    os << "dhl_cli — data centre hyperloop modelling toolkit\n\n"
+       << "Usage: dhl_cli <command> [flags]\n\n"
+       << "Commands:\n"
+       << "  launch     single-launch metrics\n"
+       << "  bulk       closed-form bulk move + route comparisons\n"
+       << "  simulate   event-driven bulk move\n"
+       << "  cost       materials cost (Table VIII)\n"
+       << "  tco        capex + energy opex vs the network\n"
+       << "  crossover  break-even dataset sizes (§V-E)\n"
+       << "  ingest     training-epoch ingestion stalls\n"
+       << "  fleet      event-driven bulk move over parallel tracks\n"
+       << "  config     emit the resolved configuration as properties\n\n"
+       << "Run 'dhl_cli <command> --help' for that command's flags.\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage(std::cout);
+        return 1;
+    }
+    const std::string cmd = argv[1];
+    try {
+        if (cmd == "launch")
+            return cmdLaunch(argc - 1, argv + 1);
+        if (cmd == "bulk")
+            return cmdBulk(argc - 1, argv + 1);
+        if (cmd == "simulate")
+            return cmdSimulate(argc - 1, argv + 1);
+        if (cmd == "cost")
+            return cmdCost(argc - 1, argv + 1);
+        if (cmd == "tco")
+            return cmdTco(argc - 1, argv + 1);
+        if (cmd == "crossover")
+            return cmdCrossover(argc - 1, argv + 1);
+        if (cmd == "ingest")
+            return cmdIngest(argc - 1, argv + 1);
+        if (cmd == "fleet")
+            return cmdFleet(argc - 1, argv + 1);
+        if (cmd == "config")
+            return cmdConfig(argc - 1, argv + 1);
+        if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+            usage(std::cout);
+            return 0;
+        }
+        std::cerr << "unknown command: " << cmd << "\n\n";
+        usage(std::cerr);
+        return 1;
+    } catch (const FatalError &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}
