@@ -1,30 +1,84 @@
 /**
  * @file
- * Shared helpers for the table-regeneration harness: --csv flag parsing
- * and a uniform header banner.
+ * Shared helpers for the table-regeneration harness: flag parsing
+ * (--csv, --jobs N), a uniform header banner, and table emission.
+ *
+ * All row formatting lives with the models (e.g. mlsim::sweepRows) or
+ * inside the bench's scenario closures; the benches build scenario
+ * lists, submit them to an exp::ExperimentRunner, and emit the
+ * runner's result table here.  Serial (--jobs 1) and parallel runs
+ * print byte-identical tables.
  */
 
 #ifndef DHL_BENCH_BENCH_UTIL_HPP
 #define DHL_BENCH_BENCH_UTIL_HPP
 
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
 
+#include "common/logging.hpp"
 #include "common/table.hpp"
+#include "exp/experiment_runner.hpp"
 
 namespace dhl {
 namespace bench {
 
-/** True if the user asked for CSV output. */
+/** Parsed harness options shared by every table regenerator. */
+struct Options
+{
+    bool csv = false;      ///< Emit CSV instead of the boxed table.
+    std::size_t jobs = 0;  ///< Scenario parallelism; 0 = all cores.
+};
+
+/** Parse a --jobs operand; prints an error and exits on garbage. */
+inline std::size_t
+parseJobs(const char *value)
+{
+    bool numeric = *value != '\0';
+    for (const char *p = value; numeric && *p; ++p)
+        numeric = *p >= '0' && *p <= '9';
+    if (!numeric) {
+        std::cerr << "error: --jobs expects an integer, got '" << value
+                  << "'\n";
+        std::exit(2);
+    }
+    return static_cast<std::size_t>(std::stoul(value));
+}
+
+/** Parse --csv and --jobs N / --jobs=N; ignores everything else. */
+inline Options
+parseArgs(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--csv") == 0) {
+            opts.csv = true;
+        } else if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
+            opts.jobs = parseJobs(argv[++i]);
+        } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+            opts.jobs = parseJobs(arg + 7);
+        }
+    }
+    return opts;
+}
+
+/** True if the user asked for CSV output (shorthand for parseArgs). */
 inline bool
 wantCsv(int argc, char **argv)
 {
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--csv") == 0)
-            return true;
-    }
-    return false;
+    return parseArgs(argc, argv).csv;
+}
+
+/** Runner options for the parsed flags. */
+inline exp::RunOptions
+runOptions(const Options &opts)
+{
+    exp::RunOptions ro;
+    ro.jobs = opts.jobs;
+    return ro;
 }
 
 /** Print a banner naming the regenerated paper artefact. */
@@ -48,6 +102,17 @@ emit(const TextTable &table, bool csv)
         table.printCsv(std::cout);
     else
         table.print(std::cout);
+}
+
+/**
+ * Emit an experiment result: render through common/table with group
+ * separators in text mode (CSV skips them, as before).
+ */
+inline void
+emit(const exp::ExperimentResult &result,
+     std::vector<std::string> headers, const Options &opts)
+{
+    emit(result.table(std::move(headers), !opts.csv), opts.csv);
 }
 
 } // namespace bench

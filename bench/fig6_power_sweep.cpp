@@ -5,8 +5,10 @@
  * budget, with quantised DHL series (one point per whole track) and
  * continuous network series for A0/A1/A2/B/C.
  *
- * Output is a tidy series table (and CSV with --csv) plus an ASCII
- * sketch of the log-log plot.
+ * Each series is one runner scenario (an independent model run); the
+ * grid is evaluated across --jobs cores and emitted once from the
+ * runner's result rows.  Output is a tidy series table (and CSV with
+ * --csv) plus an ASCII sketch of the log-log plot.
  */
 
 #include <algorithm>
@@ -74,15 +76,15 @@ sketch(const std::vector<SweepSeries> &series)
 int
 main(int argc, char **argv)
 {
-    const bool csv = bench::wantCsv(argc, argv);
-    if (!csv) {
+    const bench::Options opts = bench::parseArgs(argc, argv);
+    if (!opts.csv) {
         bench::banner("Figure 6",
                       "time per DLRM iteration vs communication power "
                       "budget");
     }
 
     const TrainingWorkload workload = dlrmWorkload();
-    std::vector<SweepSeries> series;
+    const double max_power = 40e3; // 40 kW x-range
 
     // DHL curves: the paper plots several DHL-X-Y-Z configurations.
     const std::vector<core::DhlConfig> dhl_cfgs = {
@@ -90,34 +92,29 @@ main(int argc, char **argv)
         core::makeConfig(100, 500, 32),  // slower, more efficient
         core::makeConfig(200, 500, 64),  // bigger carts
     };
-    const double max_power = 40e3; // 40 kW x-range
+
+    // One scenario per series; each writes its SweepSeries into its
+    // own slot for the sketch below.
+    std::vector<SweepSeries> series(
+        dhl_cfgs.size() + network::canonicalRoutes().size());
+    exp::Experiment fig6("fig6_power_sweep");
+    std::size_t slot = 0;
     for (const auto &cfg : dhl_cfgs) {
-        DhlComm comm(cfg);
-        TrainingSim sim(workload, comm);
-        series.push_back(sweepQuantised(sim, max_power));
+        fig6.add(dhlSweepScenario(workload, cfg, max_power,
+                                  &series[slot++]))
+            .separator_after = true;
     }
-
-    // Network curves: continuous link counts.
     for (const auto &route : network::canonicalRoutes()) {
-        OpticalComm comm(route);
-        TrainingSim sim(workload, comm);
-        series.push_back(
-            sweepContinuous(sim, 1.0e3, max_power, 16));
+        fig6.add(opticalSweepScenario(workload, route, 1.0e3, max_power,
+                                      16, &series[slot++]))
+            .separator_after = true;
     }
 
-    TextTable table({"Series", "Power (kW)", "Units", "Time/iter (s)"});
-    for (const auto &s : series) {
-        for (const auto &pt : s.points) {
-            table.addRow({s.name, cell(u::toKilowatts(pt.power), 4),
-                          cell(pt.units, 4), cell(pt.iter_time, 5)});
-        }
-        if (!csv)
-            table.addSeparator();
-    }
-    bench::emit(table, csv);
+    const exp::ExperimentRunner runner(bench::runOptions(opts));
+    const exp::ExperimentResult result = runner.run(fig6);
+    bench::emit(result, sweepHeaders(), opts);
 
-    if (!csv) {
-        // Reorder so the DHL curves sketch first.
+    if (!opts.csv) {
         sketch(series);
         std::cout << "\nPaper shape check: for any budget the DHL "
                   << "curves sit below every network curve, and network "

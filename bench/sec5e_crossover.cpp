@@ -4,6 +4,9 @@
  * analysis: the smallest dataset and distance at which a DHL beats a
  * single optical link, including the paper's 360 GB / 10 m/s / 10 m
  * anchor point, plus a break-even frontier sweep.
+ *
+ * One runner scenario per track length (each sweeping all speeds),
+ * evaluated across --jobs cores; row groups per length as before.
  */
 
 #include <iostream>
@@ -19,8 +22,8 @@ namespace u = dhl::units;
 int
 main(int argc, char **argv)
 {
-    const bool csv = bench::wantCsv(argc, argv);
-    if (!csv) {
+    const bench::Options opts = bench::parseArgs(argc, argv);
+    if (!opts.csv) {
         bench::banner("§V-E",
                       "minimum specifications for DHL to outperform a "
                       "400 Gbit/s optical link (A0)");
@@ -29,7 +32,7 @@ main(int argc, char **argv)
     //----------------------------------------------------------------
     // The paper's anchor: a 10 m DHL at 10 m/s.
     //----------------------------------------------------------------
-    if (!csv) {
+    if (!opts.csv) {
         DhlConfig tiny = makeConfig(10.0, 10.0, 32);
         const AnalyticalModel m(tiny);
         const auto lm = m.launch();
@@ -54,29 +57,39 @@ main(int argc, char **argv)
     }
 
     //----------------------------------------------------------------
-    // The frontier: sweep distance and speed.
+    // The frontier: sweep distance and speed, one scenario per length.
     //----------------------------------------------------------------
     const std::vector<double> lengths = {10, 20, 50, 100, 200, 500, 1000};
     const std::vector<double> speeds = {10, 20, 50, 100, 200, 300};
-    const auto points = crossoverSweep(lengths, speeds);
 
-    TextTable table({"Length (m)", "Speed (m/s)", "Trip (s)",
-                     "Launch (J)", "Break-even time (GB)",
-                     "Break-even energy (GB)", "DHL wins from (GB)"});
-    double prev_len = -1.0;
-    for (const auto &p : points) {
-        if (!csv && prev_len >= 0.0 && p.track_length != prev_len)
-            table.addSeparator();
-        prev_len = p.track_length;
-        table.addRow({cell(p.track_length, 5), cell(p.max_speed, 4),
-                      cell(p.trip_time, 4), cell(p.launch_energy, 4),
-                      cell(p.vs_a0.bytes_for_time / 1e9, 4),
-                      cell(p.vs_a0.bytes_for_energy / 1e9, 4),
-                      cell(p.vs_a0.bytes_to_win() / 1e9, 4)});
+    exp::Experiment frontier("sec5e_crossover");
+    for (const double length : lengths) {
+        frontier.add(
+            "L" + cell(length, 5),
+            [length, speeds](exp::ScenarioContext &) -> exp::ScenarioRows {
+                exp::ScenarioRows rows;
+                for (const auto &p : crossoverSweep({length}, speeds)) {
+                    rows.push_back(
+                        {cell(p.track_length, 5), cell(p.max_speed, 4),
+                         cell(p.trip_time, 4), cell(p.launch_energy, 4),
+                         cell(p.vs_a0.bytes_for_time / 1e9, 4),
+                         cell(p.vs_a0.bytes_for_energy / 1e9, 4),
+                         cell(p.vs_a0.bytes_to_win() / 1e9, 4)});
+                }
+                return rows;
+            },
+            true);
     }
-    bench::emit(table, csv);
 
-    if (!csv) {
+    const exp::ExperimentRunner runner(bench::runOptions(opts));
+    const exp::ExperimentResult result = runner.run(frontier);
+    bench::emit(result,
+                {"Length (m)", "Speed (m/s)", "Trip (s)", "Launch (J)",
+                 "Break-even time (GB)", "Break-even energy (GB)",
+                 "DHL wins from (GB)"},
+                opts);
+
+    if (!opts.csv) {
         std::cout << "\nReading the frontier: the docking floor (6 s) "
                   << "dominates short tracks, so the time break-even "
                   << "hovers near 6 s x 50 GB/s = 300 GB and grows with "

@@ -4,6 +4,10 @@
  * design-space exploration (single-launch metrics for every
  * speed/length/capacity configuration) and the 29 PB bulk-move
  * comparison (time speedup and per-route energy reductions).
+ *
+ * One runner scenario per configuration: the design space is an
+ * embarrassingly parallel grid, evaluated across --jobs cores with
+ * rows emitted in declaration order.
  */
 
 #include <iostream>
@@ -17,11 +21,36 @@ using namespace dhl;
 using namespace dhl::core;
 namespace u = dhl::units;
 
+namespace {
+
+/** Format one computed Table VI row. */
+std::vector<std::string>
+formatRow(const DhlConfig &cfg, const DesignSpaceRow &computed)
+{
+    const auto &lm = computed.launch;
+    std::vector<std::string> cells{
+        cell(cfg.max_speed, 4),
+        cell(cfg.track_length, 5),
+        cell(lm.capacity / u::terabytes(1), 4),
+        cell(u::toKilojoules(lm.energy), 3),
+        cell(lm.efficiency, 3),
+        cell(lm.trip_time, 3),
+        cell(lm.bandwidth / u::terabytes(1), 3),
+        cell(u::toKilowatts(lm.peak_power), 3),
+        cellTimes(computed.time_speedup, 4),
+    };
+    for (const auto &rc : computed.routes)
+        cells.push_back(cellTimes(rc.energy_reduction, 4));
+    return cells;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    const bool csv = bench::wantCsv(argc, argv);
-    if (!csv) {
+    const bench::Options opts = bench::parseArgs(argc, argv);
+    if (!opts.csv) {
         bench::banner("Table VI",
                       "DHL design-space exploration and 29 PB move vs "
                       "400 Gbit/s routes");
@@ -29,37 +58,29 @@ main(int argc, char **argv)
 
     const double dataset = storage::referenceDlrmDataset().size;
 
-    TextTable table({"Speed (m/s)", "Length (m)", "Cart (TB)",
-                     "Energy (kJ)", "Eff (GB/J)", "Time (s)", "BW (TB/s)",
-                     "Peak (kW)", "Speedup", "vs A0", "vs A1", "vs A2",
-                     "vs B", "vs C"});
-
+    exp::Experiment table6("table6_design_space");
     for (std::size_t i = 0; i < tableViRows().size(); ++i) {
-        const auto &row = tableViRows()[i];
+        const DhlConfig cfg = tableViRows()[i].config;
         // Visual groups of three rows, as in the paper.
-        if (i > 0 && i % 3 == 0 && i < 12)
-            table.addSeparator();
-        const auto computed = computeDesignSpaceRow(row.config, dataset);
-        const auto &lm = computed.launch;
-
-        std::vector<std::string> cells{
-            cell(row.config.max_speed, 4),
-            cell(row.config.track_length, 5),
-            cell(lm.capacity / u::terabytes(1), 4),
-            cell(u::toKilojoules(lm.energy), 3),
-            cell(lm.efficiency, 3),
-            cell(lm.trip_time, 3),
-            cell(lm.bandwidth / u::terabytes(1), 3),
-            cell(u::toKilowatts(lm.peak_power), 3),
-            cellTimes(computed.time_speedup, 4),
-        };
-        for (const auto &rc : computed.routes)
-            cells.push_back(cellTimes(rc.energy_reduction, 4));
-        table.addRow(std::move(cells));
+        const bool group_end = ((i + 1) % 3 == 0 && i + 1 < 12);
+        table6.add(
+            cfg.label(),
+            [cfg, dataset](exp::ScenarioContext &) -> exp::ScenarioRows {
+                return {formatRow(cfg,
+                                  computeDesignSpaceRow(cfg, dataset))};
+            },
+            group_end);
     }
-    bench::emit(table, csv);
 
-    if (!csv) {
+    const exp::ExperimentRunner runner(bench::runOptions(opts));
+    const exp::ExperimentResult result = runner.run(table6);
+    bench::emit(result,
+                {"Speed (m/s)", "Length (m)", "Cart (TB)", "Energy (kJ)",
+                 "Eff (GB/J)", "Time (s)", "BW (TB/s)", "Peak (kW)",
+                 "Speedup", "vs A0", "vs A1", "vs A2", "vs B", "vs C"},
+                opts);
+
+    if (!opts.csv) {
         std::cout
             << "\nPaper reference rows (energy kJ / GB-J / time s / TB-s "
             << "/ kW / speedup / vsA0 / vsC):\n";

@@ -11,6 +11,9 @@
  * §3).  Absolute times land near the paper's; the scheme-to-scheme
  * ratios match the per-link power ratios by construction, as they do in
  * the paper.
+ *
+ * Each scheme row of (a) and (b) is one runner scenario over the shared
+ * DHL baseline (budget, iteration time), evaluated across --jobs cores.
  */
 
 #include <iostream>
@@ -49,8 +52,8 @@ const PaperRow kPaper[] = {
 int
 main(int argc, char **argv)
 {
-    const bool csv = bench::wantCsv(argc, argv);
-    if (!csv) {
+    const bench::Options opts = bench::parseArgs(argc, argv);
+    if (!opts.csv) {
         bench::banner("Table VII",
                       "DLRM iteration: iso-power (a) and iso-time (b) "
                       "vs one DHL-200-500-256");
@@ -60,57 +63,92 @@ main(int argc, char **argv)
     DhlComm dhl_comm(core::defaultConfig());
     TrainingSim dhl_sim(workload, dhl_comm);
 
-    // The paper's budget: the average power of one DHL.
+    // The shared baseline: the average power of one DHL, and the
+    // iteration time it affords.  Computed once, captured immutably by
+    // every scenario below.
     const double budget = dhl_comm.unitPower();
-    const auto dhl_iter = dhl_sim.isoPower(budget);
-    const double dhl_time = dhl_iter.iter_time;
+    const double dhl_time = dhl_sim.isoPower(budget).iter_time;
 
     //----------------------------------------------------------------
     // (a) iso-power
     //----------------------------------------------------------------
-    TextTable a({"Scheme", "Avg power (kW)", "Time/iter (s)",
-                 "Slowdown", "Paper time (s)", "Paper slowdown"});
-    a.addRow({"DHL", cell(u::toKilowatts(budget), 3),
-              cell(dhl_time, 5), "1x", cell(kPaper[0].time_a, 5), "1x"});
-    std::size_t idx = 1;
-    for (const auto &route : network::canonicalRoutes()) {
-        OpticalComm net(route);
-        TrainingSim sim(workload, net);
-        const auto r = sim.isoPower(budget);
-        a.addRow({route.name(), cell(u::toKilowatts(budget), 3),
-                  cell(r.iter_time, 5),
-                  cellTimes(r.iter_time / dhl_time, 3),
-                  cell(kPaper[idx].time_a, 5),
-                  cellTimes(kPaper[idx].slowdown_a, 3)});
-        ++idx;
+    exp::Experiment iso_power("table7a_iso_power");
+    iso_power.add("DHL", [budget, dhl_time](exp::ScenarioContext &)
+                             -> exp::ScenarioRows {
+        return {{"DHL", cell(u::toKilowatts(budget), 3),
+                 cell(dhl_time, 5), "1x", cell(kPaper[0].time_a, 5),
+                 "1x"}};
+    });
+    {
+        std::size_t idx = 1;
+        for (const auto &route : network::canonicalRoutes()) {
+            const PaperRow paper = kPaper[idx++];
+            iso_power.add(
+                route.name(),
+                [route, paper, budget, dhl_time](exp::ScenarioContext &)
+                    -> exp::ScenarioRows {
+                    const OpticalComm net(route);
+                    const TrainingSim sim(dlrmWorkload(), net);
+                    const auto r = sim.isoPower(budget);
+                    return {{route.name(),
+                             cell(u::toKilowatts(budget), 3),
+                             cell(r.iter_time, 5),
+                             cellTimes(r.iter_time / dhl_time, 3),
+                             cell(paper.time_a, 5),
+                             cellTimes(paper.slowdown_a, 3)}};
+                });
+        }
     }
-    if (!csv)
-        std::cout << "\n(a) Time comparison at fixed average power\n";
-    bench::emit(a, csv);
 
     //----------------------------------------------------------------
     // (b) iso-time
     //----------------------------------------------------------------
-    TextTable b({"Scheme", "Avg power (kW)", "Time/iter (s)",
-                 "Power increase", "Paper power (kW)", "Paper increase"});
-    b.addRow({"DHL", cell(u::toKilowatts(budget), 3), cell(dhl_time, 5),
-              "1x", cell(kPaper[0].power_kw_b, 3), "1x"});
-    idx = 1;
-    for (const auto &route : network::canonicalRoutes()) {
-        OpticalComm net(route);
-        TrainingSim sim(workload, net);
-        const double p = sim.powerForIterTime(dhl_time);
-        b.addRow({route.name(), cell(u::toKilowatts(p), 4),
-                  cell(dhl_time, 5), cellTimes(p / budget, 3),
-                  cell(kPaper[idx].power_kw_b, 4),
-                  cellTimes(kPaper[idx].increase_b, 3)});
-        ++idx;
+    exp::Experiment iso_time("table7b_iso_time");
+    iso_time.add("DHL", [budget, dhl_time](exp::ScenarioContext &)
+                            -> exp::ScenarioRows {
+        return {{"DHL", cell(u::toKilowatts(budget), 3),
+                 cell(dhl_time, 5), "1x", cell(kPaper[0].power_kw_b, 3),
+                 "1x"}};
+    });
+    {
+        std::size_t idx = 1;
+        for (const auto &route : network::canonicalRoutes()) {
+            const PaperRow paper = kPaper[idx++];
+            iso_time.add(
+                route.name(),
+                [route, paper, budget, dhl_time](exp::ScenarioContext &)
+                    -> exp::ScenarioRows {
+                    const OpticalComm net(route);
+                    const TrainingSim sim(dlrmWorkload(), net);
+                    const double p = sim.powerForIterTime(dhl_time);
+                    return {{route.name(), cell(u::toKilowatts(p), 4),
+                             cell(dhl_time, 5),
+                             cellTimes(p / budget, 3),
+                             cell(paper.power_kw_b, 4),
+                             cellTimes(paper.increase_b, 3)}};
+                });
+        }
     }
-    if (!csv)
-        std::cout << "\n(b) Communication power at fixed iteration time\n";
-    bench::emit(b, csv);
 
-    if (!csv) {
+    const exp::ExperimentRunner runner(bench::runOptions(opts));
+
+    const auto result_a = runner.run(iso_power);
+    if (!opts.csv)
+        std::cout << "\n(a) Time comparison at fixed average power\n";
+    bench::emit(result_a,
+                {"Scheme", "Avg power (kW)", "Time/iter (s)", "Slowdown",
+                 "Paper time (s)", "Paper slowdown"},
+                opts);
+
+    const auto result_b = runner.run(iso_time);
+    if (!opts.csv)
+        std::cout << "\n(b) Communication power at fixed iteration time\n";
+    bench::emit(result_b,
+                {"Scheme", "Avg power (kW)", "Time/iter (s)",
+                 "Power increase", "Paper power (kW)", "Paper increase"},
+                opts);
+
+    if (!opts.csv) {
         DhlComm pipelined(core::defaultConfig(), true);
         TrainingSim pipe_sim(workload, pipelined);
         const auto pr = pipe_sim.iterate(1.0);

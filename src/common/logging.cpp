@@ -39,8 +39,16 @@ Logger::global()
 }
 
 LogLevel
+Logger::level() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return level_;
+}
+
+LogLevel
 Logger::setLevel(LogLevel lvl)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     LogLevel prev = level_;
     level_ = lvl;
     return prev;
@@ -49,6 +57,7 @@ Logger::setLevel(LogLevel lvl)
 Logger::Sink
 Logger::setSink(Sink sink)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     Sink prev = std::move(sink_);
     sink_ = std::move(sink);
     return prev;
@@ -57,6 +66,9 @@ Logger::setSink(Sink sink)
 void
 Logger::log(LogLevel lvl, const std::string &msg)
 {
+    // The sink runs under the lock so concurrent scenarios never
+    // interleave their output lines.
+    std::lock_guard<std::mutex> lock(mutex_);
     if (static_cast<int>(lvl) <= static_cast<int>(level_) && sink_)
         sink_(lvl, msg);
 }

@@ -14,12 +14,20 @@
  * Plus non-terminating status channels: warn() / inform(), routed through
  * a process-wide Logger whose sink and verbosity are configurable (tests
  * capture them; benches silence inform()).
+ *
+ * The Logger is the one piece of mutable global state reachable from
+ * concurrently-running experiment scenarios, so it is internally
+ * synchronised: log() / setLevel() / setSink() may be called from any
+ * thread.  A replaced sink must itself tolerate concurrent calls (the
+ * default stderr sink does; per-message output is emitted under the
+ * logger's lock so lines never interleave).
  */
 
 #ifndef DHL_COMMON_LOGGING_HPP
 #define DHL_COMMON_LOGGING_HPP
 
 #include <functional>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -55,7 +63,8 @@ enum class LogLevel
 
 /**
  * Process-wide logger.  Deliberately minimal: a level filter and a
- * replaceable sink.  The default sink writes to stderr.
+ * replaceable sink.  The default sink writes to stderr.  Thread-safe
+ * (see the file comment).
  */
 class Logger
 {
@@ -66,7 +75,7 @@ class Logger
     static Logger &global();
 
     /** Current verbosity. */
-    LogLevel level() const { return level_; }
+    LogLevel level() const;
 
     /** Set verbosity; returns the previous level. */
     LogLevel setLevel(LogLevel lvl);
@@ -80,6 +89,7 @@ class Logger
   private:
     Logger();
 
+    mutable std::mutex mutex_;
     LogLevel level_;
     Sink sink_;
 };

@@ -33,6 +33,18 @@ rotl(std::uint64_t x, int k)
 
 } // namespace
 
+std::uint64_t
+deriveSeed(std::uint64_t base, std::uint64_t stream)
+{
+    // Advance a splitmix64 stream keyed by the base, then fold in the
+    // stream index and mix once more; two unequal (base, stream) pairs
+    // land on unrelated points of the generator's orbit.
+    std::uint64_t x = base;
+    std::uint64_t mixed = splitmix64(x);
+    x = mixed ^ stream;
+    return splitmix64(x);
+}
+
 Rng::Rng(std::uint64_t seed)
     : has_spare_(false), spare_(0.0)
 {

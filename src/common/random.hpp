@@ -18,6 +18,14 @@
 
 namespace dhl {
 
+/**
+ * Derive a decorrelated child seed from a base seed and a stream index
+ * (splitmix64 mixing).  Used by the experiment runner to hand every
+ * scenario its own deterministic seed: the result depends only on
+ * (base, stream), never on which thread evaluates the scenario.
+ */
+std::uint64_t deriveSeed(std::uint64_t base, std::uint64_t stream);
+
 /** xoshiro256** PRNG with explicit, copyable state. */
 class Rng
 {

@@ -16,6 +16,17 @@
  *
  * The framework is intentionally single-threaded, like the DES kernel it
  * instruments.
+ *
+ * Concurrency audit (experiment-execution layer): there is NO global
+ * stats registry — every StatGroup hierarchy is owned by the simulation
+ * object that created it, so concurrently-running experiment scenarios
+ * that each build their own DhlSimulation / TrainingSim never share
+ * statistics state.  The contract for parallel scenario execution is
+ * therefore: construct stats (and the simulations that own them)
+ * *inside* the scenario closure; never capture one StatGroup, Formula
+ * callable, or simulation instance in two scenarios.  Formula deserves
+ * extra care because it captures arbitrary callables — a Formula must
+ * only reference state owned by its own group's simulation.
  */
 
 #ifndef DHL_COMMON_STATS_HPP

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Implementation of the worker pool.
+ */
+
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace dhl {
+
+/**
+ * One parallelFor call.  Participants (workers and the calling thread)
+ * claim indices from next_ until the range is exhausted; done_ counts
+ * finished iterations so the caller knows when the batch is complete
+ * even while other participants are still inside body().
+ */
+struct ThreadPool::Batch
+{
+    std::size_t n = 0;
+    const std::function<void(std::size_t)> *body = nullptr;
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::atomic<bool> failed{false};
+
+    std::mutex mutex;
+    std::condition_variable finished;
+    std::exception_ptr error;
+};
+
+ThreadPool::ThreadPool(std::size_t jobs)
+{
+    if (jobs == 0)
+        jobs = hardwareConcurrency();
+    workers_.reserve(jobs - 1);
+    for (std::size_t i = 1; i < jobs; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    cv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+std::size_t
+ThreadPool::hardwareConcurrency()
+{
+    return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+void
+ThreadPool::drain(Batch &batch)
+{
+    for (;;) {
+        const std::size_t i = batch.next.fetch_add(1);
+        if (i >= batch.n)
+            return;
+        if (!batch.failed.load()) {
+            try {
+                (*batch.body)(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(batch.mutex);
+                if (!batch.error)
+                    batch.error = std::current_exception();
+                batch.failed.store(true);
+            }
+        }
+        if (batch.done.fetch_add(1) + 1 == batch.n) {
+            // Last iteration out wakes the waiting caller.
+            std::lock_guard<std::mutex> lock(batch.mutex);
+            batch.finished.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::shared_ptr<Batch> batch;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock,
+                     [this] { return shutdown_ || !pending_.empty(); });
+            if (pending_.empty()) {
+                if (shutdown_)
+                    return;
+                continue;
+            }
+            batch = pending_.front();
+            // Leave the batch queued so other idle workers can join it;
+            // drop it once its range is fully claimed.
+            if (batch->next.load() >= batch->n)
+                pending_.pop_front();
+        }
+        if (batch)
+            drain(*batch);
+        // Claimed-out batches are popped lazily on the next pass.
+        std::lock_guard<std::mutex> lock(mutex_);
+        while (!pending_.empty() &&
+               pending_.front()->next.load() >= pending_.front()->n) {
+            pending_.pop_front();
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (n == 0)
+        return;
+    if (workers_.empty() || n == 1) {
+        // Exact-serial fallback: the plain loop, on this thread.
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+
+    auto batch = std::make_shared<Batch>();
+    batch->n = n;
+    batch->body = &body;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        pending_.push_back(batch);
+    }
+    cv_.notify_all();
+
+    // The caller claims indices too: guarantees progress even when all
+    // workers are stuck inside outer iterations (nested parallelFor).
+    drain(*batch);
+
+    {
+        std::unique_lock<std::mutex> lock(batch->mutex);
+        batch->finished.wait(lock, [&] {
+            return batch->done.load() >= batch->n;
+        });
+        if (batch->error)
+            std::rethrow_exception(batch->error);
+    }
+}
+
+} // namespace dhl

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * A fixed-size worker pool with a parallelFor / parallelMap API.
+ *
+ * The pool is built for the experiment-execution layer: a grid of
+ * independent, CPU-bound scenario evaluations fanned out across cores.
+ * Design points:
+ *
+ *  - The calling thread participates.  A pool of size N spawns N-1
+ *    workers and the caller acts as the Nth, so a pool of size 1 owns
+ *    no threads at all and parallelFor degenerates to the plain serial
+ *    loop (the --jobs 1 exact-serial fallback).
+ *  - Nested submission is safe.  A body running on a worker may itself
+ *    call parallelFor on the same pool; the inner call claims indices
+ *    with the calling thread, so it always makes progress even when
+ *    every worker is busy with outer iterations.
+ *  - Exceptions propagate.  The first exception thrown by any body is
+ *    captured and rethrown from parallelFor on the calling thread;
+ *    remaining indices are abandoned (claimed but not executed).
+ *  - Results are deterministic.  parallelMap writes each result into
+ *    its own slot, so the output order is the input order regardless
+ *    of how iterations interleave.
+ */
+
+#ifndef DHL_COMMON_THREAD_POOL_HPP
+#define DHL_COMMON_THREAD_POOL_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dhl {
+
+/** Fixed-size worker pool; see the file comment for the contract. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param jobs  Total parallelism including the calling thread.
+     *              0 selects hardwareConcurrency(); 1 is exact-serial
+     *              (no threads are spawned).
+     */
+    explicit ThreadPool(std::size_t jobs = 0);
+
+    /** Joins all workers; pending helper tasks are drained first. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total parallelism (workers + the calling thread), >= 1. */
+    std::size_t size() const { return workers_.size() + 1; }
+
+    /** std::thread::hardware_concurrency with a floor of 1. */
+    static std::size_t hardwareConcurrency();
+
+    /**
+     * Run body(i) for every i in [0, n).  Blocks until all iterations
+     * finish; rethrows the first exception any iteration threw.  The
+     * calling thread executes iterations itself, so this is safe to
+     * call from inside another parallelFor body on the same pool.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &body);
+
+    /**
+     * Map fn over items, preserving order: result[i] == fn(items[i]).
+     * Same blocking / exception semantics as parallelFor.
+     */
+    template <typename T, typename Fn>
+    auto
+    parallelMap(const std::vector<T> &items, Fn &&fn)
+        -> std::vector<decltype(fn(items[std::size_t{0}]))>
+    {
+        using R = decltype(fn(items[std::size_t{0}]));
+        std::vector<R> results(items.size());
+        parallelFor(items.size(),
+                    [&](std::size_t i) { results[i] = fn(items[i]); });
+        return results;
+    }
+
+  private:
+    struct Batch;
+
+    /** Claim-and-run loop shared by workers and the calling thread. */
+    static void drain(Batch &batch);
+
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<std::shared_ptr<Batch>> pending_;
+    bool shutdown_ = false;
+};
+
+} // namespace dhl
+
+#endif // DHL_COMMON_THREAD_POOL_HPP

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * The experiment-execution layer.
+ *
+ * The paper's evaluation is a grid of independent model runs: the
+ * Figure 6 power sweep (one series per communication scheme), the
+ * Table VI design-space enumeration (one row per configuration), the
+ * Table VII iso-power / iso-time comparisons (one row per route), the
+ * §V-E crossover frontier (one group per track length).  An
+ * `Experiment` declares such a grid as a vector of named `Scenario`
+ * closures over immutable configs; the `ExperimentRunner` evaluates
+ * them across a `ThreadPool` and collects per-scenario wall time and
+ * result rows, rendered through `common/table`.
+ *
+ * Determinism contract: each scenario receives a seed derived from the
+ * experiment seed and the scenario's (index, name) via `deriveSeed`
+ * from `common/random`, never from run order; result rows are stored
+ * in declaration order regardless of completion order.  A parallel run
+ * therefore renders byte-identical tables to a serial (`jobs = 1`) run.
+ * Individual scenarios stay single-threaded — parallelism is strictly
+ * across scenarios.
+ */
+
+#ifndef DHL_EXP_EXPERIMENT_RUNNER_HPP
+#define DHL_EXP_EXPERIMENT_RUNNER_HPP
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.hpp"
+#include "common/table.hpp"
+
+namespace dhl {
+namespace exp {
+
+/** Per-scenario execution context handed to the closure. */
+struct ScenarioContext
+{
+    std::size_t index;  ///< Position in the experiment's scenario list.
+    std::uint64_t seed; ///< Deterministic per-scenario seed.
+    Rng rng;            ///< Seeded with @c seed; private to the scenario.
+};
+
+/** Result rows of one scenario, ready for a TextTable. */
+using ScenarioRows = std::vector<std::vector<std::string>>;
+
+/** A scenario body: pure function of its captures and the context. */
+using ScenarioFn = std::function<ScenarioRows(ScenarioContext &)>;
+
+/** One named, independent unit of work. */
+struct Scenario
+{
+    std::string name;
+    ScenarioFn run;
+    /** Render a separator after this scenario's rows (row grouping). */
+    bool separator_after = false;
+};
+
+/** A named list of scenarios forming one result table. */
+class Experiment
+{
+  public:
+    explicit Experiment(std::string name) : name_(std::move(name)) {}
+
+    /** Append a scenario; returns it for optional tweaks. */
+    Scenario &add(std::string name, ScenarioFn fn,
+                  bool separator_after = false);
+
+    /** Append a prebuilt scenario (e.g. from a scenario factory). */
+    Scenario &add(Scenario scenario);
+
+    const std::string &name() const { return name_; }
+    const std::vector<Scenario> &scenarios() const { return scenarios_; }
+    std::size_t size() const { return scenarios_.size(); }
+
+  private:
+    std::string name_;
+    std::vector<Scenario> scenarios_;
+};
+
+/** What one scenario produced. */
+struct ScenarioOutcome
+{
+    std::string name;
+    ScenarioRows rows;
+    double wall_seconds = 0.0; ///< Wall-clock of this scenario alone.
+    bool separator_after = false;
+};
+
+/** The collected experiment: outcomes in declaration order. */
+struct ExperimentResult
+{
+    std::string name;
+    std::vector<ScenarioOutcome> scenarios;
+    double wall_seconds = 0.0; ///< Wall-clock of the whole grid.
+    std::size_t jobs = 1;      ///< Parallelism actually used.
+
+    /** All result rows concatenated in declaration order. */
+    ScenarioRows rows() const;
+
+    /**
+     * Render the result table.  Deterministic: contains no timings,
+     * only scenario rows (plus separators when @p separators is set).
+     */
+    TextTable table(std::vector<std::string> headers,
+                    bool separators = true) const;
+
+    /** Render the per-scenario wall-time table (not deterministic). */
+    TextTable timingTable() const;
+};
+
+/** Execution policy for a runner. */
+struct RunOptions
+{
+    /** Parallelism: 0 = hardware concurrency, 1 = exact serial. */
+    std::size_t jobs = 0;
+
+    /** Experiment seed from which per-scenario seeds are derived. */
+    std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+};
+
+/**
+ * Evaluates experiments over a ThreadPool.  The pool is owned by the
+ * runner and reused across run() calls; a runner is reusable but not
+ * itself thread-safe (use one runner per driving thread).
+ */
+class ExperimentRunner
+{
+  public:
+    explicit ExperimentRunner(RunOptions opts = {});
+    ~ExperimentRunner();
+
+    ExperimentRunner(const ExperimentRunner &) = delete;
+    ExperimentRunner &operator=(const ExperimentRunner &) = delete;
+
+    const RunOptions &options() const { return opts_; }
+
+    /** Parallelism in use (options().jobs resolved against hardware). */
+    std::size_t jobs() const;
+
+    /**
+     * Run every scenario; blocks until all finish.  The first
+     * exception thrown by any scenario is rethrown here after the
+     * remaining scenarios have been abandoned.
+     */
+    ExperimentResult run(const Experiment &experiment) const;
+
+  private:
+    struct Impl;
+
+    RunOptions opts_;
+    std::unique_ptr<Impl> impl_;
+};
+
+/**
+ * The per-scenario seed: mixes the experiment seed with the scenario's
+ * index and an FNV-1a hash of its name through common/random's
+ * deriveSeed, so seeds survive scenario reordering-by-insertion and
+ * never depend on execution order.
+ */
+std::uint64_t scenarioSeed(std::uint64_t experiment_seed,
+                           std::size_t index, const std::string &name);
+
+} // namespace exp
+} // namespace dhl
+
+#endif // DHL_EXP_EXPERIMENT_RUNNER_HPP

@@ -6,6 +6,7 @@
 #include "mlsim/campaign.hpp"
 
 #include "common/logging.hpp"
+#include "common/thread_pool.hpp"
 
 namespace dhl {
 namespace mlsim {
@@ -27,38 +28,52 @@ CampaignModel::CampaignModel(const core::DhlConfig &dhl,
     : dhl_(dhl), net_(route)
 {}
 
+CampaignMonth
+CampaignModel::computeMonth(const CampaignConfig &cfg,
+                            std::uint64_t m) const
+{
+    CampaignMonth month{};
+    month.month = m;
+    month.dataset_bytes =
+        cfg.initial_dataset + cfg.monthly_growth * static_cast<double>(m);
+    month.bytes_moved = month.dataset_bytes * cfg.trainings_per_month;
+
+    // Each training stages the whole dataset once.
+    const auto dhl_bulk = dhl_.bulk(month.dataset_bytes);
+    month.dhl_time = dhl_bulk.total_time * cfg.trainings_per_month;
+    month.dhl_energy = dhl_bulk.total_energy * cfg.trainings_per_month;
+
+    const auto xfer = net_.transfer(month.dataset_bytes);
+    month.net_time = xfer.time * cfg.trainings_per_month;
+    month.net_energy = xfer.energy * cfg.trainings_per_month;
+    return month;
+}
+
 CampaignReport
-CampaignModel::run(const CampaignConfig &cfg) const
+CampaignModel::run(const CampaignConfig &cfg, ThreadPool *pool) const
 {
     validate(cfg);
 
     CampaignReport report{};
-    report.months.reserve(cfg.months);
-    for (std::uint64_t m = 0; m < cfg.months; ++m) {
-        CampaignMonth month{};
-        month.month = m;
-        month.dataset_bytes =
-            cfg.initial_dataset +
-            cfg.monthly_growth * static_cast<double>(m);
-        month.bytes_moved =
-            month.dataset_bytes * cfg.trainings_per_month;
+    report.months.resize(cfg.months);
+    const auto compute = [&](std::size_t m) {
+        report.months[m] = computeMonth(cfg, static_cast<std::uint64_t>(m));
+    };
+    if (pool) {
+        pool->parallelFor(cfg.months, compute);
+    } else {
+        for (std::uint64_t m = 0; m < cfg.months; ++m)
+            compute(m);
+    }
 
-        // Each training stages the whole dataset once.
-        const auto dhl_bulk = dhl_.bulk(month.dataset_bytes);
-        month.dhl_time = dhl_bulk.total_time * cfg.trainings_per_month;
-        month.dhl_energy =
-            dhl_bulk.total_energy * cfg.trainings_per_month;
-
-        const auto xfer = net_.transfer(month.dataset_bytes);
-        month.net_time = xfer.time * cfg.trainings_per_month;
-        month.net_energy = xfer.energy * cfg.trainings_per_month;
-
+    // Accumulate in month order so the floating-point totals match the
+    // serial run bit-for-bit.
+    for (const auto &month : report.months) {
         report.total_bytes += month.bytes_moved;
         report.dhl_time += month.dhl_time;
         report.dhl_energy += month.dhl_energy;
         report.net_time += month.net_time;
         report.net_energy += month.net_energy;
-        report.months.push_back(month);
     }
     return report;
 }

@@ -23,6 +23,9 @@
 #include "network/transfer.hpp"
 
 namespace dhl {
+
+class ThreadPool;
+
 namespace mlsim {
 
 /** Shape of a training campaign. */
@@ -78,8 +81,19 @@ class CampaignModel
   public:
     CampaignModel(const core::DhlConfig &dhl, const network::Route &route);
 
-    /** Run the campaign month by month. */
-    CampaignReport run(const CampaignConfig &cfg) const;
+    /**
+     * Run the campaign.  Months are independent (the dataset grows by a
+     * closed-form schedule, not month-to-month state), so when @p pool
+     * is non-null they are evaluated across it; totals are accumulated
+     * in month order either way, making the parallel result identical
+     * to the serial one.
+     */
+    CampaignReport run(const CampaignConfig &cfg,
+                       ThreadPool *pool = nullptr) const;
+
+    /** Compute one month in isolation (pure; used by the runner path). */
+    CampaignMonth computeMonth(const CampaignConfig &cfg,
+                               std::uint64_t month) const;
 
   private:
     core::AnalyticalModel dhl_;

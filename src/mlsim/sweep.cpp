@@ -8,12 +8,38 @@
 #include <cmath>
 
 #include "common/logging.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "common/units.hpp"
 
 namespace dhl {
 namespace mlsim {
 
+namespace {
+
+/**
+ * Evaluate points[i] = make(i) for i in [0, n), across @p pool when one
+ * is supplied.  Each point is a pure function of its index, so the
+ * result is identical either way.
+ */
+std::vector<SweepPoint>
+evaluatePoints(std::size_t n, ThreadPool *pool,
+               const std::function<SweepPoint(std::size_t)> &make)
+{
+    std::vector<SweepPoint> points(n);
+    if (pool) {
+        pool->parallelFor(n, [&](std::size_t i) { points[i] = make(i); });
+    } else {
+        for (std::size_t i = 0; i < n; ++i)
+            points[i] = make(i);
+    }
+    return points;
+}
+
+} // namespace
+
 SweepSeries
-sweepQuantised(const TrainingSim &sim, double max_power)
+sweepQuantised(const TrainingSim &sim, double max_power, ThreadPool *pool)
 {
     fatal_if(!sim.comm().quantised(),
              "sweepQuantised needs a quantised comm layer");
@@ -26,16 +52,18 @@ sweepQuantised(const TrainingSim &sim, double max_power)
     const double unit_power = sim.comm().unitPower();
     const auto max_units =
         std::max(1.0, std::floor(max_power / unit_power + 1e-9));
-    for (double k = 1.0; k <= max_units; k += 1.0) {
-        const IterationResult r = sim.iterate(k);
-        s.points.push_back(SweepPoint{k * unit_power, r.iter_time, k});
-    }
+    s.points = evaluatePoints(
+        static_cast<std::size_t>(max_units), pool, [&](std::size_t i) {
+            const double k = static_cast<double>(i) + 1.0;
+            const IterationResult r = sim.iterate(k);
+            return SweepPoint{k * unit_power, r.iter_time, k};
+        });
     return s;
 }
 
 SweepSeries
 sweepContinuous(const TrainingSim &sim, double min_power, double max_power,
-                int n_points)
+                int n_points, ThreadPool *pool)
 {
     fatal_if(sim.comm().quantised(),
              "sweepContinuous needs a continuous comm layer");
@@ -49,13 +77,71 @@ sweepContinuous(const TrainingSim &sim, double min_power, double max_power,
 
     const double log_lo = std::log(min_power);
     const double log_hi = std::log(max_power);
-    for (int i = 0; i < n_points; ++i) {
-        const double f =
-            static_cast<double>(i) / static_cast<double>(n_points - 1);
-        const double budget = std::exp(log_lo + f * (log_hi - log_lo));
-        const IterationResult r = sim.isoPower(budget);
-        s.points.push_back(SweepPoint{budget, r.iter_time, r.units});
+    s.points = evaluatePoints(
+        static_cast<std::size_t>(n_points), pool, [&](std::size_t i) {
+            const double f = static_cast<double>(i) /
+                             static_cast<double>(n_points - 1);
+            const double budget =
+                std::exp(log_lo + f * (log_hi - log_lo));
+            const IterationResult r = sim.isoPower(budget);
+            return SweepPoint{budget, r.iter_time, r.units};
+        });
+    return s;
+}
+
+std::vector<std::string>
+sweepHeaders()
+{
+    return {"Series", "Power (kW)", "Units", "Time/iter (s)"};
+}
+
+exp::ScenarioRows
+sweepRows(const SweepSeries &series)
+{
+    exp::ScenarioRows rows;
+    rows.reserve(series.points.size());
+    for (const auto &pt : series.points) {
+        rows.push_back({series.name, cell(units::toKilowatts(pt.power), 4),
+                        cell(pt.units, 4), cell(pt.iter_time, 5)});
     }
+    return rows;
+}
+
+exp::Scenario
+dhlSweepScenario(const TrainingWorkload &workload,
+                 const core::DhlConfig &cfg, double max_power,
+                 SweepSeries *out)
+{
+    exp::Scenario s;
+    s.name = cfg.label();
+    s.run = [workload, cfg, max_power, out](exp::ScenarioContext &) {
+        const DhlComm comm(cfg);
+        const TrainingSim sim(workload, comm);
+        const SweepSeries series = sweepQuantised(sim, max_power);
+        if (out)
+            *out = series;
+        return sweepRows(series);
+    };
+    return s;
+}
+
+exp::Scenario
+opticalSweepScenario(const TrainingWorkload &workload,
+                     const network::Route &route, double min_power,
+                     double max_power, int n_points, SweepSeries *out)
+{
+    exp::Scenario s;
+    s.name = route.name();
+    s.run = [workload, route, min_power, max_power, n_points,
+             out](exp::ScenarioContext &) {
+        const OpticalComm comm(route);
+        const TrainingSim sim(workload, comm);
+        const SweepSeries series =
+            sweepContinuous(sim, min_power, max_power, n_points);
+        if (out)
+            *out = series;
+        return sweepRows(series);
+    };
     return s;
 }
 

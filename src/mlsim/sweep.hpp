@@ -4,6 +4,13 @@
  * the communication power budget, one series per communication scheme.
  * DHL series are quantised (one point per whole track count); network
  * series are continuous (the paper's simplification).
+ *
+ * Sweeps are expressed on top of the experiment-execution layer: each
+ * series is one `exp::Scenario` closure over an immutable (workload,
+ * scheme) config, and the points inside a series can themselves be
+ * fanned out over a `ThreadPool`.  Both paths are deterministic — a
+ * point is a pure function of its index — so parallel evaluation is
+ * byte-identical to serial.
  */
 
 #ifndef DHL_MLSIM_SWEEP_HPP
@@ -12,9 +19,13 @@
 #include <string>
 #include <vector>
 
+#include "exp/experiment_runner.hpp"
 #include "mlsim/training_sim.hpp"
 
 namespace dhl {
+
+class ThreadPool;
+
 namespace mlsim {
 
 /** One (power, time) point of a Figure 6 series. */
@@ -36,15 +47,47 @@ struct SweepSeries
 /**
  * Sweep a quantised layer (DHL): one point per track count from 1 up to
  * the count whose power reaches @p max_power (at least one point).
+ * When @p pool is non-null the points are evaluated across it.
  */
-SweepSeries sweepQuantised(const TrainingSim &sim, double max_power);
+SweepSeries sweepQuantised(const TrainingSim &sim, double max_power,
+                           ThreadPool *pool = nullptr);
 
 /**
  * Sweep a continuous layer (optical): @p n_points log-spaced budgets
- * from @p min_power to @p max_power.
+ * from @p min_power to @p max_power.  When @p pool is non-null the
+ * points are evaluated across it.
  */
 SweepSeries sweepContinuous(const TrainingSim &sim, double min_power,
-                            double max_power, int n_points);
+                            double max_power, int n_points,
+                            ThreadPool *pool = nullptr);
+
+/** The canonical Figure 6 table headers. */
+std::vector<std::string> sweepHeaders();
+
+/**
+ * The canonical Figure 6 row formatting of one series — the single
+ * place sweep rows are turned into table cells (benches and the CLI
+ * render the runner's rows instead of re-formatting points).
+ */
+exp::ScenarioRows sweepRows(const SweepSeries &series);
+
+/**
+ * Build a runner scenario computing one quantised (DHL) series: the
+ * closure owns copies of @p workload and @p cfg, runs the sweep, writes
+ * the series into @p out (when non-null; one slot per scenario, never
+ * shared) and returns the canonical rows.
+ */
+exp::Scenario dhlSweepScenario(const TrainingWorkload &workload,
+                               const core::DhlConfig &cfg,
+                               double max_power,
+                               SweepSeries *out = nullptr);
+
+/** Continuous (optical route) counterpart of dhlSweepScenario. */
+exp::Scenario opticalSweepScenario(const TrainingWorkload &workload,
+                                   const network::Route &route,
+                                   double min_power, double max_power,
+                                   int n_points,
+                                   SweepSeries *out = nullptr);
 
 } // namespace mlsim
 } // namespace dhl

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "common/logging.hpp"
+#include "common/thread_pool.hpp"
 #include "common/units.hpp"
 #include "mlsim/campaign.hpp"
 
@@ -89,6 +90,35 @@ TEST(CampaignTest, GrowthCompoundsSavings)
     // And savings are already colossal flat: hundreds of MJ over two
     // years of route-C traffic.
     EXPECT_GT(m.run(flat).energySaved(), 100e6);
+}
+
+TEST(CampaignTest, ParallelRunIsBitIdenticalToSerial)
+{
+    // Months are independent; evaluating them across a pool must give
+    // exactly the serial report, including the accumulated totals.
+    CampaignConfig cfg;
+    cfg.monthly_growth = u::petabytes(2);
+    cfg.months = 36;
+    const auto model = defaultCampaign();
+    const auto serial = model.run(cfg);
+    ThreadPool pool(4);
+    const auto parallel = model.run(cfg, &pool);
+
+    ASSERT_EQ(parallel.months.size(), serial.months.size());
+    for (std::size_t i = 0; i < serial.months.size(); ++i) {
+        EXPECT_EQ(parallel.months[i].dataset_bytes,
+                  serial.months[i].dataset_bytes);
+        EXPECT_EQ(parallel.months[i].dhl_time, serial.months[i].dhl_time);
+        EXPECT_EQ(parallel.months[i].dhl_energy,
+                  serial.months[i].dhl_energy);
+        EXPECT_EQ(parallel.months[i].net_energy,
+                  serial.months[i].net_energy);
+    }
+    EXPECT_EQ(parallel.total_bytes, serial.total_bytes);
+    EXPECT_EQ(parallel.dhl_time, serial.dhl_time);
+    EXPECT_EQ(parallel.dhl_energy, serial.dhl_energy);
+    EXPECT_EQ(parallel.net_time, serial.net_time);
+    EXPECT_EQ(parallel.net_energy, serial.net_energy);
 }
 
 TEST(CampaignTest, MonthlyEnergyMonotoneUnderGrowth)

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "common/logging.hpp"
+#include "common/thread_pool.hpp"
 #include "mlsim/sweep.hpp"
 
 using namespace dhl::mlsim;
@@ -70,6 +71,51 @@ TEST(SweepContinuousTest, DhlDominatesNetworksAtEqualPower)
         TrainingSim net_sim(dlrmWorkload(), net);
         EXPECT_GT(net_sim.isoPower(budget).iter_time, dhl_time) << name;
     }
+}
+
+TEST(SweepTest, PooledPointsAreBitIdenticalToSerial)
+{
+    // Points are pure functions of their index, so fanning them over a
+    // pool must reproduce the serial series exactly.
+    dhl::ThreadPool pool(4);
+
+    DhlComm dhl_comm(defaultConfig());
+    TrainingSim dhl_sim(dlrmWorkload(), dhl_comm);
+    const auto qs = sweepQuantised(dhl_sim, 8.0 * dhl_comm.unitPower());
+    const auto qp =
+        sweepQuantised(dhl_sim, 8.0 * dhl_comm.unitPower(), &pool);
+    ASSERT_EQ(qp.points.size(), qs.points.size());
+    for (std::size_t i = 0; i < qs.points.size(); ++i) {
+        EXPECT_EQ(qp.points[i].power, qs.points[i].power);
+        EXPECT_EQ(qp.points[i].iter_time, qs.points[i].iter_time);
+        EXPECT_EQ(qp.points[i].units, qs.points[i].units);
+    }
+
+    OpticalComm a0(findRoute("A0"));
+    TrainingSim net_sim(dlrmWorkload(), a0);
+    const auto cs = sweepContinuous(net_sim, 100.0, 10000.0, 9);
+    const auto cp = sweepContinuous(net_sim, 100.0, 10000.0, 9, &pool);
+    ASSERT_EQ(cp.points.size(), cs.points.size());
+    for (std::size_t i = 0; i < cs.points.size(); ++i) {
+        EXPECT_EQ(cp.points[i].power, cs.points[i].power);
+        EXPECT_EQ(cp.points[i].iter_time, cs.points[i].iter_time);
+    }
+}
+
+TEST(SweepTest, ScenarioFactoriesProduceCanonicalRows)
+{
+    // The scenario closure must return exactly sweepRows(series) and
+    // fill the caller's series slot.
+    SweepSeries slot;
+    dhl::exp::Scenario s = dhlSweepScenario(
+        dlrmWorkload(), defaultConfig(), 3.6e3, &slot);
+    EXPECT_EQ(s.name, defaultConfig().label());
+    dhl::exp::ScenarioContext ctx{0, 1, dhl::Rng(1)};
+    const auto rows = s.run(ctx);
+    EXPECT_FALSE(slot.points.empty());
+    EXPECT_EQ(rows, sweepRows(slot));
+    ASSERT_FALSE(rows.empty());
+    EXPECT_EQ(rows[0].size(), sweepHeaders().size());
 }
 
 TEST(SweepTest, WrongLayerKindsRejected)

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit tests for the worker pool: coverage, ordering, the exact-serial
+ * fallback, exception propagation, and nested-submit safety.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+using dhl::ThreadPool;
+
+TEST(ThreadPoolTest, SizeResolvesJobs)
+{
+    ThreadPool serial(1);
+    EXPECT_EQ(serial.size(), 1u);
+    ThreadPool four(4);
+    EXPECT_EQ(four.size(), 4u);
+    ThreadPool detect(0);
+    EXPECT_EQ(detect.size(), ThreadPool::hardwareConcurrency());
+    EXPECT_GE(ThreadPool::hardwareConcurrency(), 1u);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    constexpr std::size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallelFor(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPoolTest, ParallelForZeroAndOne)
+{
+    ThreadPool pool(4);
+    int calls = 0;
+    pool.parallelFor(0, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    pool.parallelFor(1, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, ParallelMapPreservesOrder)
+{
+    ThreadPool pool(4);
+    std::vector<int> items(257);
+    std::iota(items.begin(), items.end(), 0);
+    const auto squares =
+        pool.parallelMap(items, [](int v) { return v * v; });
+    ASSERT_EQ(squares.size(), items.size());
+    for (std::size_t i = 0; i < items.size(); ++i)
+        EXPECT_EQ(squares[i], items[i] * items[i]);
+}
+
+TEST(ThreadPoolTest, SerialPoolRunsInlineAndInOrder)
+{
+    ThreadPool pool(1);
+    const auto caller = std::this_thread::get_id();
+    std::vector<std::size_t> order;
+    pool.parallelFor(8, [&](std::size_t i) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        order.push_back(i);
+    });
+    const std::vector<std::size_t> expected{0, 1, 2, 3, 4, 5, 6, 7};
+    EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelFor(64,
+                                  [](std::size_t i) {
+                                      if (i == 13)
+                                          throw std::runtime_error("boom");
+                                  }),
+                 std::runtime_error);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAfterException)
+{
+    ThreadPool pool(2);
+    EXPECT_THROW(
+        pool.parallelFor(8, [](std::size_t) {
+            throw std::runtime_error("first batch fails");
+        }),
+        std::runtime_error);
+    std::atomic<int> sum{0};
+    pool.parallelFor(10, [&](std::size_t i) {
+        sum.fetch_add(static_cast<int>(i));
+    });
+    EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPoolTest, ExceptionInSerialPoolPropagates)
+{
+    ThreadPool pool(1);
+    EXPECT_THROW(pool.parallelFor(
+                     4, [](std::size_t) { throw std::logic_error("no"); }),
+                 std::logic_error);
+}
+
+TEST(ThreadPoolTest, NestedSubmitIsSafe)
+{
+    // Every outer iteration fans out an inner parallelFor on the SAME
+    // pool.  The calling thread of each inner loop participates, so
+    // this must complete even though all workers are busy with outer
+    // iterations.
+    ThreadPool pool(3);
+    constexpr std::size_t outer = 8, inner = 16;
+    std::atomic<std::size_t> total{0};
+    pool.parallelFor(outer, [&](std::size_t) {
+        pool.parallelFor(inner,
+                         [&](std::size_t) { total.fetch_add(1); });
+    });
+    EXPECT_EQ(total.load(), outer * inner);
+}
+
+TEST(ThreadPoolTest, NestedExceptionPropagatesThroughBothLevels)
+{
+    ThreadPool pool(2);
+    EXPECT_THROW(pool.parallelFor(4,
+                                  [&](std::size_t) {
+                                      pool.parallelFor(
+                                          4, [](std::size_t j) {
+                                              if (j == 2) {
+                                                  throw std::runtime_error(
+                                                      "inner");
+                                              }
+                                          });
+                                  }),
+                 std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ManySmallBatchesDrainCleanly)
+{
+    ThreadPool pool(4);
+    std::atomic<int> sum{0};
+    for (int round = 0; round < 100; ++round)
+        pool.parallelFor(7, [&](std::size_t) { sum.fetch_add(1); });
+    EXPECT_EQ(sum.load(), 700);
+}

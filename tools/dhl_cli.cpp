@@ -11,6 +11,7 @@
  *   tco        capex + energy opex vs the optical network
  *   crossover  break-even dataset sizes vs a single optical link
  *   ingest     training-epoch ingestion: utilisation and stalls
+ *   sweep      Figure 6 power sweep via the experiment runner
  *
  * Every subcommand shares the configuration flags --speed, --length,
  * --ssds (the paper's three swept parameters) plus --dock, --mode and
@@ -30,7 +31,9 @@
 #include "dhl/config_io.hpp"
 #include "dhl/fleet.hpp"
 #include "dhl/simulation.hpp"
+#include "exp/experiment_runner.hpp"
 #include "mlsim/ingest_sim.hpp"
+#include "mlsim/sweep.hpp"
 
 using namespace dhl;
 namespace u = dhl::units;
@@ -359,6 +362,62 @@ cmdFleet(int argc, const char *const *argv)
 }
 
 int
+cmdSweep(int argc, const char *const *argv)
+{
+    ArgParser args("dhl_cli sweep",
+                   "Figure 6 power sweep run through the experiment "
+                   "runner: the configured DHL plus every canonical "
+                   "optical route, one scenario per series");
+    addConfigFlags(args);
+    args.addOption("max-kw", "sweep budget ceiling, kW", "40");
+    args.addOption("points", "points per continuous series", "16");
+    args.addOption("jobs",
+                   "parallel scenario jobs; 0 = hardware concurrency, "
+                   "1 = exact-serial fallback",
+                   "0");
+    args.addSwitch("csv", "emit CSV instead of the boxed table");
+    args.addSwitch("timings",
+                   "also print per-scenario wall times (these vary "
+                   "run to run; the result table does not)");
+    if (!args.parse(argc, argv, std::cout))
+        return 0;
+
+    const core::DhlConfig cfg = configFromFlags(args);
+    const double max_power = u::kilowatts(args.getDouble("max-kw"));
+    const int n_points = static_cast<int>(args.getInt("points"));
+    const mlsim::TrainingWorkload workload = mlsim::dlrmWorkload();
+
+    exp::Experiment fig6("sweep");
+    fig6.add(mlsim::dhlSweepScenario(workload, cfg, max_power))
+        .separator_after = true;
+    for (const auto &route : network::canonicalRoutes()) {
+        fig6.add(mlsim::opticalSweepScenario(workload, route, 1.0e3,
+                                             max_power, n_points))
+            .separator_after = true;
+    }
+
+    exp::RunOptions ropts;
+    ropts.jobs = static_cast<std::size_t>(args.getInt("jobs"));
+    const exp::ExperimentRunner runner(ropts);
+    const exp::ExperimentResult result = runner.run(fig6);
+
+    const bool csv = args.getSwitch("csv");
+    const TextTable table = result.table(mlsim::sweepHeaders(), !csv);
+    if (csv)
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+
+    if (args.getSwitch("timings")) {
+        std::cout << "\nScenario timings (" << result.jobs << " jobs, "
+                  << u::formatSig(result.wall_seconds * 1e3, 4)
+                  << " ms total):\n";
+        result.timingTable().print(std::cout);
+    }
+    return 0;
+}
+
+int
 cmdConfig(int argc, const char *const *argv)
 {
     ArgParser args("dhl_cli config",
@@ -384,6 +443,8 @@ usage(std::ostream &os)
        << "  tco        capex + energy opex vs the network\n"
        << "  crossover  break-even dataset sizes (§V-E)\n"
        << "  ingest     training-epoch ingestion stalls\n"
+       << "  sweep      Figure 6 power sweep (--jobs N parallel "
+          "scenarios)\n"
        << "  fleet      event-driven bulk move over parallel tracks\n"
        << "  config     emit the resolved configuration as properties\n\n"
        << "Run 'dhl_cli <command> --help' for that command's flags.\n";
@@ -414,6 +475,8 @@ main(int argc, char **argv)
             return cmdCrossover(argc - 1, argv + 1);
         if (cmd == "ingest")
             return cmdIngest(argc - 1, argv + 1);
+        if (cmd == "sweep")
+            return cmdSweep(argc - 1, argv + 1);
         if (cmd == "fleet")
             return cmdFleet(argc - 1, argv + 1);
         if (cmd == "config")
