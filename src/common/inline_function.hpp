@@ -1,0 +1,195 @@
+/**
+ * @file
+ * A small-buffer-optimised, move-only callable — the DES kernel's
+ * replacement for `std::function`.
+ *
+ * `std::function` keeps only ~16 bytes of inline storage on common
+ * standard libraries, so the capture lists typical of simulation events
+ * (a couple of pointers plus a few scalars) spill to the heap on every
+ * schedule.  `InlineFunction` reserves a caller-chosen buffer (64 bytes
+ * by default — a cache line) so those callables are stored in place and
+ * the steady-state schedule→fire path performs zero allocations.
+ * Callables that are too large, over-aligned, or throwing-move fall back
+ * to the heap transparently.
+ *
+ * Unlike `std::function` it is move-only, which also means it can hold
+ * move-only captures (e.g. a `std::unique_ptr`) that `std::function`
+ * rejects outright.
+ */
+
+#ifndef DHL_COMMON_INLINE_FUNCTION_HPP
+#define DHL_COMMON_INLINE_FUNCTION_HPP
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace dhl {
+namespace common {
+
+template <typename Signature, std::size_t BufferBytes = 64>
+class InlineFunction; // primary template left undefined
+
+/**
+ * Move-only callable with @p BufferBytes of inline storage.
+ *
+ * A callable of decayed type `F` is stored inline iff
+ *   - `sizeof(F) <= BufferBytes`,
+ *   - `alignof(F)` fits the buffer's (max_align_t) alignment, and
+ *   - `F` is nothrow-move-constructible (moving the wrapper must not
+ *     throw half-way through relocating the callee);
+ * otherwise it is heap-allocated and the buffer holds only the pointer.
+ *
+ * Invoking an empty InlineFunction is undefined (asserted in debug
+ * builds); callers are expected to check `operator bool` first, as the
+ * simulator does at schedule time.
+ */
+template <typename R, typename... Args, std::size_t BufferBytes>
+class InlineFunction<R(Args...), BufferBytes>
+{
+    static_assert(BufferBytes >= sizeof(void *),
+                  "buffer must at least hold a pointer (heap fallback)");
+
+  public:
+    InlineFunction() noexcept = default;
+    InlineFunction(std::nullptr_t) noexcept {}
+
+    template <typename F, typename D = std::decay_t<F>,
+              typename = std::enable_if_t<
+                  !std::is_same_v<D, InlineFunction> &&
+                  std::is_invocable_r_v<R, D &, Args...>>>
+    InlineFunction(F &&f)
+    {
+        if constexpr (storedInline<D>()) {
+            ::new (static_cast<void *>(&storage_)) D(std::forward<F>(f));
+            invoke_ = &invokeInline<D>;
+            manage_ = &manageInline<D>;
+        } else {
+            using Ptr = D *;
+            ::new (static_cast<void *>(&storage_))
+                Ptr(new D(std::forward<F>(f)));
+            invoke_ = &invokeHeap<D>;
+            manage_ = &manageHeap<D>;
+        }
+    }
+
+    InlineFunction(InlineFunction &&other) noexcept { moveFrom(other); }
+
+    InlineFunction &
+    operator=(InlineFunction &&other) noexcept
+    {
+        if (this == &other)
+            return *this; // self-move leaves the callable intact
+        reset();
+        moveFrom(other);
+        return *this;
+    }
+
+    InlineFunction &
+    operator=(std::nullptr_t) noexcept
+    {
+        reset();
+        return *this;
+    }
+
+    InlineFunction(const InlineFunction &) = delete;
+    InlineFunction &operator=(const InlineFunction &) = delete;
+
+    ~InlineFunction() { reset(); }
+
+    explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+    R
+    operator()(Args... args)
+    {
+        assert(invoke_ && "invoking an empty InlineFunction");
+        return invoke_(&storage_, std::forward<Args>(args)...);
+    }
+
+    /** True if a callable of type @p F would avoid the heap. */
+    template <typename F>
+    static constexpr bool
+    storedInline()
+    {
+        return sizeof(F) <= BufferBytes &&
+               alignof(F) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<F>;
+    }
+
+  private:
+    enum class Op { RelocateTo, Destroy };
+
+    using Invoke = R (*)(void *, Args...);
+    using Manage = void (*)(Op, void *self, void *dest);
+
+    template <typename F>
+    static R
+    invokeInline(void *self, Args... args)
+    {
+        return (*std::launder(reinterpret_cast<F *>(self)))(
+            std::forward<Args>(args)...);
+    }
+
+    template <typename F>
+    static R
+    invokeHeap(void *self, Args... args)
+    {
+        return (**std::launder(reinterpret_cast<F **>(self)))(
+            std::forward<Args>(args)...);
+    }
+
+    template <typename F>
+    static void
+    manageInline(Op op, void *self, void *dest)
+    {
+        F *f = std::launder(reinterpret_cast<F *>(self));
+        if (op == Op::RelocateTo)
+            ::new (dest) F(std::move(*f));
+        f->~F();
+    }
+
+    template <typename F>
+    static void
+    manageHeap(Op op, void *self, void *dest)
+    {
+        F **p = std::launder(reinterpret_cast<F **>(self));
+        if (op == Op::RelocateTo)
+            ::new (dest) F *(*p); // steal the heap object
+        else
+            delete *p;
+    }
+
+    void
+    moveFrom(InlineFunction &other) noexcept
+    {
+        if (!other.invoke_)
+            return;
+        other.manage_(Op::RelocateTo, &other.storage_, &storage_);
+        invoke_ = other.invoke_;
+        manage_ = other.manage_;
+        other.invoke_ = nullptr;
+        other.manage_ = nullptr;
+    }
+
+    void
+    reset() noexcept
+    {
+        if (manage_) {
+            manage_(Op::Destroy, &storage_, nullptr);
+            invoke_ = nullptr;
+            manage_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) std::byte storage_[BufferBytes];
+    Invoke invoke_ = nullptr;
+    Manage manage_ = nullptr;
+};
+
+} // namespace common
+} // namespace dhl
+
+#endif // DHL_COMMON_INLINE_FUNCTION_HPP

@@ -86,6 +86,18 @@ panic(const std::string &msg)
 }
 
 void
+fatalCold(const char *msg)
+{
+    throw FatalError(msg);
+}
+
+void
+panicCold(const char *msg)
+{
+    throw PanicError(msg);
+}
+
+void
 warn(const std::string &msg)
 {
     Logger::global().log(LogLevel::Warn, msg);

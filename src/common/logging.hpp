@@ -129,6 +129,32 @@ panic_if(bool condition, const std::string &msg)
         panic(msg);
 }
 
+/**
+ * Hot-path overloads: a string literal decays to `const char *`, which
+ * is an exact match and therefore preferred over the user conversion to
+ * `std::string` above.  The message is only materialised as a string in
+ * the failure branch, so guarding a per-event code path with fatal_if /
+ * panic_if costs a branch — not a heap-allocating std::string
+ * construction per call (which the DES kernel microbenchmarks showed
+ * dominating schedule()).
+ */
+[[noreturn]] void fatalCold(const char *msg);
+[[noreturn]] void panicCold(const char *msg);
+
+inline void
+fatal_if(bool condition, const char *msg)
+{
+    if (condition) [[unlikely]]
+        fatalCold(msg);
+}
+
+inline void
+panic_if(bool condition, const char *msg)
+{
+    if (condition) [[unlikely]]
+        panicCold(msg);
+}
+
 } // namespace dhl
 
 #endif // DHL_COMMON_LOGGING_HPP

@@ -1,6 +1,13 @@
 /**
  * @file
  * Implementation of the max-min fair fluid flow simulator.
+ *
+ * Water-filling operates over the link→flow adjacency: each round scans
+ * the links once for the bottleneck share, then freezes only the flows
+ * of the links that are tight at that share, updating the residual
+ * capacity and unfrozen counts of just the links those flows touch.
+ * Total work per reallocation is O(Σ path lengths + rounds·links)
+ * instead of the previous O(rounds·flows·path length).
  */
 
 #include "network/flowsim.hpp"
@@ -39,7 +46,9 @@ FlowSim::FlowSim(sim::Simulator &sim, std::string name)
       next_id_(1),
       last_update_(0.0),
       bytes_delivered_(0.0),
-      finished_energy_(0.0)
+      finished_energy_(0.0),
+      active_power_(0.0),
+      active_power_tstart_(0.0)
 {
     auto &sg = statsGroup();
     stat_flows_started_ = &sg.addCounter("flows_started", "flows started");
@@ -55,7 +64,7 @@ int
 FlowSim::addLink(double capacity)
 {
     fatal_if(!(capacity > 0.0), "link capacity must be positive");
-    links_.push_back(capacity);
+    links_.push_back(Link{capacity, 0.0, {}, 0.0, 0});
     return static_cast<int>(links_.size()) - 1;
 }
 
@@ -63,7 +72,7 @@ double
 FlowSim::linkCapacity(int link) const
 {
     fatal_if(link < 0 || link >= numLinks(), "link id out of range");
-    return links_[static_cast<std::size_t>(link)];
+    return links_[static_cast<std::size_t>(link)].capacity;
 }
 
 FlowId
@@ -76,7 +85,7 @@ FlowSim::startFlow(std::vector<int> links, double bytes, double route_power,
     fatal_if(!(bytes > 0.0), "flow size must be positive");
     fatal_if(route_power < 0.0, "route power must be non-negative");
 
-    advance();
+    drainFlows();
 
     Flow f{};
     f.id = next_id_++;
@@ -86,10 +95,16 @@ FlowSim::startFlow(std::vector<int> links, double bytes, double route_power,
     f.rate = 0.0;
     f.route_power = route_power;
     f.start_time = now();
-    f.energy = 0.0;
     f.cb = std::move(cb);
     const FlowId id = f.id;
-    flows_.emplace(id, std::move(f));
+    auto [it, inserted] = flows_.emplace(id, std::move(f));
+    (void)inserted;
+
+    // Ids are monotonic, so appending keeps each adjacency list sorted.
+    for (int l : it->second.links)
+        links_[static_cast<std::size_t>(l)].flows.push_back(&it->second);
+    active_power_ += route_power;
+    active_power_tstart_ += route_power * now();
 
     stat_flows_started_->increment();
     reallocate();
@@ -102,7 +117,8 @@ FlowSim::cancelFlow(FlowId id)
     auto it = flows_.find(id);
     if (it == flows_.end())
         return false;
-    advance();
+    drainFlows();
+    detachFlow(it->second);
     flows_.erase(it);
     reallocate();
     return true;
@@ -119,30 +135,19 @@ FlowSim::flowRate(FlowId id) const
 double
 FlowSim::totalEnergy() const
 {
-    double active = 0.0;
-    const double dt = now() - last_update_;
-    for (const auto &[id, f] : flows_) {
-        (void)id;
-        active += f.energy + f.route_power * dt;
-    }
-    return finished_energy_ + active;
+    return finished_energy_ + active_power_ * now() - active_power_tstart_;
 }
 
 double
 FlowSim::linkUtilisation(int link) const
 {
     fatal_if(link < 0 || link >= numLinks(), "link id out of range");
-    double used = 0.0;
-    for (const auto &[id, f] : flows_) {
-        (void)id;
-        if (std::find(f.links.begin(), f.links.end(), link) != f.links.end())
-            used += f.rate;
-    }
-    return used / links_[static_cast<std::size_t>(link)];
+    const Link &l = links_[static_cast<std::size_t>(link)];
+    return l.allocated / l.capacity;
 }
 
 void
-FlowSim::advance()
+FlowSim::drainFlows()
 {
     const double dt = now() - last_update_;
     last_update_ = now();
@@ -151,8 +156,18 @@ FlowSim::advance()
     for (auto &[id, f] : flows_) {
         (void)id;
         f.remaining = std::max(0.0, f.remaining - f.rate * dt);
-        f.energy += f.route_power * dt;
     }
+}
+
+void
+FlowSim::detachFlow(Flow &f)
+{
+    for (int l : f.links) {
+        auto &lf = links_[static_cast<std::size_t>(l)].flows;
+        lf.erase(std::remove(lf.begin(), lf.end(), &f), lf.end());
+    }
+    active_power_ -= f.route_power;
+    active_power_tstart_ -= f.route_power * f.start_time;
 }
 
 void
@@ -161,63 +176,67 @@ FlowSim::reallocate()
     simulator().cancel(completion_event_);
     completion_event_ = sim::EventHandle();
 
-    if (flows_.empty())
+    if (flows_.empty()) {
+        // Clamp floating-point residue in the maintained aggregates.
+        active_power_ = 0.0;
+        active_power_tstart_ = 0.0;
+        for (auto &l : links_)
+            l.allocated = 0.0;
         return;
+    }
 
     // Progressive water-filling: repeatedly find the most-contended link
     // (smallest residual capacity per unfrozen flow), fix its flows at
     // that fair share, and continue with the remaining capacity.
-    std::vector<double> residual = links_;
-    std::vector<int> unfrozen(links_.size(), 0);
-    for (auto &[id, f] : flows_) {
+    for (auto &l : links_) {
+        l.allocated = 0.0;
+        l.residual = l.capacity;
+        l.unfrozen = 0;
+    }
+    for (auto &[id, f] : flows_) { // id order: deterministic FP order
         (void)id;
         f.rate = -1.0; // unfrozen marker
         for (int l : f.links)
-            ++unfrozen[static_cast<std::size_t>(l)];
+            ++links_[static_cast<std::size_t>(l)].unfrozen;
     }
 
     std::size_t remaining_flows = flows_.size();
     while (remaining_flows > 0) {
         // Find the bottleneck share.
         double share = std::numeric_limits<double>::infinity();
-        for (std::size_t l = 0; l < links_.size(); ++l) {
-            if (unfrozen[l] > 0)
-                share = std::min(share, residual[l] / unfrozen[l]);
+        for (const auto &l : links_) {
+            if (l.unfrozen > 0)
+                share = std::min(share, l.residual / l.unfrozen);
         }
         panic_if(!std::isfinite(share),
                  "active flows but no link carries any of them");
 
-        // Freeze every unfrozen flow crossing a bottleneck link at
-        // exactly `share`.  (Freezing only bottleneck flows and looping
-        // is the textbook algorithm; freezing all flows at the global
-        // minimum share each round is equivalent for equal-weight flows
-        // crossing one bottleneck per round, but to stay exact we only
-        // freeze flows on links that are tight at this share.)
+        // Freeze the unfrozen flows of every link that is tight at this
+        // share, walking links in id order and each link's flows in
+        // flow-id order (both maintained sorted) so the floating-point
+        // update order is platform-independent.
         bool froze_any = false;
-        for (auto &[id, f] : flows_) {
-            (void)id;
-            if (f.rate >= 0.0)
+        for (auto &bottleneck : links_) {
+            if (bottleneck.unfrozen <= 0)
                 continue;
-            bool tight = false;
-            for (int l : f.links) {
-                const auto lu = static_cast<std::size_t>(l);
-                if (unfrozen[lu] > 0 &&
-                    residual[lu] / unfrozen[lu] <= share * (1.0 + 1e-12)) {
-                    tight = true;
-                    break;
-                }
+            if (bottleneck.residual / bottleneck.unfrozen >
+                share * (1.0 + 1e-12)) {
+                continue;
             }
-            if (!tight)
-                continue;
-            f.rate = share;
-            froze_any = true;
-            --remaining_flows;
-            for (int l : f.links) {
-                const auto lu = static_cast<std::size_t>(l);
-                residual[lu] -= share;
-                if (residual[lu] < 0.0)
-                    residual[lu] = 0.0;
-                --unfrozen[lu];
+            for (Flow *f : bottleneck.flows) {
+                if (f->rate >= 0.0)
+                    continue; // frozen in an earlier round or link
+                f->rate = share;
+                froze_any = true;
+                --remaining_flows;
+                for (int fl : f->links) {
+                    Link &m = links_[static_cast<std::size_t>(fl)];
+                    m.residual -= share;
+                    if (m.residual < 0.0)
+                        m.residual = 0.0;
+                    --m.unfrozen;
+                    m.allocated += share;
+                }
             }
         }
         panic_if(!froze_any, "water-filling failed to make progress");
@@ -237,14 +256,17 @@ FlowSim::reallocate()
 void
 FlowSim::onCompletionEvent()
 {
-    advance();
+    drainFlows();
 
-    // Collect drained flows first; callbacks may start new flows.
+    // Collect drained flows first (in flow-id order — the force-complete
+    // fallback below inherits the same deterministic order); callbacks
+    // may start new flows.
     std::vector<Flow> done;
     for (auto it = flows_.begin(); it != flows_.end();) {
-        const Flow &f = it->second;
+        Flow &f = it->second;
         if (drained(f.remaining, f.total, f.rate)) {
-            done.push_back(std::move(it->second));
+            detachFlow(f);
+            done.push_back(std::move(f));
             it = flows_.erase(it);
         } else {
             ++it;
@@ -262,9 +284,10 @@ FlowSim::onCompletionEvent()
         panic_if(!std::isfinite(min_tt) || min_tt > 1e-6,
                  "completion event fired with no flow near completion");
         for (auto it = flows_.begin(); it != flows_.end();) {
-            if (it->second.remaining / it->second.rate <=
-                min_tt * (1.0 + 1e-9)) {
-                done.push_back(std::move(it->second));
+            Flow &f = it->second;
+            if (f.remaining / f.rate <= min_tt * (1.0 + 1e-9)) {
+                detachFlow(f);
+                done.push_back(std::move(f));
                 it = flows_.erase(it);
             } else {
                 ++it;
@@ -277,11 +300,11 @@ FlowSim::onCompletionEvent()
         rec.id = f.id;
         rec.start_time = f.start_time;
         rec.finish_time = now();
-        rec.energy = f.energy;
+        rec.energy = f.route_power * (now() - f.start_time);
         rec.bytes = f.total;
         bytes_delivered_ += f.total;
         stat_bytes_delivered_->add(f.total);
-        finished_energy_ += f.energy;
+        finished_energy_ += rec.energy;
         stat_flows_completed_->increment();
         stat_flow_duration_->sample(rec.duration());
         if (f.cb)

@@ -10,6 +10,17 @@
  * agree — while also capturing the *contention* effects the closed-form
  * model cannot (bulk backups squeezing foreground traffic, the paper's
  * §II motivation).
+ *
+ * Determinism: flows are stored and iterated in flow-id order, so rate
+ * allocation, completion detection, and the resulting floating-point
+ * operation order are identical on every platform (no dependence on
+ * hash-map layout).
+ *
+ * Performance (see DESIGN.md §"Kernel internals"): each link keeps the
+ * list of flows crossing it plus its currently allocated rate, and the
+ * simulator maintains active-power aggregates, so water-filling walks
+ * only the link→flow adjacency it touches and `linkUtilisation()` /
+ * `totalEnergy()` are O(1) instead of scanning every flow.
  */
 
 #ifndef DHL_NETWORK_FLOWSIM_HPP
@@ -17,7 +28,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "sim/sim_object.hpp"
@@ -82,10 +93,15 @@ class FlowSim : public sim::SimObject
     /** Total bytes delivered by completed flows. */
     double bytesDelivered() const { return bytes_delivered_; }
 
-    /** Total energy integrated over all flows (active + completed), J. */
+    /**
+     * Total energy integrated over all flows (active + completed), J.
+     * O(1): a flow at constant route power p accrues exactly
+     * p·(now − start), so the active term is tracked as two running
+     * sums (Σp and Σp·start).
+     */
     double totalEnergy() const;
 
-    /** Utilisation of a link right now, in [0, 1]. */
+    /** Utilisation of a link right now, in [0, 1].  O(1). */
     double linkUtilisation(int link) const;
 
   private:
@@ -98,12 +114,28 @@ class FlowSim : public sim::SimObject
         double rate;
         double route_power;
         double start_time;
-        double energy;
         Callback cb;
     };
 
-    /** Advance all active flows to now() (drain bytes, accrue energy). */
-    void advance();
+    struct Link
+    {
+        double capacity;
+        double allocated; ///< Σ current rates of flows on this link.
+        /** Flows crossing this link, in id order (ids are handed out
+         *  monotonically and appended, so order is maintained). */
+        std::vector<Flow *> flows;
+
+        // Water-filling scratch (valid only inside reallocate()).
+        double residual;
+        int unfrozen;
+    };
+
+    /** Drain every active flow's remaining bytes to now(). */
+    void drainFlows();
+
+    /** Detach @p f from its links' adjacency lists and the power
+     *  aggregates (shared by cancellation and completion). */
+    void detachFlow(Flow &f);
 
     /** Recompute max-min fair rates and reschedule completion. */
     void reallocate();
@@ -111,12 +143,14 @@ class FlowSim : public sim::SimObject
     /** Fire completions for flows that have drained. */
     void onCompletionEvent();
 
-    std::vector<double> links_;
-    std::unordered_map<FlowId, Flow> flows_;
+    std::vector<Link> links_;
+    std::map<FlowId, Flow> flows_; ///< id order ⇒ deterministic.
     FlowId next_id_;
     double last_update_;
     double bytes_delivered_;
     double finished_energy_;
+    double active_power_;        ///< Σ route_power over active flows.
+    double active_power_tstart_; ///< Σ route_power·start_time, ditto.
     sim::EventHandle completion_event_;
 
     stats::Counter *stat_flows_started_;

@@ -1,12 +1,22 @@
 /**
  * @file
  * Implementation of the discrete-event simulation kernel.
+ *
+ * The event queue is a binary min-heap of 24-byte POD keys; actions are
+ * kept out of the heap in a slot registry so sift operations are plain
+ * memmoves.  Cancellation bumps the slot's generation (O(1)) and the
+ * orphaned heap entry is discarded when it reaches the top.  A slot is
+ * returned to the free list only when its heap entry surfaces, so a
+ * slot index in the heap always refers to the occupancy that pushed it
+ * — a generation mismatch therefore uniquely identifies a cancelled
+ * event.
  */
 
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
-#include <utility>
 
 #include "common/logging.hpp"
 
@@ -16,7 +26,6 @@ namespace sim {
 Simulator::Simulator()
     : now_(0.0),
       next_seq_(0),
-      next_id_(1),
       executed_(0),
       size_(0),
       stopped_(false),
@@ -30,77 +39,116 @@ Simulator::Simulator()
         &stats_.addCounter("events_cancelled", "events cancelled");
 }
 
-EventHandle
-Simulator::schedule(Time delay, Action action)
+std::uint32_t
+Simulator::allocSlot(Action &&action)
+{
+    if (!free_slots_.empty()) {
+        const std::uint32_t s = free_slots_.back();
+        free_slots_.pop_back();
+        slotAction(s) = std::move(action);
+        return s;
+    }
+    fatal_if(slot_gen_.size() >= UINT32_MAX, "event slot registry overflow");
+    const auto s = static_cast<std::uint32_t>(slot_gen_.size());
+    slot_gen_.push_back(1);
+    if ((s >> kChunkShift) >= action_chunks_.size())
+        action_chunks_.push_back(std::make_unique<ActionChunk>());
+    slotAction(s) = std::move(action);
+    return s;
+}
+
+Time
+Simulator::delayToWhen(Time delay) const
 {
     fatal_if(!(delay >= 0.0) || std::isnan(delay),
              "event delay must be non-negative and finite");
-    return scheduleAt(now_ + delay, std::move(action));
+    const Time when = now_ + delay;
+    fatal_if(std::isinf(when), "event time must be finite");
+    return when;
 }
 
-EventHandle
-Simulator::scheduleAt(Time when, Action action)
+void
+Simulator::checkWhen(Time when) const
 {
     fatal_if(std::isnan(when) || std::isinf(when),
              "event time must be finite");
     fatal_if(when < now_, "cannot schedule an event in the past");
+}
+
+EventHandle
+Simulator::scheduleImpl(Time when, Action &&action)
+{
     panic_if(!action, "scheduled event has no action");
 
-    const std::uint64_t id = next_id_++;
-    queue_.push(Event{when, next_seq_++, id, std::move(action)});
-    pending_ids_.insert(id);
+    const std::uint32_t slot = allocSlot(std::move(action));
+    const std::uint32_t gen = slot_gen_[slot];
+    // when >= 0 here (validated by delayToWhen/checkWhen); +0.0
+    // canonicalises a possible -0.0 so the bit-pattern order holds.
+    const auto when_bits = std::bit_cast<std::uint64_t>(when + 0.0);
+    heap_.push_back(HeapEntry{when_bits, next_seq_++, slot, gen});
+    std::push_heap(heap_.begin(), heap_.end(), HeapCompare{});
     ++size_;
     stat_scheduled_->increment();
-    return EventHandle(id);
+    return EventHandle(slot, gen);
 }
 
 bool
 Simulator::cancel(EventHandle handle)
 {
-    // The heap cannot be edited in place; mark the id and drop the event
-    // lazily when it surfaces.  pending_ids_ distinguishes live events
-    // from ones that already fired or were already cancelled.
-    if (!handle.valid())
+    if (!handle.valid() || handle.slot_ >= slot_gen_.size())
         return false;
-    if (pending_ids_.erase(handle.id_) == 0)
-        return false;
-    cancelled_.insert(handle.id_);
+    if (slot_gen_[handle.slot_] != handle.gen_)
+        return false; // already fired or already cancelled
+    ++slot_gen_[handle.slot_];     // invalidates handle and heap entry
+    slotAction(handle.slot_) = nullptr; // release captures eagerly
     --size_;
     stat_cancelled_->increment();
     return true;
 }
 
-bool
-Simulator::popNext(Event &out)
+const Simulator::HeapEntry *
+Simulator::peekNext()
 {
-    while (!queue_.empty()) {
-        // priority_queue::top returns const&; we need to move the action
-        // out, which is safe because we pop immediately afterwards.
-        Event &top = const_cast<Event &>(queue_.top());
-        if (cancelled_.erase(top.id)) {
-            queue_.pop();
-            continue;
-        }
-        pending_ids_.erase(top.id);
-        out = std::move(top);
-        queue_.pop();
-        --size_;
-        return true;
+    while (!heap_.empty()) {
+        const HeapEntry &top = heap_.front();
+        if (slot_gen_[top.slot] == top.gen)
+            return &top;
+        // Cancelled occupant: reclaim the slot now that its (unique)
+        // heap entry has surfaced, then drop the entry.
+        free_slots_.push_back(top.slot);
+        std::pop_heap(heap_.begin(), heap_.end(), HeapCompare{});
+        heap_.pop_back();
     }
-    return false;
+    return nullptr;
+}
+
+Simulator::Action
+Simulator::takeTop()
+{
+    const HeapEntry top = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), HeapCompare{});
+    heap_.pop_back();
+
+    Action action = std::move(slotAction(top.slot)); // leaves slot empty
+    ++slot_gen_[top.slot]; // late cancel() on this handle returns false
+    free_slots_.push_back(top.slot);
+
+    const Time when = std::bit_cast<Time>(top.when_bits);
+    panic_if(when < now_, "event queue went backwards in time");
+    now_ = when;
+    --size_;
+    ++executed_;
+    stat_executed_->increment();
+    return action;
 }
 
 Time
 Simulator::run()
 {
     stopped_ = false;
-    Event ev;
-    while (!stopped_ && popNext(ev)) {
-        panic_if(ev.when < now_, "event queue went backwards in time");
-        now_ = ev.when;
-        ++executed_;
-        stat_executed_->increment();
-        ev.action();
+    while (!stopped_ && peekNext()) {
+        Action action = takeTop();
+        action();
     }
     return now_;
 }
@@ -110,24 +158,14 @@ Simulator::runUntil(Time until)
 {
     fatal_if(until < now_, "runUntil target is in the past");
     stopped_ = false;
-    while (!stopped_ && !queue_.empty()) {
-        // Peek (skipping cancelled) to check the time bound.
-        Event ev;
-        if (!popNext(ev))
+    while (!stopped_) {
+        const HeapEntry *top = peekNext();
+        if (!top)
             break;
-        if (ev.when > until) {
-            // Put it back: re-schedule preserving its original order key.
-            pending_ids_.insert(ev.id);
-            queue_.push(std::move(ev));
-            ++size_;
-            now_ = until;
-            return now_;
-        }
-        panic_if(ev.when < now_, "event queue went backwards in time");
-        now_ = ev.when;
-        ++executed_;
-        stat_executed_->increment();
-        ev.action();
+        if (std::bit_cast<Time>(top->when_bits) > until)
+            break; // leave the event queued for a later run
+        Action action = takeTop();
+        action();
     }
     if (now_ < until)
         now_ = until;
@@ -137,14 +175,11 @@ Simulator::runUntil(Time until)
 std::uint64_t
 Simulator::step(std::uint64_t max_events)
 {
+    stopped_ = false; // same entry semantics as run()/runUntil()
     std::uint64_t fired = 0;
-    Event ev;
-    while (fired < max_events && popNext(ev)) {
-        panic_if(ev.when < now_, "event queue went backwards in time");
-        now_ = ev.when;
-        ++executed_;
-        stat_executed_->increment();
-        ev.action();
+    while (!stopped_ && fired < max_events && peekNext()) {
+        Action action = takeTop();
+        action();
         ++fired;
     }
     return fired;

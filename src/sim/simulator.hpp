@@ -11,18 +11,27 @@
  * Determinism: events scheduled for the same timestamp fire in schedule
  * order (a monotonically increasing sequence number breaks ties), so runs
  * are exactly reproducible.
+ *
+ * Internals (see DESIGN.md §"Kernel internals" for the full story):
+ * actions live in a generation-tagged *slot registry* while the binary
+ * heap orders 24-byte POD keys {when, seq, slot, generation}.  A handle
+ * is {slot, generation}; cancel() is an O(1) generation bump (the dead
+ * heap entry is reclaimed lazily when it surfaces).  Actions are stored
+ * in an InlineFunction with a 64-byte small buffer, so the steady-state
+ * schedule→fire path performs no heap allocations and no hashing.
  */
 
 #ifndef DHL_SIM_SIMULATOR_HPP
 #define DHL_SIM_SIMULATOR_HPP
 
+#include <array>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
 #include <string>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
+#include "common/inline_function.hpp"
 #include "common/stats.hpp"
 
 namespace dhl {
@@ -31,19 +40,28 @@ namespace sim {
 /** Simulation time in seconds. */
 using Time = double;
 
-/** Handle to a scheduled event, usable for cancellation. */
+/**
+ * Handle to a scheduled event, usable for cancellation.
+ *
+ * Internally {slot index, generation}: the generation disambiguates
+ * reuses of the same slot, so a stale handle (event already fired or
+ * cancelled) is detected in O(1) without any lookup table.
+ */
 class EventHandle
 {
   public:
-    EventHandle() : id_(0) {}
+    EventHandle() : slot_(0), gen_(0) {}
 
     /** True if this handle ever referred to an event. */
-    bool valid() const { return id_ != 0; }
+    bool valid() const { return gen_ != 0; }
 
   private:
     friend class Simulator;
-    explicit EventHandle(std::uint64_t id) : id_(id) {}
-    std::uint64_t id_;
+    EventHandle(std::uint32_t slot, std::uint32_t gen)
+        : slot_(slot), gen_(gen)
+    {}
+    std::uint32_t slot_;
+    std::uint32_t gen_;
 };
 
 /**
@@ -59,7 +77,12 @@ class EventHandle
 class Simulator
 {
   public:
-    using Action = std::function<void()>;
+    /**
+     * Event action: move-only with 64 bytes of inline storage, so the
+     * capture lists typical of simulation events schedule without
+     * touching the heap.  `std::function` still converts implicitly.
+     */
+    using Action = common::InlineFunction<void(), 64>;
 
     Simulator();
 
@@ -76,13 +99,22 @@ class Simulator
      * @param action Callable invoked when the event fires.
      * @return Handle usable with cancel().
      */
-    EventHandle schedule(Time delay, Action action);
+    EventHandle
+    schedule(Time delay, Action action)
+    {
+        return scheduleImpl(delayToWhen(delay), std::move(action));
+    }
 
     /** Schedule @p action at the absolute time @p when (>= now). */
-    EventHandle scheduleAt(Time when, Action action);
+    EventHandle
+    scheduleAt(Time when, Action action)
+    {
+        checkWhen(when);
+        return scheduleImpl(when, std::move(action));
+    }
 
     /**
-     * Cancel a previously scheduled event.
+     * Cancel a previously scheduled event.  O(1).
      *
      * @return true if the event was pending and is now cancelled; false
      *         if it already fired, was already cancelled, or the handle
@@ -96,25 +128,38 @@ class Simulator
     /**
      * Run until the event queue drains (or stop() is called).
      *
+     * Clears any stop request left over from a previous run()/
+     * runUntil()/step() before executing.
+     *
      * @return The final simulation time.
      */
     Time run();
 
     /**
      * Run until simulation time reaches @p until (events at exactly
-     * @p until still fire) or the queue drains.
+     * @p until still fire) or the queue drains.  Clears any prior stop
+     * request on entry, like run().
      *
      * @return The final simulation time (min(until, drain time)).
      */
     Time runUntil(Time until);
 
-    /** Execute at most @p max_events events; returns how many fired. */
+    /**
+     * Execute at most @p max_events events; returns how many fired.
+     *
+     * Same stop() semantics as run(): a stop request left over from an
+     * earlier run is cleared on entry, and a stop() issued by one of the
+     * executed actions ends the batch early (stopRequested() reports it
+     * until the next run()/runUntil()/step()).
+     */
     std::uint64_t step(std::uint64_t max_events = 1);
 
-    /** Request that run()/runUntil() return after the current event. */
+    /** Request that run()/runUntil()/step() return after the current
+     * event. */
     void stop() { stopped_ = true; }
 
-    /** True if stop() was called during the last run. */
+    /** True if stop() was called during the last run()/runUntil()/
+     * step(). */
     bool stopRequested() const { return stopped_; }
 
     /** Total number of events executed since construction. */
@@ -124,38 +169,93 @@ class Simulator
     stats::StatGroup &statsGroup() { return stats_; }
 
   private:
-    struct Event
+    /**
+     * POD heap key; the action lives in the slot registry.
+     *
+     * `when_bits` is the IEEE-754 bit pattern of the event time.  The
+     * kernel guarantees event times are finite and >= 0 (validated at
+     * the schedule boundary, with -0.0 canonicalised to +0.0), and for
+     * non-negative doubles the bit pattern preserves numeric order — so
+     * the heap can compare plain integers.  Together with the sequence
+     * tie-break this makes the ordering a branch-free pair of integer
+     * comparisons instead of a data-dependent double-compare chain,
+     * which measurably cuts sift cost on event-dense queues.
+     */
+    struct HeapEntry
     {
-        Time when;
+        std::uint64_t when_bits;
         std::uint64_t seq; // tie-break: FIFO within a timestamp
-        std::uint64_t id;
-        Action action;
+        std::uint32_t slot;
+        std::uint32_t gen;
     };
 
-    struct EventCompare
+    /** Min-heap comparator: true if @p a fires after @p b.  Branch-free
+     *  on purpose — see HeapEntry. */
+    struct HeapCompare
     {
         bool
-        operator()(const Event &a, const Event &b) const
+        operator()(const HeapEntry &a, const HeapEntry &b) const
         {
-            if (a.when != b.when)
-                return a.when > b.when; // min-heap on time
-            return a.seq > b.seq;       // FIFO within equal times
+            const bool gt = a.when_bits > b.when_bits;
+            const bool eq = a.when_bits == b.when_bits;
+            const bool seq_gt = a.seq > b.seq; // FIFO within equal times
+            return gt | (eq & seq_gt);
         }
     };
 
-    /** Pop the next non-cancelled event; false if the queue is empty. */
-    bool popNext(Event &out);
+    /**
+     * Actions are stored in fixed-size chunks that never move: growing
+     * the registry allocates a fresh chunk instead of relocating every
+     * stored callable the way a flat vector would (one indirect
+     * relocation call per occupied slot per doubling).  Generations
+     * live in a flat vector — they are PODs, hot on the peek path, and
+     * cheap to grow.
+     */
+    static constexpr std::uint32_t kChunkShift = 8;
+    static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+    using ActionChunk = std::array<Action, kChunkSize>;
+
+    Action &
+    slotAction(std::uint32_t slot)
+    {
+        return (*action_chunks_[slot >> kChunkShift])
+            [slot & (kChunkSize - 1)];
+    }
+
+    /** Validate a relative delay and convert it to an absolute time. */
+    Time delayToWhen(Time delay) const;
+
+    /** Validate an absolute event time. */
+    void checkWhen(Time when) const;
+
+    /** The single push path; the Action is moved into a slot exactly
+     *  once (callers construct it in place at the API boundary). */
+    EventHandle scheduleImpl(Time when, Action &&action);
+
+    std::uint32_t allocSlot(Action &&action);
+
+    /**
+     * Drop cancelled entries off the top of the heap (reclaiming their
+     * slots) until a live event surfaces; null if the heap drains.
+     */
+    const HeapEntry *peekNext();
+
+    /** Pop the top (live) entry, returning its action; advances time. */
+    Action takeTop();
 
     Time now_;
     std::uint64_t next_seq_;
-    std::uint64_t next_id_;
     std::uint64_t executed_;
     std::size_t size_; // live (non-cancelled) events
     bool stopped_;
 
-    std::priority_queue<Event, std::vector<Event>, EventCompare> queue_;
-    std::unordered_set<std::uint64_t> pending_ids_; // live events in queue_
-    std::unordered_set<std::uint64_t> cancelled_;   // lazily dropped ids
+    std::vector<HeapEntry> heap_;
+    /** Generation per slot; bumped whenever the slot's occupant leaves
+     *  (fires or is cancelled), invalidating outstanding handles and
+     *  heap entries in O(1). */
+    std::vector<std::uint32_t> slot_gen_;
+    std::vector<std::unique_ptr<ActionChunk>> action_chunks_;
+    std::vector<std::uint32_t> free_slots_;
 
     stats::StatGroup stats_;
     stats::Counter *stat_scheduled_;

@@ -182,3 +182,51 @@ TEST(FlowSimTest, RejectsBadArguments)
     EXPECT_THROW(fs.flowRate(999), dhl::FatalError);
     EXPECT_THROW(fs.linkCapacity(-1), dhl::FatalError);
 }
+
+TEST(FlowSimTest, ThreeLinkContentionRatesAreExactlyDeterministic)
+{
+    // Water-filling walks links and flows in id order, so the exact
+    // floating-point rate allocation is pinned — EXPECT_DOUBLE_EQ, not
+    // EXPECT_NEAR.  Guards against iteration-order nondeterminism (the
+    // old implementation walked an unordered_map).
+    //
+    // Topology: A(10) carries f1{A}, f2{A,B}; B(20) carries f2, f3{B,C};
+    // C(30) carries f3, f4{C}.
+    //   Round 1: A binds at 10/2 = 5  -> f1 = f2 = 5.
+    //   Round 2: B residual 15 for f3, C residual 30 for f3,f4 = 15 each
+    //            -> f3 = f4 = 15.
+    const auto run_once = [](std::vector<double> &rates,
+                             std::vector<double> &finishes) {
+        Simulator sim;
+        FlowSim fs(sim);
+        const int a = fs.addLink(10.0);
+        const int b = fs.addLink(20.0);
+        const int c = fs.addLink(30.0);
+        auto cb = [&](const FlowRecord &r) {
+            finishes.push_back(r.finish_time);
+        };
+        const FlowId f1 = fs.startFlow({a}, 100.0, 0.0, cb);
+        const FlowId f2 = fs.startFlow({a, b}, 100.0, 0.0, cb);
+        const FlowId f3 = fs.startFlow({b, c}, 150.0, 0.0, cb);
+        const FlowId f4 = fs.startFlow({c}, 150.0, 0.0, cb);
+        rates = {fs.flowRate(f1), fs.flowRate(f2), fs.flowRate(f3),
+                 fs.flowRate(f4)};
+        sim.run();
+    };
+
+    std::vector<double> rates, finishes;
+    run_once(rates, finishes);
+    ASSERT_EQ(rates.size(), 4u);
+    EXPECT_DOUBLE_EQ(rates[0], 5.0);
+    EXPECT_DOUBLE_EQ(rates[1], 5.0);
+    EXPECT_DOUBLE_EQ(rates[2], 15.0);
+    EXPECT_DOUBLE_EQ(rates[3], 15.0);
+
+    // Re-running the identical scenario reproduces rates and finish
+    // times bit-for-bit.
+    std::vector<double> rates2, finishes2;
+    run_once(rates2, finishes2);
+    EXPECT_EQ(rates, rates2);
+    EXPECT_EQ(finishes, finishes2);
+    ASSERT_EQ(finishes.size(), 4u);
+}

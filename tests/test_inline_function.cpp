@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Unit tests for common::InlineFunction — the small-buffer-optimised
+ * move-only callable the DES kernel stores its event actions in.
+ *
+ * The file overrides global operator new/delete with counting hooks so
+ * the tests can assert which paths allocate: callables that fit the
+ * buffer must never touch the heap, oversized ones must allocate
+ * exactly once and free on destruction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <utility>
+
+#include "common/inline_function.hpp"
+
+using dhl::common::InlineFunction;
+
+namespace {
+
+std::atomic<std::int64_t> g_allocs{0};
+std::atomic<std::int64_t> g_frees{0};
+
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    ++g_allocs;
+    if (void *p = std::malloc(size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void
+operator delete(void *p) noexcept
+{
+    if (p) {
+        ++g_frees;
+        std::free(p);
+    }
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    ::operator delete(p);
+}
+
+namespace {
+
+using Fn = InlineFunction<int(), 64>;
+
+/** Callable whose instances count constructions and destructions. */
+struct Counted
+{
+    static int live;
+    static int destroyed;
+    int value;
+
+    explicit Counted(int v) : value(v) { ++live; }
+    Counted(Counted &&other) noexcept : value(other.value) { ++live; }
+    Counted(const Counted &other) : value(other.value) { ++live; }
+    ~Counted()
+    {
+        --live;
+        ++destroyed;
+    }
+
+    int operator()() const { return value; }
+};
+
+int Counted::live = 0;
+int Counted::destroyed = 0;
+
+TEST(InlineFunction, EmptyByDefault)
+{
+    Fn f;
+    EXPECT_FALSE(static_cast<bool>(f));
+    Fn g(nullptr);
+    EXPECT_FALSE(static_cast<bool>(g));
+}
+
+TEST(InlineFunction, SmallCallableStaysInline)
+{
+    int x = 41;
+    const auto before = g_allocs.load();
+    Fn f([&x] { return x + 1; });
+    EXPECT_EQ(g_allocs.load(), before) << "SBO-sized lambda allocated";
+    ASSERT_TRUE(static_cast<bool>(f));
+    EXPECT_EQ(f(), 42);
+}
+
+TEST(InlineFunction, SixtyFourByteCaptureStaysInline)
+{
+    std::array<std::uint64_t, 8> payload{}; // exactly the 64-byte buffer
+    payload[7] = 7;
+    const auto before = g_allocs.load();
+    Fn f([payload] { return static_cast<int>(payload[7]); });
+    EXPECT_EQ(g_allocs.load(), before);
+    EXPECT_EQ(f(), 7);
+}
+
+TEST(InlineFunction, OversizedCallableUsesHeapOnceAndFrees)
+{
+    std::array<std::uint64_t, 9> payload{}; // 72 bytes: one over
+    payload[0] = 9;
+    const auto allocs_before = g_allocs.load();
+    const auto frees_before = g_frees.load();
+    {
+        Fn f([payload] { return static_cast<int>(payload[0]); });
+        EXPECT_EQ(g_allocs.load(), allocs_before + 1);
+        EXPECT_EQ(f(), 9);
+
+        // Moving a heap-backed callable steals the pointer: no
+        // further allocation, no premature free.
+        Fn g(std::move(f));
+        EXPECT_EQ(g_allocs.load(), allocs_before + 1);
+        EXPECT_EQ(g_frees.load(), frees_before);
+        EXPECT_EQ(g(), 9);
+        EXPECT_FALSE(static_cast<bool>(f));
+    }
+    EXPECT_EQ(g_frees.load(), frees_before + 1);
+}
+
+TEST(InlineFunction, ReportsStoragePolicy)
+{
+    struct Small
+    {
+        void operator()() {}
+    };
+    EXPECT_TRUE((InlineFunction<void(), 64>::storedInline<Small>()));
+    struct Big
+    {
+        std::array<std::byte, 65> pad;
+        void operator()() {}
+    };
+    EXPECT_FALSE((InlineFunction<void(), 64>::storedInline<Big>()));
+}
+
+TEST(InlineFunction, HoldsMoveOnlyCaptures)
+{
+    auto p = std::make_unique<int>(123);
+    InlineFunction<int(), 64> f([q = std::move(p)] { return *q; });
+    EXPECT_EQ(f(), 123);
+    // Move the whole function; the unique_ptr travels with it.
+    InlineFunction<int(), 64> g(std::move(f));
+    EXPECT_EQ(g(), 123);
+    EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(InlineFunction, MoveConstructionTransfersOwnership)
+{
+    Counted::live = 0;
+    Counted::destroyed = 0;
+    {
+        Fn f{Counted(5)};
+        EXPECT_EQ(Counted::live, 1);
+        Fn g(std::move(f));
+        EXPECT_EQ(Counted::live, 1) << "move must relocate, not duplicate";
+        EXPECT_FALSE(static_cast<bool>(f));
+        EXPECT_EQ(g(), 5);
+    }
+    EXPECT_EQ(Counted::live, 0);
+}
+
+TEST(InlineFunction, MoveAssignmentDestroysOldCallable)
+{
+    Counted::live = 0;
+    Counted::destroyed = 0;
+    Fn f{Counted(1)};
+    Fn g{Counted(2)};
+    EXPECT_EQ(Counted::live, 2);
+    g = std::move(f);
+    EXPECT_EQ(Counted::live, 1); // old occupant of g destroyed
+    EXPECT_EQ(g(), 1);
+    EXPECT_FALSE(static_cast<bool>(f));
+    g = nullptr;
+    EXPECT_EQ(Counted::live, 0);
+}
+
+TEST(InlineFunction, SelfMoveAssignmentIsHarmless)
+{
+    Counted::live = 0;
+    Counted::destroyed = 0;
+    Fn f{Counted(77)};
+    Fn &alias = f;
+    f = std::move(alias); // must not destroy the live callable
+    EXPECT_EQ(Counted::live, 1);
+    ASSERT_TRUE(static_cast<bool>(f));
+    EXPECT_EQ(f(), 77);
+}
+
+TEST(InlineFunction, DestructionCountsBalance)
+{
+    Counted::live = 0;
+    Counted::destroyed = 0;
+    {
+        Fn a{Counted(1)};
+        Fn b{Counted(2)};
+        Fn c(std::move(a));
+        b = std::move(c);
+        (void)b;
+    }
+    EXPECT_EQ(Counted::live, 0);
+    // Every construction (direct + relocation temporaries) was matched
+    // by exactly one destruction.
+    EXPECT_GE(Counted::destroyed, 2);
+}
+
+TEST(InlineFunction, ForwardsArgumentsAndReturn)
+{
+    InlineFunction<double(double, double), 32> f(
+        [](double a, double b) { return a * b; });
+    EXPECT_DOUBLE_EQ(f(3.0, 4.0), 12.0);
+
+    // Reference arguments pass through untouched.
+    InlineFunction<void(int &), 32> inc([](int &v) { ++v; });
+    int x = 1;
+    inc(x);
+    EXPECT_EQ(x, 2);
+}
+
+TEST(InlineFunction, WrapsStdFunction)
+{
+    std::function<int()> sf = [] { return 31; };
+    InlineFunction<int(), 64> f(sf); // copies the std::function
+    EXPECT_EQ(f(), 31);
+}
+
+} // namespace

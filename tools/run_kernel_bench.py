@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Run the DES-kernel microbenchmarks and emit BENCH_kernel.json.
+
+Wraps bench/microbench_kernel: runs it with --benchmark_format=json and
+a configurable repetition count, reduces each benchmark to its
+best-of-N items_per_second (the metric the ISSUE acceptance criteria
+are written against), and — when a baseline file is supplied — records
+the before/after speedup next to the raw google-benchmark output.
+
+Usage:
+    run_kernel_bench.py <microbench_kernel-binary> \
+        [--output BENCH_kernel.json] [--min-time 0.2] [--repetitions 5] \
+        [--baseline tools/bench_baseline_kernel.json]
+
+The baseline file maps benchmark name -> items_per_second, e.g.
+    {"BM_KernelScheduleRun/1024": 4716070, ...}
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+
+def parse_args(argv):
+    p = argparse.ArgumentParser(description=__doc__)
+    p.add_argument("binary", help="path to the microbench_kernel binary")
+    p.add_argument("--output", default="BENCH_kernel.json")
+    p.add_argument("--min-time", default="0.2",
+                   help="per-benchmark min time in seconds (plain number)")
+    p.add_argument("--repetitions", type=int, default=5)
+    p.add_argument("--baseline", default=None,
+                   help="JSON file mapping benchmark name -> baseline "
+                        "items_per_second")
+    return p.parse_args(argv)
+
+
+def run_benchmarks(binary, min_time, repetitions):
+    cmd = [
+        binary,
+        "--benchmark_format=json",
+        "--benchmark_min_time=%s" % min_time,
+        "--benchmark_repetitions=%d" % repetitions,
+    ]
+    out = subprocess.run(cmd, check=True, capture_output=True, text=True)
+    return json.loads(out.stdout)
+
+
+def best_items_per_second(raw):
+    """Best-of-N items_per_second per benchmark (aggregates skipped)."""
+    best = {}
+    for b in raw.get("benchmarks", []):
+        if b.get("run_type") != "iteration":
+            continue
+        name = b["run_name"]
+        ips = b.get("items_per_second")
+        if ips is None:
+            continue
+        best[name] = max(best.get(name, 0.0), ips)
+    return best
+
+
+def main(argv):
+    args = parse_args(argv)
+    raw = run_benchmarks(args.binary, args.min_time, args.repetitions)
+    best = best_items_per_second(raw)
+    if not best:
+        sys.exit("no benchmark results with items_per_second found")
+
+    doc = {
+        "metric": "items_per_second, best of %d repetitions"
+                  % args.repetitions,
+        "best_items_per_second": best,
+        "raw": raw,
+    }
+    if args.baseline:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+        doc["baseline_items_per_second"] = baseline
+        doc["speedup_vs_baseline"] = {
+            name: round(ips / baseline[name], 3)
+            for name, ips in best.items() if name in baseline
+        }
+
+    with open(args.output, "w") as f:
+        json.dump(doc, f, indent=1)
+        f.write("\n")
+
+    for name, ips in sorted(best.items()):
+        line = "%-32s %12.0f items/s" % (name, ips)
+        if "speedup_vs_baseline" in doc and name in doc["speedup_vs_baseline"]:
+            line += "   %5.2fx vs baseline" % doc["speedup_vs_baseline"][name]
+        print(line)
+    print("wrote %s" % args.output)
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])
