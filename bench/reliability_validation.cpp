@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Experiment E17 — fault-injection validation: the DES's observed
+ * service availability under the seeded FaultInjector must converge to
+ * the closed-form steady-state AvailabilityModel (series availability
+ * MTBF/(MTBF+MTTR) per component), and bulk transfers under faults
+ * must derate towards the model's system availability.
+ *
+ * Scenarios run through the ExperimentRunner; `--jobs 1` and parallel
+ * runs print byte-identical tables (the fault timeline is a pure
+ * function of (seed, config), never of thread interleaving).
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/units.hpp"
+#include "dhl/reliability.hpp"
+#include "dhl/simulation.hpp"
+#include "faults/fault_injector.hpp"
+
+using namespace dhl;
+using namespace dhl::core;
+namespace u = dhl::units;
+
+namespace {
+
+constexpr double kSecondsPerHour = 3600.0;
+
+/** Long-horizon availability measurement parameters: component rates
+ *  accelerated ~500x over the engineering estimates so a 50000-hour
+ *  horizon covers hundreds of failure cycles per component. */
+ReliabilityConfig
+acceleratedRates()
+{
+    ReliabilityConfig rel;
+    rel.lim_mtbf = 100.0;
+    rel.lim_mttr = 8.0;
+    rel.track_mtbf = 200.0;
+    rel.track_mttr = 24.0;
+    rel.station_mtbf = 60.0;
+    rel.station_mttr = 4.0;
+    rel.cart_repair_per_trip = 0.0; // availability is outage-driven
+    return rel;
+}
+
+/** One availability-convergence scenario: drive a bare FaultInjector
+ *  for the full horizon and compare observed vs closed-form. */
+exp::Scenario
+availabilityScenario(const DhlConfig &dhl, const ReliabilityConfig &rel,
+                     std::uint64_t seed, double horizon_hours)
+{
+    exp::Scenario s;
+    s.name = "seed " + std::to_string(seed);
+    s.run = [dhl, rel, seed, horizon_hours](exp::ScenarioContext &) {
+        const double horizon_s = horizon_hours * kSecondsPerHour;
+        sim::Simulator sim;
+        faults::FaultState state(sim);
+        const faults::FaultConfig fc = toFaultConfig(rel, seed, horizon_s);
+        faults::FaultInjector injector(sim, state, fc,
+                                       dhl.docking_stations);
+        sim.run(); // drains shortly after the horizon
+
+        const AvailabilityModel model(dhl, rel);
+        const double predicted = model.report().system_availability;
+        const double observed = state.observedAvailability(horizon_s);
+        const double rel_err =
+            std::abs(observed - predicted) / predicted;
+
+        exp::ScenarioRows rows;
+        rows.push_back({"seed " + std::to_string(seed),
+                        std::to_string(injector.eventsInjected()),
+                        std::to_string(state.serviceTransitions()),
+                        cell(observed, 5), cell(predicted, 5),
+                        cell(rel_err * 100.0, 3)});
+        return rows;
+    };
+    return s;
+}
+
+/** One degraded-throughput scenario: the same bulk transfer with and
+ *  without fault injection; the bandwidth ratio tracks (loosely — the
+ *  run is finite and queueing effects stack) the system availability. */
+exp::Scenario
+degradedScenario(std::string name, const ReliabilityConfig &rel,
+                 std::uint64_t seed, std::uint64_t carts)
+{
+    exp::Scenario s;
+    s.name = name;
+    s.run = [name, rel, seed, carts](exp::ScenarioContext &) {
+        const DhlConfig cfg = defaultConfig();
+        const double dataset =
+            static_cast<double>(carts) * cfg.cartCapacity();
+
+        DhlSimulation clean(cfg);
+        const BulkRunResult rc = clean.runBulkTransfer(dataset);
+
+        DhlSimulation faulty(cfg);
+        BulkRunOptions opts;
+        opts.faults = toFaultConfig(rel, seed);
+        const BulkRunResult rf = faulty.runBulkTransfer(dataset, opts);
+
+        const AvailabilityModel model(cfg, rel);
+        const double predicted = model.report().system_availability;
+
+        exp::ScenarioRows rows;
+        rows.push_back(
+            {name, cell(predicted, 4),
+             cell(rc.effective_bandwidth / u::gigabytes(1), 4),
+             cell(rf.effective_bandwidth / u::gigabytes(1), 4),
+             cell(rf.effective_bandwidth / rc.effective_bandwidth, 4),
+             std::to_string(faulty.controller().parkedLaunches()),
+             std::to_string(faulty.controller().heldOpens()),
+             std::to_string(faulty.controller().cartBreakdowns())});
+        return rows;
+    };
+    return s;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bench::Options opts = bench::parseArgs(argc, argv);
+    if (!opts.csv) {
+        bench::banner("E17 (beyond-paper)",
+                      "fault-injection DES vs closed-form availability "
+                      "model");
+    }
+
+    exp::ExperimentRunner runner(bench::runOptions(opts));
+
+    // Part 1: long-run availability convergence across a seed sweep.
+    const DhlConfig dhl = defaultConfig();
+    const ReliabilityConfig rel = acceleratedRates();
+    const double horizon_hours = 50000.0;
+
+    exp::Experiment avail("availability convergence");
+    for (std::uint64_t seed = 1; seed <= 6; ++seed)
+        avail.add(availabilityScenario(dhl, rel, seed, horizon_hours));
+
+    if (!opts.csv) {
+        std::cout << "\nAvailability convergence (" << horizon_hours
+                  << " h horizon, rates accelerated ~500x):\n";
+    }
+    bench::emit(runner.run(avail),
+                {"Scenario", "Fault events", "Service edges",
+                 "DES availability", "Model availability",
+                 "Rel err (%)"},
+                opts);
+
+    // Part 2: bulk transfers on a faulty system derate towards the
+    // system availability (heavily accelerated rates so outages land
+    // within a ~1000 s transfer).
+    ReliabilityConfig moderate;
+    moderate.lim_mtbf = 0.2;
+    moderate.lim_mttr = 0.0125;
+    moderate.track_mtbf = 0.4;
+    moderate.track_mttr = 0.012;
+    moderate.station_mtbf = 0.12;
+    moderate.station_mttr = 0.01;
+    moderate.cart_repair_per_trip = 0.02;
+    moderate.cart_repair_hours = 0.01;
+
+    ReliabilityConfig heavy = moderate;
+    heavy.lim_mtbf = 0.05;
+    heavy.track_mtbf = 0.1;
+    heavy.station_mtbf = 0.03;
+    heavy.cart_repair_per_trip = 0.05;
+
+    exp::Experiment degraded("degraded throughput");
+    degraded.add(degradedScenario("moderate faults", moderate, 7, 48));
+    degraded.add(degradedScenario("heavy faults", heavy, 7, 48));
+
+    if (!opts.csv)
+        std::cout << "\nDegraded-mode bulk transfers (48 carts):\n";
+    bench::emit(runner.run(degraded),
+                {"Scenario", "Model avail", "Clean BW (GB/s)",
+                 "Faulted BW (GB/s)", "Ratio", "Parked", "Held opens",
+                 "Breakdowns"},
+                opts);
+
+    if (!opts.csv) {
+        std::cout
+            << "\nThe DES availability converges to the closed form "
+               "because both use the same MTBF/MTTR parameters and "
+               "steady-state availability holds for exponential "
+               "uptimes with fixed repairs.  Transfer derating "
+               "exceeds the availability loss alone: outages also "
+               "serialise queued work (parked trips, held opens).\n";
+    }
+    return 0;
+}

@@ -104,6 +104,13 @@ class Cart
     /** Repair all SSDs (library maintenance). */
     void repairAll();
 
+    /** Record a mechanical breakdown (cart pulled into the library's
+     *  repair shop; the FaultState tracks the turnaround). */
+    void recordBreakdown() { ++breakdowns_; }
+
+    /** Mechanical breakdowns suffered so far. */
+    std::uint64_t breakdowns() const { return breakdowns_; }
+
     /** Completed one-way trips. */
     std::uint64_t trips() const { return trips_; }
 
@@ -115,6 +122,7 @@ class Cart
     CartState state_;
     CartPlace place_;
     std::uint64_t trips_;
+    std::uint64_t breakdowns_ = 0;
     std::vector<storage::SsdModel> ssds_;
 };
 

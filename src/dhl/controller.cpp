@@ -40,6 +40,12 @@ DhlController::DhlController(sim::Simulator &sim, const DhlConfig &cfg,
     stat_writes_ = &sg.addCounter("writes", "write commands completed");
     stat_failures_ =
         &sg.addCounter("ssd_failures", "in-flight SSD failures injected");
+    stat_parked_ = &sg.addCounter(
+        "parked_launches", "trips parked by a launch-blocking outage");
+    stat_held_opens_ = &sg.addCounter(
+        "held_opens", "opens held while the cart was in repair");
+    stat_breakdowns_ = &sg.addCounter(
+        "cart_breakdowns", "per-trip mechanical cart breakdowns");
     stat_open_latency_ =
         &sg.addAccumulator("open_latency", "open request->docked, s");
 }
@@ -58,19 +64,49 @@ DhlController::addCart(double preload_bytes)
                              failure_per_trip_);
 }
 
+void
+DhlController::attachFaults(faults::FaultState *faults)
+{
+    faults_ = faults;
+    track_->attachFaults(faults);
+    for (std::size_t i = 0; i < stations_.size(); ++i) {
+        stations_[i]->attachFaults(faults,
+                                   static_cast<std::uint32_t>(i));
+    }
+    if (faults != nullptr) {
+        // Every repair may unblock held work: queued opens re-route to
+        // whichever stations survive, parked launches retry on their
+        // own bounded backoff.
+        faults->onRepair([this] {
+            if (tracingOn() && !scheduler_->empty() &&
+                !launchesBlocked()) {
+                traceEvent(
+                    "fault",
+                    "repair completed; dispatching " +
+                        std::to_string(scheduler_->size()) +
+                        " queued open(s), oldest waited " +
+                        units::formatSig(
+                            now() - scheduler_->oldestEnqueueTime(), 4) +
+                        " s");
+            }
+            dispatchOpens();
+        });
+    }
+}
+
 DockingStation *
 DhlController::findFreeStation()
 {
     for (auto &st : stations_) {
-        if (st->free())
+        if (st->available())
             return st.get();
     }
     return nullptr;
 }
 
 void
-DhlController::traceEvent(const std::string &category,
-                          const std::string &message)
+DhlController::traceEvent(std::string_view category,
+                          std::string_view message)
 {
     if (trace_ != nullptr)
         trace_->record(category, name(), message);
@@ -91,10 +127,34 @@ DhlController::open(CartId id, const RequestMeta &meta, OpenCb cb)
              "open: cart " + std::to_string(id) +
                  " is not stored in the library");
 
-    traceEvent("api", "open cart " + std::to_string(id));
-    DockingStation *st = findFreeStation();
+    // Held: the cart is rotating through the library's repair shop;
+    // re-issue the open at the (known) repair turnaround.
+    if (faults_ != nullptr && faults_->cartInRepair(id)) {
+        ++held_opens_;
+        stat_held_opens_->increment();
+        const double wait = faults_->cartRepairEnd(id) - now();
+        if (tracingOn()) {
+            traceEvent("fault", "open cart " + std::to_string(id) +
+                                    " held: cart in repair for another " +
+                                    units::formatSig(wait, 4) + " s");
+        }
+        schedule(wait, [this, id, meta, cb = std::move(cb)]() mutable {
+            open(id, meta, std::move(cb));
+        });
+        return;
+    }
+
+    if (tracingOn())
+        traceEvent("api", "open cart " + std::to_string(id));
+    // While launches are blocked the queue holds every open — carts
+    // stay in the library instead of clogging stations they cannot
+    // leave.
+    DockingStation *st = launchesBlocked() ? nullptr : findFreeStation();
     if (st == nullptr) {
-        traceEvent("api", "open cart " + std::to_string(id) + " queued");
+        if (tracingOn()) {
+            traceEvent("api",
+                       "open cart " + std::to_string(id) + " queued");
+        }
         scheduler_->push(
             QueuedOpen{id, meta, now(), next_seq_++, std::move(cb)});
         return;
@@ -120,30 +180,56 @@ DhlController::startOpen(CartId id, OpenCb cb, DockingStation &st)
 
     library_->beginUndock(id, [this, id, &st, requested,
                                cb = std::move(cb)]() mutable {
+        launchOutbound(id, st, requested, std::move(cb), 0.0);
+    });
+}
+
+void
+DhlController::launchOutbound(CartId id, DockingStation &st,
+                              double requested, OpenCb cb, double backoff)
+{
+    // Degraded mode: a LIM or track outage parks the trip in place
+    // (cart waiting on the track apron, station still reserved) and
+    // retries with bounded backoff.
+    if (launchesBlocked()) {
+        const double wait =
+            faults::nextBackoff(faults_->retryPolicy(), backoff);
+        ++parked_launches_;
+        stat_parked_->increment();
+        if (tracingOn()) {
+            traceEvent("fault", "cart " + std::to_string(id) +
+                                    " parked outbound; retry in " +
+                                    units::formatSig(wait, 4) + " s");
+        }
+        schedule(wait, [this, id, &st, requested, wait,
+                        cb = std::move(cb)]() mutable {
+            launchOutbound(id, st, requested, std::move(cb), wait);
+        });
+        return;
+    }
+
+    const LaunchGrant grant = track_->reserveLaunch(Direction::Outbound);
+    // Depart when the track admits us.
+    schedule(grant.depart_time - now(), [this, id] {
+        library_->cart(id).launch();
+        if (tracingOn())
+            traceEvent("track", "cart " + std::to_string(id) +
+                                    " outbound");
+    });
+    // Arrive, roll failure dice, and dock.
+    schedule(grant.arrive_time - now(), [this, id, &st, requested,
+                                         cb = std::move(cb)]() mutable {
         Cart &cart = library_->cart(id);
-        const LaunchGrant grant = track_->reserveLaunch(Direction::Outbound);
-        // Depart when the track admits us.
-        schedule(grant.depart_time - now(), [this, id] {
-            library_->cart(id).launch();
-            traceEvent("track",
-                       "cart " + std::to_string(id) + " outbound");
-        });
-        // Arrive, roll failure dice, and dock.
-        schedule(grant.arrive_time - now(), [this, id, &st, requested,
-                                             cb = std::move(cb)]() mutable {
+        handleArrivalFailures(cart);
+        st.beginDock([this, id, &st, requested,
+                      cb = std::move(cb)]() mutable {
             Cart &cart = library_->cart(id);
-            handleArrivalFailures(cart);
-            st.beginDock([this, id, &st, requested,
-                          cb = std::move(cb)]() mutable {
-                Cart &cart = library_->cart(id);
-                cart_station_[id] = &st;
-                stat_opens_->increment();
-                stat_open_latency_->sample(now() - requested);
-                if (cb)
-                    cb(cart, st);
-            });
+            cart_station_[id] = &st;
+            stat_opens_->increment();
+            stat_open_latency_->sample(now() - requested);
+            if (cb)
+                cb(cart, st);
         });
-        (void)cart;
     });
 }
 
@@ -160,35 +246,91 @@ DhlController::close(CartId id, CloseCb cb)
              "docked cart has no station mapping");
     DockingStation *st = it->second;
     cart_station_.erase(it);
-    traceEvent("api", "close cart " + std::to_string(id));
+    if (tracingOn())
+        traceEvent("api", "close cart " + std::to_string(id));
 
     st->beginUndock([this, id, st, cb = std::move(cb)]() mutable {
-        const LaunchGrant grant = track_->reserveLaunch(Direction::Inbound);
-        schedule(grant.depart_time - now(), [this, id, st] {
-            library_->cart(id).launch();
-            traceEvent("track",
-                       "cart " + std::to_string(id) + " inbound");
-            // The station is free once its cart has departed; serve any
-            // queued open.
-            st->release();
-            dispatchOpens();
-        });
-        schedule(grant.arrive_time - now(), [this, id,
-                                             cb = std::move(cb)]() mutable {
-            Cart &cart = library_->cart(id);
-            handleArrivalFailures(cart);
-            library_->beginDock(id, [this, id, cb = std::move(cb)]() mutable {
-                stat_closes_->increment();
-                if (cb)
-                    cb(library_->cart(id));
-            });
-        });
+        launchInbound(id, *st, std::move(cb), 0.0);
     });
+}
+
+void
+DhlController::launchInbound(CartId id, DockingStation &st, CloseCb cb,
+                             double backoff)
+{
+    // Same parking policy as outbound: the undocked cart waits at its
+    // (still reserved) station until the propulsion path is repaired.
+    if (launchesBlocked()) {
+        const double wait =
+            faults::nextBackoff(faults_->retryPolicy(), backoff);
+        ++parked_launches_;
+        stat_parked_->increment();
+        if (tracingOn()) {
+            traceEvent("fault", "cart " + std::to_string(id) +
+                                    " parked inbound; retry in " +
+                                    units::formatSig(wait, 4) + " s");
+        }
+        schedule(wait,
+                 [this, id, &st, wait, cb = std::move(cb)]() mutable {
+                     launchInbound(id, st, std::move(cb), wait);
+                 });
+        return;
+    }
+
+    const LaunchGrant grant = track_->reserveLaunch(Direction::Inbound);
+    schedule(grant.depart_time - now(), [this, id, st = &st] {
+        library_->cart(id).launch();
+        if (tracingOn())
+            traceEvent("track", "cart " + std::to_string(id) +
+                                    " inbound");
+        // The station is free once its cart has departed; serve any
+        // queued open.
+        st->release();
+        dispatchOpens();
+    });
+    schedule(grant.arrive_time - now(),
+             [this, id, cb = std::move(cb)]() mutable {
+                 Cart &cart = library_->cart(id);
+                 handleArrivalFailures(cart);
+                 library_->beginDock(
+                     id, [this, id, cb = std::move(cb)]() mutable {
+                         finishClose(id, std::move(cb));
+                     });
+             });
+}
+
+void
+DhlController::finishClose(CartId id, CloseCb cb)
+{
+    stat_closes_->increment();
+    Cart &cart = library_->cart(id);
+    // Round trip complete: roll the per-trip mechanical breakdown dice
+    // and, on a breakdown, rotate the cart through the repair shop
+    // (opens targeting it are held until the turnaround).
+    if (faults_ != nullptr && faults_->rollCartBreakdown(id)) {
+        cart.recordBreakdown();
+        ++cart_breakdowns_;
+        stat_breakdowns_->increment();
+        if (tracingOn()) {
+            traceEvent("fault",
+                       "cart " + std::to_string(id) +
+                           " breakdown at the library; in repair until " +
+                           units::formatSig(faults_->cartRepairEnd(id),
+                                            6) +
+                           " s");
+        }
+    }
+    if (cb)
+        cb(cart);
 }
 
 void
 DhlController::dispatchOpens()
 {
+    // Launch-blocking outage: keep opens queued (carts are better off
+    // in the library than stranded at a station).
+    if (launchesBlocked())
+        return;
     while (!scheduler_->empty()) {
         DockingStation *st = findFreeStation();
         if (st == nullptr)
@@ -231,9 +373,11 @@ DhlController::handleArrivalFailures(Cart &cart)
     if (failed > 0) {
         ssd_failures_ += failed;
         stat_failures_->increment(failed);
-        traceEvent("failure", "cart " + std::to_string(cart.id()) +
-                                  " lost " + std::to_string(failed) +
-                                  " SSD(s) in flight");
+        if (tracingOn()) {
+            traceEvent("failure",
+                       "cart " + std::to_string(cart.id()) + " lost " +
+                           std::to_string(failed) + " SSD(s) in flight");
+        }
         // Paper §III-D: "if an SSD fails in-flight, the endpoint's DHL
         // API will report the error, and RAID and backups can ameliorate
         // the issue."  We report and repair (spare rotation) so the data

@@ -25,6 +25,7 @@
 #include "dhl/library.hpp"
 #include "dhl/scheduler.hpp"
 #include "dhl/track.hpp"
+#include "faults/fault_state.hpp"
 #include "sim/sim_object.hpp"
 #include "sim/trace.hpp"
 
@@ -114,19 +115,69 @@ class DhlController : public sim::SimObject
 
     /**
      * Attach a trace recorder; the controller emits "api" records for
-     * every command and "track" records for every launch/arrival.
-     * Pass nullptr to detach.  The recorder must outlive the
-     * controller (or be detached first).
+     * every command, "track" records for every launch/arrival, and
+     * "fault" records for degraded-mode decisions (parked trips, held
+     * opens, cart breakdowns).  Pass nullptr to detach.  The recorder
+     * must outlive the controller (or be detached first).
      */
     void attachTrace(sim::TraceRecorder *trace) { trace_ = trace; }
 
+    //------------------------------------------------------------------
+    // Degraded-mode operation (see DESIGN.md §8)
+    //------------------------------------------------------------------
+
+    /**
+     * Attach the fault registry driven by a faults::FaultInjector.
+     * While attached:
+     *
+     *  - Opens on carts rotating through the repair shop are held and
+     *    re-issued at the repair turnaround.
+     *  - Opens are queued (not started) while launches are blocked or
+     *    no operational docking station is free; every repair
+     *    completion re-dispatches the queue to surviving stations.
+     *  - Trips whose launch is blocked by a LIM/track outage park in
+     *    place and retry with bounded exponential backoff
+     *    (FaultState::retryPolicy); carts already in the tube finish
+     *    their trip.
+     *  - Carts roll per-trip breakdown dice when they return to the
+     *    library and derate the fleet while in the repair shop.
+     *
+     * The registry must outlive the controller (or be detached with
+     * nullptr; listeners registered here die with the registry).
+     */
+    void attachFaults(faults::FaultState *faults);
+
+    /** The attached fault registry (nullptr when fault-free). */
+    faults::FaultState *faultState() { return faults_; }
+
+    /** Trips parked by a launch-blocking outage so far. */
+    std::uint64_t parkedLaunches() const { return parked_launches_; }
+
+    /** Opens held because the target cart was in repair. */
+    std::uint64_t heldOpens() const { return held_opens_; }
+
+    /** Per-trip cart breakdowns rolled at the library. */
+    std::uint64_t cartBreakdowns() const { return cart_breakdowns_; }
+
   private:
     DockingStation *findFreeStation();
+    bool launchesBlocked() const
+    {
+        return faults_ != nullptr && !faults_->launchOk();
+    }
     void dispatchOpens();
     void startOpen(CartId id, OpenCb cb, DockingStation &st);
+    void launchOutbound(CartId id, DockingStation &st, double requested,
+                        OpenCb cb, double backoff);
+    void launchInbound(CartId id, DockingStation &st, CloseCb cb,
+                       double backoff);
+    void finishClose(CartId id, CloseCb cb);
     void handleArrivalFailures(Cart &cart);
-    void traceEvent(const std::string &category,
-                    const std::string &message);
+    bool tracingOn() const
+    {
+        return trace_ != nullptr && trace_->enabled();
+    }
+    void traceEvent(std::string_view category, std::string_view message);
 
     DhlConfig cfg_;
     std::unique_ptr<Library> library_;
@@ -136,15 +187,22 @@ class DhlController : public sim::SimObject
     std::unique_ptr<OpenScheduler> scheduler_;
     std::uint64_t next_seq_;
     sim::TraceRecorder *trace_ = nullptr;
+    faults::FaultState *faults_ = nullptr;
     Rng rng_;
     double failure_per_trip_;
     std::uint64_t ssd_failures_;
+    std::uint64_t parked_launches_ = 0;
+    std::uint64_t held_opens_ = 0;
+    std::uint64_t cart_breakdowns_ = 0;
 
     stats::Counter *stat_opens_;
     stats::Counter *stat_closes_;
     stats::Counter *stat_reads_;
     stats::Counter *stat_writes_;
     stats::Counter *stat_failures_;
+    stats::Counter *stat_parked_;
+    stats::Counter *stat_held_opens_;
+    stats::Counter *stat_breakdowns_;
     stats::Accumulator *stat_open_latency_;
 };
 

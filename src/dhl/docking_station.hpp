@@ -14,6 +14,7 @@
 
 #include "dhl/cart.hpp"
 #include "dhl/config.hpp"
+#include "faults/fault_state.hpp"
 #include "sim/sim_object.hpp"
 #include "storage/cart_array.hpp"
 
@@ -32,6 +33,31 @@ class DockingStation : public sim::SimObject
 
     /** True if no cart is present or inbound. */
     bool free() const { return !reserved_; }
+
+    /** True if the station is serviceable (up per the attached fault
+     *  registry; always true without one). */
+    bool operational() const
+    {
+        return faults_ == nullptr ||
+               faults_->up(faults::Component::Station, fault_index_);
+    }
+
+    /** free() and operational(): may accept a new reservation.  A
+     *  station that fails with a cart present keeps serving it (the
+     *  repair crew works around the docked cart); it only stops
+     *  accepting new carts.  A cart already in flight towards a
+     *  station that fails mid-trip still docks — the reservation
+     *  sticks, mirroring how in-flight carts complete their trip. */
+    bool available() const { return free() && operational(); }
+
+    /** Attach the fault registry and this station's component index
+     *  (nullptr to detach). */
+    void attachFaults(const faults::FaultState *faults,
+                      std::uint32_t index)
+    {
+        faults_ = faults;
+        fault_index_ = index;
+    }
 
     /** The cart currently present (or inbound); null when free. */
     Cart *cart() const { return cart_; }
@@ -76,6 +102,8 @@ class DockingStation : public sim::SimObject
 
   private:
     const DhlConfig &cfg_;
+    const faults::FaultState *faults_ = nullptr;
+    std::uint32_t fault_index_ = 0;
     storage::CartArray array_;
     Cart *cart_;
     bool reserved_;

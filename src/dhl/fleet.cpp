@@ -33,6 +33,43 @@ DhlFleet::track(std::size_t i)
     return *controllers_[i];
 }
 
+void
+DhlFleet::enableFaults(const faults::FaultConfig &cfg)
+{
+    fatal_if(!cfg.enabled, "enableFaults: config has enabled = false");
+    faults::validate(cfg);
+    if (!injectors_.empty()) {
+        // Track 0 holds the config with seed deriveSeed(cfg.seed, 0);
+        // compare against the same derivation of the requested config.
+        faults::FaultConfig base = cfg;
+        base.seed = deriveSeed(cfg.seed, 0);
+        fatal_if(!(injectors_[0]->config() == base),
+                 "fault injection is already enabled with a different "
+                 "config; reconfiguring a live fleet is not supported");
+        return;
+    }
+    fault_states_.reserve(controllers_.size());
+    injectors_.reserve(controllers_.size());
+    for (std::size_t i = 0; i < controllers_.size(); ++i) {
+        auto &ctl = *controllers_[i];
+        faults::FaultConfig track_cfg = cfg;
+        track_cfg.seed = deriveSeed(cfg.seed, i);
+        fault_states_.push_back(
+            std::make_unique<faults::FaultState>(sim_));
+        injectors_.push_back(std::make_unique<faults::FaultInjector>(
+            sim_, *fault_states_.back(), track_cfg, ctl.numStations(),
+            ctl.name() + ".faults"));
+        ctl.attachFaults(fault_states_.back().get());
+    }
+}
+
+faults::FaultState *
+DhlFleet::faultState(std::size_t i)
+{
+    fatal_if(i >= controllers_.size(), "track index out of range");
+    return fault_states_.empty() ? nullptr : fault_states_[i].get();
+}
+
 double
 DhlFleet::totalEnergy() const
 {
@@ -55,6 +92,8 @@ BulkRunResult
 DhlFleet::runBulkTransfer(double bytes, const BulkRunOptions &opts)
 {
     fatal_if(!(bytes > 0.0), "bulk transfer size must be positive");
+    if (opts.faults.enabled)
+        enableFaults(opts.faults);
 
     const double capacity = cfg_.cartCapacity();
     const auto n_carts =
@@ -117,7 +156,14 @@ DhlFleet::runBulkTransfer(double bytes, const BulkRunOptions &opts)
         };
         (*chain)(0);
     }
-    sim_.run();
+    // With fault injectors active the queue never runs dry on its own;
+    // step to transfer completion instead (see DhlSimulation).
+    if (faultsEnabled()) {
+        while (*completed < n_carts && sim_.pendingEvents() > 0)
+            sim_.step();
+    } else {
+        sim_.run();
+    }
     panic_if(*completed != n_carts,
              "fleet transfer finished with carts unaccounted for");
 

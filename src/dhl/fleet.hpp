@@ -52,6 +52,21 @@ class DhlFleet
     BulkRunResult runBulkTransfer(double bytes,
                                   const BulkRunOptions &opts = {});
 
+    /**
+     * Turn on per-track fault injection: every track gets its own
+     * FaultState + FaultInjector, with track i's streams derived as
+     * deriveSeed(cfg.seed, i) so the tracks fail independently but
+     * deterministically.  Idempotent for an identical config (also
+     * invoked lazily by runBulkTransfer when opts.faults.enabled).
+     */
+    void enableFaults(const faults::FaultConfig &cfg);
+
+    /** True once fault injection is active. */
+    bool faultsEnabled() const { return !injectors_.empty(); }
+
+    /** Track @p i's fault registry (nullptr until enableFaults). */
+    faults::FaultState *faultState(std::size_t i);
+
     /** Sum of LIM energy across tracks, J. */
     double totalEnergy() const;
 
@@ -68,6 +83,8 @@ class DhlFleet
   private:
     DhlConfig cfg_;
     sim::Simulator sim_;
+    std::vector<std::unique_ptr<faults::FaultState>> fault_states_;
+    std::vector<std::unique_ptr<faults::FaultInjector>> injectors_;
     std::vector<std::unique_ptr<DhlController>> controllers_;
 };
 

@@ -29,6 +29,27 @@ validate(const ReliabilityConfig &cfg)
              "cart repair turnaround must be non-negative");
 }
 
+faults::FaultConfig
+toFaultConfig(const ReliabilityConfig &cfg, std::uint64_t seed,
+              double horizon)
+{
+    validate(cfg);
+    faults::FaultConfig f;
+    f.enabled = true;
+    f.seed = seed;
+    f.horizon = horizon;
+    f.lim_mtbf = cfg.lim_mtbf;
+    f.lim_mttr = cfg.lim_mttr;
+    f.track_mtbf = cfg.track_mtbf;
+    f.track_mttr = cfg.track_mttr;
+    f.station_mtbf = cfg.station_mtbf;
+    f.station_mttr = cfg.station_mttr;
+    f.cart_repair_per_trip = cfg.cart_repair_per_trip;
+    f.cart_repair_hours = cfg.cart_repair_hours;
+    faults::validate(f); // the two validators must agree on edge cases
+    return f;
+}
+
 AvailabilityModel::AvailabilityModel(const DhlConfig &dhl,
                                      const ReliabilityConfig &rel)
     : dhl_(dhl), rel_(rel)

@@ -16,9 +16,12 @@
 #define DHL_DHL_RELIABILITY_HPP
 
 #include <cstddef>
+#include <cstdint>
+#include <limits>
 
 #include "dhl/analytical.hpp"
 #include "dhl/config.hpp"
+#include "faults/fault_injector.hpp"
 
 namespace dhl {
 namespace core {
@@ -47,6 +50,21 @@ struct ReliabilityConfig
 
 /** Validate; throws FatalError on nonsense. */
 void validate(const ReliabilityConfig &cfg);
+
+/**
+ * Build the event-driven fault-injection config that realises this
+ * analytical reliability model (same MTBF/MTTR/cart-repair figures, so
+ * the DES's observed availability converges to
+ * AvailabilityReport::system_availability — experiment E17).
+ *
+ * @param cfg     Validated analytical parameters (hours).
+ * @param seed    Injector seed (one stream per component is derived).
+ * @param horizon No failures are injected at or after this simulated
+ *                time, s; defaults to unbounded.
+ */
+faults::FaultConfig
+toFaultConfig(const ReliabilityConfig &cfg, std::uint64_t seed = 1,
+              double horizon = std::numeric_limits<double>::infinity());
 
 /** Computed availability figures. */
 struct AvailabilityReport

@@ -12,6 +12,21 @@
 namespace dhl {
 namespace core {
 
+namespace {
+
+/** Earliest enqueue time of an unordered request container. */
+template <typename Items>
+double
+oldestEnqueue(const Items &items)
+{
+    double oldest = std::numeric_limits<double>::infinity();
+    for (const auto &req : items)
+        oldest = std::min(oldest, req.enqueue_time);
+    return oldest;
+}
+
+} // namespace
+
 //===========================================================================
 // FifoScheduler
 //===========================================================================
@@ -20,6 +35,14 @@ void
 FifoScheduler::push(QueuedOpen req)
 {
     queue_.push_back(std::move(req));
+}
+
+double
+FifoScheduler::oldestEnqueueTime() const
+{
+    // FIFO queues in arrival order, so the front is the oldest.
+    return queue_.empty() ? std::numeric_limits<double>::infinity()
+                          : queue_.front().enqueue_time;
 }
 
 QueuedOpen
@@ -39,6 +62,12 @@ void
 PriorityScheduler::push(QueuedOpen req)
 {
     items_.push_back(std::move(req));
+}
+
+double
+PriorityScheduler::oldestEnqueueTime() const
+{
+    return oldestEnqueue(items_);
 }
 
 QueuedOpen
@@ -66,6 +95,12 @@ void
 DeadlineScheduler::push(QueuedOpen req)
 {
     items_.push_back(std::move(req));
+}
+
+double
+DeadlineScheduler::oldestEnqueueTime() const
+{
+    return oldestEnqueue(items_);
 }
 
 QueuedOpen

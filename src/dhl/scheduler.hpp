@@ -72,6 +72,13 @@ class OpenScheduler
     /** Queued request count. */
     virtual std::size_t size() const = 0;
 
+    /**
+     * Earliest enqueue time across all queued requests, +inf when
+     * empty.  Degraded-mode operation reports how long opens were held
+     * while the service was down (see DhlController::attachFaults).
+     */
+    virtual double oldestEnqueueTime() const = 0;
+
     /** Remove and return the next request per the policy. */
     virtual QueuedOpen pop() = 0;
 };
@@ -84,6 +91,7 @@ class FifoScheduler : public OpenScheduler
     void push(QueuedOpen req) override;
     bool empty() const override { return queue_.empty(); }
     std::size_t size() const override { return queue_.size(); }
+    double oldestEnqueueTime() const override;
     QueuedOpen pop() override;
 
   private:
@@ -98,6 +106,7 @@ class PriorityScheduler : public OpenScheduler
     void push(QueuedOpen req) override;
     bool empty() const override { return items_.empty(); }
     std::size_t size() const override { return items_.size(); }
+    double oldestEnqueueTime() const override;
     QueuedOpen pop() override;
 
   private:
@@ -112,6 +121,7 @@ class DeadlineScheduler : public OpenScheduler
     void push(QueuedOpen req) override;
     bool empty() const override { return items_.empty(); }
     std::size_t size() const override { return items_.size(); }
+    double oldestEnqueueTime() const override;
     QueuedOpen pop() override;
 
   private:

@@ -15,11 +15,31 @@ namespace dhl {
 namespace core {
 
 DhlSimulation::DhlSimulation(const DhlConfig &cfg, std::uint64_t seed)
-    : cfg_(cfg)
+    : cfg_(cfg), trace_(sim_)
 {
     validate(cfg_);
     controller_ =
         std::make_unique<DhlController>(sim_, cfg_, "dhl", seed);
+    controller_->attachTrace(&trace_);
+}
+
+void
+DhlSimulation::enableFaults(const faults::FaultConfig &cfg)
+{
+    fatal_if(!cfg.enabled, "enableFaults: config has enabled = false");
+    faults::validate(cfg);
+    if (injector_ != nullptr) {
+        fatal_if(!(injector_->config() == cfg),
+                 "fault injection is already enabled with a different "
+                 "config; reconfiguring a live system is not supported");
+        return;
+    }
+    fault_state_ = std::make_unique<faults::FaultState>(sim_);
+    fault_state_->attachTrace(&trace_);
+    injector_ = std::make_unique<faults::FaultInjector>(
+        sim_, *fault_state_, cfg, controller_->numStations(),
+        "dhl.faults");
+    controller_->attachFaults(fault_state_.get());
 }
 
 BulkRunResult
@@ -28,6 +48,8 @@ DhlSimulation::runBulkTransfer(double bytes, const BulkRunOptions &opts)
     fatal_if(!(bytes > 0.0), "bulk transfer size must be positive");
 
     controller_->setFailureProbability(opts.failure_per_trip);
+    if (opts.faults.enabled)
+        enableFaults(opts.faults);
 
     const double capacity = cfg_.cartCapacity();
     const auto n_carts =
@@ -71,18 +93,31 @@ DhlSimulation::runBulkTransfer(double bytes, const BulkRunOptions &opts)
         });
     };
 
+    // With fault injection active the injector keeps the event queue
+    // populated (repairs, future failures), so running the queue dry
+    // would overshoot: step until the transfers complete instead.  The
+    // fault-free path is untouched, byte-identical with pre-fault runs.
+    auto run_to = [this, completed](std::uint64_t target) {
+        if (faultsEnabled()) {
+            while (*completed < target && sim_.pendingEvents() > 0)
+                sim_.step();
+        } else {
+            sim_.run();
+        }
+    };
+
     if (opts.pipelined) {
         // Issue everything; the controller's queue and the track's
         // admission policy shape the pipeline.
         for (std::uint64_t i = 0; i < n_carts; ++i)
             run_cart(static_cast<CartId>(i));
-        sim_.run();
+        run_to(n_carts);
     } else {
         // Strictly serial: each cart's round trip completes before the
         // next is requested (the paper's Table VI accounting).
         for (std::uint64_t i = 0; i < n_carts; ++i) {
             run_cart(static_cast<CartId>(i));
-            sim_.run();
+            run_to(i + 1);
         }
     }
 

@@ -15,7 +15,10 @@
 #include "dhl/analytical.hpp"
 #include "dhl/config.hpp"
 #include "dhl/controller.hpp"
+#include "faults/fault_injector.hpp"
+#include "faults/fault_state.hpp"
 #include "sim/simulator.hpp"
+#include "sim/trace.hpp"
 
 namespace dhl {
 namespace core {
@@ -33,6 +36,11 @@ struct BulkRunOptions
 
     /** Per-SSD per-trip failure probability (failure injection). */
     double failure_per_trip = 0.0;
+
+    /** Component fault injection (disabled by default; when
+     *  faults.enabled the run operates in degraded mode under a seeded
+     *  FaultInjector — see DESIGN.md §8). */
+    faults::FaultConfig faults{};
 };
 
 /** Result of an event-driven bulk transfer run. */
@@ -69,12 +77,36 @@ class DhlSimulation
     BulkRunResult runBulkTransfer(double bytes,
                                   const BulkRunOptions &opts = {});
 
+    /**
+     * Turn on component fault injection (idempotent for an identical
+     * config; fatal on an attempt to reconfigure).  Creates the
+     * FaultState registry and the seeded FaultInjector and attaches
+     * them to the controller.  Also invoked lazily by runBulkTransfer
+     * when opts.faults.enabled.
+     */
+    void enableFaults(const faults::FaultConfig &cfg);
+
+    /** True once fault injection is active. */
+    bool faultsEnabled() const { return injector_ != nullptr; }
+
+    /** The fault registry (nullptr until enableFaults). */
+    faults::FaultState *faultState() { return fault_state_.get(); }
+
+    /** The fault injector (nullptr until enableFaults). */
+    faults::FaultInjector *faultInjector() { return injector_.get(); }
+
+    /** The system trace (disabled until trace().enable()). */
+    sim::TraceRecorder &trace() { return trace_; }
+
     /** Dump all statistics of every simulated object. */
     void dumpStats(std::ostream &os);
 
   private:
     DhlConfig cfg_;
     sim::Simulator sim_;
+    sim::TraceRecorder trace_;
+    std::unique_ptr<faults::FaultState> fault_state_;
+    std::unique_ptr<faults::FaultInjector> injector_;
     std::unique_ptr<DhlController> controller_;
 };
 

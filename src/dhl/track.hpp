@@ -21,6 +21,7 @@
 #include <cstdint>
 
 #include "dhl/config.hpp"
+#include "faults/fault_state.hpp"
 #include "sim/sim_object.hpp"
 
 namespace dhl {
@@ -54,9 +55,29 @@ class Track : public sim::SimObject
     /**
      * Reserve the next admissible launch in @p dir, not earlier than
      * now.  The reservation immediately claims the tube; callers must
-     * reserve in the order they intend to depart.
+     * reserve in the order they intend to depart, and must not reserve
+     * while !launchable() (degraded mode: park and retry instead).
      */
     LaunchGrant reserveLaunch(Direction dir);
+
+    /**
+     * True if the propulsion path is serviceable: both LIMs and the
+     * track/vacuum assembly are up (always true without an attached
+     * fault registry).  Carts already in the tube when a fault hits
+     * complete their trip — a breach is modelled as blocking new
+     * admissions, not as destroying in-flight carts.
+     */
+    bool launchable() const
+    {
+        return faults_ == nullptr || faults_->launchOk();
+    }
+
+    /** Attach the fault registry consulted by launchable() (nullptr to
+     *  detach; the registry must outlive the track or be detached). */
+    void attachFaults(const faults::FaultState *faults)
+    {
+        faults_ = faults;
+    }
 
     /** Total LIM energy drawn so far, J. */
     double totalEnergy() const { return total_energy_; }
@@ -72,6 +93,7 @@ class Track : public sim::SimObject
 
   private:
     const DhlConfig &cfg_;
+    const faults::FaultState *faults_ = nullptr;
     double travel_time_;
     double shot_energy_;
 

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Implementation of the fault injector.
+ */
+
+#include "faults/fault_injector.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace dhl {
+namespace faults {
+
+namespace {
+
+constexpr double kSecondsPerHour = 3600.0;
+
+/** Exponential draws of mean ~MTBF can round to zero; clamp so a
+ *  failure never lands at the exact instant of the preceding repair
+ *  (which would violate the fail/repair alternation). */
+constexpr double kMinUptime = 1e-9;
+
+/** Stream indices for deriveSeed: one per component, disjoint from the
+ *  two-level cart derivation below. */
+constexpr std::uint64_t kLimStreamBase = 1;     // lims: 1, 2
+constexpr std::uint64_t kTrackStream = 3;       // track: 3
+constexpr std::uint64_t kStationStreamBase = 4; // stations: 4, 5, ...
+constexpr std::uint64_t kCartStreamSalt = 0x4341525453ull; // "CARTS"
+
+} // namespace
+
+bool
+operator==(const FaultConfig &a, const FaultConfig &b)
+{
+    return a.enabled == b.enabled && a.seed == b.seed &&
+           a.horizon == b.horizon && a.lim_mtbf == b.lim_mtbf &&
+           a.lim_mttr == b.lim_mttr && a.track_mtbf == b.track_mtbf &&
+           a.track_mttr == b.track_mttr &&
+           a.station_mtbf == b.station_mtbf &&
+           a.station_mttr == b.station_mttr &&
+           a.cart_repair_per_trip == b.cart_repair_per_trip &&
+           a.cart_repair_hours == b.cart_repair_hours &&
+           a.retry == b.retry;
+}
+
+void
+validate(const FaultConfig &cfg)
+{
+    fatal_if(!(cfg.lim_mtbf > 0.0) || !(cfg.track_mtbf > 0.0) ||
+                 !(cfg.station_mtbf > 0.0),
+             "MTBFs must be positive");
+    fatal_if(cfg.lim_mttr < 0.0 || cfg.track_mttr < 0.0 ||
+                 cfg.station_mttr < 0.0,
+             "MTTRs must be non-negative");
+    fatal_if(cfg.cart_repair_per_trip < 0.0 ||
+                 cfg.cart_repair_per_trip > 1.0,
+             "cart repair probability must be in [0, 1]");
+    fatal_if(cfg.cart_repair_hours < 0.0,
+             "cart repair turnaround must be non-negative");
+    fatal_if(!(cfg.horizon > 0.0), "fault horizon must be positive");
+    fatal_if(!(cfg.retry.initial_backoff > 0.0),
+             "retry backoff must be positive");
+    fatal_if(cfg.retry.multiplier < 1.0,
+             "retry backoff multiplier must be >= 1");
+    fatal_if(cfg.retry.max_backoff < cfg.retry.initial_backoff,
+             "retry backoff ceiling must be >= the initial backoff");
+}
+
+FaultInjector::FaultInjector(sim::Simulator &sim, FaultState &state,
+                             const FaultConfig &cfg, std::size_t stations,
+                             std::string name)
+    : sim::SimObject(sim, std::move(name)),
+      state_(state),
+      cfg_(cfg),
+      cart_stream_base_(deriveSeed(cfg.seed, kCartStreamSalt))
+{
+    validate(cfg_);
+
+    auto &sg = statsGroup();
+    stat_failures_ =
+        &sg.addCounter("failures", "component failures injected");
+    stat_repairs_ =
+        &sg.addCounter("repairs", "component repairs completed");
+    stat_cart_repairs_ =
+        &sg.addCounter("cart_repairs", "per-trip cart breakdowns");
+
+    if (!cfg_.enabled)
+        return;
+
+    state_.setRetryPolicy(cfg_.retry);
+    state_.setBreakdownRoll(
+        [this](std::uint32_t cart) { return rollBreakdown(cart); });
+
+    addUnit(Component::Lim, 0, cfg_.lim_mtbf, cfg_.lim_mttr,
+            kLimStreamBase);
+    addUnit(Component::Lim, 1, cfg_.lim_mtbf, cfg_.lim_mttr,
+            kLimStreamBase + 1);
+    addUnit(Component::Track, 0, cfg_.track_mtbf, cfg_.track_mttr,
+            kTrackStream);
+    for (std::size_t i = 0; i < stations; ++i) {
+        addUnit(Component::Station, static_cast<std::uint32_t>(i),
+                cfg_.station_mtbf, cfg_.station_mttr,
+                kStationStreamBase + i);
+    }
+    for (std::size_t u = 0; u < units_.size(); ++u)
+        scheduleFailure(u);
+}
+
+void
+FaultInjector::addUnit(Component kind, std::uint32_t index,
+                       double mtbf_hours, double mttr_hours,
+                       std::uint64_t stream)
+{
+    state_.addComponent(kind, index);
+    units_.push_back(Unit{kind, index, mtbf_hours * kSecondsPerHour,
+                          mttr_hours * kSecondsPerHour,
+                          Rng(deriveSeed(cfg_.seed, stream)),
+                          sim::EventHandle{}});
+}
+
+void
+FaultInjector::scheduleFailure(std::size_t unit)
+{
+    Unit &u = units_[unit];
+    const double uptime =
+        std::max(u.rng.exponential(u.mtbf), kMinUptime);
+    const double fail_at = now() + uptime;
+    if (fail_at >= cfg_.horizon)
+        return; // past the horizon: this component fails no more
+    u.pending = schedule(uptime, [this, unit] {
+        Unit &fu = units_[unit];
+        state_.fail(fu.kind, fu.index);
+        ++injected_;
+        stat_failures_->increment();
+        fu.pending = schedule(fu.mttr, [this, unit] {
+            Unit &ru = units_[unit];
+            state_.repair(ru.kind, ru.index);
+            ++injected_;
+            stat_repairs_->increment();
+            scheduleFailure(unit);
+        });
+    });
+}
+
+bool
+FaultInjector::rollBreakdown(std::uint32_t cart)
+{
+    if (cfg_.cart_repair_per_trip <= 0.0)
+        return false; // never touch the stream: zero probability is free
+    const auto it = cart_rngs_
+                        .try_emplace(cart, Rng(deriveSeed(
+                                               cart_stream_base_, cart)))
+                        .first;
+    if (it->second.uniform() >= cfg_.cart_repair_per_trip)
+        return false;
+    state_.sendCartToRepair(cart,
+                            cfg_.cart_repair_hours * kSecondsPerHour);
+    ++injected_;
+    stat_cart_repairs_->increment();
+    return true;
+}
+
+void
+FaultInjector::stop()
+{
+    for (auto &u : units_)
+        simulator().cancel(u.pending);
+}
+
+} // namespace faults
+} // namespace dhl

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Seeded, deterministic fault injection for the DES (Discussion §VI:
+ * serviceability — false-floor access for track/LIM/station repairs,
+ * cart removal via the library — is a first-class design concern).
+ *
+ * A FaultInjector drives a FaultState by scheduling alternating
+ * failure/repair events for every repairable component: exponentially
+ * distributed uptimes with the configured MTBF and fixed MTTR repairs
+ * (the steady-state availability MTBF / (MTBF + MTTR) holds for any
+ * uptime/downtime distributions, and fixed repairs cut the variance of
+ * finite-horizon measurements).  Each component draws from its own
+ * xoshiro256** stream derived from the injector seed via deriveSeed,
+ * so the fault timeline is a pure function of (seed, config) — never
+ * of event interleaving or thread count.
+ *
+ * Per-trip cart breakdowns are demand-driven: the controller rolls
+ * them at trip completion through FaultState::rollCartBreakdown, and
+ * the injector supplies the per-cart dice (again one stream per cart).
+ *
+ * Failures are only scheduled before the configured horizon, so the
+ * event queue drains shortly after it; an unbounded horizon is for
+ * callers that step the simulator rather than running it dry.
+ */
+
+#ifndef DHL_FAULTS_FAULT_INJECTOR_HPP
+#define DHL_FAULTS_FAULT_INJECTOR_HPP
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.hpp"
+#include "faults/fault_state.hpp"
+#include "sim/sim_object.hpp"
+
+namespace dhl {
+namespace faults {
+
+/**
+ * Fault-injection parameters.  The MTBF/MTTR fields mirror
+ * core::ReliabilityConfig (hours; build one from the other with
+ * core::toFaultConfig so the analytical and event-driven models always
+ * agree); the rest configures the injection process itself.
+ */
+struct FaultConfig
+{
+    /** Master switch; a disabled config makes the injector inert. */
+    bool enabled = false;
+
+    /** Seed of every derived component stream. */
+    std::uint64_t seed = 1;
+
+    /** No failure is scheduled at or after this time, s (repairs of
+     *  earlier failures still complete, so the queue drains). */
+    double horizon = std::numeric_limits<double>::infinity();
+
+    /** Each LIM (there are two). MTBF/MTTR in hours. */
+    double lim_mtbf = 50000.0;
+    double lim_mttr = 8.0;
+
+    /** Track + vacuum assembly (one). */
+    double track_mtbf = 100000.0;
+    double track_mttr = 24.0;
+
+    /** Each rack docking station. */
+    double station_mtbf = 30000.0;
+    double station_mttr = 4.0;
+
+    /** Probability a cart needs repair after a trip (mechanical). */
+    double cart_repair_per_trip = 1e-5;
+
+    /** Cart repair turnaround at the library, hours. */
+    double cart_repair_hours = 2.0;
+
+    /** Parked-trip retry policy installed into the FaultState. */
+    RetryPolicy retry{};
+};
+
+bool operator==(const FaultConfig &a, const FaultConfig &b);
+
+/** Validate; throws FatalError on nonsense.  Accepts exactly the
+ *  MTBF/MTTR edge cases core::validate(ReliabilityConfig) accepts
+ *  (zero MTTRs, zero cart breakdown probability, ...). */
+void validate(const FaultConfig &cfg);
+
+/** The fault-injection process (one per DHL system). */
+class FaultInjector : public sim::SimObject
+{
+  public:
+    /**
+     * @param sim      Owning simulator.
+     * @param state    Registry to drive (must outlive the injector).
+     * @param cfg      Injection parameters.
+     * @param stations Docking stations of the driven system.
+     * @param name     SimObject name.
+     */
+    FaultInjector(sim::Simulator &sim, FaultState &state,
+                  const FaultConfig &cfg, std::size_t stations,
+                  std::string name = "faults");
+
+    const FaultConfig &config() const { return cfg_; }
+
+    /** Failure + repair events injected so far. */
+    std::uint64_t eventsInjected() const { return injected_; }
+
+    /** Cancel all pending fault events (the registry keeps its current
+     *  state; already-failed components still get their repair). */
+    void stop();
+
+  private:
+    struct Unit
+    {
+        Component kind;
+        std::uint32_t index;
+        double mtbf; ///< s
+        double mttr; ///< s
+        Rng rng;
+        sim::EventHandle pending;
+    };
+
+    void scheduleFailure(std::size_t unit);
+    void addUnit(Component kind, std::uint32_t index, double mtbf_hours,
+                 double mttr_hours, std::uint64_t stream);
+    bool rollBreakdown(std::uint32_t cart);
+
+    FaultState &state_;
+    FaultConfig cfg_;
+    std::vector<Unit> units_;
+    std::uint64_t cart_stream_base_;
+    std::unordered_map<std::uint32_t, Rng> cart_rngs_;
+    std::uint64_t injected_ = 0;
+
+    stats::Counter *stat_failures_;
+    stats::Counter *stat_repairs_;
+    stats::Counter *stat_cart_repairs_;
+};
+
+} // namespace faults
+} // namespace dhl
+
+#endif // DHL_FAULTS_FAULT_INJECTOR_HPP

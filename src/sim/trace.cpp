@@ -22,9 +22,8 @@ TraceRecorder::TraceRecorder(Simulator &sim, std::size_t capacity)
 }
 
 void
-TraceRecorder::record(const std::string &category,
-                      const std::string &object,
-                      const std::string &message)
+TraceRecorder::record(std::string_view category, std::string_view object,
+                      std::string_view message)
 {
     if (!enabled_)
         return;
@@ -33,11 +32,13 @@ TraceRecorder::record(const std::string &category,
         records_.pop_front();
         ++dropped_;
     }
-    records_.push_back(TraceRecord{sim_.now(), category, object, message});
+    records_.push_back(TraceRecord{sim_.now(), std::string(category),
+                                   std::string(object),
+                                   std::string(message)});
 }
 
 std::vector<TraceRecord>
-TraceRecorder::filter(const std::string &category) const
+TraceRecorder::filter(std::string_view category) const
 {
     std::vector<TraceRecord> out;
     for (const auto &r : records_) {

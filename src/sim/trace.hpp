@@ -17,6 +17,7 @@
 #include <functional>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/simulator.hpp"
@@ -47,9 +48,12 @@ class TraceRecorder
     void enable(bool on = true) { enabled_ = on; }
     bool enabled() const { return enabled_; }
 
-    /** Emit a record (no-op while disabled). */
-    void record(const std::string &category, const std::string &object,
-                const std::string &message);
+    /** Emit a record (no-op while disabled).  Takes views so call
+     *  sites pass literals and prebuilt buffers without materialising
+     *  std::strings; emitters that *format* a message should guard
+     *  with enabled() and skip the formatting entirely when off. */
+    void record(std::string_view category, std::string_view object,
+                std::string_view message);
 
     /** Records currently retained. */
     std::size_t size() const { return records_.size(); }
@@ -64,7 +68,7 @@ class TraceRecorder
     const std::deque<TraceRecord> &records() const { return records_; }
 
     /** Retained records matching a category, oldest first. */
-    std::vector<TraceRecord> filter(const std::string &category) const;
+    std::vector<TraceRecord> filter(std::string_view category) const;
 
     /** Drop all retained records (counters keep running). */
     void clear() { records_.clear(); }

@@ -95,3 +95,87 @@ TEST(AvailabilityTest, RejectsNegativeTripRate)
     AvailabilityModel m(defaultConfig());
     EXPECT_THROW(m.report(-1.0), dhl::FatalError);
 }
+
+//===========================================================================
+// Analytical <-> event-driven bridge (toFaultConfig)
+//===========================================================================
+
+TEST(ToFaultConfigTest, MirrorsEveryParameter)
+{
+    ReliabilityConfig rel;
+    rel.lim_mtbf = 111.0;
+    rel.lim_mttr = 2.0;
+    rel.track_mtbf = 222.0;
+    rel.track_mttr = 3.0;
+    rel.station_mtbf = 333.0;
+    rel.station_mttr = 4.0;
+    rel.cart_repair_per_trip = 0.125;
+    rel.cart_repair_hours = 0.5;
+
+    const auto fc = toFaultConfig(rel, 99, 1e6);
+    EXPECT_TRUE(fc.enabled);
+    EXPECT_EQ(fc.seed, 99u);
+    EXPECT_DOUBLE_EQ(fc.horizon, 1e6);
+    EXPECT_DOUBLE_EQ(fc.lim_mtbf, rel.lim_mtbf);
+    EXPECT_DOUBLE_EQ(fc.lim_mttr, rel.lim_mttr);
+    EXPECT_DOUBLE_EQ(fc.track_mtbf, rel.track_mtbf);
+    EXPECT_DOUBLE_EQ(fc.track_mttr, rel.track_mttr);
+    EXPECT_DOUBLE_EQ(fc.station_mtbf, rel.station_mtbf);
+    EXPECT_DOUBLE_EQ(fc.station_mttr, rel.station_mttr);
+    EXPECT_DOUBLE_EQ(fc.cart_repair_per_trip, rel.cart_repair_per_trip);
+    EXPECT_DOUBLE_EQ(fc.cart_repair_hours, rel.cart_repair_hours);
+}
+
+TEST(ToFaultConfigTest, ValidatorsAgreeOnEdgeCases)
+{
+    // Zero MTTRs: legal in both models (perfect instant repairs).
+    ReliabilityConfig zero_mttr;
+    zero_mttr.lim_mttr = 0.0;
+    zero_mttr.track_mttr = 0.0;
+    zero_mttr.station_mttr = 0.0;
+    EXPECT_NO_THROW(validate(zero_mttr));
+    EXPECT_NO_THROW(dhl::faults::validate(toFaultConfig(zero_mttr)));
+
+    // Carts that never break: legal in both models.
+    ReliabilityConfig no_breakdowns;
+    no_breakdowns.cart_repair_per_trip = 0.0;
+    no_breakdowns.cart_repair_hours = 0.0;
+    EXPECT_NO_THROW(validate(no_breakdowns));
+    EXPECT_NO_THROW(dhl::faults::validate(toFaultConfig(no_breakdowns)));
+
+    // What one validator rejects, the bridge must reject too.
+    ReliabilityConfig bad;
+    bad.lim_mtbf = -1.0;
+    EXPECT_THROW(validate(bad), dhl::FatalError);
+    EXPECT_THROW(toFaultConfig(bad), dhl::FatalError);
+}
+
+TEST(ToFaultConfigTest, SingleStationTopologyAgrees)
+{
+    // docking_stations = 1: the analytical "at least one station" term
+    // degenerates to the station's own availability, and the injector
+    // registers exactly one station whose outages take service down.
+    DhlConfig cfg = defaultConfig();
+    ASSERT_EQ(cfg.docking_stations, 1u);
+
+    ReliabilityConfig rel;
+    rel.lim_mtbf = 1e12; // only stations ever fail
+    rel.track_mtbf = 1e12;
+    rel.station_mtbf = 50.0;
+    rel.station_mttr = 10.0;
+
+    const auto report = AvailabilityModel(cfg, rel).report();
+    EXPECT_NEAR(report.stations_availability, 50.0 / 60.0, 1e-9);
+
+    const double horizon = 30000.0 * 3600.0;
+    dhl::sim::Simulator sim;
+    dhl::faults::FaultState state(sim);
+    dhl::faults::FaultInjector injector(
+        sim, state, toFaultConfig(rel, 3, horizon),
+        cfg.docking_stations);
+    sim.run();
+    EXPECT_EQ(state.components(dhl::faults::Component::Station), 1u);
+    EXPECT_NEAR(state.observedAvailability(horizon),
+                report.system_availability,
+                0.05 * report.system_availability);
+}

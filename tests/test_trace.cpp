@@ -111,3 +111,23 @@ TEST(TraceTest, RejectsZeroCapacity)
     Simulator sim;
     EXPECT_THROW(TraceRecorder(sim, 0), dhl::FatalError);
 }
+
+TEST(TraceTest, RecordsFromStringViews)
+{
+    // record() takes views: literals, substrings and prebuilt buffers
+    // flow through without materialising intermediate std::strings.
+    Simulator sim;
+    TraceRecorder trace(sim);
+    trace.enable();
+    const std::string buffer = "category-object-message";
+    const std::string_view cat(buffer.data(), 8);
+    trace.record(cat, std::string_view("object"), "a literal");
+    ASSERT_EQ(trace.size(), 1u);
+    EXPECT_EQ(trace.records()[0].category, "category");
+    EXPECT_EQ(trace.records()[0].object, "object");
+    EXPECT_EQ(trace.records()[0].message, "a literal");
+
+    // filter() accepts views too.
+    EXPECT_EQ(trace.filter(std::string_view("category")).size(), 1u);
+    EXPECT_EQ(trace.filter("nope").size(), 0u);
+}

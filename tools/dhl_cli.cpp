@@ -30,6 +30,7 @@
 #include "dhl/comparison.hpp"
 #include "dhl/config_io.hpp"
 #include "dhl/fleet.hpp"
+#include "dhl/reliability.hpp"
 #include "dhl/simulation.hpp"
 #include "exp/experiment_runner.hpp"
 #include "mlsim/ingest_sim.hpp"
@@ -174,6 +175,16 @@ cmdSimulate(int argc, const char *const *argv)
     args.addSwitch("reads", "read each cart at the rack");
     args.addOption("failures", "per-SSD per-trip failure probability",
                    "0");
+    args.addSwitch("faults", "inject component faults (LIM/track/"
+                             "station outages, cart breakdowns)");
+    args.addOption("fault-seed", "fault-injection seed", "1");
+    args.addOption("fault-accel",
+                   "accelerate fault rates by this factor (divides "
+                   "every MTBF and MTTR)",
+                   "1");
+    args.addOption("dump-trace",
+                   "dump trace records after the run: a category "
+                   "(api|track|fault|failure) or 'all'");
     if (!args.parse(argc, argv, std::cout))
         return 0;
     const core::DhlConfig cfg = configFromFlags(args);
@@ -182,6 +193,23 @@ cmdSimulate(int argc, const char *const *argv)
     opts.pipelined = args.getSwitch("pipelined");
     opts.include_read_time = args.getSwitch("reads");
     opts.failure_per_trip = args.getDouble("failures");
+    if (args.provided("dump-trace"))
+        sim.trace().enable();
+    if (args.getSwitch("faults")) {
+        const double accel = args.getDouble("fault-accel");
+        fatal_if(!(accel > 0.0), "--fault-accel must be positive");
+        core::ReliabilityConfig rel;
+        rel.lim_mtbf /= accel;
+        rel.lim_mttr /= accel;
+        rel.track_mtbf /= accel;
+        rel.track_mttr /= accel;
+        rel.station_mtbf /= accel;
+        rel.station_mttr /= accel;
+        rel.cart_repair_hours /= accel;
+        opts.faults = core::toFaultConfig(
+            rel, static_cast<std::uint64_t>(
+                     args.getInt("fault-seed")));
+    }
     const auto r = sim.runBulkTransfer(
         u::petabytes(args.getDouble("petabytes")), opts);
     std::cout << cfg.label() << " (DES):\n"
@@ -194,6 +222,37 @@ cmdSimulate(int argc, const char *const *argv)
               << "  bandwidth     "
               << u::formatBandwidth(r.effective_bandwidth) << "\n"
               << "  ssd failures  " << r.ssd_failures << "\n";
+    if (sim.faultsEnabled()) {
+        const auto *fs = sim.faultState();
+        auto &ctl = sim.controller();
+        std::cout << "  fault summary (seed "
+                  << sim.faultInjector()->config().seed << "):\n"
+                  << "    outages      lim "
+                  << fs->failures(faults::Component::Lim) << ", track "
+                  << fs->failures(faults::Component::Track)
+                  << ", station "
+                  << fs->failures(faults::Component::Station) << "\n"
+                  << "    parked trips " << ctl.parkedLaunches() << "\n"
+                  << "    held opens   " << ctl.heldOpens() << "\n"
+                  << "    breakdowns   " << ctl.cartBreakdowns() << "\n"
+                  << "    availability "
+                  << u::formatSig(
+                         fs->observedAvailability(r.total_time), 4)
+                  << " over the run\n";
+    }
+    if (args.provided("dump-trace")) {
+        const std::string category = args.get("dump-trace");
+        std::cout << "trace (" << category << "):\n";
+        if (category == "all") {
+            sim.trace().dump(std::cout);
+        } else {
+            for (const auto &rec : sim.trace().filter(category)) {
+                std::cout << u::formatSig(rec.when, 9) << " ["
+                          << rec.category << "] " << rec.object << ": "
+                          << rec.message << "\n";
+            }
+        }
+    }
     return 0;
 }
 
