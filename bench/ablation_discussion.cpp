@@ -28,12 +28,12 @@ addRow(TextTable &table, const std::string &name,
        const AnalyticalModel &model, double dataset,
        const BulkOptions &opts, double base_time, double base_energy)
 {
-    const auto b = model.bulk(dataset, opts);
-    table.addRow({name, cell(b.total_time, 5),
+    const auto b = model.bulk(dhl::qty::Bytes{dataset}, opts);
+    table.addRow({name, cell(b.total_time.value(), 5),
                   cell(u::toMegajoules(b.total_energy), 4),
-                  cell(u::toKilowatts(b.avg_power), 4),
-                  cellTimes(base_time / b.total_time, 3),
-                  cellTimes(base_energy / b.total_energy, 3)});
+                  cell(u::toKilowatts(b.avg_power.value()), 4),
+                  cellTimes(base_time / b.total_time.value(), 3),
+                  cellTimes(base_energy / b.total_energy.value(), 3)});
 }
 
 } // namespace
@@ -51,9 +51,9 @@ main(int argc, char **argv)
     const double dataset = storage::referenceDlrmDataset().size;
     const DhlConfig base_cfg = defaultConfig();
     const AnalyticalModel base(base_cfg);
-    const auto base_bulk = base.bulk(dataset);
-    const double t0 = base_bulk.total_time;
-    const double e0 = base_bulk.total_energy;
+    const auto base_bulk = base.bulk(dhl::qty::Bytes{dataset});
+    const double t0 = base_bulk.total_time.value();
+    const double e0 = base_bulk.total_energy.value();
 
     TextTable table({"Variant", "Time (s)", "Energy (MJ)",
                      "Avg power (kW)", "Time gain", "Energy gain"});

@@ -18,6 +18,7 @@
 using namespace dhl;
 using namespace dhl::network;
 namespace u = dhl::units;
+namespace qty = dhl::qty;
 
 int
 main(int argc, char **argv)
@@ -30,13 +31,13 @@ main(int argc, char **argv)
     }
 
     // 2 PB takes 11.1 h on one 400 Gbit/s link, so the duty is daily.
-    const double bytes = u::petabytes(2);
-    const double period = u::days(1);
+    const qty::Bytes bytes = qty::petabytes(2.0);
+    const qty::Seconds period = qty::days(1.0);
     const std::uint64_t periods = 30; // a month
 
     const core::AnalyticalModel dhl_model(core::defaultConfig());
     const auto dhl_bulk = dhl_model.bulk(bytes);
-    const double dhl_energy =
+    const qty::Joules dhl_energy =
         dhl_bulk.total_energy * static_cast<double>(periods);
 
     TextTable table({"Route", "Always-on (MJ)", "With sleep (MJ)",
@@ -71,10 +72,12 @@ main(int argc, char **argv)
         std::cout << "\nPer-byte energy while actively transferring "
                      "(sleep cannot change it):\n"
                   << "  route C: "
-                  << units::formatSig(c.activeJoulesPerByte() * 1e12, 4)
+                  << units::formatSig(
+                         c.activeJoulesPerByte().value() * 1e12, 4)
                   << " J/TB vs DHL "
                   << units::formatSig(
-                         dhl_bulk.total_energy / bytes * 1e12, 4)
+                         (dhl_bulk.total_energy / bytes).value() * 1e12,
+                         4)
                   << " J/TB\n"
                   << "Sleeping rescues idle hours, not the transfer "
                      "itself; the paper's Table VI per-byte reductions "

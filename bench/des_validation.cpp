@@ -38,24 +38,26 @@ main(int argc, char **argv)
         // ~8 carts of data (last one partial) keeps the DES quick while
         // exercising the full trip loop.
         const double dataset =
-            8.0 * cfg.cartCapacity() - u::terabytes(3);
+            8.0 * cfg.cartCapacity().value() - u::terabytes(3);
 
         DhlSimulation des(cfg);
         const auto sim_result = des.runBulkTransfer(dataset);
         const AnalyticalModel model(cfg);
-        const auto closed = model.bulk(dataset);
+        const auto closed = model.bulk(dhl::qty::Bytes{dataset});
 
         const double time_err =
-            std::abs(sim_result.total_time - closed.total_time) /
-            closed.total_time;
+            std::abs(sim_result.total_time - closed.total_time.value()) /
+            closed.total_time.value();
         const double energy_err =
-            std::abs(sim_result.total_energy - closed.total_energy) /
-            closed.total_energy;
+            std::abs(sim_result.total_energy -
+                     closed.total_energy.value()) /
+            closed.total_energy.value();
         table.addRow({cfg.label(), std::to_string(sim_result.carts),
                       cell(sim_result.total_time, 6),
-                      cell(closed.total_time, 6),
+                      cell(closed.total_time.value(), 6),
                       cell(u::toKilojoules(sim_result.total_energy), 5),
-                      cell(u::toKilojoules(closed.total_energy), 5),
+                      cell(u::toKilojoules(closed.total_energy.value()),
+                           5),
                       cell(std::max(time_err, energy_err), 3)});
     }
     bench::emit(table, csv);

@@ -36,9 +36,9 @@ main(int argc, char **argv)
     std::size_t i = 0;
     for (const auto &route : network::canonicalRoutes()) {
         const network::TransferModel model(route);
-        const auto r = model.transfer(dataset);
+        const auto r = model.transfer(dhl::qty::Bytes{dataset});
         const double mj = u::toMegajoules(r.energy);
-        table.addRow({route.name(), cell(r.power, 6),
+        table.addRow({route.name(), cell(r.power.value(), 6),
                       u::formatDuration(r.time), cell(mj, 5),
                       cell(paper_mj[i], 5),
                       cell(100.0 * (mj - paper_mj[i]) / paper_mj[i], 2) +
@@ -49,14 +49,17 @@ main(int argc, char **argv)
 
     if (!csv) {
         const network::TransferModel a0(network::findRoute("A0"));
-        const auto single = a0.transfer(dataset);
+        const auto single = a0.transfer(dhl::qty::Bytes{dataset});
         std::cout << "\n§II-C anchors:\n"
                   << "  29 PB over one 400 Gbit/s link: "
                   << u::formatDuration(single.time) << " ("
-                  << cell(single.time, 6) << " s; paper: 580k s / 6.71 "
+                  << cell(single.time.value(), 6)
+                  << " s; paper: 580k s / 6.71 "
                   << "days)\n"
                   << "  Speedup needed for a 1-hour transfer: "
-                  << cell(a0.speedupForTargetTime(dataset, u::hours(1)), 4)
+                  << cell(a0.speedupForTargetTime(dhl::qty::Bytes{dataset},
+                                                  dhl::qty::hours(1.0)),
+                          4)
                   << "x (paper: 161x, > 64 Tbit/s)\n"
                   << "  Disks to carry 29 PB by hand: "
                   << cell(std::ceil(

@@ -102,7 +102,7 @@ BM_AnalyticalDesignSpace(benchmark::State &state)
         double acc = 0.0;
         for (const auto &row : core::tableViRows()) {
             const core::AnalyticalModel m(row.config);
-            acc += m.bulk(dataset).total_time;
+            acc += m.bulk(dhl::qty::Bytes{dataset}).total_time.value();
         }
         benchmark::DoNotOptimize(acc);
     }
@@ -120,7 +120,7 @@ BM_DesBulkTransfer(benchmark::State &state)
     for (auto _ : state) {
         core::DhlSimulation des(cfg);
         const auto r =
-            des.runBulkTransfer(carts * cfg.cartCapacity());
+            des.runBulkTransfer(carts * cfg.cartCapacity().value());
         benchmark::DoNotOptimize(r.total_time);
     }
     state.SetItemsProcessed(state.iterations() *

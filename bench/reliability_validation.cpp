@@ -91,7 +91,7 @@ degradedScenario(std::string name, const ReliabilityConfig &rel,
     s.run = [name, rel, seed, carts](exp::ScenarioContext &) {
         const DhlConfig cfg = defaultConfig();
         const double dataset =
-            static_cast<double>(carts) * cfg.cartCapacity();
+            static_cast<double>(carts) * cfg.cartCapacity().value();
 
         DhlSimulation clean(cfg);
         const BulkRunResult rc = clean.runBulkTransfer(dataset);

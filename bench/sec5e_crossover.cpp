@@ -39,11 +39,14 @@ main(int argc, char **argv)
         const auto be = breakEven(tiny, network::findRoute("A0"));
         std::cout << "\nAnchor (paper: 360 GB carts, 10 m/s, 10 m, "
                   << "7.2 s one-way, 144 J on A0):\n"
-                  << "  one-way trip time: " << cell(lm.trip_time, 4)
+                  << "  one-way trip time: "
+                  << cell(lm.trip_time.value(), 4)
                   << " s (paper: 7.2 s)\n"
-                  << "  launch energy: " << cell(lm.energy, 3)
+                  << "  launch energy: " << cell(lm.energy.value(), 3)
                   << " J (minuscule vs the link's "
-                  << cell(network::findRoute("A0").power() * lm.trip_time,
+                  << cell((network::findRoute("A0").power() *
+                           lm.trip_time)
+                              .value(),
                           4)
                   << " J over the same window; paper: 144 J)\n"
                   << "  break-even dataset (time): "
@@ -70,11 +73,15 @@ main(int argc, char **argv)
                 exp::ScenarioRows rows;
                 for (const auto &p : crossoverSweep({length}, speeds)) {
                     rows.push_back(
-                        {cell(p.track_length, 5), cell(p.max_speed, 4),
-                         cell(p.trip_time, 4), cell(p.launch_energy, 4),
-                         cell(p.vs_a0.bytes_for_time / 1e9, 4),
-                         cell(p.vs_a0.bytes_for_energy / 1e9, 4),
-                         cell(p.vs_a0.bytes_to_win() / 1e9, 4)});
+                        {cell(p.track_length.value(), 5),
+                         cell(p.max_speed.value(), 4),
+                         cell(p.trip_time.value(), 4),
+                         cell(p.launch_energy.value(), 4),
+                         cell(p.vs_a0.bytes_for_time.value() / 1e9, 4),
+                         cell(p.vs_a0.bytes_for_energy.value() / 1e9,
+                              4),
+                         cell(p.vs_a0.bytes_to_win().value() / 1e9,
+                              4)});
                 }
                 return rows;
             },

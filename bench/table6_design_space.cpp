@@ -20,6 +20,7 @@
 using namespace dhl;
 using namespace dhl::core;
 namespace u = dhl::units;
+namespace qty = dhl::qty;
 
 namespace {
 
@@ -31,12 +32,12 @@ formatRow(const DhlConfig &cfg, const DesignSpaceRow &computed)
     std::vector<std::string> cells{
         cell(cfg.max_speed, 4),
         cell(cfg.track_length, 5),
-        cell(lm.capacity / u::terabytes(1), 4),
-        cell(u::toKilojoules(lm.energy), 3),
+        cell(lm.capacity.value() / u::terabytes(1), 4),
+        cell(u::toKilojoules(lm.energy.value()), 3),
         cell(lm.efficiency, 3),
-        cell(lm.trip_time, 3),
-        cell(lm.bandwidth / u::terabytes(1), 3),
-        cell(u::toKilowatts(lm.peak_power), 3),
+        cell(lm.trip_time.value(), 3),
+        cell(lm.bandwidth.value() / u::terabytes(1), 3),
+        cell(u::toKilowatts(lm.peak_power.value()), 3),
         cellTimes(computed.time_speedup, 4),
     };
     for (const auto &rc : computed.routes)
@@ -66,8 +67,9 @@ main(int argc, char **argv)
         table6.add(
             cfg.label(),
             [cfg, dataset](exp::ScenarioContext &) -> exp::ScenarioRows {
-                return {formatRow(cfg,
-                                  computeDesignSpaceRow(cfg, dataset))};
+                return {formatRow(
+                    cfg,
+                    computeDesignSpaceRow(cfg, qty::Bytes{dataset}))};
             },
             group_end);
     }
@@ -99,7 +101,7 @@ main(int argc, char **argv)
                   << "doubled by returns):\n";
         for (std::size_t n : {16u, 32u, 64u}) {
             const AnalyticalModel m(makeConfig(200, 500, n));
-            const auto b = m.bulk(dataset);
+            const auto b = m.bulk(qty::Bytes{dataset});
             std::cout << "  " << n << " SSDs/cart: " << b.loaded_trips
                       << " loaded, " << b.total_trips << " total\n";
         }

@@ -127,7 +127,7 @@ main()
     // (b) The same backups on a DHL never touch the fabric.
     core::DhlConfig cfg = core::defaultConfig();
     const core::AnalyticalModel dhl_model(cfg);
-    const auto per_backup = dhl_model.bulk(backup_size);
+    const auto per_backup = dhl_model.bulk(dhl::qty::Bytes{backup_size});
     std::cout << "The DHL alternative (" << cfg.label() << "):\n"
               << "  per 2 PB backup: " << per_backup.loaded_trips
               << " carts, " << u::formatDuration(per_backup.total_time)
@@ -140,7 +140,7 @@ main()
 
     // Head-to-head on the backup bytes alone (cross-aisle = route C).
     const network::TransferModel net(network::findRoute("C"));
-    const auto net_backup = net.transfer(backup_size);
+    const auto net_backup = net.transfer(dhl::qty::Bytes{backup_size});
     std::cout << "Per-backup head-to-head (2 PB, cross-aisle):\n"
               << "  network C: " << u::formatDuration(net_backup.time)
               << ", " << u::formatEnergy(net_backup.energy) << "\n"

@@ -35,9 +35,11 @@ main()
         for (StopId to = from + 1; to < model.numStops(); ++to) {
             const HopMetrics h = model.hop(from, to);
             std::cout << "  stop " << from << " -> " << to << ": "
-                      << u::formatSig(h.distance, 4) << " m, peak "
-                      << u::formatSig(h.peak_speed, 4) << " m/s, "
-                      << u::formatSig(h.trip_time, 3) << " s, "
+                      << u::formatSig(h.distance.value(), 4)
+                      << " m, peak "
+                      << u::formatSig(h.peak_speed.value(), 4)
+                      << " m/s, "
+                      << u::formatSig(h.trip_time.value(), 3) << " s, "
                       << u::formatEnergy(h.energy) << "\n";
         }
     }
@@ -45,8 +47,8 @@ main()
     // A delivery round: library -> rack1 -> rack2 -> rack3 -> library.
     const HopMetrics tour = model.tour({0, 1, 2, 3, 0});
     std::cout << "\nDelivery tour 0-1-2-3-0: "
-              << u::formatSig(tour.distance, 4) << " m, "
-              << u::formatSig(tour.trip_time, 4) << " s, "
+              << u::formatSig(tour.distance.value(), 4) << " m, "
+              << u::formatSig(tour.trip_time.value(), 4) << " s, "
               << u::formatEnergy(tour.energy) << "\n";
 
     // Contention: a cart docking at rack 1 blocks a through-shuttle to

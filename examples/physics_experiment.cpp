@@ -42,7 +42,7 @@ main()
     const core::AnalyticalModel model(cfg);
 
     const double carts_per_burst =
-        std::ceil(burst_bytes / cfg.cartCapacity());
+        std::ceil(burst_bytes / cfg.cartCapacity().value());
     std::cout << "DHL " << cfg.label() << ": "
               << u::formatBytes(cfg.cartCapacity())
               << " per cart -> " << carts_per_burst
@@ -51,7 +51,7 @@ main()
     // How quickly can a burst's carts be cleared, pipelined?
     core::BulkOptions opts;
     opts.pipelined = true;
-    const auto bulk = model.bulk(burst_bytes, opts);
+    const auto bulk = model.bulk(dhl::qty::Bytes{burst_bytes}, opts);
     std::cout << "  pipelined clear-out: "
               << u::formatDuration(bulk.total_time) << " ("
               << u::formatBandwidth(bulk.effective_bandwidth)
@@ -66,21 +66,23 @@ main()
               << u::formatBandwidth(sustained)
               << " sustained; the pipeline sustains "
               << u::formatBandwidth(bulk.effective_bandwidth) << " -> "
-              << (bulk.effective_bandwidth > sustained ? "keeps up"
-                                                       : "falls behind")
+              << (bulk.effective_bandwidth.value() > sustained
+                      ? "keeps up"
+                      : "falls behind")
               << "\n\n";
 
     // The WAN alternative: how many parallel 400 Gbit/s links to keep
     // up with the same sustained rate, and at what power?
     const network::TransferModel wan(network::findRoute("C"));
-    const double links = wan.linksForTime(burst_bytes, fill_period);
+    const double links = wan.linksForTime(dhl::qty::Bytes{burst_bytes},
+                                          dhl::qty::Seconds{fill_period});
     std::cout << "WAN alternative (route C): keeping up needs "
               << u::formatSig(links, 4) << " parallel 400 Gbit/s links "
               << "burning "
               << u::formatPower(links * wan.linkPower())
               << " continuously;\n  the DHL spends "
               << u::formatEnergy(bulk.total_energy) << " per burst ("
-              << u::formatPower(bulk.total_energy / fill_period)
+              << u::formatPower(bulk.total_energy.value() / fill_period)
               << " average)\n\n";
 
     // Event-driven replay of one burst's worth of carts (scaled to a
@@ -88,7 +90,7 @@ main()
     core::DhlSimulation des(cfg);
     core::BulkRunOptions run_opts;
     run_opts.pipelined = true;
-    const auto run = des.runBulkTransfer(4.0 * cfg.cartCapacity(),
+    const auto run = des.runBulkTransfer(4.0 * cfg.cartCapacity().value(),
                                          run_opts);
     std::cout << "Event-driven replay (4 carts): "
               << u::formatDuration(run.total_time) << ", "

@@ -27,8 +27,9 @@ main()
     core::DhlConfig cfg = core::defaultConfig();
     std::cout << "Configured " << cfg.label() << ": "
               << u::formatBytes(cfg.cartCapacity()) << " per cart, "
-              << u::formatSig(u::toGrams(cfg.cartMass()), 3)
-              << " g cart, " << cfg.limLength() << " m LIM\n\n";
+              << u::formatSig(u::toGrams(cfg.cartMass().value()), 3)
+              << " g cart, " << cfg.limLength().value()
+              << " m LIM\n\n";
 
     // 2. Closed-form: one launch between the endpoints.
     const core::AnalyticalModel model(cfg);
@@ -46,14 +47,15 @@ main()
 
     // 3. Move a 2 PB dataset and compare with the optical network.
     const double dataset = u::petabytes(2);
-    const auto bulk = model.bulk(dataset);
+    const auto bulk = model.bulk(dhl::qty::Bytes{dataset});
     std::cout << "Moving " << u::formatBytes(dataset) << ": "
               << bulk.loaded_trips << " carts, "
               << u::formatDuration(bulk.total_time) << ", "
               << u::formatEnergy(bulk.total_energy) << "\n";
     for (const char *route : {"A0", "C"}) {
         const auto cmp =
-            model.compareBulk(dataset, network::findRoute(route));
+            model.compareBulk(dhl::qty::Bytes{dataset},
+                              network::findRoute(route));
         std::cout << "  vs route " << route << ": "
                   << u::formatSig(cmp.time_speedup, 4) << "x faster, "
                   << u::formatSig(cmp.energy_reduction, 4)

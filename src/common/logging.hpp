@@ -28,7 +28,6 @@
 
 #include <functional>
 #include <mutex>
-#include <sstream>
 #include <stdexcept>
 #include <string>
 

@@ -1,0 +1,405 @@
+/**
+ * @file
+ * Compile-time dimensional analysis for the DHL library (`dhl::qty`).
+ *
+ * Every physical quantity flowing through the model layers is a
+ * `Quantity<Dim>`: a single `double` (always in SI base units — seconds,
+ * metres, kilograms, bytes, bits) tagged at compile time with its
+ * dimension, so that the classic failure modes of physics/energy
+ * modelling code — bits-for-bytes, J-for-W, seconds-for-hours — are
+ * *compile errors* instead of silently wrong bench tables.
+ *
+ * Design rules:
+ *
+ *  - Zero overhead: `sizeof(Quantity<D>) == sizeof(double)`, every
+ *    operation is exactly one `double` operation, everything usable in
+ *    `constexpr` context.  Release codegen is identical to bare doubles.
+ *  - Exponents are rational with denominator 2 (stored doubled), so
+ *    `qty::sqrt` is closed over the dimensions the models need
+ *    (`sqrt(L/a)` is a time, `sqrt(L*a)` a speed).
+ *  - Construction from `double` is *explicit* and the only way out is
+ *    the explicit `.value()` escape hatch.  The DES / stats / table
+ *    layers stay on `double` and convert at the boundary.
+ *  - Bits and bytes are distinct dimensions: assigning a `_Gbps` link
+ *    rate to a `BytesPerSecond` field does not compile; conversion is
+ *    spelled `toBytesPerSecond(...)` (an explicit /8).
+ *  - Data sizes follow the paper's *decimal* convention (1 TB = 1e12 B);
+ *    see `common/units.hpp` for the rationale and IEC helpers.
+ *
+ * The five base dimensions (time, length, mass, data-in-bytes,
+ * data-in-bits) cover everything the paper's models exchange; derived
+ * units (J, W, Pa, B/s) follow by exponent arithmetic, so e.g.
+ * `Joules * BytesPerSecond / Watts` *is* a `Bytes` — the §V-E
+ * break-even formula type-checks end to end.
+ */
+
+#ifndef DHL_COMMON_QUANTITY_HPP
+#define DHL_COMMON_QUANTITY_HPP
+
+#include <cmath>
+
+namespace dhl {
+namespace qty {
+
+/**
+ * A dimensioned scalar: one double tagged with rational exponents
+ * (doubled, i.e. `T2 == 2` means time^1) over the library's five base
+ * dimensions.
+ *
+ * @tparam T2 Doubled exponent of time (seconds).
+ * @tparam L2 Doubled exponent of length (metres).
+ * @tparam M2 Doubled exponent of mass (kilograms).
+ * @tparam D2 Doubled exponent of data (bytes, decimal convention).
+ * @tparam B2 Doubled exponent of data (bits).
+ */
+template <int T2, int L2, int M2, int D2, int B2>
+class Quantity
+{
+  public:
+    /** Zero. */
+    constexpr Quantity() = default;
+
+    /** Tag a raw value (already in SI base units) with this dimension.
+     *  Deliberately explicit: a bare double has no dimension. */
+    explicit constexpr Quantity(double v) : v_(v) {}
+
+    /** The explicit escape hatch back to the undimensioned world. */
+    constexpr double value() const { return v_; }
+
+    /** Implicit readout for dimensionless ratios only. */
+    constexpr operator double() const
+        requires(T2 == 0 && L2 == 0 && M2 == 0 && D2 == 0 && B2 == 0)
+    {
+        return v_;
+    }
+
+    //-- Same-dimension arithmetic -------------------------------------
+
+    constexpr Quantity operator+(Quantity o) const
+    {
+        return Quantity{v_ + o.v_};
+    }
+    constexpr Quantity operator-(Quantity o) const
+    {
+        return Quantity{v_ - o.v_};
+    }
+    constexpr Quantity operator-() const { return Quantity{-v_}; }
+    constexpr Quantity operator+() const { return *this; }
+
+    constexpr Quantity &operator+=(Quantity o)
+    {
+        v_ += o.v_;
+        return *this;
+    }
+    constexpr Quantity &operator-=(Quantity o)
+    {
+        v_ -= o.v_;
+        return *this;
+    }
+
+    //-- Dimensionless scaling -----------------------------------------
+
+    constexpr Quantity operator*(double s) const { return Quantity{v_ * s}; }
+    constexpr Quantity operator/(double s) const { return Quantity{v_ / s}; }
+    friend constexpr Quantity operator*(double s, Quantity q)
+    {
+        return Quantity{s * q.v_};
+    }
+
+    constexpr Quantity &operator*=(double s)
+    {
+        v_ *= s;
+        return *this;
+    }
+    constexpr Quantity &operator/=(double s)
+    {
+        v_ /= s;
+        return *this;
+    }
+
+    //-- Comparisons (same dimension only) -----------------------------
+
+    constexpr bool operator==(Quantity o) const { return v_ == o.v_; }
+    constexpr bool operator!=(Quantity o) const { return v_ != o.v_; }
+    constexpr bool operator<(Quantity o) const { return v_ < o.v_; }
+    constexpr bool operator<=(Quantity o) const { return v_ <= o.v_; }
+    constexpr bool operator>(Quantity o) const { return v_ > o.v_; }
+    constexpr bool operator>=(Quantity o) const { return v_ >= o.v_; }
+
+  private:
+    double v_ = 0.0;
+};
+
+//-- Cross-dimension products and quotients ----------------------------
+
+/** Quotient of identical dimensions: a plain (dimensionless) double.
+ *  More specialised than the general quotient below, so speedups and
+ *  ratios fall out of the type system without `.value()` noise. */
+template <int T2, int L2, int M2, int D2, int B2>
+constexpr double
+operator/(Quantity<T2, L2, M2, D2, B2> a, Quantity<T2, L2, M2, D2, B2> b)
+{
+    return a.value() / b.value();
+}
+
+/** General product: exponents add. */
+template <int T2, int L2, int M2, int D2, int B2, int U2, int V2, int W2,
+          int X2, int Y2>
+constexpr Quantity<T2 + U2, L2 + V2, M2 + W2, D2 + X2, B2 + Y2>
+operator*(Quantity<T2, L2, M2, D2, B2> a, Quantity<U2, V2, W2, X2, Y2> b)
+{
+    return Quantity<T2 + U2, L2 + V2, M2 + W2, D2 + X2, B2 + Y2>{
+        a.value() * b.value()};
+}
+
+/** General quotient: exponents subtract. */
+template <int T2, int L2, int M2, int D2, int B2, int U2, int V2, int W2,
+          int X2, int Y2>
+constexpr Quantity<T2 - U2, L2 - V2, M2 - W2, D2 - X2, B2 - Y2>
+operator/(Quantity<T2, L2, M2, D2, B2> a, Quantity<U2, V2, W2, X2, Y2> b)
+{
+    return Quantity<T2 - U2, L2 - V2, M2 - W2, D2 - X2, B2 - Y2>{
+        a.value() / b.value()};
+}
+
+/** Reciprocal scaling: double / quantity inverts the dimension. */
+template <int T2, int L2, int M2, int D2, int B2>
+constexpr Quantity<-T2, -L2, -M2, -D2, -B2>
+operator/(double s, Quantity<T2, L2, M2, D2, B2> q)
+{
+    return Quantity<-T2, -L2, -M2, -D2, -B2>{s / q.value()};
+}
+
+//-- Dimension-preserving math helpers ---------------------------------
+
+template <int T2, int L2, int M2, int D2, int B2>
+constexpr Quantity<T2, L2, M2, D2, B2>
+abs(Quantity<T2, L2, M2, D2, B2> q)
+{
+    return Quantity<T2, L2, M2, D2, B2>{q.value() < 0.0 ? -q.value()
+                                                        : q.value()};
+}
+
+template <int T2, int L2, int M2, int D2, int B2>
+constexpr Quantity<T2, L2, M2, D2, B2>
+min(Quantity<T2, L2, M2, D2, B2> a, Quantity<T2, L2, M2, D2, B2> b)
+{
+    return b < a ? b : a;
+}
+
+template <int T2, int L2, int M2, int D2, int B2>
+constexpr Quantity<T2, L2, M2, D2, B2>
+max(Quantity<T2, L2, M2, D2, B2> a, Quantity<T2, L2, M2, D2, B2> b)
+{
+    return a < b ? b : a;
+}
+
+/**
+ * Square root: halves every exponent, which is exact because exponents
+ * are stored doubled.  `sqrt(Metres * MetresPerSecondSquared)` is a
+ * `MetresPerSecond`; `sqrt(Seconds)` is representable as s^(1/2).
+ * Taking the root of a quantity that already has half-integer exponents
+ * (quarter roots) is rejected at compile time.
+ */
+template <int T2, int L2, int M2, int D2, int B2>
+inline Quantity<T2 / 2, L2 / 2, M2 / 2, D2 / 2, B2 / 2>
+sqrt(Quantity<T2, L2, M2, D2, B2> q)
+{
+    static_assert(T2 % 2 == 0 && L2 % 2 == 0 && M2 % 2 == 0 &&
+                      D2 % 2 == 0 && B2 % 2 == 0,
+                  "sqrt would need quarter-integer dimension exponents");
+    return Quantity<T2 / 2, L2 / 2, M2 / 2, D2 / 2, B2 / 2>{
+        std::sqrt(q.value())};
+}
+
+//-- Named dimensions --------------------------------------------------
+
+namespace detail {
+/** Build a Quantity from whole exponents (time, length, mass, bytes,
+ *  bits). */
+template <int T, int L, int M, int D, int B>
+using Unit = Quantity<2 * T, 2 * L, 2 * M, 2 * D, 2 * B>;
+} // namespace detail
+
+using Dimensionless = detail::Unit<0, 0, 0, 0, 0>;
+
+// Time.
+using Seconds = detail::Unit<1, 0, 0, 0, 0>;
+using Hertz = detail::Unit<-1, 0, 0, 0, 0>;
+
+// Space.
+using Metres = detail::Unit<0, 1, 0, 0, 0>;
+using SquareMetres = detail::Unit<0, 2, 0, 0, 0>;
+using CubicMetres = detail::Unit<0, 3, 0, 0, 0>;
+
+// Kinematics.
+using MetresPerSecond = detail::Unit<-1, 1, 0, 0, 0>;
+using MetresPerSecondSquared = detail::Unit<-2, 1, 0, 0, 0>;
+
+// Mass and mechanics.
+using Kilograms = detail::Unit<0, 0, 1, 0, 0>;
+using KilogramsPerCubicMetre = detail::Unit<0, -3, 1, 0, 0>;
+using Newtons = detail::Unit<-2, 1, 1, 0, 0>;
+using Pascals = detail::Unit<-2, -1, 1, 0, 0>;
+
+// Energy and power.
+using Joules = detail::Unit<-2, 2, 1, 0, 0>;
+using Watts = detail::Unit<-3, 2, 1, 0, 0>;
+
+// Data (decimal convention, see file comment).
+using Bytes = detail::Unit<0, 0, 0, 1, 0>;
+using BytesPerSecond = detail::Unit<-1, 0, 0, 1, 0>;
+using Bits = detail::Unit<0, 0, 0, 0, 1>;
+using BitsPerSecond = detail::Unit<-1, 0, 0, 0, 1>;
+
+// Cross-cutting figures of merit.
+using JoulesPerByte = detail::Unit<-2, 2, 1, -1, 0>;
+
+static_assert(sizeof(Seconds) == sizeof(double),
+              "Quantity must stay a bare double in memory");
+static_assert(sizeof(Joules) == sizeof(double),
+              "Quantity must stay a bare double in memory");
+
+//-- Typed constructors (mirror common/units.hpp) ----------------------
+
+// Time.
+constexpr Seconds seconds(double n) { return Seconds{n}; }
+constexpr Seconds milliseconds(double n) { return Seconds{n * 1e-3}; }
+constexpr Seconds minutes(double n) { return Seconds{n * 60.0}; }
+constexpr Seconds hours(double n) { return Seconds{n * 3600.0}; }
+constexpr Seconds days(double n) { return Seconds{n * 86400.0}; }
+
+// Space.
+constexpr Metres metres(double n) { return Metres{n}; }
+constexpr Metres millimetres(double n) { return Metres{n * 1e-3}; }
+constexpr Metres kilometres(double n) { return Metres{n * 1e3}; }
+constexpr SquareMetres squareMetres(double n) { return SquareMetres{n}; }
+constexpr CubicMetres cubicMetres(double n) { return CubicMetres{n}; }
+
+// Kinematics.
+constexpr MetresPerSecond metresPerSecond(double n)
+{
+    return MetresPerSecond{n};
+}
+constexpr MetresPerSecondSquared metresPerSecondSquared(double n)
+{
+    return MetresPerSecondSquared{n};
+}
+
+// Mass.
+constexpr Kilograms kilograms(double n) { return Kilograms{n}; }
+constexpr Kilograms grams(double n) { return Kilograms{n * 1e-3}; }
+
+// Energy / power.
+constexpr Joules joules(double n) { return Joules{n}; }
+constexpr Joules kilojoules(double n) { return Joules{n * 1e3}; }
+constexpr Joules megajoules(double n) { return Joules{n * 1e6}; }
+constexpr Watts watts(double n) { return Watts{n}; }
+constexpr Watts kilowatts(double n) { return Watts{n * 1e3}; }
+constexpr Watts megawatts(double n) { return Watts{n * 1e6}; }
+
+// Data sizes (decimal, matching the paper).
+constexpr Bytes bytes(double n) { return Bytes{n}; }
+constexpr Bytes kilobytes(double n) { return Bytes{n * 1e3}; }
+constexpr Bytes megabytes(double n) { return Bytes{n * 1e6}; }
+constexpr Bytes gigabytes(double n) { return Bytes{n * 1e9}; }
+constexpr Bytes terabytes(double n) { return Bytes{n * 1e12}; }
+constexpr Bytes petabytes(double n) { return Bytes{n * 1e15}; }
+constexpr Bits bits(double n) { return Bits{n}; }
+
+// Link rates.  Note these are *bit* rates: converting to the byte-based
+// storage/bandwidth world requires an explicit toBytesPerSecond().
+constexpr BitsPerSecond bitsPerSecond(double n) { return BitsPerSecond{n}; }
+constexpr BitsPerSecond gigabitsPerSecond(double gbps)
+{
+    return BitsPerSecond{gbps * 1e9};
+}
+constexpr BitsPerSecond terabitsPerSecond(double tbps)
+{
+    return BitsPerSecond{tbps * 1e12};
+}
+constexpr BytesPerSecond bytesPerSecond(double n)
+{
+    return BytesPerSecond{n};
+}
+
+// Pressure.
+constexpr Pascals pascals(double n) { return Pascals{n}; }
+constexpr Pascals millibar(double n) { return Pascals{n * 100.0}; }
+
+//-- Explicit bits <-> bytes conversions -------------------------------
+
+constexpr Bytes toBytes(Bits b) { return Bytes{b.value() / 8.0}; }
+constexpr Bits toBits(Bytes b) { return Bits{b.value() * 8.0}; }
+constexpr BytesPerSecond toBytesPerSecond(BitsPerSecond r)
+{
+    return BytesPerSecond{r.value() / 8.0};
+}
+constexpr BitsPerSecond toBitsPerSecond(BytesPerSecond r)
+{
+    return BitsPerSecond{r.value() * 8.0};
+}
+
+//-- User-defined literals ---------------------------------------------
+
+inline namespace literals {
+
+// clang-format off
+constexpr Seconds operator""_s(long double n)    { return Seconds{static_cast<double>(n)}; }
+constexpr Seconds operator""_s(unsigned long long n) { return Seconds{static_cast<double>(n)}; }
+constexpr Seconds operator""_ms(long double n)   { return milliseconds(static_cast<double>(n)); }
+constexpr Seconds operator""_min(long double n)  { return minutes(static_cast<double>(n)); }
+constexpr Seconds operator""_h(long double n)    { return hours(static_cast<double>(n)); }
+constexpr Seconds operator""_days(long double n) { return days(static_cast<double>(n)); }
+
+constexpr Metres operator""_m(long double n)     { return Metres{static_cast<double>(n)}; }
+constexpr Metres operator""_m(unsigned long long n) { return Metres{static_cast<double>(n)}; }
+constexpr Metres operator""_mm(long double n)    { return millimetres(static_cast<double>(n)); }
+constexpr Metres operator""_km(long double n)    { return kilometres(static_cast<double>(n)); }
+
+constexpr MetresPerSecond operator""_mps(long double n) { return MetresPerSecond{static_cast<double>(n)}; }
+constexpr MetresPerSecond operator""_mps(unsigned long long n) { return MetresPerSecond{static_cast<double>(n)}; }
+constexpr MetresPerSecondSquared operator""_mps2(long double n) { return MetresPerSecondSquared{static_cast<double>(n)}; }
+constexpr MetresPerSecondSquared operator""_mps2(unsigned long long n) { return MetresPerSecondSquared{static_cast<double>(n)}; }
+
+constexpr Kilograms operator""_kg(long double n) { return Kilograms{static_cast<double>(n)}; }
+constexpr Kilograms operator""_g(long double n)  { return grams(static_cast<double>(n)); }
+
+constexpr Joules operator""_J(long double n)     { return Joules{static_cast<double>(n)}; }
+constexpr Joules operator""_kJ(long double n)    { return kilojoules(static_cast<double>(n)); }
+constexpr Joules operator""_MJ(long double n)    { return megajoules(static_cast<double>(n)); }
+constexpr Watts operator""_W(long double n)      { return Watts{static_cast<double>(n)}; }
+constexpr Watts operator""_kW(long double n)     { return kilowatts(static_cast<double>(n)); }
+constexpr Watts operator""_MW(long double n)     { return megawatts(static_cast<double>(n)); }
+
+constexpr Bytes operator""_B(long double n)      { return Bytes{static_cast<double>(n)}; }
+constexpr Bytes operator""_B(unsigned long long n) { return Bytes{static_cast<double>(n)}; }
+constexpr Bytes operator""_kB(long double n)     { return kilobytes(static_cast<double>(n)); }
+constexpr Bytes operator""_MB(long double n)     { return megabytes(static_cast<double>(n)); }
+constexpr Bytes operator""_GB(long double n)     { return gigabytes(static_cast<double>(n)); }
+constexpr Bytes operator""_TB(long double n)     { return terabytes(static_cast<double>(n)); }
+constexpr Bytes operator""_PB(long double n)     { return petabytes(static_cast<double>(n)); }
+
+constexpr Bits operator""_b(long double n)       { return Bits{static_cast<double>(n)}; }
+constexpr BitsPerSecond operator""_Gbps(long double n) { return gigabitsPerSecond(static_cast<double>(n)); }
+constexpr BitsPerSecond operator""_Gbps(unsigned long long n) { return gigabitsPerSecond(static_cast<double>(n)); }
+constexpr BitsPerSecond operator""_Tbps(long double n) { return terabitsPerSecond(static_cast<double>(n)); }
+
+constexpr Pascals operator""_Pa(long double n)   { return Pascals{static_cast<double>(n)}; }
+constexpr Pascals operator""_mbar(long double n) { return millibar(static_cast<double>(n)); }
+// clang-format on
+
+} // namespace literals
+
+//-- Typed physical constants ------------------------------------------
+
+/** Standard gravitational acceleration. */
+inline constexpr MetresPerSecondSquared kGravity{9.80665};
+
+/** Standard atmospheric pressure. */
+inline constexpr Pascals kAtmosphere{101325.0};
+
+} // namespace qty
+} // namespace dhl
+
+#endif // DHL_COMMON_QUANTITY_HPP

@@ -9,7 +9,6 @@
 #include <array>
 #include <cmath>
 #include <cstdio>
-#include <sstream>
 
 namespace dhl {
 namespace units {
@@ -33,6 +32,11 @@ formatScaled(double value, int precision,
              const UnitStep *steps, std::size_t n_steps,
              const char *base_suffix)
 {
+    if (!std::isfinite(value)) {
+        // Scaling nan/inf by a unit divisor would print misleading
+        // strings like "inf PB"; the bare value is the honest answer.
+        return formatSig(value, precision);
+    }
     const double mag = std::fabs(value);
     for (std::size_t i = 0; i < n_steps; ++i) {
         if (mag >= steps[i].threshold) {
@@ -87,10 +91,11 @@ formatDuration(double seconds, int precision)
     if (mag >= 60.0) {
         return formatScaled(seconds, precision, big.data(), big.size(), "s");
     }
-    static const std::array<UnitStep, 3> small{{
+    static const std::array<UnitStep, 4> small{{
         {1.0, 1.0, "s"},
         {1e-3, 1e-3, "ms"},
         {1e-6, 1e-6, "us"},
+        {1e-9, 1e-9, "ns"},
     }};
     return formatScaled(seconds, precision, small.data(), small.size(), "s");
 }

@@ -21,6 +21,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/quantity.hpp"
+
 namespace dhl {
 namespace units {
 
@@ -39,6 +41,9 @@ inline constexpr double kAluminiumDensity = 2700.0;
 
 /** Standard atmospheric pressure, Pa. */
 inline constexpr double kAtmospherePa = 101325.0;
+
+/** Joules in one kilowatt-hour (3600 s * 1000 W). */
+inline constexpr double kJoulesPerKilowattHour = 3.6e6;
 
 //===========================================================================
 // SI prefixes
@@ -77,6 +82,8 @@ constexpr double pebibytes(double n) { return n * 1125899906842624.0; }
 //===========================================================================
 
 /** Bits -> bytes. */
+constexpr double toMegabytes(double b) { return b / 1e6; }
+
 constexpr double bitsToBytes(double bits) { return bits / 8.0; }
 
 /** Bytes -> bits. */
@@ -103,6 +110,7 @@ constexpr double minutes(double n) { return n * 60.0; }
 constexpr double hours(double n) { return n * 3600.0; }
 constexpr double days(double n) { return n * 86400.0; }
 
+constexpr double toMilliseconds(double s) { return s * 1e3; }
 constexpr double toMinutes(double s) { return s / 60.0; }
 constexpr double toHours(double s) { return s / 3600.0; }
 constexpr double toDays(double s) { return s / 86400.0; }
@@ -168,6 +176,58 @@ std::string formatBandwidth(double bytes_per_s, int precision = 3);
  * trimming trailing zeros ("8.6", "295.1", "17").
  */
 std::string formatSig(double value, int significant_digits = 4);
+
+//===========================================================================
+// Typed-quantity overloads (common/quantity.hpp)
+//===========================================================================
+
+inline std::string formatBytes(qty::Bytes b, int precision = 3)
+{
+    return formatBytes(b.value(), precision);
+}
+
+inline std::string formatDuration(qty::Seconds s, int precision = 3)
+{
+    return formatDuration(s.value(), precision);
+}
+
+inline std::string formatEnergy(qty::Joules j, int precision = 4)
+{
+    return formatEnergy(j.value(), precision);
+}
+
+inline std::string formatPower(qty::Watts w, int precision = 4)
+{
+    return formatPower(w.value(), precision);
+}
+
+inline std::string formatBandwidth(qty::BytesPerSecond r, int precision = 3)
+{
+    return formatBandwidth(r.value(), precision);
+}
+
+//===========================================================================
+// Typed-quantity readouts for the table / report layers
+//===========================================================================
+
+constexpr double toMinutes(qty::Seconds s) { return s.value() / 60.0; }
+constexpr double toHours(qty::Seconds s) { return s.value() / 3600.0; }
+constexpr double toDays(qty::Seconds s) { return s.value() / 86400.0; }
+constexpr double toKilojoules(qty::Joules j) { return j.value() / 1e3; }
+constexpr double toMegajoules(qty::Joules j) { return j.value() / 1e6; }
+constexpr double toKilowatts(qty::Watts w) { return w.value() / 1e3; }
+
+constexpr double toGigabitsPerSecond(qty::BytesPerSecond r)
+{
+    return r.value() * 8.0 / 1e9;
+}
+
+/** Headline GB/J efficiency of a typed data/energy pair (same operation
+ *  order as the double overload, so table output is bit-identical). */
+constexpr double gbPerJoule(qty::Bytes b, qty::Joules j)
+{
+    return (b.value() / 1e9) / j.value();
+}
 
 } // namespace units
 } // namespace dhl

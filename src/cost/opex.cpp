@@ -8,6 +8,7 @@
 #include <limits>
 
 #include "common/logging.hpp"
+#include "common/units.hpp"
 #include "network/transfer.hpp"
 
 namespace dhl {
@@ -23,10 +24,12 @@ TcoModel::TcoModel(const OpexPrices &prices, const CostModel &materials)
 }
 
 double
-TcoModel::energyCost(double joules) const
+TcoModel::energyCost(qty::Joules energy) const
 {
-    fatal_if(joules < 0.0, "energy must be non-negative");
-    return joules / 3.6e6 * prices_.usd_per_kwh; // J -> kWh -> USD
+    fatal_if(energy.value() < 0.0, "energy must be non-negative");
+    // J -> kWh -> USD.
+    return energy.value() / units::kJoulesPerKilowattHour *
+           prices_.usd_per_kwh;
 }
 
 TcoComparison
@@ -45,7 +48,7 @@ TcoModel::compare(const core::DhlConfig &cfg, const network::Route &route,
     // DHL side: the Table VIII build plus launch energy per duty.
     const core::AnalyticalModel model(cfg);
     out.dhl.capex = materials_.totalCost(cfg.track_length, cfg.max_speed);
-    const auto bulk = model.bulk(duty.bytes_per_transfer);
+    const auto bulk = model.bulk(qty::Bytes{duty.bytes_per_transfer});
     out.dhl.energy_per_day = bulk.total_energy * duty.transfers_per_day;
     out.dhl.opex_per_year = energyCost(out.dhl.energy_per_day) * 365.0;
     out.dhl.total = out.dhl.capex + out.dhl.opex_per_year * duty.years;
@@ -53,7 +56,7 @@ TcoModel::compare(const core::DhlConfig &cfg, const network::Route &route,
     // Network side: switch capex plus route energy per duty.
     const network::TransferModel net(route);
     out.network.capex = prices_.network_switch_capex;
-    const auto xfer = net.transfer(duty.bytes_per_transfer, links);
+    const auto xfer = net.transfer(qty::Bytes{duty.bytes_per_transfer}, links);
     out.network.energy_per_day = xfer.energy * duty.transfers_per_day;
     out.network.opex_per_year =
         energyCost(out.network.energy_per_day) * 365.0;

@@ -48,10 +48,10 @@ struct TransferDuty
 /** One side's cost ledger. */
 struct CostLedger
 {
-    double capex;           ///< USD up front.
-    double energy_per_day;  ///< J/day.
-    double opex_per_year;   ///< USD/year on energy.
-    double total;           ///< USD over the lifetime.
+    double capex;               ///< USD up front.
+    qty::Joules energy_per_day; ///< Energy drawn per day.
+    double opex_per_year;       ///< USD/year on energy.
+    double total;               ///< USD over the lifetime.
 };
 
 /** The comparison result. */
@@ -84,8 +84,8 @@ class TcoModel
                           const TransferDuty &duty,
                           double links = 1.0) const;
 
-    /** Energy cost of @p joules at the configured price, USD. */
-    double energyCost(double joules) const;
+    /** Energy cost of @p energy at the configured price, USD. */
+    double energyCost(qty::Joules energy) const;
 
     const OpexPrices &prices() const { return prices_; }
 

@@ -27,15 +27,17 @@ AnalyticalModel::AnalyticalModel(const DhlConfig &cfg)
 LaunchMetrics
 AnalyticalModel::launch() const
 {
+    const qty::MetresPerSecond v_max{cfg_.max_speed};
     LaunchMetrics m{};
     m.cart_mass = cfg_.cartMass();
     m.capacity = cfg_.cartCapacity();
-    m.energy = physics::shotEnergy(m.cart_mass, cfg_.max_speed, cfg_.lim);
-    m.travel_time = physics::travelTime(cfg_.track_length, cfg_.max_speed,
-                                        cfg_.lim.accel, cfg_.kinematics);
-    m.trip_time = m.travel_time + 2.0 * cfg_.dock_time;
+    m.energy = physics::shotEnergy(m.cart_mass, v_max, cfg_.lim);
+    m.travel_time = physics::travelTime(
+        qty::Metres{cfg_.track_length}, v_max,
+        qty::MetresPerSecondSquared{cfg_.lim.accel}, cfg_.kinematics);
+    m.trip_time = m.travel_time + qty::Seconds{2.0 * cfg_.dock_time};
     m.bandwidth = m.capacity / m.trip_time;
-    m.peak_power = physics::peakPower(m.cart_mass, cfg_.max_speed, cfg_.lim);
+    m.peak_power = physics::peakPower(m.cart_mass, v_max, cfg_.lim);
     m.avg_power = m.energy / m.trip_time;
     m.efficiency = units::gbPerJoule(m.capacity, m.energy);
     return m;
@@ -44,38 +46,40 @@ AnalyticalModel::launch() const
 EnergyBreakdown
 AnalyticalModel::energyBreakdown() const
 {
-    const double mass = cfg_.cartMass();
+    const qty::Kilograms mass = cfg_.cartMass();
+    const qty::MetresPerSecond v_max{cfg_.max_speed};
     EnergyBreakdown b{};
-    b.accelerate =
-        physics::launchEnergy(mass, cfg_.max_speed, cfg_.lim);
-    b.brake = physics::brakeEnergy(mass, cfg_.max_speed, cfg_.lim);
-    b.drag = physics::dragLoss(mass, cfg_.track_length, cfg_.levitation);
-    const double travel =
-        physics::travelTime(cfg_.track_length, cfg_.max_speed,
-                            cfg_.lim.accel, cfg_.kinematics);
-    b.stabilisation = cfg_.levitation.stabilisation_power * travel;
+    b.accelerate = physics::launchEnergy(mass, v_max, cfg_.lim);
+    b.brake = physics::brakeEnergy(mass, v_max, cfg_.lim);
+    b.drag = physics::dragLoss(mass, qty::Metres{cfg_.track_length},
+                               cfg_.levitation);
+    const qty::Seconds travel = physics::travelTime(
+        qty::Metres{cfg_.track_length}, v_max,
+        qty::MetresPerSecondSquared{cfg_.lim.accel}, cfg_.kinematics);
+    b.stabilisation =
+        qty::Watts{cfg_.levitation.stabilisation_power} * travel;
     // Residual-gas drag at cruise speed over the cruise time; the cart's
     // frontal area follows from the SSD stack footprint (~60 x 80 mm for
     // the 32-SSD cart; scale by SSD count).
     const double frontal =
         0.060 * 0.080 *
         std::max(1.0, static_cast<double>(cfg_.ssds_per_cart) / 32.0);
-    b.aero = physics::aeroDragPower(cfg_.max_speed, frontal, 1.0,
+    b.aero = physics::aeroDragPower(v_max, qty::SquareMetres{frontal}, 1.0,
                                     cfg_.vacuum) *
              travel;
     return b;
 }
 
-double
+qty::Seconds
 AnalyticalModel::cartReadTime() const
 {
-    return array_.fullReadTime();
+    return qty::Seconds{array_.fullReadTime()};
 }
 
 BulkMetrics
-AnalyticalModel::bulk(double bytes, const BulkOptions &opts) const
+AnalyticalModel::bulk(qty::Bytes bytes, const BulkOptions &opts) const
 {
-    fatal_if(!(bytes > 0.0), "bulk transfer size must be positive");
+    fatal_if(!(bytes.value() > 0.0), "bulk transfer size must be positive");
 
     const LaunchMetrics lm = launch();
     BulkMetrics m{};
@@ -101,14 +105,15 @@ AnalyticalModel::bulk(double bytes, const BulkOptions &opts) const
         // single tube must also drain before the direction reverses, so
         // carts move in batches of `docking_stations`; a dual track
         // streams continuously.
-        const double read =
-            opts.include_read_time ? cartReadTime() : 0.0;
+        const qty::Seconds read =
+            opts.include_read_time ? cartReadTime() : qty::Seconds{0.0};
         // A cart occupies a docking station for dock + read + undock;
         // with D stations a new cart can arrive every (that / D), never
         // closer than the headway.
-        const double station_occupancy = 2.0 * cfg_.dock_time + read;
-        const double period = std::max(
-            cfg_.headway,
+        const qty::Seconds station_occupancy =
+            qty::Seconds{2.0 * cfg_.dock_time} + read;
+        const qty::Seconds period = qty::max(
+            qty::Seconds{cfg_.headway},
             station_occupancy / static_cast<double>(cfg_.docking_stations));
 
         const auto n = static_cast<double>(m.loaded_trips);
@@ -123,9 +128,9 @@ AnalyticalModel::bulk(double bytes, const BulkOptions &opts) const
             const auto d = static_cast<double>(cfg_.docking_stations);
             const double batches = std::ceil(n / d);
             const double carts_per_batch = std::min(n, d);
-            const double batch_time =
+            const qty::Seconds batch_time =
                 2.0 * (lm.trip_time + (carts_per_batch - 1.0) *
-                                          cfg_.headway) +
+                                          qty::Seconds{cfg_.headway}) +
                 read * carts_per_batch /
                     std::max(1.0, d); // reads overlap returns partially
             m.total_time = batches * batch_time;
@@ -138,7 +143,7 @@ AnalyticalModel::bulk(double bytes, const BulkOptions &opts) const
 }
 
 RouteComparison
-AnalyticalModel::compareBulk(double bytes, const network::Route &route,
+AnalyticalModel::compareBulk(qty::Bytes bytes, const network::Route &route,
                              const BulkOptions &opts) const
 {
     const network::TransferModel net(route);

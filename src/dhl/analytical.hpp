@@ -11,6 +11,7 @@
 
 #include <cstdint>
 
+#include "common/quantity.hpp"
 #include "dhl/config.hpp"
 #include "network/transfer.hpp"
 
@@ -20,27 +21,29 @@ namespace core {
 /** Metrics of one cart launch between the two endpoints (Table VI). */
 struct LaunchMetrics
 {
-    double cart_mass;    ///< kg.
-    double capacity;     ///< bytes carried.
-    double energy;       ///< J to launch + brake (the paper's "Energy").
-    double travel_time;  ///< s in the tube (excl. docking).
-    double trip_time;    ///< s including undock and dock.
-    double bandwidth;    ///< bytes/s embodied (capacity / trip_time).
-    double peak_power;   ///< W at the end of acceleration.
-    double avg_power;    ///< W averaged over the trip (energy/trip_time).
-    double efficiency;   ///< GB/J (capacity / energy).
+    qty::Kilograms cart_mass;       ///< Cart total mass.
+    qty::Bytes capacity;            ///< Bytes carried.
+    qty::Joules energy;             ///< Launch + brake (the paper's
+                                    ///< "Energy").
+    qty::Seconds travel_time;       ///< In the tube (excl. docking).
+    qty::Seconds trip_time;         ///< Including undock and dock.
+    qty::BytesPerSecond bandwidth;  ///< Embodied (capacity / trip_time).
+    qty::Watts peak_power;          ///< At the end of acceleration.
+    qty::Watts avg_power;           ///< Averaged over the trip.
+    double efficiency;              ///< GB/J headline number (display
+                                    ///< unit; see units::gbPerJoule).
 };
 
 /** Itemised energy of one launch, substantiating the "negligible" terms. */
 struct EnergyBreakdown
 {
-    double accelerate;     ///< J drawn by the launch LIM.
-    double brake;          ///< J drawn by the braking LIM (0 if passive).
-    double drag;           ///< J lost to magnetic drag over the track.
-    double stabilisation;  ///< J for active stabilisation during travel.
-    double aero;           ///< J against residual-gas drag.
+    qty::Joules accelerate;     ///< Drawn by the launch LIM.
+    qty::Joules brake;          ///< Drawn by the braking LIM (0 if passive).
+    qty::Joules drag;           ///< Lost to magnetic drag over the track.
+    qty::Joules stabilisation;  ///< Active stabilisation during travel.
+    qty::Joules aero;           ///< Against residual-gas drag.
 
-    double total() const
+    qty::Joules total() const
     {
         return accelerate + brake + drag + stabilisation + aero;
     }
@@ -77,20 +80,20 @@ struct BulkMetrics
 {
     std::uint64_t loaded_trips;  ///< ceil(bytes / cart capacity).
     std::uint64_t total_trips;   ///< including returns.
-    double total_time;           ///< s.
-    double total_energy;         ///< J.
-    double avg_power;            ///< W (energy / time).
-    double effective_bandwidth;  ///< bytes/s (bytes / time).
+    qty::Seconds total_time;
+    qty::Joules total_energy;
+    qty::Watts avg_power;                    ///< energy / time.
+    qty::BytesPerSecond effective_bandwidth; ///< bytes / time.
 };
 
 /** Head-to-head against one optical route. */
 struct RouteComparison
 {
     std::string route_name;
-    double network_time;     ///< s over one link.
-    double network_energy;   ///< J.
-    double time_speedup;     ///< network_time / dhl_time.
-    double energy_reduction; ///< network_energy / dhl_energy.
+    qty::Seconds network_time;   ///< Over one link.
+    qty::Joules network_energy;
+    double time_speedup;         ///< network_time / dhl_time.
+    double energy_reduction;     ///< network_energy / dhl_energy.
 };
 
 /** The closed-form model of one configured DHL. */
@@ -108,17 +111,18 @@ class AnalyticalModel
     EnergyBreakdown energyBreakdown() const;
 
     /** Move @p bytes from library to endpoint. */
-    BulkMetrics bulk(double bytes, const BulkOptions &opts = {}) const;
+    BulkMetrics bulk(qty::Bytes bytes, const BulkOptions &opts = {}) const;
 
     /**
      * Compare a bulk move against an optical route at 400 Gbit/s over a
      * single link (the paper's Table VI right-hand columns).
      */
-    RouteComparison compareBulk(double bytes, const network::Route &route,
+    RouteComparison compareBulk(qty::Bytes bytes,
+                                const network::Route &route,
                                 const BulkOptions &opts = {}) const;
 
-    /** Time to read one full cart at the docked PCIe bandwidth, s. */
-    double cartReadTime() const;
+    /** Time to read one full cart at the docked PCIe bandwidth. */
+    qty::Seconds cartReadTime() const;
 
   private:
     DhlConfig cfg_;

@@ -60,7 +60,7 @@ Cart::Cart(CartId id, const DhlConfig &cfg,
 double
 Cart::capacity() const
 {
-    return cfg_.cartCapacity();
+    return cfg_.cartCapacity().value();
 }
 
 double

@@ -12,7 +12,7 @@ namespace dhl {
 namespace core {
 
 DesignSpaceRow
-computeDesignSpaceRow(const DhlConfig &cfg, double dataset_bytes,
+computeDesignSpaceRow(const DhlConfig &cfg, qty::Bytes dataset_bytes,
                       const BulkOptions &opts)
 {
     AnalyticalModel model(cfg);
@@ -38,7 +38,7 @@ breakEven(const DhlConfig &cfg, const network::Route &route,
 {
     const AnalyticalModel model(cfg);
     const LaunchMetrics lm = model.launch();
-    const double route_power = route.power(pc);
+    const qty::Watts route_power = route.power(pc);
 
     BreakEven be{};
     be.route_name = route.name();
@@ -60,15 +60,16 @@ crossoverSweep(const std::vector<double> &lengths,
             // Short tracks cannot fit the default 1000 m/s^2 LIM pair at
             // high speed; clamp the speed down rather than the
             // acceleration up so the energy model stays comparable.
-            const double v_fit =
-                physics::peakSpeed(len, v, cfg.lim.accel);
-            cfg.max_speed = v_fit;
+            const qty::MetresPerSecond v_fit = physics::peakSpeed(
+                qty::Metres{len}, qty::MetresPerSecond{v},
+                qty::MetresPerSecondSquared{cfg.lim.accel});
+            cfg.max_speed = v_fit.value();
 
             const AnalyticalModel model(cfg);
             const LaunchMetrics lm = model.launch();
 
             CrossoverPoint p{};
-            p.track_length = len;
+            p.track_length = qty::Metres{len};
             p.max_speed = v_fit;
             p.trip_time = lm.trip_time;
             p.launch_energy = lm.energy;

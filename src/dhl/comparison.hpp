@@ -35,7 +35,7 @@ struct DesignSpaceRow
  * @p dataset_bytes compared against every canonical route.
  */
 DesignSpaceRow computeDesignSpaceRow(const DhlConfig &cfg,
-                                     double dataset_bytes,
+                                     qty::Bytes dataset_bytes,
                                      const BulkOptions &opts = {});
 
 /** Break-even thresholds against one optical route (§V-E). */
@@ -44,19 +44,19 @@ struct BreakEven
     std::string route_name;
 
     /**
-     * Smallest dataset (bytes, <= one cart) for which the DHL delivers
-     * no later than the optical link: trip_time * link_rate.
+     * Smallest dataset (<= one cart) for which the DHL delivers no
+     * later than the optical link: trip_time * link_rate.
      */
-    double bytes_for_time;
+    qty::Bytes bytes_for_time;
 
     /**
-     * Smallest dataset (bytes) for which the DHL consumes no more
-     * energy: launch_energy * link_rate / route_power.
+     * Smallest dataset for which the DHL consumes no more energy:
+     * launch_energy * link_rate / route_power.
      */
-    double bytes_for_energy;
+    qty::Bytes bytes_for_energy;
 
     /** The binding threshold (max of the two). */
-    double bytes_to_win() const
+    qty::Bytes bytes_to_win() const
     {
         return bytes_for_time > bytes_for_energy ? bytes_for_time
                                                  : bytes_for_energy;
@@ -71,11 +71,11 @@ BreakEven breakEven(const DhlConfig &cfg, const network::Route &route,
 /** One point of the §V-E sweep over distance and speed. */
 struct CrossoverPoint
 {
-    double track_length;  ///< m.
-    double max_speed;     ///< m/s.
-    double trip_time;     ///< s.
-    double launch_energy; ///< J.
-    BreakEven vs_a0;      ///< against the idealised A0 route.
+    qty::Metres track_length;
+    qty::MetresPerSecond max_speed;
+    qty::Seconds trip_time;
+    qty::Joules launch_energy;
+    BreakEven vs_a0; ///< against the idealised A0 route.
 };
 
 /**

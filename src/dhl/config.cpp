@@ -27,37 +27,41 @@ to_string(TrackMode mode)
     panic("unreachable track mode");
 }
 
-double
+qty::Bytes
 DhlConfig::cartCapacity() const
 {
-    return ssd.capacity * static_cast<double>(ssds_per_cart);
+    return qty::Bytes{ssd.capacity * static_cast<double>(ssds_per_cart)};
 }
 
-double
+qty::Kilograms
 DhlConfig::cartMass() const
 {
-    const double payload = ssd.mass * static_cast<double>(ssds_per_cart);
+    const qty::Kilograms payload{ssd.mass *
+                                 static_cast<double>(ssds_per_cart)};
     return physics::cartMass(payload, mass).total_mass;
 }
 
-double
+qty::Metres
 DhlConfig::limLength() const
 {
-    return physics::limLength(max_speed, lim.accel);
+    return physics::limLength(qty::MetresPerSecond{max_speed},
+                              qty::MetresPerSecondSquared{lim.accel});
 }
 
-double
+qty::Seconds
 DhlConfig::tripTime() const
 {
-    return 2.0 * dock_time +
-           physics::travelTime(track_length, max_speed, lim.accel,
+    return qty::Seconds{2.0 * dock_time} +
+           physics::travelTime(qty::Metres{track_length},
+                               qty::MetresPerSecond{max_speed},
+                               qty::MetresPerSecondSquared{lim.accel},
                                kinematics);
 }
 
 std::string
 DhlConfig::label() const
 {
-    const double tb = cartCapacity() / units::terabytes(1.0);
+    const double tb = cartCapacity().value() / units::terabytes(1.0);
     return "DHL-" + units::formatSig(max_speed, 4) + "-" +
            units::formatSig(track_length, 4) + "-" +
            units::formatSig(tb, 4);
@@ -79,9 +83,9 @@ validate(const DhlConfig &cfg)
     fatal_if(cfg.library_slots == 0, "the library needs at least one slot");
     // The track must at least fit its two LIM sections (accelerate at
     // one end, brake at the other).
-    fatal_if(cfg.track_length < 2.0 * cfg.limLength(),
+    fatal_if(qty::Metres{cfg.track_length} < 2.0 * cfg.limLength(),
              "track too short for its LIM sections: need >= " +
-                 units::formatSig(2.0 * cfg.limLength(), 4) + " m");
+                 units::formatSig(2.0 * cfg.limLength().value(), 4) + " m");
     // Mass model sanity (delegates detailed checks).
     (void)cfg.cartMass();
 }

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/quantity.hpp"
 #include "physics/lim.hpp"
 #include "physics/maglev.hpp"
 #include "physics/profile.hpp"
@@ -113,20 +114,21 @@ struct DhlConfig
     std::size_t library_slots = 256;
 
     //------------------------------------------------------------------
-    // Derived helpers
+    // Derived helpers (typed; raw Table V fields above stay `double`
+    // because they are the parse/sweep I/O boundary — see DESIGN.md §9)
     //------------------------------------------------------------------
 
-    /** Cart storage capacity, bytes. */
-    double cartCapacity() const;
+    /** Cart storage capacity. */
+    qty::Bytes cartCapacity() const;
 
-    /** Cart total mass, kg (payload + frame + magnets + fin). */
-    double cartMass() const;
+    /** Cart total mass (payload + frame + magnets + fin). */
+    qty::Kilograms cartMass() const;
 
-    /** LIM length needed for this max speed, m. */
-    double limLength() const;
+    /** LIM length needed for this max speed. */
+    qty::Metres limLength() const;
 
-    /** One-way trip time including undock and dock, s. */
-    double tripTime() const;
+    /** One-way trip time including undock and dock. */
+    qty::Seconds tripTime() const;
 
     /** Short label like "DHL-200-500-256" (speed-length-capacityTB). */
     std::string label() const;

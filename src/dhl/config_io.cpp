@@ -175,8 +175,9 @@ saveConfig(const DhlConfig &cfg)
     props.setDouble("ssd.capacity_tb",
                     cfg.ssd.capacity / units::terabytes(1));
     props.setDouble("ssd.mass_g", units::toGrams(cfg.ssd.mass));
-    props.setDouble("ssd.read_mbps", cfg.ssd.seq_read_bw / 1e6);
-    props.setDouble("ssd.write_mbps", cfg.ssd.seq_write_bw / 1e6);
+    props.setDouble("ssd.read_mbps", units::toMegabytes(cfg.ssd.seq_read_bw));
+    props.setDouble("ssd.write_mbps",
+                    units::toMegabytes(cfg.ssd.seq_write_bw));
 
     props.setDouble("mass.magnet_fraction", cfg.mass.magnet_fraction);
     props.setDouble("mass.fin_fraction", cfg.mass.fin_fraction);

@@ -42,7 +42,7 @@ DatasetManager::registerDataset(const std::string &name, double bytes)
              "dataset '" + name + "' is already registered");
     fatal_if(!(bytes > 0.0), "dataset size must be positive");
 
-    const double capacity = controller_.config().cartCapacity();
+    const double capacity = controller_.config().cartCapacity().value();
     const auto n_carts =
         static_cast<std::size_t>(std::ceil(bytes / capacity));
 

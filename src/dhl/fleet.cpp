@@ -95,7 +95,7 @@ DhlFleet::runBulkTransfer(double bytes, const BulkRunOptions &opts)
     if (opts.faults.enabled)
         enableFaults(opts.faults);
 
-    const double capacity = cfg_.cartCapacity();
+    const double capacity = cfg_.cartCapacity().value();
     const auto n_carts =
         static_cast<std::uint64_t>(std::ceil(bytes / capacity));
     const std::size_t k = controllers_.size();

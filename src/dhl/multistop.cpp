@@ -63,11 +63,14 @@ MultiStopModel::hop(StopId from, StopId to) const
     const DhlConfig &b = cfg_.base;
 
     HopMetrics m{};
-    m.distance = d;
-    m.peak_speed = physics::peakSpeed(d, b.max_speed, b.lim.accel);
-    m.travel_time =
-        physics::travelTime(d, b.max_speed, b.lim.accel, b.kinematics);
-    m.trip_time = m.travel_time + 2.0 * b.dock_time;
+    m.distance = qty::Metres{d};
+    m.peak_speed = physics::peakSpeed(
+        qty::Metres{d}, qty::MetresPerSecond{b.max_speed},
+        qty::MetresPerSecondSquared{b.lim.accel});
+    m.travel_time = physics::travelTime(
+        qty::Metres{d}, qty::MetresPerSecond{b.max_speed},
+        qty::MetresPerSecondSquared{b.lim.accel}, b.kinematics);
+    m.trip_time = m.travel_time + qty::Seconds{2.0 * b.dock_time};
     m.energy = physics::shotEnergy(b.cartMass(), m.peak_speed, b.lim);
     return m;
 }
@@ -83,7 +86,7 @@ MultiStopModel::tour(const std::vector<StopId> &stops) const
         total.travel_time += h.travel_time;
         total.trip_time += h.trip_time;
         total.energy += h.energy;
-        total.peak_speed = std::max(total.peak_speed, h.peak_speed);
+        total.peak_speed = qty::max(total.peak_speed, h.peak_speed);
     }
     return total;
 }
@@ -151,7 +154,8 @@ MultiStopTrack::reserveTransit(StopId from, StopId to)
 
     const StopId lo = std::min(from, to);
     const StopId hi = std::max(from, to);
-    const double len = hop.travel_time;
+    // The DES bookkeeping below runs on plain doubles (DESIGN.md §9).
+    const double len = hop.travel_time.value();
 
     // Earliest start satisfying every segment and intermediate-stop
     // block; iterate to a fixed point.
@@ -185,9 +189,9 @@ MultiStopTrack::reserveTransit(StopId from, StopId to)
     TransitGrant g{};
     g.depart_time = depart;
     g.arrive_time = depart + len;
-    g.energy = hop.energy;
+    g.energy = hop.energy.value();
 
-    total_energy_ += hop.energy;
+    total_energy_ += hop.energy.value();
     ++transits_;
     stat_transits_->increment();
     stat_wait_->sample(depart - now());

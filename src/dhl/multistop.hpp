@@ -55,11 +55,11 @@ void validate(const MultiStopConfig &cfg);
 /** Closed-form metrics of one hop. */
 struct HopMetrics
 {
-    double distance;   ///< m.
-    double peak_speed; ///< m/s actually reached.
-    double travel_time;///< s in the tube.
-    double trip_time;  ///< s including undock + dock.
-    double energy;     ///< J for the LIM shot at the reached speed.
+    qty::Metres distance;
+    qty::MetresPerSecond peak_speed; ///< Actually reached.
+    qty::Seconds travel_time;        ///< In the tube.
+    qty::Seconds trip_time;          ///< Including undock + dock.
+    qty::Joules energy;  ///< The LIM shot at the reached speed.
 };
 
 /** The closed-form multi-stop model. */

@@ -66,7 +66,7 @@ CartCache::access(const std::string &dataset, double bytes)
     fatal_if(!(bytes > 0.0), "dataset size must be positive");
 
     const auto carts = static_cast<std::size_t>(
-        std::ceil(bytes / dhl_.cartCapacity()));
+        std::ceil(bytes / dhl_.cartCapacity().value()));
     fatal_if(carts > cfg_.cache_carts,
              "dataset '" + dataset + "' needs " + std::to_string(carts) +
                  " carts but the cache holds only " +
@@ -111,9 +111,9 @@ CartCache::access(const std::string &dataset, double bytes)
         occupied_ += carts;
     }
 
-    const auto bulk = model_.bulk(bytes);
-    out.stage_time = bulk.total_time;
-    out.dhl_energy = bulk.total_energy;
+    const auto bulk = model_.bulk(qty::Bytes{bytes});
+    out.stage_time = bulk.total_time.value();
+    out.dhl_energy = bulk.total_energy.value();
     out.total_time = out.load_time + out.stage_time;
     return out;
 }

@@ -103,7 +103,7 @@ AvailabilityModel::deratedBandwidth(double trips_per_hour) const
 {
     const AnalyticalModel model(dhl_);
     const AvailabilityReport r = report(trips_per_hour);
-    return model.launch().bandwidth * r.system_availability;
+    return model.launch().bandwidth.value() * r.system_availability;
 }
 
 } // namespace core

@@ -51,7 +51,7 @@ DhlSimulation::runBulkTransfer(double bytes, const BulkRunOptions &opts)
     if (opts.faults.enabled)
         enableFaults(opts.faults);
 
-    const double capacity = cfg_.cartCapacity();
+    const double capacity = cfg_.cartCapacity().value();
     const auto n_carts =
         static_cast<std::uint64_t>(std::ceil(bytes / capacity));
     fatal_if(n_carts > cfg_.library_slots,

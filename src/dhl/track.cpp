@@ -26,10 +26,18 @@ Track::Track(sim::Simulator &sim, const DhlConfig &cfg, std::string name)
       launches_dir_{0, 0}
 {
     validate(cfg);
-    travel_time_ = physics::travelTime(cfg.track_length, cfg.max_speed,
-                                       cfg.lim.accel, cfg.kinematics);
-    shot_energy_ =
-        physics::shotEnergy(cfg.cartMass(), cfg.max_speed, cfg.lim);
+    // The DES layer carries plain doubles; unwrap at this boundary
+    // (DESIGN.md §9).
+    travel_time_ =
+        physics::travelTime(qty::Metres{cfg.track_length},
+                            qty::MetresPerSecond{cfg.max_speed},
+                            qty::MetresPerSecondSquared{cfg.lim.accel},
+                            cfg.kinematics)
+            .value();
+    shot_energy_ = physics::shotEnergy(cfg.cartMass(),
+                                       qty::MetresPerSecond{cfg.max_speed},
+                                       cfg.lim)
+                       .value();
 
     auto &sg = statsGroup();
     stat_launches_[0] =

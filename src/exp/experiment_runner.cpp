@@ -10,6 +10,7 @@
 
 #include "common/logging.hpp"
 #include "common/thread_pool.hpp"
+#include "common/units.hpp"
 
 namespace dhl {
 namespace exp {
@@ -94,7 +95,7 @@ ExperimentResult::timingTable() const
     TextTable t({"Scenario", "Rows", "Wall (ms)"});
     for (const auto &s : scenarios) {
         t.addRow({s.name, std::to_string(s.rows.size()),
-                  cell(s.wall_seconds * 1e3, 4)});
+                  cell(units::toMilliseconds(s.wall_seconds), 4)});
     }
     return t;
 }

@@ -39,13 +39,13 @@ CampaignModel::computeMonth(const CampaignConfig &cfg,
     month.bytes_moved = month.dataset_bytes * cfg.trainings_per_month;
 
     // Each training stages the whole dataset once.
-    const auto dhl_bulk = dhl_.bulk(month.dataset_bytes);
-    month.dhl_time = dhl_bulk.total_time * cfg.trainings_per_month;
-    month.dhl_energy = dhl_bulk.total_energy * cfg.trainings_per_month;
+    const auto dhl_bulk = dhl_.bulk(qty::Bytes{month.dataset_bytes});
+    month.dhl_time = dhl_bulk.total_time.value() * cfg.trainings_per_month;
+    month.dhl_energy = dhl_bulk.total_energy.value() * cfg.trainings_per_month;
 
-    const auto xfer = net_.transfer(month.dataset_bytes);
-    month.net_time = xfer.time * cfg.trainings_per_month;
-    month.net_energy = xfer.energy * cfg.trainings_per_month;
+    const auto xfer = net_.transfer(qty::Bytes{month.dataset_bytes});
+    month.net_time = xfer.time.value() * cfg.trainings_per_month;
+    month.net_energy = xfer.energy.value() * cfg.trainings_per_month;
     return month;
 }
 

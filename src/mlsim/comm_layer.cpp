@@ -25,7 +25,7 @@ double
 OpticalComm::ingestionTime(double bytes, double units) const
 {
     fatal_if(!(units > 0.0), "need a positive number of links");
-    return model_.transfer(bytes, units).time;
+    return model_.transfer(qty::Bytes{bytes}, units).time.value();
 }
 
 double
@@ -33,7 +33,7 @@ OpticalComm::ingestionEnergy(double bytes) const
 {
     // Energy is link-count independent: n links draw n times the power
     // for 1/n of the time.
-    return model_.transfer(bytes, 1.0).energy;
+    return model_.transfer(qty::Bytes{bytes}, 1.0).energy.value();
 }
 
 //===========================================================================
@@ -51,7 +51,7 @@ DhlComm::unitPower() const
     // Serial round trips: a track draws 2*E_shot over 2*t_trip, i.e.
     // E_shot / t_trip — the paper's 1.75 kW per DHL.  With overlapped
     // returns the same energy compresses into half the wall-clock.
-    const double serial = lm.energy / lm.trip_time;
+    const double serial = lm.energy.value() / lm.trip_time.value();
     return pipelined_ ? 2.0 * serial : serial;
 }
 
@@ -63,19 +63,19 @@ DhlComm::ingestionTime(double bytes, double units) const
              "DHL tracks are quantised: units must be a whole number");
 
     const core::LaunchMetrics lm = model_.launch();
-    const double trips = std::ceil(bytes / lm.capacity);
+    const double trips = std::ceil(bytes / lm.capacity.value());
     const double per_track = std::ceil(trips / std::round(units));
     const double round_trips = pipelined_ ? per_track : 2.0 * per_track;
-    return round_trips * lm.trip_time;
+    return round_trips * lm.trip_time.value();
 }
 
 double
 DhlComm::ingestionEnergy(double bytes) const
 {
     const core::LaunchMetrics lm = model_.launch();
-    const double trips = std::ceil(bytes / lm.capacity);
+    const double trips = std::ceil(bytes / lm.capacity.value());
     // Outbound and return launches both cost a full LIM shot.
-    return 2.0 * trips * lm.energy;
+    return 2.0 * trips * lm.energy.value();
 }
 
 } // namespace mlsim

@@ -62,7 +62,7 @@ class OpticalComm : public CommLayer
                              network::defaultPowerConstants());
 
     std::string name() const override { return route_.name(); }
-    double unitPower() const override { return model_.linkPower(); }
+    double unitPower() const override { return model_.linkPower().value(); }
     bool quantised() const override { return false; }
     double ingestionTime(double bytes, double units) const override;
     double ingestionEnergy(double bytes) const override;

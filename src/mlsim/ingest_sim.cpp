@@ -236,7 +236,7 @@ IngestSim::runWithNetwork(double dataset_bytes,
 {
     const network::TransferModel model(route);
     fatal_if(!(links > 0.0), "need a positive link count");
-    const double rate = model.linkRate() * links;
+    const double rate = model.linkRate().value() * links;
     // The stream arrives continuously; chunk it at batch granularity
     // with the chunk's own wire latency as its period.
     const double chunk = cfg_.batch_bytes;
@@ -254,11 +254,14 @@ IngestSim::runWithDhl(double dataset_bytes, const core::DhlConfig &dhl,
     const core::LaunchMetrics lm = model.launch();
     // Serial round trips: a cart lands every 2*t_trip; pipelining the
     // returns (§V-B) halves that to one per t_trip.
-    const double period = pipelined ? lm.trip_time : 2.0 * lm.trip_time;
-    const double drain = model.cartReadTime() > 0.0
-                             ? lm.capacity / model.cartReadTime()
+    const double period =
+        pipelined ? lm.trip_time.value() : 2.0 * lm.trip_time.value();
+    const double drain = model.cartReadTime().value() > 0.0
+                             ? lm.capacity.value() /
+                                   model.cartReadTime().value()
                              : std::numeric_limits<double>::infinity();
-    return run(dataset_bytes, lm.capacity, lm.trip_time, period, drain,
+    return run(dataset_bytes, lm.capacity.value(), lm.trip_time.value(),
+               period, drain,
                /*prorate_partial=*/false);
 }
 

@@ -21,6 +21,8 @@
 #include <string>
 #include <vector>
 
+#include "common/quantity.hpp"
+
 namespace dhl {
 namespace network {
 
@@ -49,14 +51,20 @@ struct ComponentSpec
 /** Table III rows. */
 const std::vector<ComponentSpec> &componentCatalog();
 
-/** Calibrated powers driving the route model (see file comment). */
+/** Calibrated powers driving the route model (see file comment).
+ *  Typed: the link rate in particular is the paper's bits-vs-bytes trap
+ *  (400 Gbit/s on the wire, bytes/s in the model), so the /8 is spelled
+ *  as an explicit qty conversion. */
 struct PowerConstants
 {
-    double transceiver = 12.0;            ///< W per transceiver.
-    double nic = 19.8;                    ///< W per NIC (effective).
-    double switch_port_passive = 747.0 / 32.0;  ///< W per passive port.
-    double switch_port_active = 1720.0 / 32.0;  ///< W per active port.
-    double link_rate = 400e9 / 8.0;       ///< bytes/s per 400 Gbit/s link.
+    qty::Watts transceiver{12.0};             ///< Per transceiver.
+    qty::Watts nic{19.8};                     ///< Per NIC (effective).
+    qty::Watts switch_port_passive{747.0 / 32.0};  ///< Per passive port.
+    qty::Watts switch_port_active{1720.0 / 32.0};  ///< Per active port.
+
+    /** Per-link rate of one 400 Gbit/s link, in bytes/s. */
+    qty::BytesPerSecond link_rate =
+        qty::toBytesPerSecond(qty::gigabitsPerSecond(400.0));
 };
 
 /** The default calibrated constants. */

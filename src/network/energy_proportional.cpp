@@ -30,29 +30,30 @@ EnergyProportionalModel::EnergyProportionalModel(
     validate(sleep_);
 }
 
-double
+qty::JoulesPerByte
 EnergyProportionalModel::activeJoulesPerByte() const
 {
     return model_.linkPower() / model_.linkRate();
 }
 
 DutyCycleResult
-EnergyProportionalModel::periodicDuty(double bytes, double period,
+EnergyProportionalModel::periodicDuty(qty::Bytes bytes, qty::Seconds period,
                                       std::uint64_t n_periods) const
 {
-    fatal_if(!(bytes > 0.0), "transfer size must be positive");
-    fatal_if(!(period > 0.0), "period must be positive");
+    fatal_if(!(bytes.value() > 0.0), "transfer size must be positive");
+    fatal_if(!(period.value() > 0.0), "period must be positive");
     fatal_if(n_periods == 0, "need at least one period");
 
-    const double transfer_time = bytes / model_.linkRate();
-    const double busy = transfer_time + sleep_.wake_latency;
+    const qty::Seconds transfer_time = bytes / model_.linkRate();
+    const qty::Seconds busy =
+        transfer_time + qty::Seconds{sleep_.wake_latency};
     fatal_if(busy > period,
              "duty does not fit its period: transfer + wake = " +
-                 std::to_string(busy) + " s > " + std::to_string(period) +
-                 " s");
-    const double gap = period - busy;
-    const bool sleeps = gap >= sleep_.min_sleep_gap;
-    const double power = model_.linkPower();
+                 std::to_string(busy.value()) + " s > " +
+                 std::to_string(period.value()) + " s");
+    const qty::Seconds gap = period - busy;
+    const bool sleeps = gap >= qty::Seconds{sleep_.min_sleep_gap};
+    const qty::Watts power = model_.linkPower();
 
     DutyCycleResult r{};
     r.active_time = busy * static_cast<double>(n_periods);
@@ -69,14 +70,14 @@ EnergyProportionalModel::periodicDuty(double bytes, double period,
 }
 
 DutyCycleResult
-EnergyProportionalModel::alwaysOnDuty(double bytes, double period,
+EnergyProportionalModel::alwaysOnDuty(qty::Bytes bytes, qty::Seconds period,
                                       std::uint64_t n_periods) const
 {
-    fatal_if(!(bytes > 0.0), "transfer size must be positive");
-    fatal_if(!(period > 0.0), "period must be positive");
+    fatal_if(!(bytes.value() > 0.0), "transfer size must be positive");
+    fatal_if(!(period.value() > 0.0), "period must be positive");
     fatal_if(n_periods == 0, "need at least one period");
 
-    const double transfer_time = bytes / model_.linkRate();
+    const qty::Seconds transfer_time = bytes / model_.linkRate();
     fatal_if(transfer_time > period, "duty does not fit its period");
 
     DutyCycleResult r{};
@@ -88,7 +89,7 @@ EnergyProportionalModel::alwaysOnDuty(double bytes, double period,
 }
 
 double
-EnergyProportionalModel::savingFactor(double bytes, double period,
+EnergyProportionalModel::savingFactor(qty::Bytes bytes, qty::Seconds period,
                                       std::uint64_t n_periods) const
 {
     return alwaysOnDuty(bytes, period, n_periods).energy /

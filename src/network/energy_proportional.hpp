@@ -51,13 +51,13 @@ void validate(const SleepConfig &cfg);
 /** Energy/time of a duty-cycled transfer schedule. */
 struct DutyCycleResult
 {
-    double active_time;   ///< s transferring (incl. wake overheads).
-    double sleep_time;    ///< s asleep.
-    double idle_time;     ///< s awake but idle (gaps under hysteresis).
-    double energy;        ///< J total.
-    std::uint64_t wakes;  ///< sleep->active transitions.
+    qty::Seconds active_time; ///< Transferring (incl. wake overheads).
+    qty::Seconds sleep_time;  ///< Asleep.
+    qty::Seconds idle_time;   ///< Awake but idle (gaps under hysteresis).
+    qty::Joules energy;       ///< Total.
+    std::uint64_t wakes;      ///< sleep->active transitions.
 
-    double
+    qty::Seconds
     totalTime() const
     {
         return active_time + sleep_time + idle_time;
@@ -75,27 +75,27 @@ class EnergyProportionalModel
     const Route &route() const { return model_.route(); }
     const SleepConfig &sleep() const { return sleep_; }
 
-    /** Per-byte energy while actively transferring, J/B (identical to
-     *  the always-on model — sleeping cannot lower it). */
-    double activeJoulesPerByte() const;
+    /** Per-byte energy while actively transferring (identical to the
+     *  always-on model — sleeping cannot lower it). */
+    qty::JoulesPerByte activeJoulesPerByte() const;
 
     /**
-     * A periodic duty: @p bytes every @p period seconds for
-     * @p n_periods periods over one link.  The route sleeps between
-     * transfers when the gap clears the hysteresis.
+     * A periodic duty: @p bytes every @p period for @p n_periods
+     * periods over one link.  The route sleeps between transfers when
+     * the gap clears the hysteresis.
      */
-    DutyCycleResult periodicDuty(double bytes, double period,
+    DutyCycleResult periodicDuty(qty::Bytes bytes, qty::Seconds period,
                                  std::uint64_t n_periods) const;
 
     /**
      * The same duty on an always-on route (the paper's accounting),
      * for comparison.
      */
-    DutyCycleResult alwaysOnDuty(double bytes, double period,
+    DutyCycleResult alwaysOnDuty(qty::Bytes bytes, qty::Seconds period,
                                  std::uint64_t n_periods) const;
 
     /** Energy saving factor of sleeping vs always-on for the duty. */
-    double savingFactor(double bytes, double period,
+    double savingFactor(qty::Bytes bytes, qty::Seconds period,
                         std::uint64_t n_periods) const;
 
   private:

@@ -60,7 +60,7 @@ FabricSim::startTransfer(const HostAddress &src, const HostAddress &dst,
         links.push_back(edgeLink(nodes[i - 1], nodes[i]));
 
     return flows_.startFlow(std::move(links), bytes,
-                            path.route.power(pc_), std::move(cb));
+                            path.route.power(pc_).value(), std::move(cb));
 }
 
 double

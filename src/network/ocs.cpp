@@ -24,34 +24,34 @@ OcsModel::OcsModel(const OcsConfig &cfg, const PowerConstants &pc)
     : cfg_(cfg), pc_(pc)
 {
     validate(cfg_);
-    fatal_if(!(pc.link_rate > 0.0), "link rate must be positive");
+    fatal_if(!(pc.link_rate.value() > 0.0), "link rate must be positive");
 }
 
-double
+qty::Watts
 OcsModel::circuitPower() const
 {
     return 2.0 * pc_.transceiver +
-           cfg_.port_power * cfg_.ports_per_circuit;
+           qty::Watts{cfg_.port_power * cfg_.ports_per_circuit};
 }
 
 TransferResult
-OcsModel::transfer(double bytes, double circuits) const
+OcsModel::transfer(qty::Bytes bytes, double circuits) const
 {
-    fatal_if(bytes < 0.0, "transfer size must be non-negative");
+    fatal_if(bytes.value() < 0.0, "transfer size must be non-negative");
     fatal_if(!(circuits > 0.0), "need a positive circuit count");
 
     TransferResult r{};
     r.bytes = bytes;
     r.links = circuits;
     r.bandwidth = pc_.link_rate * circuits;
-    r.time = cfg_.reconfiguration_latency + bytes / r.bandwidth;
+    r.time = qty::Seconds{cfg_.reconfiguration_latency} + bytes / r.bandwidth;
     r.power = circuitPower() * circuits;
     r.energy = r.power * r.time;
     return r;
 }
 
 double
-OcsModel::savingVsRoute(const Route &route, double bytes) const
+OcsModel::savingVsRoute(const Route &route, qty::Bytes bytes) const
 {
     const TransferModel packet(route, pc_);
     return packet.transfer(bytes).energy / transfer(bytes).energy;

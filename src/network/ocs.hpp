@@ -49,19 +49,19 @@ class OcsModel
 
     const OcsConfig &config() const { return cfg_; }
 
-    /** Power of one established circuit, W: two transceivers plus the
+    /** Power of one established circuit: two transceivers plus the
      *  crossbar ports. */
-    double circuitPower() const;
+    qty::Watts circuitPower() const;
 
     /** Transfer @p bytes over @p circuits parallel circuits,
      *  including one reconfiguration up front. */
-    TransferResult transfer(double bytes, double circuits = 1.0) const;
+    TransferResult transfer(qty::Bytes bytes, double circuits = 1.0) const;
 
     /**
      * Energy saving of the circuit against a packet-switched route for
      * the same bytes (the gap OCS closes).
      */
-    double savingVsRoute(const Route &route, double bytes) const;
+    double savingVsRoute(const Route &route, qty::Bytes bytes) const;
 
   private:
     OcsConfig cfg_;

@@ -35,12 +35,12 @@ Route::Route(std::string name, std::vector<RouteElement> elements)
         fatal_if(e.count < 0, "route element counts must be non-negative");
 }
 
-double
+qty::Watts
 Route::power(const PowerConstants &pc) const
 {
-    double total = 0.0;
+    qty::Watts total{0.0};
     for (const auto &e : elements_) {
-        double unit = 0.0;
+        qty::Watts unit{0.0};
         switch (e.kind) {
           case ElementKind::Transceiver:
             unit = pc.transceiver;

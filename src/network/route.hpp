@@ -55,8 +55,8 @@ class Route
     const std::string &name() const { return name_; }
     const std::vector<RouteElement> &elements() const { return elements_; }
 
-    /** Total electrical power while the route is busy, W. */
-    double power(const PowerConstants &pc = defaultPowerConstants()) const;
+    /** Total electrical power while the route is busy. */
+    qty::Watts power(const PowerConstants &pc = defaultPowerConstants()) const;
 
     /** Count of elements of a given kind. */
     int countOf(ElementKind kind) const;

@@ -13,14 +13,14 @@ namespace network {
 TransferModel::TransferModel(const Route &route, const PowerConstants &pc)
     : route_(route), pc_(pc), link_power_(route.power(pc))
 {
-    fatal_if(!(pc.link_rate > 0.0), "link rate must be positive");
-    fatal_if(!(link_power_ > 0.0), "route power must be positive");
+    fatal_if(!(pc.link_rate.value() > 0.0), "link rate must be positive");
+    fatal_if(!(link_power_.value() > 0.0), "route power must be positive");
 }
 
 TransferResult
-TransferModel::transfer(double bytes, double links) const
+TransferModel::transfer(qty::Bytes bytes, double links) const
 {
-    fatal_if(bytes < 0.0, "transfer size must be non-negative");
+    fatal_if(bytes.value() < 0.0, "transfer size must be non-negative");
     fatal_if(!(links > 0.0), "need a positive number of links");
 
     TransferResult r{};
@@ -34,25 +34,26 @@ TransferModel::transfer(double bytes, double links) const
 }
 
 double
-TransferModel::linksWithinPower(double power_budget) const
+TransferModel::linksWithinPower(qty::Watts power_budget) const
 {
-    fatal_if(!(power_budget > 0.0), "power budget must be positive");
+    fatal_if(!(power_budget.value() > 0.0), "power budget must be positive");
     return power_budget / link_power_;
 }
 
 double
-TransferModel::linksForTime(double bytes, double time) const
+TransferModel::linksForTime(qty::Bytes bytes, qty::Seconds time) const
 {
-    fatal_if(bytes < 0.0, "transfer size must be non-negative");
-    fatal_if(!(time > 0.0), "target time must be positive");
+    fatal_if(bytes.value() < 0.0, "transfer size must be non-negative");
+    fatal_if(!(time.value() > 0.0), "target time must be positive");
     return bytes / (pc_.link_rate * time);
 }
 
 double
-TransferModel::speedupForTargetTime(double bytes, double target_time) const
+TransferModel::speedupForTargetTime(qty::Bytes bytes,
+                                    qty::Seconds target_time) const
 {
-    const double single_link_time = bytes / pc_.link_rate;
-    fatal_if(!(target_time > 0.0), "target time must be positive");
+    const qty::Seconds single_link_time = bytes / pc_.link_rate;
+    fatal_if(!(target_time.value() > 0.0), "target time must be positive");
     return single_link_time / target_time;
 }
 

@@ -17,12 +17,12 @@ namespace network {
 /** Result of an analytical bulk transfer. */
 struct TransferResult
 {
-    double bytes;     ///< Bytes moved.
-    double links;     ///< Parallel links used (may be fractional).
-    double time;      ///< Wall-clock transfer time, s.
-    double power;     ///< Total electrical power while transferring, W.
-    double energy;    ///< Total energy, J.
-    double bandwidth; ///< Achieved aggregate bandwidth, bytes/s.
+    qty::Bytes bytes;              ///< Bytes moved.
+    double links;                  ///< Parallel links (may be fractional).
+    qty::Seconds time;             ///< Wall-clock transfer time.
+    qty::Watts power;              ///< Electrical power while transferring.
+    qty::Joules energy;            ///< Total energy.
+    qty::BytesPerSecond bandwidth; ///< Achieved aggregate bandwidth.
 };
 
 /** Analytical transfer calculator for one route class. */
@@ -35,39 +35,40 @@ class TransferModel
 
     const Route &route() const { return route_; }
 
-    /** Per-link electrical power of this route, W. */
-    double linkPower() const { return link_power_; }
+    /** Per-link electrical power of this route. */
+    qty::Watts linkPower() const { return link_power_; }
 
-    /** Per-link data rate, bytes/s. */
-    double linkRate() const { return pc_.link_rate; }
+    /** Per-link data rate. */
+    qty::BytesPerSecond linkRate() const { return pc_.link_rate; }
 
     /**
      * Move @p bytes over @p links parallel instances of the route.
      * Links may be fractional (the paper's continuous approximation).
      */
-    TransferResult transfer(double bytes, double links = 1.0) const;
+    TransferResult transfer(qty::Bytes bytes, double links = 1.0) const;
 
     /**
-     * Number of parallel links affordable within @p power_budget watts
-     * (continuous).  fatal() if even one link's power exceeds... no —
-     * fractional links are allowed, so this is just budget / linkPower.
+     * Number of parallel links affordable within @p power_budget
+     * (continuous; fractional links are allowed, so this is just
+     * budget / linkPower).
      */
-    double linksWithinPower(double power_budget) const;
+    double linksWithinPower(qty::Watts power_budget) const;
 
-    /** Links needed to finish @p bytes within @p time seconds. */
-    double linksForTime(double bytes, double time) const;
+    /** Links needed to finish @p bytes within @p time. */
+    double linksForTime(qty::Bytes bytes, qty::Seconds time) const;
 
     /**
      * The §II-C argument: the bandwidth multiple (and hence link count)
      * needed to hit a target transfer time, e.g. 161x for 29 PB in one
      * hour.
      */
-    double speedupForTargetTime(double bytes, double target_time) const;
+    double speedupForTargetTime(qty::Bytes bytes,
+                                qty::Seconds target_time) const;
 
   private:
     Route route_;
     PowerConstants pc_;
-    double link_power_;
+    qty::Watts link_power_;
 };
 
 } // namespace network

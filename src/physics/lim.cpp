@@ -5,8 +5,6 @@
 
 #include "physics/lim.hpp"
 
-#include <algorithm>
-
 #include "common/logging.hpp"
 
 namespace dhl {
@@ -28,61 +26,67 @@ validate(const LimConfig &cfg)
 
 namespace {
 
-double
-kineticEnergy(double cart_mass, double v)
+qty::Joules
+kineticEnergy(qty::Kilograms cart_mass, qty::MetresPerSecond v)
 {
-    fatal_if(cart_mass < 0.0, "cart mass must be non-negative");
-    fatal_if(v < 0.0, "speed must be non-negative");
+    fatal_if(cart_mass.value() < 0.0, "cart mass must be non-negative");
+    fatal_if(v.value() < 0.0, "speed must be non-negative");
     return 0.5 * cart_mass * v * v;
 }
 
 } // namespace
 
-double
-launchEnergy(double cart_mass, double v, const LimConfig &cfg)
+qty::Joules
+launchEnergy(qty::Kilograms cart_mass, qty::MetresPerSecond v,
+             const LimConfig &cfg)
 {
     validate(cfg);
     return kineticEnergy(cart_mass, v) / cfg.efficiency;
 }
 
-double
-brakeEnergy(double cart_mass, double v, const LimConfig &cfg)
+qty::Joules
+brakeEnergy(qty::Kilograms cart_mass, qty::MetresPerSecond v,
+            const LimConfig &cfg)
 {
     validate(cfg);
-    const double active = kineticEnergy(cart_mass, v) / cfg.efficiency;
+    const qty::Joules active = kineticEnergy(cart_mass, v) / cfg.efficiency;
     switch (cfg.braking) {
       case BrakingMode::ActiveLim:
         return active;
       case BrakingMode::Regenerative: {
         // The LIM still spends the active braking energy but recovers a
         // fraction of the cart's kinetic energy back to the supply.
-        const double recovered =
+        const qty::Joules recovered =
             cfg.regen_fraction * kineticEnergy(cart_mass, v);
-        return std::max(0.0, active - recovered);
+        return qty::max(qty::Joules{0.0}, active - recovered);
       }
       case BrakingMode::EddyCurrent:
-        return 0.0;
+        return qty::Joules{0.0};
     }
     panic("unreachable braking mode");
 }
 
-double
-shotEnergy(double cart_mass, double v, const LimConfig &cfg)
+qty::Joules
+shotEnergy(qty::Kilograms cart_mass, qty::MetresPerSecond v,
+           const LimConfig &cfg)
 {
     return launchEnergy(cart_mass, v, cfg) + brakeEnergy(cart_mass, v, cfg);
 }
 
-double
-peakPower(double cart_mass, double v_max, const LimConfig &cfg)
+qty::Watts
+peakPower(qty::Kilograms cart_mass, qty::MetresPerSecond v_max,
+          const LimConfig &cfg)
 {
     validate(cfg);
-    fatal_if(cart_mass < 0.0, "cart mass must be non-negative");
-    fatal_if(v_max < 0.0, "speed must be non-negative");
-    return cart_mass * cfg.accel * v_max / cfg.efficiency;
+    fatal_if(cart_mass.value() < 0.0, "cart mass must be non-negative");
+    fatal_if(v_max.value() < 0.0, "speed must be non-negative");
+    return cart_mass * qty::MetresPerSecondSquared{cfg.accel} * v_max /
+           cfg.efficiency;
 }
 
-double
-averageAccelPower(double cart_mass, double v_max, const LimConfig &cfg)
+qty::Watts
+averageAccelPower(qty::Kilograms cart_mass, qty::MetresPerSecond v_max,
+                  const LimConfig &cfg)
 {
     return 0.5 * peakPower(cart_mass, v_max, cfg);
 }

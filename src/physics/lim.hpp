@@ -16,6 +16,8 @@
 #ifndef DHL_PHYSICS_LIM_HPP
 #define DHL_PHYSICS_LIM_HPP
 
+#include "common/quantity.hpp"
+
 namespace dhl {
 namespace physics {
 
@@ -56,35 +58,40 @@ struct LimConfig
 void validate(const LimConfig &cfg);
 
 /**
- * Electrical energy to accelerate @p cart_mass from rest to @p v, J.
+ * Electrical energy to accelerate @p cart_mass from rest to @p v.
  */
-double launchEnergy(double cart_mass, double v, const LimConfig &cfg);
+qty::Joules launchEnergy(qty::Kilograms cart_mass, qty::MetresPerSecond v,
+                         const LimConfig &cfg);
 
 /**
- * Electrical energy consumed braking from @p v to rest, J.
+ * Electrical energy consumed braking from @p v to rest.
  * ActiveLim: same as launch.  Regenerative: launch cost minus the
  * recovered kinetic fraction (never below zero).  EddyCurrent: zero.
  */
-double brakeEnergy(double cart_mass, double v, const LimConfig &cfg);
+qty::Joules brakeEnergy(qty::Kilograms cart_mass, qty::MetresPerSecond v,
+                        const LimConfig &cfg);
 
 /**
  * Total electrical energy of one end-to-end shot (accelerate at one end,
- * brake at the other), J.
+ * brake at the other).
  */
-double shotEnergy(double cart_mass, double v, const LimConfig &cfg);
+qty::Joules shotEnergy(qty::Kilograms cart_mass, qty::MetresPerSecond v,
+                       const LimConfig &cfg);
 
 /**
- * Peak electrical power while accelerating: M * a * v_max / eta, W.
+ * Peak electrical power while accelerating: M * a * v_max / eta.
  * Reached at the end of the acceleration phase.
  */
-double peakPower(double cart_mass, double v_max, const LimConfig &cfg);
+qty::Watts peakPower(qty::Kilograms cart_mass, qty::MetresPerSecond v_max,
+                     const LimConfig &cfg);
 
 /**
- * Average electrical power over the acceleration phase, W (half the peak
+ * Average electrical power over the acceleration phase (half the peak
  * for a constant-force LIM).
  */
-double averageAccelPower(double cart_mass, double v_max,
-                         const LimConfig &cfg);
+qty::Watts averageAccelPower(qty::Kilograms cart_mass,
+                             qty::MetresPerSecond v_max,
+                             const LimConfig &cfg);
 
 } // namespace physics
 } // namespace dhl

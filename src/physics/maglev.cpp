@@ -12,9 +12,10 @@ namespace dhl {
 namespace physics {
 
 CartMassBreakdown
-cartMass(double payload_mass, const CartMassConfig &cfg)
+cartMass(qty::Kilograms payload_mass, const CartMassConfig &cfg)
 {
-    fatal_if(payload_mass < 0.0, "payload mass must be non-negative");
+    fatal_if(payload_mass.value() < 0.0,
+             "payload mass must be non-negative");
     fatal_if(cfg.frame_mass < 0.0, "frame mass must be non-negative");
     fatal_if(cfg.magnet_fraction < 0.0 || cfg.fin_fraction < 0.0,
              "mass fractions must be non-negative");
@@ -24,40 +25,44 @@ cartMass(double payload_mass, const CartMassConfig &cfg)
 
     CartMassBreakdown b{};
     b.payload_mass = payload_mass;
-    b.frame_mass = cfg.frame_mass;
-    b.total_mass = (payload_mass + cfg.frame_mass) / (1.0 - structural);
+    b.frame_mass = qty::Kilograms{cfg.frame_mass};
+    b.total_mass = (payload_mass + b.frame_mass) / (1.0 - structural);
     b.magnet_mass = b.total_mass * cfg.magnet_fraction;
     b.fin_mass = b.total_mass * cfg.fin_fraction;
     return b;
 }
 
-double
-dragLoss(double cart_mass, double distance, const LevitationConfig &cfg)
+qty::Joules
+dragLoss(qty::Kilograms cart_mass, qty::Metres distance,
+         const LevitationConfig &cfg)
 {
-    fatal_if(cart_mass < 0.0, "cart mass must be non-negative");
-    fatal_if(distance < 0.0, "distance must be non-negative");
+    fatal_if(cart_mass.value() < 0.0, "cart mass must be non-negative");
+    fatal_if(distance.value() < 0.0, "distance must be non-negative");
     fatal_if(!(cfg.lift_to_drag > 0.0), "lift-to-drag ratio must be positive");
     fatal_if(cfg.stabiliser_accel < 0.0,
              "stabiliser acceleration must be non-negative");
 
-    return (units::kGravity + 2.0 * cfg.stabiliser_accel) * cart_mass *
-           distance / cfg.lift_to_drag;
+    const qty::MetresPerSecondSquared specific_drag{
+        units::kGravity + 2.0 * cfg.stabiliser_accel};
+    return specific_drag * cart_mass * distance / cfg.lift_to_drag;
 }
 
 double
-liftToDragAtSpeed(double speed, double asymptote, double half_speed)
+liftToDragAtSpeed(qty::MetresPerSecond speed, double asymptote,
+                  qty::MetresPerSecond half_speed)
 {
-    fatal_if(speed < 0.0, "speed must be non-negative");
+    fatal_if(speed.value() < 0.0, "speed must be non-negative");
     fatal_if(!(asymptote > 0.0), "asymptote must be positive");
-    fatal_if(!(half_speed > 0.0), "half speed must be positive");
+    fatal_if(!(half_speed.value() > 0.0), "half speed must be positive");
     return asymptote * speed / (speed + half_speed);
 }
 
 double
-requiredMagnetFraction(double specific_lift)
+requiredMagnetFraction(qty::MetresPerSecondSquared specific_lift)
 {
-    fatal_if(!(specific_lift > 0.0), "specific lift must be positive");
-    const double f = units::kGravity / specific_lift;
+    fatal_if(!(specific_lift.value() > 0.0),
+             "specific lift must be positive");
+    const double f = qty::kGravity / specific_lift;
     fatal_if(f > 1.0,
              "magnets cannot lift the cart: required fraction exceeds 1");
     return f;

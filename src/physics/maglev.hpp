@@ -26,6 +26,8 @@
 #ifndef DHL_PHYSICS_MAGLEV_HPP
 #define DHL_PHYSICS_MAGLEV_HPP
 
+#include "common/quantity.hpp"
+
 namespace dhl {
 namespace physics {
 
@@ -45,21 +47,21 @@ struct CartMassConfig
 /** Computed mass breakdown of one cart. */
 struct CartMassBreakdown
 {
-    double payload_mass; ///< SSDs, kg.
-    double frame_mass;   ///< Frame, kg.
-    double magnet_mass;  ///< Halbach arrays, kg.
-    double fin_mass;     ///< LIM fin, kg.
-    double total_mass;   ///< Sum, kg.
+    qty::Kilograms payload_mass; ///< SSDs.
+    qty::Kilograms frame_mass;   ///< Frame.
+    qty::Kilograms magnet_mass;  ///< Halbach arrays.
+    qty::Kilograms fin_mass;     ///< LIM fin.
+    qty::Kilograms total_mass;   ///< Sum.
 };
 
 /**
  * Solve the cart mass from the payload it must carry.
  *
- * @param payload_mass Mass of the SSDs (and any other payload), kg.
+ * @param payload_mass Mass of the SSDs (and any other payload).
  * @param cfg          Mass-composition parameters.
  * @return Full breakdown; total = (payload + frame)/(1 - f_mag - f_fin).
  */
-CartMassBreakdown cartMass(double payload_mass,
+CartMassBreakdown cartMass(qty::Kilograms payload_mass,
                            const CartMassConfig &cfg = {});
 
 /** Parameters of the inductrack levitation/drag model. */
@@ -82,38 +84,40 @@ struct LevitationConfig
 };
 
 /**
- * Energy lost to magnetic drag while moving @p distance metres:
+ * Energy lost to magnetic drag while moving @p distance:
  * L_d = (g + 2 c2) M x / c1.
  *
- * @param cart_mass Cart mass, kg.
- * @param distance  Distance coasted, m.
+ * @param cart_mass Cart mass.
+ * @param distance  Distance coasted.
  * @param cfg       Levitation parameters.
- * @return Energy, J.
+ * @return Energy lost to drag.
  */
-double dragLoss(double cart_mass, double distance,
-                const LevitationConfig &cfg = {});
+qty::Joules dragLoss(qty::Kilograms cart_mass, qty::Metres distance,
+                     const LevitationConfig &cfg = {});
 
 /**
  * Velocity-dependent lift-to-drag ratio: rises from ~0 at rest and
  * saturates towards @p asymptote (the inductrack characteristic; the
  * paper notes it is "near constant at high speed").
  *
- * @param speed        Cart speed, m/s.
- * @param asymptote    High-speed lift-to-drag ratio.
- * @param half_speed   Speed at which half the asymptote is reached, m/s.
+ * @param speed        Cart speed.
+ * @param asymptote    High-speed lift-to-drag ratio (dimensionless).
+ * @param half_speed   Speed at which half the asymptote is reached.
  */
-double liftToDragAtSpeed(double speed, double asymptote = 50.0,
-                         double half_speed = 10.0);
+double liftToDragAtSpeed(qty::MetresPerSecond speed,
+                         double asymptote = 50.0,
+                         qty::MetresPerSecond half_speed =
+                             qty::MetresPerSecond{10.0});
 
 /**
  * Minimum magnet mass fraction needed to levitate: with specific lift
  * (lift per kg of magnet) @p specific_lift, a fraction f supports total
  * mass when f * specific_lift >= g.  Used to validate the 10 % figure.
  *
- * @param specific_lift Lift force per magnet mass, N/kg.
+ * @param specific_lift Lift force per magnet mass, N/kg (== m/s^2).
  * @return Required mass fraction in (0, 1]; fatal if > 1 (cannot fly).
  */
-double requiredMagnetFraction(double specific_lift);
+double requiredMagnetFraction(qty::MetresPerSecondSquared specific_lift);
 
 } // namespace physics
 } // namespace dhl

@@ -12,36 +12,38 @@
 namespace dhl {
 namespace physics {
 
-double
-limLength(double v_max, double accel)
+qty::Metres
+limLength(qty::MetresPerSecond v_max, qty::MetresPerSecondSquared accel)
 {
-    fatal_if(!(v_max > 0.0), "v_max must be positive");
-    fatal_if(!(accel > 0.0), "accel must be positive");
+    fatal_if(!(v_max.value() > 0.0), "v_max must be positive");
+    fatal_if(!(accel.value() > 0.0), "accel must be positive");
     return v_max * v_max / (2.0 * accel);
 }
 
-double
-peakSpeed(double length, double v_max, double accel)
+qty::MetresPerSecond
+peakSpeed(qty::Metres length, qty::MetresPerSecond v_max,
+          qty::MetresPerSecondSquared accel)
 {
-    fatal_if(!(length > 0.0), "track length must be positive");
-    fatal_if(!(v_max > 0.0), "v_max must be positive");
-    fatal_if(!(accel > 0.0), "accel must be positive");
+    fatal_if(!(length.value() > 0.0), "track length must be positive");
+    fatal_if(!(v_max.value() > 0.0), "v_max must be positive");
+    fatal_if(!(accel.value() > 0.0), "accel must be positive");
     // Need one LIM length to accelerate and one to brake.
-    const double min_length = v_max * v_max / accel;
+    const qty::Metres min_length = v_max * v_max / accel;
     if (length >= min_length)
         return v_max;
-    return std::sqrt(length * accel);
+    return qty::sqrt(length * accel);
 }
 
-double
-travelTime(double length, double v_max, double accel, KinematicsMode mode)
+qty::Seconds
+travelTime(qty::Metres length, qty::MetresPerSecond v_max,
+           qty::MetresPerSecondSquared accel, KinematicsMode mode)
 {
-    const double v_peak = peakSpeed(length, v_max, accel);
+    const qty::MetresPerSecond v_peak = peakSpeed(length, v_max, accel);
     if (v_peak < v_max) {
         // Triangular profile: never reaches cruise speed.  Both modes
         // agree here (the paper's approximation only concerns the cruise
         // overhead).
-        return 2.0 * std::sqrt(length / accel);
+        return 2.0 * qty::sqrt(length / accel);
     }
     switch (mode) {
       case KinematicsMode::PaperApprox:
@@ -52,48 +54,53 @@ travelTime(double length, double v_max, double accel, KinematicsMode mode)
     panic("unreachable kinematics mode");
 }
 
-VelocityProfile::VelocityProfile(double length, double v_max, double accel)
-    : length_(length), accel_(accel)
+VelocityProfile::VelocityProfile(qty::Metres length,
+                                 qty::MetresPerSecond v_max,
+                                 qty::MetresPerSecondSquared accel)
+    : length_(length.value()), accel_(accel.value())
 {
-    v_peak_ = physics::peakSpeed(length, v_max, accel);
-    t_accel_ = v_peak_ / accel;
-    const double accel_dist = v_peak_ * v_peak_ / (2.0 * accel);
-    const double cruise_dist = length - 2.0 * accel_dist;
+    v_peak_ = physics::peakSpeed(length, v_max, accel).value();
+    t_accel_ = v_peak_ / accel_;
+    const double accel_dist = v_peak_ * v_peak_ / (2.0 * accel_);
+    const double cruise_dist = length_ - 2.0 * accel_dist;
     t_cruise_ = cruise_dist > 0.0 ? cruise_dist / v_peak_ : 0.0;
     t_total_ = 2.0 * t_accel_ + t_cruise_;
 }
 
-double
-VelocityProfile::velocityAt(double t) const
+qty::MetresPerSecond
+VelocityProfile::velocityAt(qty::Seconds time) const
 {
-    if (t <= 0.0)
-        return 0.0;
-    if (t < t_accel_)
-        return accel_ * t;
-    if (t < t_accel_ + t_cruise_)
-        return v_peak_;
-    if (t < t_total_)
-        return v_peak_ - accel_ * (t - t_accel_ - t_cruise_);
-    return 0.0;
+    const double t = time.value();
+    double v = 0.0;
+    if (t <= 0.0 || t >= t_total_)
+        v = 0.0;
+    else if (t < t_accel_)
+        v = accel_ * t;
+    else if (t < t_accel_ + t_cruise_)
+        v = v_peak_;
+    else
+        v = v_peak_ - accel_ * (t - t_accel_ - t_cruise_);
+    return qty::MetresPerSecond{v};
 }
 
-double
-VelocityProfile::positionAt(double t) const
+qty::Metres
+VelocityProfile::positionAt(qty::Seconds time) const
 {
+    const double t = time.value();
     if (t <= 0.0)
-        return 0.0;
+        return qty::Metres{0.0};
     if (t >= t_total_)
-        return length_;
+        return qty::Metres{length_};
 
     const double accel_dist = v_peak_ * v_peak_ / (2.0 * accel_);
     if (t < t_accel_)
-        return 0.5 * accel_ * t * t;
+        return qty::Metres{0.5 * accel_ * t * t};
     if (t < t_accel_ + t_cruise_)
-        return accel_dist + v_peak_ * (t - t_accel_);
+        return qty::Metres{accel_dist + v_peak_ * (t - t_accel_)};
 
     const double tb = t - t_accel_ - t_cruise_;
     const double brake_start = accel_dist + v_peak_ * t_cruise_;
-    return brake_start + v_peak_ * tb - 0.5 * accel_ * tb * tb;
+    return qty::Metres{brake_start + v_peak_ * tb - 0.5 * accel_ * tb * tb};
 }
 
 } // namespace physics

@@ -22,6 +22,8 @@
 #ifndef DHL_PHYSICS_PROFILE_HPP
 #define DHL_PHYSICS_PROFILE_HPP
 
+#include "common/quantity.hpp"
+
 namespace dhl {
 namespace physics {
 
@@ -37,25 +39,29 @@ enum class KinematicsMode
  * acceleration @p accel — the LIM length in the paper (5/20/45 m for
  * 100/200/300 m/s at 1000 m/s^2).
  */
-double limLength(double v_max, double accel);
+qty::Metres limLength(qty::MetresPerSecond v_max,
+                      qty::MetresPerSecondSquared accel);
 
 /**
  * Peak speed actually reached on a track of length @p length: v_max if
  * the track fits an accelerate+brake trapezoid, else the triangular peak
  * sqrt(length * accel).
  */
-double peakSpeed(double length, double v_max, double accel);
+qty::MetresPerSecond peakSpeed(qty::Metres length,
+                               qty::MetresPerSecond v_max,
+                               qty::MetresPerSecondSquared accel);
 
 /**
- * One-way travel time (excluding docking) over @p length metres.
+ * One-way travel time (excluding docking) over @p length.
  *
- * @param length Track length, m (> 0).
- * @param v_max  Maximum cruise speed, m/s (> 0).
- * @param accel  Acceleration and braking magnitude, m/s^2 (> 0).
+ * @param length Track length (> 0).
+ * @param v_max  Maximum cruise speed (> 0).
+ * @param accel  Acceleration and braking magnitude (> 0).
  * @param mode   Kinematics mode (see KinematicsMode).
  */
-double travelTime(double length, double v_max, double accel,
-                  KinematicsMode mode);
+qty::Seconds travelTime(qty::Metres length, qty::MetresPerSecond v_max,
+                        qty::MetresPerSecondSquared accel,
+                        KinematicsMode mode);
 
 /**
  * A piecewise constant-acceleration velocity profile over a track:
@@ -67,32 +73,39 @@ class VelocityProfile
 {
   public:
     /**
-     * @param length Track length, m (> 0).
-     * @param v_max  Maximum speed, m/s (> 0).
-     * @param accel  Acceleration/braking magnitude, m/s^2 (> 0).
+     * @param length Track length (> 0).
+     * @param v_max  Maximum speed (> 0).
+     * @param accel  Acceleration/braking magnitude (> 0).
      */
-    VelocityProfile(double length, double v_max, double accel);
+    VelocityProfile(qty::Metres length, qty::MetresPerSecond v_max,
+                    qty::MetresPerSecondSquared accel);
 
-    /** Total traversal time, s (trapezoidal/exact). */
-    double totalTime() const { return t_total_; }
+    /** Total traversal time (trapezoidal/exact). */
+    qty::Seconds totalTime() const { return qty::Seconds{t_total_}; }
 
-    /** Peak speed reached, m/s. */
-    double peakSpeed() const { return v_peak_; }
+    /** Peak speed reached. */
+    qty::MetresPerSecond peakSpeed() const
+    {
+        return qty::MetresPerSecond{v_peak_};
+    }
 
-    /** Duration of the acceleration phase, s. */
-    double accelTime() const { return t_accel_; }
+    /** Duration of the acceleration phase. */
+    qty::Seconds accelTime() const { return qty::Seconds{t_accel_}; }
 
-    /** Duration of the cruise phase, s (0 for triangular profiles). */
-    double cruiseTime() const { return t_cruise_; }
+    /** Duration of the cruise phase (0 for triangular profiles). */
+    qty::Seconds cruiseTime() const { return qty::Seconds{t_cruise_}; }
 
-    /** Velocity at time @p t in [0, totalTime()], m/s. */
-    double velocityAt(double t) const;
+    /** Velocity at time @p t in [0, totalTime()]. */
+    qty::MetresPerSecond velocityAt(qty::Seconds t) const;
 
-    /** Position along the track at time @p t, m. */
-    double positionAt(double t) const;
+    /** Position along the track at time @p t. */
+    qty::Metres positionAt(qty::Seconds t) const;
 
-    double length() const { return length_; }
-    double accel() const { return accel_; }
+    qty::Metres length() const { return qty::Metres{length_}; }
+    qty::MetresPerSecondSquared accel() const
+    {
+        return qty::MetresPerSecondSquared{accel_};
+    }
 
   private:
     double length_;

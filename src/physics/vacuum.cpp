@@ -33,48 +33,48 @@ constexpr double kSeaLevelAirDensity = 1.225;
 
 } // namespace
 
-double
-tubeVolume(double length, const VacuumConfig &cfg)
+qty::CubicMetres
+tubeVolume(qty::Metres length, const VacuumConfig &cfg)
 {
     validate(cfg);
-    fatal_if(length < 0.0, "tube length must be non-negative");
-    const double r = cfg.tube_diameter / 2.0;
+    fatal_if(length.value() < 0.0, "tube length must be non-negative");
+    const qty::Metres r{cfg.tube_diameter / 2.0};
     return M_PI * r * r * length;
 }
 
-double
-pumpDownEnergy(double length, const VacuumConfig &cfg)
+qty::Joules
+pumpDownEnergy(qty::Metres length, const VacuumConfig &cfg)
 {
     validate(cfg);
-    const double v = tubeVolume(length, cfg);
-    const double work = units::kAtmospherePa * v *
-                        std::log(units::kAtmospherePa / cfg.pressure);
+    const qty::CubicMetres v = tubeVolume(length, cfg);
+    const qty::Joules work = qty::kAtmosphere * v *
+                             std::log(units::kAtmospherePa / cfg.pressure);
     return work / cfg.pump_efficiency;
 }
 
-double
-maintenancePower(double length, const VacuumConfig &cfg)
+qty::Watts
+maintenancePower(qty::Metres length, const VacuumConfig &cfg)
 {
     validate(cfg);
     // Re-pumping leak_volumes_per_day tube volumes of air (referenced to
     // atmospheric pressure) per day costs that fraction of the pump-down
     // energy per day.
-    const double energy_per_day =
+    const qty::Joules energy_per_day =
         cfg.leak_volumes_per_day * pumpDownEnergy(length, cfg);
-    return energy_per_day / units::days(1.0);
+    return energy_per_day / qty::days(1.0);
 }
 
-double
-aeroDragPower(double speed, double frontal_area, double drag_coeff,
-              const VacuumConfig &cfg)
+qty::Watts
+aeroDragPower(qty::MetresPerSecond speed, qty::SquareMetres frontal_area,
+              double drag_coeff, const VacuumConfig &cfg)
 {
     validate(cfg);
-    fatal_if(speed < 0.0, "speed must be non-negative");
-    fatal_if(!(frontal_area > 0.0), "frontal area must be positive");
+    fatal_if(speed.value() < 0.0, "speed must be non-negative");
+    fatal_if(!(frontal_area.value() > 0.0), "frontal area must be positive");
     fatal_if(!(drag_coeff > 0.0), "drag coefficient must be positive");
 
-    const double rho =
-        kSeaLevelAirDensity * cfg.pressure / units::kAtmospherePa;
+    const qty::KilogramsPerCubicMetre rho{
+        kSeaLevelAirDensity * cfg.pressure / units::kAtmospherePa};
     return 0.5 * rho * drag_coeff * frontal_area * speed * speed * speed;
 }
 

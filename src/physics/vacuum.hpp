@@ -14,6 +14,8 @@
 #ifndef DHL_PHYSICS_VACUUM_HPP
 #define DHL_PHYSICS_VACUUM_HPP
 
+#include "common/quantity.hpp"
+
 namespace dhl {
 namespace physics {
 
@@ -36,33 +38,35 @@ struct VacuumConfig
     double leak_volumes_per_day = 0.05;
 };
 
-/** Internal volume of a tube of the configured diameter, m^3. */
-double tubeVolume(double length, const VacuumConfig &cfg = {});
+/** Internal volume of a tube of the configured diameter. */
+qty::CubicMetres tubeVolume(qty::Metres length, const VacuumConfig &cfg = {});
 
 /**
- * Electrical energy for the initial pump-down of @p length metres of
- * tube from atmosphere to the operating pressure, J (isothermal ideal
- * gas: W = P0 V ln(P0/P), divided by pump efficiency).
+ * Electrical energy for the initial pump-down of @p length of tube from
+ * atmosphere to the operating pressure (isothermal ideal gas:
+ * W = P0 V ln(P0/P), divided by pump efficiency).
  */
-double pumpDownEnergy(double length, const VacuumConfig &cfg = {});
+qty::Joules pumpDownEnergy(qty::Metres length, const VacuumConfig &cfg = {});
 
 /**
- * Steady-state electrical power to hold the vacuum against leaks, W.
+ * Steady-state electrical power to hold the vacuum against leaks.
  */
-double maintenancePower(double length, const VacuumConfig &cfg = {});
+qty::Watts maintenancePower(qty::Metres length, const VacuumConfig &cfg = {});
 
 /**
  * Aerodynamic drag power on a cart moving at @p speed through the
- * residual gas, W: P = 1/2 rho Cd A v^3 with rho scaled from sea level
+ * residual gas: P = 1/2 rho Cd A v^3 with rho scaled from sea level
  * by pressure ratio.
  *
- * @param speed          Cart speed, m/s.
- * @param frontal_area   Cart frontal area, m^2.
- * @param drag_coeff     Drag coefficient (blunt body ~1).
+ * @param speed          Cart speed.
+ * @param frontal_area   Cart frontal area.
+ * @param drag_coeff     Drag coefficient (blunt body ~1, dimensionless).
  * @param cfg            Vacuum operating point.
  */
-double aeroDragPower(double speed, double frontal_area,
-                     double drag_coeff = 1.0, const VacuumConfig &cfg = {});
+qty::Watts aeroDragPower(qty::MetresPerSecond speed,
+                         qty::SquareMetres frontal_area,
+                         double drag_coeff = 1.0,
+                         const VacuumConfig &cfg = {});
 
 } // namespace physics
 } // namespace dhl

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "common/logging.hpp"
 
@@ -85,7 +86,12 @@ PeriodicBackupGenerator::generate(double duration, Rng &rng) const
 {
     fatal_if(!(duration > 0.0), "duration must be positive");
     std::vector<TransferRequest> out;
-    for (double base = 0.0; base < duration; base += period_) {
+    // Integer induction with multiplication: a floating-point counter
+    // (base += period_) accumulates rounding error across iterations.
+    for (std::uint64_t i = 0;; ++i) {
+        const double base = static_cast<double>(i) * period_;
+        if (base >= duration)
+            break;
         double at = base;
         if (jitter_frac_ > 0.0)
             at += rng.uniform(0.0, jitter_frac_ * period_);
@@ -118,7 +124,10 @@ BurstSourceGenerator::generate(double duration, Rng &rng) const
     (void)rng; // deterministic source
     fatal_if(!(duration > 0.0), "duration must be positive");
     std::vector<TransferRequest> out;
-    for (double t = 0.0; t < duration; t += period_) {
+    for (std::uint64_t i = 0;; ++i) {
+        const double t = static_cast<double>(i) * period_;
+        if (t >= duration)
+            break;
         // The burst's data is available once the fill completes.
         const double ready = t + burst_duration_;
         if (ready < duration)

@@ -56,9 +56,9 @@ replayDhlAnalytical(const std::vector<TransferRequest> &requests,
 {
     const core::AnalyticalModel model(cfg);
     return replaySerial(requests, [&](double bytes) {
-        const auto bulk = model.bulk(bytes, opts);
-        return std::pair<double, double>{bulk.total_time,
-                                         bulk.total_energy};
+        const auto bulk = model.bulk(qty::Bytes{bytes}, opts);
+        return std::pair<double, double>{bulk.total_time.value(),
+                                         bulk.total_energy.value()};
     });
 }
 
@@ -68,8 +68,8 @@ replayNetworkAnalytical(const std::vector<TransferRequest> &requests,
 {
     const network::TransferModel model(route);
     return replaySerial(requests, [&](double bytes) {
-        const auto r = model.transfer(bytes, links);
-        return std::pair<double, double>{r.time, r.energy};
+        const auto r = model.transfer(qty::Bytes{bytes}, links);
+        return std::pair<double, double>{r.time.value(), r.energy.value()};
     });
 }
 
@@ -87,7 +87,7 @@ replayDhlSimulated(const std::vector<TransferRequest> &requests,
 
     // Pre-allocate each request's carts in the library.
     std::vector<std::vector<core::CartId>> request_carts;
-    const double capacity = cfg.cartCapacity();
+    const double capacity = cfg.cartCapacity().value();
     for (const auto &req : sorted) {
         std::vector<core::CartId> carts;
         double remaining = req.bytes;

@@ -35,7 +35,7 @@ TEST(PipelinedBulk, DualTrackApproachesTripTimePerCartOverD)
     DhlSimulation sim(cfg);
     BulkRunOptions opts;
     opts.pipelined = true;
-    const double dataset = 16.0 * cfg.cartCapacity();
+    const double dataset = 16.0 * cfg.cartCapacity().value();
     const auto r = sim.runBulkTransfer(dataset, opts);
     EXPECT_EQ(r.carts, 16u);
     EXPECT_EQ(r.launches, 32u);
@@ -47,7 +47,7 @@ TEST(PipelinedBulk, DualTrackApproachesTripTimePerCartOverD)
 
 TEST(PipelinedBulk, SingleTubeSlowerThanDualTrack)
 {
-    const double dataset = 12.0 * defaultConfig().cartCapacity();
+    const double dataset = 12.0 * defaultConfig().cartCapacity().value();
     BulkRunOptions opts;
     opts.pipelined = true;
 
@@ -64,7 +64,7 @@ TEST(PipelinedBulk, MoreStationsHelpWithReads)
     BulkRunOptions opts;
     opts.pipelined = true;
     opts.include_read_time = true;
-    const double dataset = 8.0 * defaultConfig().cartCapacity();
+    const double dataset = 8.0 * defaultConfig().cartCapacity().value();
 
     DhlSimulation one(pipelineConfig(TrackMode::DualTrack, 1));
     DhlSimulation four(pipelineConfig(TrackMode::DualTrack, 4));
@@ -87,7 +87,7 @@ TEST(PipelinedBulk, ExclusiveTrackBoundsPipelineGains)
     DhlSimulation dual(pipelineConfig(TrackMode::DualTrack, 4));
     BulkRunOptions opts;
     opts.pipelined = true;
-    const double dataset = 4.0 * cfg.cartCapacity();
+    const double dataset = 4.0 * cfg.cartCapacity().value();
     const auto rp = pipe.runBulkTransfer(dataset, opts);
     const auto rs = serial.runBulkTransfer(dataset);
     const auto rd = dual.runBulkTransfer(dataset, opts);
@@ -104,7 +104,7 @@ TEST(PipelinedBulk, FailureInjectionUnderLoad)
     BulkRunOptions opts;
     opts.pipelined = true;
     opts.failure_per_trip = 0.02;
-    const double dataset = 10.0 * cfg.cartCapacity();
+    const double dataset = 10.0 * cfg.cartCapacity().value();
     const auto r = sim.runBulkTransfer(dataset, opts);
     dhl::Logger::global().setLevel(prev);
     // 10 carts x 2 trips x 32 SSDs x 2 % ~ 12.8 expected.
@@ -117,7 +117,7 @@ TEST(PipelinedBulk, FailureInjectionUnderLoad)
 
 TEST(PipelinedBulk, EnergyIndependentOfPipelining)
 {
-    const double dataset = 10.0 * defaultConfig().cartCapacity();
+    const double dataset = 10.0 * defaultConfig().cartCapacity().value();
     DhlSimulation serial(pipelineConfig(TrackMode::Exclusive, 1));
     DhlSimulation pipe(pipelineConfig(TrackMode::DualTrack, 8));
     BulkRunOptions opts;

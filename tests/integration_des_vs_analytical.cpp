@@ -22,28 +22,28 @@ TEST_P(DesVsAnalytical, SerialBulkAgreesExactly)
 {
     const DhlConfig cfg = GetParam().config;
     // ~6 carts worth of data per configuration.
-    const double dataset = 6.0 * cfg.cartCapacity() - u::terabytes(1);
+    const double dataset = 6.0 * cfg.cartCapacity().value() - u::terabytes(1);
 
     DhlSimulation des(cfg);
     const auto sim_result = des.runBulkTransfer(dataset);
 
     const AnalyticalModel model(cfg);
-    const auto closed = model.bulk(dataset);
+    const auto closed = model.bulk(dhl::qty::Bytes{dataset});
 
     EXPECT_EQ(sim_result.launches, closed.total_trips);
-    EXPECT_NEAR(sim_result.total_time, closed.total_time,
-                closed.total_time * 1e-9);
-    EXPECT_NEAR(sim_result.total_energy, closed.total_energy,
-                closed.total_energy * 1e-9);
+    EXPECT_NEAR(sim_result.total_time, closed.total_time.value(),
+                closed.total_time.value() * 1e-9);
+    EXPECT_NEAR(sim_result.total_energy, closed.total_energy.value(),
+                closed.total_energy.value() * 1e-9);
     EXPECT_NEAR(sim_result.effective_bandwidth,
-                closed.effective_bandwidth,
-                closed.effective_bandwidth * 1e-9);
+                closed.effective_bandwidth.value(),
+                closed.effective_bandwidth.value() * 1e-9);
 }
 
 TEST_P(DesVsAnalytical, SerialWithReadsAgrees)
 {
     const DhlConfig cfg = GetParam().config;
-    const double dataset = 3.0 * cfg.cartCapacity();
+    const double dataset = 3.0 * cfg.cartCapacity().value();
 
     DhlSimulation des(cfg);
     BulkRunOptions des_opts;
@@ -53,10 +53,10 @@ TEST_P(DesVsAnalytical, SerialWithReadsAgrees)
     const AnalyticalModel model(cfg);
     BulkOptions opts;
     opts.include_read_time = true;
-    const auto closed = model.bulk(dataset, opts);
+    const auto closed = model.bulk(dhl::qty::Bytes{dataset}, opts);
 
-    EXPECT_NEAR(sim_result.total_time, closed.total_time,
-                closed.total_time * 1e-9);
+    EXPECT_NEAR(sim_result.total_time, closed.total_time.value(),
+                closed.total_time.value() * 1e-9);
     EXPECT_DOUBLE_EQ(sim_result.bytes_read, dataset);
 }
 
@@ -75,11 +75,12 @@ TEST(DesVsAnalyticalTrapezoid, ExactKinematicsAlsoAgree)
 {
     DhlConfig cfg = defaultConfig();
     cfg.kinematics = dhl::physics::KinematicsMode::Trapezoid;
-    const double dataset = 4.0 * cfg.cartCapacity();
+    const double dataset = 4.0 * cfg.cartCapacity().value();
 
     DhlSimulation des(cfg);
     const auto sim_result = des.runBulkTransfer(dataset);
     const AnalyticalModel model(cfg);
-    const auto closed = model.bulk(dataset);
-    EXPECT_NEAR(sim_result.total_time, closed.total_time, 1e-6);
+    const auto closed = model.bulk(dhl::qty::Bytes{dataset});
+    EXPECT_NEAR(sim_result.total_time, closed.total_time.value(),
+                1e-6);
 }

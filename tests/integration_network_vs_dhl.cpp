@@ -32,7 +32,7 @@ TEST(FlowSimVsAnalytical, UncontendedTransferAgrees)
     const Route &route = findRoute("B");
     const double bytes = u::petabytes(1);
     double finish = -1.0, energy = -1.0;
-    fs.startFlow({l1, l2}, bytes, route.power(),
+    fs.startFlow({l1, l2}, bytes, route.power().value(),
                  [&](const FlowRecord &r) {
                      finish = r.finish_time;
                      energy = r.energy;
@@ -40,9 +40,11 @@ TEST(FlowSimVsAnalytical, UncontendedTransferAgrees)
     simulator.run();
 
     const TransferModel model(route);
-    const auto expected = model.transfer(bytes);
-    EXPECT_NEAR(finish, expected.time, expected.time * 1e-9);
-    EXPECT_NEAR(energy, expected.energy, expected.energy * 1e-6);
+    const auto expected = model.transfer(dhl::qty::Bytes{bytes});
+    EXPECT_NEAR(finish, expected.time.value(),
+                expected.time.value() * 1e-9);
+    EXPECT_NEAR(energy, expected.energy.value(),
+                expected.energy.value() * 1e-6);
 }
 
 TEST(FlowSimVsAnalytical, ContentionStretchesBulkTransfers)
@@ -75,9 +77,9 @@ TEST(TopologyRoutes, FeedTransferModelLikeCanonicalRoutes)
     const auto cross = ft.path({0, 0, 0}, {1, 0, 0});
     const TransferModel via_fabric(cross.route);
     const TransferModel via_c(findRoute("C"));
-    const double bytes = u::petabytes(29);
-    EXPECT_NEAR(via_fabric.transfer(bytes).energy,
-                via_c.transfer(bytes).energy, 1.0);
+    const dhl::qty::Bytes bytes = dhl::qty::petabytes(29.0);
+    EXPECT_NEAR(via_fabric.transfer(bytes).energy.value(),
+                via_c.transfer(bytes).energy.value(), 1.0);
 }
 
 TEST(EndToEnd, DhlBeatsEveryRouteOn29Pb)
@@ -85,7 +87,7 @@ TEST(EndToEnd, DhlBeatsEveryRouteOn29Pb)
     // The paper's headline: for the 29 PB ML dataset the DHL wins on
     // both time and energy against every canonical route.
     const core::AnalyticalModel model(core::defaultConfig());
-    const double bytes = u::petabytes(29);
+    const dhl::qty::Bytes bytes = dhl::qty::petabytes(29.0);
     for (const auto &route : canonicalRoutes()) {
         const auto cmp = model.compareBulk(bytes, route);
         EXPECT_GT(cmp.time_speedup, 100.0) << route.name();
@@ -99,12 +101,12 @@ TEST(EndToEnd, SmallTransfersFavourTheNetwork)
     // transfer takes 2 s on one link but a full 8.6 s DHL trip.
     const core::AnalyticalModel model(core::defaultConfig());
     const TransferModel net(findRoute("A0"));
-    const double bytes = u::gigabytes(100);
-    const double net_time = net.transfer(bytes).time;
+    const dhl::qty::Bytes bytes = dhl::qty::gigabytes(100.0);
+    const dhl::qty::Seconds net_time = net.transfer(bytes).time;
     core::BulkOptions opts;
     opts.count_return_trips = false;
-    const double dhl_time = model.bulk(bytes, opts).total_time;
-    EXPECT_LT(net_time, dhl_time);
+    const dhl::qty::Seconds dhl_time = model.bulk(bytes, opts).total_time;
+    EXPECT_LT(net_time.value(), dhl_time.value());
 }
 
 TEST(EndToEnd, DesBackedDhlAlsoBeatsNetworkAtScale)
@@ -116,7 +118,7 @@ TEST(EndToEnd, DesBackedDhlAlsoBeatsNetworkAtScale)
     const auto dhl_run = des.runBulkTransfer(bytes);
 
     const TransferModel net(findRoute("B"));
-    const auto net_run = net.transfer(bytes);
-    EXPECT_GT(net_run.time / dhl_run.total_time, 100.0);
-    EXPECT_GT(net_run.energy / dhl_run.total_energy, 4.0);
+    const auto net_run = net.transfer(dhl::qty::Bytes{bytes});
+    EXPECT_GT(net_run.time.value() / dhl_run.total_time, 100.0);
+    EXPECT_GT(net_run.energy.value() / dhl_run.total_energy, 4.0);
 }

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Negative-compilation proof: adding quantities of different dimensions
+ * (here time + energy) must NOT compile.  The CMake harness asserts
+ * this translation unit fails to build.
+ */
+
+#include "common/quantity.hpp"
+
+int
+main()
+{
+    using namespace dhl::qty;
+    auto nonsense = Seconds{1.0} + Joules{1.0}; // must not compile
+    return nonsense.value() > 0.0 ? 0 : 1;
+}

@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Negative-compilation proof: bits and bytes are distinct dimensions,
+ * so a bit-rate can never be stored as a byte-rate without the explicit
+ * qty::toBytesPerSecond conversion.  The CMake harness asserts this
+ * translation unit fails to build.
+ */
+
+#include "common/quantity.hpp"
+
+int
+main()
+{
+    using namespace dhl::qty;
+    BytesPerSecond rate = gigabitsPerSecond(400.0); // must not compile
+    return rate.value() > 0.0 ? 0 : 1;
+}

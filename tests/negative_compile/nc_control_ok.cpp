@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Positive control for the negative-compilation harness: this file MUST
+ * compile.  If it fails, the harness itself (include path, standard) is
+ * broken, and the "expected failure" results of the nc_* siblings are
+ * meaningless.
+ */
+
+#include "common/quantity.hpp"
+
+int
+main()
+{
+    using namespace dhl::qty;
+    const Seconds t = Seconds{2.0} + Seconds{3.0};
+    const Metres d = MetresPerSecond{10.0} * t;
+    static_assert(sizeof(Seconds) == sizeof(double));
+    return d.value() > 0.0 ? 0 : 1;
+}

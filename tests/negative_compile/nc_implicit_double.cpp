@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Negative-compilation proof: quantities never convert implicitly from
+ * or to raw double (only explicit Quantity{x} construction and the
+ * .value() escape hatch).  The CMake harness asserts this translation
+ * unit fails to build.
+ */
+
+#include "common/quantity.hpp"
+
+double
+takesSeconds(dhl::qty::Seconds t)
+{
+    return t.value();
+}
+
+int
+main()
+{
+    const double plain = 5.0;
+    return takesSeconds(plain) > 0.0 ? 0 : 1; // must not compile
+}

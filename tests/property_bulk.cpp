@@ -39,11 +39,12 @@ TEST_P(BulkProperty, TripCountIsCeilOfDatasetOverCapacity)
     for (int i = 0; i < 20; ++i) {
         const DhlConfig cfg = randomConfig(rng);
         const AnalyticalModel m(cfg);
-        const double bytes = rng.uniform(0.1, 40.0) * cfg.cartCapacity();
-        const auto bulk = m.bulk(bytes);
+        const double bytes =
+            rng.uniform(0.1, 40.0) * cfg.cartCapacity().value();
+        const auto bulk = m.bulk(dhl::qty::Bytes{bytes});
         EXPECT_EQ(bulk.loaded_trips,
                   static_cast<std::uint64_t>(
-                      std::ceil(bytes / cfg.cartCapacity())));
+                      std::ceil(bytes / cfg.cartCapacity().value())));
         EXPECT_EQ(bulk.total_trips, 2 * bulk.loaded_trips);
     }
 }
@@ -55,11 +56,12 @@ TEST_P(BulkProperty, TimeAndEnergyMonotoneInDataset)
     const AnalyticalModel m(cfg);
     double prev_time = 0.0, prev_energy = 0.0;
     for (double mult = 0.5; mult < 20.0; mult *= 1.7) {
-        const auto bulk = m.bulk(mult * cfg.cartCapacity());
-        EXPECT_GE(bulk.total_time, prev_time);
-        EXPECT_GE(bulk.total_energy, prev_energy);
-        prev_time = bulk.total_time;
-        prev_energy = bulk.total_energy;
+        const auto bulk =
+            m.bulk(dhl::qty::Bytes{mult * cfg.cartCapacity().value()});
+        EXPECT_GE(bulk.total_time.value(), prev_time);
+        EXPECT_GE(bulk.total_energy.value(), prev_energy);
+        prev_time = bulk.total_time.value();
+        prev_energy = bulk.total_energy.value();
     }
 }
 
@@ -69,12 +71,13 @@ TEST_P(BulkProperty, EffectiveBandwidthBoundedByEmbodiedBandwidth)
     for (int i = 0; i < 10; ++i) {
         const DhlConfig cfg = randomConfig(rng);
         const AnalyticalModel m(cfg);
-        const double bytes = rng.uniform(1.0, 10.0) * cfg.cartCapacity();
-        const auto bulk = m.bulk(bytes);
+        const double bytes =
+            rng.uniform(1.0, 10.0) * cfg.cartCapacity().value();
+        const auto bulk = m.bulk(dhl::qty::Bytes{bytes});
         // Serial with returns: effective bandwidth is at most half the
         // single-launch embodied bandwidth.
-        EXPECT_LE(bulk.effective_bandwidth,
-                  0.5 * m.launch().bandwidth * (1.0 + 1e-9));
+        EXPECT_LE(bulk.effective_bandwidth.value(),
+                  0.5 * m.launch().bandwidth.value() * (1.0 + 1e-9));
     }
 }
 
@@ -83,17 +86,17 @@ TEST_P(BulkProperty, DesAgreesOnRandomConfigs)
     Rng rng(GetParam() + 300);
     const DhlConfig cfg = randomConfig(rng);
     const double bytes =
-        rng.uniform(1.5, 6.0) * cfg.cartCapacity();
+        rng.uniform(1.5, 6.0) * cfg.cartCapacity().value();
 
     DhlSimulation des(cfg);
     const auto sim_result = des.runBulkTransfer(bytes);
     const AnalyticalModel model(cfg);
-    const auto closed = model.bulk(bytes);
+    const auto closed = model.bulk(dhl::qty::Bytes{bytes});
     EXPECT_EQ(sim_result.launches, closed.total_trips);
-    EXPECT_NEAR(sim_result.total_time, closed.total_time,
-                closed.total_time * 1e-9);
-    EXPECT_NEAR(sim_result.total_energy, closed.total_energy,
-                closed.total_energy * 1e-9);
+    EXPECT_NEAR(sim_result.total_time, closed.total_time.value(),
+                closed.total_time.value() * 1e-9);
+    EXPECT_NEAR(sim_result.total_energy, closed.total_energy.value(),
+                closed.total_energy.value() * 1e-9);
 }
 
 TEST_P(BulkProperty, SpeedupVsNetworkGrowsWithRoutePower)
@@ -101,7 +104,7 @@ TEST_P(BulkProperty, SpeedupVsNetworkGrowsWithRoutePower)
     Rng rng(GetParam() + 400);
     const DhlConfig cfg = randomConfig(rng);
     const AnalyticalModel m(cfg);
-    const double bytes = u::petabytes(2);
+    const dhl::qty::Bytes bytes = dhl::qty::petabytes(2.0);
     double prev_reduction = 0.0;
     for (const auto &route : dhl::network::canonicalRoutes()) {
         const auto cmp = m.compareBulk(bytes, route);

@@ -119,7 +119,10 @@ TEST_P(ControllerProperty, ChurnPreservesInvariants)
         static_cast<std::uint64_t>(2 * cycles * p.carts);
     EXPECT_EQ(ctl.launches(), expected_launches);
     const double shot =
-        dhl::physics::shotEnergy(cfg.cartMass(), cfg.max_speed, cfg.lim);
+        dhl::physics::shotEnergy(cfg.cartMass(),
+                                 dhl::qty::MetresPerSecond{cfg.max_speed},
+                                 cfg.lim)
+            .value();
     EXPECT_NEAR(ctl.totalEnergy(),
                 static_cast<double>(expected_launches) * shot,
                 shot * 1e-6);

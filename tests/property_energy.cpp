@@ -36,8 +36,9 @@ TEST_P(EnergyProperty, EnergyIsQuadraticInSpeed)
     const AnalyticalModel m1(cfg);
     cfg.max_speed *= 0.5;
     const AnalyticalModel m2(cfg);
-    EXPECT_NEAR(m1.launch().energy, 4.0 * m2.launch().energy,
-                m1.launch().energy * 1e-9);
+    EXPECT_NEAR(m1.launch().energy.value(),
+                4.0 * m2.launch().energy.value(),
+                m1.launch().energy.value() * 1e-9);
 }
 
 TEST_P(EnergyProperty, PeakPowerIsCubicInSpeedTimesMassRatio)
@@ -47,8 +48,9 @@ TEST_P(EnergyProperty, PeakPowerIsCubicInSpeedTimesMassRatio)
     const AnalyticalModel m1(cfg);
     cfg.max_speed *= 0.5;
     const AnalyticalModel m2(cfg);
-    EXPECT_NEAR(m1.launch().peak_power, 2.0 * m2.launch().peak_power,
-                m1.launch().peak_power * 1e-9);
+    EXPECT_NEAR(m1.launch().peak_power.value(),
+                2.0 * m2.launch().peak_power.value(),
+                m1.launch().peak_power.value() * 1e-9);
 }
 
 TEST_P(EnergyProperty, EfficiencyImprovesWithBiggerCarts)
@@ -62,7 +64,8 @@ TEST_P(EnergyProperty, EfficiencyImprovesWithBiggerCarts)
     cfg.ssds_per_cart *= 2;
     const AnalyticalModel big(cfg);
     EXPECT_GT(big.launch().efficiency, small.launch().efficiency);
-    EXPECT_LT(big.launch().energy, 2.0 * small.launch().energy);
+    EXPECT_LT(big.launch().energy.value(),
+              2.0 * small.launch().energy.value());
 }
 
 TEST_P(EnergyProperty, TrackLengthDoesNotAffectLaunchEnergy)
@@ -73,7 +76,8 @@ TEST_P(EnergyProperty, TrackLengthDoesNotAffectLaunchEnergy)
     const AnalyticalModel m1(cfg);
     cfg.track_length *= 2.0;
     const AnalyticalModel m2(cfg);
-    EXPECT_DOUBLE_EQ(m1.launch().energy, m2.launch().energy);
+    EXPECT_DOUBLE_EQ(m1.launch().energy.value(),
+                     m2.launch().energy.value());
 }
 
 TEST_P(EnergyProperty, RegenBrakingSavesUpToEfficiencyBound)
@@ -86,21 +90,25 @@ TEST_P(EnergyProperty, RegenBrakingSavesUpToEfficiencyBound)
     cfg.lim.braking = BrakingMode::EddyCurrent;
     const AnalyticalModel eddy(cfg);
 
-    EXPECT_LT(regen.launch().energy, base.launch().energy);
+    EXPECT_LT(regen.launch().energy.value(),
+              base.launch().energy.value());
     // Eddy-current braking halves the shot (Discussion §VI).
-    EXPECT_NEAR(eddy.launch().energy, 0.5 * base.launch().energy, 1e-9);
-    EXPECT_LE(eddy.launch().energy, regen.launch().energy);
+    EXPECT_NEAR(eddy.launch().energy.value(),
+                0.5 * base.launch().energy.value(), 1e-9);
+    EXPECT_LE(eddy.launch().energy.value(),
+              regen.launch().energy.value());
 }
 
 TEST_P(EnergyProperty, BulkEnergyScalesWithTrips)
 {
     const AnalyticalModel m(config());
-    const double cap = config().cartCapacity();
-    const auto one = m.bulk(cap * 0.9);
-    const auto five = m.bulk(cap * 4.5);
+    const double cap = config().cartCapacity().value();
+    const auto one = m.bulk(dhl::qty::Bytes{cap * 0.9});
+    const auto five = m.bulk(dhl::qty::Bytes{cap * 4.5});
     EXPECT_EQ(one.loaded_trips, 1u);
     EXPECT_EQ(five.loaded_trips, 5u);
-    EXPECT_NEAR(five.total_energy, 5.0 * one.total_energy, 1e-6);
+    EXPECT_NEAR(five.total_energy.value(),
+                5.0 * one.total_energy.value(), 1e-6);
 }
 
 TEST_P(EnergyProperty, AveragePowerBelowPeakPower)

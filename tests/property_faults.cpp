@@ -90,7 +90,7 @@ TEST(FaultProperty, NoTransferLostUnderHeavyFaults)
     rel.cart_repair_per_trip = 0.05;
     rel.cart_repair_hours = 0.01;
 
-    const double dataset = 32.0 * cfg.cartCapacity();
+    const double dataset = 32.0 * cfg.cartCapacity().value();
 
     DhlSimulation des(cfg);
     BulkRunOptions opts;
@@ -139,7 +139,7 @@ TEST(FaultProperty, FaultRunsAreDeterministic)
     rel.cart_repair_per_trip = 0.1;
     rel.cart_repair_hours = 0.005;
 
-    const double dataset = 16.0 * cfg.cartCapacity();
+    const double dataset = 16.0 * cfg.cartCapacity().value();
 
     auto run = [&] {
         DhlSimulation des(cfg);
@@ -162,7 +162,7 @@ TEST(FaultProperty, ZeroRatesMatchFaultFreeRunExactly)
     // A fault config whose injector can never fire must leave the
     // transfer byte-identical to a run without fault injection.
     DhlConfig cfg = defaultConfig();
-    const double dataset = 8.0 * cfg.cartCapacity();
+    const double dataset = 8.0 * cfg.cartCapacity().value();
 
     DhlSimulation clean(cfg);
     const BulkRunResult rc = clean.runBulkTransfer(dataset);

@@ -13,6 +13,7 @@
 #include "physics/profile.hpp"
 
 using namespace dhl::physics;
+namespace qty = dhl::qty;
 
 /** (length, v_max, accel) sweep. */
 using KinParams = std::tuple<double, double, double>;
@@ -20,34 +21,43 @@ using KinParams = std::tuple<double, double, double>;
 class KinematicsProperty : public ::testing::TestWithParam<KinParams>
 {
   protected:
-    double length() const { return std::get<0>(GetParam()); }
-    double vmax() const { return std::get<1>(GetParam()); }
-    double accel() const { return std::get<2>(GetParam()); }
+    qty::Metres length() const
+    {
+        return qty::Metres{std::get<0>(GetParam())};
+    }
+    qty::MetresPerSecond vmax() const
+    {
+        return qty::MetresPerSecond{std::get<1>(GetParam())};
+    }
+    qty::MetresPerSecondSquared accel() const
+    {
+        return qty::MetresPerSecondSquared{std::get<2>(GetParam())};
+    }
 };
 
 TEST_P(KinematicsProperty, PaperApproxNeverExceedsTrapezoid)
 {
-    const double paper =
+    const qty::Seconds paper =
         travelTime(length(), vmax(), accel(), KinematicsMode::PaperApprox);
-    const double exact =
+    const qty::Seconds exact =
         travelTime(length(), vmax(), accel(), KinematicsMode::Trapezoid);
-    EXPECT_LE(paper, exact + 1e-12);
+    EXPECT_LE(paper.value(), exact.value() + 1e-12);
 }
 
 TEST_P(KinematicsProperty, TravelTimeLowerBoundedByCruise)
 {
     // No profile can beat teleporting at v_max.
-    const double t =
+    const qty::Seconds t =
         travelTime(length(), vmax(), accel(), KinematicsMode::Trapezoid);
-    EXPECT_GE(t, length() / vmax() - 1e-12);
+    EXPECT_GE(t.value(), (length() / vmax()).value() - 1e-12);
 }
 
 TEST_P(KinematicsProperty, ProfileCoversExactlyTheTrack)
 {
     VelocityProfile p(length(), vmax(), accel());
-    EXPECT_NEAR(p.positionAt(p.totalTime()), length(),
-                length() * 1e-9 + 1e-9);
-    EXPECT_LE(p.peakSpeed(), vmax() + 1e-12);
+    EXPECT_NEAR(p.positionAt(p.totalTime()).value(), length().value(),
+                length().value() * 1e-9 + 1e-9);
+    EXPECT_LE(p.peakSpeed().value(), vmax().value() + 1e-12);
 }
 
 TEST_P(KinematicsProperty, VelocityIntegratesToPosition)
@@ -56,33 +66,35 @@ TEST_P(KinematicsProperty, VelocityIntegratesToPosition)
     // positionAt to first order.
     VelocityProfile p(length(), vmax(), accel());
     const int steps = 2000;
-    const double dt = p.totalTime() / steps;
+    const double dt = p.totalTime().value() / steps;
     double x = 0.0;
     for (int i = 0; i < steps; ++i) {
-        const double t0 = i * dt;
-        const double t1 = (i + 1) * dt;
-        x += 0.5 * (p.velocityAt(t0) + p.velocityAt(t1)) * dt;
+        const qty::Seconds t0{i * dt};
+        const qty::Seconds t1{(i + 1) * dt};
+        x += 0.5 *
+             (p.velocityAt(t0).value() + p.velocityAt(t1).value()) * dt;
     }
-    EXPECT_NEAR(x, length(), length() * 1e-3);
+    EXPECT_NEAR(x, length().value(), length().value() * 1e-3);
 }
 
 TEST_P(KinematicsProperty, VelocityNeverExceedsPeak)
 {
     VelocityProfile p(length(), vmax(), accel());
     for (int i = 0; i <= 100; ++i) {
-        const double t = p.totalTime() * i / 100.0;
-        EXPECT_LE(p.velocityAt(t), p.peakSpeed() + 1e-9);
-        EXPECT_GE(p.velocityAt(t), 0.0);
+        const qty::Seconds t = p.totalTime() * (i / 100.0);
+        EXPECT_LE(p.velocityAt(t).value(), p.peakSpeed().value() + 1e-9);
+        EXPECT_GE(p.velocityAt(t).value(), 0.0);
     }
 }
 
 TEST_P(KinematicsProperty, FasterCartsNeverTravelLonger)
 {
-    const double t_slow = travelTime(length(), vmax(), accel(),
-                                     KinematicsMode::Trapezoid);
-    const double t_fast = travelTime(length(), vmax() * 1.5, accel(),
-                                     KinematicsMode::Trapezoid);
-    EXPECT_LE(t_fast, t_slow + 1e-12);
+    const qty::Seconds t_slow = travelTime(length(), vmax(), accel(),
+                                           KinematicsMode::Trapezoid);
+    const qty::Seconds t_fast = travelTime(length(), vmax() * 1.5,
+                                           accel(),
+                                           KinematicsMode::Trapezoid);
+    EXPECT_LE(t_fast.value(), t_slow.value() + 1e-12);
 }
 
 INSTANTIATE_TEST_SUITE_P(

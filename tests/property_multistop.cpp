@@ -49,12 +49,14 @@ TEST_P(MultiStopProperty, HopMetricsAreSymmetricAndPositive)
                 continue;
             const HopMetrics fwd = m.hop(a, b);
             const HopMetrics rev = m.hop(b, a);
-            EXPECT_DOUBLE_EQ(fwd.distance, rev.distance);
-            EXPECT_DOUBLE_EQ(fwd.trip_time, rev.trip_time);
-            EXPECT_DOUBLE_EQ(fwd.energy, rev.energy);
-            EXPECT_GT(fwd.travel_time, 0.0);
-            EXPECT_GT(fwd.energy, 0.0);
-            EXPECT_LE(fwd.peak_speed, cfg.base.max_speed + 1e-12);
+            EXPECT_DOUBLE_EQ(fwd.distance.value(), rev.distance.value());
+            EXPECT_DOUBLE_EQ(fwd.trip_time.value(),
+                             rev.trip_time.value());
+            EXPECT_DOUBLE_EQ(fwd.energy.value(), rev.energy.value());
+            EXPECT_GT(fwd.travel_time.value(), 0.0);
+            EXPECT_GT(fwd.energy.value(), 0.0);
+            EXPECT_LE(fwd.peak_speed.value(),
+                      cfg.base.max_speed + 1e-12);
         }
     }
 }
@@ -69,9 +71,12 @@ TEST_P(MultiStopProperty, TriangleInequalityOnTravelTime)
     if (m.numStops() < 3)
         return;
     for (StopId mid = 1; mid + 1 < m.numStops(); ++mid) {
-        const double direct = m.hop(0, m.numStops() - 1).trip_time;
-        const double via = m.hop(0, mid).trip_time +
-                           m.hop(mid, m.numStops() - 1).trip_time;
+        const double direct =
+            m.hop(0, m.numStops() - 1).trip_time.value();
+        const double via =
+            (m.hop(0, mid).trip_time +
+             m.hop(mid, m.numStops() - 1).trip_time)
+                .value();
         EXPECT_LE(direct, via + 1e-9);
     }
 }

@@ -33,7 +33,7 @@ TEST_P(PlacementProperty, CapacityNeverExceeded)
         // Sizes up to the whole cache (but never beyond).
         const double max_bytes =
             static_cast<double>(cfg.cache_carts) *
-            defaultConfig().cartCapacity();
+            defaultConfig().cartCapacity().value();
         const double bytes = rng.uniform(1e12, max_bytes * 0.999);
         const auto access = cache.access(name, bytes);
         EXPECT_LE(cache.occupiedCarts(), cfg.cache_carts);

@@ -14,6 +14,7 @@
 
 using namespace dhl::core;
 namespace u = dhl::units;
+namespace qty = dhl::qty;
 
 namespace {
 
@@ -35,8 +36,10 @@ TEST_P(TableViRegression, SingleLaunchMetrics)
                 row.paper_energy_kj * kRel);
     EXPECT_NEAR(m.efficiency, row.paper_efficiency_gbpj,
                 row.paper_efficiency_gbpj * kRel);
-    EXPECT_NEAR(m.trip_time, row.paper_time_s, row.paper_time_s * kRel);
-    EXPECT_NEAR(m.bandwidth / u::terabytes(1), row.paper_bandwidth_tbps,
+    EXPECT_NEAR(m.trip_time.value(), row.paper_time_s,
+                row.paper_time_s * kRel);
+    EXPECT_NEAR(m.bandwidth.value() / u::terabytes(1),
+                row.paper_bandwidth_tbps,
                 row.paper_bandwidth_tbps * 0.04);
     EXPECT_NEAR(u::toKilowatts(m.peak_power), row.paper_peak_power_kw,
                 row.paper_peak_power_kw * kRel);
@@ -46,11 +49,11 @@ TEST_P(TableViRegression, Moving29PbComparisons)
 {
     const TableVirow &row = GetParam();
     const AnalyticalModel model(row.config);
-    const double dataset = u::petabytes(29);
+    const qty::Bytes dataset = qty::petabytes(29.0);
 
     // Time speedup vs a single 400 Gbit/s link.
     const BulkMetrics bulk = model.bulk(dataset);
-    const double speedup = 580000.0 / bulk.total_time;
+    const double speedup = 580000.0 / bulk.total_time.value();
     EXPECT_NEAR(speedup, row.paper_speedup, row.paper_speedup * kRel);
 
     // Energy reductions vs routes A0 and C.
@@ -79,10 +82,10 @@ TEST(AnalyticalLaunch, DefaultConfigHeadlineNumbers)
     const AnalyticalModel model(defaultConfig());
     const LaunchMetrics m = model.launch();
     EXPECT_NEAR(u::toKilojoules(m.energy), 15.04, 0.01);
-    EXPECT_NEAR(m.trip_time, 8.6, 1e-9);
-    EXPECT_NEAR(m.bandwidth, u::terabytes(256) / 8.6, 1.0);
+    EXPECT_NEAR(m.trip_time.value(), 8.6, 1e-9);
+    EXPECT_NEAR(m.bandwidth.value(), u::terabytes(256) / 8.6, 1.0);
     EXPECT_NEAR(u::toKilowatts(m.peak_power), 75.2, 0.1);
-    EXPECT_NEAR(m.avg_power, 15040.0 / 8.6, 0.5); // the 1.75 kW anchor
+    EXPECT_NEAR(m.avg_power.value(), 15040.0 / 8.6, 0.5); // 1.75 kW anchor
     EXPECT_NEAR(m.efficiency, 17.0, 0.1);
 }
 
@@ -92,7 +95,7 @@ TEST(AnalyticalLaunch, EmbodiedBandwidthBeatsFibreBy300To1200x)
     // fibre (50 GB/s).
     for (const auto &row : tableViRows()) {
         const AnalyticalModel model(row.config);
-        const double ratio = model.launch().bandwidth / 50e9;
+        const double ratio = model.launch().bandwidth.value() / 50e9;
         EXPECT_GT(ratio, 200.0);
         EXPECT_LT(ratio, 1400.0);
     }
@@ -102,7 +105,7 @@ TEST(AnalyticalBulk, TripAccounting29Pb)
 {
     // Paper §V-B: 29 PB needs 227 / 114 / 57 loaded trips for
     // 128 / 256 / 512 TB carts, doubled by the return journeys.
-    const double dataset = u::petabytes(29);
+    const qty::Bytes dataset = qty::petabytes(29.0);
     struct Row { std::size_t ssds; std::uint64_t trips; };
     for (const auto &[ssds, trips] :
          {Row{16, 227}, Row{32, 114}, Row{64, 57}}) {
@@ -118,11 +121,12 @@ TEST(AnalyticalBulk, ReturnTripsCanBeDisabled)
     const AnalyticalModel model(defaultConfig());
     BulkOptions opts;
     opts.count_return_trips = false;
-    const BulkMetrics m = model.bulk(u::petabytes(29), opts);
+    const BulkMetrics m = model.bulk(qty::petabytes(29.0), opts);
     EXPECT_EQ(m.total_trips, m.loaded_trips);
-    const BulkMetrics def = model.bulk(u::petabytes(29));
-    EXPECT_NEAR(def.total_time, 2.0 * m.total_time, 1e-6);
-    EXPECT_NEAR(def.total_energy, 2.0 * m.total_energy, 1e-6);
+    const BulkMetrics def = model.bulk(qty::petabytes(29.0));
+    EXPECT_NEAR(def.total_time.value(), 2.0 * m.total_time.value(), 1e-6);
+    EXPECT_NEAR(def.total_energy.value(), 2.0 * m.total_energy.value(),
+                1e-6);
 }
 
 TEST(AnalyticalBulk, PipelinedBeatsSerial)
@@ -134,12 +138,12 @@ TEST(AnalyticalBulk, PipelinedBeatsSerial)
     BulkOptions serial;
     BulkOptions pipe;
     pipe.pipelined = true;
-    const double dataset = u::petabytes(29);
-    EXPECT_LT(model.bulk(dataset, pipe).total_time,
-              model.bulk(dataset, serial).total_time);
+    const qty::Bytes dataset = qty::petabytes(29.0);
+    EXPECT_LT(model.bulk(dataset, pipe).total_time.value(),
+              model.bulk(dataset, serial).total_time.value());
     // Energy is unchanged by pipelining.
-    EXPECT_NEAR(model.bulk(dataset, pipe).total_energy,
-                model.bulk(dataset, serial).total_energy, 1e-3);
+    EXPECT_NEAR(model.bulk(dataset, pipe).total_energy.value(),
+                model.bulk(dataset, serial).total_energy.value(), 1e-3);
 }
 
 TEST(AnalyticalBulk, ReadTimeExtendsSerialRuns)
@@ -147,12 +151,12 @@ TEST(AnalyticalBulk, ReadTimeExtendsSerialRuns)
     const AnalyticalModel model(defaultConfig());
     BulkOptions with_read;
     with_read.include_read_time = true;
-    const double dataset = u::petabytes(1);
-    const double plain = model.bulk(dataset).total_time;
-    const double read = model.bulk(dataset, with_read).total_time;
+    const qty::Bytes dataset = qty::petabytes(1.0);
+    const double plain = model.bulk(dataset).total_time.value();
+    const double read = model.bulk(dataset, with_read).total_time.value();
     EXPECT_GT(read, plain);
     // Each loaded cart adds one full-cart read (~256 TB at ~227 GB/s).
-    const double per_cart = model.cartReadTime();
+    const double per_cart = model.cartReadTime().value();
     const auto carts = model.bulk(dataset).loaded_trips;
     EXPECT_NEAR(read - plain, static_cast<double>(carts) * per_cart, 1.0);
 }
@@ -161,17 +165,18 @@ TEST(AnalyticalEnergyBreakdown, SecondaryLossesAreNegligible)
 {
     const AnalyticalModel model(defaultConfig());
     const EnergyBreakdown b = model.energyBreakdown();
-    EXPECT_GT(b.accelerate, 0.0);
-    EXPECT_DOUBLE_EQ(b.accelerate, b.brake); // pessimistic symmetry
+    EXPECT_GT(b.accelerate.value(), 0.0);
+    // Pessimistic symmetry.
+    EXPECT_DOUBLE_EQ(b.accelerate.value(), b.brake.value());
     // The paper's claim: drag, stabilisation and residual-air losses
     // are negligible next to the LIM shots.
-    const double secondary = b.drag + b.stabilisation + b.aero;
-    EXPECT_LT(secondary, 0.02 * (b.accelerate + b.brake));
+    const qty::Joules secondary = b.drag + b.stabilisation + b.aero;
+    EXPECT_LT(secondary.value(), 0.02 * (b.accelerate + b.brake).value());
 }
 
 TEST(AnalyticalBulk, RejectsBadInput)
 {
     const AnalyticalModel model(defaultConfig());
-    EXPECT_THROW(model.bulk(0.0), dhl::FatalError);
-    EXPECT_THROW(model.bulk(-1.0), dhl::FatalError);
+    EXPECT_THROW(model.bulk(qty::Bytes{0.0}), dhl::FatalError);
+    EXPECT_THROW(model.bulk(qty::Bytes{-1.0}), dhl::FatalError);
 }

@@ -29,36 +29,37 @@ TEST(ComponentCatalog, TableIiiRows)
 TEST(PowerConstantsTest, CalibratedValues)
 {
     const auto &pc = defaultPowerConstants();
-    EXPECT_DOUBLE_EQ(pc.transceiver, 12.0);
-    EXPECT_DOUBLE_EQ(pc.nic, 19.8);
-    EXPECT_NEAR(pc.switch_port_passive, 23.34375, 1e-9);
-    EXPECT_DOUBLE_EQ(pc.switch_port_active, 53.75);
-    EXPECT_DOUBLE_EQ(pc.link_rate, u::gigabitsPerSecond(400));
+    EXPECT_DOUBLE_EQ(pc.transceiver.value(), 12.0);
+    EXPECT_DOUBLE_EQ(pc.nic.value(), 19.8);
+    EXPECT_NEAR(pc.switch_port_passive.value(), 23.34375, 1e-9);
+    EXPECT_DOUBLE_EQ(pc.switch_port_active.value(), 53.75);
+    EXPECT_DOUBLE_EQ(pc.link_rate.value(), u::gigabitsPerSecond(400));
     // The NIC calibration stays inside the bold NIC's datasheet range.
-    EXPECT_GE(pc.nic, 17.0);
-    EXPECT_LE(pc.nic, 23.3);
+    EXPECT_GE(pc.nic.value(), 17.0);
+    EXPECT_LE(pc.nic.value(), 23.3);
 }
 
 TEST(RoutePower, CanonicalRouteWattages)
 {
-    EXPECT_NEAR(findRoute("A0").power(), 24.0, 1e-9);
-    EXPECT_NEAR(findRoute("A1").power(), 39.6, 1e-9);
-    EXPECT_NEAR(findRoute("A2").power(), 86.2875, 1e-9);
-    EXPECT_NEAR(findRoute("B").power(), 301.2875, 1e-9);
-    EXPECT_NEAR(findRoute("C").power(), 516.2875, 1e-9);
+    EXPECT_NEAR(findRoute("A0").power().value(), 24.0, 1e-9);
+    EXPECT_NEAR(findRoute("A1").power().value(), 39.6, 1e-9);
+    EXPECT_NEAR(findRoute("A2").power().value(), 86.2875, 1e-9);
+    EXPECT_NEAR(findRoute("B").power().value(), 301.2875, 1e-9);
+    EXPECT_NEAR(findRoute("C").power().value(), 516.2875, 1e-9);
 }
 
 TEST(RoutePower, Fig2EnergiesFor29Pb)
 {
     // The Fig. 2 table: energy = route power x 580,000 s.
-    const double t = u::petabytes(29) / u::gigabitsPerSecond(400);
+    const dhl::qty::Seconds t = dhl::qty::petabytes(29.0) /
+        dhl::qty::toBytesPerSecond(dhl::qty::gigabitsPerSecond(400.0));
     struct Row { const char *name; double mj; };
     const Row rows[] = {
         {"A0", 13.92}, {"A1", 22.97}, {"A2", 50.05},
         {"B", 174.75}, {"C", 299.45},
     };
     for (const auto &r : rows) {
-        const double e = findRoute(r.name).power() * t;
+        const dhl::qty::Joules e = findRoute(r.name).power() * t;
         EXPECT_NEAR(u::toMegajoules(e), r.mj, 0.005) << r.name;
     }
 }
@@ -68,7 +69,7 @@ TEST(RoutePower, OrderingMatchesTopologyDepth)
     const auto &routes = canonicalRoutes();
     ASSERT_EQ(routes.size(), 5u);
     for (std::size_t i = 1; i < routes.size(); ++i)
-        EXPECT_GT(routes[i].power(), routes[i - 1].power());
+        EXPECT_GT(routes[i].power().value(), routes[i - 1].power().value());
 }
 
 TEST(RouteStructure, ElementCounts)
@@ -88,8 +89,8 @@ TEST(RouteStructure, ElementCounts)
 TEST(RouteStructure, CustomConstantsPropagate)
 {
     PowerConstants pc;
-    pc.transceiver = 10.0;
-    EXPECT_DOUBLE_EQ(findRoute("A0").power(pc), 20.0);
+    pc.transceiver = dhl::qty::Watts{10.0};
+    EXPECT_DOUBLE_EQ(findRoute("A0").power(pc).value(), 20.0);
 }
 
 TEST(RouteStructure, Validation)

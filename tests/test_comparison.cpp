@@ -12,11 +12,12 @@
 
 using namespace dhl::core;
 namespace u = dhl::units;
+namespace qty = dhl::qty;
 
 TEST(DesignSpaceRowTest, DefaultRowMatchesPaper)
 {
     const auto row =
-        computeDesignSpaceRow(defaultConfig(), u::petabytes(29));
+        computeDesignSpaceRow(defaultConfig(), qty::petabytes(29.0));
     EXPECT_NEAR(u::toKilojoules(row.launch.energy), 15.0, 0.1);
     EXPECT_NEAR(row.time_speedup, 295.1, 295.1 * 0.01);
     ASSERT_EQ(row.routes.size(), 5u);
@@ -31,7 +32,7 @@ TEST(DesignSpaceRowTest, SpeedupsIdenticalAcrossRoutes)
     // The time speedup only depends on the single-link rate, not the
     // route's power, so every route row shares it.
     const auto row =
-        computeDesignSpaceRow(defaultConfig(), u::petabytes(29));
+        computeDesignSpaceRow(defaultConfig(), qty::petabytes(29.0));
     for (const auto &rc : row.routes)
         EXPECT_NEAR(rc.time_speedup, row.time_speedup, 1e-9);
 }
@@ -43,12 +44,12 @@ TEST(BreakEvenTest, PaperSectionVeAnchor)
     const auto be = breakEven(cfg, dhl::network::findRoute("A0"));
     // Trip time 6 + 10/10 + 10/2000 = 7.005 s; at 50 GB/s that is
     // ~350 GB (the paper rounds to 360 GB / 7.2 s).
-    EXPECT_NEAR(be.bytes_for_time, 350.25e9, 0.5e9);
-    EXPECT_NEAR(be.bytes_for_time / 1e9, 360.0, 15.0);
+    EXPECT_NEAR(be.bytes_for_time.value(), 350.25e9, 0.5e9);
+    EXPECT_NEAR(be.bytes_for_time.value() / 1e9, 360.0, 15.0);
     // The energy threshold is tiny: the launch costs ~38 J while A0
     // burns 24 J every second.
-    EXPECT_LT(be.bytes_for_energy, be.bytes_for_time);
-    EXPECT_DOUBLE_EQ(be.bytes_to_win(), be.bytes_for_time);
+    EXPECT_LT(be.bytes_for_energy.value(), be.bytes_for_time.value());
+    EXPECT_DOUBLE_EQ(be.bytes_to_win().value(), be.bytes_for_time.value());
 }
 
 TEST(BreakEvenTest, EnergyThresholdScalesWithRoutePower)
@@ -58,9 +59,10 @@ TEST(BreakEvenTest, EnergyThresholdScalesWithRoutePower)
     const auto vs_c = breakEven(cfg, dhl::network::findRoute("C"));
     // A richer route burns more power, so DHL wins on energy even
     // sooner.
-    EXPECT_LT(vs_c.bytes_for_energy, vs_a0.bytes_for_energy);
+    EXPECT_LT(vs_c.bytes_for_energy.value(), vs_a0.bytes_for_energy.value());
     // Time threshold is route-independent.
-    EXPECT_DOUBLE_EQ(vs_c.bytes_for_time, vs_a0.bytes_for_time);
+    EXPECT_DOUBLE_EQ(vs_c.bytes_for_time.value(),
+                     vs_a0.bytes_for_time.value());
 }
 
 TEST(CrossoverSweepTest, FrontierShape)
@@ -69,15 +71,15 @@ TEST(CrossoverSweepTest, FrontierShape)
                                        {10.0, 50.0, 100.0});
     ASSERT_EQ(points.size(), 9u);
     for (const auto &p : points) {
-        EXPECT_GT(p.trip_time, 6.0); // docking floor
-        EXPECT_GT(p.vs_a0.bytes_for_time, 6.0 * 50e9);
+        EXPECT_GT(p.trip_time.value(), 6.0); // docking floor
+        EXPECT_GT(p.vs_a0.bytes_for_time.value(), 6.0 * 50e9);
     }
     // Longer tracks at the same speed take longer, so the break-even
     // dataset grows with distance.
     const auto &short_track = points[0]; // 10 m, 10 m/s
     const auto &long_track = points[6];  // 500 m, 10 m/s
-    EXPECT_GT(long_track.vs_a0.bytes_for_time,
-              short_track.vs_a0.bytes_for_time);
+    EXPECT_GT(long_track.vs_a0.bytes_for_time.value(),
+              short_track.vs_a0.bytes_for_time.value());
 }
 
 TEST(CrossoverSweepTest, ClampsInfeasibleSpeeds)
@@ -86,14 +88,14 @@ TEST(CrossoverSweepTest, ClampsInfeasibleSpeeds)
     // to the triangular peak instead of failing.
     const auto points = crossoverSweep({10.0}, {200.0});
     ASSERT_EQ(points.size(), 1u);
-    EXPECT_NEAR(points[0].max_speed, 100.0, 1e-9);
+    EXPECT_NEAR(points[0].max_speed.value(), 100.0, 1e-9);
 }
 
 TEST(DesignSpaceRowTest, AllTableViRowsComputable)
 {
     for (const auto &row : tableViRows()) {
         const auto computed =
-            computeDesignSpaceRow(row.config, u::petabytes(29));
+            computeDesignSpaceRow(row.config, qty::petabytes(29.0));
         EXPECT_GT(computed.bulk.total_trips, 0u);
         EXPECT_GT(computed.time_speedup, 100.0);
     }

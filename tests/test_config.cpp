@@ -28,11 +28,11 @@ TEST(DhlConfigTest, DefaultIsTheBoldTableVRow)
 TEST(DhlConfigTest, DerivedHelpers)
 {
     const DhlConfig cfg = defaultConfig();
-    EXPECT_DOUBLE_EQ(cfg.cartCapacity(), u::terabytes(256));
-    EXPECT_NEAR(u::toGrams(cfg.cartMass()), 282.0, 0.5);
-    EXPECT_DOUBLE_EQ(cfg.limLength(), 20.0);
+    EXPECT_DOUBLE_EQ(cfg.cartCapacity().value(), u::terabytes(256));
+    EXPECT_NEAR(u::toGrams(cfg.cartMass().value()), 282.0, 0.5);
+    EXPECT_DOUBLE_EQ(cfg.limLength().value(), 20.0);
     // Trip: 3 + (500/200 + 200/2000) + 3 = 8.6 s.
-    EXPECT_NEAR(cfg.tripTime(), 8.6, 1e-12);
+    EXPECT_NEAR(cfg.tripTime().value(), 8.6, 1e-12);
 }
 
 TEST(DhlConfigTest, Label)
@@ -45,7 +45,7 @@ TEST(DhlConfigTest, TrapezoidModeChangesTripTime)
 {
     DhlConfig cfg = defaultConfig();
     cfg.kinematics = dhl::physics::KinematicsMode::Trapezoid;
-    EXPECT_NEAR(cfg.tripTime(), 8.7, 1e-12);
+    EXPECT_NEAR(cfg.tripTime().value(), 8.7, 1e-12);
 }
 
 TEST(DhlConfigTest, ValidationCatchesNonsense)

@@ -15,6 +15,7 @@
 using namespace dhl;
 using namespace dhl::network;
 namespace u = dhl::units;
+namespace qty = dhl::qty;
 
 namespace {
 
@@ -46,8 +47,9 @@ TEST(EnergyProportionalTest, ActivePerByteEnergyUnchanged)
     // Sleeping can't lower the cost of moving a byte: J/B equals the
     // always-on route power over the line rate.
     const auto m = modelFor("B");
-    EXPECT_NEAR(m.activeJoulesPerByte(),
-                findRoute("B").power() / u::gigabitsPerSecond(400),
+    EXPECT_NEAR(m.activeJoulesPerByte().value(),
+                findRoute("B").power().value() /
+                    u::gigabitsPerSecond(400),
                 1e-15);
 }
 
@@ -55,16 +57,17 @@ TEST(EnergyProportionalTest, SleepingSavesOnDutyCycledTraffic)
 {
     // A 1 TB backup every hour: the link is busy 20 s of 3600.
     const auto m = modelFor("B");
-    const double bytes = u::terabytes(1);
-    const auto slept = m.periodicDuty(bytes, u::hours(1), 24);
-    const auto always = m.alwaysOnDuty(bytes, u::hours(1), 24);
-    EXPECT_LT(slept.energy, always.energy);
+    const qty::Bytes bytes = qty::terabytes(1.0);
+    const auto slept = m.periodicDuty(bytes, qty::hours(1.0), 24);
+    const auto always = m.alwaysOnDuty(bytes, qty::hours(1.0), 24);
+    EXPECT_LT(slept.energy.value(), always.energy.value());
     // With 10 % idle power and ~0.6 % duty, saving approaches ~9x.
-    const double saving = m.savingFactor(bytes, u::hours(1), 24);
+    const double saving = m.savingFactor(bytes, qty::hours(1.0), 24);
     EXPECT_GT(saving, 5.0);
     EXPECT_LT(saving, 10.0);
     EXPECT_EQ(slept.wakes, 24u);
-    EXPECT_NEAR(slept.totalTime(), always.totalTime(), 1e-6);
+    EXPECT_NEAR(slept.totalTime().value(), always.totalTime().value(),
+                1e-6);
 }
 
 TEST(EnergyProportionalTest, HysteresisKeepsShortGapsAwake)
@@ -73,14 +76,16 @@ TEST(EnergyProportionalTest, HysteresisKeepsShortGapsAwake)
     cfg.min_sleep_gap = 10.0; // only sleep for gaps >= 10 s
     EnergyProportionalModel m(findRoute("A0"), cfg);
     // 100 GB every 3 s: gap ~1 s < hysteresis -> stays awake.
-    const auto r = m.periodicDuty(u::gigabytes(100), 3.0, 10);
+    const auto r =
+        m.periodicDuty(qty::gigabytes(100.0), qty::Seconds{3.0}, 10);
     EXPECT_EQ(r.wakes, 0u);
-    EXPECT_DOUBLE_EQ(r.sleep_time, 0.0);
-    EXPECT_GT(r.idle_time, 0.0);
+    EXPECT_DOUBLE_EQ(r.sleep_time.value(), 0.0);
+    EXPECT_GT(r.idle_time.value(), 0.0);
     // Energy equals always-on except the wake overhead accounting.
-    const auto always = m.alwaysOnDuty(u::gigabytes(100), 3.0, 10);
-    EXPECT_NEAR(r.energy, always.energy,
-                always.energy * 0.01);
+    const auto always =
+        m.alwaysOnDuty(qty::gigabytes(100.0), qty::Seconds{3.0}, 10);
+    EXPECT_NEAR(r.energy.value(), always.energy.value(),
+                always.energy.value() * 0.01);
 }
 
 TEST(EnergyProportionalTest, ContinuousTrafficGainsNothing)
@@ -89,8 +94,10 @@ TEST(EnergyProportionalTest, ContinuousTrafficGainsNothing)
     SleepConfig cfg;
     cfg.wake_latency = 0.0;
     EnergyProportionalModel m(findRoute("C"), cfg);
-    const double bytes = u::terabytes(1);
-    const double period = bytes / u::gigabitsPerSecond(400) + 1e-6;
+    const qty::Bytes bytes = qty::terabytes(1.0);
+    const qty::Seconds period =
+        bytes / qty::toBytesPerSecond(qty::gigabitsPerSecond(400.0)) +
+        qty::Seconds{1e-6};
     const double saving = m.savingFactor(bytes, period, 5);
     EXPECT_NEAR(saving, 1.0, 1e-3);
 }
@@ -104,11 +111,11 @@ TEST(EnergyProportionalTest, DhlPerByteAdvantageSurvivesSleeping)
     perfect.idle_power_fraction = 0.0;
     for (const char *name : {"A0", "C"}) {
         EnergyProportionalModel m(findRoute(name), perfect);
-        const double per_byte = m.activeJoulesPerByte();
-        const double net_energy = per_byte * u::petabytes(29);
+        const qty::JoulesPerByte per_byte = m.activeJoulesPerByte();
+        const qty::Joules net_energy = per_byte * qty::petabytes(29.0);
 
         const core::AnalyticalModel dhl_model(core::defaultConfig());
-        const auto bulk = dhl_model.bulk(u::petabytes(29));
+        const auto bulk = dhl_model.bulk(qty::petabytes(29.0));
         const double reduction = net_energy / bulk.total_energy;
         if (std::string(name) == "A0")
             EXPECT_NEAR(reduction, 4.06, 0.05);
@@ -121,10 +128,12 @@ TEST(EnergyProportionalTest, RejectsOverfullDuty)
 {
     const auto m = modelFor("A0");
     // 1 TB takes 20 s; a 10 s period cannot fit it.
-    EXPECT_THROW(m.periodicDuty(u::terabytes(1), 10.0, 2),
+    EXPECT_THROW(m.periodicDuty(qty::terabytes(1.0), qty::Seconds{10.0}, 2),
                  dhl::FatalError);
-    EXPECT_THROW(m.alwaysOnDuty(u::terabytes(1), 10.0, 2),
+    EXPECT_THROW(m.alwaysOnDuty(qty::terabytes(1.0), qty::Seconds{10.0}, 2),
                  dhl::FatalError);
-    EXPECT_THROW(m.periodicDuty(0.0, 10.0, 2), dhl::FatalError);
-    EXPECT_THROW(m.periodicDuty(1e9, 10.0, 0), dhl::FatalError);
+    EXPECT_THROW(m.periodicDuty(qty::Bytes{0.0}, qty::Seconds{10.0}, 2),
+                 dhl::FatalError);
+    EXPECT_THROW(m.periodicDuty(qty::gigabytes(1.0), qty::Seconds{10.0}, 0),
+                 dhl::FatalError);
 }

@@ -37,9 +37,9 @@ TEST(FabricSimTest, UncontendedCrossAisleMatchesRouteC)
                          });
     sim.run();
     const TransferModel c(findRoute("C"));
-    const auto expect = c.transfer(bytes);
-    EXPECT_NEAR(finish, expect.time, 1e-6);
-    EXPECT_NEAR(energy, expect.energy, expect.energy * 1e-9);
+    const auto expect = c.transfer(dhl::qty::Bytes{bytes});
+    EXPECT_NEAR(finish, expect.time.value(), 1e-6);
+    EXPECT_NEAR(energy, expect.energy.value(), expect.energy.value() * 1e-9);
 }
 
 TEST(FabricSimTest, SameRackFlowsAvoidTheUplink)
@@ -113,7 +113,8 @@ TEST(FabricSimTest, GeneratedBackupsContendRealistically)
     }
     sim.run();
     const TransferModel c(findRoute("C"));
-    const double expect = 4.0 * c.transfer(u::terabytes(9)).energy;
+    const double expect =
+        4.0 * c.transfer(dhl::qty::terabytes(9.0)).energy.value();
     EXPECT_NEAR(energy, expect, expect * 1e-9);
 }
 

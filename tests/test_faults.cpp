@@ -567,7 +567,7 @@ TEST(FleetFaultsTest, TracksFailIndependently)
         core::DhlFleet f(cfg, 2);
         core::BulkRunOptions opts;
         opts.faults = core::toFaultConfig(rel, 21);
-        return f.runBulkTransfer(12.0 * cfg.cartCapacity(), opts)
+        return f.runBulkTransfer(12.0 * cfg.cartCapacity().value(), opts)
             .total_time;
     };
     const double a = run();

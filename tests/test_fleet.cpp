@@ -17,7 +17,7 @@ namespace u = dhl::units;
 TEST(FleetTest, OneTrackMatchesSingleSimulation)
 {
     const DhlConfig cfg = defaultConfig();
-    const double dataset = 5.0 * cfg.cartCapacity();
+    const double dataset = 5.0 * cfg.cartCapacity().value();
 
     DhlFleet fleet(cfg, 1);
     const auto fr = fleet.runBulkTransfer(dataset);
@@ -82,7 +82,7 @@ TEST(FleetTest, ReadsAccountedPerTrack)
     DhlFleet fleet(cfg, 2);
     BulkRunOptions opts;
     opts.include_read_time = true;
-    const double dataset = 4.0 * cfg.cartCapacity();
+    const double dataset = 4.0 * cfg.cartCapacity().value();
     const auto r = fleet.runBulkTransfer(dataset, opts);
     EXPECT_DOUBLE_EQ(r.bytes_read, dataset);
     EXPECT_EQ(r.carts, 4u);

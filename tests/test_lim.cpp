@@ -11,7 +11,9 @@
 #include "physics/lim.hpp"
 
 using namespace dhl::physics;
+using namespace dhl::qty::literals;
 namespace u = dhl::units;
+namespace qty = dhl::qty;
 
 namespace {
 
@@ -26,7 +28,8 @@ paperLim()
 TEST(LaunchEnergy, DefaultCartAt200)
 {
     // 0.5 * 0.282 * 200^2 / 0.75 = 7520 J per end.
-    EXPECT_NEAR(launchEnergy(0.282, 200, paperLim()), 7520.0, 1e-9);
+    EXPECT_NEAR(launchEnergy(0.282_kg, 200.0_mps, paperLim()).value(),
+                7520.0, 1e-9);
 }
 
 TEST(ShotEnergy, TableViEnergyColumn)
@@ -41,7 +44,8 @@ TEST(ShotEnergy, TableViEnergyColumn)
         {161, 300, 19},  {524, 300, 63},
     };
     for (const auto &r : rows) {
-        const double e = shotEnergy(u::grams(r.mass), r.v, lim);
+        const qty::Joules e = shotEnergy(
+            qty::grams(r.mass), qty::MetresPerSecond{r.v}, lim);
         EXPECT_NEAR(u::toKilojoules(e), r.kj, r.kj * 0.03)
             << "mass " << r.mass << " g, v " << r.v;
     }
@@ -58,7 +62,8 @@ TEST(PeakPower, TableViPeakPowerColumn)
         {161, 300, 64}, {524, 300, 210},
     };
     for (const auto &r : rows) {
-        const double p = peakPower(u::grams(r.mass), r.v, lim);
+        const qty::Watts p = peakPower(
+            qty::grams(r.mass), qty::MetresPerSecond{r.v}, lim);
         EXPECT_NEAR(u::toKilowatts(p), r.kw, r.kw * 0.03)
             << "mass " << r.mass << " g, v " << r.v;
     }
@@ -67,15 +72,15 @@ TEST(PeakPower, TableViPeakPowerColumn)
 TEST(AveragePower, HalfOfPeak)
 {
     const LimConfig lim = paperLim();
-    EXPECT_DOUBLE_EQ(averageAccelPower(0.282, 200, lim),
-                     0.5 * peakPower(0.282, 200, lim));
+    EXPECT_DOUBLE_EQ(averageAccelPower(0.282_kg, 200.0_mps, lim).value(),
+                     0.5 * peakPower(0.282_kg, 200.0_mps, lim).value());
 }
 
 TEST(BrakeEnergy, ActiveEqualsLaunch)
 {
     const LimConfig lim = paperLim();
-    EXPECT_DOUBLE_EQ(brakeEnergy(0.282, 200, lim),
-                     launchEnergy(0.282, 200, lim));
+    EXPECT_DOUBLE_EQ(brakeEnergy(0.282_kg, 200.0_mps, lim).value(),
+                     launchEnergy(0.282_kg, 200.0_mps, lim).value());
 }
 
 TEST(BrakeEnergy, RegenerativeRecoversKinetic)
@@ -85,21 +90,21 @@ TEST(BrakeEnergy, RegenerativeRecoversKinetic)
     lim.regen_fraction = 0.5;
     const double kinetic = 0.5 * 0.282 * 200 * 200;
     const double active = kinetic / lim.efficiency;
-    EXPECT_NEAR(brakeEnergy(0.282, 200, lim), active - 0.5 * kinetic,
-                1e-9);
+    EXPECT_NEAR(brakeEnergy(0.282_kg, 200.0_mps, lim).value(),
+                active - 0.5 * kinetic, 1e-9);
     // Full recovery cannot push the cost below zero.
     lim.regen_fraction = 1.0;
-    EXPECT_GE(brakeEnergy(0.282, 200, lim), 0.0);
+    EXPECT_GE(brakeEnergy(0.282_kg, 200.0_mps, lim).value(), 0.0);
 }
 
 TEST(BrakeEnergy, EddyCurrentIsFree)
 {
     LimConfig lim = paperLim();
     lim.braking = BrakingMode::EddyCurrent;
-    EXPECT_DOUBLE_EQ(brakeEnergy(0.282, 200, lim), 0.0);
+    EXPECT_DOUBLE_EQ(brakeEnergy(0.282_kg, 200.0_mps, lim).value(), 0.0);
     // Eddy braking halves the shot energy (Discussion §VI).
-    EXPECT_DOUBLE_EQ(shotEnergy(0.282, 200, lim),
-                     launchEnergy(0.282, 200, lim));
+    EXPECT_DOUBLE_EQ(shotEnergy(0.282_kg, 200.0_mps, lim).value(),
+                     launchEnergy(0.282_kg, 200.0_mps, lim).value());
 }
 
 TEST(LimConfigValidation, RejectsNonsense)
@@ -124,7 +129,11 @@ TEST(LimConfigValidation, RejectsNonsense)
 
 TEST(LimEnergy, RejectsNegativeInputs)
 {
-    EXPECT_THROW(launchEnergy(-1.0, 200, paperLim()), dhl::FatalError);
-    EXPECT_THROW(launchEnergy(0.282, -200, paperLim()), dhl::FatalError);
-    EXPECT_THROW(peakPower(-1.0, 200, paperLim()), dhl::FatalError);
+    EXPECT_THROW(launchEnergy(qty::Kilograms{-1.0}, 200.0_mps, paperLim()),
+                 dhl::FatalError);
+    EXPECT_THROW(
+        launchEnergy(0.282_kg, qty::MetresPerSecond{-200.0}, paperLim()),
+        dhl::FatalError);
+    EXPECT_THROW(peakPower(qty::Kilograms{-1.0}, 200.0_mps, paperLim()),
+                 dhl::FatalError);
 }

@@ -11,23 +11,29 @@
 #include "physics/maglev.hpp"
 
 using namespace dhl::physics;
+using namespace dhl::qty::literals;
 namespace u = dhl::units;
+namespace qty = dhl::qty;
 
 TEST(CartMass, PaperCartMasses)
 {
     // 16 / 32 / 64 Sabrent 8 TB M.2 SSDs at 5.67 g each, 30 g frame,
     // 10 % magnets, 15 % fin => 161 / 282 / 524 g total.
-    const double ssd = u::grams(5.67);
-    EXPECT_NEAR(u::toGrams(cartMass(16 * ssd).total_mass), 161.0, 0.5);
-    EXPECT_NEAR(u::toGrams(cartMass(32 * ssd).total_mass), 282.0, 0.5);
-    EXPECT_NEAR(u::toGrams(cartMass(64 * ssd).total_mass), 524.0, 0.5);
+    const qty::Kilograms ssd = qty::grams(5.67);
+    EXPECT_NEAR(u::toGrams(cartMass(16.0 * ssd).total_mass.value()),
+                161.0, 0.5);
+    EXPECT_NEAR(u::toGrams(cartMass(32.0 * ssd).total_mass.value()),
+                282.0, 0.5);
+    EXPECT_NEAR(u::toGrams(cartMass(64.0 * ssd).total_mass.value()),
+                524.0, 0.5);
 }
 
 TEST(CartMass, BreakdownSumsToTotal)
 {
-    const auto b = cartMass(u::grams(181.44));
-    EXPECT_NEAR(b.payload_mass + b.frame_mass + b.magnet_mass + b.fin_mass,
-                b.total_mass, 1e-12);
+    const auto b = cartMass(qty::grams(181.44));
+    EXPECT_NEAR((b.payload_mass + b.frame_mass + b.magnet_mass +
+                 b.fin_mass).value(),
+                b.total_mass.value(), 1e-12);
     EXPECT_NEAR(b.magnet_mass / b.total_mass, 0.10, 1e-12);
     EXPECT_NEAR(b.fin_mass / b.total_mass, 0.15, 1e-12);
 }
@@ -38,8 +44,8 @@ TEST(CartMass, CustomFractions)
     cfg.magnet_fraction = 0.2;
     cfg.fin_fraction = 0.2;
     cfg.frame_mass = 0.05;
-    const auto b = cartMass(0.1, cfg);
-    EXPECT_NEAR(b.total_mass, 0.15 / 0.6, 1e-12);
+    const auto b = cartMass(qty::Kilograms{0.1}, cfg);
+    EXPECT_NEAR(b.total_mass.value(), 0.15 / 0.6, 1e-12);
 }
 
 TEST(CartMass, RejectsImpossibleFractions)
@@ -47,56 +53,61 @@ TEST(CartMass, RejectsImpossibleFractions)
     CartMassConfig cfg;
     cfg.magnet_fraction = 0.6;
     cfg.fin_fraction = 0.5;
-    EXPECT_THROW(cartMass(0.1, cfg), dhl::FatalError);
-    EXPECT_THROW(cartMass(-0.1), dhl::FatalError);
+    EXPECT_THROW(cartMass(qty::Kilograms{0.1}, cfg), dhl::FatalError);
+    EXPECT_THROW(cartMass(qty::Kilograms{-0.1}), dhl::FatalError);
 }
 
 TEST(DragLoss, PaperFormula)
 {
     // L_d = (g + 2 c2) M x / c1 with c2 = 0, c1 = 10.
     LevitationConfig cfg;
-    const double loss = dragLoss(0.282, 500.0, cfg);
-    EXPECT_NEAR(loss, 9.80665 * 0.282 * 500.0 / 10.0, 1e-9);
+    const qty::Joules loss = dragLoss(0.282_kg, 500.0_m, cfg);
+    EXPECT_NEAR(loss.value(), 9.80665 * 0.282 * 500.0 / 10.0, 1e-9);
 }
 
 TEST(DragLoss, NegligibleVsLaunchEnergy)
 {
     // The paper's claim: drag loss is negligible next to the 15 kJ
     // launch energy for the default cart.
-    const double loss = dragLoss(0.282, 500.0);
-    EXPECT_LT(loss, 0.01 * 15040.0);
+    const qty::Joules loss = dragLoss(0.282_kg, 500.0_m);
+    EXPECT_LT(loss.value(), 0.01 * 15040.0);
 }
 
 TEST(DragLoss, StabiliserForceIncreasesLoss)
 {
     LevitationConfig strong;
     strong.stabiliser_accel = 5.0;
-    EXPECT_GT(dragLoss(0.282, 500.0, strong), dragLoss(0.282, 500.0));
+    EXPECT_GT(dragLoss(0.282_kg, 500.0_m, strong).value(),
+              dragLoss(0.282_kg, 500.0_m).value());
 }
 
 TEST(DragLoss, ScalesLinearlyInMassAndDistance)
 {
-    EXPECT_NEAR(dragLoss(0.564, 500.0), 2.0 * dragLoss(0.282, 500.0),
-                1e-12);
-    EXPECT_NEAR(dragLoss(0.282, 1000.0), 2.0 * dragLoss(0.282, 500.0),
-                1e-12);
+    EXPECT_NEAR(dragLoss(0.564_kg, 500.0_m).value(),
+                2.0 * dragLoss(0.282_kg, 500.0_m).value(), 1e-12);
+    EXPECT_NEAR(dragLoss(0.282_kg, 1000.0_m).value(),
+                2.0 * dragLoss(0.282_kg, 500.0_m).value(), 1e-12);
 }
 
 TEST(LiftToDrag, SaturatesTowardsAsymptote)
 {
-    EXPECT_DOUBLE_EQ(liftToDragAtSpeed(0.0), 0.0);
-    EXPECT_NEAR(liftToDragAtSpeed(10.0, 50.0, 10.0), 25.0, 1e-12);
+    EXPECT_DOUBLE_EQ(liftToDragAtSpeed(0.0_mps), 0.0);
+    EXPECT_NEAR(liftToDragAtSpeed(10.0_mps, 50.0, 10.0_mps), 25.0, 1e-12);
     // Paper: ratio exceeds 50 at a few dozen m/s; our curve reaches
     // >80 % of the asymptote at 40 m/s.
-    EXPECT_GE(liftToDragAtSpeed(40.0, 50.0, 10.0), 0.8 * 50.0);
-    EXPECT_LT(liftToDragAtSpeed(1000.0, 50.0, 10.0), 50.0);
+    EXPECT_GE(liftToDragAtSpeed(40.0_mps, 50.0, 10.0_mps), 0.8 * 50.0);
+    EXPECT_LT(liftToDragAtSpeed(1000.0_mps, 50.0, 10.0_mps), 50.0);
 }
 
 TEST(RequiredMagnetFraction, TenPercentNeedsTenG)
 {
     // A 10 % magnet fraction suffices when magnets deliver ~10 g of
     // lift per unit mass (i.e. ~98 N/kg).
-    EXPECT_NEAR(requiredMagnetFraction(10.0 * 9.80665), 0.1, 1e-12);
-    EXPECT_THROW(requiredMagnetFraction(5.0), dhl::FatalError);
-    EXPECT_THROW(requiredMagnetFraction(0.0), dhl::FatalError);
+    EXPECT_NEAR(requiredMagnetFraction(
+                    qty::MetresPerSecondSquared{10.0 * 9.80665}),
+                0.1, 1e-12);
+    EXPECT_THROW(requiredMagnetFraction(qty::MetresPerSecondSquared{5.0}),
+                 dhl::FatalError);
+    EXPECT_THROW(requiredMagnetFraction(qty::MetresPerSecondSquared{0.0}),
+                 dhl::FatalError);
 }

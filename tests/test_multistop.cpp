@@ -60,9 +60,9 @@ TEST(MultiStopModelTest, LongHopMatchesSingleTrackModel)
     // 500 m DHL's trip.
     MultiStopModel m(fourStops());
     const HopMetrics h = m.hop(0, 3);
-    EXPECT_DOUBLE_EQ(h.peak_speed, 200.0);
-    EXPECT_NEAR(h.trip_time, 8.6, 1e-12);
-    EXPECT_NEAR(h.energy, 15040.0, 10.0);
+    EXPECT_DOUBLE_EQ(h.peak_speed.value(), 200.0);
+    EXPECT_NEAR(h.trip_time.value(), 8.6, 1e-12);
+    EXPECT_NEAR(h.energy.value(), 15040.0, 10.0);
 }
 
 TEST(MultiStopModelTest, ShortHopsClampSpeedAndEnergy)
@@ -72,11 +72,11 @@ TEST(MultiStopModelTest, ShortHopsClampSpeedAndEnergy)
     MultiStopModel m(cfg);
     const HopMetrics shorty = m.hop(0, 1);
     // 10 m at 1000 m/s^2 peaks at 100 m/s, not 200.
-    EXPECT_NEAR(shorty.peak_speed, 100.0, 1e-9);
+    EXPECT_NEAR(shorty.peak_speed.value(), 100.0, 1e-9);
     const HopMetrics longy = m.hop(1, 2);
-    EXPECT_DOUBLE_EQ(longy.peak_speed, 200.0);
+    EXPECT_DOUBLE_EQ(longy.peak_speed.value(), 200.0);
     // Lower peak speed -> quadratically lower launch energy.
-    EXPECT_LT(shorty.energy, 0.3 * longy.energy);
+    EXPECT_LT(shorty.energy.value(), 0.3 * longy.energy.value());
 }
 
 TEST(MultiStopModelTest, TourSumsHops)
@@ -86,11 +86,14 @@ TEST(MultiStopModelTest, TourSumsHops)
     const HopMetrics h01 = m.hop(0, 1);
     const HopMetrics h12 = m.hop(1, 2);
     const HopMetrics h20 = m.hop(2, 0);
-    EXPECT_NEAR(tour.distance,
-                h01.distance + h12.distance + h20.distance, 1e-9);
-    EXPECT_NEAR(tour.trip_time,
-                h01.trip_time + h12.trip_time + h20.trip_time, 1e-9);
-    EXPECT_NEAR(tour.energy, h01.energy + h12.energy + h20.energy, 1e-6);
+    EXPECT_NEAR(tour.distance.value(),
+                (h01.distance + h12.distance + h20.distance).value(),
+                1e-9);
+    EXPECT_NEAR(tour.trip_time.value(),
+                (h01.trip_time + h12.trip_time + h20.trip_time).value(),
+                1e-9);
+    EXPECT_NEAR(tour.energy.value(),
+                (h01.energy + h12.energy + h20.energy).value(), 1e-6);
     EXPECT_THROW(m.tour({0}), dhl::FatalError);
 }
 

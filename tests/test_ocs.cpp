@@ -13,6 +13,7 @@
 using namespace dhl;
 using namespace dhl::network;
 namespace u = dhl::units;
+namespace qty = dhl::qty;
 
 TEST(OcsConfigTest, Validation)
 {
@@ -30,20 +31,20 @@ TEST(OcsTest, CircuitPowerNearA0)
 {
     OcsModel ocs;
     // 2 x 12 W transceivers + 2 x 0.5 W crossbar ports.
-    EXPECT_NEAR(ocs.circuitPower(), 25.0, 1e-12);
+    EXPECT_NEAR(ocs.circuitPower().value(), 25.0, 1e-12);
     // A passive crossbar degenerates to exactly A0.
     OcsConfig passive;
     passive.port_power = 0.0;
-    EXPECT_NEAR(OcsModel(passive).circuitPower(),
-                findRoute("A0").power(), 1e-12);
+    EXPECT_NEAR(OcsModel(passive).circuitPower().value(),
+                findRoute("A0").power().value(), 1e-12);
 }
 
 TEST(OcsTest, TransferIncludesReconfiguration)
 {
     OcsModel ocs;
-    const auto r = ocs.transfer(u::terabytes(1));
-    EXPECT_NEAR(r.time, 0.010 + 1e12 / 50e9, 1e-9);
-    EXPECT_NEAR(r.energy, r.power * r.time, 1e-9);
+    const auto r = ocs.transfer(qty::terabytes(1.0));
+    EXPECT_NEAR(r.time.value(), 0.010 + 1e12 / 50e9, 1e-9);
+    EXPECT_NEAR(r.energy.value(), (r.power * r.time).value(), 1e-9);
 }
 
 TEST(OcsTest, BigSavingsOverDeepRoutes)
@@ -52,11 +53,11 @@ TEST(OcsTest, BigSavingsOverDeepRoutes)
     // approaches C/A0-ish power ratios (~20x).
     OcsModel ocs;
     const double saving =
-        ocs.savingVsRoute(findRoute("C"), u::petabytes(1));
+        ocs.savingVsRoute(findRoute("C"), qty::petabytes(1.0));
     EXPECT_GT(saving, 15.0);
     EXPECT_LT(saving, 25.0);
     // Against A0 itself there is (almost) nothing to save.
-    EXPECT_NEAR(ocs.savingVsRoute(findRoute("A0"), u::petabytes(1)),
+    EXPECT_NEAR(ocs.savingVsRoute(findRoute("A0"), qty::petabytes(1.0)),
                 24.0 / 25.0, 0.01);
 }
 
@@ -69,7 +70,7 @@ TEST(OcsTest, DhlStillWinsAgainstOcs)
     passive.port_power = 0.0;
     passive.reconfiguration_latency = 0.0;
     OcsModel ocs(passive);
-    const double bytes = u::petabytes(29);
+    const qty::Bytes bytes = qty::petabytes(29.0);
     const auto circuit = ocs.transfer(bytes);
 
     const core::AnalyticalModel dhl_model(core::defaultConfig());
@@ -81,10 +82,10 @@ TEST(OcsTest, DhlStillWinsAgainstOcs)
 TEST(OcsTest, ParallelCircuits)
 {
     OcsModel ocs;
-    const auto one = ocs.transfer(u::petabytes(1), 1.0);
-    const auto ten = ocs.transfer(u::petabytes(1), 10.0);
-    EXPECT_LT(ten.time, one.time);
-    EXPECT_NEAR(ten.power, 10.0 * one.power, 1e-9);
-    EXPECT_THROW(ocs.transfer(1e12, 0.0), dhl::FatalError);
-    EXPECT_THROW(ocs.transfer(-1.0), dhl::FatalError);
+    const auto one = ocs.transfer(qty::petabytes(1.0), 1.0);
+    const auto ten = ocs.transfer(qty::petabytes(1.0), 10.0);
+    EXPECT_LT(ten.time.value(), one.time.value());
+    EXPECT_NEAR(ten.power.value(), 10.0 * one.power.value(), 1e-9);
+    EXPECT_THROW(ocs.transfer(qty::terabytes(1.0), 0.0), dhl::FatalError);
+    EXPECT_THROW(ocs.transfer(qty::Bytes{-1.0}), dhl::FatalError);
 }

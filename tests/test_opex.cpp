@@ -14,6 +14,7 @@
 using namespace dhl;
 using namespace dhl::cost;
 namespace u = dhl::units;
+namespace qty = dhl::qty;
 
 namespace {
 
@@ -33,9 +34,9 @@ TEST(EnergyCostTest, KwhConversion)
 {
     TcoModel m;
     // 1 kWh = 3.6 MJ at $0.10.
-    EXPECT_NEAR(m.energyCost(3.6e6), 0.10, 1e-12);
-    EXPECT_DOUBLE_EQ(m.energyCost(0.0), 0.0);
-    EXPECT_THROW(m.energyCost(-1.0), dhl::FatalError);
+    EXPECT_NEAR(m.energyCost(qty::Joules{3.6e6}), 0.10, 1e-12);
+    EXPECT_DOUBLE_EQ(m.energyCost(qty::Joules{0.0}), 0.0);
+    EXPECT_THROW(m.energyCost(qty::Joules{-1.0}), dhl::FatalError);
 }
 
 TEST(TcoTest, DefaultDutyFavoursDhl)
@@ -57,7 +58,7 @@ TEST(TcoTest, EnergyRatioMatchesAnalyticalModel)
     const auto cmp = m.compare(core::defaultConfig(),
                                network::findRoute("C"), dailyDuty());
     const core::AnalyticalModel model(core::defaultConfig());
-    const auto rc = model.compareBulk(dailyDuty().bytes_per_transfer,
+    const auto rc = model.compareBulk(qty::Bytes{dailyDuty().bytes_per_transfer},
                                       network::findRoute("C"));
     EXPECT_NEAR(cmp.network.energy_per_day / cmp.dhl.energy_per_day,
                 rc.energy_reduction, rc.energy_reduction * 1e-9);
@@ -116,8 +117,8 @@ TEST(TcoTest, ScalesLinearlyWithDuty)
     duty.transfers_per_day *= 2.0;
     const auto doubled = m.compare(core::defaultConfig(),
                                    network::findRoute("B"), duty);
-    EXPECT_NEAR(doubled.dhl.energy_per_day,
-                2.0 * base.dhl.energy_per_day, 1e-6);
+    EXPECT_NEAR(doubled.dhl.energy_per_day.value(),
+                2.0 * base.dhl.energy_per_day.value(), 1e-6);
     EXPECT_NEAR(doubled.network.opex_per_year,
                 2.0 * base.network.opex_per_year, 1e-6);
 }

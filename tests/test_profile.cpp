@@ -12,47 +12,54 @@
 #include "physics/profile.hpp"
 
 using namespace dhl::physics;
+using namespace dhl::qty::literals;
+namespace qty = dhl::qty;
 
 TEST(LimLength, PaperValues)
 {
     // Paper §IV-A1: LIMs of 5 / 20 / 45 m for 100 / 200 / 300 m/s at
     // 1000 m/s^2.
-    EXPECT_DOUBLE_EQ(limLength(100, 1000), 5.0);
-    EXPECT_DOUBLE_EQ(limLength(200, 1000), 20.0);
-    EXPECT_DOUBLE_EQ(limLength(300, 1000), 45.0);
+    EXPECT_DOUBLE_EQ(limLength(100_mps, 1000_mps2).value(), 5.0);
+    EXPECT_DOUBLE_EQ(limLength(200_mps, 1000_mps2).value(), 20.0);
+    EXPECT_DOUBLE_EQ(limLength(300_mps, 1000_mps2).value(), 45.0);
 }
 
 TEST(LimLength, RejectsBadInputs)
 {
-    EXPECT_THROW(limLength(0, 1000), dhl::FatalError);
-    EXPECT_THROW(limLength(100, 0), dhl::FatalError);
-    EXPECT_THROW(limLength(-100, 1000), dhl::FatalError);
+    EXPECT_THROW(limLength(0_mps, 1000_mps2), dhl::FatalError);
+    EXPECT_THROW(limLength(100_mps, 0_mps2), dhl::FatalError);
+    EXPECT_THROW(limLength(-100.0_mps, 1000_mps2), dhl::FatalError);
 }
 
 TEST(PeakSpeed, ReachesVmaxOnLongTracks)
 {
-    EXPECT_DOUBLE_EQ(peakSpeed(500, 200, 1000), 200.0);
-    EXPECT_DOUBLE_EQ(peakSpeed(80, 200, 1000), 200.0); // exactly 2 LIMs
+    EXPECT_DOUBLE_EQ(peakSpeed(500_m, 200_mps, 1000_mps2).value(), 200.0);
+    // Exactly 2 LIMs.
+    EXPECT_DOUBLE_EQ(peakSpeed(80_m, 200_mps, 1000_mps2).value(), 200.0);
 }
 
 TEST(PeakSpeed, TriangularOnShortTracks)
 {
     // 40 m track cannot reach 200 m/s out-and-back: peak =
     // sqrt(40*1000).
-    EXPECT_NEAR(peakSpeed(40, 200, 1000), 200.0, 1e-9);
-    EXPECT_NEAR(peakSpeed(10, 200, 1000), 100.0, 1e-9);
+    EXPECT_NEAR(peakSpeed(40_m, 200_mps, 1000_mps2).value(), 200.0, 1e-9);
+    EXPECT_NEAR(peakSpeed(10_m, 200_mps, 1000_mps2).value(), 100.0, 1e-9);
 }
 
 TEST(TravelTime, PaperApproxMatchesTableVi)
 {
     // Trip times in Table VI are 6 s docking + these travel times.
     const auto mode = KinematicsMode::PaperApprox;
-    EXPECT_NEAR(travelTime(500, 100, 1000, mode), 5.05, 1e-12);
-    EXPECT_NEAR(travelTime(500, 200, 1000, mode), 2.60, 1e-12);
-    EXPECT_NEAR(travelTime(500, 300, 1000, mode), 500.0 / 300.0 + 0.15,
+    EXPECT_NEAR(travelTime(500_m, 100_mps, 1000_mps2, mode).value(), 5.05,
                 1e-12);
-    EXPECT_NEAR(travelTime(100, 200, 1000, mode), 0.60, 1e-12);
-    EXPECT_NEAR(travelTime(1000, 200, 1000, mode), 5.10, 1e-12);
+    EXPECT_NEAR(travelTime(500_m, 200_mps, 1000_mps2, mode).value(), 2.60,
+                1e-12);
+    EXPECT_NEAR(travelTime(500_m, 300_mps, 1000_mps2, mode).value(),
+                500.0 / 300.0 + 0.15, 1e-12);
+    EXPECT_NEAR(travelTime(100_m, 200_mps, 1000_mps2, mode).value(), 0.60,
+                1e-12);
+    EXPECT_NEAR(travelTime(1000_m, 200_mps, 1000_mps2, mode).value(), 5.10,
+                1e-12);
 }
 
 TEST(TravelTime, TrapezoidIsSlowerThanPaperApprox)
@@ -60,71 +67,73 @@ TEST(TravelTime, TrapezoidIsSlowerThanPaperApprox)
     // The exact profile charges v/a of overhead, the paper's
     // approximation only v/(2a).
     for (double v : {100.0, 200.0, 300.0}) {
-        const double exact =
-            travelTime(500, v, 1000, KinematicsMode::Trapezoid);
-        const double paper =
-            travelTime(500, v, 1000, KinematicsMode::PaperApprox);
-        EXPECT_GT(exact, paper);
-        EXPECT_NEAR(exact - paper, v / 2000.0, 1e-12);
+        const qty::Seconds exact =
+            travelTime(500_m, qty::MetresPerSecond{v}, 1000_mps2,
+                       KinematicsMode::Trapezoid);
+        const qty::Seconds paper =
+            travelTime(500_m, qty::MetresPerSecond{v}, 1000_mps2,
+                       KinematicsMode::PaperApprox);
+        EXPECT_GT(exact.value(), paper.value());
+        EXPECT_NEAR((exact - paper).value(), v / 2000.0, 1e-12);
     }
 }
 
 TEST(TravelTime, TriangularWhenTrackTooShort)
 {
     // Both modes agree on triangular profiles.
-    const double t_paper =
-        travelTime(10, 200, 1000, KinematicsMode::PaperApprox);
-    const double t_trap =
-        travelTime(10, 200, 1000, KinematicsMode::Trapezoid);
-    EXPECT_DOUBLE_EQ(t_paper, t_trap);
-    EXPECT_NEAR(t_paper, 2.0 * std::sqrt(10.0 / 1000.0), 1e-12);
+    const qty::Seconds t_paper =
+        travelTime(10_m, 200_mps, 1000_mps2, KinematicsMode::PaperApprox);
+    const qty::Seconds t_trap =
+        travelTime(10_m, 200_mps, 1000_mps2, KinematicsMode::Trapezoid);
+    EXPECT_DOUBLE_EQ(t_paper.value(), t_trap.value());
+    EXPECT_NEAR(t_paper.value(), 2.0 * std::sqrt(10.0 / 1000.0), 1e-12);
 }
 
 TEST(VelocityProfileTest, TrapezoidStructure)
 {
-    VelocityProfile p(500, 200, 1000);
-    EXPECT_DOUBLE_EQ(p.peakSpeed(), 200.0);
-    EXPECT_DOUBLE_EQ(p.accelTime(), 0.2);
-    EXPECT_DOUBLE_EQ(p.cruiseTime(), 460.0 / 200.0);
-    EXPECT_DOUBLE_EQ(p.totalTime(), 0.4 + 2.3);
+    VelocityProfile p(500_m, 200_mps, 1000_mps2);
+    EXPECT_DOUBLE_EQ(p.peakSpeed().value(), 200.0);
+    EXPECT_DOUBLE_EQ(p.accelTime().value(), 0.2);
+    EXPECT_DOUBLE_EQ(p.cruiseTime().value(), 460.0 / 200.0);
+    EXPECT_DOUBLE_EQ(p.totalTime().value(), 0.4 + 2.3);
 }
 
 TEST(VelocityProfileTest, VelocityEndpointsAreZero)
 {
-    VelocityProfile p(500, 200, 1000);
-    EXPECT_DOUBLE_EQ(p.velocityAt(0.0), 0.0);
-    EXPECT_DOUBLE_EQ(p.velocityAt(p.totalTime()), 0.0);
-    EXPECT_DOUBLE_EQ(p.velocityAt(-1.0), 0.0);
-    EXPECT_DOUBLE_EQ(p.velocityAt(p.totalTime() + 1.0), 0.0);
+    VelocityProfile p(500_m, 200_mps, 1000_mps2);
+    EXPECT_DOUBLE_EQ(p.velocityAt(0.0_s).value(), 0.0);
+    EXPECT_DOUBLE_EQ(p.velocityAt(p.totalTime()).value(), 0.0);
+    EXPECT_DOUBLE_EQ(p.velocityAt(-1.0_s).value(), 0.0);
+    EXPECT_DOUBLE_EQ(p.velocityAt(p.totalTime() + 1.0_s).value(), 0.0);
 }
 
 TEST(VelocityProfileTest, VelocityMidpointsMatchPhases)
 {
-    VelocityProfile p(500, 200, 1000);
-    EXPECT_DOUBLE_EQ(p.velocityAt(0.1), 100.0);  // mid-acceleration
-    EXPECT_DOUBLE_EQ(p.velocityAt(1.0), 200.0);  // cruise
-    EXPECT_NEAR(p.velocityAt(p.totalTime() - 0.1), 100.0, 1e-9);
+    VelocityProfile p(500_m, 200_mps, 1000_mps2);
+    EXPECT_DOUBLE_EQ(p.velocityAt(0.1_s).value(), 100.0); // mid-accel
+    EXPECT_DOUBLE_EQ(p.velocityAt(1.0_s).value(), 200.0); // cruise
+    EXPECT_NEAR(p.velocityAt(p.totalTime() - 0.1_s).value(), 100.0, 1e-9);
 }
 
 TEST(VelocityProfileTest, PositionMonotoneAndComplete)
 {
-    VelocityProfile p(500, 200, 1000);
-    EXPECT_DOUBLE_EQ(p.positionAt(0.0), 0.0);
-    EXPECT_DOUBLE_EQ(p.positionAt(p.totalTime()), 500.0);
+    VelocityProfile p(500_m, 200_mps, 1000_mps2);
+    EXPECT_DOUBLE_EQ(p.positionAt(0.0_s).value(), 0.0);
+    EXPECT_DOUBLE_EQ(p.positionAt(p.totalTime()).value(), 500.0);
     double prev = -1.0;
-    for (double t = 0.0; t <= p.totalTime(); t += 0.01) {
-        const double x = p.positionAt(t);
+    for (double t = 0.0; t <= p.totalTime().value(); t += 0.01) {
+        const double x = p.positionAt(dhl::qty::Seconds{t}).value();
         EXPECT_GE(x, prev);
         prev = x;
     }
     // End of acceleration covers exactly one LIM length.
-    EXPECT_NEAR(p.positionAt(p.accelTime()), 20.0, 1e-9);
+    EXPECT_NEAR(p.positionAt(p.accelTime()).value(), 20.0, 1e-9);
 }
 
 TEST(VelocityProfileTest, TriangularProfile)
 {
-    VelocityProfile p(10, 200, 1000);
-    EXPECT_NEAR(p.peakSpeed(), 100.0, 1e-9);
-    EXPECT_DOUBLE_EQ(p.cruiseTime(), 0.0);
-    EXPECT_NEAR(p.positionAt(p.totalTime()), 10.0, 1e-9);
+    VelocityProfile p(10_m, 200_mps, 1000_mps2);
+    EXPECT_NEAR(p.peakSpeed().value(), 100.0, 1e-9);
+    EXPECT_DOUBLE_EQ(p.cruiseTime().value(), 0.0);
+    EXPECT_NEAR(p.positionAt(p.totalTime()).value(), 10.0, 1e-9);
 }

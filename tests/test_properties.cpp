@@ -99,8 +99,8 @@ TEST(ConfigIoTest, DefaultsRoundTripExactly)
     EXPECT_DOUBLE_EQ(loaded.ssd.mass, original.ssd.mass);
     EXPECT_EQ(loaded.track_mode, original.track_mode);
     EXPECT_EQ(loaded.docking_stations, original.docking_stations);
-    EXPECT_DOUBLE_EQ(loaded.cartMass(), original.cartMass());
-    EXPECT_NEAR(loaded.tripTime(), original.tripTime(), 1e-12);
+    EXPECT_DOUBLE_EQ(loaded.cartMass().value(), original.cartMass().value());
+    EXPECT_NEAR(loaded.tripTime().value(), original.tripTime().value(), 1e-12);
 }
 
 TEST(ConfigIoTest, CustomConfigRoundTrips)

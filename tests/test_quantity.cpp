@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Tests for the compile-time dimensional quantity layer
+ * (common/quantity.hpp): arithmetic, dimension algebra, comparisons,
+ * UDLs, conversions, and the formatting overloads.
+ *
+ * The *negative* side of the contract — `Seconds + Joules`,
+ * bits-assigned-to-bytes, and implicit double construction must not
+ * compile — is pinned by the try_compile checks in
+ * tests/compile_fail/CMakeLists.txt.
+ */
+
+#include "common/quantity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+#include "common/units.hpp"
+
+namespace dhl {
+namespace {
+
+using namespace qty::literals;
+
+TEST(Quantity, IsExactlyOneDoubleWide)
+{
+    static_assert(sizeof(qty::Seconds) == sizeof(double));
+    static_assert(sizeof(qty::Joules) == sizeof(double));
+    static_assert(sizeof(qty::BytesPerSecond) == sizeof(double));
+    static_assert(std::is_trivially_copyable_v<qty::Watts>);
+}
+
+TEST(Quantity, DefaultConstructsToZero)
+{
+    qty::Joules e;
+    EXPECT_EQ(e.value(), 0.0);
+}
+
+TEST(Quantity, SameDimensionArithmetic)
+{
+    const qty::Seconds a{3.0};
+    const qty::Seconds b{4.5};
+    EXPECT_DOUBLE_EQ((a + b).value(), 7.5);
+    EXPECT_DOUBLE_EQ((b - a).value(), 1.5);
+    EXPECT_DOUBLE_EQ((-a).value(), -3.0);
+    EXPECT_DOUBLE_EQ((+a).value(), 3.0);
+
+    qty::Seconds acc{1.0};
+    acc += a;
+    EXPECT_DOUBLE_EQ(acc.value(), 4.0);
+    acc -= b;
+    EXPECT_DOUBLE_EQ(acc.value(), -0.5);
+}
+
+TEST(Quantity, ScalarScaling)
+{
+    const qty::Metres d{100.0};
+    EXPECT_DOUBLE_EQ((d * 3.0).value(), 300.0);
+    EXPECT_DOUBLE_EQ((3.0 * d).value(), 300.0);
+    EXPECT_DOUBLE_EQ((d / 4.0).value(), 25.0);
+
+    qty::Metres m{10.0};
+    m *= 2.0;
+    EXPECT_DOUBLE_EQ(m.value(), 20.0);
+    m /= 5.0;
+    EXPECT_DOUBLE_EQ(m.value(), 4.0);
+}
+
+TEST(Quantity, DimensionAlgebra)
+{
+    // v = d / t.
+    const qty::MetresPerSecond v = qty::Metres{500.0} / qty::Seconds{2.5};
+    EXPECT_DOUBLE_EQ(v.value(), 200.0);
+
+    // E = P * t and P = E / t.
+    const qty::Joules e = qty::Watts{100.0} * qty::Seconds{30.0};
+    EXPECT_DOUBLE_EQ(e.value(), 3000.0);
+    const qty::Watts p = e / qty::Seconds{60.0};
+    EXPECT_DOUBLE_EQ(p.value(), 50.0);
+
+    // Kinetic energy: kg * (m/s)^2 is J.
+    const qty::Joules ke =
+        0.5 * (qty::Kilograms{0.282} * (200.0_mps * 200.0_mps));
+    EXPECT_DOUBLE_EQ(ke.value(), 0.5 * 0.282 * 200.0 * 200.0);
+
+    // The §V-E break-even: J * (B/s) / W is B.
+    const qty::Bytes be =
+        qty::Joules{1000.0} * qty::BytesPerSecond{5e10} / qty::Watts{100.0};
+    EXPECT_DOUBLE_EQ(be.value(), 5e11);
+
+    // Pressure times volume is energy.
+    const qty::Joules pv = qty::Pascals{101325.0} * qty::CubicMetres{2.0};
+    EXPECT_DOUBLE_EQ(pv.value(), 202650.0);
+}
+
+TEST(Quantity, SameDimensionRatioIsPlainDouble)
+{
+    const double speedup = qty::Seconds{580000.0} / qty::Seconds{290.0};
+    EXPECT_DOUBLE_EQ(speedup, 2000.0);
+    static_assert(
+        std::is_same_v<decltype(qty::Joules{1.0} / qty::Joules{2.0}),
+                       double>);
+}
+
+TEST(Quantity, DimensionlessConvertsImplicitly)
+{
+    const qty::Dimensionless ratio{0.75};
+    const double r = ratio;
+    EXPECT_DOUBLE_EQ(r, 0.75);
+}
+
+TEST(Quantity, Comparisons)
+{
+    const qty::Bytes small{1e12};
+    const qty::Bytes big{29e15};
+    EXPECT_TRUE(small < big);
+    EXPECT_TRUE(big > small);
+    EXPECT_TRUE(small <= small);
+    EXPECT_TRUE(small >= small);
+    EXPECT_TRUE(small == qty::Bytes{1e12});
+    EXPECT_TRUE(small != big);
+}
+
+TEST(Quantity, MathHelpers)
+{
+    EXPECT_DOUBLE_EQ(qty::abs(qty::Joules{-5.0}).value(), 5.0);
+    EXPECT_DOUBLE_EQ(
+        qty::min(qty::Seconds{2.0}, qty::Seconds{3.0}).value(), 2.0);
+    EXPECT_DOUBLE_EQ(
+        qty::max(qty::Seconds{2.0}, qty::Seconds{3.0}).value(), 3.0);
+
+    // sqrt(L * a) is a speed; sqrt(L / a) is a time (the triangular
+    // profile formulas).
+    const qty::MetresPerSecond v_peak =
+        qty::sqrt(qty::Metres{100.0} * qty::MetresPerSecondSquared{1000.0});
+    EXPECT_DOUBLE_EQ(v_peak.value(), std::sqrt(100.0 * 1000.0));
+    const qty::Seconds t =
+        qty::sqrt(qty::Metres{100.0} / qty::MetresPerSecondSquared{1000.0});
+    EXPECT_DOUBLE_EQ(t.value(), std::sqrt(0.1));
+}
+
+TEST(Quantity, UserDefinedLiterals)
+{
+    EXPECT_DOUBLE_EQ((5.0_s).value(), 5.0);
+    EXPECT_DOUBLE_EQ((120.0_ms).value(), 0.12);
+    EXPECT_DOUBLE_EQ((1.0_h).value(), 3600.0);
+    EXPECT_DOUBLE_EQ((500.0_m).value(), 500.0);
+    EXPECT_DOUBLE_EQ((200.0_mps).value(), 200.0);
+    EXPECT_DOUBLE_EQ((1000.0_mps2).value(), 1000.0);
+    EXPECT_DOUBLE_EQ((282.0_g).value(), 0.282);
+    EXPECT_DOUBLE_EQ((15.0_kJ).value(), 15000.0);
+    EXPECT_DOUBLE_EQ((13.92_MJ).value(), 13.92e6);
+    EXPECT_DOUBLE_EQ((210.0_kW).value(), 210000.0);
+    EXPECT_DOUBLE_EQ((29.0_PB).value(), 29e15);
+    EXPECT_DOUBLE_EQ((256.0_TB).value(), 256e12);
+    EXPECT_DOUBLE_EQ((1.0_mbar).value(), 100.0);
+
+    // The paper's convention note: 29 PB over 400 Gbit/s is 580,000 s.
+    const qty::Seconds xfer =
+        29.0_PB / qty::toBytesPerSecond(400.0_Gbps);
+    EXPECT_DOUBLE_EQ(xfer.value(), 580000.0);
+}
+
+TEST(Quantity, BitsBytesConversionsAreExplicitAndExact)
+{
+    EXPECT_DOUBLE_EQ(qty::toBytes(qty::Bits{8.0}).value(), 1.0);
+    EXPECT_DOUBLE_EQ(qty::toBits(qty::Bytes{1.0}).value(), 8.0);
+    EXPECT_DOUBLE_EQ(qty::toBytesPerSecond(400.0_Gbps).value(), 5e10);
+    EXPECT_DOUBLE_EQ(
+        qty::toBitsPerSecond(qty::BytesPerSecond{5e10}).value(), 400e9);
+}
+
+TEST(Quantity, TypedConstants)
+{
+    EXPECT_DOUBLE_EQ(qty::kGravity.value(), units::kGravity);
+    EXPECT_DOUBLE_EQ(qty::kAtmosphere.value(), units::kAtmospherePa);
+}
+
+TEST(Quantity, FormattingOverloadsMatchDoubleVersions)
+{
+    EXPECT_EQ(units::formatBytes(29.0_PB), units::formatBytes(29e15));
+    EXPECT_EQ(units::formatDuration(8.6_s), units::formatDuration(8.6));
+    EXPECT_EQ(units::formatEnergy(13.92_MJ), units::formatEnergy(13.92e6));
+    EXPECT_EQ(units::formatPower(1.75_kW), units::formatPower(1750.0));
+    EXPECT_EQ(units::formatBandwidth(qty::BytesPerSecond{30e12}),
+              units::formatBandwidth(30e12));
+}
+
+TEST(Quantity, ReadoutHelpers)
+{
+    EXPECT_DOUBLE_EQ(units::toHours(2.0_h), 2.0);
+    EXPECT_DOUBLE_EQ(units::toDays(86400.0_s), 1.0);
+    EXPECT_DOUBLE_EQ(units::toKilojoules(15.0_kJ), 15.0);
+    EXPECT_DOUBLE_EQ(units::toMegajoules(13.92_MJ), 13.92);
+    EXPECT_DOUBLE_EQ(units::toKilowatts(22.0_kW), 22.0);
+    EXPECT_DOUBLE_EQ(
+        units::toGigabitsPerSecond(qty::BytesPerSecond{5e10}), 400.0);
+    // Same operation order as the double overload: bit-identical.
+    EXPECT_EQ(units::gbPerJoule(29.0_PB, 13.92_MJ),
+              units::gbPerJoule(29e15, 13.92e6));
+}
+
+TEST(Quantity, ConstexprThroughout)
+{
+    constexpr qty::Joules e = qty::Watts{2.0} * qty::Seconds{3.0};
+    static_assert(e.value() == 6.0);
+    constexpr double ratio = qty::Metres{10.0} / qty::Metres{4.0};
+    static_assert(ratio == 2.5);
+    constexpr qty::Bytes cap = 32.0 * 8.0_TB;
+    static_assert(cap.value() == 256e12);
+}
+
+} // namespace
+} // namespace dhl

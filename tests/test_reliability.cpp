@@ -74,8 +74,8 @@ TEST(AvailabilityTest, DeratedBandwidth)
     AvailabilityModel m(defaultConfig());
     const AnalyticalModel ideal(defaultConfig());
     const double derated = m.deratedBandwidth();
-    EXPECT_LT(derated, ideal.launch().bandwidth);
-    EXPECT_GT(derated, 0.999 * ideal.launch().bandwidth);
+    EXPECT_LT(derated, ideal.launch().bandwidth.value());
+    EXPECT_GT(derated, 0.999 * ideal.launch().bandwidth.value());
 }
 
 TEST(AvailabilityTest, PerfectComponentsGiveFullAvailability)

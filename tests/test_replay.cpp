@@ -61,8 +61,9 @@ TEST(ReplayNetworkAnalytical, MatchesTransferModel)
     const network::TransferModel model(network::findRoute("B"));
     double expect_busy = 0.0, expect_energy = 0.0;
     for (const auto &r : threeBackups()) {
-        expect_busy += model.transfer(r.bytes).time;
-        expect_energy += model.transfer(r.bytes).energy;
+        expect_busy += model.transfer(dhl::qty::Bytes{r.bytes}).time.value();
+        expect_energy +=
+            model.transfer(dhl::qty::Bytes{r.bytes}).energy.value();
     }
     EXPECT_NEAR(s.busy_time, expect_busy, 1e-6);
     EXPECT_NEAR(s.energy, expect_energy, 1e-3);

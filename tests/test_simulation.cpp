@@ -33,10 +33,10 @@ TEST(DhlSimulationTest, SerialMatchesAnalyticalBulk)
     const auto des = sim.runBulkTransfer(dataset);
 
     const AnalyticalModel model(cfg);
-    const auto closed = model.bulk(dataset);
+    const auto closed = model.bulk(dhl::qty::Bytes{dataset});
     EXPECT_EQ(des.launches, closed.total_trips);
-    EXPECT_NEAR(des.total_time, closed.total_time, 1e-6);
-    EXPECT_NEAR(des.total_energy, closed.total_energy, 1e-3);
+    EXPECT_NEAR(des.total_time, closed.total_time.value(), 1e-6);
+    EXPECT_NEAR(des.total_energy, closed.total_energy.value(), 1e-3);
 }
 
 TEST(DhlSimulationTest, ReadTimeAccountedWhenRequested)

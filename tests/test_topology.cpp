@@ -37,7 +37,8 @@ TEST(FatTreeTest, SameRackIsOneSwitch)
     const auto p = ft.path({0, 0, 0}, {0, 0, 1});
     EXPECT_EQ(p.switch_nodes.size(), 1u);
     // Single-switch transit = route A2's power.
-    EXPECT_NEAR(p.route.power(), findRoute("A2").power(), 1e-9);
+    EXPECT_NEAR(p.route.power().value(), findRoute("A2").power().value(),
+                1e-9);
 }
 
 TEST(FatTreeTest, SameAisleIsThreeSwitches)
@@ -45,7 +46,8 @@ TEST(FatTreeTest, SameAisleIsThreeSwitches)
     FatTree ft;
     const auto p = ft.path({0, 0, 0}, {0, 2, 1});
     EXPECT_EQ(p.switch_nodes.size(), 3u);
-    EXPECT_NEAR(p.route.power(), findRoute("B").power(), 1e-9);
+    EXPECT_NEAR(p.route.power().value(), findRoute("B").power().value(),
+                1e-9);
 }
 
 TEST(FatTreeTest, CrossAisleIsFiveSwitches)
@@ -53,7 +55,8 @@ TEST(FatTreeTest, CrossAisleIsFiveSwitches)
     FatTree ft;
     const auto p = ft.path({0, 0, 0}, {1, 3, 2});
     EXPECT_EQ(p.switch_nodes.size(), 5u);
-    EXPECT_NEAR(p.route.power(), findRoute("C").power(), 1e-9);
+    EXPECT_NEAR(p.route.power().value(), findRoute("C").power().value(),
+                1e-9);
 }
 
 TEST(FatTreeTest, HopSwitchesHelper)
@@ -69,7 +72,7 @@ TEST(FatTreeTest, PathIsSymmetricInPower)
     FatTree ft;
     const auto ab = ft.path({0, 0, 0}, {1, 2, 1});
     const auto ba = ft.path({1, 2, 1}, {0, 0, 0});
-    EXPECT_NEAR(ab.route.power(), ba.route.power(), 1e-9);
+    EXPECT_NEAR(ab.route.power().value(), ba.route.power().value(), 1e-9);
     EXPECT_EQ(ab.switch_nodes.size(), ba.switch_nodes.size());
 }
 

@@ -11,25 +11,28 @@
 
 using namespace dhl::network;
 namespace u = dhl::units;
+namespace qty = dhl::qty;
+using namespace dhl::qty::literals;
 
 TEST(TransferModelTest, SingleLink29Pb)
 {
     TransferModel m(findRoute("A0"));
-    const auto r = m.transfer(u::petabytes(29));
-    EXPECT_DOUBLE_EQ(r.time, 580000.0);
-    EXPECT_NEAR(u::toDays(r.time), 6.71, 0.005);
+    const auto r = m.transfer(qty::petabytes(29.0));
+    EXPECT_DOUBLE_EQ(r.time.value(), 580000.0);
+    EXPECT_NEAR(u::toDays(r.time.value()), 6.71, 0.005);
     EXPECT_NEAR(u::toMegajoules(r.energy), 13.92, 0.005);
-    EXPECT_DOUBLE_EQ(r.bandwidth, u::gigabitsPerSecond(400));
+    EXPECT_DOUBLE_EQ(r.bandwidth.value(), u::gigabitsPerSecond(400));
 }
 
 TEST(TransferModelTest, ParallelLinksCutTimeNotEnergy)
 {
     TransferModel m(findRoute("B"));
-    const auto one = m.transfer(u::petabytes(29), 1.0);
-    const auto ten = m.transfer(u::petabytes(29), 10.0);
-    EXPECT_NEAR(ten.time, one.time / 10.0, 1e-6);
-    EXPECT_NEAR(ten.energy, one.energy, 1e-3); // energy is invariant
-    EXPECT_NEAR(ten.power, 10.0 * one.power, 1e-9);
+    const auto one = m.transfer(qty::petabytes(29.0), 1.0);
+    const auto ten = m.transfer(qty::petabytes(29.0), 10.0);
+    EXPECT_NEAR(ten.time.value(), one.time.value() / 10.0, 1e-6);
+    // Energy is invariant under parallelisation.
+    EXPECT_NEAR(ten.energy.value(), one.energy.value(), 1e-3);
+    EXPECT_NEAR(ten.power.value(), 10.0 * one.power.value(), 1e-9);
 }
 
 TEST(TransferModelTest, PaperParallelisationArgument)
@@ -38,34 +41,36 @@ TEST(TransferModelTest, PaperParallelisationArgument)
     // (>64 Tbit/s).
     TransferModel m(findRoute("A0"));
     const double speedup =
-        m.speedupForTargetTime(u::petabytes(29), u::hours(1));
+        m.speedupForTargetTime(qty::petabytes(29.0), qty::hours(1.0));
     EXPECT_NEAR(speedup, 161.0, 0.5);
     const double needed_rate =
-        u::toGigabitsPerSecond(speedup * m.linkRate());
+        u::toGigabitsPerSecond(speedup * m.linkRate().value());
     EXPECT_GT(needed_rate, 64000.0); // > 64 Tbit/s
 }
 
 TEST(TransferModelTest, LinksWithinPower)
 {
     TransferModel m(findRoute("A0")); // 24 W per link
-    EXPECT_NEAR(m.linksWithinPower(1750.0), 1750.0 / 24.0, 1e-9);
-    EXPECT_THROW(m.linksWithinPower(0.0), dhl::FatalError);
+    EXPECT_NEAR(m.linksWithinPower(1750.0_W), 1750.0 / 24.0, 1e-9);
+    EXPECT_THROW(m.linksWithinPower(0.0_W), dhl::FatalError);
 }
 
 TEST(TransferModelTest, LinksForTime)
 {
     TransferModel m(findRoute("A0"));
-    const double links = m.linksForTime(u::petabytes(29), u::hours(1));
+    const double links =
+        m.linksForTime(qty::petabytes(29.0), qty::hours(1.0));
     // Moving 29 PB in 1 h at 50 GB/s per link.
     EXPECT_NEAR(links, 29e15 / (50e9 * 3600.0), 1e-9);
-    EXPECT_THROW(m.linksForTime(1e15, 0.0), dhl::FatalError);
+    EXPECT_THROW(m.linksForTime(qty::Bytes{1e15}, 0.0_s),
+                 dhl::FatalError);
 }
 
 TEST(TransferModelTest, EnergyScalesWithRoutePower)
 {
     TransferModel a0(findRoute("A0"));
     TransferModel c(findRoute("C"));
-    const double bytes = u::petabytes(1);
+    const qty::Bytes bytes = qty::petabytes(1.0);
     const double ratio =
         c.transfer(bytes).energy / a0.transfer(bytes).energy;
     EXPECT_NEAR(ratio, 516.2875 / 24.0, 1e-9);
@@ -74,9 +79,9 @@ TEST(TransferModelTest, EnergyScalesWithRoutePower)
 TEST(TransferModelTest, RejectsBadInputs)
 {
     TransferModel m(findRoute("A0"));
-    EXPECT_THROW(m.transfer(-1.0), dhl::FatalError);
-    EXPECT_THROW(m.transfer(1e12, 0.0), dhl::FatalError);
+    EXPECT_THROW(m.transfer(qty::Bytes{-1.0}), dhl::FatalError);
+    EXPECT_THROW(m.transfer(qty::Bytes{1e12}, 0.0), dhl::FatalError);
     PowerConstants pc;
-    pc.link_rate = 0.0;
+    pc.link_rate = qty::BytesPerSecond{0.0};
     EXPECT_THROW(TransferModel(findRoute("A0"), pc), dhl::FatalError);
 }

@@ -121,3 +121,47 @@ TEST(UnitsFormat, NonFinite)
     EXPECT_EQ(u::formatSig(-std::numeric_limits<double>::infinity()),
               "-inf");
 }
+
+TEST(UnitsFormat, NonFiniteScaledStaysBare)
+{
+    // A non-finite magnitude must never be scaled into a unit ("inf PB"
+    // would imply a finite order of magnitude that does not exist).
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_EQ(u::formatBytes(nan), "nan");
+    EXPECT_EQ(u::formatBytes(inf), "inf");
+    EXPECT_EQ(u::formatBytes(-inf), "-inf");
+    EXPECT_EQ(u::formatDuration(nan), "nan");
+    EXPECT_EQ(u::formatDuration(inf), "inf");
+    EXPECT_EQ(u::formatEnergy(inf), "inf");
+    EXPECT_EQ(u::formatPower(-inf), "-inf");
+    EXPECT_EQ(u::formatBandwidth(nan), "nan");
+}
+
+TEST(UnitsFormat, ZeroCarriesBaseUnit)
+{
+    EXPECT_EQ(u::formatBytes(0.0), "0 B");
+    EXPECT_EQ(u::formatDuration(0.0), "0 s");
+    EXPECT_EQ(u::formatEnergy(0.0), "0 J");
+    EXPECT_EQ(u::formatPower(0.0), "0 W");
+    EXPECT_EQ(u::formatBandwidth(0.0), "0 B/s");
+}
+
+TEST(UnitsFormat, NegativeValuesScaleByMagnitude)
+{
+    // The sign must not defeat unit selection (fabs drives the
+    // threshold comparison, the sign rides along in the mantissa).
+    EXPECT_EQ(u::formatBytes(-256e12), "-256 TB");
+    EXPECT_EQ(u::formatDuration(-90.0), "-1.5 min");
+    EXPECT_EQ(u::formatEnergy(-15040.0), "-15.04 kJ");
+    EXPECT_EQ(u::formatPower(-1750.0), "-1.75 kW");
+}
+
+TEST(UnitsFormat, SubMillisecondDurations)
+{
+    EXPECT_EQ(u::formatDuration(1.5e-3), "1.5 ms");
+    EXPECT_EQ(u::formatDuration(500e-6), "500 us");
+    EXPECT_EQ(u::formatDuration(250e-9), "250 ns");
+    // Below the smallest step the base unit takes over.
+    EXPECT_EQ(u::formatDuration(5e-10), "5e-10 s");
+}

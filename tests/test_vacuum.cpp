@@ -14,42 +14,44 @@
 
 using namespace dhl::physics;
 namespace u = dhl::units;
+namespace qty = dhl::qty;
+using namespace dhl::qty::literals;
 
 TEST(TubeVolume, CylinderGeometry)
 {
     VacuumConfig cfg;
     cfg.tube_diameter = 0.30;
-    const double v = tubeVolume(500.0, cfg);
-    EXPECT_NEAR(v, M_PI * 0.15 * 0.15 * 500.0, 1e-9);
-    EXPECT_DOUBLE_EQ(tubeVolume(0.0, cfg), 0.0);
+    const qty::CubicMetres v = tubeVolume(500.0_m, cfg);
+    EXPECT_NEAR(v.value(), M_PI * 0.15 * 0.15 * 500.0, 1e-9);
+    EXPECT_DOUBLE_EQ(tubeVolume(0.0_m, cfg).value(), 0.0);
 }
 
 TEST(PumpDown, IsothermalWork)
 {
     VacuumConfig cfg; // 1 mbar, 30 % pump efficiency
-    const double e = pumpDownEnergy(500.0, cfg);
-    const double v = tubeVolume(500.0, cfg);
-    const double ideal =
-        u::kAtmospherePa * v * std::log(u::kAtmospherePa / 100.0);
-    EXPECT_NEAR(e, ideal / 0.30, 1e-6);
-    EXPECT_GT(e, ideal); // pump inefficiency
+    const qty::Joules e = pumpDownEnergy(500.0_m, cfg);
+    const qty::CubicMetres v = tubeVolume(500.0_m, cfg);
+    const double ideal = u::kAtmospherePa * v.value() *
+                         std::log(u::kAtmospherePa / 100.0);
+    EXPECT_NEAR(e.value(), ideal / 0.30, 1e-6);
+    EXPECT_GT(e.value(), ideal); // pump inefficiency
 }
 
 TEST(PumpDown, OneOffCostIsModest)
 {
     // Even the one-off pump-down of a 500 m tube is tens of MJ — the
     // cost of a handful of 29 PB optical transfers — and is paid once.
-    const double e = pumpDownEnergy(500.0);
-    EXPECT_LT(e, 100e6);
+    const qty::Joules e = pumpDownEnergy(500.0_m);
+    EXPECT_LT(e.value(), 100e6);
 }
 
 TEST(MaintenancePower, NegligibleVsDhlAveragePower)
 {
     // The paper's operating assumption: holding the vacuum draws far
     // less than the DHL's ~1.75 kW average shuttle power.
-    const double p = maintenancePower(500.0);
-    EXPECT_LT(p, 100.0);
-    EXPECT_GT(p, 0.0);
+    const qty::Watts p = maintenancePower(500.0_m);
+    EXPECT_LT(p.value(), 100.0);
+    EXPECT_GT(p.value(), 0.0);
 }
 
 TEST(MaintenancePower, ScalesWithLeakRate)
@@ -58,21 +60,27 @@ TEST(MaintenancePower, ScalesWithLeakRate)
     tight.leak_volumes_per_day = 0.01;
     VacuumConfig leaky;
     leaky.leak_volumes_per_day = 0.10;
-    EXPECT_NEAR(maintenancePower(500.0, leaky),
-                10.0 * maintenancePower(500.0, tight), 1e-9);
+    EXPECT_NEAR(maintenancePower(500.0_m, leaky).value(),
+                10.0 * maintenancePower(500.0_m, tight).value(), 1e-9);
 }
 
 TEST(AeroDrag, CubicInSpeedAndLinearInPressure)
 {
     VacuumConfig cfg;
-    const double p1 = aeroDragPower(100.0, 0.005, 1.0, cfg);
-    const double p2 = aeroDragPower(200.0, 0.005, 1.0, cfg);
+    const qty::Watts p1 =
+        aeroDragPower(100.0_mps, qty::SquareMetres{0.005}, 1.0, cfg);
+    const qty::Watts p2 =
+        aeroDragPower(200.0_mps, qty::SquareMetres{0.005}, 1.0, cfg);
     EXPECT_NEAR(p2 / p1, 8.0, 1e-9);
 
     VacuumConfig half = cfg;
     half.pressure = cfg.pressure / 2.0;
-    EXPECT_NEAR(aeroDragPower(200.0, 0.005, 1.0, half),
-                0.5 * aeroDragPower(200.0, 0.005, 1.0, cfg), 1e-9);
+    EXPECT_NEAR(
+        aeroDragPower(200.0_mps, qty::SquareMetres{0.005}, 1.0, half)
+            .value(),
+        0.5 * aeroDragPower(200.0_mps, qty::SquareMetres{0.005}, 1.0, cfg)
+                  .value(),
+        1e-9);
 }
 
 TEST(AeroDrag, NegligibleAtRoughVacuum)
@@ -80,24 +88,27 @@ TEST(AeroDrag, NegligibleAtRoughVacuum)
     // At 1 mbar and 200 m/s the residual-gas drag on the cart's small
     // frontal area is a few watts — negligible next to the LIM's
     // 75 kW peak.
-    const double p = aeroDragPower(200.0, 0.060 * 0.080);
-    EXPECT_LT(p, 50.0);
+    const qty::Watts p =
+        aeroDragPower(200.0_mps, qty::SquareMetres{0.060 * 0.080});
+    EXPECT_LT(p.value(), 50.0);
 }
 
 TEST(VacuumValidation, RejectsNonsense)
 {
     VacuumConfig bad;
     bad.pressure = 0.0;
-    EXPECT_THROW(tubeVolume(10.0, bad), dhl::FatalError);
+    EXPECT_THROW(tubeVolume(10.0_m, bad), dhl::FatalError);
     bad = VacuumConfig{};
     bad.pressure = 2.0 * u::kAtmospherePa;
-    EXPECT_THROW(pumpDownEnergy(10.0, bad), dhl::FatalError);
+    EXPECT_THROW(pumpDownEnergy(10.0_m, bad), dhl::FatalError);
     bad = VacuumConfig{};
     bad.pump_efficiency = 0.0;
-    EXPECT_THROW(pumpDownEnergy(10.0, bad), dhl::FatalError);
+    EXPECT_THROW(pumpDownEnergy(10.0_m, bad), dhl::FatalError);
     bad = VacuumConfig{};
     bad.tube_diameter = -0.1;
-    EXPECT_THROW(tubeVolume(10.0, bad), dhl::FatalError);
-    EXPECT_THROW(aeroDragPower(-1.0, 0.005), dhl::FatalError);
-    EXPECT_THROW(aeroDragPower(10.0, 0.0), dhl::FatalError);
+    EXPECT_THROW(tubeVolume(10.0_m, bad), dhl::FatalError);
+    EXPECT_THROW(aeroDragPower(-1.0_mps, qty::SquareMetres{0.005}),
+                 dhl::FatalError);
+    EXPECT_THROW(aeroDragPower(10.0_mps, qty::SquareMetres{0.0}),
+                 dhl::FatalError);
 }

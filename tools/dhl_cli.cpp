@@ -113,7 +113,8 @@ cmdLaunch(int argc, const char *const *argv)
     const auto m = model.launch();
     std::cout << cfg.label() << "\n"
               << "  cart mass     "
-              << u::formatSig(u::toGrams(m.cart_mass), 4) << " g\n"
+              << u::formatSig(u::toGrams(m.cart_mass.value()), 4)
+              << " g\n"
               << "  capacity      " << u::formatBytes(m.capacity) << "\n"
               << "  energy        " << u::formatEnergy(m.energy) << "\n"
               << "  trip time     " << u::formatDuration(m.trip_time)
@@ -142,7 +143,8 @@ cmdBulk(int argc, const char *const *argv)
     core::BulkOptions opts;
     opts.pipelined = args.getSwitch("pipelined");
 
-    const auto row = core::computeDesignSpaceRow(cfg, bytes, opts);
+    const auto row =
+        core::computeDesignSpaceRow(cfg, dhl::qty::Bytes{bytes}, opts);
     std::cout << cfg.label() << " moving " << u::formatBytes(bytes)
               << ":\n"
               << "  carts/trips   " << row.bulk.loaded_trips << " loaded, "

@@ -1,0 +1,229 @@
+#!/usr/bin/env python3
+"""Repo-specific static-analysis gate for the DHL codebase.
+
+Pure Python (no clang dependency) so it runs identically on developer
+machines and in CI.  Enforces the invariants that the type system and
+compiler cannot:
+
+  R1  magnitude-literals   No raw ``* 1e9`` / ``/ 1e12``-style unit
+                           conversions in src/ outside units.hpp and
+                           quantity.hpp — use the named helpers
+                           (units::toMegajoules, qty::petabytes, ...).
+  R2  iostream-in-src      No ``std::cout`` / ``std::cerr`` in src/ —
+                           library code reports through logging.hpp
+                           (whose default sink is the one exemption);
+                           only tools/, bench/ and examples/ print.
+  R3  nondeterminism       No ``rand()`` / ``srand()`` / ``time(``
+                           in src/ — the DES must be seed-reproducible
+                           (use common/random.hpp Rng).
+  R4  include-guards       Headers under src/ use the canonical
+                           ``DHL_<PATH>_HPP`` guard so guards never
+                           collide as the tree grows.
+
+Usage:
+  tools/lint_dhl.py [--root DIR]     lint the repo (exit 1 on findings)
+  tools/lint_dhl.py --self-test      run the rule unit tests
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# Files allowed to spell out powers of ten: they *define* the unit and
+# quantity helpers everything else must use.
+MAGNITUDE_ALLOWLIST = {
+    os.path.join("src", "common", "units.hpp"),
+    os.path.join("src", "common", "quantity.hpp"),
+}
+
+# ``* 1e9`` / ``/ 1e15`` with a positive magnitude exponent.  Negative
+# exponents (tolerances such as 1e-9) and bare scientific literals in
+# comparisons are not unit conversions and stay legal.
+MAGNITUDE_RE = re.compile(r"[*/]\s*1e(?:3|6|9|12|15)\b")
+
+IOSTREAM_RE = re.compile(r"\bstd::c(?:out|err)\b")
+
+# The logging implementation owns the default stderr sink.
+IOSTREAM_ALLOWLIST = {os.path.join("src", "common", "logging.cpp")}
+
+# rand()/srand()/time() calls.  Word-boundary + open paren so that
+# identifiers like trip_time or travelTime( never match.
+NONDETERMINISM_RE = re.compile(r"(?<![\w.])(?:s?rand|time)\s*\(")
+
+GUARD_RE = re.compile(r"^#ifndef\s+(\S+)", re.MULTILINE)
+
+
+def strip_comments(text):
+    """Remove // and /* */ comments (string literals are left alone —
+    none of the rules trigger inside the repo's strings)."""
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.DOTALL)
+    return re.sub(r"//[^\n]*", "", text)
+
+
+def expected_guard(rel_path):
+    """src/dhl/analytical.hpp -> DHL_DHL_ANALYTICAL_HPP (the leading
+    src/ is dropped, the dhl:: project prefix is added)."""
+    no_src = os.path.relpath(rel_path, "src")
+    stem = os.path.splitext(no_src)[0]
+    return "DHL_" + re.sub(r"[\\/.]", "_", stem).upper() + "_HPP"
+
+
+def find_line(text, pos):
+    return text.count("\n", 0, pos) + 1
+
+
+def lint_text(rel_path, text):
+    """Return a list of (rel_path, line, rule, message) findings for one
+    file's contents.  Only src/ files get the library-code rules."""
+    findings = []
+    posix = rel_path.replace(os.sep, "/")
+    in_src = posix.startswith("src/")
+    if not in_src:
+        return findings
+
+    code = strip_comments(text)
+
+    if rel_path not in MAGNITUDE_ALLOWLIST and posix not in MAGNITUDE_ALLOWLIST:
+        for m in MAGNITUDE_RE.finditer(code):
+            findings.append(
+                (rel_path, find_line(code, m.start()), "magnitude-literals",
+                 "raw magnitude conversion %r; use a units::/qty:: helper"
+                 % m.group(0).strip()))
+
+    if rel_path not in IOSTREAM_ALLOWLIST:
+        for m in IOSTREAM_RE.finditer(code):
+            findings.append(
+                (rel_path, find_line(code, m.start()), "iostream-in-src",
+                 "%s in library code; use common/logging.hpp"
+                 % m.group(0)))
+
+    for m in NONDETERMINISM_RE.finditer(code):
+        findings.append(
+            (rel_path, find_line(code, m.start()), "nondeterminism",
+             "%s) breaks seed-reproducibility; use dhl::Rng"
+             % m.group(0).rstrip("(").strip()))
+
+    if posix.endswith(".hpp"):
+        g = GUARD_RE.search(code)
+        want = expected_guard(rel_path)
+        if g is None:
+            findings.append((rel_path, 1, "include-guards",
+                             "missing include guard (expected %s)" % want))
+        elif g.group(1) != want:
+            findings.append(
+                (rel_path, find_line(code, g.start()), "include-guards",
+                 "guard %s should be %s" % (g.group(1), want)))
+    return findings
+
+
+def lint_tree(root):
+    findings = []
+    src_root = os.path.join(root, "src")
+    for dirpath, _dirnames, filenames in os.walk(src_root):
+        for name in sorted(filenames):
+            if not name.endswith((".hpp", ".cpp")):
+                continue
+            path = os.path.join(dirpath, name)
+            rel = os.path.relpath(path, root)
+            with open(path, encoding="utf-8") as fh:
+                findings.extend(lint_text(rel, fh.read()))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Self-test: pin each rule's fire/no-fire behaviour.
+# ---------------------------------------------------------------------------
+
+def self_test():
+    failures = []
+
+    def check(name, cond):
+        if not cond:
+            failures.append(name)
+
+    def rules_of(rel, text):
+        return {f[2] for f in lint_text(rel, text)}
+
+    hdr = "#ifndef DHL_FOO_BAR_HPP\n#define DHL_FOO_BAR_HPP\n#endif\n"
+    cpp = os.path.join("src", "foo", "bar.cpp")
+    hpp = os.path.join("src", "foo", "bar.hpp")
+
+    # R1 fires on magnitude conversions, in either direction.
+    check("R1 multiply",
+          "magnitude-literals" in rules_of(cpp, "double x = b * 1e9;\n"))
+    check("R1 divide",
+          "magnitude-literals" in rules_of(cpp, "double x = j / 1e6;\n"))
+    # ...but not on tolerances, comments, or the allow-listed files.
+    check("R1 tolerance",
+          not rules_of(cpp, "bool ok = err < 1e-9 * 1e-12;\n"))
+    check("R1 comment",
+          not rules_of(cpp, "// historical: bytes * 1e9\nint x;\n"))
+    check("R1 allowlist",
+          "magnitude-literals" not in rules_of(
+              os.path.join("src", "common", "units.hpp"),
+              "constexpr double giga(double n) { return n * 1e9; }\n"))
+    check("R1 bare literal",
+          not rules_of(cpp, "double cap = 8e12; if (cap > 1e9) cap = 0;\n"))
+
+    # R2 fires only under src/.
+    check("R2 cout", "iostream-in-src" in rules_of(cpp, "std::cout << 1;\n"))
+    check("R2 cerr", "iostream-in-src" in rules_of(cpp, "std::cerr << 1;\n"))
+    check("R2 bench exempt",
+          not lint_text(os.path.join("bench", "x.cpp"), "std::cout << 1;\n"))
+    check("R2 logging sink exempt",
+          "iostream-in-src" not in rules_of(
+              os.path.join("src", "common", "logging.cpp"),
+              "std::cerr << tag;\n"))
+
+    # R3 fires on the C randomness/time calls, not on lookalikes.
+    check("R3 rand", "nondeterminism" in rules_of(cpp, "int r = rand();\n"))
+    check("R3 srand", "nondeterminism" in rules_of(cpp, "srand(42);\n"))
+    check("R3 time", "nondeterminism" in rules_of(cpp, "time(nullptr);\n"))
+    check("R3 travelTime",
+          not rules_of(cpp, "double t = travelTime(1, 2, 3, m);\n"))
+    check("R3 trip_time", not rules_of(cpp, "double t = trip_time(0);\n"))
+    check("R3 member", not rules_of(cpp, "double t = sim.time();\n"))
+
+    # R4 guard naming.
+    check("R4 good", "include-guards" not in rules_of(hpp, hdr))
+    check("R4 wrong name",
+          "include-guards" in rules_of(
+              hpp, "#ifndef BAR_HPP\n#define BAR_HPP\n#endif\n"))
+    check("R4 missing", "include-guards" in rules_of(hpp, "int x;\n"))
+    check("R4 expected name",
+          expected_guard(hpp) == "DHL_FOO_BAR_HPP")
+
+    if failures:
+        for name in failures:
+            print("SELF-TEST FAIL: %s" % name)
+        return 1
+    print("lint_dhl self-test: %d checks passed" % 21)
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: the script's parent)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the rule unit tests and exit")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    findings = lint_tree(root)
+    for rel, line, rule, msg in findings:
+        print("%s:%d: [%s] %s" % (rel, line, rule, msg))
+    if findings:
+        print("lint_dhl: %d finding(s)" % len(findings))
+        return 1
+    print("lint_dhl: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
