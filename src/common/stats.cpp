@@ -30,6 +30,20 @@ dumpLine(std::ostream &os, const std::string &prefix,
 
 } // namespace
 
+double
+percentile(std::vector<double> values, double p)
+{
+    fatal_if(values.empty(), "percentile of an empty sample");
+    fatal_if(p < 0.0 || p > 100.0, "percentile must be in [0, 100]");
+    std::sort(values.begin(), values.end());
+    const double rank = p / 100.0 *
+                        static_cast<double>(values.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return values[lo] + frac * (values[hi] - values[lo]);
+}
+
 //===========================================================================
 // Scalar / Counter
 //===========================================================================

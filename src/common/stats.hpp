@@ -175,6 +175,16 @@ class Histogram : public StatBase
     std::uint64_t total_;
 };
 
+/**
+ * The @p p-th percentile (0 <= p <= 100) of @p values by linear
+ * interpolation between closest ranks (the common "exclusive of
+ * nothing" definition: percentile(v, 0) = min, percentile(v, 100) =
+ * max).  Sorts a copy; fatal() on an empty sample or p outside
+ * [0, 100].  Bench code uses this for P99 open latency (E18) and
+ * bootstrap confidence intervals (E17).
+ */
+double percentile(std::vector<double> values, double p);
+
 /** A derived value evaluated lazily at dump time. */
 class Formula : public StatBase
 {

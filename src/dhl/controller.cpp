@@ -340,6 +340,17 @@ DhlController::dispatchOpens()
     }
 }
 
+std::vector<QueuedOpen>
+DhlController::drainQueuedOpens()
+{
+    std::vector<QueuedOpen> drained = scheduler_->drain();
+    if (tracingOn() && !drained.empty()) {
+        traceEvent("fault", "drained " + std::to_string(drained.size()) +
+                                " queued open(s) for re-routing");
+    }
+    return drained;
+}
+
 void
 DhlController::read(CartId id, double bytes, IoCb cb)
 {

@@ -150,6 +150,16 @@ class DhlController : public sim::SimObject
     /** The attached fault registry (nullptr when fault-free). */
     faults::FaultState *faultState() { return faults_; }
 
+    /**
+     * Remove and return every queued (not yet started) open in arrival
+     * order.  The ops-layer dispatcher pulls the queue off a track
+     * whose service went down and re-routes the work fleet-wide; the
+     * returned callbacks still expect this controller's Cart and
+     * DockingStation, so re-routers resubmit at the job level rather
+     * than replaying the callbacks elsewhere.
+     */
+    std::vector<QueuedOpen> drainQueuedOpens();
+
     /** Trips parked by a launch-blocking outage so far. */
     std::uint64_t parkedLaunches() const { return parked_launches_; }
 

@@ -21,8 +21,12 @@ DhlFleet::DhlFleet(const DhlConfig &cfg, std::size_t tracks,
     validate(cfg_);
     controllers_.reserve(tracks);
     for (std::size_t i = 0; i < tracks; ++i) {
+        // Same splitmix64 derivation as the per-track fault streams
+        // (enableFaults): adjacent raw seeds are strongly correlated
+        // under xoshiro, deriveSeed decorrelates them.
         controllers_.push_back(std::make_unique<DhlController>(
-            sim_, cfg_, "dhl" + std::to_string(i), seed + i));
+            sim_, cfg_, "dhl" + std::to_string(i),
+            deriveSeed(seed, i)));
     }
 }
 
@@ -48,18 +52,28 @@ DhlFleet::enableFaults(const faults::FaultConfig &cfg)
                  "config; reconfiguring a live fleet is not supported");
         return;
     }
-    fault_states_.reserve(controllers_.size());
+    ensureFaultStates();
     injectors_.reserve(controllers_.size());
     for (std::size_t i = 0; i < controllers_.size(); ++i) {
         auto &ctl = *controllers_[i];
         faults::FaultConfig track_cfg = cfg;
         track_cfg.seed = deriveSeed(cfg.seed, i);
+        injectors_.push_back(std::make_unique<faults::FaultInjector>(
+            sim_, *fault_states_[i], track_cfg, ctl.numStations(),
+            ctl.name() + ".faults"));
+    }
+}
+
+void
+DhlFleet::ensureFaultStates()
+{
+    if (!fault_states_.empty())
+        return;
+    fault_states_.reserve(controllers_.size());
+    for (auto &ctl : controllers_) {
         fault_states_.push_back(
             std::make_unique<faults::FaultState>(sim_));
-        injectors_.push_back(std::make_unique<faults::FaultInjector>(
-            sim_, *fault_states_.back(), track_cfg, ctl.numStations(),
-            ctl.name() + ".faults"));
-        ctl.attachFaults(fault_states_.back().get());
+        ctl->attachFaults(fault_states_.back().get());
     }
 }
 
@@ -68,6 +82,13 @@ DhlFleet::faultState(std::size_t i)
 {
     fatal_if(i >= controllers_.size(), "track index out of range");
     return fault_states_.empty() ? nullptr : fault_states_[i].get();
+}
+
+faults::FaultInjector *
+DhlFleet::faultInjector(std::size_t i)
+{
+    fatal_if(i >= controllers_.size(), "track index out of range");
+    return injectors_.empty() ? nullptr : injectors_[i].get();
 }
 
 double

@@ -34,7 +34,9 @@ class DhlFleet
     /**
      * @param cfg     Per-track configuration.
      * @param tracks  Parallel tracks (>= 1).
-     * @param seed    RNG seed base (track i uses seed + i).
+     * @param seed    RNG seed base (track i uses deriveSeed(seed, i),
+     *                the same derivation enableFaults applies to the
+     *                per-track fault streams).
      */
     DhlFleet(const DhlConfig &cfg, std::size_t tracks,
              std::uint64_t seed = 1);
@@ -64,8 +66,22 @@ class DhlFleet
     /** True once fault injection is active. */
     bool faultsEnabled() const { return !injectors_.empty(); }
 
-    /** Track @p i's fault registry (nullptr until enableFaults). */
+    /**
+     * Create and attach a FaultState per track *without* injectors —
+     * every component stays up, so behaviour is identical to a
+     * fault-free fleet until something drives the registries.  The ops
+     * layer uses this to run maintenance windows and common-cause
+     * outages on a fleet with no independent fault injection.
+     * Idempotent; enableFaults implies it.
+     */
+    void ensureFaultStates();
+
+    /** Track @p i's fault registry (nullptr until enableFaults or
+     *  ensureFaultStates). */
     faults::FaultState *faultState(std::size_t i);
+
+    /** Track @p i's fault injector (nullptr until enableFaults). */
+    faults::FaultInjector *faultInjector(std::size_t i);
 
     /** Sum of LIM energy across tracks, J. */
     double totalEnergy() const;

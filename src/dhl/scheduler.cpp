@@ -6,6 +6,7 @@
 #include "dhl/scheduler.hpp"
 
 #include <algorithm>
+#include <iterator>
 
 #include "common/logging.hpp"
 
@@ -23,6 +24,22 @@ oldestEnqueue(const Items &items)
     for (const auto &req : items)
         oldest = std::min(oldest, req.enqueue_time);
     return oldest;
+}
+
+/** Empty a request container into a vector sorted by arrival order. */
+template <typename Items>
+std::vector<QueuedOpen>
+drainInArrivalOrder(Items &items)
+{
+    std::vector<QueuedOpen> out;
+    out.reserve(items.size());
+    std::move(items.begin(), items.end(), std::back_inserter(out));
+    items.clear();
+    std::sort(out.begin(), out.end(),
+              [](const QueuedOpen &a, const QueuedOpen &b) {
+                  return a.seq < b.seq;
+              });
+    return out;
 }
 
 } // namespace
@@ -52,6 +69,12 @@ FifoScheduler::pop()
     QueuedOpen req = std::move(queue_.front());
     queue_.pop_front();
     return req;
+}
+
+std::vector<QueuedOpen>
+FifoScheduler::drain()
+{
+    return drainInArrivalOrder(queue_);
 }
 
 //===========================================================================
@@ -87,6 +110,12 @@ PriorityScheduler::pop()
     return req;
 }
 
+std::vector<QueuedOpen>
+PriorityScheduler::drain()
+{
+    return drainInArrivalOrder(items_);
+}
+
 //===========================================================================
 // DeadlineScheduler
 //===========================================================================
@@ -118,6 +147,12 @@ DeadlineScheduler::pop()
     QueuedOpen req = std::move(*best);
     items_.erase(best);
     return req;
+}
+
+std::vector<QueuedOpen>
+DeadlineScheduler::drain()
+{
+    return drainInArrivalOrder(items_);
 }
 
 //===========================================================================

@@ -81,6 +81,14 @@ class OpenScheduler
 
     /** Remove and return the next request per the policy. */
     virtual QueuedOpen pop() = 0;
+
+    /**
+     * Remove and return *all* queued requests in arrival (seq) order,
+     * regardless of policy.  The ops-layer dispatcher drains a track's
+     * queue when its service goes down so the fleet can re-route the
+     * work; arrival order preserves fairness across the re-route.
+     */
+    virtual std::vector<QueuedOpen> drain() = 0;
 };
 
 /** Arrival order. */
@@ -93,6 +101,7 @@ class FifoScheduler : public OpenScheduler
     std::size_t size() const override { return queue_.size(); }
     double oldestEnqueueTime() const override;
     QueuedOpen pop() override;
+    std::vector<QueuedOpen> drain() override;
 
   private:
     std::deque<QueuedOpen> queue_;
@@ -108,6 +117,7 @@ class PriorityScheduler : public OpenScheduler
     std::size_t size() const override { return items_.size(); }
     double oldestEnqueueTime() const override;
     QueuedOpen pop() override;
+    std::vector<QueuedOpen> drain() override;
 
   private:
     std::vector<QueuedOpen> items_;
@@ -123,6 +133,7 @@ class DeadlineScheduler : public OpenScheduler
     std::size_t size() const override { return items_.size(); }
     double oldestEnqueueTime() const override;
     QueuedOpen pop() override;
+    std::vector<QueuedOpen> drain() override;
 
   private:
     std::vector<QueuedOpen> items_;

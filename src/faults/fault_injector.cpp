@@ -120,11 +120,29 @@ FaultInjector::addUnit(Component kind, std::uint32_t index,
 }
 
 void
+FaultInjector::setBreakdownScale(BreakdownScale scale)
+{
+    breakdown_scale_ = std::move(scale);
+}
+
+void
+FaultInjector::setMtbfScale(MtbfScale scale)
+{
+    mtbf_scale_ = std::move(scale);
+}
+
+void
 FaultInjector::scheduleFailure(std::size_t unit)
 {
     Unit &u = units_[unit];
+    double mtbf = u.mtbf;
+    if (mtbf_scale_) {
+        const double factor = mtbf_scale_(u.kind, u.index);
+        fatal_if(!(factor > 0.0), "MTBF scale factor must be positive");
+        mtbf *= factor;
+    }
     const double uptime =
-        std::max(u.rng.exponential(u.mtbf), kMinUptime);
+        std::max(u.rng.exponential(mtbf), kMinUptime);
     const double fail_at = now() + uptime;
     if (fail_at >= cfg_.horizon)
         return; // past the horizon: this component fails no more
@@ -148,11 +166,18 @@ FaultInjector::rollBreakdown(std::uint32_t cart)
 {
     if (cfg_.cart_repair_per_trip <= 0.0)
         return false; // never touch the stream: zero probability is free
+    double p = cfg_.cart_repair_per_trip;
+    if (breakdown_scale_) {
+        const double factor = breakdown_scale_(cart);
+        fatal_if(factor < 0.0,
+                 "breakdown scale factor must be non-negative");
+        p = std::min(p * factor, 1.0);
+    }
     const auto it = cart_rngs_
                         .try_emplace(cart, Rng(deriveSeed(
                                                cart_stream_base_, cart)))
                         .first;
-    if (it->second.uniform() >= cfg_.cart_repair_per_trip)
+    if (it->second.uniform() >= p)
         return false;
     state_.sendCartToRepair(cart,
                             cfg_.cart_repair_hours * kSecondsPerHour);

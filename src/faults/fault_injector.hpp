@@ -27,6 +27,7 @@
 #define DHL_FAULTS_FAULT_INJECTOR_HPP
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <string>
 #include <unordered_map>
@@ -57,20 +58,21 @@ struct FaultConfig
      *  earlier failures still complete, so the queue drains). */
     double horizon = std::numeric_limits<double>::infinity();
 
-    /** Each LIM (there are two). MTBF/MTTR in hours. */
-    double lim_mtbf = 50000.0;
-    double lim_mttr = 8.0;
+    /** Each LIM (there are two). MTBF/MTTR in hours.  Defaults mirror
+     *  core::ReliabilityConfig (see the source citations there). */
+    double lim_mtbf = 43800.0;
+    double lim_mttr = 6.0;
 
     /** Track + vacuum assembly (one). */
-    double track_mtbf = 100000.0;
-    double track_mttr = 24.0;
+    double track_mtbf = 87600.0;
+    double track_mttr = 12.0;
 
     /** Each rack docking station. */
-    double station_mtbf = 30000.0;
-    double station_mttr = 4.0;
+    double station_mtbf = 61320.0;
+    double station_mttr = 2.0;
 
     /** Probability a cart needs repair after a trip (mechanical). */
-    double cart_repair_per_trip = 1e-5;
+    double cart_repair_per_trip = 2e-5;
 
     /** Cart repair turnaround at the library, hours. */
     double cart_repair_hours = 2.0;
@@ -106,6 +108,25 @@ class FaultInjector : public sim::SimObject
     /** Failure + repair events injected so far. */
     std::uint64_t eventsInjected() const { return injected_; }
 
+    //------------------------------------------------------------------
+    // Wear coupling (ops layer).  The base process is memoryless; these
+    // hooks let accumulated wear make rates state-dependent.  Both
+    // consume exactly the same RNG stream positions as the unhooked
+    // process, so a hook that returns 1.0 is byte-identical to no hook.
+    //------------------------------------------------------------------
+
+    /** Multiplies cart_repair_per_trip at roll time (per cart).  The
+     *  scaled probability is clamped to [0, 1]. */
+    using BreakdownScale = std::function<double(std::uint32_t cart)>;
+
+    /** Multiplies a unit's MTBF when its next uptime is drawn.  Must
+     *  return a positive factor. */
+    using MtbfScale =
+        std::function<double(Component kind, std::uint32_t index)>;
+
+    void setBreakdownScale(BreakdownScale scale);
+    void setMtbfScale(MtbfScale scale);
+
     /** Cancel all pending fault events (the registry keeps its current
      *  state; already-failed components still get their repair). */
     void stop();
@@ -128,6 +149,8 @@ class FaultInjector : public sim::SimObject
 
     FaultState &state_;
     FaultConfig cfg_;
+    BreakdownScale breakdown_scale_;
+    MtbfScale mtbf_scale_;
     std::vector<Unit> units_;
     std::uint64_t cart_stream_base_;
     std::unordered_map<std::uint32_t, Rng> cart_rngs_;

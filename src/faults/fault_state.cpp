@@ -119,6 +119,27 @@ FaultState::fail(Component kind, std::uint32_t index)
     trace(kind, index,
           serviceUp() ? "failed" : "failed (service down)");
     noteServiceEdge();
+    notifyOutage();
+}
+
+void
+FaultState::pushLaunchInhibit(const std::string &reason)
+{
+    ++launch_inhibits_;
+    traceOps("launches inhibited: " + reason);
+    noteServiceEdge();
+    notifyOutage();
+}
+
+void
+FaultState::popLaunchInhibit(const std::string &reason)
+{
+    fatal_if(launch_inhibits_ == 0,
+             "popLaunchInhibit without a matching push");
+    --launch_inhibits_;
+    traceOps("launch inhibit released: " + reason);
+    noteServiceEdge();
+    notifyRepair();
 }
 
 void
@@ -142,6 +163,20 @@ FaultState::notifyRepair()
 {
     for (auto &listener : listeners_)
         listener();
+}
+
+void
+FaultState::notifyOutage()
+{
+    for (auto &listener : outage_listeners_)
+        listener();
+}
+
+void
+FaultState::traceOps(const std::string &what)
+{
+    if (trace_ != nullptr && trace_->enabled())
+        trace_->record("fault", "ops", what);
 }
 
 void
@@ -186,7 +221,8 @@ FaultState::up(Component kind, std::uint32_t index) const
 bool
 FaultState::launchOk() const
 {
-    return lims_.down_count == 0 && track_.down_count == 0;
+    return lims_.down_count == 0 && track_.down_count == 0 &&
+           launch_inhibits_ == 0;
 }
 
 bool
@@ -240,6 +276,13 @@ FaultState::onRepair(Listener listener)
 {
     fatal_if(!listener, "repair listener must be callable");
     listeners_.push_back(std::move(listener));
+}
+
+void
+FaultState::onOutage(Listener listener)
+{
+    fatal_if(!listener, "outage listener must be callable");
+    outage_listeners_.push_back(std::move(listener));
 }
 
 std::uint64_t

@@ -9,6 +9,9 @@
  * breakdown).  Components *query* it ("can I launch?", "is this
  * station serviceable?") and the FaultInjector *drives* it by firing
  * failure and repair events; the registry itself schedules nothing.
+ * The ops layer (src/ops) drives the same gates through launch
+ * inhibits, so maintenance windows and common-cause outages share the
+ * fault path's degraded-mode machinery end to end.
  *
  * It also integrates service downtime over simulated time, so a run's
  * observed availability can be compared against the closed-form
@@ -88,6 +91,26 @@ class FaultState
     void fail(Component kind, std::uint32_t index);
     void repair(Component kind, std::uint32_t index);
 
+    //------------------------------------------------------------------
+    // Launch inhibits (ops layer: maintenance windows, common-cause
+    // outages).  An inhibit blocks launches through the same gate a
+    // LIM/track fault uses — launchOk()/serviceUp() go false and the
+    // controller's degraded-mode machinery (queued opens, parked trips,
+    // repair re-dispatch) engages with no code of its own.  Inhibits
+    // nest: every push needs a matching pop.
+    //------------------------------------------------------------------
+
+    /** Block launches; @p reason appears in the trace (e.g.
+     *  "maintenance", "vacuum plant 2 down"). */
+    void pushLaunchInhibit(const std::string &reason);
+
+    /** Release one inhibit; fires the repair listeners so held work
+     *  re-dispatches immediately. */
+    void popLaunchInhibit(const std::string &reason);
+
+    /** Active launch inhibits. */
+    std::size_t launchInhibits() const { return launch_inhibits_; }
+
     /** Send a cart to the repair shop for @p repair_time seconds. */
     void sendCartToRepair(std::uint32_t cart, double repair_time);
 
@@ -106,7 +129,9 @@ class FaultState
      *  this is !cartInRepair(index). */
     bool up(Component kind, std::uint32_t index) const;
 
-    /** Both LIMs and the track are up, so carts may launch. */
+    /** Both LIMs and the track are up and no launch inhibit
+     *  (maintenance window, common-cause outage) is active, so carts
+     *  may launch. */
     bool launchOk() const;
 
     /** launchOk() and at least one docking station is up (no stations
@@ -139,6 +164,12 @@ class FaultState
      *  outlive the FaultState or never fire after their owner dies. */
     void onRepair(Listener listener);
 
+    /** Subscribe to outage onsets: fires after every component failure
+     *  and after every launch-inhibit push (the ops dispatcher uses
+     *  this to drain queued opens off a track the moment it goes
+     *  down).  Same lifetime contract as onRepair. */
+    void onOutage(Listener listener);
+
     //------------------------------------------------------------------
     // Accounting
     //------------------------------------------------------------------
@@ -161,6 +192,16 @@ class FaultState
     /** Service state transitions so far (up/down edge count). */
     std::size_t serviceTransitions() const { return transitions_.size(); }
 
+    /** The raw service up/down edge log: (time, service up after the
+     *  edge) pairs in time order.  The service starts up at t = 0.
+     *  Bench code resamples the implied up/down cycles for bootstrap
+     *  confidence intervals on observed availability (E17). */
+    const std::vector<std::pair<double, bool>> &
+    serviceLog() const
+    {
+        return transitions_;
+    }
+
     /** Attach a trace recorder; fail/repair events are recorded under
      *  the "fault" category.  Pass nullptr to detach. */
     void attachTrace(sim::TraceRecorder *trace) { trace_ = trace; }
@@ -178,8 +219,10 @@ class FaultState
     const KindState &kindState(Component kind) const;
     void noteServiceEdge();
     void notifyRepair();
+    void notifyOutage();
     void trace(Component kind, std::uint32_t index,
                const std::string &what);
+    void traceOps(const std::string &what);
 
     sim::Simulator &sim_;
     KindState lims_;
@@ -194,6 +237,8 @@ class FaultState
     BreakdownRoll roll_;
     RetryPolicy retry_;
     std::vector<Listener> listeners_;
+    std::vector<Listener> outage_listeners_;
+    std::size_t launch_inhibits_ = 0;
     sim::TraceRecorder *trace_ = nullptr;
 
     /** Service up/down edges: (time, service up after the edge).  The

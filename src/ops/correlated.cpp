@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Implementation of the common-cause failure model.
+ */
+
+#include "ops/correlated.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace dhl {
+namespace ops {
+
+namespace {
+
+constexpr double kSecondsPerHour = 3600.0;
+
+/** Clamp as in the per-component injector: a zero-rounded exponential
+ *  draw must not land an outage at the exact restore instant. */
+constexpr double kMinUptime = 1e-9;
+
+/** deriveSeed salt for the per-domain streams, disjoint from every
+ *  FaultInjector stream index ("PLANT"). */
+constexpr std::uint64_t kPlantStreamSalt = 0x504c414e54ull;
+
+} // namespace
+
+void
+validate(const SharedDomainConfig &cfg)
+{
+    fatal_if(cfg.domain_size == 0,
+             "shared-plant domains need at least one track");
+    fatal_if(!(cfg.plant_mtbf > 0.0), "plant MTBF must be positive");
+    fatal_if(cfg.plant_mttr < 0.0, "plant MTTR must be non-negative");
+    fatal_if(!(cfg.horizon > 0.0), "plant horizon must be positive");
+}
+
+CorrelatedFaultModel::CorrelatedFaultModel(
+    sim::Simulator &sim, std::vector<faults::FaultState *> states,
+    const SharedDomainConfig &cfg, std::string name)
+    : sim::SimObject(sim, std::move(name)),
+      cfg_(cfg),
+      tracks_(states.size())
+{
+    fatal_if(!cfg.enabled,
+             "correlated fault model built from a disabled config");
+    validate(cfg_);
+    fatal_if(states.empty(),
+             "correlated fault model needs at least one track registry");
+    for (const auto *state : states)
+        fatal_if(state == nullptr, "null fault registry");
+
+    auto &sg = statsGroup();
+    stat_outages_ =
+        &sg.addCounter("outages", "common-cause plant outages injected");
+    stat_restores_ =
+        &sg.addCounter("restores", "common-cause plant restorations");
+
+    const std::size_t n_domains =
+        (states.size() + cfg_.domain_size - 1) / cfg_.domain_size;
+    plants_.reserve(n_domains);
+    for (std::size_t d = 0; d < n_domains; ++d) {
+        Plant plant{{},
+                    Rng(deriveSeed(cfg_.seed, kPlantStreamSalt + d)),
+                    false};
+        const std::size_t lo = d * cfg_.domain_size;
+        const std::size_t hi =
+            std::min(lo + cfg_.domain_size, states.size());
+        for (std::size_t t = lo; t < hi; ++t)
+            plant.members.push_back(states[t]);
+        plants_.push_back(std::move(plant));
+    }
+    for (std::size_t d = 0; d < plants_.size(); ++d)
+        scheduleOutage(d);
+}
+
+std::size_t
+CorrelatedFaultModel::domainOf(std::size_t track) const
+{
+    fatal_if(track >= tracks_, "track index out of range");
+    return track / cfg_.domain_size;
+}
+
+bool
+CorrelatedFaultModel::plantDown(std::size_t domain) const
+{
+    fatal_if(domain >= plants_.size(), "domain index out of range");
+    return plants_[domain].down;
+}
+
+std::string
+CorrelatedFaultModel::reason(std::size_t domain) const
+{
+    return "vacuum plant " + std::to_string(domain) + " down";
+}
+
+void
+CorrelatedFaultModel::scheduleOutage(std::size_t domain)
+{
+    Plant &plant = plants_[domain];
+    const double uptime =
+        std::max(plant.rng.exponential(cfg_.plant_mtbf * kSecondsPerHour),
+                 kMinUptime);
+    if (now() + uptime >= cfg_.horizon)
+        return; // past the horizon: this plant trips no more
+    schedule(uptime, [this, domain] {
+        Plant &p = plants_[domain];
+        p.down = true;
+        ++outages_;
+        stat_outages_->increment();
+        for (auto *state : p.members)
+            state->pushLaunchInhibit(reason(domain));
+        schedule(cfg_.plant_mttr * kSecondsPerHour, [this, domain] {
+            Plant &rp = plants_[domain];
+            for (auto *state : rp.members)
+                state->popLaunchInhibit(reason(domain));
+            rp.down = false;
+            stat_restores_->increment();
+            scheduleOutage(domain);
+        });
+    });
+}
+
+} // namespace ops
+} // namespace dhl

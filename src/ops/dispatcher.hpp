@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Policy-driven dispatch of bulk-transfer work across a DHL fleet.
+ *
+ * DhlFleet::runBulkTransfer pre-assigns carts round-robin and never
+ * looks back — fine while every track is healthy, pathological when one
+ * is down for repairs or maintenance: its share of the work queues
+ * behind the outage while other tracks idle.  The FleetDispatcher is
+ * the fleet-level scheduler that closes that gap, with three policies:
+ *
+ *  - RoundRobin:        static pre-assignment + serial per-track
+ *                       chains.  Replicates DhlFleet::runBulkTransfer
+ *                       event-for-event (tested), so it is both the
+ *                       backwards-compatible default and the E18
+ *                       baseline.
+ *  - LeastQueued:       tracks pull jobs from one fleet-level queue as
+ *                       they free up, so a slow track automatically
+ *                       takes less work.
+ *  - AvailabilityAware: LeastQueued plus (a) down tracks (fault,
+ *                       maintenance window, plant outage) are not
+ *                       offered work, (b) queued opens are drained off
+ *                       a track the moment its launches block and the
+ *                       jobs re-routed fleet-wide, and (c) while the
+ *                       fleet is degraded, jobs below a priority floor
+ *                       are deferred (admission control, reusing
+ *                       core::RequestMeta).
+ *
+ * Work is re-routed at the *job* level: carts are track-local, so a
+ * drained QueuedOpen's cart stays in its library and the job's payload
+ * is re-created on the receiving track.
+ */
+
+#ifndef DHL_OPS_DISPATCHER_HPP
+#define DHL_OPS_DISPATCHER_HPP
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dhl/fleet.hpp"
+#include "dhl/scheduler.hpp"
+#include "dhl/simulation.hpp"
+
+namespace dhl {
+namespace ops {
+
+/** Fleet-level dispatch policy. */
+enum class DispatchPolicy
+{
+    RoundRobin,       ///< Static pre-assignment (today's behaviour).
+    LeastQueued,      ///< Dynamic pull from one fleet-level queue.
+    AvailabilityAware ///< Pull + outage re-routing + admission control.
+};
+
+std::string to_string(DispatchPolicy policy);
+
+/** Parse "round-robin" / "least-queued" / "availability"; fatal()
+ *  on anything else. */
+DispatchPolicy parseDispatchPolicy(const std::string &name);
+
+/** Dispatcher parameters. */
+struct DispatchConfig
+{
+    DispatchPolicy policy = DispatchPolicy::RoundRobin;
+
+    /** AvailabilityAware admission floor: while any track is down,
+     *  only jobs with meta.priority >= this are dispatched. */
+    int min_priority_degraded = 0;
+
+    /** AvailabilityAware in-flight jobs per track beyond its docking
+     *  stations; the excess queues in the track's controller (and is
+     *  what an outage drains off it). */
+    std::size_t overcommit = 1;
+};
+
+/** Validate; fatal() on nonsense. */
+void validate(const DispatchConfig &cfg);
+
+/** Observables of one dispatcher run. */
+struct DispatchMetrics
+{
+    /** Jobs pulled back off a blocked track and re-routed. */
+    std::uint64_t reroutes = 0;
+
+    /** Outage drains that actually moved work. */
+    std::uint64_t drains = 0;
+
+    /** Jobs deferred at least once by the degraded-mode priority
+     *  floor. */
+    std::uint64_t deferrals = 0;
+
+    /** Per-open latency, issue -> docked, s. */
+    std::vector<double> open_latency;
+};
+
+/** The fleet-level dispatcher. */
+class FleetDispatcher
+{
+  public:
+    /**
+     * @param fleet The fleet to dispatch over (must outlive this).
+     *              AvailabilityAware requires the fleet's fault
+     *              registries (DhlFleet::ensureFaultStates).
+     * @param cfg   Dispatch parameters.
+     */
+    FleetDispatcher(core::DhlFleet &fleet, const DispatchConfig &cfg);
+
+    const DispatchConfig &config() const { return cfg_; }
+
+    /**
+     * Move @p bytes through the fleet under the configured policy and
+     * run the simulation to completion.  @p meta optionally assigns
+     * per-job scheduling metadata (indexed by job = cart; missing
+     * entries default).  Semantics otherwise match
+     * DhlFleet::runBulkTransfer.
+     */
+    core::BulkRunResult
+    runBulkTransfer(double bytes, const core::BulkRunOptions &opts = {},
+                    const std::vector<core::RequestMeta> &meta = {});
+
+    /** Metrics of the last (or in-progress) run. */
+    const DispatchMetrics &metrics() const { return metrics_; }
+
+  private:
+    struct Job
+    {
+        double load;
+        core::RequestMeta meta;
+        std::size_t seq;
+        bool deferral_counted = false;
+    };
+
+    core::BulkRunResult runRoundRobin(double bytes,
+                                      const core::BulkRunOptions &opts,
+                                      std::vector<Job> jobs);
+    core::BulkRunResult runPull(double bytes,
+                                const core::BulkRunOptions &opts,
+                                std::vector<Job> jobs);
+
+    std::vector<Job> makeJobs(double bytes,
+                              const std::vector<core::RequestMeta> &meta,
+                              std::uint64_t *n_carts) const;
+
+    void installListeners();
+    bool trackUp(std::size_t t) const;
+    bool anyTrackDown() const;
+    std::size_t capacity(std::size_t t) const;
+    void pump();
+    void assign(std::size_t t, std::size_t j);
+    void finishJob(std::size_t t, core::CartId id);
+    void drainTrack(std::size_t t);
+
+    core::DhlFleet &fleet_;
+    DispatchConfig cfg_;
+    DispatchMetrics metrics_;
+
+    // Pull-engine state, valid during a runPull.
+    bool active_ = false;
+    bool listeners_installed_ = false;
+    core::BulkRunOptions opts_{};
+    std::vector<Job> jobs_;
+    std::vector<std::size_t> queue_; ///< pending job indices
+    std::vector<std::size_t> outstanding_;
+    std::vector<std::unordered_map<core::CartId, std::size_t>> cart_job_;
+    std::uint64_t completed_ = 0;
+    double bytes_read_ = 0.0;
+};
+
+} // namespace ops
+} // namespace dhl
+
+#endif // DHL_OPS_DISPATCHER_HPP

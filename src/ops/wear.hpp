@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Wear coupling: state-dependent failure rates from storage wear.
+ *
+ * The base fault process is memoryless — every trip rolls the same
+ * breakdown probability, every uptime draws from the same MTBF — while
+ * generative storage-performance models argue device failure should be
+ * state-dependent.  The `storage` layer already accumulates the state
+ * (connector mating cycles against rated life); WearCoupling consumes
+ * it by installing the FaultInjector's scale hooks:
+ *
+ *  - cart_repair_per_trip scales with that cart's own connector wear
+ *    (a cart near rated life breaks down more per trip), and
+ *  - station MTBF shrinks with the library-wide mean wear (stations
+ *    mate against the same worn connectors).
+ *
+ * Both hooks multiply rates without touching RNG stream consumption,
+ * so zero gains are byte-identical to no coupling (tested).
+ */
+
+#ifndef DHL_OPS_WEAR_HPP
+#define DHL_OPS_WEAR_HPP
+
+#include <cstdint>
+
+#include "dhl/library.hpp"
+#include "faults/fault_injector.hpp"
+
+namespace dhl {
+namespace ops {
+
+/** Wear-coupling gains (0 = uncoupled, the memoryless base model). */
+struct WearCouplingConfig
+{
+    /** Cart breakdown probability multiplier slope: the per-trip
+     *  probability becomes p * (1 + gain * cart_wear_fraction). */
+    double breakdown_gain = 0.0;
+
+    /** Station MTBF divisor slope: station MTBF becomes
+     *  mtbf / (1 + gain * library_mean_wear_fraction). */
+    double station_gain = 0.0;
+};
+
+/** Validate; fatal() on negative gains. */
+void validate(const WearCouplingConfig &cfg);
+
+/** Mean connector wear fraction across one cart's SSDs (0 if none). */
+double cartWear(const core::Library &library, std::uint32_t cart);
+
+/** Mean connector wear fraction across every cart in the library. */
+double libraryWear(const core::Library &library);
+
+/** Installs the wear hooks of one track. */
+class WearCoupling
+{
+  public:
+    explicit WearCoupling(const WearCouplingConfig &cfg);
+
+    const WearCouplingConfig &config() const { return cfg_; }
+
+    /**
+     * Install the scale hooks into @p injector, reading live wear from
+     * @p library at every roll/draw.  The library must outlive the
+     * injector's last event.
+     */
+    void attach(faults::FaultInjector &injector,
+                core::Library &library) const;
+
+  private:
+    WearCouplingConfig cfg_;
+};
+
+} // namespace ops
+} // namespace dhl
+
+#endif // DHL_OPS_WEAR_HPP

@@ -94,6 +94,20 @@ class SsdModel
     ConnectorKind connector() const { return connector_; }
 
     /**
+     * Accumulated connector wear as a fraction of the rated mating
+     * cycles (1.0 = at rated life; can exceed 1.0 once worn).  The ops
+     * layer's wear coupling scales cart breakdown probability and
+     * station MTBF with this — the state-dependent-failure hook that
+     * replaces the memoryless assumption.
+     */
+    double
+    wearFraction() const
+    {
+        return static_cast<double>(cycles_) /
+               static_cast<double>(ratedCycles(connector_));
+    }
+
+    /**
      * Roll the failure dice for one shuttle trip using @p rng.
      * @return true if the device just failed.
      */

@@ -88,6 +88,25 @@ TEST(FleetTest, ReadsAccountedPerTrack)
     EXPECT_EQ(r.carts, 4u);
 }
 
+TEST(FleetTest, PerTrackSeedsDeriveFromTheFleetSeed)
+{
+    // Track i's controller RNG is deriveSeed(seed, i) — the same
+    // derivation enableFaults applies to the fault streams.  Same seed
+    // must replay exactly (including stochastic SSD failures);
+    // a different seed must decorrelate the failure pattern.
+    const DhlConfig cfg = defaultConfig();
+    BulkRunOptions opts;
+    opts.failure_per_trip = 0.4;
+    const double dataset = 16.0 * cfg.cartCapacity().value();
+    auto run = [&](std::uint64_t seed) {
+        DhlFleet f(cfg, 2, seed);
+        return f.runBulkTransfer(dataset, opts).ssd_failures;
+    };
+    EXPECT_EQ(run(1), run(1)) << "same seed replays exactly";
+    EXPECT_NE(run(1), run(1234567))
+        << "the per-track streams follow the fleet seed";
+}
+
 TEST(FleetTest, Accessors)
 {
     DhlFleet fleet(defaultConfig(), 3);

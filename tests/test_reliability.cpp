@@ -29,11 +29,11 @@ TEST(AvailabilityTest, SteadyStateProducts)
 {
     AvailabilityModel m(defaultConfig());
     const auto r = m.report();
-    const double lim_one = 50000.0 / 50008.0;
+    const double lim_one = 43800.0 / 43806.0;
     EXPECT_NEAR(r.lim_availability, lim_one * lim_one, 1e-12);
-    EXPECT_NEAR(r.track_availability, 100000.0 / 100024.0, 1e-12);
+    EXPECT_NEAR(r.track_availability, 87600.0 / 87612.0, 1e-12);
     // One station: its own availability.
-    EXPECT_NEAR(r.stations_availability, 30000.0 / 30004.0, 1e-12);
+    EXPECT_NEAR(r.stations_availability, 61320.0 / 61322.0, 1e-12);
     EXPECT_NEAR(r.system_availability,
                 r.lim_availability * r.track_availability *
                     r.stations_availability,

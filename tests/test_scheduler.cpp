@@ -76,6 +76,29 @@ TEST(DeadlineSchedulerTest, EarliestDeadlineFirst)
     EXPECT_EQ(s.pop().id, 4u);
 }
 
+TEST(SchedulerTest, DrainReturnsArrivalOrderRegardlessOfPolicy)
+{
+    // The ops-layer dispatcher drains a down track's queue and
+    // re-routes the work; arrival order keeps the re-route fair even
+    // when the policy would have popped in a different order.
+    FifoScheduler f;
+    PriorityScheduler p;
+    DeadlineScheduler d;
+    for (OpenScheduler *s :
+         std::initializer_list<OpenScheduler *>{&f, &p, &d}) {
+        s->push(req(1, 2, 0, 100.0));
+        s->push(req(2, 0, 5, 10.0));
+        s->push(req(3, 1, 1, 50.0));
+        const auto all = s->drain();
+        ASSERT_EQ(all.size(), 3u);
+        EXPECT_EQ(all[0].id, 2u) << s->name(); // seq 0
+        EXPECT_EQ(all[1].id, 3u) << s->name(); // seq 1
+        EXPECT_EQ(all[2].id, 1u) << s->name(); // seq 2
+        EXPECT_TRUE(s->empty()) << s->name();
+        EXPECT_TRUE(s->drain().empty()) << s->name();
+    }
+}
+
 TEST(SchedulerTest, PopFromEmptyPanics)
 {
     FifoScheduler f;

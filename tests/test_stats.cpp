@@ -7,6 +7,7 @@
 
 #include <cmath>
 #include <sstream>
+#include <vector>
 
 #include "common/logging.hpp"
 #include "common/stats.hpp"
@@ -140,6 +141,24 @@ TEST(StatGroupTest, ResetAllRecurses)
     root.resetAll();
     EXPECT_DOUBLE_EQ(s.value(), 0.0);
     EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(PercentileTest, InterpolatesBetweenClosestRanks)
+{
+    // p maps to rank p/100 * (n-1) with linear interpolation.
+    const std::vector<double> v = {4.0, 1.0, 3.0, 2.0}; // unsorted
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 4.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 2.5);
+    EXPECT_DOUBLE_EQ(percentile(v, 25.0), 1.75);
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 99.0), 7.0);
+}
+
+TEST(PercentileTest, RejectsEmptyAndOutOfRange)
+{
+    EXPECT_THROW(percentile({}, 50.0), dhl::FatalError);
+    EXPECT_THROW(percentile({1.0}, -1.0), dhl::FatalError);
+    EXPECT_THROW(percentile({1.0}, 100.5), dhl::FatalError);
 }
 
 TEST(StatGroupTest, AccumulatorAndHistogramRegistration)

@@ -20,7 +20,9 @@
 
 #include <algorithm>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/args.hpp"
 #include "common/logging.hpp"
@@ -35,6 +37,7 @@
 #include "exp/experiment_runner.hpp"
 #include "mlsim/ingest_sim.hpp"
 #include "mlsim/sweep.hpp"
+#include "ops/fleet_ops.hpp"
 
 using namespace dhl;
 namespace u = dhl::units;
@@ -166,6 +169,45 @@ cmdBulk(int argc, const char *const *argv)
     return 0;
 }
 
+/**
+ * Parse a --maintenance plan: comma-separated windows of the form
+ * start:duration[:period[:track]], all times in simulated seconds
+ * (period 0 or absent = one-shot; track absent = fleet-wide).
+ */
+ops::MaintenanceConfig
+parseMaintenancePlan(const std::string &spec)
+{
+    ops::MaintenanceConfig plan;
+    std::istringstream windows(spec);
+    std::string window;
+    while (std::getline(windows, window, ',')) {
+        std::vector<double> fields;
+        std::istringstream parts(window);
+        std::string part;
+        while (std::getline(parts, part, ':')) {
+            try {
+                fields.push_back(std::stod(part));
+            } catch (const std::exception &) {
+                fatal("bad --maintenance field '" + part + "' in '" +
+                      window + "'");
+            }
+        }
+        fatal_if(fields.size() < 2 || fields.size() > 4,
+                 "--maintenance windows are start:duration[:period"
+                 "[:track]], got '" + window + "'");
+        ops::MaintenanceWindow w;
+        w.start = fields[0];
+        w.duration = fields[1];
+        if (fields.size() > 2)
+            w.period = fields[2];
+        if (fields.size() > 3)
+            w.track = static_cast<int>(fields[3]);
+        plan.windows.push_back(w);
+    }
+    fatal_if(plan.windows.empty(), "--maintenance plan is empty");
+    return plan;
+}
+
 int
 cmdSimulate(int argc, const char *const *argv)
 {
@@ -187,16 +229,35 @@ cmdSimulate(int argc, const char *const *argv)
     args.addOption("dump-trace",
                    "dump trace records after the run: a category "
                    "(api|track|fault|failure) or 'all'");
+    args.addOption("tracks",
+                   "parallel DHL tracks (enables the ops layer, like "
+                   "any --ops-*/--maintenance/--domains flag)",
+                   "1");
+    args.addOption("ops-policy",
+                   "fleet dispatch policy: round-robin|least-queued|"
+                   "availability",
+                   "round-robin");
+    args.addOption("maintenance",
+                   "planned windows start:dur[:period[:track]] in "
+                   "simulated s, comma-separated");
+    args.addOption("domains",
+                   "tracks per shared vacuum plant (0 = no correlated "
+                   "faults)",
+                   "0");
+    args.addOption("plant-mtbf", "shared-plant MTBF, h", "8760");
+    args.addOption("plant-mttr", "shared-plant MTTR, h", "4");
+    args.addOption("wear-gain",
+                   "wear-coupling gain on cart breakdowns and station "
+                   "MTBF (requires --faults)",
+                   "0");
     if (!args.parse(argc, argv, std::cout))
         return 0;
     const core::DhlConfig cfg = configFromFlags(args);
-    core::DhlSimulation sim(cfg);
     core::BulkRunOptions opts;
     opts.pipelined = args.getSwitch("pipelined");
     opts.include_read_time = args.getSwitch("reads");
     opts.failure_per_trip = args.getDouble("failures");
-    if (args.provided("dump-trace"))
-        sim.trace().enable();
+    faults::FaultConfig fault_cfg;
     if (args.getSwitch("faults")) {
         const double accel = args.getDouble("fault-accel");
         fatal_if(!(accel > 0.0), "--fault-accel must be positive");
@@ -208,10 +269,73 @@ cmdSimulate(int argc, const char *const *argv)
         rel.station_mtbf /= accel;
         rel.station_mttr /= accel;
         rel.cart_repair_hours /= accel;
-        opts.faults = core::toFaultConfig(
+        fault_cfg = core::toFaultConfig(
             rel, static_cast<std::uint64_t>(
                      args.getInt("fault-seed")));
     }
+
+    const bool ops_mode =
+        args.provided("tracks") || args.provided("ops-policy") ||
+        args.provided("maintenance") || args.provided("domains") ||
+        args.provided("wear-gain");
+    if (ops_mode) {
+        const auto tracks =
+            static_cast<std::size_t>(args.getInt("tracks"));
+        fatal_if(tracks == 0, "--tracks must be at least 1");
+        ops::OpsConfig oc;
+        oc.dispatch.policy =
+            ops::parseDispatchPolicy(args.get("ops-policy"));
+        if (args.provided("maintenance"))
+            oc.maintenance = parseMaintenancePlan(args.get("maintenance"));
+        const auto domain_size =
+            static_cast<std::size_t>(args.getInt("domains"));
+        if (domain_size > 0) {
+            oc.domains.enabled = true;
+            oc.domains.domain_size = domain_size;
+            oc.domains.plant_mtbf = args.getDouble("plant-mtbf");
+            oc.domains.plant_mttr = args.getDouble("plant-mttr");
+            oc.domains.seed = static_cast<std::uint64_t>(
+                args.getInt("fault-seed"));
+        }
+        const double wear_gain = args.getDouble("wear-gain");
+        if (wear_gain > 0.0) {
+            oc.wear.breakdown_gain = wear_gain;
+            oc.wear.station_gain = wear_gain;
+        }
+        oc.faults = fault_cfg;
+        ops::FleetOps fleet_ops(cfg, tracks, oc);
+        const auto r = fleet_ops.runBulkTransfer(
+            u::petabytes(args.getDouble("petabytes")), opts);
+        std::cout << tracks << " x " << cfg.label() << " (DES + ops, "
+                  << ops::to_string(oc.dispatch.policy) << "):\n"
+                  << "  carts         " << r.base.carts << "\n"
+                  << "  launches      " << r.base.launches << "\n"
+                  << "  time          "
+                  << u::formatDuration(r.base.total_time) << "\n"
+                  << "  energy        "
+                  << u::formatEnergy(r.base.total_energy) << "\n"
+                  << "  bandwidth     "
+                  << u::formatBandwidth(r.base.effective_bandwidth)
+                  << "\n"
+                  << "  ssd failures  " << r.base.ssd_failures << "\n"
+                  << "  ops summary:\n"
+                  << "    maint windows " << r.maintenance_windows
+                  << "\n"
+                  << "    plant outages " << r.plant_outages << "\n"
+                  << "    reroutes      " << r.reroutes << "\n"
+                  << "    deferrals     " << r.deferrals << "\n"
+                  << "    open p99      "
+                  << u::formatSig(r.open_latency_p99, 4) << " s\n"
+                  << "    availability  "
+                  << u::formatSig(r.fleet_availability, 4)
+                  << " over the run\n";
+        return 0;
+    }
+
+    core::DhlSimulation sim(cfg);
+    if (args.provided("dump-trace"))
+        sim.trace().enable();
+    opts.faults = fault_cfg;
     const auto r = sim.runBulkTransfer(
         u::petabytes(args.getDouble("petabytes")), opts);
     std::cout << cfg.label() << " (DES):\n"

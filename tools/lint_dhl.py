@@ -19,6 +19,11 @@ compiler cannot:
   R4  include-guards       Headers under src/ use the canonical
                            ``DHL_<PATH>_HPP`` guard so guards never
                            collide as the tree grows.
+  R5  ops-layering         src/ops/ is a *library* layer between the
+                           fleet and the fault machinery — it must
+                           never include bench/ or tools/ headers
+                           (front-end code depends on ops, not the
+                           other way round).
 
 Usage:
   tools/lint_dhl.py [--root DIR]     lint the repo (exit 1 on findings)
@@ -52,6 +57,11 @@ IOSTREAM_ALLOWLIST = {os.path.join("src", "common", "logging.cpp")}
 NONDETERMINISM_RE = re.compile(r"(?<![\w.])(?:s?rand|time)\s*\(")
 
 GUARD_RE = re.compile(r"^#ifndef\s+(\S+)", re.MULTILINE)
+
+# R5: an #include whose path reaches into the front-end trees.  Both
+# quoted and angle-bracket forms, with or without a leading ../.
+OPS_LAYERING_RE = re.compile(
+    r'#\s*include\s*["<](?:\.\./)*(?:bench|tools)/')
 
 
 def strip_comments(text):
@@ -103,6 +113,13 @@ def lint_text(rel_path, text):
             (rel_path, find_line(code, m.start()), "nondeterminism",
              "%s) breaks seed-reproducibility; use dhl::Rng"
              % m.group(0).rstrip("(").strip()))
+
+    if posix.startswith("src/ops/"):
+        for m in OPS_LAYERING_RE.finditer(code):
+            findings.append(
+                (rel_path, find_line(code, m.start()), "ops-layering",
+                 "src/ops must not include front-end (bench/, tools/) "
+                 "headers"))
 
     if posix.endswith(".hpp"):
         g = GUARD_RE.search(code)
@@ -194,11 +211,30 @@ def self_test():
     check("R4 expected name",
           expected_guard(hpp) == "DHL_FOO_BAR_HPP")
 
+    # R5 fires only for src/ops/ files reaching into front-end trees.
+    ops_cpp = os.path.join("src", "ops", "dispatcher.cpp")
+    check("R5 bench include",
+          "ops-layering" in rules_of(
+              ops_cpp, '#include "bench/bench_util.hpp"\n'))
+    check("R5 tools include",
+          "ops-layering" in rules_of(
+              ops_cpp, '#include <tools/cli_helpers.hpp>\n'))
+    check("R5 relative include",
+          "ops-layering" in rules_of(
+              ops_cpp, '#include "../../bench/bench_util.hpp"\n'))
+    check("R5 library include ok",
+          not rules_of(ops_cpp, '#include "dhl/fleet.hpp"\n'))
+    check("R5 other dirs exempt",
+          "ops-layering" not in rules_of(
+              cpp, '#include "bench/bench_util.hpp"\n'))
+    check("R5 comment",
+          not rules_of(ops_cpp, '// #include "bench/bench_util.hpp"\n'))
+
     if failures:
         for name in failures:
             print("SELF-TEST FAIL: %s" % name)
         return 1
-    print("lint_dhl self-test: %d checks passed" % 21)
+    print("lint_dhl self-test: %d checks passed" % 27)
     return 0
 
 
