@@ -1,7 +1,8 @@
 /**
  * @file
  * Shared helpers for the table-regeneration harness: flag parsing
- * (--csv, --jobs N), a uniform header banner, and table emission.
+ * (--csv, --jobs N, --seed N, --experiment NAME), a uniform header
+ * banner, and table emission.
  *
  * All row formatting lives with the models (e.g. mlsim::sweepRows) or
  * inside the bench's scenario closures; the benches build scenario
@@ -13,6 +14,7 @@
 #ifndef DHL_BENCH_BENCH_UTIL_HPP
 #define DHL_BENCH_BENCH_UTIL_HPP
 
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -30,24 +32,35 @@ struct Options
 {
     bool csv = false;      ///< Emit CSV instead of the boxed table.
     std::size_t jobs = 0;  ///< Scenario parallelism; 0 = all cores.
+    std::uint64_t seed = 0; ///< Master seed; 0 = the bench's default.
+    std::string experiment; ///< Experiment selector; empty = all.
 };
 
-/** Parse a --jobs operand; prints an error and exits on garbage. */
-inline std::size_t
-parseJobs(const char *value)
+/** Parse an integer flag operand; prints an error and exits on
+ *  garbage. */
+inline std::uint64_t
+parseCount(const char *flag, const char *value)
 {
     bool numeric = *value != '\0';
     for (const char *p = value; numeric && *p; ++p)
         numeric = *p >= '0' && *p <= '9';
     if (!numeric) {
-        std::cerr << "error: --jobs expects an integer, got '" << value
-                  << "'\n";
+        std::cerr << "error: " << flag << " expects an integer, got '"
+                  << value << "'\n";
         std::exit(2);
     }
-    return static_cast<std::size_t>(std::stoul(value));
+    return std::stoull(value);
 }
 
-/** Parse --csv and --jobs N / --jobs=N; ignores everything else. */
+/** Parse a --jobs operand; prints an error and exits on garbage. */
+inline std::size_t
+parseJobs(const char *value)
+{
+    return static_cast<std::size_t>(parseCount("--jobs", value));
+}
+
+/** Parse --csv, --jobs N / --jobs=N, --seed N / --seed=N and
+ *  --experiment NAME / --experiment=NAME; ignores everything else. */
 inline Options
 parseArgs(int argc, char **argv)
 {
@@ -60,9 +73,27 @@ parseArgs(int argc, char **argv)
             opts.jobs = parseJobs(argv[++i]);
         } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
             opts.jobs = parseJobs(arg + 7);
+        } else if (std::strcmp(arg, "--seed") == 0 && i + 1 < argc) {
+            opts.seed = parseCount("--seed", argv[++i]);
+        } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+            opts.seed = parseCount("--seed", arg + 7);
+        } else if (std::strcmp(arg, "--experiment") == 0 &&
+                   i + 1 < argc) {
+            opts.experiment = argv[++i];
+        } else if (std::strncmp(arg, "--experiment=", 13) == 0) {
+            opts.experiment = arg + 13;
         }
     }
     return opts;
+}
+
+/** The bench's seed: the --seed flag if given, else @p fallback.  The
+ *  fallback preserves each bench's historical default stream, so an
+ *  unflagged run stays byte-identical to pre-flag output. */
+inline std::uint64_t
+seedOr(const Options &opts, std::uint64_t fallback)
+{
+    return opts.seed != 0 ? opts.seed : fallback;
 }
 
 /** True if the user asked for CSV output (shorthand for parseArgs). */

@@ -258,18 +258,12 @@ fleetPolicyScenario(std::string name, ops::DispatchPolicy policy,
     return s;
 }
 
-/** Parse --experiment e17|e18|all (default all); bench::parseArgs
- *  ignores flags it does not know, so this composes with --csv/--jobs. */
+/** Validate the shared --experiment flag: e17|e18|all (default all). */
 std::string
-parseExperiment(int argc, char **argv)
+checkExperiment(const bench::Options &opts)
 {
-    std::string which = "all";
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--experiment") == 0 && i + 1 < argc)
-            which = argv[++i];
-        else if (std::strncmp(argv[i], "--experiment=", 13) == 0)
-            which = argv[i] + 13;
-    }
+    const std::string which =
+        opts.experiment.empty() ? "all" : opts.experiment;
     if (which != "e17" && which != "e18" && which != "all") {
         std::cerr << "error: --experiment expects e17|e18|all, got '"
                   << which << "'\n";
@@ -407,7 +401,7 @@ int
 main(int argc, char **argv)
 {
     const bench::Options opts = bench::parseArgs(argc, argv);
-    const std::string which = parseExperiment(argc, argv);
+    const std::string which = checkExperiment(opts);
     if (!opts.csv) {
         bench::banner("E17/E18 (beyond-paper)",
                       "fault-injection DES vs closed-form availability "

@@ -55,14 +55,15 @@ addScenario(TextTable &table, const std::string &name,
 int
 main(int argc, char **argv)
 {
-    const bool csv = bench::wantCsv(argc, argv);
+    const bench::Options opts = bench::parseArgs(argc, argv);
+    const bool csv = opts.csv;
     if (!csv) {
         bench::banner("E15 (workload study, §II-D)",
                       "synthetic backup / physics / ML-staging "
                       "campaigns, DHL vs optical");
     }
 
-    Rng rng(2024);
+    Rng rng(bench::seedOr(opts, 2024));
     TextTable table({"Scenario / scheme", "Requests", "Bytes",
                      "Makespan", "Mean latency", "Energy"});
 

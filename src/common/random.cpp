@@ -142,6 +142,26 @@ Rng::zipf(std::size_t n, double s)
     return table.sample(*this);
 }
 
+RngState
+Rng::saveState() const
+{
+    RngState s{};
+    for (std::size_t i = 0; i < 4; ++i)
+        s.state[i] = state_[i];
+    s.has_spare = has_spare_;
+    s.spare = spare_;
+    return s;
+}
+
+void
+Rng::restoreState(const RngState &s)
+{
+    for (std::size_t i = 0; i < 4; ++i)
+        state_[i] = s.state[i];
+    has_spare_ = s.has_spare;
+    spare_ = s.spare;
+}
+
 ZipfTable::ZipfTable(std::size_t n, double s)
 {
     fatal_if(n == 0, "ZipfTable needs at least one rank");

@@ -26,6 +26,19 @@ namespace dhl {
  */
 std::uint64_t deriveSeed(std::uint64_t base, std::uint64_t stream);
 
+/**
+ * The complete stream position of an Rng: the four xoshiro256** state
+ * words plus the Box-Muller spare cache.  Checkpoint/restore captures
+ * this so a restored run consumes exactly the same variate sequence as
+ * the uninterrupted one (sim/snapshot.hpp).
+ */
+struct RngState
+{
+    std::uint64_t state[4];
+    bool has_spare;
+    double spare;
+};
+
 /** xoshiro256** PRNG with explicit, copyable state. */
 class Rng
 {
@@ -59,6 +72,12 @@ class Rng
      * table lookup.  Use ZipfTable for repeated draws over the same (n, s).
      */
     std::size_t zipf(std::size_t n, double s);
+
+    /** Capture the exact stream position. */
+    RngState saveState() const;
+
+    /** Resume from a captured stream position. */
+    void restoreState(const RngState &s);
 
   private:
     std::uint64_t state_[4];

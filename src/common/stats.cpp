@@ -45,6 +45,39 @@ percentile(std::vector<double> values, double p)
 }
 
 //===========================================================================
+// SloAccumulator
+//===========================================================================
+
+void
+SloAccumulator::complete(double latency, double bytes)
+{
+    ++served_;
+    bytes_ += bytes;
+    latencies_.push_back(latency);
+}
+
+double
+SloAccumulator::latencyPercentile(double p) const
+{
+    if (latencies_.empty())
+        return 0.0;
+    return percentile(latencies_, p);
+}
+
+void
+SloAccumulator::restore(std::uint64_t offered, std::uint64_t deferred,
+                        std::uint64_t shed, double bytes,
+                        std::vector<double> latencies)
+{
+    offered_ = offered;
+    deferred_ = deferred;
+    shed_ = shed;
+    bytes_ = bytes;
+    latencies_ = std::move(latencies);
+    served_ = latencies_.size();
+}
+
+//===========================================================================
 // Scalar / Counter
 //===========================================================================
 

@@ -185,6 +185,61 @@ class Histogram : public StatBase
  */
 double percentile(std::vector<double> values, double p);
 
+/**
+ * Open-loop SLO accounting for one serving stage (src/serve): request
+ * dispositions (offered / served / deferred / shed), delivered bytes,
+ * and the full completion-latency sample set so tail percentiles
+ * (P99/P999) are exact rather than estimated.  Latency is measured
+ * from the request's *intended* open-loop arrival time, so queueing
+ * delay — including admission deferral — is part of the tail, which is
+ * what makes the accounting open-loop (the paper's closed-loop batch
+ * harnesses cannot see that delay at all).
+ *
+ * Plain accounting object, not a StatBase: the serve layer owns one
+ * per stage and snapshots/restores them through its own checkpoint
+ * path (common/ cannot depend on sim/snapshot).
+ */
+class SloAccumulator
+{
+  public:
+    /** A request whose arrival falls in this stage. */
+    void offer() { ++offered_; }
+
+    /** A request queued at admission (counted once per request). */
+    void defer() { ++deferred_; }
+
+    /** A request dropped because the pending queue was full. */
+    void shed() { ++shed_; }
+
+    /** A completed request: open-loop latency and delivered bytes. */
+    void complete(double latency, double bytes);
+
+    std::uint64_t offered() const { return offered_; }
+    std::uint64_t served() const { return served_; }
+    std::uint64_t deferred() const { return deferred_; }
+    std::uint64_t shed() const { return shed_; }
+    double bytesDelivered() const { return bytes_; }
+
+    /** Completion-latency percentile; 0 when nothing completed. */
+    double latencyPercentile(double p) const;
+
+    /** The raw completion-latency samples, in completion order. */
+    const std::vector<double> &latencies() const { return latencies_; }
+
+    /** Rebuild from checkpointed state (serve-layer restore path). */
+    void restore(std::uint64_t offered, std::uint64_t deferred,
+                 std::uint64_t shed, double bytes,
+                 std::vector<double> latencies);
+
+  private:
+    std::uint64_t offered_ = 0;
+    std::uint64_t served_ = 0;
+    std::uint64_t deferred_ = 0;
+    std::uint64_t shed_ = 0;
+    double bytes_ = 0.0;
+    std::vector<double> latencies_;
+};
+
 /** A derived value evaluated lazily at dump time. */
 class Formula : public StatBase
 {

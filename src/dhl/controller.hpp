@@ -169,6 +169,17 @@ class DhlController : public sim::SimObject
     /** Per-trip cart breakdowns rolled at the library. */
     std::uint64_t cartBreakdowns() const { return cart_breakdowns_; }
 
+    /**
+     * Checkpoint/restore at a drained boundary: no open may be queued
+     * or in flight and every cart must be stored (fatal otherwise) —
+     * the serving loop guarantees this by draining request work before
+     * snapshotting.  Captures the SSD-failure RNG position, the open
+     * sequence counter, the degraded-mode tallies, and the track's
+     * admission/energy state.
+     */
+    void saveState(sim::SnapshotWriter &w) const override;
+    void restoreState(sim::SnapshotReader &r) override;
+
   private:
     DockingStation *findFreeStation();
     bool launchesBlocked() const

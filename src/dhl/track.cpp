@@ -108,5 +108,37 @@ Track::launches(Direction dir) const
     return launches_dir_[static_cast<int>(dir)];
 }
 
+void
+Track::saveState(sim::SnapshotWriter &w) const
+{
+    sim::SnapshotScope<sim::SnapshotWriter> scope(w, "track");
+    w.putDouble("drain_time", drain_time_);
+    w.putDouble("last_depart_out", last_depart_[0]);
+    w.putDouble("last_depart_in", last_depart_[1]);
+    w.putBool("has_last_direction", has_last_direction_);
+    w.putBool("last_inbound", last_direction_ == Direction::Inbound);
+    w.putDouble("total_energy", total_energy_);
+    w.putU64("launches", launches_);
+    w.putU64("launches_out", launches_dir_[0]);
+    w.putU64("launches_in", launches_dir_[1]);
+}
+
+void
+Track::restoreState(sim::SnapshotReader &r)
+{
+    sim::SnapshotScope<sim::SnapshotReader> scope(r, "track");
+    drain_time_ = r.getDouble("drain_time");
+    last_depart_[0] = r.getDouble("last_depart_out");
+    last_depart_[1] = r.getDouble("last_depart_in");
+    has_last_direction_ = r.getBool("has_last_direction");
+    last_direction_ = r.getBool("last_inbound") ? Direction::Inbound
+                                                : Direction::Outbound;
+    total_energy_ = r.getDouble("total_energy");
+    launches_ = r.getU64("launches");
+    launches_dir_[0] = r.getU64("launches_out");
+    launches_dir_[1] = r.getU64("launches_in");
+    stat_energy_->set(total_energy_);
+}
+
 } // namespace core
 } // namespace dhl

@@ -91,6 +91,18 @@ class Track : public sim::SimObject
     /** Earliest time the tube is fully drained, s. */
     double drainTime() const { return drain_time_; }
 
+    /**
+     * Checkpoint/restore: the admission state (drain time, per-
+     * direction last departures) and the energy/launch accumulators,
+     * all bit-exact — restoring the accumulators to their checkpointed
+     * values (rather than replaying deltas) is what keeps total energy
+     * byte-identical across a restore, since (x + e) - x != e in
+     * floating point.  The stats-group counters are host-side tallies
+     * and restart from the boundary.
+     */
+    void saveState(sim::SnapshotWriter &w) const override;
+    void restoreState(sim::SnapshotReader &r) override;
+
   private:
     const DhlConfig &cfg_;
     const faults::FaultState *faults_ = nullptr;

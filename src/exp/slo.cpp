@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Implementation of the shared SLO-table formatting.
+ */
+
+#include "exp/slo.hpp"
+
+#include "common/units.hpp"
+
+namespace dhl {
+namespace exp {
+
+std::vector<std::string>
+sloHeaders()
+{
+    return {"Stage",    "Offered", "Served", "Deferred",
+            "Shed",     "P50",     "P99",    "P99.9",
+            "Avail",    "Goodput"};
+}
+
+std::vector<std::string>
+sloRow(const StageSlo &s)
+{
+    return {s.name,
+            std::to_string(s.offered),
+            std::to_string(s.served),
+            std::to_string(s.deferred),
+            std::to_string(s.shed),
+            units::formatDuration(s.p50),
+            units::formatDuration(s.p99),
+            units::formatDuration(s.p999),
+            units::formatSig(s.availability, 6),
+            units::formatBandwidth(s.goodput)};
+}
+
+std::vector<std::vector<std::string>>
+sloRows(const std::vector<StageSlo> &stages)
+{
+    std::vector<std::vector<std::string>> rows;
+    rows.reserve(stages.size());
+    for (const auto &s : stages)
+        rows.push_back(sloRow(s));
+    return rows;
+}
+
+} // namespace exp
+} // namespace dhl

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Per-stage SLO reporting for the open-loop serving mode.
+ *
+ * The serving layer (src/serve) measures each load-profile stage with a
+ * stats::SloAccumulator; this header is the presentation contract both
+ * consumers share — `dhl_cli serve` and bench/serving_study emit the
+ * same headers and the same formatted rows, so a checkpoint-equivalence
+ * check can diff their output byte for byte.  Kept free of serve-layer
+ * types on purpose: serve fills in plain StageSlo values, exp formats
+ * them.
+ */
+
+#ifndef DHL_EXP_SLO_HPP
+#define DHL_EXP_SLO_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dhl {
+namespace exp {
+
+/** The measured SLO outcome of one serving stage. */
+struct StageSlo
+{
+    std::string name;          ///< Stage label.
+    double start = 0.0;        ///< Stage start, s.
+    double duration = 0.0;     ///< Stage length, s.
+    std::uint64_t offered = 0; ///< Requests arriving in the stage.
+    std::uint64_t served = 0;  ///< Requests completed (any time).
+    std::uint64_t deferred = 0;///< Requests that waited in admission.
+    std::uint64_t shed = 0;    ///< Requests dropped (queue full).
+    double p50 = 0.0;          ///< Median open-loop latency, s.
+    double p99 = 0.0;          ///< P99 open-loop latency, s.
+    double p999 = 0.0;         ///< P999 open-loop latency, s.
+    double availability = 1.0; ///< Mean per-track service availability.
+    double goodput = 0.0;      ///< Delivered bytes / stage duration.
+};
+
+/** Table headers matching sloRow(). */
+std::vector<std::string> sloHeaders();
+
+/** One formatted table row per stage. */
+std::vector<std::string> sloRow(const StageSlo &s);
+
+/** Format a whole profile: one row per stage, in order. */
+std::vector<std::vector<std::string>> sloRows(
+    const std::vector<StageSlo> &stages);
+
+} // namespace exp
+} // namespace dhl
+
+#endif // DHL_EXP_SLO_HPP

@@ -135,6 +135,7 @@ void
 FaultInjector::scheduleFailure(std::size_t unit)
 {
     Unit &u = units_[unit];
+    u.has_pending = false;
     double mtbf = u.mtbf;
     if (mtbf_scale_) {
         const double factor = mtbf_scale_(u.kind, u.index);
@@ -146,19 +147,33 @@ FaultInjector::scheduleFailure(std::size_t unit)
     const double fail_at = now() + uptime;
     if (fail_at >= cfg_.horizon)
         return; // past the horizon: this component fails no more
-    u.pending = schedule(uptime, [this, unit] {
-        Unit &fu = units_[unit];
-        state_.fail(fu.kind, fu.index);
-        ++injected_;
-        stat_failures_->increment();
-        fu.pending = schedule(fu.mttr, [this, unit] {
-            Unit &ru = units_[unit];
-            state_.repair(ru.kind, ru.index);
-            ++injected_;
-            stat_repairs_->increment();
-            scheduleFailure(unit);
-        });
-    });
+    u.has_pending = true;
+    u.pending_when = fail_at;
+    u.pending_is_repair = false;
+    u.pending = schedule(uptime, [this, unit] { failUnit(unit); });
+}
+
+void
+FaultInjector::failUnit(std::size_t unit)
+{
+    Unit &u = units_[unit];
+    state_.fail(u.kind, u.index);
+    ++injected_;
+    stat_failures_->increment();
+    u.has_pending = true;
+    u.pending_when = now() + u.mttr;
+    u.pending_is_repair = true;
+    u.pending = schedule(u.mttr, [this, unit] { repairUnit(unit); });
+}
+
+void
+FaultInjector::repairUnit(std::size_t unit)
+{
+    Unit &u = units_[unit];
+    state_.repair(u.kind, u.index);
+    ++injected_;
+    stat_repairs_->increment();
+    scheduleFailure(unit);
 }
 
 bool
@@ -189,8 +204,90 @@ FaultInjector::rollBreakdown(std::uint32_t cart)
 void
 FaultInjector::stop()
 {
-    for (auto &u : units_)
+    for (auto &u : units_) {
         simulator().cancel(u.pending);
+        u.has_pending = false;
+    }
+}
+
+void
+FaultInjector::saveState(sim::SnapshotWriter &w) const
+{
+    sim::SnapshotScope<sim::SnapshotWriter> scope(w, "injector");
+    w.putU64("units", units_.size());
+    for (std::size_t i = 0; i < units_.size(); ++i) {
+        const Unit &u = units_[i];
+        std::string key("u");
+        key += std::to_string(i);
+        sim::SnapshotScope<sim::SnapshotWriter> us(w, key);
+        w.putRng("rng", u.rng);
+        w.putBool("pending", u.has_pending);
+        if (u.has_pending) {
+            w.putDouble("when", u.pending_when);
+            w.putBool("is_repair", u.pending_is_repair);
+        }
+    }
+
+    std::vector<std::uint32_t> cart_ids;
+    cart_ids.reserve(cart_rngs_.size());
+    for (const auto &[id, rng] : cart_rngs_)
+        cart_ids.push_back(id);
+    std::sort(cart_ids.begin(), cart_ids.end());
+    w.putU64("carts", cart_ids.size());
+    for (std::size_t i = 0; i < cart_ids.size(); ++i) {
+        std::string key("cart");
+        key += std::to_string(i);
+        sim::SnapshotScope<sim::SnapshotWriter> cs(w, key);
+        w.putU64("id", cart_ids[i]);
+        w.putRng("rng", cart_rngs_.at(cart_ids[i]));
+    }
+    w.putU64("injected", injected_);
+}
+
+void
+FaultInjector::restoreState(sim::SnapshotReader &r)
+{
+    // Drop the constructor-scheduled first failures; the checkpoint
+    // says what is actually pending.
+    stop();
+
+    sim::SnapshotScope<sim::SnapshotReader> scope(r, "injector");
+    fatal_if(r.getU64("units") != units_.size(),
+             "injector restore: unit count does not match the "
+             "checkpoint");
+    for (std::size_t i = 0; i < units_.size(); ++i) {
+        Unit &u = units_[i];
+        std::string key("u");
+        key += std::to_string(i);
+        sim::SnapshotScope<sim::SnapshotReader> us(r, key);
+        r.getRng("rng", u.rng);
+        u.has_pending = r.getBool("pending");
+        if (!u.has_pending)
+            continue;
+        u.pending_when = r.getDouble("when");
+        u.pending_is_repair = r.getBool("is_repair");
+        const std::size_t unit = i;
+        u.pending = u.pending_is_repair
+                        ? simulator().scheduleAt(
+                              u.pending_when,
+                              [this, unit] { repairUnit(unit); })
+                        : simulator().scheduleAt(
+                              u.pending_when,
+                              [this, unit] { failUnit(unit); });
+    }
+
+    cart_rngs_.clear();
+    const std::uint64_t n_carts = r.getU64("carts");
+    for (std::uint64_t i = 0; i < n_carts; ++i) {
+        std::string key("cart");
+        key += std::to_string(i);
+        sim::SnapshotScope<sim::SnapshotReader> cs(r, key);
+        const auto id = static_cast<std::uint32_t>(r.getU64("id"));
+        Rng rng(1);
+        r.getRng("rng", rng);
+        cart_rngs_.emplace(id, rng);
+    }
+    injected_ = r.getU64("injected");
 }
 
 } // namespace faults

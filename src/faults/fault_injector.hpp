@@ -131,6 +131,19 @@ class FaultInjector : public sim::SimObject
      *  state; already-failed components still get their repair). */
     void stop();
 
+    //------------------------------------------------------------------
+    // Checkpoint/restore.  Each unit's pending event is tracked as
+    // (absolute time, fail-or-repair), so a checkpoint captures the
+    // exact fault timeline position: RNG stream per unit and per cart,
+    // plus which transition fires next and when.  restoreState()
+    // cancels the constructor-scheduled failures, restores every
+    // stream, and re-schedules the saved transitions at their absolute
+    // times — byte-identical continuation of the timeline.
+    //------------------------------------------------------------------
+
+    void saveState(sim::SnapshotWriter &w) const override;
+    void restoreState(sim::SnapshotReader &r) override;
+
   private:
     struct Unit
     {
@@ -140,9 +153,14 @@ class FaultInjector : public sim::SimObject
         double mttr; ///< s
         Rng rng;
         sim::EventHandle pending;
+        bool has_pending = false;
+        double pending_when = 0.0;
+        bool pending_is_repair = false;
     };
 
     void scheduleFailure(std::size_t unit);
+    void failUnit(std::size_t unit);
+    void repairUnit(std::size_t unit);
     void addUnit(Component kind, std::uint32_t index, double mtbf_hours,
                  double mttr_hours, std::uint64_t stream);
     bool rollBreakdown(std::uint32_t cart);

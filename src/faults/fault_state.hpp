@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "sim/simulator.hpp"
+#include "sim/snapshot.hpp"
 #include "sim/trace.hpp"
 
 namespace dhl {
@@ -206,6 +207,25 @@ class FaultState
      *  the "fault" category.  Pass nullptr to detach. */
     void attachTrace(sim::TraceRecorder *trace) { trace_ = trace; }
 
+    //------------------------------------------------------------------
+    // Checkpoint/restore (sim/snapshot.hpp)
+    //------------------------------------------------------------------
+
+    /**
+     * Serialise the full registry: per-component up/down plus
+     * fail/repair tallies, the cart repair shop, launch inhibits, and
+     * the complete service edge log — the log in full so
+     * serviceDowntime(t) answers identically for *any* t after a
+     * restore, which per-stage availability accounting depends on.
+     * Listeners, the breakdown roller, and the retry policy are
+     * configuration re-established by the restoring harness.
+     * restoreState() expects the same components registered; inhibits
+     * are restored as a count, so ops processes must re-schedule their
+     * releases without re-pushing.
+     */
+    void saveState(sim::SnapshotWriter &w) const;
+    void restoreState(sim::SnapshotReader &r);
+
   private:
     struct KindState
     {
@@ -217,6 +237,10 @@ class FaultState
 
     KindState &kindState(Component kind);
     const KindState &kindState(Component kind) const;
+    static void saveKind(sim::SnapshotWriter &w, const char *scope,
+                         const KindState &ks);
+    static void restoreKind(sim::SnapshotReader &r, const char *scope,
+                            KindState &ks);
     void noteServiceEdge();
     void notifyRepair();
     void notifyOutage();

@@ -63,6 +63,10 @@ CorrelatedFaultModel::CorrelatedFaultModel(
     for (std::size_t d = 0; d < n_domains; ++d) {
         Plant plant{{},
                     Rng(deriveSeed(cfg_.seed, kPlantStreamSalt + d)),
+                    false,
+                    sim::EventHandle{},
+                    false,
+                    0.0,
                     false};
         const std::size_t lo = d * cfg_.domain_size;
         const std::size_t hi =
@@ -99,27 +103,108 @@ void
 CorrelatedFaultModel::scheduleOutage(std::size_t domain)
 {
     Plant &plant = plants_[domain];
+    plant.has_pending = false;
     const double uptime =
         std::max(plant.rng.exponential(cfg_.plant_mtbf * kSecondsPerHour),
                  kMinUptime);
     if (now() + uptime >= cfg_.horizon)
         return; // past the horizon: this plant trips no more
-    schedule(uptime, [this, domain] {
-        Plant &p = plants_[domain];
-        p.down = true;
-        ++outages_;
-        stat_outages_->increment();
-        for (auto *state : p.members)
-            state->pushLaunchInhibit(reason(domain));
-        schedule(cfg_.plant_mttr * kSecondsPerHour, [this, domain] {
-            Plant &rp = plants_[domain];
-            for (auto *state : rp.members)
-                state->popLaunchInhibit(reason(domain));
-            rp.down = false;
-            stat_restores_->increment();
-            scheduleOutage(domain);
-        });
-    });
+    plant.has_pending = true;
+    plant.pending_when = now() + uptime;
+    plant.pending_is_restore = false;
+    plant.pending = schedule(uptime, [this, domain] { beginOutage(domain); });
+}
+
+void
+CorrelatedFaultModel::beginOutage(std::size_t domain)
+{
+    Plant &p = plants_[domain];
+    p.down = true;
+    ++outages_;
+    stat_outages_->increment();
+    for (auto *state : p.members)
+        state->pushLaunchInhibit(reason(domain));
+    const double mttr = cfg_.plant_mttr * kSecondsPerHour;
+    p.has_pending = true;
+    p.pending_when = now() + mttr;
+    p.pending_is_restore = true;
+    p.pending = schedule(mttr, [this, domain] { finishOutage(domain); });
+}
+
+void
+CorrelatedFaultModel::finishOutage(std::size_t domain)
+{
+    Plant &p = plants_[domain];
+    for (auto *state : p.members)
+        state->popLaunchInhibit(reason(domain));
+    p.down = false;
+    stat_restores_->increment();
+    scheduleOutage(domain);
+}
+
+void
+CorrelatedFaultModel::stop()
+{
+    for (auto &p : plants_) {
+        simulator().cancel(p.pending);
+        p.has_pending = false;
+    }
+}
+
+void
+CorrelatedFaultModel::saveState(sim::SnapshotWriter &w) const
+{
+    sim::SnapshotScope<sim::SnapshotWriter> scope(w, "plants");
+    w.putU64("domains", plants_.size());
+    for (std::size_t d = 0; d < plants_.size(); ++d) {
+        const Plant &p = plants_[d];
+        std::string key("d");
+        key += std::to_string(d);
+        sim::SnapshotScope<sim::SnapshotWriter> ds(w, key);
+        w.putRng("rng", p.rng);
+        w.putBool("down", p.down);
+        w.putBool("pending", p.has_pending);
+        if (p.has_pending) {
+            w.putDouble("when", p.pending_when);
+            w.putBool("is_restore", p.pending_is_restore);
+        }
+    }
+    w.putU64("outages", outages_);
+}
+
+void
+CorrelatedFaultModel::restoreState(sim::SnapshotReader &r)
+{
+    for (auto &p : plants_) {
+        simulator().cancel(p.pending);
+        p.has_pending = false;
+    }
+
+    sim::SnapshotScope<sim::SnapshotReader> scope(r, "plants");
+    fatal_if(r.getU64("domains") != plants_.size(),
+             "plant restore: domain count does not match the checkpoint");
+    for (std::size_t d = 0; d < plants_.size(); ++d) {
+        Plant &p = plants_[d];
+        std::string key("d");
+        key += std::to_string(d);
+        sim::SnapshotScope<sim::SnapshotReader> ds(r, key);
+        r.getRng("rng", p.rng);
+        p.down = r.getBool("down");
+        p.has_pending = r.getBool("pending");
+        if (!p.has_pending)
+            continue;
+        p.pending_when = r.getDouble("when");
+        p.pending_is_restore = r.getBool("is_restore");
+        const std::size_t dom = d;
+        p.pending = p.pending_is_restore
+                        ? simulator().scheduleAt(
+                              p.pending_when,
+                              [this, dom] { finishOutage(dom); })
+                        : simulator().scheduleAt(
+                              p.pending_when,
+                              [this, dom] { beginOutage(dom); });
+    }
+    outages_ = r.getU64("outages");
 }
 
 } // namespace ops

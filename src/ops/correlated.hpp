@@ -92,15 +92,36 @@ class CorrelatedFaultModel : public sim::SimObject
     /** Common-cause outages injected so far. */
     std::uint64_t outages() const { return outages_; }
 
+    /** Cancel every pending transition (tripped plants stay down; the
+     *  restore path re-arms the process from a checkpoint). */
+    void stop();
+
+    //------------------------------------------------------------------
+    // Checkpoint/restore.  Mirrors the FaultInjector: per-domain RNG
+    // stream plus the next transition (outage begin or plant restore)
+    // as an absolute time.  restoreState() cancels the constructor
+    // schedule and re-arms the saved transitions; member-track inhibits
+    // are not re-pushed (the restored FaultStates carry the count).
+    //------------------------------------------------------------------
+
+    void saveState(sim::SnapshotWriter &w) const override;
+    void restoreState(sim::SnapshotReader &r) override;
+
   private:
     struct Plant
     {
         std::vector<faults::FaultState *> members;
         Rng rng;
         bool down = false;
+        sim::EventHandle pending;
+        bool has_pending = false;
+        double pending_when = 0.0;
+        bool pending_is_restore = false;
     };
 
     void scheduleOutage(std::size_t domain);
+    void beginOutage(std::size_t domain);
+    void finishOutage(std::size_t domain);
     std::string reason(std::size_t domain) const;
 
     SharedDomainConfig cfg_;

@@ -35,7 +35,8 @@ MaintenanceScheduler::MaintenanceScheduler(
     : sim::SimObject(sim, std::move(name)),
       states_(std::move(states)),
       cfg_(cfg),
-      open_(cfg.windows.size(), false)
+      open_(cfg.windows.size(), false),
+      pending_(cfg.windows.size())
 {
     fatal_if(states_.empty(),
              "maintenance scheduler needs at least one track registry");
@@ -81,9 +82,15 @@ MaintenanceScheduler::targets(std::size_t w)
 void
 MaintenanceScheduler::scheduleOccurrence(std::size_t w, double start)
 {
+    Pending &p = pending_[w];
+    p.active = false;
     if (start >= cfg_.horizon)
         return; // plan exhausted: this window opens no more
-    schedule(start - now(), [this, w, start] { begin(w, start); });
+    p.active = true;
+    p.when = start;
+    p.is_end = false;
+    p.occurrence = start;
+    p.handle = schedule(start - now(), [this, w, start] { begin(w, start); });
 }
 
 void
@@ -95,8 +102,13 @@ MaintenanceScheduler::begin(std::size_t w, double start)
     stat_started_->increment();
     for (auto *state : targets(w))
         state->pushLaunchInhibit(reason(w));
-    schedule(cfg_.windows[w].duration,
-             [this, w, start] { end(w, start); });
+    Pending &p = pending_[w];
+    p.active = true;
+    p.when = now() + cfg_.windows[w].duration;
+    p.is_end = true;
+    p.occurrence = start;
+    p.handle = schedule(cfg_.windows[w].duration,
+                        [this, w, start] { end(w, start); });
 }
 
 void
@@ -107,9 +119,76 @@ MaintenanceScheduler::end(std::size_t w, double start)
     open_[w] = false;
     ++completed_;
     stat_completed_->increment();
+    pending_[w].active = false;
     const double period = cfg_.windows[w].period;
     if (period > 0.0)
         scheduleOccurrence(w, start + period);
+}
+
+void
+MaintenanceScheduler::cancelPending()
+{
+    for (auto &p : pending_) {
+        simulator().cancel(p.handle);
+        p.active = false;
+    }
+}
+
+void
+MaintenanceScheduler::saveState(sim::SnapshotWriter &w) const
+{
+    sim::SnapshotScope<sim::SnapshotWriter> scope(w, "maintenance");
+    w.putU64("windows", cfg_.windows.size());
+    for (std::size_t i = 0; i < cfg_.windows.size(); ++i) {
+        std::string key("w");
+        key += std::to_string(i);
+        sim::SnapshotScope<sim::SnapshotWriter> ws(w, key);
+        w.putBool("open", open_[i]);
+        const Pending &p = pending_[i];
+        w.putBool("pending", p.active);
+        if (p.active) {
+            w.putDouble("when", p.when);
+            w.putBool("is_end", p.is_end);
+            w.putDouble("occurrence", p.occurrence);
+        }
+    }
+    w.putU64("started", started_);
+    w.putU64("completed", completed_);
+}
+
+void
+MaintenanceScheduler::restoreState(sim::SnapshotReader &r)
+{
+    cancelPending();
+
+    sim::SnapshotScope<sim::SnapshotReader> scope(r, "maintenance");
+    fatal_if(r.getU64("windows") != cfg_.windows.size(),
+             "maintenance restore: window count does not match the "
+             "checkpoint");
+    for (std::size_t i = 0; i < cfg_.windows.size(); ++i) {
+        std::string key("w");
+        key += std::to_string(i);
+        sim::SnapshotScope<sim::SnapshotReader> ws(r, key);
+        open_[i] = r.getBool("open");
+        Pending &p = pending_[i];
+        p.active = r.getBool("pending");
+        if (!p.active)
+            continue;
+        p.when = r.getDouble("when");
+        p.is_end = r.getBool("is_end");
+        p.occurrence = r.getDouble("occurrence");
+        const std::size_t w_idx = i;
+        const double start = p.occurrence;
+        p.handle = p.is_end
+                       ? simulator().scheduleAt(
+                             p.when,
+                             [this, w_idx, start] { end(w_idx, start); })
+                       : simulator().scheduleAt(
+                             p.when,
+                             [this, w_idx, start] { begin(w_idx, start); });
+    }
+    started_ = r.getU64("started");
+    completed_ = r.getU64("completed");
 }
 
 } // namespace ops

@@ -85,10 +85,37 @@ class MaintenanceScheduler : public sim::SimObject
     /** True while any occurrence of window @p w is open. */
     bool windowOpen(std::size_t w) const;
 
+    /** Cancel every pending transition (open windows stay open; the
+     *  restore path re-arms the plan from a checkpoint). */
+    void stop() { cancelPending(); }
+
+    //------------------------------------------------------------------
+    // Checkpoint/restore.  Each window's next transition (begin or
+    // end) is tracked as an absolute time; restoreState() cancels the
+    // constructor-scheduled plan, restores the open flags and tallies,
+    // and re-schedules the saved transitions.  Launch inhibits are NOT
+    // re-pushed — the restored FaultState already counts them; the
+    // re-scheduled end event pops what the original begin pushed.
+    //------------------------------------------------------------------
+
+    void saveState(sim::SnapshotWriter &w) const override;
+    void restoreState(sim::SnapshotReader &r) override;
+
   private:
+    /** The window's next scheduled transition. */
+    struct Pending
+    {
+        sim::EventHandle handle;
+        bool active = false;
+        double when = 0.0;       ///< Absolute fire time, s.
+        bool is_end = false;     ///< false: begin fires; true: end.
+        double occurrence = 0.0; ///< Start of the occurrence it serves.
+    };
+
     void scheduleOccurrence(std::size_t w, double start);
     void begin(std::size_t w, double start);
     void end(std::size_t w, double start);
+    void cancelPending();
     std::string reason(std::size_t w) const;
 
     /** The registries a window drives (one, or all for track = -1). */
@@ -97,6 +124,7 @@ class MaintenanceScheduler : public sim::SimObject
     std::vector<faults::FaultState *> states_;
     MaintenanceConfig cfg_;
     std::vector<bool> open_;
+    std::vector<Pending> pending_;
     std::uint64_t started_ = 0;
     std::uint64_t completed_ = 0;
 

@@ -1,0 +1,714 @@
+/**
+ * @file
+ * Implementation of the open-loop serving mode.
+ */
+
+#include "serve/serving.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "common/logging.hpp"
+#include "common/random.hpp"
+
+namespace dhl {
+namespace serve {
+
+namespace {
+
+/** deriveSeed salts of the serve layer's streams, disjoint from every
+ *  fault/ops stream index ("ARRV", "TRAK", "FALT"). */
+constexpr std::uint64_t kArrivalStreamSalt = 0x41525256ull;
+constexpr std::uint64_t kTrackStreamSalt = 0x5452414bull;
+constexpr std::uint64_t kFaultStreamSalt = 0x46414c54ull;
+
+constexpr std::size_t kNoTrack = std::numeric_limits<std::size_t>::max();
+
+} // namespace
+
+void
+validate(const ServeConfig &cfg)
+{
+    core::validate(cfg.dhl);
+    fatal_if(cfg.tracks == 0, "serving needs at least one track");
+    fatal_if(cfg.stages.empty(), "serving needs a non-empty load profile");
+    fatal_if(!(cfg.epoch > 0.0), "serving epoch must be positive");
+    fatal_if(cfg.carts_per_track == 0,
+             "serving needs at least one cart per track");
+    fatal_if(cfg.max_pending == 0,
+             "serving admission queue bound must be positive");
+    if (cfg.faults.enabled)
+        faults::validate(cfg.faults);
+    if (!cfg.maintenance.windows.empty())
+        ops::validate(cfg.maintenance, cfg.tracks);
+    if (cfg.domains.enabled)
+        ops::validate(cfg.domains);
+}
+
+ServingSim::ServingSim(const ServeConfig &cfg)
+    : cfg_(cfg),
+      trace_(sim_, cfg.trace_capacity),
+      cart_capacity_(cfg.dhl.cartCapacity().value()),
+      serve_stats_("serve")
+{
+    validate(cfg_);
+
+    tracks_.resize(cfg_.tracks);
+    std::vector<faults::FaultState *> states;
+    states.reserve(cfg_.tracks);
+    for (std::size_t t = 0; t < cfg_.tracks; ++t) {
+        TrackSystem &ts = tracks_[t];
+        ts.state = std::make_unique<faults::FaultState>(sim_);
+        ts.state->attachTrace(&trace_);
+        std::string name("track");
+        name += std::to_string(t);
+        ts.controller = std::make_unique<core::DhlController>(
+            sim_, cfg_.dhl, name, deriveSeed(cfg_.seed, kTrackStreamSalt + t));
+        ts.controller->attachTrace(&trace_);
+        ts.controller->attachFaults(ts.state.get());
+        ts.pool.reserve(cfg_.carts_per_track);
+        for (std::size_t c = 0; c < cfg_.carts_per_track; ++c)
+            ts.pool.push_back(ts.controller->addCart(0.0).id());
+        if (cfg_.faults.enabled) {
+            faults::FaultConfig fc = cfg_.faults;
+            fc.seed = deriveSeed(cfg_.faults.seed, kFaultStreamSalt + t);
+            std::string fname("faults");
+            fname += std::to_string(t);
+            ts.injector = std::make_unique<faults::FaultInjector>(
+                sim_, *ts.state, fc, ts.controller->numStations(), fname);
+        }
+        // Repair completions free capacity the backlog may be waiting
+        // on; the pump no-ops outside the epoch's admission window.
+        ts.state->onRepair([this] { pump(); });
+        states.push_back(ts.state.get());
+    }
+
+    if (!cfg_.maintenance.windows.empty())
+        maintenance_ = std::make_unique<ops::MaintenanceScheduler>(
+            sim_, states, cfg_.maintenance);
+    if (cfg_.domains.enabled)
+        plants_ = std::make_unique<ops::CorrelatedFaultModel>(
+            sim_, states, cfg_.domains);
+
+    arrivals_ = std::make_unique<workloads::StagedArrivalProcess>(
+        cfg_.stages, deriveSeed(cfg_.seed, kArrivalStreamSalt));
+    slo_.resize(arrivals_->stageCount());
+
+    // Formulas read the SLO accumulators lazily, so a restored fleet
+    // dumps the run totals, not just what this process observed.
+    serve_stats_.addFormula("offered", "requests offered", [this] {
+        double n = 0.0;
+        for (const auto &s : slo_)
+            n += static_cast<double>(s.offered());
+        return n;
+    });
+    serve_stats_.addFormula("served", "requests completed", [this] {
+        double n = 0.0;
+        for (const auto &s : slo_)
+            n += static_cast<double>(s.served());
+        return n;
+    });
+    serve_stats_.addFormula("shed", "requests shed at admission", [this] {
+        double n = 0.0;
+        for (const auto &s : slo_)
+            n += static_cast<double>(s.shed());
+        return n;
+    });
+    serve_stats_.addFormula("backlog", "admission queue depth", [this] {
+        return static_cast<double>(queue_.size());
+    });
+    serve_stats_.addFormula("epochs", "epochs completed", [this] {
+        return static_cast<double>(epochs_);
+    });
+}
+
+//===========================================================================
+// Stepping
+//===========================================================================
+
+bool
+ServingSim::done() const
+{
+    return arrivals_->exhausted() && queue_.empty() && in_flight_ == 0;
+}
+
+double
+ServingSim::nextBoundary() const
+{
+    // Draining a backlogged epoch can run past its boundary; the next
+    // epoch then starts from wherever the clock actually is.
+    return std::max(boundary_ + cfg_.epoch, sim_.now());
+}
+
+bool
+ServingSim::stepEpoch()
+{
+    if (done())
+        return false;
+
+    const double target = nextBoundary();
+
+    // Admission window opens: backlog first, then this epoch's
+    // arrivals at their intended times (late ones fire immediately).
+    pumping_ = true;
+    pump();
+    for (const workloads::ArrivalEvent &ev : arrivals_->take(target)) {
+        const double when = std::max(ev.at, sim_.now());
+        auto boxed = std::make_shared<workloads::ArrivalEvent>(ev);
+        sim_.scheduleAt(when, [this, boxed] { admit(*boxed); });
+    }
+
+    // Anything startable has been started and this epoch's arrivals
+    // are scheduled; a backlog with an empty event queue can therefore
+    // never make progress (a merely busy or repairing fleet always has
+    // a trip or repair event pending).
+    if (!queue_.empty() && sim_.pendingEvents() == 0)
+        fatal("serving stalled: backlog remains but no future event can "
+              "free capacity (all tracks down for good?)");
+
+    sim_.runEpoch(target);
+
+    // Admission window closes: finish in-flight requests so the
+    // boundary is drained (checkpointable); unstarted backlog carries.
+    pumping_ = false;
+    while (in_flight_ > 0) {
+        if (sim_.step(1) == 0)
+            panic("serving drain stalled with requests in flight");
+    }
+
+    boundary_ = target;
+    ++epochs_;
+    return true;
+}
+
+void
+ServingSim::run(std::size_t max_epochs)
+{
+    std::size_t steps = 0;
+    while (stepEpoch()) {
+        ++steps;
+        if (max_epochs != 0 && steps >= max_epochs)
+            return;
+    }
+}
+
+//===========================================================================
+// Admission
+//===========================================================================
+
+bool
+ServingSim::anyTrackDown() const
+{
+    for (const TrackSystem &ts : tracks_)
+        if (!ts.state->serviceUp())
+            return true;
+    return false;
+}
+
+bool
+ServingSim::admissible(const workloads::ArrivalEvent &ev,
+                       bool degraded) const
+{
+    if (cfg_.policy != ops::DispatchPolicy::AvailabilityAware)
+        return true;
+    return !degraded || ev.priority >= cfg_.min_priority_degraded;
+}
+
+std::size_t
+ServingSim::pickTrack(bool degraded) const
+{
+    const std::size_t n = tracks_.size();
+    switch (cfg_.policy) {
+    case ops::DispatchPolicy::RoundRobin:
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::size_t t = (rr_next_ + i) % n;
+            if (!tracks_[t].pool.empty())
+                return t;
+        }
+        return kNoTrack;
+    case ops::DispatchPolicy::LeastQueued: {
+        std::size_t best = kNoTrack;
+        std::size_t best_free = 0;
+        for (std::size_t t = 0; t < n; ++t) {
+            const std::size_t free = tracks_[t].pool.size();
+            if (free > best_free) {
+                best = t;
+                best_free = free;
+            }
+        }
+        return best;
+    }
+    case ops::DispatchPolicy::AvailabilityAware: {
+        std::size_t best = kNoTrack;
+        std::size_t best_free = 0;
+        for (std::size_t t = 0; t < n; ++t) {
+            if (degraded && !tracks_[t].state->serviceUp())
+                continue;
+            const std::size_t free = tracks_[t].pool.size();
+            if (free > best_free) {
+                best = t;
+                best_free = free;
+            }
+        }
+        return best;
+    }
+    }
+    return kNoTrack;
+}
+
+bool
+ServingSim::tryStart(const workloads::ArrivalEvent &ev)
+{
+    const std::size_t t = pickTrack(anyTrackDown());
+    if (t == kNoTrack)
+        return false;
+    if (cfg_.policy == ops::DispatchPolicy::RoundRobin)
+        rr_next_ = (t + 1) % tracks_.size();
+
+    TrackSystem &ts = tracks_[t];
+    const core::CartId cart = ts.pool.back();
+    ts.pool.pop_back();
+    ++in_flight_;
+
+    const double trips =
+        std::max(1.0, std::ceil(ev.bytes / cart_capacity_));
+    auto active = std::make_shared<Active>(
+        Active{ev, t, cart, static_cast<std::uint64_t>(trips)});
+    runTrip(active);
+    return true;
+}
+
+void
+ServingSim::admit(const workloads::ArrivalEvent &ev)
+{
+    const std::size_t stage = static_cast<std::size_t>(ev.stage);
+    slo_[stage].offer();
+
+    if (queue_.empty() && admissible(ev, anyTrackDown()) && tryStart(ev))
+        return;
+
+    if (queue_.size() >= cfg_.max_pending) {
+        slo_[stage].shed();
+        if (trace_.enabled())
+            trace_.record("serve", "admission",
+                          "shed " + ev.tag + " (queue full)");
+        return;
+    }
+    slo_[stage].defer();
+    queue_.push_back(Queued{ev});
+}
+
+void
+ServingSim::pump()
+{
+    if (!pumping_)
+        return;
+    while (!queue_.empty()) {
+        const bool degraded = anyTrackDown();
+        bool progressed = false;
+        for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+            if (!admissible(it->ev, degraded))
+                continue; // held below the degraded-mode floor
+            if (!tryStart(it->ev))
+                return; // admissible work, no capacity: stop scanning
+            queue_.erase(it);
+            progressed = true;
+            break;
+        }
+        if (!progressed)
+            return; // everything queued is held by the floor
+    }
+}
+
+//===========================================================================
+// Request lifecycle
+//===========================================================================
+
+void
+ServingSim::runTrip(const std::shared_ptr<Active> &a)
+{
+    core::DhlController &ctl = *tracks_[a->track].controller;
+    ctl.open(a->cart, [this, a](core::Cart &, core::DockingStation &) {
+        tracks_[a->track].controller->close(a->cart, [this, a](core::Cart &) {
+            if (--a->trips_left > 0)
+                runTrip(a);
+            else
+                finishRequest(*a);
+        });
+    });
+}
+
+void
+ServingSim::finishRequest(const Active &a)
+{
+    const std::size_t stage = static_cast<std::size_t>(a.ev.stage);
+    slo_[stage].complete(sim_.now() - a.ev.at, a.ev.bytes);
+    ++served_;
+    tracks_[a.track].pool.push_back(a.cart);
+    --in_flight_;
+    pump();
+}
+
+//===========================================================================
+// Checkpoint/restore
+//===========================================================================
+
+void
+ServingSim::saveFingerprint(sim::SnapshotWriter &w) const
+{
+    sim::SnapshotScope<sim::SnapshotWriter> scope(w, "config");
+    w.putU64("tracks", cfg_.tracks);
+    w.putU64("seed", cfg_.seed);
+    w.putDouble("epoch", cfg_.epoch);
+    w.putU64("carts_per_track", cfg_.carts_per_track);
+    w.putU64("max_pending", cfg_.max_pending);
+    w.putString("policy", ops::to_string(cfg_.policy));
+    w.putI64("min_priority_degraded", cfg_.min_priority_degraded);
+    w.putBool("faults", cfg_.faults.enabled);
+    w.putU64("maintenance_windows", cfg_.maintenance.windows.size());
+    w.putBool("domains", cfg_.domains.enabled);
+    w.putU64("stages", cfg_.stages.size());
+    for (std::size_t i = 0; i < cfg_.stages.size(); ++i) {
+        const workloads::StageSpec &s = cfg_.stages[i];
+        std::string key("stage");
+        key += std::to_string(i);
+        sim::SnapshotScope<sim::SnapshotWriter> ss(w, key);
+        w.putString("name", s.name);
+        w.putDouble("duration", s.duration);
+        w.putDouble("start_rate", s.start_rate);
+        w.putDouble("end_rate", s.end_rate);
+        w.putU64("classes", s.mix.size());
+        for (std::size_t c = 0; c < s.mix.size(); ++c) {
+            const workloads::RequestClass &rc = s.mix[c];
+            std::string ck("class");
+            ck += std::to_string(c);
+            sim::SnapshotScope<sim::SnapshotWriter> cs(w, ck);
+            w.putString("tag", rc.tag);
+            w.putDouble("weight", rc.weight);
+            w.putDouble("median_bytes", rc.median_bytes);
+            w.putDouble("sigma", rc.sigma);
+            w.putI64("priority", rc.priority);
+        }
+    }
+}
+
+void
+ServingSim::checkFingerprint(sim::SnapshotReader &r) const
+{
+    sim::SnapshotScope<sim::SnapshotReader> scope(r, "config");
+    fatal_if(r.getU64("tracks") != cfg_.tracks ||
+                 r.getU64("seed") != cfg_.seed ||
+                 r.getDouble("epoch") != cfg_.epoch ||
+                 r.getU64("carts_per_track") != cfg_.carts_per_track ||
+                 r.getU64("max_pending") != cfg_.max_pending ||
+                 r.getString("policy") != ops::to_string(cfg_.policy) ||
+                 r.getI64("min_priority_degraded") !=
+                     cfg_.min_priority_degraded ||
+                 r.getBool("faults") != cfg_.faults.enabled ||
+                 r.getU64("maintenance_windows") !=
+                     cfg_.maintenance.windows.size() ||
+                 r.getBool("domains") != cfg_.domains.enabled ||
+                 r.getU64("stages") != cfg_.stages.size(),
+             "serving checkpoint belongs to a different configuration");
+    for (std::size_t i = 0; i < cfg_.stages.size(); ++i) {
+        const workloads::StageSpec &s = cfg_.stages[i];
+        std::string key("stage");
+        key += std::to_string(i);
+        sim::SnapshotScope<sim::SnapshotReader> ss(r, key);
+        fatal_if(r.getString("name") != s.name ||
+                     r.getDouble("duration") != s.duration ||
+                     r.getDouble("start_rate") != s.start_rate ||
+                     r.getDouble("end_rate") != s.end_rate ||
+                     r.getU64("classes") != s.mix.size(),
+                 "serving checkpoint stage profile does not match");
+        for (std::size_t c = 0; c < s.mix.size(); ++c) {
+            const workloads::RequestClass &rc = s.mix[c];
+            std::string ck("class");
+            ck += std::to_string(c);
+            sim::SnapshotScope<sim::SnapshotReader> cs(r, ck);
+            fatal_if(r.getString("tag") != rc.tag ||
+                         r.getDouble("weight") != rc.weight ||
+                         r.getDouble("median_bytes") != rc.median_bytes ||
+                         r.getDouble("sigma") != rc.sigma ||
+                         r.getI64("priority") != rc.priority,
+                     "serving checkpoint traffic mix does not match");
+        }
+    }
+}
+
+void
+ServingSim::checkpoint(std::ostream &os) const
+{
+    fatal_if(in_flight_ != 0,
+             "serving checkpoint requires a drained epoch boundary");
+    sim::SnapshotWriter w(os);
+    saveFingerprint(w);
+
+    {
+        sim::SnapshotScope<sim::SnapshotWriter> scope(w, "serve");
+        w.putU64("epochs", epochs_);
+        w.putDouble("boundary", boundary_);
+        w.putU64("rr_next", rr_next_);
+        w.putU64("served", served_);
+        w.putU64("queued", queue_.size());
+        for (std::size_t i = 0; i < queue_.size(); ++i) {
+            const workloads::ArrivalEvent &ev = queue_[i].ev;
+            std::string key("q");
+            key += std::to_string(i);
+            sim::SnapshotScope<sim::SnapshotWriter> qs(w, key);
+            w.putDouble("at", ev.at);
+            w.putDouble("bytes", ev.bytes);
+            w.putString("tag", ev.tag);
+            w.putI64("stage", ev.stage);
+            w.putI64("priority", ev.priority);
+        }
+        for (std::size_t i = 0; i < slo_.size(); ++i) {
+            const stats::SloAccumulator &s = slo_[i];
+            std::string key("s");
+            key += std::to_string(i);
+            sim::SnapshotScope<sim::SnapshotWriter> ss(w, key);
+            w.putU64("offered", s.offered());
+            w.putU64("deferred", s.deferred());
+            w.putU64("shed", s.shed());
+            w.putDouble("bytes", s.bytesDelivered());
+            w.putU64("samples", s.latencies().size());
+            for (std::size_t j = 0; j < s.latencies().size(); ++j) {
+                std::string lk("l");
+                lk += std::to_string(j);
+                w.putDouble(lk, s.latencies()[j]);
+            }
+        }
+    }
+
+    sim_.saveState(w);
+    trace_.saveState(w);
+    arrivals_->saveState(w);
+    for (std::size_t t = 0; t < tracks_.size(); ++t) {
+        std::string key("t");
+        key += std::to_string(t);
+        sim::SnapshotScope<sim::SnapshotWriter> ts(w, key);
+        tracks_[t].controller->saveState(w);
+        tracks_[t].state->saveState(w);
+        if (tracks_[t].injector)
+            tracks_[t].injector->saveState(w);
+        // Pool *order* matters: which cart serves a trip decides which
+        // per-cart breakdown stream the trip consumes, so a restored
+        // fleet must hand out carts in the identical sequence.
+        w.putU64("pool", tracks_[t].pool.size());
+        for (std::size_t i = 0; i < tracks_[t].pool.size(); ++i) {
+            std::string pk("p");
+            pk += std::to_string(i);
+            w.putU64(pk, tracks_[t].pool[i]);
+        }
+    }
+    if (maintenance_)
+        maintenance_->saveState(w);
+    if (plants_)
+        plants_->saveState(w);
+}
+
+void
+ServingSim::restore(std::istream &is)
+{
+    fatal_if(epochs_ != 0 || sim_.now() != 0.0,
+             "serving restore requires a freshly constructed fleet");
+    sim::SnapshotReader r(is);
+    checkFingerprint(r);
+
+    // Empty the event queue: every constructor-scheduled event belongs
+    // to a stoppable process, and Simulator::restoreState requires a
+    // drained kernel before it rewinds the clock.
+    for (TrackSystem &ts : tracks_)
+        if (ts.injector)
+            ts.injector->stop();
+    if (maintenance_)
+        maintenance_->stop();
+    if (plants_)
+        plants_->stop();
+    fatal_if(sim_.pendingEvents() != 0,
+             "serving restore found unexpected pending events");
+
+    sim_.restoreState(r);
+    trace_.restoreState(r);
+    arrivals_->restoreState(r);
+    for (std::size_t t = 0; t < tracks_.size(); ++t) {
+        std::string key("t");
+        key += std::to_string(t);
+        sim::SnapshotScope<sim::SnapshotReader> ts(r, key);
+        tracks_[t].controller->restoreState(r);
+        tracks_[t].state->restoreState(r);
+        if (tracks_[t].injector)
+            tracks_[t].injector->restoreState(r);
+        fatal_if(r.getU64("pool") != tracks_[t].pool.size(),
+                 "serving restore: cart pool size does not match");
+        for (std::size_t i = 0; i < tracks_[t].pool.size(); ++i) {
+            std::string pk("p");
+            pk += std::to_string(i);
+            tracks_[t].pool[i] =
+                static_cast<core::CartId>(r.getU64(pk));
+        }
+    }
+    if (maintenance_)
+        maintenance_->restoreState(r);
+    if (plants_)
+        plants_->restoreState(r);
+
+    sim::SnapshotScope<sim::SnapshotReader> scope(r, "serve");
+    epochs_ = r.getU64("epochs");
+    boundary_ = r.getDouble("boundary");
+    rr_next_ = r.getU64("rr_next");
+    served_ = r.getU64("served");
+    queue_.clear();
+    const std::uint64_t queued = r.getU64("queued");
+    for (std::uint64_t i = 0; i < queued; ++i) {
+        std::string key("q");
+        key += std::to_string(i);
+        sim::SnapshotScope<sim::SnapshotReader> qs(r, key);
+        workloads::ArrivalEvent ev;
+        ev.at = r.getDouble("at");
+        ev.bytes = r.getDouble("bytes");
+        ev.tag = r.getString("tag");
+        ev.stage = static_cast<int>(r.getI64("stage"));
+        ev.priority = static_cast<int>(r.getI64("priority"));
+        queue_.push_back(Queued{ev});
+    }
+    for (std::size_t i = 0; i < slo_.size(); ++i) {
+        std::string key("s");
+        key += std::to_string(i);
+        sim::SnapshotScope<sim::SnapshotReader> ss(r, key);
+        const std::uint64_t samples = r.getU64("samples");
+        std::vector<double> latencies;
+        latencies.reserve(samples);
+        for (std::uint64_t j = 0; j < samples; ++j) {
+            std::string lk("l");
+            lk += std::to_string(j);
+            latencies.push_back(r.getDouble(lk));
+        }
+        slo_[i].restore(r.getU64("offered"), r.getU64("deferred"),
+                        r.getU64("shed"), r.getDouble("bytes"),
+                        std::move(latencies));
+    }
+}
+
+//===========================================================================
+// Measurement
+//===========================================================================
+
+const stats::SloAccumulator &
+ServingSim::stageSlo(std::size_t stage) const
+{
+    fatal_if(stage >= slo_.size(), "stage index out of range");
+    return slo_[stage];
+}
+
+double
+ServingSim::stageAvailability(std::size_t stage) const
+{
+    fatal_if(stage >= slo_.size(), "stage index out of range");
+    double start = 0.0;
+    for (std::size_t i = 0; i < stage; ++i)
+        start += cfg_.stages[i].duration;
+    const double end =
+        std::min(start + cfg_.stages[stage].duration, sim_.now());
+    if (end <= start)
+        return 1.0;
+    double downtime = 0.0;
+    for (const TrackSystem &ts : tracks_)
+        downtime += ts.state->serviceDowntime(end) -
+                    ts.state->serviceDowntime(start);
+    return 1.0 - downtime / (static_cast<double>(tracks_.size()) *
+                             (end - start));
+}
+
+std::vector<exp::StageSlo>
+ServingSim::sloTable() const
+{
+    std::vector<exp::StageSlo> table;
+    table.reserve(slo_.size());
+    double start = 0.0;
+    for (std::size_t i = 0; i < slo_.size(); ++i) {
+        const stats::SloAccumulator &s = slo_[i];
+        exp::StageSlo row;
+        row.name = cfg_.stages[i].name;
+        row.start = start;
+        row.duration = cfg_.stages[i].duration;
+        row.offered = s.offered();
+        row.served = s.served();
+        row.deferred = s.deferred();
+        row.shed = s.shed();
+        row.p50 = s.latencyPercentile(50.0);
+        row.p99 = s.latencyPercentile(99.0);
+        row.p999 = s.latencyPercentile(99.9);
+        row.availability = stageAvailability(i);
+        row.goodput = row.duration > 0.0
+                          ? s.bytesDelivered() / row.duration
+                          : 0.0;
+        table.push_back(std::move(row));
+        start += cfg_.stages[i].duration;
+    }
+    return table;
+}
+
+double
+ServingSim::totalEnergy() const
+{
+    double e = 0.0;
+    for (const TrackSystem &ts : tracks_)
+        e += ts.controller->totalEnergy();
+    return e;
+}
+
+std::uint64_t
+ServingSim::totalLaunches() const
+{
+    std::uint64_t n = 0;
+    for (const TrackSystem &ts : tracks_)
+        n += ts.controller->launches();
+    return n;
+}
+
+std::uint64_t
+ServingSim::totalShed() const
+{
+    std::uint64_t n = 0;
+    for (const stats::SloAccumulator &s : slo_)
+        n += s.shed();
+    return n;
+}
+
+core::DhlController &
+ServingSim::controller(std::size_t track)
+{
+    fatal_if(track >= tracks_.size(), "track index out of range");
+    return *tracks_[track].controller;
+}
+
+faults::FaultState &
+ServingSim::faultState(std::size_t track)
+{
+    fatal_if(track >= tracks_.size(), "track index out of range");
+    return *tracks_[track].state;
+}
+
+void
+ServingSim::dumpStats(std::ostream &os)
+{
+    serve_stats_.dump(os);
+    sim_.statsGroup().dump(os);
+    for (const TrackSystem &ts : tracks_) {
+        ts.controller->statsGroup().dump(os);
+        ts.controller->track().statsGroup().dump(os);
+        if (ts.injector)
+            ts.injector->statsGroup().dump(os);
+    }
+    if (maintenance_)
+        maintenance_->statsGroup().dump(os);
+    if (plants_)
+        plants_->statsGroup().dump(os);
+}
+
+} // namespace serve
+} // namespace dhl

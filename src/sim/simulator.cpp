@@ -19,6 +19,7 @@
 #include <cmath>
 
 #include "common/logging.hpp"
+#include "sim/snapshot.hpp"
 
 namespace dhl {
 namespace sim {
@@ -170,6 +171,33 @@ Simulator::runUntil(Time until)
     if (now_ < until)
         now_ = until;
     return now_;
+}
+
+Simulator::EpochResult
+Simulator::runEpoch(Time until)
+{
+    const std::uint64_t before = executed_;
+    const Time end = runUntil(until);
+    return EpochResult{end, executed_ - before, size_ == 0};
+}
+
+void
+Simulator::saveState(SnapshotWriter &w) const
+{
+    SnapshotScope<SnapshotWriter> scope(w, "kernel");
+    w.putDouble("now", now_);
+    w.putU64("executed", executed_);
+}
+
+void
+Simulator::restoreState(SnapshotReader &r)
+{
+    fatal_if(size_ != 0,
+             "simulator restore requires an empty event queue (cancel "
+             "constructor-scheduled events first)");
+    SnapshotScope<SnapshotReader> scope(r, "kernel");
+    now_ = r.getDouble("now");
+    executed_ = r.getU64("executed");
 }
 
 std::uint64_t

@@ -37,6 +37,9 @@
 namespace dhl {
 namespace sim {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /** Simulation time in seconds. */
 using Time = double;
 
@@ -144,6 +147,26 @@ class Simulator
      */
     Time runUntil(Time until);
 
+    /** Outcome of one runEpoch() call. */
+    struct EpochResult
+    {
+        Time end;             ///< Simulation time at the boundary.
+        std::uint64_t events; ///< Events fired during this epoch.
+        bool queue_empty;     ///< No pending events remain at all.
+    };
+
+    /**
+     * Advance one epoch: run until simulation time reaches @p until
+     * (events at exactly @p until still fire), reporting how much work
+     * the epoch did and whether the queue drained.  Epoch-based serving
+     * (src/serve) steps a long soak as a sequence of runEpoch() calls,
+     * draining in-flight work at each boundary so the boundary is a
+     * legal checkpoint point; self-perpetuating processes (fault
+     * injection, maintenance plans) keep events queued across epochs,
+     * so `queue_empty` is typically false for a served system.
+     */
+    EpochResult runEpoch(Time until);
+
     /**
      * Execute at most @p max_events events; returns how many fired.
      *
@@ -167,6 +190,24 @@ class Simulator
 
     /** Kernel statistics group (events scheduled/executed/cancelled). */
     stats::StatGroup &statsGroup() { return stats_; }
+
+    /**
+     * Checkpoint the kernel clock (sim/snapshot.hpp).  Only `now` and
+     * the executed-event count are captured: pending events belong to
+     * the Snapshotable objects that scheduled them and are re-created
+     * on restore at their saved absolute times.  The schedule/cancel
+     * statistics counters are host-side tallies, not simulated state,
+     * and restart from the boundary.
+     */
+    void saveState(SnapshotWriter &w) const;
+
+    /**
+     * Restore the kernel clock.  Must be called on an *empty* queue
+     * (fatal otherwise), before any Snapshotable re-schedules — the
+     * restored `now` is what makes their absolute-time scheduleAt()
+     * calls land correctly.
+     */
+    void restoreState(SnapshotReader &r);
 
   private:
     /**

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Implementation of the snapshot writer/reader.
+ */
+
+#include "sim/snapshot.hpp"
+
+#include <bit>
+#include <charconv>
+#include <system_error>
+
+#include "common/logging.hpp"
+
+namespace dhl {
+namespace sim {
+
+namespace {
+
+constexpr std::string_view kMagic = "dhl-snapshot 1";
+
+std::string
+toHex64(std::uint64_t v)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out = "0x";
+    for (int shift = 60; shift >= 0; shift -= 4)
+        out += digits[(v >> shift) & 0xf];
+    return out;
+}
+
+std::uint64_t
+parseU64(const std::string &key, const std::string &text)
+{
+    std::uint64_t v = 0;
+    const char *first = text.data();
+    const char *last = first + text.size();
+    int base = 10;
+    if (text.size() > 2 && text[0] == '0' && text[1] == 'x') {
+        first += 2;
+        base = 16;
+    }
+    const auto [ptr, ec] = std::from_chars(first, last, v, base);
+    fatal_if(ec != std::errc() || ptr != last,
+             "snapshot: bad integer for '" + key + "': '" + text + "'");
+    return v;
+}
+
+} // namespace
+
+//===========================================================================
+// SnapshotWriter
+//===========================================================================
+
+SnapshotWriter::SnapshotWriter(std::ostream &os) : os_(os)
+{
+    os_ << kMagic << "\n";
+}
+
+void
+SnapshotWriter::push(std::string_view scope)
+{
+    scope_lens_.push_back(prefix_.size());
+    prefix_.append(scope);
+    prefix_.push_back('.');
+}
+
+void
+SnapshotWriter::pop()
+{
+    panic_if(scope_lens_.empty(), "snapshot writer scope underflow");
+    prefix_.resize(scope_lens_.back());
+    scope_lens_.pop_back();
+}
+
+std::string
+SnapshotWriter::fullKey(std::string_view key) const
+{
+    std::string full = prefix_;
+    full.append(key);
+    return full;
+}
+
+void
+SnapshotWriter::putString(std::string_view key, std::string_view value)
+{
+    fatal_if(value.find('\n') != std::string_view::npos,
+             "snapshot values must not contain newlines");
+    os_ << fullKey(key) << " = " << value << "\n";
+}
+
+void
+SnapshotWriter::putU64(std::string_view key, std::uint64_t value)
+{
+    os_ << fullKey(key) << " = " << value << "\n";
+}
+
+void
+SnapshotWriter::putI64(std::string_view key, std::int64_t value)
+{
+    os_ << fullKey(key) << " = " << value << "\n";
+}
+
+void
+SnapshotWriter::putBool(std::string_view key, bool value)
+{
+    os_ << fullKey(key) << " = " << (value ? "true" : "false") << "\n";
+}
+
+void
+SnapshotWriter::putDouble(std::string_view key, double value)
+{
+    os_ << fullKey(key) << " = "
+        << toHex64(std::bit_cast<std::uint64_t>(value)) << "\n";
+}
+
+void
+SnapshotWriter::putRng(std::string_view key, const Rng &rng)
+{
+    const RngState s = rng.saveState();
+    push(key);
+    putU64("s0", s.state[0]);
+    putU64("s1", s.state[1]);
+    putU64("s2", s.state[2]);
+    putU64("s3", s.state[3]);
+    putBool("has_spare", s.has_spare);
+    putDouble("spare", s.spare);
+    pop();
+}
+
+//===========================================================================
+// SnapshotReader
+//===========================================================================
+
+SnapshotReader::SnapshotReader(std::istream &is)
+{
+    std::string line;
+    fatal_if(!std::getline(is, line) || line != kMagic,
+             "snapshot: bad or missing header (expected '" +
+                 std::string(kMagic) + "')");
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        const auto sep = line.find(" = ");
+        fatal_if(sep == std::string::npos,
+                 "snapshot: malformed line '" + line + "'");
+        std::string key = line.substr(0, sep);
+        std::string value = line.substr(sep + 3);
+        fatal_if(values_.count(key) != 0,
+                 "snapshot: duplicate key '" + key + "'");
+        values_.emplace(std::move(key), std::move(value));
+    }
+}
+
+void
+SnapshotReader::push(std::string_view scope)
+{
+    scope_lens_.push_back(prefix_.size());
+    prefix_.append(scope);
+    prefix_.push_back('.');
+}
+
+void
+SnapshotReader::pop()
+{
+    panic_if(scope_lens_.empty(), "snapshot reader scope underflow");
+    prefix_.resize(scope_lens_.back());
+    scope_lens_.pop_back();
+}
+
+std::string
+SnapshotReader::fullKey(std::string_view key) const
+{
+    std::string full = prefix_;
+    full.append(key);
+    return full;
+}
+
+bool
+SnapshotReader::has(std::string_view key) const
+{
+    return values_.count(fullKey(key)) != 0;
+}
+
+const std::string &
+SnapshotReader::rawValue(std::string_view key) const
+{
+    const std::string full = fullKey(key);
+    const auto it = values_.find(full);
+    fatal_if(it == values_.end(), "snapshot: missing key '" + full + "'");
+    return it->second;
+}
+
+std::string
+SnapshotReader::getString(std::string_view key) const
+{
+    return rawValue(key);
+}
+
+std::uint64_t
+SnapshotReader::getU64(std::string_view key) const
+{
+    return parseU64(fullKey(key), rawValue(key));
+}
+
+std::int64_t
+SnapshotReader::getI64(std::string_view key) const
+{
+    const std::string &text = rawValue(key);
+    std::int64_t v = 0;
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), v);
+    fatal_if(ec != std::errc() || ptr != text.data() + text.size(),
+             "snapshot: bad integer for '" + fullKey(key) + "': '" +
+                 text + "'");
+    return v;
+}
+
+bool
+SnapshotReader::getBool(std::string_view key) const
+{
+    const std::string &text = rawValue(key);
+    if (text == "true")
+        return true;
+    if (text == "false")
+        return false;
+    fatal("snapshot: bad bool for '" + fullKey(key) + "': '" + text +
+          "'");
+}
+
+double
+SnapshotReader::getDouble(std::string_view key) const
+{
+    return std::bit_cast<double>(
+        parseU64(fullKey(key), rawValue(key)));
+}
+
+void
+SnapshotReader::getRng(std::string_view key, Rng &rng) const
+{
+    RngState s{};
+    auto *self = const_cast<SnapshotReader *>(this);
+    self->push(key);
+    s.state[0] = getU64("s0");
+    s.state[1] = getU64("s1");
+    s.state[2] = getU64("s2");
+    s.state[3] = getU64("s3");
+    s.has_spare = getBool("has_spare");
+    s.spare = getDouble("spare");
+    self->pop();
+    rng.restoreState(s);
+}
+
+} // namespace sim
+} // namespace dhl

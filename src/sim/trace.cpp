@@ -37,6 +37,57 @@ TraceRecorder::record(std::string_view category, std::string_view object,
                                    std::string(message)});
 }
 
+void
+TraceRecorder::setCapacity(std::size_t max_records)
+{
+    fatal_if(max_records == 0, "trace capacity must be positive");
+    capacity_ = max_records;
+    while (records_.size() > capacity_) {
+        records_.pop_front();
+        ++dropped_;
+    }
+}
+
+void
+TraceRecorder::saveState(SnapshotWriter &w) const
+{
+    SnapshotScope<SnapshotWriter> scope(w, "trace");
+    w.putU64("capacity", capacity_);
+    w.putU64("emitted", emitted_);
+    w.putU64("dropped", dropped_);
+    w.putU64("records", records_.size());
+    std::size_t i = 0;
+    for (const auto &rec : records_) {
+        std::string key("r");
+        key += std::to_string(i++);
+        SnapshotScope<SnapshotWriter> rs(w, key);
+        w.putDouble("when", rec.when);
+        w.putString("category", rec.category);
+        w.putString("object", rec.object);
+        w.putString("message", rec.message);
+    }
+}
+
+void
+TraceRecorder::restoreState(SnapshotReader &r)
+{
+    SnapshotScope<SnapshotReader> scope(r, "trace");
+    fatal_if(r.getU64("capacity") != capacity_,
+             "trace restore: capacity does not match the checkpoint");
+    emitted_ = r.getU64("emitted");
+    dropped_ = r.getU64("dropped");
+    records_.clear();
+    const std::uint64_t n = r.getU64("records");
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::string key("r");
+        key += std::to_string(i);
+        SnapshotScope<SnapshotReader> rs(r, key);
+        records_.push_back(TraceRecord{
+            r.getDouble("when"), r.getString("category"),
+            r.getString("object"), r.getString("message")});
+    }
+}
+
 std::vector<TraceRecord>
 TraceRecorder::filter(std::string_view category) const
 {

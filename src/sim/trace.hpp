@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "sim/simulator.hpp"
+#include "sim/snapshot.hpp"
 
 namespace dhl {
 namespace sim {
@@ -58,6 +59,21 @@ class TraceRecorder
     /** Records currently retained. */
     std::size_t size() const { return records_.size(); }
 
+    /** The current retention bound. */
+    std::size_t capacity() const { return capacity_; }
+
+    /**
+     * Re-bound the retained window at runtime (rotation mode for soak
+     * runs): month-scale serves cap their trace with a small
+     * maxRecords instead of the 64 Ki default so memory stays flat.
+     * Shrinking evicts the oldest records immediately (counted in
+     * dropped(), exactly as if they had rotated out at record() time);
+     * growing just raises the bound.  A recorder left at its
+     * constructor capacity behaves byte-identically to one without
+     * this call.
+     */
+    void setCapacity(std::size_t max_records);
+
     /** Total records ever emitted (including evicted ones). */
     std::uint64_t totalEmitted() const { return emitted_; }
 
@@ -78,6 +94,14 @@ class TraceRecorder
 
     /** Dump as CSV with a header row. */
     void dumpCsv(std::ostream &os) const;
+
+    /**
+     * Checkpoint the retained records and counters (sim/snapshot.hpp).
+     * The capacity and enabled flag are configuration, not state, and
+     * must match on the restoring side (fatal on a capacity mismatch).
+     */
+    void saveState(SnapshotWriter &w) const;
+    void restoreState(SnapshotReader &r);
 
   private:
     Simulator &sim_;

@@ -42,6 +42,16 @@ struct TransferRequest
 /** Sort requests by arrival time (stable). */
 void sortByArrival(std::vector<TransferRequest> &requests);
 
+/**
+ * Validate a request list before replay or open-loop injection:
+ * non-empty, finite non-negative arrival times, finite positive sizes,
+ * and sorted by arrival.  fatal()s naming @p what and the offending
+ * index — a trace with out-of-order timestamps is a malformed input to
+ * diagnose at the source, not something to silently re-sort.
+ */
+void validateRequests(const std::vector<TransferRequest> &requests,
+                      const char *what);
+
 /** Sum of request bytes. */
 double totalBytes(const std::vector<TransferRequest> &requests);
 

@@ -19,10 +19,9 @@ namespace {
 /** Shared serial-server loop for the analytical replays. */
 template <typename ServiceFn>
 ReplaySummary
-replaySerial(std::vector<TransferRequest> requests, ServiceFn service)
+replaySerial(const std::vector<TransferRequest> &requests, ServiceFn service)
 {
-    fatal_if(requests.empty(), "cannot replay an empty request list");
-    sortByArrival(requests);
+    validateRequests(requests, "analytical replay");
 
     ReplaySummary s{};
     double free_at = 0.0;
@@ -78,9 +77,8 @@ replayDhlSimulated(const std::vector<TransferRequest> &requests,
                    const core::DhlConfig &cfg, bool include_reads,
                    std::uint64_t seed)
 {
-    fatal_if(requests.empty(), "cannot replay an empty request list");
-    std::vector<TransferRequest> sorted = requests;
-    sortByArrival(sorted);
+    validateRequests(requests, "DES replay");
+    const std::vector<TransferRequest> &sorted = requests;
 
     sim::Simulator sim;
     core::DhlController controller(sim, cfg, "dhl", seed);

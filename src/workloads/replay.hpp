@@ -8,6 +8,11 @@
  * resource); the DES replay honours queueing, docking-station limits
  * and track admission, so the difference between (a) and (c) is the
  * contention the closed form cannot see.
+ *
+ * All replays validate their input up front (workloads::
+ * validateRequests): an empty list, a non-finite/negative timestamp,
+ * a non-positive size, or out-of-order arrivals fatal() with the
+ * offending index instead of being silently repaired.
  */
 
 #ifndef DHL_WORKLOADS_REPLAY_HPP

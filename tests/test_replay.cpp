@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/logging.hpp"
 #include "common/units.hpp"
 #include "workloads/replay.hpp"
@@ -152,4 +154,33 @@ TEST(ReplayValidation, EmptyRequestsRejected)
         dhl::FatalError);
     EXPECT_THROW(replayDhlSimulated({}, core::defaultConfig()),
                  dhl::FatalError);
+}
+
+TEST(ReplayValidation, OutOfOrderTimestampsRejected)
+{
+    // A trace that goes backwards in time is corrupt input, not a
+    // sorting request: fail loudly instead of silently reordering.
+    std::vector<TransferRequest> shuffled = {
+        {100.0, u::terabytes(256), "late"},
+        {0.0, u::terabytes(256), "early"},
+    };
+    EXPECT_THROW(replayDhlSimulated(shuffled, core::defaultConfig()),
+                 dhl::FatalError);
+    EXPECT_THROW(replayDhlAnalytical(shuffled, core::defaultConfig()),
+                 dhl::FatalError);
+}
+
+TEST(ReplayValidation, MalformedRequestsRejected)
+{
+    const auto cfg = core::defaultConfig();
+    std::vector<TransferRequest> negative_time = {
+        {-1.0, u::terabytes(1), "x"}};
+    EXPECT_THROW(replayDhlSimulated(negative_time, cfg),
+                 dhl::FatalError);
+    std::vector<TransferRequest> zero_bytes = {{0.0, 0.0, "x"}};
+    EXPECT_THROW(replayDhlSimulated(zero_bytes, cfg), dhl::FatalError);
+    std::vector<TransferRequest> nan_time = {
+        {std::numeric_limits<double>::quiet_NaN(), u::terabytes(1),
+         "x"}};
+    EXPECT_THROW(replayDhlSimulated(nan_time, cfg), dhl::FatalError);
 }

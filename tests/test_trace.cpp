@@ -112,6 +112,47 @@ TEST(TraceTest, RejectsZeroCapacity)
     EXPECT_THROW(TraceRecorder(sim, 0), dhl::FatalError);
 }
 
+TEST(TraceTest, SetCapacityShrinkEvictsOldest)
+{
+    Simulator sim;
+    TraceRecorder trace(sim, 8);
+    trace.enable();
+    for (int i = 0; i < 6; ++i)
+        trace.record("api", "dhl", "r" + std::to_string(i));
+    ASSERT_EQ(trace.size(), 6u);
+
+    // Rotation mode for soak runs: shrink to the newest three.
+    trace.setCapacity(3);
+    EXPECT_EQ(trace.capacity(), 3u);
+    ASSERT_EQ(trace.size(), 3u);
+    EXPECT_EQ(trace.records()[0].message, "r3");
+    EXPECT_EQ(trace.records()[2].message, "r5");
+    // Evictions count as drops, exactly like record()-time rotation.
+    EXPECT_EQ(trace.dropped(), 3u);
+    EXPECT_EQ(trace.totalEmitted(), 6u);
+
+    // Subsequent records keep rotating at the new bound.
+    trace.record("api", "dhl", "r6");
+    ASSERT_EQ(trace.size(), 3u);
+    EXPECT_EQ(trace.records()[0].message, "r4");
+    EXPECT_EQ(trace.dropped(), 4u);
+}
+
+TEST(TraceTest, SetCapacityGrowKeepsRecords)
+{
+    Simulator sim;
+    TraceRecorder trace(sim, 2);
+    trace.enable();
+    trace.record("api", "dhl", "a");
+    trace.record("api", "dhl", "b");
+    trace.setCapacity(5);
+    trace.record("api", "dhl", "c");
+    ASSERT_EQ(trace.size(), 3u);
+    EXPECT_EQ(trace.records()[0].message, "a");
+    EXPECT_EQ(trace.dropped(), 0u);
+    EXPECT_THROW(trace.setCapacity(0), dhl::FatalError);
+}
+
 TEST(TraceTest, RecordsFromStringViews)
 {
     // record() takes views: literals, substrings and prebuilt buffers

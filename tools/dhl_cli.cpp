@@ -12,6 +12,8 @@
  *   crossover  break-even dataset sizes vs a single optical link
  *   ingest     training-epoch ingestion: utilisation and stalls
  *   sweep      Figure 6 power sweep via the experiment runner
+ *   serve      open-loop serving mode: staged load, per-stage SLOs,
+ *              checkpoint/restore across DES epochs
  *
  * Every subcommand shares the configuration flags --speed, --length,
  * --ssds (the paper's three swept parameters) plus --dock, --mode and
@@ -19,6 +21,7 @@
  */
 
 #include <algorithm>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -37,7 +40,10 @@
 #include "exp/experiment_runner.hpp"
 #include "mlsim/ingest_sim.hpp"
 #include "mlsim/sweep.hpp"
+#include "exp/slo.hpp"
 #include "ops/fleet_ops.hpp"
+#include "serve/serving.hpp"
+#include "workloads/arrival.hpp"
 
 using namespace dhl;
 namespace u = dhl::units;
@@ -382,6 +388,179 @@ cmdSimulate(int argc, const char *const *argv)
     return 0;
 }
 
+/** Print an aligned table: headers + rows (first column left-aligned,
+ *  the rest right-aligned). */
+void
+printTable(std::ostream &os, const std::vector<std::string> &headers,
+           const std::vector<std::vector<std::string>> &rows)
+{
+    std::vector<std::size_t> width(headers.size());
+    for (std::size_t c = 0; c < headers.size(); ++c)
+        width[c] = headers[c].size();
+    for (const auto &row : rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            const std::size_t pad = width[c] - row[c].size();
+            if (c == 0) {
+                os << row[c] << std::string(pad, ' ');
+            } else {
+                os << "  " << std::string(pad, ' ') << row[c];
+            }
+        }
+        os << "\n";
+    };
+    emit(headers);
+    for (const auto &row : rows)
+        emit(row);
+}
+
+int
+cmdServe(int argc, const char *const *argv)
+{
+    ArgParser args("dhl_cli serve",
+                   "open-loop serving: staged load, per-stage SLOs, "
+                   "checkpoint/restore");
+    addConfigFlags(args);
+    args.addOption("stages",
+                   "load profile name:duration:rate[:end_rate],... "
+                   "(seconds, req/s; end_rate ramps linearly)",
+                   "ramp:600:0:0.5,peak:1200:0.5,cool:600:0.5:0");
+    args.addOption("request-gb", "median request size, GB", "64");
+    args.addOption("sigma", "log-normal request-size shape (0 = fixed)",
+                   "0");
+    args.addOption("tracks", "parallel DHL tracks", "1");
+    args.addOption("epoch",
+                   "epoch length, s (checkpoint granularity)", "600");
+    args.addOption("carts", "cart pool per track", "4");
+    args.addOption("max-pending",
+                   "admission queue bound (beyond it, shed)", "1024");
+    args.addOption("policy",
+                   "dispatch policy: round-robin|least-queued|"
+                   "availability",
+                   "least-queued");
+    args.addOption("min-priority",
+                   "availability policy: admission floor while any "
+                   "track is down",
+                   "0");
+    args.addOption("seed", "master serving seed", "1");
+    args.addSwitch("faults", "inject component faults per track");
+    args.addOption("fault-seed", "fault-injection seed", "1");
+    args.addOption("fault-accel",
+                   "accelerate fault rates by this factor", "1");
+    args.addOption("maintenance",
+                   "planned windows start:dur[:period[:track]], "
+                   "comma-separated");
+    args.addOption("domains",
+                   "tracks per shared vacuum plant (0 = none)", "0");
+    args.addOption("plant-mtbf", "shared-plant MTBF, h", "8760");
+    args.addOption("plant-mttr", "shared-plant MTTR, h", "4");
+    args.addOption("checkpoint",
+                   "write a checkpoint here when the command stops");
+    args.addOption("checkpoint-every",
+                   "also rewrite the checkpoint every N epochs", "0");
+    args.addOption("resume", "restore from this checkpoint first");
+    args.addOption("stop-after", "stop after N epochs (0 = run dry)",
+                   "0");
+    args.addSwitch("stats", "dump the statistics tree after the run");
+    if (!args.parse(argc, argv, std::cout))
+        return 0;
+
+    serve::ServeConfig cfg;
+    cfg.dhl = configFromFlags(args);
+    cfg.tracks = static_cast<std::size_t>(args.getInt("tracks"));
+    cfg.seed = static_cast<std::uint64_t>(args.getInt("seed"));
+    cfg.stages = workloads::parseStageSpec(
+        args.get("stages"), u::gigabytes(args.getDouble("request-gb")),
+        args.getDouble("sigma"));
+    cfg.epoch = args.getDouble("epoch");
+    cfg.carts_per_track =
+        static_cast<std::size_t>(args.getInt("carts"));
+    cfg.max_pending =
+        static_cast<std::size_t>(args.getInt("max-pending"));
+    cfg.policy = ops::parseDispatchPolicy(args.get("policy"));
+    cfg.min_priority_degraded =
+        static_cast<int>(args.getInt("min-priority"));
+    if (args.getSwitch("faults")) {
+        const double accel = args.getDouble("fault-accel");
+        fatal_if(!(accel > 0.0), "--fault-accel must be positive");
+        core::ReliabilityConfig rel;
+        rel.lim_mtbf /= accel;
+        rel.lim_mttr /= accel;
+        rel.track_mtbf /= accel;
+        rel.track_mttr /= accel;
+        rel.station_mtbf /= accel;
+        rel.station_mttr /= accel;
+        rel.cart_repair_hours /= accel;
+        cfg.faults = core::toFaultConfig(
+            rel,
+            static_cast<std::uint64_t>(args.getInt("fault-seed")));
+    }
+    if (args.provided("maintenance"))
+        cfg.maintenance = parseMaintenancePlan(args.get("maintenance"));
+    const auto domain_size =
+        static_cast<std::size_t>(args.getInt("domains"));
+    if (domain_size > 0) {
+        cfg.domains.enabled = true;
+        cfg.domains.domain_size = domain_size;
+        cfg.domains.plant_mtbf = args.getDouble("plant-mtbf");
+        cfg.domains.plant_mttr = args.getDouble("plant-mttr");
+        cfg.domains.seed =
+            static_cast<std::uint64_t>(args.getInt("fault-seed"));
+    }
+
+    serve::ServingSim sim(cfg);
+
+    if (args.provided("resume")) {
+        std::ifstream in(args.get("resume"));
+        fatal_if(!in, "cannot open --resume checkpoint '" +
+                          args.get("resume") + "'");
+        sim.restore(in);
+        std::cerr << "resumed at epoch " << sim.epochsCompleted()
+                  << ", t = " << u::formatDuration(sim.now()) << "\n";
+    }
+
+    auto writeCheckpoint = [&](const std::string &path) {
+        std::ofstream out(path, std::ios::trunc);
+        fatal_if(!out, "cannot write --checkpoint '" + path + "'");
+        sim.checkpoint(out);
+    };
+
+    const auto stop_after =
+        static_cast<std::size_t>(args.getInt("stop-after"));
+    const auto every =
+        static_cast<std::size_t>(args.getInt("checkpoint-every"));
+    std::size_t stepped = 0;
+    while (sim.stepEpoch()) {
+        ++stepped;
+        if (every != 0 && args.provided("checkpoint") &&
+            stepped % every == 0)
+            writeCheckpoint(args.get("checkpoint"));
+        if (stop_after != 0 && stepped >= stop_after)
+            break;
+    }
+    if (args.provided("checkpoint"))
+        writeCheckpoint(args.get("checkpoint"));
+
+    std::cerr << (sim.done() ? "profile complete" : "stopped early")
+              << " after " << sim.epochsCompleted() << " epochs, t = "
+              << u::formatDuration(sim.now()) << "\n";
+
+    printTable(std::cout, exp::sloHeaders(), exp::sloRows(sim.sloTable()));
+    std::cout << "served    " << sim.totalServed() << "\n"
+              << "shed      " << sim.totalShed() << "\n"
+              << "backlog   " << sim.queueDepth() << "\n"
+              << "launches  " << sim.totalLaunches() << "\n"
+              << "energy    " << u::formatEnergy(sim.totalEnergy())
+              << "\n"
+              << "end time  " << u::formatDuration(sim.now()) << "\n"
+              << "epochs    " << sim.epochsCompleted() << "\n";
+    if (args.getSwitch("stats"))
+        sim.dumpStats(std::cout);
+    return 0;
+}
+
 int
 cmdCost(int argc, const char *const *argv)
 {
@@ -631,6 +810,9 @@ usage(std::ostream &os)
        << "  sweep      Figure 6 power sweep (--jobs N parallel "
           "scenarios)\n"
        << "  fleet      event-driven bulk move over parallel tracks\n"
+       << "  serve      open-loop serving: staged load, per-stage "
+          "SLOs,\n"
+       << "             checkpoint/restore across DES epochs\n"
        << "  config     emit the resolved configuration as properties\n\n"
        << "Run 'dhl_cli <command> --help' for that command's flags.\n";
 }
@@ -664,6 +846,8 @@ main(int argc, char **argv)
             return cmdSweep(argc - 1, argv + 1);
         if (cmd == "fleet")
             return cmdFleet(argc - 1, argv + 1);
+        if (cmd == "serve")
+            return cmdServe(argc - 1, argv + 1);
         if (cmd == "config")
             return cmdConfig(argc - 1, argv + 1);
         if (cmd == "--help" || cmd == "-h" || cmd == "help") {

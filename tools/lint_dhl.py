@@ -24,6 +24,10 @@ compiler cannot:
                            never include bench/ or tools/ headers
                            (front-end code depends on ops, not the
                            other way round).
+  R6  serve-layering       src/serve/ likewise: the serving mode is
+                           consumed by dhl_cli and bench/serving_study,
+                           so it must never include bench/ or tools/
+                           headers.
 
 Usage:
   tools/lint_dhl.py [--root DIR]     lint the repo (exit 1 on findings)
@@ -58,10 +62,18 @@ NONDETERMINISM_RE = re.compile(r"(?<![\w.])(?:s?rand|time)\s*\(")
 
 GUARD_RE = re.compile(r"^#ifndef\s+(\S+)", re.MULTILINE)
 
-# R5: an #include whose path reaches into the front-end trees.  Both
+# R5/R6: an #include whose path reaches into the front-end trees.  Both
 # quoted and angle-bracket forms, with or without a leading ../.
-OPS_LAYERING_RE = re.compile(
+FRONTEND_INCLUDE_RE = re.compile(
     r'#\s*include\s*["<](?:\.\./)*(?:bench|tools)/')
+
+# Library layers the front-end rules protect: directory prefix -> rule
+# name.  Front-end code (bench/, tools/) depends on these, never the
+# other way round.
+LAYERED_DIRS = (
+    ("src/ops/", "ops-layering"),
+    ("src/serve/", "serve-layering"),
+)
 
 
 def strip_comments(text):
@@ -114,12 +126,13 @@ def lint_text(rel_path, text):
              "%s) breaks seed-reproducibility; use dhl::Rng"
              % m.group(0).rstrip("(").strip()))
 
-    if posix.startswith("src/ops/"):
-        for m in OPS_LAYERING_RE.finditer(code):
-            findings.append(
-                (rel_path, find_line(code, m.start()), "ops-layering",
-                 "src/ops must not include front-end (bench/, tools/) "
-                 "headers"))
+    for prefix, rule in LAYERED_DIRS:
+        if posix.startswith(prefix):
+            for m in FRONTEND_INCLUDE_RE.finditer(code):
+                findings.append(
+                    (rel_path, find_line(code, m.start()), rule,
+                     "%s must not include front-end (bench/, tools/) "
+                     "headers" % prefix.rstrip("/")))
 
     if posix.endswith(".hpp"):
         g = GUARD_RE.search(code)
@@ -154,8 +167,10 @@ def lint_tree(root):
 
 def self_test():
     failures = []
+    checks = [0]
 
     def check(name, cond):
+        checks[0] += 1
         if not cond:
             failures.append(name)
 
@@ -230,11 +245,30 @@ def self_test():
     check("R5 comment",
           not rules_of(ops_cpp, '// #include "bench/bench_util.hpp"\n'))
 
+    # R6 is the same fence around the serving layer.
+    serve_cpp = os.path.join("src", "serve", "serving.cpp")
+    check("R6 bench include",
+          "serve-layering" in rules_of(
+              serve_cpp, '#include "bench/bench_util.hpp"\n'))
+    check("R6 tools include",
+          "serve-layering" in rules_of(
+              serve_cpp, '#include <tools/cli_helpers.hpp>\n'))
+    check("R6 relative include",
+          "serve-layering" in rules_of(
+              serve_cpp, '#include "../../bench/bench_util.hpp"\n'))
+    check("R6 library include ok",
+          not rules_of(serve_cpp, '#include "workloads/arrival.hpp"\n'))
+    check("R6 other dirs exempt",
+          "serve-layering" not in rules_of(
+              cpp, '#include "bench/bench_util.hpp"\n'))
+    check("R6 comment",
+          not rules_of(serve_cpp, '// #include "tools/x.hpp"\n'))
+
     if failures:
         for name in failures:
             print("SELF-TEST FAIL: %s" % name)
         return 1
-    print("lint_dhl self-test: %d checks passed" % 27)
+    print("lint_dhl self-test: %d checks passed" % checks[0])
     return 0
 
 
