@@ -34,6 +34,7 @@ struct Options
     std::size_t jobs = 0;  ///< Scenario parallelism; 0 = all cores.
     std::uint64_t seed = 0; ///< Master seed; 0 = the bench's default.
     std::string experiment; ///< Experiment selector; empty = all.
+    std::size_t des_shards = 1; ///< Intra-run DES shards (>= 1).
 };
 
 /** Parse an integer flag operand; prints an error and exits on
@@ -59,8 +60,22 @@ parseJobs(const char *value)
     return static_cast<std::size_t>(parseCount("--jobs", value));
 }
 
-/** Parse --csv, --jobs N / --jobs=N, --seed N / --seed=N and
- *  --experiment NAME / --experiment=NAME; ignores everything else. */
+/** Parse a --des-shards operand (>= 1); prints an error and exits on
+ *  garbage or zero. */
+inline std::size_t
+parseDesShards(const char *value)
+{
+    const std::uint64_t n = parseCount("--des-shards", value);
+    if (n == 0) {
+        std::cerr << "error: --des-shards must be at least 1\n";
+        std::exit(2);
+    }
+    return static_cast<std::size_t>(n);
+}
+
+/** Parse --csv, --jobs N / --jobs=N, --seed N / --seed=N,
+ *  --experiment NAME / --experiment=NAME and --des-shards N /
+ *  --des-shards=N; ignores everything else. */
 inline Options
 parseArgs(int argc, char **argv)
 {
@@ -82,6 +97,11 @@ parseArgs(int argc, char **argv)
             opts.experiment = argv[++i];
         } else if (std::strncmp(arg, "--experiment=", 13) == 0) {
             opts.experiment = arg + 13;
+        } else if (std::strcmp(arg, "--des-shards") == 0 &&
+                   i + 1 < argc) {
+            opts.des_shards = parseDesShards(argv[++i]);
+        } else if (std::strncmp(arg, "--des-shards=", 13) == 0) {
+            opts.des_shards = parseDesShards(arg + 13);
         }
     }
     return opts;

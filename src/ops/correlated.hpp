@@ -72,11 +72,20 @@ class CorrelatedFaultModel : public sim::SimObject
      *               outlive the model).
      * @param cfg    Domain parameters (must be enabled).
      * @param name   SimObject name.
+     * @param first_domain
+     *               Global index of this model's first domain.  A
+     *               sharded fleet runs one model per DES shard over
+     *               that shard's slice of the track list; passing the
+     *               slice's base domain keeps the per-domain RNG
+     *               streams (deriveSeed(seed, salt + global domain))
+     *               and inhibit reasons identical to the unsharded
+     *               fleet's.
      */
     CorrelatedFaultModel(sim::Simulator &sim,
                          std::vector<faults::FaultState *> states,
                          const SharedDomainConfig &cfg,
-                         std::string name = "plants");
+                         std::string name = "plants",
+                         std::size_t first_domain = 0);
 
     const SharedDomainConfig &config() const { return cfg_; }
 
@@ -127,6 +136,7 @@ class CorrelatedFaultModel : public sim::SimObject
     SharedDomainConfig cfg_;
     std::vector<Plant> plants_;
     std::size_t tracks_;
+    std::size_t first_domain_;
     std::uint64_t outages_ = 0;
 
     stats::Counter *stat_outages_;

@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "common/thread_pool.hpp"
 #include "dhl/config.hpp"
 #include "dhl/controller.hpp"
 #include "exp/slo.hpp"
@@ -52,6 +53,7 @@
 #include "ops/correlated.hpp"
 #include "ops/dispatcher.hpp"
 #include "ops/maintenance.hpp"
+#include "sim/shard.hpp"
 #include "sim/simulator.hpp"
 #include "sim/snapshot.hpp"
 #include "sim/trace.hpp"
@@ -105,6 +107,20 @@ struct ServeConfig
 
     /** Retained trace records (rotation bound; see TraceRecorder). */
     std::size_t trace_capacity = 65536;
+
+    /**
+     * DES shards for the fleet event loop (>= 1).  With N > 1 the
+     * tracks are dealt — whole plant domains at a time
+     * (sim::partitionShards) — onto N simulators driven with
+     * conservative time windows: while the admission queue is empty
+     * the shards run in parallel up to the next arrival or epoch
+     * boundary; while backlog could start on any freed track the
+     * coordinator falls back to global-order lockstep.  Results are
+     * byte-identical to des_shards = 1, checkpoints stay legal at
+     * every epoch boundary, and every dispatch policy is supported
+     * (dispatch happens at coordinator barriers only).
+     */
+    std::size_t des_shards = 1;
 };
 
 /** Validate; fatal() on nonsense. */
@@ -135,7 +151,16 @@ class ServingSim
 
     bool done() const;
     std::size_t epochsCompleted() const { return epochs_; }
-    double now() const { return sim_.now(); }
+
+    /** Fleet clock: the single kernel's clock, or — sharded — the
+     *  maximum over the shard clocks (they agree at every barrier). */
+    double now() const;
+
+    /** DES shards actually in use (<= config().des_shards). */
+    std::size_t numShards() const
+    {
+        return parts_.empty() ? 1 : parts_.size();
+    }
 
     //------------------------------------------------------------------
     // Checkpoint/restore
@@ -209,7 +234,54 @@ class ServingSim
         std::size_t track;
         core::CartId cart;
         std::uint64_t trips_left;
+        /** Dispatch order (tryStart issue counter).  Completions that
+         *  land on the exact same timestamp across shards are replayed
+         *  in this order: with deterministic request sizes the tied
+         *  trip chains are lockstep copies of each other, so the serial
+         *  loop's insertion order at the tie is exactly the order their
+         *  chains were rooted — the dispatch order. */
+        std::uint64_t rank;
     };
+
+    /** One DES shard's slice of the fleet (des_shards > 1 only). */
+    struct ShardPart
+    {
+        /** Global track ids on this shard (contiguous). */
+        std::vector<std::size_t> tracks;
+        /** This shard's slice of the maintenance schedule (track
+         *  windows remapped local; fleet-wide windows replicated). */
+        std::unique_ptr<ops::MaintenanceScheduler> maintenance;
+        /** This shard's plant domains (seeded by global index). */
+        std::unique_ptr<ops::CorrelatedFaultModel> plants;
+        /** Requests in flight on this shard's tracks. */
+        std::size_t in_flight = 0;
+
+        /** A completion recorded while the coordinator is out of the
+         *  loop (parallel window, drain, or a tied-timestamp step),
+         *  applied to the global state at the next barrier in
+         *  (time, dispatch-rank) order — the order the serial loop
+         *  fires them (see Active::rank). */
+        struct Done
+        {
+            double when;
+            int stage;
+            double latency;
+            double bytes;
+            std::size_t track;
+            core::CartId cart;
+            std::uint64_t rank;
+        };
+        std::vector<Done> log;
+    };
+
+    bool sharded() const { return !parts_.empty(); }
+    sim::Simulator &shardSim(std::size_t s);
+    sim::Simulator &simOf(std::size_t track);
+    const sim::Simulator &simOf(std::size_t track) const;
+    bool stepEpochSharded();
+    void runWindow(double until);
+    void stepTied(double when);
+    void mergeCompletions();
 
     double nextBoundary() const;
     void admit(const workloads::ArrivalEvent &ev);
@@ -234,10 +306,27 @@ class ServingSim
     std::deque<Queued> queue_;
     double cart_capacity_;
 
+    // Sharded mode (numShards() > 1); all empty/null otherwise, and
+    // every hot path then runs the literal single-loop code.
+    std::vector<std::unique_ptr<sim::Simulator>> extra_sims_;
+    std::vector<std::unique_ptr<sim::TraceRecorder>> extra_traces_;
+    std::vector<std::size_t> shard_of_; ///< track -> shard
+    std::vector<ShardPart> parts_;
+    sim::ShardGroup group_;
+    std::unique_ptr<ThreadPool> pool_;
+    /** True while shards run concurrently: completions are deferred to
+     *  the shard log and pump() is a no-op (the queue is empty by
+     *  construction whenever a window is open). */
+    bool windowed_ = false;
+    /** A repair/maintenance-release pump was suppressed during a
+     *  tied-timestamp drain; stepTied() replays it at the barrier. */
+    bool repair_pump_pending_ = false;
+
     std::size_t epochs_ = 0;
     double boundary_ = 0.0;
     std::size_t rr_next_ = 0;
     std::size_t in_flight_ = 0;
+    std::uint64_t next_rank_ = 0; ///< tryStart issue counter.
     std::uint64_t served_ = 0;
     bool pumping_ = false;
 

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * ShardGroup implementation.  All parallelism goes through the audited
+ * dhl::ThreadPool (lint rule R7); the group itself holds no threads,
+ * locks, or atomics — the pool's fork/join handshake is the only
+ * synchronisation, which is what makes window advances race-free: a
+ * shard's state is touched by exactly one thread per window, and the
+ * join publishes it back to the coordinator.
+ */
+
+#include "sim/shard.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hpp"
+#include "common/thread_pool.hpp"
+
+namespace dhl {
+namespace sim {
+
+void
+ShardGroup::attach(Simulator *sim)
+{
+    fatal_if(sim == nullptr, "ShardGroup::attach: null simulator");
+    shards_.push_back(sim);
+}
+
+Time
+ShardGroup::now() const
+{
+    Time t = 0.0;
+    for (const Simulator *s : shards_)
+        t = std::max(t, s->now());
+    return t;
+}
+
+Time
+ShardGroup::nextEventTime()
+{
+    Time t = std::numeric_limits<Time>::infinity();
+    for (Simulator *s : shards_)
+        t = std::min(t, s->nextEventTime());
+    return t;
+}
+
+std::size_t
+ShardGroup::pendingEvents() const
+{
+    std::size_t n = 0;
+    for (const Simulator *s : shards_)
+        n += s->pendingEvents();
+    return n;
+}
+
+void
+ShardGroup::advanceTo(Time until)
+{
+    if (pool_ && shards_.size() > 1) {
+        pool_->parallelFor(shards_.size(), [&](std::size_t s) {
+            shards_[s]->runUntil(until);
+        });
+        return;
+    }
+    for (Simulator *s : shards_)
+        s->runUntil(until);
+}
+
+void
+ShardGroup::advanceClocks(Time until)
+{
+    for (Simulator *s : shards_)
+        s->advanceTo(until);
+}
+
+std::size_t
+ShardGroup::stepMin()
+{
+    std::size_t best = npos;
+    Time best_t = 0.0;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+        const Time t = shards_[s]->nextEventTime();
+        if (std::isinf(t))
+            continue;
+        if (best == npos || t < best_t) {
+            best = s;
+            best_t = t;
+        }
+    }
+    if (best == npos)
+        return npos;
+    const std::uint64_t fired = shards_[best]->step(1);
+    panic_if(fired != 1, "ShardGroup::stepMin lost a pending event");
+    return best;
+}
+
+std::vector<std::size_t>
+partitionShards(std::size_t items, std::size_t group_size,
+                std::size_t shards)
+{
+    fatal_if(group_size == 0, "partitionShards: zero group size");
+    fatal_if(shards == 0, "partitionShards: zero shard count");
+    std::vector<std::size_t> out(items, 0);
+    if (items == 0)
+        return out;
+    const std::size_t groups = (items + group_size - 1) / group_size;
+    const std::size_t n = std::min(shards, groups);
+    // Deal `groups` contiguous groups into `n` shards: the first `rem`
+    // shards take one extra group so sizes differ by at most one.
+    const std::size_t base = groups / n;
+    const std::size_t rem = groups % n;
+    for (std::size_t i = 0; i < items; ++i) {
+        const std::size_t g = i / group_size;
+        const std::size_t pivot = (base + 1) * rem;
+        out[i] = g < pivot ? g / (base + 1) : rem + (g - pivot) / base;
+    }
+    return out;
+}
+
+} // namespace sim
+} // namespace dhl

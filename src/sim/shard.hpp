@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Conservative time-windowed coordination of several DES shards.
+ *
+ * A ShardGroup drives K independent `Simulator` instances — each shard
+ * owning a disjoint subset of the fleet (tracks, controllers, fault
+ * injectors, per-shard maintenance/plant models) — with the classic
+ * conservative-parallel-DES discipline:
+ *
+ *  - **Window advance** (`advanceTo`): when the coordinator knows no
+ *    cross-shard interaction can happen before time W (the lookahead —
+ *    a dispatch decision, the next arrival admission, an epoch
+ *    boundary), every shard runs its own event loop up to W in
+ *    parallel on a caller-participating ThreadPool.  Shard event
+ *    callbacks must touch only shard-local state during a window;
+ *    anything global is deferred to a per-shard log and merged by the
+ *    coordinator in (time, shard, log-order) order afterwards.
+ *
+ *  - **Lockstep** (`stepMin`): when there is no lookahead (e.g. a
+ *    queued request could start on any track the moment one frees),
+ *    the coordinator fires the globally earliest event — ties broken
+ *    by lowest shard id — on its own thread, exactly reproducing a
+ *    single global event loop over the union of the shards.
+ *
+ * Determinism contract: with one shard the group degenerates to plain
+ * `Simulator` calls; with N shards every merge point orders work by
+ * (time, shard id, per-shard sequence), never by arrival order, so the
+ * outcome is independent of thread scheduling.
+ */
+
+#ifndef DHL_SIM_SHARD_HPP
+#define DHL_SIM_SHARD_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace dhl {
+
+class ThreadPool;
+
+namespace sim {
+
+class ShardGroup
+{
+  public:
+    ShardGroup() = default;
+
+    ShardGroup(const ShardGroup &) = delete;
+    ShardGroup &operator=(const ShardGroup &) = delete;
+
+    /** Register a shard.  Shard ids are assigned in attach order and
+     *  are the merge tie-break, so attach in canonical (global) order.
+     *  The simulator must outlive the group. */
+    void attach(Simulator *sim);
+
+    /** Optional pool for parallel window advances.  Null (the default)
+     *  runs windows serially on the calling thread — same results,
+     *  shard order. */
+    void setPool(ThreadPool *pool) { pool_ = pool; }
+
+    std::size_t size() const { return shards_.size(); }
+
+    Simulator &shard(std::size_t s) { return *shards_[s]; }
+
+    /** Fleet-wide clock: the furthest shard (max over shard clocks).
+     *  Outside a window all shards agree, because every window/lockstep
+     *  primitive leaves stragglers advanced to the barrier. */
+    Time now() const;
+
+    /** Earliest pending event across all shards; +inf when idle. */
+    Time nextEventTime();
+
+    /** Total pending events across all shards. */
+    std::size_t pendingEvents() const;
+
+    /**
+     * Conservative window: every shard runs its local queue up to
+     * @p until (events at exactly @p until fire) and lands with its
+     * clock at @p until.  Parallel when a pool is set.  The caller
+     * guarantees no cross-shard interaction before @p until; shard
+     * callbacks must confine themselves to shard-local state.
+     */
+    void advanceTo(Time until);
+
+    /** Clock-only move of every shard to @p until; fatal if any shard
+     *  has an event strictly earlier (see Simulator::advanceTo). */
+    void advanceClocks(Time until);
+
+    /**
+     * Lockstep: fire the single globally earliest pending event — tie
+     * broken by lowest shard id — on the calling thread, with global
+     * side effects allowed.  Returns the shard that fired, or `npos`
+     * if every queue is empty.
+     */
+    std::size_t stepMin();
+
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  private:
+    std::vector<Simulator *> shards_;
+    ThreadPool *pool_ = nullptr;
+};
+
+/**
+ * Contiguous shard partition of @p items items that never splits a
+ * group: items are grouped in consecutive blocks of @p group_size
+ * (the shared-vacuum-plant domain size; 1 = fully independent) and
+ * whole groups are dealt to at most @p shards contiguous shards with
+ * near-equal group counts.  Returns the shard id of every item; the
+ * shard count actually used is `1 + max(result)` (the request is
+ * capped at the group count — a domain is the unit of isolation, so
+ * more shards than domains cannot help).
+ */
+std::vector<std::size_t> partitionShards(std::size_t items,
+                                         std::size_t group_size,
+                                         std::size_t shards);
+
+/**
+ * Deterministic k-way merge cursor over per-shard logs that are each
+ * already in (local) time order: repeatedly yields the shard whose
+ * head record is earliest, ties to the lowest shard id.  Used by the
+ * coordinators to apply deferred window effects in (time, shard,
+ * log-order) order.
+ *
+ * @tparam TimeOf  Callable (shard, index) -> Time of that record.
+ */
+template <typename TimeOf>
+class ShardMerge
+{
+  public:
+    /** @param counts  Number of records per shard. */
+    ShardMerge(const std::vector<std::size_t> &counts, TimeOf time_of)
+        : counts_(counts), head_(counts.size(), 0),
+          time_of_(std::move(time_of))
+    {}
+
+    /** Next (shard, index) pair in merge order; shard == npos when
+     *  every log is exhausted. */
+    std::pair<std::size_t, std::size_t>
+    next()
+    {
+        std::size_t best = ShardGroup::npos;
+        Time best_t = 0.0;
+        for (std::size_t s = 0; s < counts_.size(); ++s) {
+            if (head_[s] >= counts_[s])
+                continue;
+            const Time t = time_of_(s, head_[s]);
+            if (best == ShardGroup::npos || t < best_t) {
+                best = s;
+                best_t = t;
+            }
+        }
+        if (best == ShardGroup::npos)
+            return {ShardGroup::npos, 0};
+        return {best, head_[best]++};
+    }
+
+  private:
+    std::vector<std::size_t> counts_;
+    std::vector<std::size_t> head_;
+    TimeOf time_of_;
+};
+
+} // namespace sim
+} // namespace dhl
+
+#endif // DHL_SIM_SHARD_HPP

@@ -445,6 +445,10 @@ cmdServe(int argc, const char *const *argv)
                    "track is down",
                    "0");
     args.addOption("seed", "master serving seed", "1");
+    args.addOption("des-shards",
+                   "partition the fleet DES onto N cores "
+                   "(byte-identical to 1)",
+                   "1");
     args.addSwitch("faults", "inject component faults per track");
     args.addOption("fault-seed", "fault-injection seed", "1");
     args.addOption("fault-accel",
@@ -482,6 +486,8 @@ cmdServe(int argc, const char *const *argv)
     cfg.policy = ops::parseDispatchPolicy(args.get("policy"));
     cfg.min_priority_degraded =
         static_cast<int>(args.getInt("min-priority"));
+    cfg.des_shards =
+        static_cast<std::size_t>(args.getInt("des-shards"));
     if (args.getSwitch("faults")) {
         const double accel = args.getDouble("fault-accel");
         fatal_if(!(accel > 0.0), "--fault-accel must be positive");

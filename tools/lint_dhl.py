@@ -28,6 +28,15 @@ compiler cannot:
                            consumed by dhl_cli and bench/serving_study,
                            so it must never include bench/ or tools/
                            headers.
+  R7  raw-threading        No raw ``std::thread`` / ``std::async`` /
+                           ``std::mutex`` (and friends) in src/ outside
+                           common/thread_pool, common/logging (its
+                           sink lock) and sim/shard (the shard
+                           driver).  Concurrency goes through the
+                           caller-participating ThreadPool and the
+                           ShardGroup barriers, whose fork/join
+                           handshake is the only synchronisation the
+                           determinism contract allows.
 
 Usage:
   tools/lint_dhl.py [--root DIR]     lint the repo (exit 1 on findings)
@@ -74,6 +83,26 @@ LAYERED_DIRS = (
     ("src/ops/", "ops-layering"),
     ("src/serve/", "serve-layering"),
 )
+
+# R7: raw threading primitives.  Everything below either spawns threads
+# or synchronises them; simulation code must instead use the ThreadPool
+# / ShardGroup machinery so every cross-thread effect goes through a
+# deterministic barrier.
+RAW_THREADING_RE = re.compile(
+    r"\bstd::(?:thread|jthread|async|mutex|recursive_mutex|timed_mutex"
+    r"|shared_mutex|condition_variable(?:_any)?|lock_guard|unique_lock"
+    r"|shared_lock|scoped_lock)\b")
+
+# The pool implementation, the logging sink's lock, and the shard
+# driver are the concurrency layer the rule funnels everyone into.
+RAW_THREADING_ALLOWLIST = {
+    os.path.join("src", "common", "thread_pool.hpp"),
+    os.path.join("src", "common", "thread_pool.cpp"),
+    os.path.join("src", "common", "logging.hpp"),
+    os.path.join("src", "common", "logging.cpp"),
+    os.path.join("src", "sim", "shard.hpp"),
+    os.path.join("src", "sim", "shard.cpp"),
+}
 
 
 def strip_comments(text):
@@ -133,6 +162,15 @@ def lint_text(rel_path, text):
                     (rel_path, find_line(code, m.start()), rule,
                      "%s must not include front-end (bench/, tools/) "
                      "headers" % prefix.rstrip("/")))
+
+    if (rel_path not in RAW_THREADING_ALLOWLIST
+            and posix not in RAW_THREADING_ALLOWLIST):
+        for m in RAW_THREADING_RE.finditer(code):
+            findings.append(
+                (rel_path, find_line(code, m.start()), "raw-threading",
+                 "%s in library code; use common/thread_pool.hpp "
+                 "(ThreadPool) or sim/shard.hpp (ShardGroup)"
+                 % m.group(0)))
 
     if posix.endswith(".hpp"):
         g = GUARD_RE.search(code)
@@ -263,6 +301,38 @@ def self_test():
               cpp, '#include "bench/bench_util.hpp"\n'))
     check("R6 comment",
           not rules_of(serve_cpp, '// #include "tools/x.hpp"\n'))
+
+    # R7 fences raw threading primitives out of simulation code.
+    check("R7 thread",
+          "raw-threading" in rules_of(cpp, "std::thread t(run);\n"))
+    check("R7 async",
+          "raw-threading" in rules_of(cpp, "auto f = std::async(run);\n"))
+    check("R7 mutex",
+          "raw-threading" in rules_of(cpp, "std::mutex m;\n"))
+    check("R7 lock_guard",
+          "raw-threading" in rules_of(
+              cpp, "std::lock_guard<std::mutex> g(m);\n"))
+    check("R7 condition_variable",
+          "raw-threading" in rules_of(cpp, "std::condition_variable cv;\n"))
+    check("R7 pool exempt",
+          "raw-threading" not in rules_of(
+              os.path.join("src", "common", "thread_pool.cpp"),
+              "std::thread w; std::mutex m;\n"))
+    check("R7 logging exempt",
+          "raw-threading" not in rules_of(
+              os.path.join("src", "common", "logging.cpp"),
+              "std::lock_guard<std::mutex> g(sink_mutex);\n"))
+    check("R7 shard driver exempt",
+          "raw-threading" not in rules_of(
+              os.path.join("src", "sim", "shard.cpp"),
+              "std::mutex m;\n"))
+    check("R7 bench exempt",
+          not lint_text(os.path.join("bench", "x.cpp"),
+                        "std::thread t(run);\n"))
+    check("R7 lookalike",
+          not rules_of(cpp, "my::thread t; int mutex_count = 0;\n"))
+    check("R7 comment",
+          not rules_of(cpp, "// guarded by std::mutex downstream\nint x;\n"))
 
     if failures:
         for name in failures:
