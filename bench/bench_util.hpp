@@ -75,7 +75,8 @@ parseDesShards(const char *value)
 
 /** Parse --csv, --jobs N / --jobs=N, --seed N / --seed=N,
  *  --experiment NAME / --experiment=NAME and --des-shards N /
- *  --des-shards=N; ignores everything else. */
+ *  --des-shards=N.  Any other `--` flag is an error (exit 2): a typo
+ *  silently ignored here would regenerate the wrong table. */
 inline Options
 parseArgs(int argc, char **argv)
 {
@@ -102,6 +103,9 @@ parseArgs(int argc, char **argv)
             opts.des_shards = parseDesShards(argv[++i]);
         } else if (std::strncmp(arg, "--des-shards=", 13) == 0) {
             opts.des_shards = parseDesShards(arg + 13);
+        } else if (std::strncmp(arg, "--", 2) == 0) {
+            std::cerr << "error: unknown flag '" << arg << "'\n";
+            std::exit(2);
         }
     }
     return opts;

@@ -44,6 +44,37 @@ percentile(std::vector<double> values, double p)
     return values[lo] + frac * (values[hi] - values[lo]);
 }
 
+double
+jainFairnessIndex(const std::vector<double> &values)
+{
+    fatal_if(values.empty(), "jainFairnessIndex of an empty sample");
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (double v : values) {
+        fatal_if(v < 0.0, "jainFairnessIndex: values must be >= 0");
+        sum += v;
+        sum_sq += v * v;
+    }
+    if (sum_sq == 0.0)
+        return 1.0; // Nothing allocated is trivially fair.
+    return sum * sum / (static_cast<double>(values.size()) * sum_sq);
+}
+
+double
+jainFairnessIndex(const std::vector<double> &values,
+                  const std::vector<double> &weights)
+{
+    fatal_if(values.size() != weights.size(),
+             "jainFairnessIndex: values/weights size mismatch");
+    std::vector<double> normalised(values.size());
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        fatal_if(weights[i] <= 0.0,
+                 "jainFairnessIndex: weights must be > 0");
+        normalised[i] = values[i] / weights[i];
+    }
+    return jainFairnessIndex(normalised);
+}
+
 //===========================================================================
 // SloAccumulator
 //===========================================================================

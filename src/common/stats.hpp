@@ -186,6 +186,25 @@ class Histogram : public StatBase
 double percentile(std::vector<double> values, double p);
 
 /**
+ * Jain's fairness index of @p values: (sum x)^2 / (n * sum x^2).
+ * Ranges over (0, 1]; 1 means perfectly equal shares, 1/n means one
+ * entry holds everything.  The all-zero sample is defined as 1.0
+ * (nothing allocated is trivially fair).  fatal() on an empty sample
+ * or a negative value.  The TE frontier experiment (E20) reports this
+ * over per-tenant goodput.
+ */
+double jainFairnessIndex(const std::vector<double> &values);
+
+/**
+ * Weighted Jain index: each value is normalised by its weight
+ * (x_i / w_i) before the index is taken, so a tenant receiving
+ * exactly its weighted fair share scores 1.0.  Sizes must match and
+ * every weight must be > 0; fatal() otherwise.
+ */
+double jainFairnessIndex(const std::vector<double> &values,
+                         const std::vector<double> &weights);
+
+/**
  * Open-loop SLO accounting for one serving stage (src/serve): request
  * dispositions (offered / served / deferred / shed), delivered bytes,
  * and the full completion-latency sample set so tail percentiles

@@ -43,5 +43,37 @@ sloRows(const std::vector<StageSlo> &stages)
     return rows;
 }
 
+std::vector<std::string>
+classSloHeaders()
+{
+    return {"Class",    "Substrate", "Offered", "Served",
+            "Deferred", "Shed",      "P50",     "P99",
+            "Goodput"};
+}
+
+std::vector<std::string>
+classSloRow(const ClassSlo &c)
+{
+    return {c.name,
+            c.substrate,
+            std::to_string(c.offered),
+            std::to_string(c.served),
+            std::to_string(c.deferred),
+            std::to_string(c.shed),
+            units::formatDuration(c.p50),
+            units::formatDuration(c.p99),
+            units::formatBandwidth(c.goodput)};
+}
+
+std::vector<std::vector<std::string>>
+classSloRows(const std::vector<ClassSlo> &classes)
+{
+    std::vector<std::vector<std::string>> rows;
+    rows.reserve(classes.size());
+    for (const auto &c : classes)
+        rows.push_back(classSloRow(c));
+    return rows;
+}
+
 } // namespace exp
 } // namespace dhl

@@ -48,6 +48,36 @@ std::vector<std::string> sloRow(const StageSlo &s);
 std::vector<std::vector<std::string>> sloRows(
     const std::vector<StageSlo> &stages);
 
+/**
+ * The measured outcome of one (traffic class, substrate) pair under
+ * the TE controller — the per-substrate breakdown the hybrid split is
+ * judged by.  Same presentation contract as StageSlo: serve fills in
+ * plain values, exp formats them, so `dhl_cli serve --te` and
+ * bench/hybrid_te_study emit byte-identical rows.
+ */
+struct ClassSlo
+{
+    std::string name;          ///< Traffic-class (tenant) tag.
+    std::string substrate;     ///< "dhl" or "optical".
+    std::uint64_t offered = 0; ///< Requests routed to this substrate.
+    std::uint64_t served = 0;  ///< Requests completed.
+    std::uint64_t deferred = 0;///< Requests held in admission.
+    std::uint64_t shed = 0;    ///< Requests dropped (queue full).
+    double p50 = 0.0;          ///< Median open-loop latency, s.
+    double p99 = 0.0;          ///< P99 open-loop latency, s.
+    double goodput = 0.0;      ///< Delivered bytes / profile duration.
+};
+
+/** Table headers matching classSloRow(). */
+std::vector<std::string> classSloHeaders();
+
+/** One formatted table row per (class, substrate). */
+std::vector<std::string> classSloRow(const ClassSlo &c);
+
+/** Format the whole breakdown, in row order. */
+std::vector<std::vector<std::string>> classSloRows(
+    const std::vector<ClassSlo> &classes);
+
 } // namespace exp
 } // namespace dhl
 

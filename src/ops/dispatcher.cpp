@@ -11,6 +11,8 @@
 #include <memory>
 
 #include "common/logging.hpp"
+#include "dhl/analytical.hpp"
+#include "network/route.hpp"
 
 namespace dhl {
 namespace ops {
@@ -25,6 +27,8 @@ to_string(DispatchPolicy policy)
         return "least-queued";
       case DispatchPolicy::AvailabilityAware:
         return "availability";
+      case DispatchPolicy::Te:
+        return "te";
     }
     return "?";
 }
@@ -38,8 +42,10 @@ parseDispatchPolicy(const std::string &name)
         return DispatchPolicy::LeastQueued;
     if (name == "availability")
         return DispatchPolicy::AvailabilityAware;
+    if (name == "te")
+        return DispatchPolicy::Te;
     fatal("unknown dispatch policy '" + name +
-          "' (expected round-robin, least-queued, or availability)");
+          "' (expected round-robin, least-queued, availability, or te)");
 }
 
 void
@@ -48,6 +54,11 @@ validate(const DispatchConfig &cfg)
     fatal_if(cfg.overcommit == 0,
              "dispatch overcommit must be at least 1 (otherwise an "
              "outage never finds a queued open to re-route)");
+    if (cfg.policy == DispatchPolicy::Te) {
+        fatal_if(!cfg.te.enabled,
+                 "dispatch policy 'te' requires te.enabled");
+        te::validate(cfg.te);
+    }
 }
 
 FleetDispatcher::FleetDispatcher(core::DhlFleet &fleet,
@@ -345,8 +356,67 @@ FleetDispatcher::drainTrack(std::size_t t)
 }
 
 void
+FleetDispatcher::setupTe()
+{
+    te::TeConfig tc = cfg_.te;
+    if (tc.dhl_capacity == 0.0) {
+        // Aggregate launch bandwidth of the fleet, the same derivation
+        // the serving loop uses for its default.
+        tc.dhl_capacity =
+            static_cast<double>(fleet_.numTracks()) *
+            core::AnalyticalModel(fleet_.track(0).config())
+                .launch()
+                .bandwidth.value();
+    }
+    sim::Simulator &sim = fleet_.simulator();
+    te_ctl_ = std::make_unique<te::TeController>(
+        sim, tc, std::vector<te::TenantSpec>{{"bulk", 1.0}});
+    te_ctl_->onTick([this] {
+        if (active_)
+            pump();
+    });
+    te_flow_ = std::make_unique<network::FlowSim>(sim, "te_optical");
+    te_links_ = {te_flow_->addLink(tc.optical_capacity)};
+    te_power_ = network::findRoute(tc.route).power().value();
+    // Seed the demand estimator with the whole backlog: the first
+    // control epoch then sees the true offered load instead of zero.
+    for (const Job &job : jobs_)
+        te_ctl_->recordUsage(0, job.load);
+    te_ctl_->start();
+}
+
+void
+FleetDispatcher::offload(std::size_t j)
+{
+    ++metrics_.offloads;
+    metrics_.optical_bytes += jobs_[j].load;
+    te_flow_->startFlow(te_links_, jobs_[j].load, te_power_,
+                        [this](const network::FlowRecord &rec) {
+                            metrics_.optical_energy += rec.energy;
+                            ++completed_;
+                        });
+}
+
+void
 FleetDispatcher::pump()
 {
+    // Te pre-pass: everything the controller routes optical leaves the
+    // cart queue for the fluid substrate (which has no slot limit), so
+    // it never competes in the track-selection loop below.
+    if (cfg_.policy == DispatchPolicy::Te) {
+        for (std::size_t pos = 0; pos < queue_.size();) {
+            const std::size_t j = queue_[pos];
+            const te::TeDecision d =
+                te_ctl_->decide(0, jobs_[j].load, jobs_[j].meta);
+            if (d.substrate == te::Substrate::Optical && d.admit) {
+                queue_.erase(queue_.begin() +
+                             static_cast<std::ptrdiff_t>(pos));
+                offload(j);
+            } else {
+                ++pos;
+            }
+        }
+    }
     while (!queue_.empty()) {
         const bool degraded =
             cfg_.policy == DispatchPolicy::AvailabilityAware &&
@@ -358,6 +428,16 @@ FleetDispatcher::pump()
             Job &job = jobs_[queue_[pos]];
             if (degraded &&
                 job.meta.priority < cfg_.min_priority_degraded) {
+                if (!job.deferral_counted) {
+                    job.deferral_counted = true;
+                    ++metrics_.deferrals;
+                }
+                continue;
+            }
+            if (cfg_.policy == DispatchPolicy::Te &&
+                !te_ctl_->decide(0, job.load, job.meta).admit) {
+                // Held by the controller until a later tick clears the
+                // contention (or the horizon passes).
                 if (!job.deferral_counted) {
                     job.deferral_counted = true;
                     ++metrics_.deferrals;
@@ -467,6 +547,9 @@ FleetDispatcher::runPull(double bytes, const core::BulkRunOptions &opts,
     completed_ = 0;
     bytes_read_ = 0.0;
 
+    if (cfg_.policy == DispatchPolicy::Te)
+        setupTe();
+
     const double start = sim.now();
     const double energy_before = fleet_.totalEnergy();
     const std::uint64_t launches_before = fleet_.launches();
@@ -476,12 +559,15 @@ FleetDispatcher::runPull(double bytes, const core::BulkRunOptions &opts,
     while (completed_ < n_carts && sim.pendingEvents() > 0)
         sim.step();
     active_ = false;
+    if (te_ctl_)
+        te_ctl_->stop(); // cancel the pending control tick, if any
     panic_if(completed_ != n_carts,
              "fleet transfer finished with carts unaccounted for");
 
     core::BulkRunResult r{};
     r.total_time = sim.now() - start;
-    r.total_energy = fleet_.totalEnergy() - energy_before;
+    r.total_energy =
+        fleet_.totalEnergy() - energy_before + metrics_.optical_energy;
     r.launches = fleet_.launches() - launches_before;
     r.carts = n_carts;
     std::uint64_t failures = 0;

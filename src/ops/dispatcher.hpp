@@ -24,6 +24,12 @@
  *                       fleet is degraded, jobs below a priority floor
  *                       are deferred (admission control, reusing
  *                       core::RequestMeta).
+ *  - Te:                LeastQueued plus a TeController (src/te): jobs
+ *                       the controller routes optical ride a FlowSim
+ *                       fat-tree uplink instead of a cart, and
+ *                       contended bulk jobs below the TE priority
+ *                       floor are downgraded to optical or held until
+ *                       a control tick clears the contention.
  *
  * Work is re-routed at the *job* level: carts are track-local, so a
  * drained QueuedOpen's cart stays in its library and the job's payload
@@ -34,6 +40,7 @@
 #define DHL_OPS_DISPATCHER_HPP
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -41,6 +48,8 @@
 #include "dhl/fleet.hpp"
 #include "dhl/scheduler.hpp"
 #include "dhl/simulation.hpp"
+#include "network/flowsim.hpp"
+#include "te/controller.hpp"
 
 namespace dhl {
 namespace ops {
@@ -50,13 +59,14 @@ enum class DispatchPolicy
 {
     RoundRobin,       ///< Static pre-assignment (today's behaviour).
     LeastQueued,      ///< Dynamic pull from one fleet-level queue.
-    AvailabilityAware ///< Pull + outage re-routing + admission control.
+    AvailabilityAware,///< Pull + outage re-routing + admission control.
+    Te                ///< Pull + TeController hybrid substrate split.
 };
 
 std::string to_string(DispatchPolicy policy);
 
-/** Parse "round-robin" / "least-queued" / "availability"; fatal()
- *  on anything else. */
+/** Parse "round-robin" / "least-queued" / "availability" / "te";
+ *  fatal() on anything else. */
 DispatchPolicy parseDispatchPolicy(const std::string &name);
 
 /** Dispatcher parameters. */
@@ -72,6 +82,9 @@ struct DispatchConfig
      *  stations; the excess queues in the track's controller (and is
      *  what an outage drains off it). */
     std::size_t overcommit = 1;
+
+    /** Traffic engineering (policy == Te requires te.enabled). */
+    te::TeConfig te{};
 };
 
 /** Validate; fatal() on nonsense. */
@@ -89,6 +102,15 @@ struct DispatchMetrics
     /** Jobs deferred at least once by the degraded-mode priority
      *  floor. */
     std::uint64_t deferrals = 0;
+
+    /** Te: jobs the controller routed onto the optical substrate. */
+    std::uint64_t offloads = 0;
+
+    /** Te: bytes moved optically instead of by cart. */
+    double optical_bytes = 0.0;
+
+    /** Te: energy spent on the optical substrate, J. */
+    double optical_energy = 0.0;
 
     /** Per-open latency, issue -> docked, s. */
     std::vector<double> open_latency;
@@ -150,6 +172,8 @@ class FleetDispatcher
     void assign(std::size_t t, std::size_t j);
     void finishJob(std::size_t t, core::CartId id);
     void drainTrack(std::size_t t);
+    void setupTe();
+    void offload(std::size_t j);
 
     core::DhlFleet &fleet_;
     DispatchConfig cfg_;
@@ -165,6 +189,12 @@ class FleetDispatcher
     std::vector<std::unordered_map<core::CartId, std::size_t>> cart_job_;
     std::uint64_t completed_ = 0;
     double bytes_read_ = 0.0;
+
+    // Te substrate, rebuilt per runPull (policy == Te only).
+    std::unique_ptr<te::TeController> te_ctl_;
+    std::unique_ptr<network::FlowSim> te_flow_;
+    std::vector<int> te_links_;
+    double te_power_ = 0.0;
 };
 
 } // namespace ops

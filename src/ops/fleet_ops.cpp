@@ -175,6 +175,9 @@ FleetOps::runBulkTransfer(double bytes, const core::BulkRunOptions &opts,
     r.reroutes = m.reroutes;
     r.drains = m.drains;
     r.deferrals = m.deferrals;
+    r.offloads = m.offloads;
+    r.optical_bytes = m.optical_bytes;
+    r.optical_energy = m.optical_energy;
     if (!m.open_latency.empty()) {
         double sum = 0.0;
         for (const double v : m.open_latency)

@@ -52,9 +52,9 @@ struct OpsConfig
      * RoundRobin policy, plant domains are dealt contiguously onto N
      * simulators (sim::partitionShards) and the run is synchronised
      * with conservative time windows; results are byte-identical to
-     * des_shards = 1.  Pull policies (LeastQueued/AvailabilityAware)
-     * are continuously fleet-coupled — zero cross-track lookahead — so
-     * they always run one shard regardless of this knob.
+     * des_shards = 1.  Pull policies (LeastQueued/AvailabilityAware/
+     * Te) are continuously fleet-coupled — zero cross-track lookahead —
+     * so they always run one shard regardless of this knob.
      */
     std::size_t des_shards = 1;
 };
@@ -74,6 +74,10 @@ struct OpsRunResult
     std::uint64_t deferrals = 0; ///< jobs deferred by admission control
     std::uint64_t maintenance_windows = 0; ///< occurrences opened
     std::uint64_t plant_outages = 0;       ///< common-cause outages
+
+    std::uint64_t offloads = 0;   ///< Te: jobs routed optical
+    double optical_bytes = 0.0;   ///< Te: bytes moved optically
+    double optical_energy = 0.0;  ///< Te: optical substrate energy, J
 
     double open_latency_mean = 0.0; ///< s, issue -> docked
     double open_latency_p99 = 0.0;  ///< s

@@ -14,6 +14,8 @@
 
 #include "common/logging.hpp"
 #include "common/random.hpp"
+#include "dhl/analytical.hpp"
+#include "network/route.hpp"
 
 namespace dhl {
 namespace serve {
@@ -48,6 +50,11 @@ validate(const ServeConfig &cfg)
     if (cfg.domains.enabled)
         ops::validate(cfg.domains);
     fatal_if(cfg.des_shards == 0, "serving des_shards must be at least 1");
+    fatal_if(cfg.policy == ops::DispatchPolicy::Te,
+             "the serving loop drives TE through cfg.te (--te), not "
+             "the ops dispatch policy");
+    if (cfg.te.enabled)
+        te::validate(cfg.te);
 }
 
 ServingSim::ServingSim(const ServeConfig &cfg)
@@ -63,7 +70,11 @@ ServingSim::ServingSim(const ServeConfig &cfg)
     // count).  Every seed below derives from (cfg_.seed, global track
     // index) alone, so the layout never perturbs a stream.
     shard_of_.assign(cfg_.tracks, 0);
-    if (cfg_.des_shards > 1) {
+    // TE needs zero-lookahead visibility of every track (the controller
+    // decides per admission against fleet-wide published state), so a
+    // TE-enabled run always uses the single global loop — which also
+    // makes --des-shards trivially byte-identical under TE.
+    if (cfg_.des_shards > 1 && !cfg_.te.enabled) {
         const std::size_t unit =
             cfg_.domains.enabled ? cfg_.domains.domain_size : 1;
         shard_of_ =
@@ -178,6 +189,52 @@ ServingSim::ServingSim(const ServeConfig &cfg)
     arrivals_ = std::make_unique<workloads::StagedArrivalProcess>(
         cfg_.stages, deriveSeed(cfg_.seed, kArrivalStreamSalt));
     slo_.resize(arrivals_->stageCount());
+
+    if (cfg_.te.enabled) {
+        // Tenants are the distinct traffic-class tags of the profile in
+        // first-appearance order; the class's arrival-mix weight doubles
+        // as its fair-share weight.
+        std::vector<te::TenantSpec> tenants;
+        for (const workloads::StageSpec &stage : cfg_.stages) {
+            for (const workloads::RequestClass &rc : stage.mix) {
+                bool known = false;
+                for (const std::string &tag : tenant_tags_)
+                    known = known || tag == rc.tag;
+                if (!known) {
+                    tenant_tags_.push_back(rc.tag);
+                    tenants.push_back({rc.tag, rc.weight});
+                }
+            }
+        }
+        te::TeConfig tc = cfg_.te;
+        if (tc.dhl_capacity == 0.0)
+            tc.dhl_capacity =
+                static_cast<double>(cfg_.tracks) *
+                core::AnalyticalModel(cfg_.dhl).launch().bandwidth.value();
+        if (std::isinf(tc.horizon))
+            tc.horizon = arrivals_->totalDuration();
+        optical_ = std::make_unique<network::FlowSim>(sim_, "optical");
+        optical_links_ = {optical_->addLink(tc.optical_capacity)};
+        optical_route_power_ =
+            network::findRoute(tc.route).power().value();
+        te_ = std::make_unique<te::TeController>(sim_, tc,
+                                                 std::move(tenants));
+        // A control tick can clear contention or open downgrade
+        // headroom, so the backlog is re-scanned after every tick.
+        te_->onTick([this] { pump(); });
+        te_->start();
+        class_slo_.resize(tenant_tags_.size() * 2);
+        serve_stats_.addFormula("optical_served",
+                                "requests served on the optical substrate",
+                                [this] {
+            return static_cast<double>(optical_served_);
+        });
+        serve_stats_.addFormula("te_downgrades",
+                                "bulk requests downgraded to optical",
+                                [this] {
+            return static_cast<double>(te_downgrades_);
+        });
+    }
 
     // Formulas read the SLO accumulators lazily, so a restored fleet
     // dumps the run totals, not just what this process observed.
@@ -529,6 +586,7 @@ ServingSim::pickTrack(bool degraded) const
                 return t;
         }
         return kNoTrack;
+    case ops::DispatchPolicy::Te: // rejected by validate(); see --te
     case ops::DispatchPolicy::LeastQueued: {
         std::size_t best = kNoTrack;
         std::size_t best_free = 0;
@@ -590,6 +648,11 @@ ServingSim::admit(const workloads::ArrivalEvent &ev)
     const std::size_t stage = static_cast<std::size_t>(ev.stage);
     slo_[stage].offer();
 
+    if (te_) {
+        admitTe(ev);
+        return;
+    }
+
     if (queue_.empty() && admissible(ev, anyTrackDown()) && tryStart(ev))
         return;
 
@@ -602,6 +665,91 @@ ServingSim::admit(const workloads::ArrivalEvent &ev)
     }
     slo_[stage].defer();
     queue_.push_back(Queued{ev});
+}
+
+void
+ServingSim::admitTe(const workloads::ArrivalEvent &ev)
+{
+    const std::size_t stage = static_cast<std::size_t>(ev.stage);
+    const std::size_t tenant = tenantOf(ev);
+    te_->recordUsage(tenant, ev.bytes);
+
+    core::RequestMeta meta;
+    meta.priority = ev.priority;
+    const te::TeDecision d = te_->decide(tenant, ev.bytes, meta);
+
+    if (d.substrate == te::Substrate::Optical) {
+        // Optical requests never queue: the fluid FlowSim models their
+        // contention by sharing the uplink, not by admission control.
+        classSlo(tenant, te::Substrate::Optical).offer();
+        startOptical(ev, tenant, d.downgraded);
+        return;
+    }
+
+    classSlo(tenant, te::Substrate::Dhl).offer();
+    // d.admit == false holds the request in the queue until a control
+    // tick clears the contention (decide() only withholds admission
+    // while a future tick is pending, so the hold always resolves).
+    if (d.admit && queue_.empty() && admissible(ev, anyTrackDown()) &&
+        tryStart(ev))
+        return;
+
+    if (queue_.size() >= cfg_.max_pending) {
+        slo_[stage].shed();
+        classSlo(tenant, te::Substrate::Dhl).shed();
+        if (trace_.enabled())
+            trace_.record("serve", "admission",
+                          "shed " + ev.tag + " (queue full)");
+        return;
+    }
+    slo_[stage].defer();
+    classSlo(tenant, te::Substrate::Dhl).defer();
+    queue_.push_back(Queued{ev});
+}
+
+void
+ServingSim::startOptical(const workloads::ArrivalEvent &ev,
+                         std::size_t tenant, bool downgraded)
+{
+    if (downgraded)
+        ++te_downgrades_;
+    ++in_flight_;
+    auto boxed = std::make_shared<workloads::ArrivalEvent>(ev);
+    optical_->startFlow(
+        optical_links_, ev.bytes, optical_route_power_,
+        [this, boxed, tenant](const network::FlowRecord &rec) {
+            const std::size_t stage =
+                static_cast<std::size_t>(boxed->stage);
+            const double latency = sim_.now() - boxed->at;
+            slo_[stage].complete(latency, boxed->bytes);
+            classSlo(tenant, te::Substrate::Optical)
+                .complete(latency, boxed->bytes);
+            optical_energy_ += rec.energy;
+            ++served_;
+            ++optical_served_;
+            --in_flight_;
+        });
+}
+
+std::size_t
+ServingSim::tenantOf(const workloads::ArrivalEvent &ev) const
+{
+    for (std::size_t t = 0; t < tenant_tags_.size(); ++t)
+        if (tenant_tags_[t] == ev.tag)
+            return t;
+    panic("serve: arrival tag '" + ev.tag + "' has no TE tenant");
+}
+
+stats::SloAccumulator &
+ServingSim::classSlo(std::size_t tenant, te::Substrate s)
+{
+    return class_slo_[tenant * 2 + (s == te::Substrate::Optical ? 1 : 0)];
+}
+
+const stats::SloAccumulator &
+ServingSim::classSlo(std::size_t tenant, te::Substrate s) const
+{
+    return class_slo_[tenant * 2 + (s == te::Substrate::Optical ? 1 : 0)];
 }
 
 void
@@ -624,6 +772,17 @@ ServingSim::pump()
         for (auto it = queue_.begin(); it != queue_.end(); ++it) {
             if (!admissible(it->ev, degraded))
                 continue; // held below the degraded-mode floor
+            if (te_) {
+                // A queued request's substrate is fixed at admission
+                // (DHL); only the admit verdict is re-evaluated, so a
+                // contention hold behaves exactly like the degraded
+                // floor: skipped now, revisited on the next pump.
+                core::RequestMeta meta;
+                meta.priority = it->ev.priority;
+                if (!te_->decide(tenantOf(it->ev), it->ev.bytes, meta)
+                         .admit)
+                    continue;
+            }
             if (!tryStart(it->ev))
                 return; // admissible work, no capacity: stop scanning
             queue_.erase(it);
@@ -671,7 +830,11 @@ ServingSim::finishRequest(const Active &a)
         --part.in_flight;
         return;
     }
-    slo_[stage].complete(simOf(a.track).now() - a.ev.at, a.ev.bytes);
+    const double latency = simOf(a.track).now() - a.ev.at;
+    slo_[stage].complete(latency, a.ev.bytes);
+    if (te_)
+        classSlo(tenantOf(a.ev), te::Substrate::Dhl)
+            .complete(latency, a.ev.bytes);
     ++served_;
     tracks_[a.track].pool.push_back(a.cart);
     --in_flight_;
@@ -699,6 +862,20 @@ ServingSim::saveFingerprint(sim::SnapshotWriter &w) const
     w.putU64("maintenance_windows", cfg_.maintenance.windows.size());
     w.putBool("domains", cfg_.domains.enabled);
     w.putU64("des_shards", numShards());
+    w.putBool("te", cfg_.te.enabled);
+    if (cfg_.te.enabled) {
+        sim::SnapshotScope<sim::SnapshotWriter> ts(w, "te");
+        w.putString("mode", te::to_string(cfg_.te.mode));
+        w.putDouble("period", cfg_.te.control_period);
+        w.putDouble("small_bytes", cfg_.te.small_bytes);
+        w.putDouble("optical_capacity", cfg_.te.optical_capacity);
+        w.putDouble("dhl_capacity", cfg_.te.dhl_capacity);
+        w.putString("route", cfg_.te.route);
+        w.putDouble("headroom", cfg_.te.headroom);
+        w.putDouble("multiplier", cfg_.te.usage_multiplier);
+        w.putU64("history", cfg_.te.history);
+        w.putI64("floor", cfg_.te.min_priority_contended);
+    }
     w.putU64("stages", cfg_.stages.size());
     for (std::size_t i = 0; i < cfg_.stages.size(); ++i) {
         const workloads::StageSpec &s = cfg_.stages[i];
@@ -741,8 +918,25 @@ ServingSim::checkFingerprint(sim::SnapshotReader &r) const
                      cfg_.maintenance.windows.size() ||
                  r.getBool("domains") != cfg_.domains.enabled ||
                  r.getU64("des_shards") != numShards() ||
+                 r.getBool("te") != cfg_.te.enabled ||
                  r.getU64("stages") != cfg_.stages.size(),
              "serving checkpoint belongs to a different configuration");
+    if (cfg_.te.enabled) {
+        sim::SnapshotScope<sim::SnapshotReader> ts(r, "te");
+        fatal_if(r.getString("mode") != te::to_string(cfg_.te.mode) ||
+                     r.getDouble("period") != cfg_.te.control_period ||
+                     r.getDouble("small_bytes") != cfg_.te.small_bytes ||
+                     r.getDouble("optical_capacity") !=
+                         cfg_.te.optical_capacity ||
+                     r.getDouble("dhl_capacity") != cfg_.te.dhl_capacity ||
+                     r.getString("route") != cfg_.te.route ||
+                     r.getDouble("headroom") != cfg_.te.headroom ||
+                     r.getDouble("multiplier") !=
+                         cfg_.te.usage_multiplier ||
+                     r.getU64("history") != cfg_.te.history ||
+                     r.getI64("floor") != cfg_.te.min_priority_contended,
+                 "serving checkpoint TE configuration does not match");
+    }
     for (std::size_t i = 0; i < cfg_.stages.size(); ++i) {
         const workloads::StageSpec &s = cfg_.stages[i];
         std::string key("stage");
@@ -845,6 +1039,33 @@ ServingSim::checkpoint(std::ostream &os) const
         maintenance_->saveState(w);
     if (plants_)
         plants_->saveState(w);
+    if (te_) {
+        // The drained boundary has zero active flows, so the FlowSim
+        // itself holds no dynamic state worth keeping; the serve layer
+        // checkpoints its own optical accumulators instead.
+        sim::SnapshotScope<sim::SnapshotWriter> ts(w, "te");
+        w.putDouble("optical_energy", optical_energy_);
+        w.putU64("optical_served", optical_served_);
+        w.putU64("downgrades", te_downgrades_);
+        for (std::size_t i = 0; i < class_slo_.size(); ++i) {
+            const stats::SloAccumulator &s = class_slo_[i];
+            std::string key("c");
+            key += std::to_string(i);
+            sim::SnapshotScope<sim::SnapshotWriter> cs(w, key);
+            w.putU64("offered", s.offered());
+            w.putU64("deferred", s.deferred());
+            w.putU64("shed", s.shed());
+            w.putDouble("bytes", s.bytesDelivered());
+            w.putU64("samples", s.latencies().size());
+            for (std::size_t j = 0; j < s.latencies().size(); ++j) {
+                std::string lk("l");
+                lk += std::to_string(j);
+                w.putDouble(lk, s.latencies()[j]);
+            }
+        }
+        sim::SnapshotScope<sim::SnapshotWriter> ctl(w, "ctl");
+        te_->saveState(w);
+    }
     for (std::size_t s = 0; s < parts_.size(); ++s) {
         const ShardPart &part = parts_[s];
         if (part.maintenance) {
@@ -886,6 +1107,8 @@ ServingSim::restore(std::istream &is)
         if (part.plants)
             part.plants->stop();
     }
+    if (te_)
+        te_->stop();
     std::size_t pending = sim_.pendingEvents();
     for (const auto &es : extra_sims_)
         pending += es->pendingEvents();
@@ -923,6 +1146,31 @@ ServingSim::restore(std::istream &is)
         maintenance_->restoreState(r);
     if (plants_)
         plants_->restoreState(r);
+    if (te_) {
+        sim::SnapshotScope<sim::SnapshotReader> ts(r, "te");
+        optical_energy_ = r.getDouble("optical_energy");
+        optical_served_ = r.getU64("optical_served");
+        te_downgrades_ = r.getU64("downgrades");
+        for (std::size_t i = 0; i < class_slo_.size(); ++i) {
+            std::string key("c");
+            key += std::to_string(i);
+            sim::SnapshotScope<sim::SnapshotReader> cs(r, key);
+            const std::uint64_t samples = r.getU64("samples");
+            std::vector<double> latencies;
+            latencies.reserve(samples);
+            for (std::uint64_t j = 0; j < samples; ++j) {
+                std::string lk("l");
+                lk += std::to_string(j);
+                latencies.push_back(r.getDouble(lk));
+            }
+            class_slo_[i].restore(r.getU64("offered"),
+                                  r.getU64("deferred"), r.getU64("shed"),
+                                  r.getDouble("bytes"),
+                                  std::move(latencies));
+        }
+        sim::SnapshotScope<sim::SnapshotReader> ctl(r, "ctl");
+        te_->restoreState(r);
+    }
     for (std::size_t s = 0; s < parts_.size(); ++s) {
         ShardPart &part = parts_[s];
         if (part.maintenance) {
@@ -1038,10 +1286,48 @@ ServingSim::sloTable() const
 double
 ServingSim::totalEnergy() const
 {
-    double e = 0.0;
+    double e = optical_energy_;
     for (const TrackSystem &ts : tracks_)
         e += ts.controller->totalEnergy();
     return e;
+}
+
+const te::TeController &
+ServingSim::teController() const
+{
+    fatal_if(!te_, "TE is not enabled on this serving fleet");
+    return *te_;
+}
+
+std::vector<exp::ClassSlo>
+ServingSim::teTable() const
+{
+    fatal_if(!te_, "TE is not enabled on this serving fleet");
+    // Achieved throughput: delivered bytes over the elapsed makespan,
+    // so a mode that drains its backlog slowly scores lower goodput
+    // even when everything is eventually served.
+    const double duration = sim_.now();
+    std::vector<exp::ClassSlo> table;
+    table.reserve(class_slo_.size());
+    for (std::size_t t = 0; t < tenant_tags_.size(); ++t) {
+        for (const te::Substrate s :
+             {te::Substrate::Dhl, te::Substrate::Optical}) {
+            const stats::SloAccumulator &acc = classSlo(t, s);
+            exp::ClassSlo row;
+            row.name = tenant_tags_[t];
+            row.substrate = te::to_string(s);
+            row.offered = acc.offered();
+            row.served = acc.served();
+            row.deferred = acc.deferred();
+            row.shed = acc.shed();
+            row.p50 = acc.latencyPercentile(50.0);
+            row.p99 = acc.latencyPercentile(99.0);
+            row.goodput =
+                duration > 0.0 ? acc.bytesDelivered() / duration : 0.0;
+            table.push_back(std::move(row));
+        }
+    }
+    return table;
 }
 
 std::uint64_t
@@ -1093,6 +1379,10 @@ ServingSim::dumpStats(std::ostream &os)
         maintenance_->statsGroup().dump(os);
     if (plants_)
         plants_->statsGroup().dump(os);
+    if (te_) {
+        te_->statsGroup().dump(os);
+        optical_->statsGroup().dump(os);
+    }
     for (const ShardPart &part : parts_) {
         if (part.maintenance)
             part.maintenance->statsGroup().dump(os);

@@ -50,6 +50,7 @@
 #include "exp/slo.hpp"
 #include "faults/fault_injector.hpp"
 #include "faults/fault_state.hpp"
+#include "network/flowsim.hpp"
 #include "ops/correlated.hpp"
 #include "ops/dispatcher.hpp"
 #include "ops/maintenance.hpp"
@@ -57,6 +58,7 @@
 #include "sim/simulator.hpp"
 #include "sim/snapshot.hpp"
 #include "sim/trace.hpp"
+#include "te/controller.hpp"
 #include "workloads/arrival.hpp"
 
 namespace dhl {
@@ -107,6 +109,20 @@ struct ServeConfig
 
     /** Retained trace records (rotation bound; see TraceRecorder). */
     std::size_t trace_capacity = 65536;
+
+    /**
+     * Traffic engineering (src/te).  When enabled, a TeController is
+     * consulted at admission: small requests ride the optical
+     * substrate (a FlowSim sharing one fat-tree uplink max-min
+     * fairly), bulk requests ride the carts, and contended bulk
+     * traffic below the priority floor is downgraded to optical or
+     * held.  A request's substrate is fixed at admission.  TE runs
+     * the DES on a single shard (the controller needs zero-lookahead
+     * visibility of every track), so `des_shards` is ignored — which
+     * also makes `--des-shards N` trivially byte-identical.  Disabled
+     * leaves every stream and table byte-identical to pre-TE builds.
+     */
+    te::TeConfig te{};
 
     /**
      * DES shards for the fleet event loop (>= 1).  With N > 1 the
@@ -193,13 +209,37 @@ class ServingSim
     /** Mean per-track service availability over a stage's window. */
     double stageAvailability(std::size_t stage) const;
 
-    /** Fleet totals. */
+    /** Fleet totals.  totalEnergy() includes the optical substrate's
+     *  route energy when TE is enabled. */
     double totalEnergy() const;
     std::uint64_t totalLaunches() const;
     std::uint64_t totalServed() const { return served_; }
     std::uint64_t totalShed() const;
     std::size_t queueDepth() const { return queue_.size(); }
     std::size_t inFlight() const { return in_flight_; }
+
+    //------------------------------------------------------------------
+    // Traffic engineering (cfg.te.enabled only)
+    //------------------------------------------------------------------
+
+    bool teEnabled() const { return te_ != nullptr; }
+
+    /** The TE controller (fatal() unless enabled). */
+    const te::TeController &teController() const;
+
+    /** Per-(class, substrate) outcome rows, tenant-major with the DHL
+     *  row first (goodput = delivered bytes over the elapsed
+     *  makespan, so a slowly draining backlog scores lower). */
+    std::vector<exp::ClassSlo> teTable() const;
+
+    /** Joules spent by offloaded flows on the optical route. */
+    double opticalEnergy() const { return optical_energy_; }
+
+    /** Requests completed on the optical substrate. */
+    std::uint64_t opticalServed() const { return optical_served_; }
+
+    /** Bulk requests pushed to optical by DHL contention. */
+    std::uint64_t teDowngrades() const { return te_downgrades_; }
 
     /** The fleet trace (enable via trace().enable()). */
     sim::TraceRecorder &trace() { return trace_; }
@@ -285,6 +325,13 @@ class ServingSim
 
     double nextBoundary() const;
     void admit(const workloads::ArrivalEvent &ev);
+    void admitTe(const workloads::ArrivalEvent &ev);
+    void startOptical(const workloads::ArrivalEvent &ev,
+                      std::size_t tenant, bool downgraded);
+    std::size_t tenantOf(const workloads::ArrivalEvent &ev) const;
+    stats::SloAccumulator &classSlo(std::size_t tenant, te::Substrate s);
+    const stats::SloAccumulator &classSlo(std::size_t tenant,
+                                          te::Substrate s) const;
     void pump();
     bool anyTrackDown() const;
     bool admissible(const workloads::ArrivalEvent &ev, bool degraded) const;
@@ -305,6 +352,18 @@ class ServingSim
     std::vector<stats::SloAccumulator> slo_;
     std::deque<Queued> queue_;
     double cart_capacity_;
+
+    // Traffic engineering (cfg_.te.enabled only; null/empty otherwise).
+    std::unique_ptr<te::TeController> te_;
+    std::unique_ptr<network::FlowSim> optical_;
+    std::vector<int> optical_links_;    ///< The one fat-tree uplink.
+    double optical_route_power_ = 0.0;  ///< W while a flow is active.
+    /** Per-(tenant, substrate) accounting: index = tenant*2 + sub. */
+    std::vector<stats::SloAccumulator> class_slo_;
+    std::vector<std::string> tenant_tags_; ///< First-appearance order.
+    double optical_energy_ = 0.0;
+    std::uint64_t optical_served_ = 0;
+    std::uint64_t te_downgrades_ = 0;
 
     // Sharded mode (numShards() > 1); all empty/null otherwise, and
     // every hot path then runs the literal single-loop code.

@@ -1,0 +1,117 @@
+#include "te/fairness.hpp"
+
+#include "common/logging.hpp"
+
+namespace dhl {
+namespace te {
+
+namespace {
+
+/**
+ * The shared progressive-filling loop.  @p weights may be empty
+ * (unweighted: every entry weighs 1).  Frozen entries hold their final
+ * allocation; active ones are raised together until the next freeze or
+ * until capacity runs out.
+ */
+std::vector<double> fill(const std::vector<double> &demands,
+                         const std::vector<double> *weights,
+                         double capacity)
+{
+    fatal_if(capacity < 0.0, "waterFill: capacity must be >= 0");
+    const std::size_t n = demands.size();
+    std::vector<double> alloc(n, 0.0);
+    std::vector<bool> frozen(n, false);
+
+    auto weightOf = [&](std::size_t i) {
+        return weights ? (*weights)[i] : 1.0;
+    };
+
+    double remaining = capacity;
+    std::size_t active = 0;
+    double active_weight = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        fatal_if(demands[i] < 0.0, "waterFill: demands must be >= 0");
+        fatal_if(weightOf(i) < 0.0, "waterFill: weights must be >= 0");
+        if (demands[i] == 0.0 || weightOf(i) == 0.0) {
+            frozen[i] = true; // alloc stays 0: nothing asked / no share.
+        } else {
+            ++active;
+            active_weight += weightOf(i);
+        }
+    }
+
+    while (active > 0) {
+        const double level = remaining <= 0.0
+                                 ? 0.0
+                                 : remaining / active_weight;
+        // Freeze every active entry whose demand fits under the level —
+        // assigned its demand *exactly*, not level * weight.
+        bool froze = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (frozen[i])
+                continue;
+            if (demands[i] <= level * weightOf(i)) {
+                alloc[i] = demands[i];
+                remaining -= demands[i];
+                frozen[i] = true;
+                --active;
+                active_weight -= weightOf(i);
+                froze = true;
+            }
+        }
+        if (!froze) {
+            // Capacity is the bottleneck: split what is left by weight.
+            for (std::size_t i = 0; i < n; ++i) {
+                if (!frozen[i])
+                    alloc[i] = level * weightOf(i);
+            }
+            break;
+        }
+    }
+    return alloc;
+}
+
+} // namespace
+
+std::vector<double> waterFill(const std::vector<double> &demands,
+                              double capacity)
+{
+    return fill(demands, nullptr, capacity);
+}
+
+std::vector<double> waterFillWeighted(const std::vector<double> &demands,
+                                      const std::vector<double> &weights,
+                                      double capacity)
+{
+    fatal_if(demands.size() != weights.size(),
+             "waterFillWeighted: demands/weights size mismatch");
+    return fill(demands, &weights, capacity);
+}
+
+std::vector<TenantAllocation>
+hierarchicalAllocate(const std::vector<TenantDemand> &tenants,
+                     double capacity)
+{
+    std::vector<double> totals(tenants.size(), 0.0);
+    std::vector<double> weights(tenants.size(), 0.0);
+    for (std::size_t t = 0; t < tenants.size(); ++t) {
+        for (double g : tenants[t].groups) {
+            fatal_if(g < 0.0, "hierarchicalAllocate: demands must be >= 0");
+            totals[t] += g;
+        }
+        weights[t] = tenants[t].weight;
+    }
+
+    const std::vector<double> shares =
+        waterFillWeighted(totals, weights, capacity);
+
+    std::vector<TenantAllocation> out(tenants.size());
+    for (std::size_t t = 0; t < tenants.size(); ++t) {
+        out[t].total = shares[t];
+        out[t].groups = waterFill(tenants[t].groups, shares[t]);
+    }
+    return out;
+}
+
+} // namespace te
+} // namespace dhl

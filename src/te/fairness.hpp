@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Exact max-min fair allocation kernels for the traffic-engineering
+ * layer.
+ *
+ * The core primitive is progressive filling ("water-filling"): raise a
+ * common fill level until an entry's demand is met, freeze it at its
+ * demand, redistribute the freed capacity over the rest, repeat.  The
+ * loop below runs the freeze cascade explicitly, so every satisfied
+ * entry is assigned its demand *exactly* (no epsilon accumulated from
+ * repeated division), which is what lets callers test contention with
+ * `alloc < demand` instead of a tolerance.  Iteration is index-ordered
+ * throughout — the result is a pure function of (demands, weights,
+ * capacity), independent of container history or platform.
+ *
+ * hierarchicalAllocate() composes two levels: a weighted fill over
+ * tenants (level 1), then an unweighted fill of each tenant's
+ * flow-groups within its tenant share (level 2) — the heyp-agents
+ * cluster-allocator shape, with replicant-opera's fairshare1d as the
+ * per-level kernel.
+ */
+
+#ifndef DHL_TE_FAIRNESS_HPP
+#define DHL_TE_FAIRNESS_HPP
+
+#include <string>
+#include <vector>
+
+namespace dhl {
+namespace te {
+
+/**
+ * Max-min fair share of @p capacity over @p demands (all >= 0,
+ * capacity >= 0).  Entries whose demand can be met get exactly their
+ * demand; the rest split the remainder evenly.  Returns one allocation
+ * per demand; fatal() on negative inputs.
+ */
+std::vector<double> waterFill(const std::vector<double> &demands,
+                              double capacity);
+
+/**
+ * Weighted max-min fair share: unfrozen entry i receives
+ * level * weights[i].  A zero-weight entry is frozen at 0 regardless
+ * of demand (it owns no share of the bottleneck).  Sizes must match;
+ * fatal() on negative demands, weights or capacity.
+ */
+std::vector<double> waterFillWeighted(const std::vector<double> &demands,
+                                      const std::vector<double> &weights,
+                                      double capacity);
+
+/** One tenant's demand, broken into flow-groups. */
+struct TenantDemand
+{
+    std::string name;
+    double weight = 1.0;
+    /** Per-flow-group demands, bytes/s (>= 0 each). */
+    std::vector<double> groups;
+};
+
+/** One tenant's allocation, mirroring TenantDemand::groups. */
+struct TenantAllocation
+{
+    double total = 0.0;
+    std::vector<double> groups;
+};
+
+/**
+ * Two-level hierarchical max-min fairness: a weighted fill over tenant
+ * aggregate demands divides @p capacity into tenant shares, then each
+ * tenant's flow-groups split that share with an unweighted fill.  The
+ * composition keeps both levels' invariants: no tenant exceeds its
+ * fair share, and within a tenant no group starves while another is
+ * over-served.
+ */
+std::vector<TenantAllocation>
+hierarchicalAllocate(const std::vector<TenantDemand> &tenants,
+                     double capacity);
+
+} // namespace te
+} // namespace dhl
+
+#endif // DHL_TE_FAIRNESS_HPP

@@ -175,3 +175,40 @@ TEST(StatGroupTest, AccumulatorAndHistogramRegistration)
     EXPECT_NE(os.str().find("acc.mean"), std::string::npos);
     EXPECT_NE(os.str().find("hist.samples"), std::string::npos);
 }
+
+TEST(JainFairnessTest, KnownValues)
+{
+    // Equal shares are perfectly fair.
+    EXPECT_DOUBLE_EQ(jainFairnessIndex({5.0, 5.0, 5.0, 5.0}), 1.0);
+    // One user hogging everything: index = 1/n.
+    EXPECT_DOUBLE_EQ(jainFairnessIndex({9.0, 0.0, 0.0}), 1.0 / 3.0);
+    // Hand-computed: (1+2+3)^2 / (3 * (1+4+9)) = 36/42.
+    EXPECT_DOUBLE_EQ(jainFairnessIndex({1.0, 2.0, 3.0}), 36.0 / 42.0);
+    // Single user is trivially fair.
+    EXPECT_DOUBLE_EQ(jainFairnessIndex({42.0}), 1.0);
+    // All-zero allocations: fair by convention.
+    EXPECT_DOUBLE_EQ(jainFairnessIndex({0.0, 0.0}), 1.0);
+}
+
+TEST(JainFairnessTest, WeightedNormalises)
+{
+    // Shares proportional to weight are perfectly fair.
+    EXPECT_DOUBLE_EQ(
+        jainFairnessIndex({3.0, 1.0}, {3.0, 1.0}), 1.0);
+    // Weighted degenerates to plain under equal weights.
+    EXPECT_DOUBLE_EQ(jainFairnessIndex({1.0, 2.0, 3.0}, {1.0, 1.0, 1.0}),
+                     jainFairnessIndex({1.0, 2.0, 3.0}));
+    // Hand-computed: normalised shares {1, 4} -> 25/(2*17).
+    EXPECT_DOUBLE_EQ(jainFairnessIndex({2.0, 4.0}, {2.0, 1.0}),
+                     25.0 / 34.0);
+}
+
+TEST(JainFairnessTest, RejectsBadInput)
+{
+    EXPECT_THROW(jainFairnessIndex({}), dhl::FatalError);
+    EXPECT_THROW(jainFairnessIndex({-1.0, 1.0}), dhl::FatalError);
+    EXPECT_THROW(jainFairnessIndex({1.0, 1.0}, {1.0}), dhl::FatalError);
+    EXPECT_THROW(jainFairnessIndex({1.0, 1.0}, {1.0, 0.0}),
+                 dhl::FatalError);
+    EXPECT_THROW(jainFairnessIndex({1.0}, {-2.0}), dhl::FatalError);
+}

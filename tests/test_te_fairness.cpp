@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Unit tests for the TE max-min fairness kernels, pinned to
+ * hand-computed shares.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/logging.hpp"
+#include "te/fairness.hpp"
+
+using namespace dhl::te;
+
+TEST(WaterFillTest, UnderCapacityDemandsAreMetExactly)
+{
+    const auto a = waterFill({2.0, 3.0}, 10.0);
+    ASSERT_EQ(a.size(), 2u);
+    // Satisfied entries get their demand bit-exactly, not
+    // level * weight — this is what makes `alloc < demand` a valid
+    // contention test downstream.
+    EXPECT_DOUBLE_EQ(a[0], 2.0);
+    EXPECT_DOUBLE_EQ(a[1], 3.0);
+}
+
+TEST(WaterFillTest, CapacityTieSplitsEvenly)
+{
+    const auto a = waterFill({5.0, 5.0, 5.0}, 9.0);
+    EXPECT_DOUBLE_EQ(a[0], 3.0);
+    EXPECT_DOUBLE_EQ(a[1], 3.0);
+    EXPECT_DOUBLE_EQ(a[2], 3.0);
+}
+
+TEST(WaterFillTest, ProgressiveFillingCascades)
+{
+    // Level 3 freezes the 1; remaining 8 over two entries -> level 4
+    // freezes the 4; the 10 takes what is left.
+    const auto a = waterFill({1.0, 4.0, 10.0}, 9.0);
+    EXPECT_DOUBLE_EQ(a[0], 1.0);
+    EXPECT_DOUBLE_EQ(a[1], 4.0);
+    EXPECT_DOUBLE_EQ(a[2], 4.0);
+}
+
+TEST(WaterFillTest, ZeroDemandEntriesGetNothing)
+{
+    const auto a = waterFill({0.0, 5.0}, 4.0);
+    EXPECT_DOUBLE_EQ(a[0], 0.0);
+    EXPECT_DOUBLE_EQ(a[1], 4.0);
+}
+
+TEST(WaterFillTest, SingleFlow)
+{
+    EXPECT_DOUBLE_EQ(waterFill({7.0}, 3.0)[0], 3.0);
+    EXPECT_DOUBLE_EQ(waterFill({2.0}, 3.0)[0], 2.0);
+}
+
+TEST(WaterFillTest, DegenerateInputs)
+{
+    EXPECT_TRUE(waterFill({}, 5.0).empty());
+    const auto a = waterFill({1.0, 2.0}, 0.0);
+    EXPECT_DOUBLE_EQ(a[0], 0.0);
+    EXPECT_DOUBLE_EQ(a[1], 0.0);
+}
+
+TEST(WaterFillTest, RejectsNegativeInputs)
+{
+    EXPECT_THROW(waterFill({-1.0}, 5.0), dhl::FatalError);
+    EXPECT_THROW(waterFill({1.0}, -5.0), dhl::FatalError);
+}
+
+TEST(WaterFillWeightedTest, SharesFollowWeights)
+{
+    // Both saturated: level = 8 / (3 + 1) = 2 -> {6, 2}.
+    const auto a = waterFillWeighted({10.0, 10.0}, {3.0, 1.0}, 8.0);
+    EXPECT_DOUBLE_EQ(a[0], 6.0);
+    EXPECT_DOUBLE_EQ(a[1], 2.0);
+}
+
+TEST(WaterFillWeightedTest, FreezeReleasesCapacity)
+{
+    // Level 4 freezes the 2 at its demand; the other entry takes the
+    // freed capacity.
+    const auto a = waterFillWeighted({2.0, 10.0}, {1.0, 1.0}, 8.0);
+    EXPECT_DOUBLE_EQ(a[0], 2.0);
+    EXPECT_DOUBLE_EQ(a[1], 6.0);
+}
+
+TEST(WaterFillWeightedTest, ZeroWeightTenantIsFrozenAtZero)
+{
+    const auto a = waterFillWeighted({5.0, 5.0}, {0.0, 1.0}, 4.0);
+    EXPECT_DOUBLE_EQ(a[0], 0.0);
+    EXPECT_DOUBLE_EQ(a[1], 4.0);
+}
+
+TEST(WaterFillWeightedTest, RejectsMismatchAndNegatives)
+{
+    EXPECT_THROW(waterFillWeighted({1.0, 2.0}, {1.0}, 5.0),
+                 dhl::FatalError);
+    EXPECT_THROW(waterFillWeighted({1.0}, {-1.0}, 5.0), dhl::FatalError);
+}
+
+TEST(HierarchicalTest, TwoLevelComposition)
+{
+    // Tenant level (weighted): A wants 12 at weight 2, B wants 3 at
+    // weight 1, capacity 9.  Level 3 freezes B at its demand 3; A takes
+    // the remaining 6.  Group level (unweighted): A's {6, 6} split the
+    // 6 evenly; B's {3, 0} are both satisfied.
+    const std::vector<TenantDemand> tenants = {
+        {"A", 2.0, {6.0, 6.0}},
+        {"B", 1.0, {3.0, 0.0}},
+    };
+    const auto a = hierarchicalAllocate(tenants, 9.0);
+    ASSERT_EQ(a.size(), 2u);
+    EXPECT_DOUBLE_EQ(a[0].total, 6.0);
+    EXPECT_DOUBLE_EQ(a[0].groups[0], 3.0);
+    EXPECT_DOUBLE_EQ(a[0].groups[1], 3.0);
+    EXPECT_DOUBLE_EQ(a[1].total, 3.0);
+    EXPECT_DOUBLE_EQ(a[1].groups[0], 3.0);
+    EXPECT_DOUBLE_EQ(a[1].groups[1], 0.0);
+}
+
+TEST(HierarchicalTest, SatisfiedTenantsAllocatedExactDemand)
+{
+    const std::vector<TenantDemand> tenants = {
+        {"A", 1.0, {1.5, 0.25}},
+        {"B", 4.0, {2.0, 0.0}},
+    };
+    const auto a = hierarchicalAllocate(tenants, 100.0);
+    EXPECT_DOUBLE_EQ(a[0].total, 1.75);
+    EXPECT_DOUBLE_EQ(a[0].groups[0], 1.5);
+    EXPECT_DOUBLE_EQ(a[0].groups[1], 0.25);
+    EXPECT_DOUBLE_EQ(a[1].total, 2.0);
+    EXPECT_DOUBLE_EQ(a[1].groups[0], 2.0);
+}
+
+TEST(HierarchicalTest, DeterministicAcrossRepeats)
+{
+    const std::vector<TenantDemand> tenants = {
+        {"A", 1.0, {5.0, 7.0}},
+        {"B", 2.0, {1.0, 9.0}},
+        {"C", 1.5, {0.0, 4.0}},
+    };
+    const auto first = hierarchicalAllocate(tenants, 13.0);
+    for (int i = 0; i < 8; ++i) {
+        const auto again = hierarchicalAllocate(tenants, 13.0);
+        for (std::size_t t = 0; t < first.size(); ++t) {
+            EXPECT_DOUBLE_EQ(again[t].total, first[t].total);
+            for (std::size_t g = 0; g < first[t].groups.size(); ++g)
+                EXPECT_DOUBLE_EQ(again[t].groups[g], first[t].groups[g]);
+        }
+    }
+}

@@ -438,7 +438,7 @@ cmdServe(int argc, const char *const *argv)
                    "admission queue bound (beyond it, shed)", "1024");
     args.addOption("policy",
                    "dispatch policy: round-robin|least-queued|"
-                   "availability",
+                   "availability|te",
                    "least-queued");
     args.addOption("min-priority",
                    "availability policy: admission floor while any "
@@ -449,6 +449,26 @@ cmdServe(int argc, const char *const *argv)
                    "partition the fleet DES onto N cores "
                    "(byte-identical to 1)",
                    "1");
+    args.addSwitch("te",
+                   "enable the traffic-engineering controller "
+                   "(hybrid DHL/optical substrate split)");
+    args.addOption("te-mode", "dhl-only|optical-only|hybrid", "hybrid");
+    args.addOption("te-period", "TE control epoch, s", "60");
+    args.addOption("te-small-gb",
+                   "requests at or below this ride optical, GB", "8");
+    args.addOption("te-optical-gbps", "optical uplink capacity, Gbit/s",
+                   "100");
+    args.addOption("te-headroom",
+                   "fraction of optical capacity the TE plan may use",
+                   "0.9");
+    args.addOption("te-multiplier", "usage -> demand multiplier", "1.1");
+    args.addOption("te-history", "demand estimator window, epochs", "8");
+    args.addOption("te-floor",
+                   "contended requests below this priority are "
+                   "downgraded or held",
+                   "1");
+    args.addOption("te-route", "optical route for energy: A0|A1|A2|B|C",
+                   "C");
     args.addSwitch("faults", "inject component faults per track");
     args.addOption("fault-seed", "fault-injection seed", "1");
     args.addOption("fault-accel",
@@ -488,6 +508,22 @@ cmdServe(int argc, const char *const *argv)
         static_cast<int>(args.getInt("min-priority"));
     cfg.des_shards =
         static_cast<std::size_t>(args.getInt("des-shards"));
+    if (args.getSwitch("te")) {
+        cfg.te.enabled = true;
+        cfg.te.mode = te::parseTeMode(args.get("te-mode"));
+        cfg.te.control_period = args.getDouble("te-period");
+        cfg.te.small_bytes =
+            u::gigabytes(args.getDouble("te-small-gb"));
+        cfg.te.optical_capacity =
+            u::gigabitsPerSecond(args.getDouble("te-optical-gbps"));
+        cfg.te.headroom = args.getDouble("te-headroom");
+        cfg.te.usage_multiplier = args.getDouble("te-multiplier");
+        cfg.te.history =
+            static_cast<std::size_t>(args.getInt("te-history"));
+        cfg.te.min_priority_contended =
+            static_cast<int>(args.getInt("te-floor"));
+        cfg.te.route = args.get("te-route");
+    }
     if (args.getSwitch("faults")) {
         const double accel = args.getDouble("fault-accel");
         fatal_if(!(accel > 0.0), "--fault-accel must be positive");
@@ -554,6 +590,15 @@ cmdServe(int argc, const char *const *argv)
               << u::formatDuration(sim.now()) << "\n";
 
     printTable(std::cout, exp::sloHeaders(), exp::sloRows(sim.sloTable()));
+    if (sim.teEnabled()) {
+        std::cout << "\n";
+        printTable(std::cout, exp::classSloHeaders(),
+                   exp::classSloRows(sim.teTable()));
+        std::cout << "optical served  " << sim.opticalServed() << "\n"
+                  << "te downgrades   " << sim.teDowngrades() << "\n"
+                  << "optical energy  "
+                  << u::formatEnergy(sim.opticalEnergy()) << "\n\n";
+    }
     std::cout << "served    " << sim.totalServed() << "\n"
               << "shed      " << sim.totalShed() << "\n"
               << "backlog   " << sim.queueDepth() << "\n"

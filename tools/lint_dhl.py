@@ -37,6 +37,16 @@ compiler cannot:
                            ShardGroup barriers, whose fork/join
                            handshake is the only synchronisation the
                            determinism contract allows.
+  R8  te-layering          src/te/ is a policy layer like ops/serve:
+                           it must never include front-end headers
+                           (same fence as R5/R6), and — the inbound
+                           direction — nothing in src/ outside te/
+                           itself may include te/ headers except its
+                           two consumers, src/serve/ and src/ops/
+                           (front-end code in tools/ and bench/ is
+                           outside src/ and free to use it).  The
+                           physics and core layers must not grow a
+                           dependency on traffic engineering.
 
 Usage:
   tools/lint_dhl.py [--root DIR]     lint the repo (exit 1 on findings)
@@ -82,7 +92,14 @@ FRONTEND_INCLUDE_RE = re.compile(
 LAYERED_DIRS = (
     ("src/ops/", "ops-layering"),
     ("src/serve/", "serve-layering"),
+    ("src/te/", "te-layering"),
 )
+
+# R8 (inbound): an #include reaching into the TE subsystem.  Only te/
+# itself and its two library consumers may depend on it; everything
+# else in src/ is fenced out so the core stays TE-free.
+TE_INCLUDE_RE = re.compile(r'#\s*include\s*["<](?:\.\./)*te/')
+TE_CONSUMER_PREFIXES = ("src/te/", "src/serve/", "src/ops/")
 
 # R7: raw threading primitives.  Everything below either spawns threads
 # or synchronises them; simulation code must instead use the ThreadPool
@@ -162,6 +179,13 @@ def lint_text(rel_path, text):
                     (rel_path, find_line(code, m.start()), rule,
                      "%s must not include front-end (bench/, tools/) "
                      "headers" % prefix.rstrip("/")))
+
+    if not posix.startswith(TE_CONSUMER_PREFIXES):
+        for m in TE_INCLUDE_RE.finditer(code):
+            findings.append(
+                (rel_path, find_line(code, m.start()), "te-layering",
+                 "only src/te/, src/serve/ and src/ops/ may include "
+                 "te/ headers; the core layers stay TE-free"))
 
     if (rel_path not in RAW_THREADING_ALLOWLIST
             and posix not in RAW_THREADING_ALLOWLIST):
@@ -333,6 +357,35 @@ def self_test():
           not rules_of(cpp, "my::thread t; int mutex_count = 0;\n"))
     check("R7 comment",
           not rules_of(cpp, "// guarded by std::mutex downstream\nint x;\n"))
+
+    # R8: the TE fence, both directions.
+    te_cpp = os.path.join("src", "te", "controller.cpp")
+    check("R8 outbound bench include",
+          "te-layering" in rules_of(
+              te_cpp, '#include "bench/bench_util.hpp"\n'))
+    check("R8 core include fires",
+          "te-layering" in rules_of(
+              os.path.join("src", "dhl", "scheduler.cpp"),
+              '#include "te/controller.hpp"\n'))
+    check("R8 relative include fires",
+          "te-layering" in rules_of(
+              os.path.join("src", "network", "route.cpp"),
+              '#include "../te/fairness.hpp"\n'))
+    check("R8 serve consumer ok",
+          "te-layering" not in rules_of(
+              serve_cpp, '#include "te/controller.hpp"\n'))
+    check("R8 ops consumer ok",
+          "te-layering" not in rules_of(
+              ops_cpp, '#include "te/controller.hpp"\n'))
+    check("R8 te itself ok",
+          "te-layering" not in rules_of(
+              te_cpp, '#include "te/fairness.hpp"\n'))
+    check("R8 front-end exempt",
+          not lint_text(os.path.join("tools", "dhl_cli.cpp"),
+                        '#include "te/controller.hpp"\n'))
+    check("R8 comment",
+          not rules_of(os.path.join("src", "dhl", "scheduler.cpp"),
+                       '// #include "te/controller.hpp"\nint x;\n'))
 
     if failures:
         for name in failures:
