@@ -200,6 +200,9 @@ class DhlController : public sim::SimObject
     }
     void traceEvent(std::string_view category, std::string_view message);
 
+    // dhl-analyze: transient(cfg_, library_, stations_): rebuilt
+    // identically by the constructor from the same DhlConfig; the
+    // Library and stations snapshot themselves as separate objects
     DhlConfig cfg_;
     std::unique_ptr<Library> library_;
     std::unique_ptr<Track> track_;
@@ -207,15 +210,23 @@ class DhlController : public sim::SimObject
     std::unordered_map<CartId, DockingStation *> cart_station_;
     std::unique_ptr<OpenScheduler> scheduler_;
     std::uint64_t next_seq_;
+    // dhl-analyze: transient(trace_, faults_): wiring pointers,
+    // re-attached by the harness before restore
     sim::TraceRecorder *trace_ = nullptr;
     faults::FaultState *faults_ = nullptr;
     Rng rng_;
+    // dhl-analyze: transient(failure_per_trip_): derived from the
+    // config by the constructor, never mutated afterwards
     double failure_per_trip_;
     std::uint64_t ssd_failures_;
     std::uint64_t parked_launches_ = 0;
     std::uint64_t held_opens_ = 0;
     std::uint64_t cart_breakdowns_ = 0;
 
+    // dhl-analyze: transient(stat_opens_, stat_closes_, stat_reads_,
+    // stat_writes_, stat_failures_, stat_parked_, stat_held_opens_,
+    // stat_breakdowns_, stat_open_latency_): host-side stats tallies,
+    // restart from the boundary
     stats::Counter *stat_opens_;
     stats::Counter *stat_closes_;
     stats::Counter *stat_reads_;

@@ -175,11 +175,17 @@ DatasetManager::readAll(const std::string &name, ReadDone done)
 double
 DatasetManager::totalBytes() const
 {
+    // Sum in sorted-name order: datasets_ is an unordered_map, and a
+    // float accumulation in hash order would not be reproducible
+    // across library implementations.
+    std::vector<std::string> names;
+    names.reserve(datasets_.size());
+    for (const auto &[name, e] : datasets_)
+        names.push_back(name);
+    std::sort(names.begin(), names.end());
     double total = 0.0;
-    for (const auto &[name, e] : datasets_) {
-        (void)name;
-        total += e.bytes;
-    }
+    for (const auto &name : names)
+        total += datasets_.at(name).bytes;
     return total;
 }
 

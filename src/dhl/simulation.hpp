@@ -114,6 +114,8 @@ class DhlSimulation : public sim::Snapshotable
     void restoreState(sim::SnapshotReader &r) override;
 
   private:
+    // dhl-analyze: transient(cfg_): the constructor input; a restored
+    // simulation is rebuilt from the same config before restore
     DhlConfig cfg_;
     sim::Simulator sim_;
     sim::TraceRecorder trace_;

@@ -104,8 +104,12 @@ class Track : public sim::SimObject
     void restoreState(sim::SnapshotReader &r) override;
 
   private:
+    // dhl-analyze: transient(cfg_, faults_): constructor wiring — a
+    // config reference and a fault-state pointer re-attached on rebuild
     const DhlConfig &cfg_;
     const faults::FaultState *faults_ = nullptr;
+    // dhl-analyze: transient(travel_time_, shot_energy_): derived from
+    // the physics model in the constructor, never mutated afterwards
     double travel_time_;
     double shot_energy_;
 
@@ -118,6 +122,8 @@ class Track : public sim::SimObject
     std::uint64_t launches_;
     std::uint64_t launches_dir_[2];
 
+    // dhl-analyze: transient(stat_launches_, stat_energy_, stat_wait_):
+    // host-side stats tallies, restart from the boundary
     stats::Counter *stat_launches_[2];
     stats::Scalar *stat_energy_;
     stats::Accumulator *stat_wait_;

@@ -283,7 +283,7 @@ FaultInjector::restoreState(sim::SnapshotReader &r)
         key += std::to_string(i);
         sim::SnapshotScope<sim::SnapshotReader> cs(r, key);
         const auto id = static_cast<std::uint32_t>(r.getU64("id"));
-        Rng rng(1);
+        Rng rng; // placeholder stream; overwritten wholesale by getRng
         r.getRng("rng", rng);
         cart_rngs_.emplace(id, rng);
     }

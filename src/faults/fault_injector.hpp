@@ -165,15 +165,25 @@ class FaultInjector : public sim::SimObject
                  double mttr_hours, std::uint64_t stream);
     bool rollBreakdown(std::uint32_t cart);
 
+    // dhl-analyze: transient(state_, cfg_): constructor wiring — the
+    // shared FaultState snapshots itself; the config is a constructor
+    // input validated against the checkpointed unit count
     FaultState &state_;
     FaultConfig cfg_;
+    // dhl-analyze: transient(breakdown_scale_, mtbf_scale_): host-side
+    // policy callbacks, re-installed by the experiment harness
     BreakdownScale breakdown_scale_;
     MtbfScale mtbf_scale_;
     std::vector<Unit> units_;
+    // dhl-analyze: transient(cart_stream_base_): derived from cfg_.seed
+    // by the constructor, never mutated afterwards
     std::uint64_t cart_stream_base_;
     std::unordered_map<std::uint32_t, Rng> cart_rngs_;
     std::uint64_t injected_ = 0;
 
+    // dhl-analyze: transient(stat_failures_, stat_repairs_,
+    // stat_cart_repairs_): host-side stats tallies, restart from the
+    // boundary
     stats::Counter *stat_failures_;
     stats::Counter *stat_repairs_;
     stats::Counter *stat_cart_repairs_;

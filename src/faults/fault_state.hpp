@@ -248,16 +248,19 @@ class FaultState
                const std::string &what);
     void traceOps(const std::string &what);
 
+    // dhl-analyze: transient(sim_): constructor wiring
     sim::Simulator &sim_;
     KindState lims_;
     KindState track_;
     KindState stations_;
 
     std::unordered_map<std::uint32_t, double> cart_repair_end_;
-    std::size_t carts_in_repair_ = 0;
     std::uint64_t cart_repairs_ = 0;
     std::uint64_t cart_failures_seen_ = 0; ///< distinct carts ever broken
 
+    // dhl-analyze: transient(roll_, retry_, listeners_,
+    // outage_listeners_, trace_): host-side wiring (callbacks, retry
+    // policy, trace sink) re-installed by the harness before restore
     BreakdownRoll roll_;
     RetryPolicy retry_;
     std::vector<Listener> listeners_;

@@ -133,12 +133,17 @@ class CorrelatedFaultModel : public sim::SimObject
     void finishOutage(std::size_t domain);
     std::string reason(std::size_t domain) const;
 
+    // dhl-analyze: transient(cfg_, tracks_, first_domain_): constructor
+    // inputs; a restored model is rebuilt from the same config and
+    // validated against the checkpointed plant count
     SharedDomainConfig cfg_;
     std::vector<Plant> plants_;
     std::size_t tracks_;
     std::size_t first_domain_;
     std::uint64_t outages_ = 0;
 
+    // dhl-analyze: transient(stat_outages_, stat_restores_): host-side
+    // stats tallies, restart from the boundary
     stats::Counter *stat_outages_;
     stats::Counter *stat_restores_;
 };

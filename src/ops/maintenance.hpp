@@ -127,6 +127,8 @@ class MaintenanceScheduler : public sim::SimObject
     /** The registries a window drives (one, or all for track = -1). */
     std::vector<faults::FaultState *> targets(std::size_t w);
 
+    // dhl-analyze: transient(states_): wiring pointers to the fault
+    // registries, re-attached by the harness before restore
     std::vector<faults::FaultState *> states_;
     MaintenanceConfig cfg_;
     std::vector<bool> open_;
@@ -135,6 +137,8 @@ class MaintenanceScheduler : public sim::SimObject
     std::uint64_t started_ = 0;
     std::uint64_t completed_ = 0;
 
+    // dhl-analyze: transient(stat_started_, stat_completed_):
+    // host-side stats tallies, restart from the boundary
     stats::Counter *stat_started_;
     stats::Counter *stat_completed_;
 };

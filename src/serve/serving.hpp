@@ -351,10 +351,16 @@ class ServingSim
     std::unique_ptr<workloads::StagedArrivalProcess> arrivals_;
     std::vector<stats::SloAccumulator> slo_;
     std::deque<Queued> queue_;
+    // dhl-analyze: transient(cart_capacity_): derived from the config
+    // by the constructor, never mutated afterwards
     double cart_capacity_;
 
     // Traffic engineering (cfg_.te.enabled only; null/empty otherwise).
     std::unique_ptr<te::TeController> te_;
+    // dhl-analyze: transient(optical_, optical_links_,
+    // optical_route_power_, tenant_tags_): rebuilt identically by the
+    // constructor from the same ServeConfig (the optical substrate is
+    // idle at every drained epoch boundary)
     std::unique_ptr<network::FlowSim> optical_;
     std::vector<int> optical_links_;    ///< The one fat-tree uplink.
     double optical_route_power_ = 0.0;  ///< W while a flow is active.
@@ -369,10 +375,15 @@ class ServingSim
     // every hot path then runs the literal single-loop code.
     std::vector<std::unique_ptr<sim::Simulator>> extra_sims_;
     std::vector<std::unique_ptr<sim::TraceRecorder>> extra_traces_;
+    // dhl-analyze: transient(shard_of_, group_, pool_): shard topology
+    // and worker threads, rebuilt by the constructor from the config
     std::vector<std::size_t> shard_of_; ///< track -> shard
     std::vector<ShardPart> parts_;
     sim::ShardGroup group_;
     std::unique_ptr<ThreadPool> pool_;
+    // dhl-analyze: transient(windowed_, repair_pump_pending_,
+    // pumping_): intra-window flags, false at every drained epoch
+    // boundary where a checkpoint is legal
     /** True while shards run concurrently: completions are deferred to
      *  the shard log and pump() is a no-op (the queue is empty by
      *  construction whenever a window is open). */
@@ -384,11 +395,18 @@ class ServingSim
     std::size_t epochs_ = 0;
     double boundary_ = 0.0;
     std::size_t rr_next_ = 0;
+    // dhl-analyze: transient(in_flight_): drained-boundary invariant —
+    // checkpoint() asserts it is zero
     std::size_t in_flight_ = 0;
+    // dhl-analyze: transient(next_rank_): dispatch tie-break is
+    // relative order only; re-counting from zero after restore replays
+    // ties identically
     std::uint64_t next_rank_ = 0; ///< tryStart issue counter.
     std::uint64_t served_ = 0;
     bool pumping_ = false;
 
+    // dhl-analyze: transient(serve_stats_): host-side stats tallies,
+    // restart from the boundary
     stats::StatGroup serve_stats_;
 };
 

@@ -62,8 +62,12 @@ class SimObject : public Snapshotable
     EventHandle schedule(Time delay, Simulator::Action action);
 
   private:
+    // dhl-analyze: transient(sim_, name_): constructor identity — the
+    // kernel reference and the fixed object name
     Simulator &sim_;
     std::string name_;
+    // dhl-analyze: transient(stats_): host-side stats tallies, restart
+    // from the boundary
     stats::StatGroup stats_;
 };
 

@@ -301,11 +301,18 @@ class Simulator
     Action takeTop();
 
     Time now_;
+    // dhl-analyze: transient(next_seq_): FIFO tie-break is relative
+    // order only; a restored run re-counts from zero identically
+    // dhl-analyze: transient(size_, stopped_): restoreState requires a
+    // drained (empty, not-stopped) queue and asserts it
     std::uint64_t next_seq_;
     std::uint64_t executed_;
     std::size_t size_; // live (non-cancelled) events
     bool stopped_;
 
+    // dhl-analyze: transient(heap_, slot_gen_, action_chunks_,
+    // free_slots_): the queue is empty at a legal checkpoint boundary;
+    // pending events belong to the Snapshotables that re-create them
     std::vector<HeapEntry> heap_;
     /** Generation per slot; bumped whenever the slot's occupant leaves
      *  (fires or is cancelled), invalidating outstanding handles and
@@ -314,6 +321,8 @@ class Simulator
     std::vector<std::unique_ptr<ActionChunk>> action_chunks_;
     std::vector<std::uint32_t> free_slots_;
 
+    // dhl-analyze: transient(stats_, stat_scheduled_, stat_executed_,
+    // stat_cancelled_): host-side tallies, restart from the boundary
     stats::StatGroup stats_;
     stats::Counter *stat_scheduled_;
     stats::Counter *stat_executed_;

@@ -104,8 +104,11 @@ class TraceRecorder
     void restoreState(SnapshotReader &r);
 
   private:
+    // dhl-analyze: transient(sim_): constructor wiring
     Simulator &sim_;
     std::size_t capacity_;
+    // dhl-analyze: transient(enabled_): a host-side observability
+    // toggle, not simulated state; the harness decides per run
     bool enabled_;
     std::deque<TraceRecord> records_;
     std::uint64_t emitted_;

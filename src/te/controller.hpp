@@ -199,6 +199,8 @@ class TeController : public sim::SimObject
         return tenant * kGroupsPerTenant + group;
     }
 
+    // dhl-analyze: transient(cfg_): constructor input; restore
+    // validates the checkpoint against the same TeConfig
     TeConfig cfg_;
     std::vector<TenantSpec> tenants_;
     DemandEstimator estimator_;
@@ -216,10 +218,14 @@ class TeController : public sim::SimObject
 
     std::uint64_t ticks_ = 0;
     bool tick_pending_ = false;
+    // dhl-analyze: transient(tick_when_, tick_handle_): the pending
+    // tick is re-armed on restore via armTick(saved "tick_when")
     double tick_when_ = 0.0;
     sim::EventHandle tick_handle_{};
     std::function<void()> on_tick_;
 
+    // dhl-analyze: transient(stat_ticks_): host-side stats tally,
+    // restarts from the boundary
     stats::Counter &stat_ticks_;
 };
 

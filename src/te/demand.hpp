@@ -58,6 +58,8 @@ class DemandEstimator
     void restoreState(sim::SnapshotReader &r);
 
   private:
+    // dhl-analyze: transient(cfg_): constructor input; restore
+    // validates the checkpointed ring sizes against it
     DemandConfig cfg_;
     /** Per-series ring of the last `cfg_.history` observations. */
     std::vector<std::vector<double>> history_;

@@ -119,6 +119,8 @@ class ReplayArrivalProcess : public ArrivalProcess
     void restoreState(sim::SnapshotReader &r) override;
 
   private:
+    // dhl-analyze: transient(requests_): the replayed trace itself —
+    // constructor input, never mutated; only the cursor is state
     std::vector<TransferRequest> requests_;
     std::size_t next_ = 0;
     double cursor_ = 0.0;
@@ -169,6 +171,9 @@ class StagedArrivalProcess : public ArrivalProcess
     double stageStart(std::size_t k) const { return starts_[k]; }
     double stageEnd(std::size_t k) const { return starts_[k + 1]; }
 
+    // dhl-analyze: transient(stages_, starts_, total_duration_): the
+    // load profile — constructor input and values derived from it,
+    // never mutated after construction
     std::vector<StageSpec> stages_;
     std::vector<double> starts_; ///< Cumulative stage starts + total end.
     double total_duration_;

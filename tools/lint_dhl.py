@@ -19,34 +19,13 @@ compiler cannot:
   R4  include-guards       Headers under src/ use the canonical
                            ``DHL_<PATH>_HPP`` guard so guards never
                            collide as the tree grows.
-  R5  ops-layering         src/ops/ is a *library* layer between the
-                           fleet and the fault machinery — it must
-                           never include bench/ or tools/ headers
-                           (front-end code depends on ops, not the
-                           other way round).
-  R6  serve-layering       src/serve/ likewise: the serving mode is
-                           consumed by dhl_cli and bench/serving_study,
-                           so it must never include bench/ or tools/
-                           headers.
-  R7  raw-threading        No raw ``std::thread`` / ``std::async`` /
-                           ``std::mutex`` (and friends) in src/ outside
-                           common/thread_pool, common/logging (its
-                           sink lock) and sim/shard (the shard
-                           driver).  Concurrency goes through the
-                           caller-participating ThreadPool and the
-                           ShardGroup barriers, whose fork/join
-                           handshake is the only synchronisation the
-                           determinism contract allows.
-  R8  te-layering          src/te/ is a policy layer like ops/serve:
-                           it must never include front-end headers
-                           (same fence as R5/R6), and — the inbound
-                           direction — nothing in src/ outside te/
-                           itself may include te/ headers except its
-                           two consumers, src/serve/ and src/ops/
-                           (front-end code in tools/ and bench/ is
-                           outside src/ and free to use it).  The
-                           physics and core layers must not grow a
-                           dependency on traffic engineering.
+
+The whole-program rules that used to live here as R5-R8 (the ops/serve/
+te layering fences and the raw-threading fence) migrated to
+tools/dhl_analyze.py: the layering rules became one declarative layer
+DAG (rule A1, LAYER_DEPS) checked against the real include graph, and
+raw-threading became rule A8.  This tool keeps only the single-file
+textual invariants.
 
 Usage:
   tools/lint_dhl.py [--root DIR]     lint the repo (exit 1 on findings)
@@ -80,46 +59,6 @@ IOSTREAM_ALLOWLIST = {os.path.join("src", "common", "logging.cpp")}
 NONDETERMINISM_RE = re.compile(r"(?<![\w.])(?:s?rand|time)\s*\(")
 
 GUARD_RE = re.compile(r"^#ifndef\s+(\S+)", re.MULTILINE)
-
-# R5/R6: an #include whose path reaches into the front-end trees.  Both
-# quoted and angle-bracket forms, with or without a leading ../.
-FRONTEND_INCLUDE_RE = re.compile(
-    r'#\s*include\s*["<](?:\.\./)*(?:bench|tools)/')
-
-# Library layers the front-end rules protect: directory prefix -> rule
-# name.  Front-end code (bench/, tools/) depends on these, never the
-# other way round.
-LAYERED_DIRS = (
-    ("src/ops/", "ops-layering"),
-    ("src/serve/", "serve-layering"),
-    ("src/te/", "te-layering"),
-)
-
-# R8 (inbound): an #include reaching into the TE subsystem.  Only te/
-# itself and its two library consumers may depend on it; everything
-# else in src/ is fenced out so the core stays TE-free.
-TE_INCLUDE_RE = re.compile(r'#\s*include\s*["<](?:\.\./)*te/')
-TE_CONSUMER_PREFIXES = ("src/te/", "src/serve/", "src/ops/")
-
-# R7: raw threading primitives.  Everything below either spawns threads
-# or synchronises them; simulation code must instead use the ThreadPool
-# / ShardGroup machinery so every cross-thread effect goes through a
-# deterministic barrier.
-RAW_THREADING_RE = re.compile(
-    r"\bstd::(?:thread|jthread|async|mutex|recursive_mutex|timed_mutex"
-    r"|shared_mutex|condition_variable(?:_any)?|lock_guard|unique_lock"
-    r"|shared_lock|scoped_lock)\b")
-
-# The pool implementation, the logging sink's lock, and the shard
-# driver are the concurrency layer the rule funnels everyone into.
-RAW_THREADING_ALLOWLIST = {
-    os.path.join("src", "common", "thread_pool.hpp"),
-    os.path.join("src", "common", "thread_pool.cpp"),
-    os.path.join("src", "common", "logging.hpp"),
-    os.path.join("src", "common", "logging.cpp"),
-    os.path.join("src", "sim", "shard.hpp"),
-    os.path.join("src", "sim", "shard.cpp"),
-}
 
 
 def strip_comments(text):
@@ -171,30 +110,6 @@ def lint_text(rel_path, text):
             (rel_path, find_line(code, m.start()), "nondeterminism",
              "%s) breaks seed-reproducibility; use dhl::Rng"
              % m.group(0).rstrip("(").strip()))
-
-    for prefix, rule in LAYERED_DIRS:
-        if posix.startswith(prefix):
-            for m in FRONTEND_INCLUDE_RE.finditer(code):
-                findings.append(
-                    (rel_path, find_line(code, m.start()), rule,
-                     "%s must not include front-end (bench/, tools/) "
-                     "headers" % prefix.rstrip("/")))
-
-    if not posix.startswith(TE_CONSUMER_PREFIXES):
-        for m in TE_INCLUDE_RE.finditer(code):
-            findings.append(
-                (rel_path, find_line(code, m.start()), "te-layering",
-                 "only src/te/, src/serve/ and src/ops/ may include "
-                 "te/ headers; the core layers stay TE-free"))
-
-    if (rel_path not in RAW_THREADING_ALLOWLIST
-            and posix not in RAW_THREADING_ALLOWLIST):
-        for m in RAW_THREADING_RE.finditer(code):
-            findings.append(
-                (rel_path, find_line(code, m.start()), "raw-threading",
-                 "%s in library code; use common/thread_pool.hpp "
-                 "(ThreadPool) or sim/shard.hpp (ShardGroup)"
-                 % m.group(0)))
 
     if posix.endswith(".hpp"):
         g = GUARD_RE.search(code)
@@ -288,104 +203,14 @@ def self_test():
     check("R4 expected name",
           expected_guard(hpp) == "DHL_FOO_BAR_HPP")
 
-    # R5 fires only for src/ops/ files reaching into front-end trees.
-    ops_cpp = os.path.join("src", "ops", "dispatcher.cpp")
-    check("R5 bench include",
-          "ops-layering" in rules_of(
-              ops_cpp, '#include "bench/bench_util.hpp"\n'))
-    check("R5 tools include",
-          "ops-layering" in rules_of(
-              ops_cpp, '#include <tools/cli_helpers.hpp>\n'))
-    check("R5 relative include",
-          "ops-layering" in rules_of(
-              ops_cpp, '#include "../../bench/bench_util.hpp"\n'))
-    check("R5 library include ok",
-          not rules_of(ops_cpp, '#include "dhl/fleet.hpp"\n'))
-    check("R5 other dirs exempt",
-          "ops-layering" not in rules_of(
-              cpp, '#include "bench/bench_util.hpp"\n'))
-    check("R5 comment",
-          not rules_of(ops_cpp, '// #include "bench/bench_util.hpp"\n'))
-
-    # R6 is the same fence around the serving layer.
-    serve_cpp = os.path.join("src", "serve", "serving.cpp")
-    check("R6 bench include",
-          "serve-layering" in rules_of(
-              serve_cpp, '#include "bench/bench_util.hpp"\n'))
-    check("R6 tools include",
-          "serve-layering" in rules_of(
-              serve_cpp, '#include <tools/cli_helpers.hpp>\n'))
-    check("R6 relative include",
-          "serve-layering" in rules_of(
-              serve_cpp, '#include "../../bench/bench_util.hpp"\n'))
-    check("R6 library include ok",
-          not rules_of(serve_cpp, '#include "workloads/arrival.hpp"\n'))
-    check("R6 other dirs exempt",
-          "serve-layering" not in rules_of(
-              cpp, '#include "bench/bench_util.hpp"\n'))
-    check("R6 comment",
-          not rules_of(serve_cpp, '// #include "tools/x.hpp"\n'))
-
-    # R7 fences raw threading primitives out of simulation code.
-    check("R7 thread",
-          "raw-threading" in rules_of(cpp, "std::thread t(run);\n"))
-    check("R7 async",
-          "raw-threading" in rules_of(cpp, "auto f = std::async(run);\n"))
-    check("R7 mutex",
-          "raw-threading" in rules_of(cpp, "std::mutex m;\n"))
-    check("R7 lock_guard",
-          "raw-threading" in rules_of(
-              cpp, "std::lock_guard<std::mutex> g(m);\n"))
-    check("R7 condition_variable",
-          "raw-threading" in rules_of(cpp, "std::condition_variable cv;\n"))
-    check("R7 pool exempt",
-          "raw-threading" not in rules_of(
-              os.path.join("src", "common", "thread_pool.cpp"),
-              "std::thread w; std::mutex m;\n"))
-    check("R7 logging exempt",
-          "raw-threading" not in rules_of(
-              os.path.join("src", "common", "logging.cpp"),
-              "std::lock_guard<std::mutex> g(sink_mutex);\n"))
-    check("R7 shard driver exempt",
-          "raw-threading" not in rules_of(
-              os.path.join("src", "sim", "shard.cpp"),
-              "std::mutex m;\n"))
-    check("R7 bench exempt",
-          not lint_text(os.path.join("bench", "x.cpp"),
-                        "std::thread t(run);\n"))
-    check("R7 lookalike",
-          not rules_of(cpp, "my::thread t; int mutex_count = 0;\n"))
-    check("R7 comment",
-          not rules_of(cpp, "// guarded by std::mutex downstream\nint x;\n"))
-
-    # R8: the TE fence, both directions.
-    te_cpp = os.path.join("src", "te", "controller.cpp")
-    check("R8 outbound bench include",
-          "te-layering" in rules_of(
-              te_cpp, '#include "bench/bench_util.hpp"\n'))
-    check("R8 core include fires",
-          "te-layering" in rules_of(
-              os.path.join("src", "dhl", "scheduler.cpp"),
-              '#include "te/controller.hpp"\n'))
-    check("R8 relative include fires",
-          "te-layering" in rules_of(
-              os.path.join("src", "network", "route.cpp"),
-              '#include "../te/fairness.hpp"\n'))
-    check("R8 serve consumer ok",
-          "te-layering" not in rules_of(
-              serve_cpp, '#include "te/controller.hpp"\n'))
-    check("R8 ops consumer ok",
-          "te-layering" not in rules_of(
-              ops_cpp, '#include "te/controller.hpp"\n'))
-    check("R8 te itself ok",
-          "te-layering" not in rules_of(
-              te_cpp, '#include "te/fairness.hpp"\n'))
-    check("R8 front-end exempt",
-          not lint_text(os.path.join("tools", "dhl_cli.cpp"),
-                        '#include "te/controller.hpp"\n'))
-    check("R8 comment",
-          not rules_of(os.path.join("src", "dhl", "scheduler.cpp"),
-                       '// #include "te/controller.hpp"\nint x;\n'))
+    # R5-R8 migrated to tools/dhl_analyze.py (layer DAG rule A1 and
+    # raw-threading rule A8); this tool no longer fires on includes or
+    # threading primitives.
+    check("no layering rule here",
+          not rules_of(os.path.join("src", "ops", "dispatcher.cpp"),
+                       '#include "bench/bench_util.hpp"\n'))
+    check("no threading rule here",
+          not rules_of(cpp, "std::thread t(run);\n"))
 
     if failures:
         for name in failures:
