@@ -15,6 +15,8 @@
 #include "dhl/analytical.hpp"
 #include "dhl/simulation.hpp"
 #include "network/flowsim.hpp"
+#include "plan/batch_eval.hpp"
+#include "plan/scenario.hpp"
 #include "sim/simulator.hpp"
 
 using namespace dhl;
@@ -111,6 +113,69 @@ BM_AnalyticalDesignSpace(benchmark::State &state)
         static_cast<std::int64_t>(core::tableViRows().size()));
 }
 BENCHMARK(BM_AnalyticalDesignSpace);
+
+//===========================================================================
+// Capacity-planning evaluator: scalar (per-call model re-derivation,
+// the paper-artefact pattern) vs batched SoA (constants hoisted once).
+// The two paths are bit-identical by construction — asserted here
+// before timing so the speedup never comes from computing less.
+//===========================================================================
+
+static void
+BM_ScalarEval(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const plan::PlanAssumptions assume;
+    const plan::DesignPoint design{4, 8, 1};
+    const plan::ScenarioSampler sampler(plan::ScenarioDistributions{}, 13);
+    plan::ScenarioBatch in;
+    sampler.fill(0, n, in);
+    for (auto _ : state) {
+        double acc = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            acc += plan::evaluateScalar(assume, design, in.row(i)).latency;
+        }
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ScalarEval)->Arg(1 << 10);
+
+static void
+BM_BatchedEval(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const plan::PlanAssumptions assume;
+    const plan::DesignPoint design{4, 8, 1};
+    const plan::ScenarioSampler sampler(plan::ScenarioDistributions{}, 13);
+    plan::ScenarioBatch in;
+    sampler.fill(0, n, in);
+    const plan::DesignConstants constants =
+        plan::designConstants(assume, design);
+    plan::EvalBatch out;
+
+    // Identity gate: the batched path must reproduce the scalar path
+    // bit for bit, or the comparison times two different computations.
+    plan::evaluateBatch(constants, in, assume.slo_latency, out);
+    for (std::size_t i = 0; i < n; ++i) {
+        const plan::ScenarioOutcome o =
+            plan::evaluateScalar(assume, design, in.row(i));
+        if (o.latency != out.latency[i] ||
+            o.energy_day != out.energy_day[i]) {
+            state.SkipWithError("batched != scalar");
+            return;
+        }
+    }
+
+    for (auto _ : state) {
+        plan::evaluateBatch(constants, in, assume.slo_latency, out);
+        benchmark::DoNotOptimize(out.latency.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BatchedEval)->Arg(1 << 10)->Arg(1 << 14);
 
 static void
 BM_DesBulkTransfer(benchmark::State &state)

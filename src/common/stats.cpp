@@ -44,6 +44,109 @@ percentile(std::vector<double> values, double p)
     return values[lo] + frac * (values[hi] - values[lo]);
 }
 
+//===========================================================================
+// QuantileSketch
+//===========================================================================
+
+QuantileSketch::QuantileSketch(double lo, double hi, std::size_t n_bins,
+                               std::size_t exact_capacity)
+    : lo_(lo), hi_(hi),
+      width_((hi - lo) / static_cast<double>(n_bins)),
+      bins_(n_bins, 0),
+      exact_cap_(exact_capacity)
+{
+    fatal_if(n_bins == 0, "QuantileSketch needs at least one bin");
+    fatal_if(!(hi > lo), "QuantileSketch range must satisfy hi > lo");
+    exact_.reserve(std::min<std::size_t>(exact_cap_, 1024));
+}
+
+void
+QuantileSketch::sample(double v)
+{
+    fatal_if(std::isnan(v), "QuantileSketch::sample(NaN)");
+    if (n_ == 0) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    ++n_;
+    // Clamp out-of-range samples into the end bins; min_/max_ keep the
+    // true extremes so quantile(0)/quantile(100) stay exact.
+    std::size_t idx = 0;
+    if (v >= hi_) {
+        idx = bins_.size() - 1;
+    } else if (v > lo_) {
+        idx = static_cast<std::size_t>((v - lo_) / width_);
+        if (idx >= bins_.size())
+            idx = bins_.size() - 1; // guard against FP edge rounding
+    }
+    ++bins_[idx];
+    if (n_ <= exact_cap_) {
+        exact_.push_back(v);
+    } else if (!exact_.empty()) {
+        exact_.clear();
+        exact_.shrink_to_fit(); // the buffer never helps again
+    }
+}
+
+double
+QuantileSketch::min() const
+{
+    fatal_if(n_ == 0, "QuantileSketch::min of an empty sketch");
+    return min_;
+}
+
+double
+QuantileSketch::max() const
+{
+    fatal_if(n_ == 0, "QuantileSketch::max of an empty sketch");
+    return max_;
+}
+
+double
+QuantileSketch::quantile(double p) const
+{
+    fatal_if(n_ == 0, "quantile of an empty sketch");
+    fatal_if(p < 0.0 || p > 100.0, "quantile must be in [0, 100]");
+    if (n_ <= exact_cap_)
+        return percentile(exact_, p);
+    if (p == 0.0)
+        return min_;
+    if (p == 100.0)
+        return max_;
+
+    // Same rank convention as percentile(): interpolate between the
+    // two bracketing order statistics.  Each one is located through
+    // the cumulative counts and placed mid-run inside its bin, so the
+    // estimate stays within one bin width of the exact value even
+    // when the fractional rank straddles a sparse-tail bin boundary
+    // (jumping whole bins there would break the documented bound).
+    const auto locate = [this](std::uint64_t idx) {
+        std::uint64_t before = 0;
+        for (std::size_t b = 0; b < bins_.size(); ++b) {
+            const std::uint64_t cnt = bins_[b];
+            if (cnt == 0)
+                continue;
+            if (idx <= before + cnt - 1) {
+                const double into =
+                    (static_cast<double>(idx - before) + 0.5) /
+                    static_cast<double>(cnt);
+                return lo_ + width_ * (static_cast<double>(b) + into);
+            }
+            before += cnt;
+        }
+        return max_; // unreachable: the bins always sum to n_
+    };
+    const double rank = p / 100.0 * static_cast<double>(n_ - 1);
+    const auto lo_idx = static_cast<std::uint64_t>(rank);
+    const double frac = rank - static_cast<double>(lo_idx);
+    double v = locate(lo_idx);
+    if (frac > 0.0)
+        v += frac * (locate(lo_idx + 1) - v);
+    return std::min(std::max(v, min_), max_);
+}
+
 double
 jainFairnessIndex(const std::vector<double> &values)
 {

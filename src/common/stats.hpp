@@ -182,8 +182,86 @@ class Histogram : public StatBase
  * max).  Sorts a copy; fatal() on an empty sample or p outside
  * [0, 100].  Bench code uses this for P99 open latency (E18) and
  * bootstrap confidence intervals (E17).
+ *
+ * Pinned edge behaviour (QuantileSketch must agree on small samples,
+ * so these are contract, not accident):
+ *  - n = 1: the rank is 0 for every p, so percentile({x}, p) == x for
+ *    all p in [0, 100].
+ *  - Duplicate values: interpolation happens between *sorted ranks*,
+ *    so a run of equal values is a plateau — any p whose fractional
+ *    rank falls inside the run returns exactly that value, with no
+ *    blending against neighbouring distinct values.
  */
 double percentile(std::vector<double> values, double p);
+
+/**
+ * Streaming quantile estimator with O(1) memory in the sample count:
+ * a fixed-bin CDF sketch over a configured value range, fronted by an
+ * exact buffer for small samples (the capacity-planning subsystem
+ * feeds it millions of scenario latencies; DESIGN.md §15).
+ *
+ * Contract:
+ *  - While count() <= exactCapacity(), quantile() returns exactly
+ *    stats::percentile() of the samples so far (same rank convention,
+ *    same n = 1 and duplicate-value behaviour).
+ *  - Beyond that, the estimate comes from the binned CDF: the error
+ *    of quantile(p) is bounded by one bin width, (hi - lo) / bins,
+ *    for quantiles whose true value lies inside [lo, hi).
+ *  - Samples outside [lo, hi) are clamped into the end bins, but the
+ *    running min/max stay exact, so quantile(0) and quantile(100) are
+ *    always the true extremes and every estimate is clamped into
+ *    [min, max].
+ *
+ * Insertion order is part of no contract: the sketch's state after n
+ * samples depends only on the multiset of values, so parallel
+ * planners that stream the same scenario set in any order agree
+ * byte-for-byte.
+ */
+class QuantileSketch
+{
+  public:
+    /**
+     * @param lo        Inclusive lower edge of the binned range.
+     * @param hi        Exclusive upper edge (must be > lo).
+     * @param n_bins    Equal-width bins (>= 1); error bound is
+     *                  (hi - lo) / n_bins.
+     * @param exact_capacity  Samples kept exactly before the sketch
+     *                  switches to the binned estimate.
+     */
+    QuantileSketch(double lo, double hi, std::size_t n_bins = 4096,
+                   std::size_t exact_capacity = 256);
+
+    /** Record one sample (finite; fatal() on NaN). */
+    void sample(double v);
+
+    std::uint64_t count() const { return n_; }
+    std::size_t exactCapacity() const { return exact_cap_; }
+    /** True while quantile() is still exact (n <= exactCapacity()). */
+    bool exact() const { return n_ <= exact_cap_; }
+
+    /** Smallest sample so far; fatal() when empty. */
+    double min() const;
+    /** Largest sample so far; fatal() when empty. */
+    double max() const;
+
+    /**
+     * Estimate the p-th percentile (0 <= p <= 100), following the
+     * stats::percentile rank convention; fatal() when empty or p is
+     * out of range.
+     */
+    double quantile(double p) const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::uint64_t> bins_;
+    std::vector<double> exact_;
+    std::size_t exact_cap_;
+    std::uint64_t n_ = 0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
 
 /**
  * Jain's fairness index of @p values: (sum x)^2 / (n * sum x^2).

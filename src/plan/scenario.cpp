@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Implementation of the demand-scenario sampler.
+ */
+
+#include "plan/scenario.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace dhl {
+namespace plan {
+
+void
+validate(const ScenarioDistributions &dist)
+{
+    fatal_if(!(dist.users_median > 0.0),
+             "users_median must be positive");
+    fatal_if(dist.users_sigma < 0.0, "users_sigma must be >= 0");
+    fatal_if(!(dist.bytes_per_user_day_median > 0.0),
+             "bytes_per_user_day_median must be positive");
+    fatal_if(dist.bytes_sigma < 0.0, "bytes_sigma must be >= 0");
+    fatal_if(!(dist.peak_min >= 1.0),
+             "peak_min must be >= 1 (the peak cannot undercut the mean)");
+    fatal_if(!(dist.peak_max >= dist.peak_min),
+             "peak_max must be >= peak_min");
+    fatal_if(dist.peak_user_corr < -1.0 || dist.peak_user_corr > 1.0,
+             "peak_user_corr must be in [-1, 1]");
+    fatal_if(dist.bulk_share_min < 0.0 || dist.bulk_share_max > 1.0 ||
+                 dist.bulk_share_max < dist.bulk_share_min,
+             "bulk share range must satisfy 0 <= min <= max <= 1");
+    fatal_if(!(dist.request_bytes_median > 0.0),
+             "request_bytes_median must be positive");
+    fatal_if(dist.request_sigma < 0.0, "request_sigma must be >= 0");
+}
+
+void
+ScenarioBatch::resize(std::size_t n)
+{
+    users.resize(n);
+    bytes_per_user_day.resize(n);
+    peak_factor.resize(n);
+    bulk_share.resize(n);
+    request_bytes.resize(n);
+}
+
+Scenario
+ScenarioBatch::row(std::size_t i) const
+{
+    panic_if(i >= size(), "ScenarioBatch row out of range");
+    return Scenario{users[i], bytes_per_user_day[i], peak_factor[i],
+                    bulk_share[i], request_bytes[i]};
+}
+
+ScenarioSampler::ScenarioSampler(const ScenarioDistributions &dist,
+                                 std::uint64_t seed)
+    : dist_(dist), seed_(seed)
+{
+    validate(dist_);
+}
+
+namespace {
+
+/** The standard normal CDF, mapping a latent normal to a uniform. */
+double
+normalCdf(double z)
+{
+    return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+} // namespace
+
+Scenario
+ScenarioSampler::at(std::uint64_t index) const
+{
+    // A private stream per scenario index: the draw sequence below is
+    // fixed, so scenario #i is identical no matter which thread, batch
+    // or design point materialises it.
+    Rng rng(deriveSeed(seed_, index));
+
+    Scenario s{};
+    const double z_users = rng.normal();
+    s.users = dist_.users_median * std::exp(dist_.users_sigma * z_users);
+    s.bytes_per_user_day =
+        dist_.bytes_per_user_day_median *
+        std::exp(dist_.bytes_sigma * rng.normal());
+
+    // Gaussian-copula correlation with the user draw: busier days peak
+    // harder (or softer, for negative correlation).
+    const double rho = dist_.peak_user_corr;
+    const double z_peak = rho * z_users +
+                          std::sqrt(1.0 - rho * rho) * rng.normal();
+    s.peak_factor = dist_.peak_min +
+                    normalCdf(z_peak) * (dist_.peak_max - dist_.peak_min);
+
+    s.bulk_share =
+        rng.uniform(dist_.bulk_share_min, dist_.bulk_share_max);
+    s.request_bytes = dist_.request_bytes_median *
+                      std::exp(dist_.request_sigma * rng.normal());
+    return s;
+}
+
+void
+ScenarioSampler::fill(std::uint64_t first, std::size_t n,
+                      ScenarioBatch &out) const
+{
+    out.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const Scenario s = at(first + i);
+        out.users[i] = s.users;
+        out.bytes_per_user_day[i] = s.bytes_per_user_day;
+        out.peak_factor[i] = s.peak_factor;
+        out.bulk_share[i] = s.bulk_share;
+        out.request_bytes[i] = s.request_bytes;
+    }
+}
+
+} // namespace plan
+} // namespace dhl

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Demand-scenario sampling for Monte-Carlo capacity planning.
+ *
+ * The paper sizes a DHL deployment from single point estimates; the
+ * question a production operator asks — "how many tracks, carts and
+ * vacuum plants for N million users at a 99.9 % SLO?" — needs
+ * thousands of sampled demand scenarios.  A ScenarioSampler draws
+ * correlated scenarios (user count, per-user demand, diurnal peak
+ * factor, tenant mix, request-size mix) from configurable
+ * distributions.
+ *
+ * Determinism contract: scenario #i is a pure function of (seed, i)
+ * via deriveSeed — never of call order, batch boundaries, or which
+ * worker thread asks.  Every design point in the planner lattice
+ * therefore scores the *same* scenario stream (common random
+ * numbers), and a parallel scan is byte-identical to a serial one.
+ */
+
+#ifndef DHL_PLAN_SCENARIO_HPP
+#define DHL_PLAN_SCENARIO_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hpp"
+#include "common/units.hpp"
+
+namespace dhl {
+namespace plan {
+
+/** One sampled demand scenario (the AoS view, for tests and I/O). */
+struct Scenario
+{
+    double users;              ///< Active users served by the fleet.
+    double bytes_per_user_day; ///< Mean demand per user per day, B.
+    double peak_factor;        ///< Diurnal peak / daily mean (>= 1).
+    double bulk_share;         ///< Fraction of bytes from bulk tenants.
+    double request_bytes;      ///< Interactive request size, B.
+};
+
+/**
+ * The demand distributions a planning run samples from.  Medians and
+ * shape parameters rather than means: user count, per-user demand and
+ * request size are log-normal (heavy-tailed, strictly positive), the
+ * diurnal peak factor is uniform on a range but correlated with the
+ * user count through a shared latent normal (crowded days peak
+ * harder), and the bulk share is uniform on its range.
+ */
+struct ScenarioDistributions
+{
+    double users_median = 2.0e6;     ///< Log-normal median user count.
+    double users_sigma = 0.35;       ///< Log-normal shape of users.
+    double bytes_per_user_day_median = units::gigabytes(2.0); ///< B.
+    double bytes_sigma = 0.4;        ///< Log-normal shape of demand.
+    double peak_min = 1.2;           ///< Peak-factor range floor.
+    double peak_max = 3.0;           ///< Peak-factor range ceiling.
+    double peak_user_corr = 0.5;     ///< Corr(users, peak) in [-1, 1].
+    double bulk_share_min = 0.3;     ///< Bulk-tenant byte share floor.
+    double bulk_share_max = 0.7;     ///< Bulk-tenant byte share ceiling.
+    double request_bytes_median = units::gigabytes(64.0); ///< B.
+    double request_sigma = 0.6;      ///< Log-normal shape of requests.
+};
+
+/** Validate a distribution set; fatal() on nonsense. */
+void validate(const ScenarioDistributions &dist);
+
+/**
+ * A structure-of-arrays batch of scenarios: one contiguous array per
+ * field so the batched evaluator streams each column linearly
+ * (DESIGN.md §15).  All arrays share one length.
+ */
+struct ScenarioBatch
+{
+    std::vector<double> users;
+    std::vector<double> bytes_per_user_day;
+    std::vector<double> peak_factor;
+    std::vector<double> bulk_share;
+    std::vector<double> request_bytes;
+
+    std::size_t size() const { return users.size(); }
+    void resize(std::size_t n);
+
+    /** Gather scenario @p i back into the AoS view. */
+    Scenario row(std::size_t i) const;
+};
+
+/**
+ * Draws the deterministic scenario stream.  Stateless between calls:
+ * at(i) opens a fresh Rng on deriveSeed(seed, i), so any subset of the
+ * stream can be materialised in any order on any thread.
+ */
+class ScenarioSampler
+{
+  public:
+    ScenarioSampler(const ScenarioDistributions &dist,
+                    std::uint64_t seed);
+
+    const ScenarioDistributions &distributions() const { return dist_; }
+    std::uint64_t seed() const { return seed_; }
+
+    /** Scenario #index of the stream. */
+    Scenario at(std::uint64_t index) const;
+
+    /** Fill @p out with scenarios [first, first + n) in SoA form. */
+    void fill(std::uint64_t first, std::size_t n,
+              ScenarioBatch &out) const;
+
+  private:
+    ScenarioDistributions dist_;
+    std::uint64_t seed_;
+};
+
+} // namespace plan
+} // namespace dhl
+
+#endif // DHL_PLAN_SCENARIO_HPP

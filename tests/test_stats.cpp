@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/logging.hpp"
+#include "common/random.hpp"
 #include "common/stats.hpp"
 
 using namespace dhl::stats;
@@ -159,6 +160,142 @@ TEST(PercentileTest, RejectsEmptyAndOutOfRange)
     EXPECT_THROW(percentile({}, 50.0), dhl::FatalError);
     EXPECT_THROW(percentile({1.0}, -1.0), dhl::FatalError);
     EXPECT_THROW(percentile({1.0}, 100.5), dhl::FatalError);
+}
+
+TEST(PercentileTest, SingleSampleAnswersEveryQuantile)
+{
+    // n = 1: rank p/100 * (n-1) is 0 for every p, so the lone sample
+    // is every quantile (contract pinned in stats.hpp; the
+    // QuantileSketch exact path must agree).
+    for (double p : {0.0, 0.1, 25.0, 50.0, 99.0, 100.0})
+        EXPECT_DOUBLE_EQ(percentile({7.0}, p), 7.0);
+}
+
+TEST(PercentileTest, DuplicateValuesFormPlateaus)
+{
+    // A run of equal values is a plateau: any p whose fractional rank
+    // lands inside the run returns that value exactly, with no
+    // blending against neighbouring distinct values.
+    const std::vector<double> v = {1.0, 2.0, 2.0, 2.0, 3.0}; // n = 5
+    EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.0);  // rank 1
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 2.0);  // rank 2
+    EXPECT_DOUBLE_EQ(percentile(v, 75.0), 2.0);  // rank 3
+    EXPECT_DOUBLE_EQ(percentile(v, 60.0), 2.0);  // rank 2.4, inside run
+    // Interpolation only engages at the plateau edges.
+    EXPECT_DOUBLE_EQ(percentile(v, 12.5), 1.5);  // rank 0.5
+    EXPECT_DOUBLE_EQ(percentile(v, 87.5), 2.5);  // rank 3.5
+    // An all-equal sample is one big plateau.
+    EXPECT_DOUBLE_EQ(percentile({4.0, 4.0, 4.0}, 33.3), 4.0);
+}
+
+TEST(QuantileSketchTest, ExactWhileSmallThenSwitchesToBins)
+{
+    QuantileSketch sk(0.0, 10.0, 100, /*exact_capacity=*/8);
+    const std::vector<double> vals = {4.0, 1.0, 3.0, 2.0};
+    for (double v : vals)
+        sk.sample(v);
+    ASSERT_TRUE(sk.exact());
+    // The exact path delegates to stats::percentile: same rank
+    // convention, bit for bit.
+    for (double p : {0.0, 25.0, 50.0, 99.0, 100.0})
+        EXPECT_DOUBLE_EQ(sk.quantile(p), percentile(vals, p));
+
+    for (int i = 0; i < 8; ++i)
+        sk.sample(5.0);
+    EXPECT_FALSE(sk.exact());
+    EXPECT_EQ(sk.count(), 12u);
+    // Extremes stay exact even after the handoff.
+    EXPECT_DOUBLE_EQ(sk.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(sk.quantile(100.0), 5.0);
+}
+
+TEST(QuantileSketchTest, SingleSampleMatchesPercentileContract)
+{
+    QuantileSketch sk(0.0, 10.0);
+    sk.sample(7.0);
+    for (double p : {0.0, 50.0, 99.0, 100.0})
+        EXPECT_DOUBLE_EQ(sk.quantile(p), 7.0);
+}
+
+TEST(QuantileSketchTest, BinnedEstimateWithinOneBinWidthOfExact)
+{
+    // Property test: 10k lognormal samples through a 2048-bin sketch
+    // must track the exact percentiles within one bin width.
+    const std::size_t bins = 2048;
+    const double lo = 0.0, hi = 16.0;
+    const double width = (hi - lo) / static_cast<double>(bins);
+
+    QuantileSketch sk(lo, hi, bins);
+    std::vector<double> all;
+    dhl::Rng rng(2024);
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.lognormal(0.0, 0.5);
+        sk.sample(v);
+        all.push_back(v);
+    }
+    ASSERT_FALSE(sk.exact());
+    for (double p : {1.0, 5.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9}) {
+        const double exact_q = percentile(all, p);
+        ASSERT_LT(exact_q, hi); // bound only holds inside the range
+        EXPECT_NEAR(sk.quantile(p), exact_q, width)
+            << "p = " << p;
+    }
+    EXPECT_DOUBLE_EQ(sk.quantile(0.0), sk.min());
+    EXPECT_DOUBLE_EQ(sk.quantile(100.0), sk.max());
+}
+
+TEST(QuantileSketchTest, OutOfRangeSamplesClampIntoEndBins)
+{
+    QuantileSketch sk(0.0, 10.0, 10, /*exact_capacity=*/2);
+    sk.sample(-5.0);
+    sk.sample(0.5);
+    sk.sample(9.5);
+    sk.sample(25.0);
+    EXPECT_FALSE(sk.exact());
+    // Extremes are tracked exactly even though the samples were
+    // clamped into the end bins...
+    EXPECT_DOUBLE_EQ(sk.min(), -5.0);
+    EXPECT_DOUBLE_EQ(sk.max(), 25.0);
+    EXPECT_DOUBLE_EQ(sk.quantile(0.0), -5.0);
+    EXPECT_DOUBLE_EQ(sk.quantile(100.0), 25.0);
+    // ...and every interior estimate is clamped into [min, max].
+    for (double p : {10.0, 50.0, 90.0}) {
+        const double q = sk.quantile(p);
+        EXPECT_GE(q, sk.min());
+        EXPECT_LE(q, sk.max());
+    }
+}
+
+TEST(QuantileSketchTest, InsertionOrderDoesNotMatter)
+{
+    // The sketch state is a function of the sample multiset only —
+    // the property that makes parallel planner runs byte-identical.
+    QuantileSketch fwd(0.0, 8.0, 64, 4);
+    QuantileSketch rev(0.0, 8.0, 64, 4);
+    std::vector<double> vals;
+    dhl::Rng rng(7);
+    for (int i = 0; i < 100; ++i)
+        vals.push_back(rng.uniform(0.0, 8.0));
+    for (double v : vals)
+        fwd.sample(v);
+    for (auto it = vals.rbegin(); it != vals.rend(); ++it)
+        rev.sample(*it);
+    for (double p : {0.0, 12.5, 50.0, 99.0, 100.0})
+        EXPECT_DOUBLE_EQ(fwd.quantile(p), rev.quantile(p));
+}
+
+TEST(QuantileSketchTest, RejectsBadInput)
+{
+    EXPECT_THROW(QuantileSketch(5.0, 5.0), dhl::FatalError);
+    EXPECT_THROW(QuantileSketch(9.0, 5.0), dhl::FatalError);
+    EXPECT_THROW(QuantileSketch(0.0, 1.0, 0), dhl::FatalError);
+    QuantileSketch sk(0.0, 1.0);
+    EXPECT_THROW(sk.quantile(50.0), dhl::FatalError); // empty
+    EXPECT_THROW(sk.min(), dhl::FatalError);
+    sk.sample(0.5);
+    EXPECT_THROW(sk.quantile(-1.0), dhl::FatalError);
+    EXPECT_THROW(sk.quantile(101.0), dhl::FatalError);
+    EXPECT_THROW(sk.sample(std::nan("")), dhl::FatalError);
 }
 
 TEST(StatGroupTest, AccumulatorAndHistogramRegistration)

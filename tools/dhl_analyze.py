@@ -117,6 +117,7 @@ LAYER_DEPS = {
     "ops":       {"common", "sim", "network", "dhl", "faults", "te"},
     "serve":     {"common", "sim", "network", "dhl", "faults", "exp",
                   "workloads", "ops", "te"},
+    "plan":      {"common", "dhl", "cost", "exp"},
 }
 
 FRONTEND_DIRS = ("bench", "tools", "examples")
@@ -1151,6 +1152,8 @@ def self_test():
                                  '#include "sim/simulator.hpp"\n',
             "src/serve/s.cpp": '#include "te/controller.hpp"\n'
                                '#include "ops/dispatcher.hpp"\n',
+            "src/plan/p.cpp": '#include "cost/cost_model.hpp"\n'
+                              '#include "exp/experiment_runner.hpp"\n',
             "tools/cli.cpp": '#include "te/controller.hpp"\n',
         })
         f = analyze_tree(os.path.join(tmp, "dag_ok"))
@@ -1163,14 +1166,19 @@ def self_test():
             "src/dhl/sched.cpp": '#include "te/controller.hpp"\n',
             "src/serve/s.cpp": '#include "bench/bench_util.hpp"\n',
             "src/ops/d.cpp": '#include <tools/cli_helpers.hpp>\n',
+            "src/plan/p.cpp": '#include "serve/admission.hpp"\n',
+            "src/plan/q.cpp": '#include "te/controller.hpp"\n',
         })
         f = analyze_tree(os.path.join(tmp, "dag_bad"))
         check("dag bad fires", _rules(f) == ["layer-dag"])
-        check("dag bad count", len(f) == 4)
+        check("dag bad count", len(f) == 6)
         check("dag upward edge",
               any("physics" in m for _p, _l, _r, m in f))
         check("dag te fence",
               any(p.endswith("sched.cpp") for p, _l, _r, m in f))
+        check("dag plan fence",
+              sum(1 for p, _l, _r, m in f
+                  if "/plan/" in p.replace(os.sep, "/")) == 2)
 
         # A1 unknown directory.
         _write_tree(os.path.join(tmp, "dag_unknown"), {

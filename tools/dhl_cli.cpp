@@ -14,6 +14,9 @@
  *   sweep      Figure 6 power sweep via the experiment runner
  *   serve      open-loop serving mode: staged load, per-stage SLOs,
  *              checkpoint/restore across DES epochs
+ *   plan       Monte-Carlo capacity planning: size tracks, carts and
+ *              vacuum plants against sampled demand at a target SLO
+ *              quantile
  *
  * Every subcommand shares the configuration flags --speed, --length,
  * --ssds (the paper's three swept parameters) plus --dock, --mode and
@@ -42,6 +45,7 @@
 #include "mlsim/sweep.hpp"
 #include "exp/slo.hpp"
 #include "ops/fleet_ops.hpp"
+#include "plan/planner.hpp"
 #include "serve/serving.hpp"
 #include "workloads/arrival.hpp"
 
@@ -833,6 +837,138 @@ cmdSweep(int argc, const char *const *argv)
 }
 
 int
+cmdPlan(int argc, const char *const *argv)
+{
+    ArgParser args("dhl_cli plan",
+                   "Monte-Carlo capacity planning: size tracks, carts "
+                   "and vacuum plants against sampled demand at a "
+                   "target SLO quantile");
+    addConfigFlags(args);
+    args.addOption("users", "median active users, millions", "2");
+    args.addOption("users-sigma", "log-normal shape of users", "0.35");
+    args.addOption("bytes-per-user", "median demand, GB/user/day", "2");
+    args.addOption("bytes-sigma", "log-normal shape of demand", "0.4");
+    args.addOption("peak-min", "diurnal peak-factor floor", "1.2");
+    args.addOption("peak-max", "diurnal peak-factor ceiling", "3");
+    args.addOption("peak-corr", "corr(users, peak) in [-1, 1]", "0.5");
+    args.addOption("request-gb", "median interactive request, GB", "64");
+    args.addOption("slo", "request-latency SLO, s", "60");
+    args.addOption("slo-quantile",
+                   "required SLO-attainment quantile (0..1)", "0.999");
+    args.addOption("tracks-max", "lattice ceiling on tracks", "6");
+    args.addOption("carts-max", "lattice ceiling on carts/track", "12");
+    args.addOption("tracks-per-plant",
+                   "tracks one vacuum plant evacuates", "4");
+    args.addOption("plant-capex", "vacuum-plant capex, USD", "12000");
+    args.addOption("cart-capex", "per-cart capex, USD", "1500");
+    args.addOption("scenarios", "sampled demand scenarios", "4096");
+    args.addOption("bootstrap", "bootstrap resamples for the CI", "200");
+    args.addOption("jobs",
+                   "parallel lattice jobs; 0 = hardware concurrency, "
+                   "1 = exact-serial fallback",
+                   "1");
+    args.addOption("seed", "root seed (scenarios + bootstrap)", "1");
+    args.addSwitch("all", "print every lattice point, not just the "
+                          "designs meeting the target");
+    args.addSwitch("validate",
+                   "DES cross-check of the winner's launch rate");
+    args.addSwitch("csv", "emit CSV instead of the boxed table");
+    if (!args.parse(argc, argv, std::cout))
+        return 0;
+
+    plan::PlannerConfig cfg;
+    cfg.assumptions.dhl = configFromFlags(args);
+    constexpr double people_per_million = 1.0e6;
+    cfg.demand.users_median =
+        args.getDouble("users") * people_per_million;
+    cfg.demand.users_sigma = args.getDouble("users-sigma");
+    cfg.demand.bytes_per_user_day_median =
+        u::gigabytes(args.getDouble("bytes-per-user"));
+    cfg.demand.bytes_sigma = args.getDouble("bytes-sigma");
+    cfg.demand.peak_min = args.getDouble("peak-min");
+    cfg.demand.peak_max = args.getDouble("peak-max");
+    cfg.demand.peak_user_corr = args.getDouble("peak-corr");
+    cfg.demand.request_bytes_median =
+        u::gigabytes(args.getDouble("request-gb"));
+    cfg.assumptions.slo_latency = args.getDouble("slo");
+    cfg.assumptions.target_quantile = args.getDouble("slo-quantile");
+    cfg.assumptions.tracks_per_plant =
+        static_cast<std::size_t>(args.getInt("tracks-per-plant"));
+    cfg.assumptions.plant_capex = args.getDouble("plant-capex");
+    cfg.assumptions.cart_capex = args.getDouble("cart-capex");
+    cfg.tracks_max = static_cast<std::size_t>(args.getInt("tracks-max"));
+    cfg.carts_max = static_cast<std::size_t>(args.getInt("carts-max"));
+    cfg.scenarios = static_cast<std::size_t>(args.getInt("scenarios"));
+    cfg.bootstrap = static_cast<std::size_t>(args.getInt("bootstrap"));
+    cfg.jobs = static_cast<std::size_t>(args.getInt("jobs"));
+    cfg.seed = static_cast<std::uint64_t>(args.getInt("seed"));
+    cfg.validate_des = args.getSwitch("validate");
+
+    const plan::CapacityPlanner planner(cfg);
+    const plan::PlanResult result = planner.plan();
+
+    const bool csv = args.getSwitch("csv");
+    const bool all = args.getSwitch("all") || csv;
+    TextTable table({"design", "capex_usd", "attainment", "ci95_lo",
+                     "ci95_hi", "p50_s", "slo_q_s", "util", "energy_day",
+                     "meets"});
+    for (std::size_t i = 0; i < result.reports.size(); ++i) {
+        const plan::DesignReport &r = result.reports[i];
+        if (!all && !r.meets_target)
+            continue;
+        const auto &d = r.constants.design;
+        std::string label = "t";
+        label += std::to_string(d.tracks);
+        label += ".c";
+        label += std::to_string(d.carts_per_track);
+        label += ".p";
+        label += std::to_string(d.plants);
+        if (static_cast<std::ptrdiff_t>(i) == result.winner)
+            label += " *";
+        table.addRow({label, u::formatSig(r.constants.capex, 6),
+                      u::formatSig(r.attainment, 5),
+                      u::formatSig(r.attainment_lo, 5),
+                      u::formatSig(r.attainment_hi, 5),
+                      u::formatSig(r.latency_p50, 4),
+                      u::formatSig(r.latency_slo_q, 4),
+                      u::formatSig(r.mean_utilisation, 4),
+                      u::formatEnergy(r.mean_energy_day),
+                      r.meets_target ? "yes" : "no"});
+    }
+    if (csv)
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+
+    if (!csv) {
+        if (result.hasWinner()) {
+            const plan::DesignReport &w = result.winnerReport();
+            const auto &d = w.constants.design;
+            std::cout << "\nWinner: " << d.tracks << " tracks x "
+                      << d.carts_per_track << " carts, " << d.plants
+                      << " plants — capex "
+                      << u::formatSig(w.constants.capex, 6)
+                      << " USD, attainment "
+                      << u::formatSig(w.attainment, 5) << " [95% CI "
+                      << u::formatSig(w.attainment_lo, 5) << ", "
+                      << u::formatSig(w.attainment_hi, 5) << "]\n";
+        } else {
+            std::cout << "\nNo lattice point meets the target quantile;"
+                      << " widen the lattice or relax the SLO.\n";
+        }
+        if (result.des.ran) {
+            std::cout << "DES cross-check: "
+                      << u::formatSig(result.des.des_rate, 4)
+                      << " launches/s/track vs closed-form "
+                      << u::formatSig(result.des.analytical_rate, 4)
+                      << " (ratio "
+                      << u::formatSig(result.des.ratio, 4) << ")\n";
+        }
+    }
+    return 0;
+}
+
+int
 cmdConfig(int argc, const char *const *argv)
 {
     ArgParser args("dhl_cli config",
@@ -864,6 +1000,8 @@ usage(std::ostream &os)
        << "  serve      open-loop serving: staged load, per-stage "
           "SLOs,\n"
        << "             checkpoint/restore across DES epochs\n"
+       << "  plan       Monte-Carlo capacity planning at a target SLO\n"
+          "             quantile (--jobs N parallel lattice points)\n"
        << "  config     emit the resolved configuration as properties\n\n"
        << "Run 'dhl_cli <command> --help' for that command's flags.\n";
 }
@@ -899,6 +1037,8 @@ main(int argc, char **argv)
             return cmdFleet(argc - 1, argv + 1);
         if (cmd == "serve")
             return cmdServe(argc - 1, argv + 1);
+        if (cmd == "plan")
+            return cmdPlan(argc - 1, argv + 1);
         if (cmd == "config")
             return cmdConfig(argc - 1, argv + 1);
         if (cmd == "--help" || cmd == "-h" || cmd == "help") {
